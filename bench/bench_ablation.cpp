@@ -1,0 +1,131 @@
+// Ablations of the design choices DESIGN.md calls out (beyond the paper's
+// own Table II / Figure 13 studies):
+//
+//   1. phi squash in Eq. 3/5: 1 - exp(-x) (default) vs clamp(x, 0, 1).
+//   2. BES subgraph-size divisor s (Alg. 3 line 6: stage-2 size n/s).
+//   3. Frequency decay exponent mu of Eq. 9.
+//   4. Gradient clip bound C (interacts with the Lemma-2 noise scale).
+//
+// All runs are PrivIM* at epsilon = 3 on the LastFM- and Gowalla-like
+// datasets; metric is the coverage ratio vs CELF.
+
+#include <cstdio>
+#include <mutex>
+
+#include "harness/harness.h"
+#include "privim/common/math_utils.h"
+#include "privim/common/thread_pool.h"
+
+namespace privim {
+namespace bench {
+namespace {
+
+struct Variant {
+  std::string label;
+  PhiKind phi = PhiKind::kOneMinusExpNeg;
+  int64_t boundary_divisor = 2;
+  double decay = -1.0;  // <0 = config default
+  float clip = 0.0f;    // 0 = config default
+};
+
+int Run(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  const BenchConfig config = BenchConfig::FromFlags(flags);
+  PrintBanner("Ablation: phi squash / BES divisor s / decay mu / clip C",
+              config);
+  const double epsilon = flags.GetDouble("epsilon", 3.0);
+
+  std::vector<Variant> variants;
+  variants.push_back({"default (phi=1-e^-x, s=2, mu=cfg, C=cfg)"});
+  {
+    Variant v;
+    v.label = "phi = clamp(x,0,1)";
+    v.phi = PhiKind::kClamp;
+    variants.push_back(v);
+  }
+  for (int64_t s : {1, 4}) {
+    Variant v;
+    v.label = "BES divisor s = " + std::to_string(s);
+    v.boundary_divisor = s;
+    variants.push_back(v);
+  }
+  for (double mu : {1.0, 3.0}) {
+    Variant v;
+    v.label = "decay mu = " + TablePrinter::FormatDouble(mu, 1);
+    v.decay = mu;
+    variants.push_back(v);
+  }
+  for (float c : {0.05f, 1.0f}) {
+    Variant v;
+    v.label = "clip C = " + TablePrinter::FormatDouble(c, 2);
+    v.clip = c;
+    variants.push_back(v);
+  }
+
+  std::vector<PreparedDataset> datasets;
+  for (DatasetId id : {DatasetId::kLastFm, DatasetId::kGowalla}) {
+    Result<PreparedDataset> prepared = PrepareDataset(id, config);
+    if (!prepared.ok()) {
+      std::fprintf(stderr, "%s\n", prepared.status().ToString().c_str());
+      return 1;
+    }
+    datasets.push_back(std::move(prepared).value());
+  }
+
+  struct Job {
+    size_t variant;
+    size_t dataset;
+    int repeat;
+  };
+  std::vector<Job> jobs;
+  for (size_t v = 0; v < variants.size(); ++v) {
+    for (size_t d = 0; d < datasets.size(); ++d) {
+      for (int r = 0; r < config.repeats; ++r) jobs.push_back({v, d, r});
+    }
+  }
+  std::vector<std::vector<std::vector<double>>> coverages(
+      variants.size(), std::vector<std::vector<double>>(datasets.size()));
+  std::mutex mutex;
+  GlobalThreadPool().ParallelFor(jobs.size(), [&](size_t j) {
+    const Job& job = jobs[j];
+    const Variant& variant = variants[job.variant];
+    PrivImOptions options = MakePrivImOptions(
+        config, datasets[job.dataset], PrivImVariant::kDualStage, epsilon);
+    options.loss.phi = variant.phi;
+    options.boundary_divisor = variant.boundary_divisor;
+    if (variant.decay >= 0.0) options.decay = variant.decay;
+    if (variant.clip > 0.0f) options.clip_bound = variant.clip;
+    Result<PrivImResult> result =
+        RunPrivIm(datasets[job.dataset].train, datasets[job.dataset].eval,
+                  options, config.base_seed + 401 * (job.repeat + 1));
+    if (!result.ok()) return;
+    const double spread = EvaluateSpread(datasets[job.dataset], result->seeds);
+    std::lock_guard<std::mutex> lock(mutex);
+    coverages[job.variant][job.dataset].push_back(
+        CoverageRatioPercent(spread, datasets[job.dataset].celf_spread));
+  });
+
+  std::vector<std::string> header = {"Variant"};
+  for (const PreparedDataset& d : datasets) header.push_back(d.spec.name);
+  TablePrinter table(header);
+  for (size_t v = 0; v < variants.size(); ++v) {
+    std::vector<std::string> row = {variants[v].label};
+    for (size_t d = 0; d < datasets.size(); ++d) {
+      const auto& samples = coverages[v][d];
+      row.push_back(samples.empty()
+                        ? "-"
+                        : TablePrinter::FormatMeanStd(
+                              Mean(samples), SampleStdDev(samples), 1));
+    }
+    table.AddRow(std::move(row));
+  }
+  std::printf("-- coverage ratio (%%), eps=%.0f --\n", epsilon);
+  EmitTable("bench_ablation", table);
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace privim
+
+int main(int argc, char** argv) { return privim::bench::Run(argc, argv); }

@@ -1,0 +1,177 @@
+// Figure 5 (and Figure 14 / Appendix J for HepPh): influence spread of all
+// methods over the six main datasets plus the partitioned Friendster run,
+// varying the privacy budget epsilon from 1 to 6.
+//
+// One table per dataset, rows = epsilon, columns = methods; CELF and the
+// Non-Private model are epsilon-independent reference columns, exactly as
+// the paper plots them as horizontal reference lines.
+
+#include <cstdio>
+#include <mutex>
+
+#include "harness/harness.h"
+#include "privim/common/thread_pool.h"
+#include "privim/common/math_utils.h"
+
+namespace privim {
+namespace bench {
+namespace {
+
+constexpr Method kMethods[] = {Method::kPrivImStar, Method::kPrivImNaive,
+                               Method::kEgn,        Method::kHp,
+                               Method::kHpGrat,     Method::kNonPrivate,
+                               Method::kCelf};
+
+struct Job {
+  size_t dataset;
+  size_t method;
+  size_t eps_index;
+  int repeat;
+};
+
+int Run(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  BenchConfig config = BenchConfig::FromFlags(flags);
+  PrintBanner(
+      "Figure 5 + Figure 14: influence spread of all methods vs epsilon",
+      config);
+
+  const std::vector<double> epsilons = {1, 2, 3, 4, 5, 6};
+  std::vector<PreparedDataset> datasets;
+  for (const DatasetSpec& spec : MainDatasetSpecs()) {
+    Result<PreparedDataset> prepared = PrepareDataset(spec.id, config);
+    if (!prepared.ok()) {
+      std::fprintf(stderr, "%s: %s\n", spec.name,
+                   prepared.status().ToString().c_str());
+      return 1;
+    }
+    datasets.push_back(std::move(prepared).value());
+  }
+
+  // Flatten every (dataset, method, epsilon, repeat) into one parallel job
+  // list. Epsilon-independent methods run at a single epsilon index.
+  std::vector<Job> jobs;
+  const size_t num_methods = std::size(kMethods);
+  for (size_t d = 0; d < datasets.size(); ++d) {
+    for (size_t m = 0; m < num_methods; ++m) {
+      const bool eps_free = kMethods[m] == Method::kNonPrivate ||
+                            kMethods[m] == Method::kCelf;
+      const size_t eps_count = eps_free ? 1 : epsilons.size();
+      const int repeats = kMethods[m] == Method::kCelf ? 1 : config.repeats;
+      for (size_t e = 0; e < eps_count; ++e) {
+        for (int r = 0; r < repeats; ++r) jobs.push_back({d, m, e, r});
+      }
+    }
+  }
+
+  // results[d][m][e] = spreads over repeats.
+  std::vector<std::vector<std::vector<std::vector<double>>>> spreads(
+      datasets.size(),
+      std::vector<std::vector<std::vector<double>>>(
+          num_methods,
+          std::vector<std::vector<double>>(epsilons.size())));
+  std::mutex mutex;
+  GlobalThreadPool().ParallelFor(jobs.size(), [&](size_t j) {
+    const Job& job = jobs[j];
+    Result<double> spread = RunMethodOnce(
+        kMethods[job.method], datasets[job.dataset], config,
+        epsilons[job.eps_index], config.base_seed + 7919 * (job.repeat + 1));
+    if (!spread.ok()) {
+      std::lock_guard<std::mutex> lock(mutex);
+      std::fprintf(stderr, "[fig5] %s/%s eps=%g: %s\n",
+                   datasets[job.dataset].spec.name, MethodName(kMethods[job.method]),
+                   epsilons[job.eps_index], spread.status().ToString().c_str());
+      return;
+    }
+    std::lock_guard<std::mutex> lock(mutex);
+    spreads[job.dataset][job.method][job.eps_index].push_back(spread.value());
+  });
+
+  for (size_t d = 0; d < datasets.size(); ++d) {
+    std::vector<std::string> header = {"epsilon"};
+    for (Method m : kMethods) header.push_back(MethodName(m));
+    TablePrinter table(header);
+    for (size_t e = 0; e < epsilons.size(); ++e) {
+      std::vector<std::string> row = {
+          TablePrinter::FormatDouble(epsilons[e], 0)};
+      for (size_t m = 0; m < num_methods; ++m) {
+        const bool eps_free = kMethods[m] == Method::kNonPrivate ||
+                              kMethods[m] == Method::kCelf;
+        const auto& samples = spreads[d][m][eps_free ? 0 : e];
+        row.push_back(samples.empty()
+                          ? "-"
+                          : TablePrinter::FormatMeanStd(
+                                Mean(samples), SampleStdDev(samples), 1));
+      }
+      table.AddRow(std::move(row));
+    }
+    std::printf("-- %s (influence spread, k=%lld) --\n",
+                datasets[d].spec.name,
+                static_cast<long long>(config.seed_set_size > 0
+                                           ? config.seed_set_size
+                                           : config.DefaultSeedSetSize()));
+    EmitTable(std::string("bench_fig5_") + datasets[d].spec.name, table);
+  }
+
+  // ---- Friendster: partitioned processing path (Sec. V-A) ----------------
+  if (!flags.GetBool("skip_friendster", false)) {
+    std::printf("-- Friendster (partitioned into 4 graphs; summed spread) --\n");
+    Result<Dataset> friendster =
+        MakeDataset(DatasetId::kFriendster, config.scale, config.base_seed);
+    if (!friendster.ok()) {
+      std::fprintf(stderr, "Friendster: %s\n",
+                   friendster.status().ToString().c_str());
+      return 1;
+    }
+    Result<std::vector<Subgraph>> parts =
+        HashPartition(friendster->graph, 4, config.base_seed);
+    if (!parts.ok()) return 1;
+
+    std::vector<PreparedDataset> part_data;
+    for (Subgraph& part : parts.value()) {
+      Rng rng(config.base_seed ^ 0xF51E);
+      Result<TrainTestSplit> split = SplitNodes(part.local, 0.5, &rng);
+      if (!split.ok()) continue;
+      PreparedDataset prepared;
+      prepared.spec = friendster->spec;
+      prepared.train = std::move(split->train.local);
+      prepared.eval = std::move(split->test.local);
+      const int64_t k = config.seed_set_size > 0
+                            ? config.seed_set_size
+                            : config.DefaultSeedSetSize();
+      DeterministicCoverageOracle oracle(prepared.eval, 1);
+      Result<SeedSelectionResult> celf = CelfGreedy(oracle, k);
+      if (!celf.ok()) continue;
+      prepared.celf_spread = celf->spread;
+      part_data.push_back(std::move(prepared));
+    }
+
+    std::vector<std::string> header = {"epsilon"};
+    for (Method m : kMethods) header.push_back(MethodName(m));
+    TablePrinter table(header);
+    for (double eps : epsilons) {
+      std::vector<std::string> row = {TablePrinter::FormatDouble(eps, 0)};
+      for (Method method : kMethods) {
+        // Sum the per-partition spreads (single repeat for wall-clock).
+        std::vector<double> part_spreads(part_data.size(), 0.0);
+        GlobalThreadPool().ParallelFor(part_data.size(), [&](size_t p) {
+          Result<double> spread = RunMethodOnce(method, part_data[p], config,
+                                                eps, config.base_seed + 13);
+          part_spreads[p] = spread.ok() ? spread.value() : 0.0;
+        });
+        double total = 0.0;
+        for (double s : part_spreads) total += s;
+        row.push_back(TablePrinter::FormatDouble(total, 1));
+      }
+      table.AddRow(std::move(row));
+    }
+    EmitTable("bench_fig5_Friendster", table);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace privim
+
+int main(int argc, char** argv) { return privim::bench::Run(argc, argv); }

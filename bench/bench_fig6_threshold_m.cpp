@@ -1,0 +1,100 @@
+// Figures 6 and 10: impact of the frequency threshold M on PrivIM* at
+// epsilon = 3, for subgraph sizes n in {20, 40, 60, 80} (scaled down with
+// the dataset scale). Figure 6 shows Facebook and Gowalla; --all adds the
+// remaining datasets (Figure 10).
+
+#include <cstdio>
+#include <mutex>
+
+#include "harness/harness.h"
+#include "privim/common/math_utils.h"
+#include "privim/common/thread_pool.h"
+
+namespace privim {
+namespace bench {
+namespace {
+
+int Run(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  const BenchConfig config = BenchConfig::FromFlags(flags);
+  PrintBanner("Figure 6 + Figure 10: impact of threshold M on PrivIM*",
+              config);
+  const double epsilon = flags.GetDouble("epsilon", 3.0);
+
+  std::vector<DatasetId> ids = {DatasetId::kFacebook, DatasetId::kGowalla};
+  if (flags.GetBool("all", false)) {
+    ids = {DatasetId::kEmail,  DatasetId::kBitcoin, DatasetId::kLastFm,
+           DatasetId::kHepPh, DatasetId::kFacebook, DatasetId::kGowalla};
+  }
+
+  // Email has the special larger M grid (Sec. V-C).
+  const std::vector<int64_t> m_grid_default = {2, 4, 6, 8, 10};
+  const std::vector<int64_t> m_grid_email = {4, 6, 8, 10, 12};
+  // Scale the paper's n grid {20, 40, 60, 80} down with dataset scale.
+  const int64_t n_base = config.DefaultSubgraphSize();
+  const std::vector<int64_t> n_grid = {n_base / 2, n_base, n_base * 3 / 2,
+                                       n_base * 2};
+
+  for (DatasetId id : ids) {
+    Result<PreparedDataset> prepared = PrepareDataset(id, config);
+    if (!prepared.ok()) {
+      std::fprintf(stderr, "%s\n", prepared.status().ToString().c_str());
+      continue;
+    }
+    const PreparedDataset& dataset = prepared.value();
+
+    struct Job {
+      size_t n_index;
+      size_t m_index;
+      int repeat;
+    };
+    const std::vector<int64_t>& m_grid =
+        id == DatasetId::kEmail ? m_grid_email : m_grid_default;
+    std::vector<Job> jobs;
+    for (size_t ni = 0; ni < n_grid.size(); ++ni) {
+      for (size_t mi = 0; mi < m_grid.size(); ++mi) {
+        for (int r = 0; r < config.repeats; ++r) jobs.push_back({ni, mi, r});
+      }
+    }
+    std::vector<std::vector<std::vector<double>>> spreads(
+        n_grid.size(), std::vector<std::vector<double>>(m_grid.size()));
+    std::mutex mutex;
+    GlobalThreadPool().ParallelFor(jobs.size(), [&](size_t j) {
+      const Job& job = jobs[j];
+      BenchConfig local = config;
+      local.subgraph_size = n_grid[job.n_index];
+      local.frequency_threshold = m_grid[job.m_index];
+      Result<double> spread =
+          RunMethodOnce(Method::kPrivImStar, dataset, local, epsilon,
+                        config.base_seed + 31 * (job.repeat + 1));
+      if (!spread.ok()) return;
+      std::lock_guard<std::mutex> lock(mutex);
+      spreads[job.n_index][job.m_index].push_back(spread.value());
+    });
+
+    std::vector<std::string> header = {"M \\ n"};
+    for (int64_t n : n_grid) header.push_back("n=" + std::to_string(n));
+    TablePrinter table(header);
+    for (size_t mi = 0; mi < m_grid.size(); ++mi) {
+      std::vector<std::string> row = {"M=" + std::to_string(m_grid[mi])};
+      for (size_t ni = 0; ni < n_grid.size(); ++ni) {
+        const auto& samples = spreads[ni][mi];
+        row.push_back(samples.empty()
+                          ? "-"
+                          : TablePrinter::FormatMeanStd(
+                                Mean(samples), SampleStdDev(samples), 1));
+      }
+      table.AddRow(std::move(row));
+    }
+    std::printf("-- %s (influence spread, eps=%.0f) --\n", dataset.spec.name,
+                epsilon);
+    EmitTable(std::string("bench_fig6_") + dataset.spec.name, table);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace privim
+
+int main(int argc, char** argv) { return privim::bench::Run(argc, argv); }

@@ -1,0 +1,93 @@
+// Figures 7 and 11: impact of the subgraph size n on PrivIM* at
+// epsilon = 3. Figure 7 shows Facebook and Gowalla; --all runs all six
+// datasets (Figure 11). The paper sweeps n from 10 to 80; the sweep is
+// scaled with the dataset scale.
+
+#include <cstdio>
+#include <mutex>
+
+#include "harness/harness.h"
+#include "privim/common/math_utils.h"
+#include "privim/common/thread_pool.h"
+
+namespace privim {
+namespace bench {
+namespace {
+
+int Run(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  const BenchConfig config = BenchConfig::FromFlags(flags);
+  PrintBanner("Figure 7 + Figure 11: impact of subgraph size n on PrivIM*",
+              config);
+  const double epsilon = flags.GetDouble("epsilon", 3.0);
+
+  std::vector<DatasetId> ids = {DatasetId::kFacebook, DatasetId::kGowalla};
+  if (flags.GetBool("all", false)) {
+    ids = {DatasetId::kEmail,  DatasetId::kBitcoin, DatasetId::kLastFm,
+           DatasetId::kHepPh, DatasetId::kFacebook, DatasetId::kGowalla};
+  }
+
+  // Paper grid: n in {10, 20, ..., 80}; scale proportionally.
+  const int64_t n_base = config.DefaultSubgraphSize();
+  std::vector<int64_t> n_grid;
+  for (int i = 1; i <= 8; ++i) n_grid.push_back(n_base * i / 4 + 2);
+
+  std::vector<PreparedDataset> datasets;
+  for (DatasetId id : ids) {
+    Result<PreparedDataset> prepared = PrepareDataset(id, config);
+    if (!prepared.ok()) {
+      std::fprintf(stderr, "%s\n", prepared.status().ToString().c_str());
+      return 1;
+    }
+    datasets.push_back(std::move(prepared).value());
+  }
+
+  struct Job {
+    size_t dataset;
+    size_t n_index;
+    int repeat;
+  };
+  std::vector<Job> jobs;
+  for (size_t d = 0; d < datasets.size(); ++d) {
+    for (size_t ni = 0; ni < n_grid.size(); ++ni) {
+      for (int r = 0; r < config.repeats; ++r) jobs.push_back({d, ni, r});
+    }
+  }
+  std::vector<std::vector<std::vector<double>>> spreads(
+      datasets.size(), std::vector<std::vector<double>>(n_grid.size()));
+  std::mutex mutex;
+  GlobalThreadPool().ParallelFor(jobs.size(), [&](size_t j) {
+    const Job& job = jobs[j];
+    BenchConfig local = config;
+    local.subgraph_size = n_grid[job.n_index];
+    Result<double> spread =
+        RunMethodOnce(Method::kPrivImStar, datasets[job.dataset], local,
+                      epsilon, config.base_seed + 53 * (job.repeat + 1));
+    if (!spread.ok()) return;
+    std::lock_guard<std::mutex> lock(mutex);
+    spreads[job.dataset][job.n_index].push_back(spread.value());
+  });
+
+  std::vector<std::string> header = {"n"};
+  for (const PreparedDataset& d : datasets) header.push_back(d.spec.name);
+  TablePrinter table(header);
+  for (size_t ni = 0; ni < n_grid.size(); ++ni) {
+    std::vector<std::string> row = {std::to_string(n_grid[ni])};
+    for (size_t d = 0; d < datasets.size(); ++d) {
+      const auto& samples = spreads[d][ni];
+      row.push_back(samples.empty()
+                        ? "-"
+                        : TablePrinter::FormatMeanStd(
+                              Mean(samples), SampleStdDev(samples), 1));
+    }
+    table.AddRow(std::move(row));
+  }
+  EmitTable("bench_fig7_subgraph_n", table);
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace privim
+
+int main(int argc, char** argv) { return privim::bench::Run(argc, argv); }

@@ -1,0 +1,160 @@
+// Figures 8, 12 and 15: the Gamma-pdf parameter-selection indicator
+// (Sec. IV-C) versus empirical influence spread.
+//
+// For each dataset the bench fixes n (resp. M) at the indicator's preferred
+// value, sweeps the other parameter, and prints the normalized indicator
+// I(n, M) next to the measured PrivIM* spread, so peak alignment can be
+// read off directly. Figure 15's epsilon = 1 / epsilon = 6 variants run on
+// LastFM via --fig15.
+
+#include <cstdio>
+#include <mutex>
+
+#include "harness/harness.h"
+#include "privim/common/math_utils.h"
+#include "privim/common/thread_pool.h"
+#include "privim/core/indicator.h"
+
+namespace privim {
+namespace bench {
+namespace {
+
+struct SweepResult {
+  std::vector<double> indicator;
+  std::vector<double> spread_mean;
+  std::vector<double> spread_std;
+};
+
+// Sweeps M at fixed n (sweep_m = true) or n at fixed M (sweep_m = false).
+SweepResult RunSweep(const PreparedDataset& dataset, const BenchConfig& config,
+                     double epsilon, const std::vector<int64_t>& grid,
+                     int64_t fixed_value, bool sweep_m,
+                     const IndicatorParams& params) {
+  SweepResult result;
+  const int64_t num_nodes = dataset.train.num_nodes();
+
+  // Normalized indicator over the sweep.
+  double max_raw = 0.0;
+  std::vector<double> raw;
+  for (int64_t g : grid) {
+    const double n = sweep_m ? static_cast<double>(fixed_value)
+                             : static_cast<double>(g);
+    const double m = sweep_m ? static_cast<double>(g)
+                             : static_cast<double>(fixed_value);
+    raw.push_back(IndicatorRaw(n, m, num_nodes, params));
+    max_raw = std::max(max_raw, raw.back());
+  }
+  for (double v : raw) {
+    result.indicator.push_back(max_raw > 0 ? v / max_raw : 0.0);
+  }
+
+  struct Job {
+    size_t grid_index;
+    int repeat;
+  };
+  std::vector<Job> jobs;
+  for (size_t gi = 0; gi < grid.size(); ++gi) {
+    for (int r = 0; r < config.repeats; ++r) jobs.push_back({gi, r});
+  }
+  std::vector<std::vector<double>> spreads(grid.size());
+  std::mutex mutex;
+  GlobalThreadPool().ParallelFor(jobs.size(), [&](size_t j) {
+    const Job& job = jobs[j];
+    BenchConfig local = config;
+    if (sweep_m) {
+      local.subgraph_size = fixed_value;
+      local.frequency_threshold = grid[job.grid_index];
+    } else {
+      local.subgraph_size = grid[job.grid_index];
+      local.frequency_threshold = fixed_value;
+    }
+    Result<double> spread =
+        RunMethodOnce(Method::kPrivImStar, dataset, local, epsilon,
+                      config.base_seed + 101 * (job.repeat + 1));
+    if (!spread.ok()) return;
+    std::lock_guard<std::mutex> lock(mutex);
+    spreads[job.grid_index].push_back(spread.value());
+  });
+  for (const auto& samples : spreads) {
+    result.spread_mean.push_back(Mean(samples));
+    result.spread_std.push_back(SampleStdDev(samples));
+  }
+  return result;
+}
+
+void EmitSweep(const std::string& name, const std::vector<int64_t>& grid,
+               const char* knob, const SweepResult& sweep) {
+  TablePrinter table({knob, "indicator I(n,M)", "spread mean", "spread std"});
+  for (size_t i = 0; i < grid.size(); ++i) {
+    table.AddRow({std::to_string(grid[i]),
+                  TablePrinter::FormatDouble(sweep.indicator[i], 3),
+                  TablePrinter::FormatDouble(sweep.spread_mean[i], 1),
+                  TablePrinter::FormatDouble(sweep.spread_std[i], 1)});
+  }
+  EmitTable(name, table);
+}
+
+int Run(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  const BenchConfig config = BenchConfig::FromFlags(flags);
+  PrintBanner("Figure 8 + 12 + 15: indicator vs empirical results", config);
+
+  // Paper constants (Sec. V-D) with the scale parameters adapted to the
+  // bench's scaled subgraph sizes: psi_n tracks the scaled n grid.
+  IndicatorParams params;
+  params.psi_n = static_cast<double>(config.DefaultSubgraphSize()) * 25.0 / 40.0;
+
+  const bool fig15 = flags.GetBool("fig15", false);
+  const std::vector<double> eps_list =
+      fig15 ? std::vector<double>{1.0, 6.0} : std::vector<double>{3.0};
+  std::vector<DatasetId> ids =
+      fig15 ? std::vector<DatasetId>{DatasetId::kLastFm}
+            : std::vector<DatasetId>{DatasetId::kLastFm, DatasetId::kHepPh,
+                                     DatasetId::kFacebook};
+
+  const int64_t n_base = config.DefaultSubgraphSize();
+  const std::vector<int64_t> m_grid = {2, 3, 4, 5, 6, 8, 10};
+  std::vector<int64_t> n_grid;
+  for (int i = 1; i <= 8; ++i) n_grid.push_back(n_base * i / 4 + 2);
+
+  for (DatasetId id : ids) {
+    Result<PreparedDataset> prepared = PrepareDataset(id, config);
+    if (!prepared.ok()) {
+      std::fprintf(stderr, "%s\n", prepared.status().ToString().c_str());
+      continue;
+    }
+    const PreparedDataset& dataset = prepared.value();
+    const IndicatorOptimum best = SelectParameters(
+        n_grid, m_grid, dataset.train.num_nodes(), params);
+    std::printf("-- %s: indicator optimum n=%lld M=%lld --\n",
+                dataset.spec.name,
+                static_cast<long long>(best.subgraph_size),
+                static_cast<long long>(best.frequency_threshold));
+
+    for (double eps : eps_list) {
+      const SweepResult m_sweep = RunSweep(
+          dataset, config, eps, m_grid, best.subgraph_size, true, params);
+      std::printf("M sweep at n=%lld, eps=%.0f:\n",
+                  static_cast<long long>(best.subgraph_size), eps);
+      EmitSweep(std::string("bench_fig8_") + dataset.spec.name + "_Msweep_eps" +
+                    TablePrinter::FormatDouble(eps, 0),
+                m_grid, "M", m_sweep);
+
+      const SweepResult n_sweep =
+          RunSweep(dataset, config, eps, n_grid, best.frequency_threshold,
+                   false, params);
+      std::printf("n sweep at M=%lld, eps=%.0f:\n",
+                  static_cast<long long>(best.frequency_threshold), eps);
+      EmitSweep(std::string("bench_fig8_") + dataset.spec.name + "_nsweep_eps" +
+                    TablePrinter::FormatDouble(eps, 0),
+                n_grid, "n", n_sweep);
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace privim
+
+int main(int argc, char** argv) { return privim::bench::Run(argc, argv); }

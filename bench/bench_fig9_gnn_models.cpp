@@ -1,0 +1,89 @@
+// Figure 9: coverage ratio of PrivIM* with different GNN backbones
+// (GRAT, GraphSAGE, GCN, GAT, GIN) over the six datasets at epsilon = 2
+// and epsilon = 5.
+
+#include <cstdio>
+#include <mutex>
+
+#include "harness/harness.h"
+#include "privim/common/math_utils.h"
+#include "privim/common/thread_pool.h"
+
+namespace privim {
+namespace bench {
+namespace {
+
+constexpr GnnKind kKinds[] = {GnnKind::kGrat, GnnKind::kSage, GnnKind::kGcn,
+                              GnnKind::kGat, GnnKind::kGin};
+
+int Run(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  const BenchConfig config = BenchConfig::FromFlags(flags);
+  PrintBanner("Figure 9: impact of different GNN models on PrivIM*", config);
+
+  std::vector<PreparedDataset> datasets;
+  for (const DatasetSpec& spec : MainDatasetSpecs()) {
+    Result<PreparedDataset> prepared = PrepareDataset(spec.id, config);
+    if (!prepared.ok()) {
+      std::fprintf(stderr, "%s: %s\n", spec.name,
+                   prepared.status().ToString().c_str());
+      return 1;
+    }
+    datasets.push_back(std::move(prepared).value());
+  }
+
+  for (double epsilon : {2.0, 5.0}) {
+    struct Job {
+      size_t dataset;
+      size_t kind;
+      int repeat;
+    };
+    std::vector<Job> jobs;
+    for (size_t d = 0; d < datasets.size(); ++d) {
+      for (size_t k = 0; k < std::size(kKinds); ++k) {
+        for (int r = 0; r < config.repeats; ++r) jobs.push_back({d, k, r});
+      }
+    }
+    std::vector<std::vector<std::vector<double>>> coverages(
+        datasets.size(),
+        std::vector<std::vector<double>>(std::size(kKinds)));
+    std::mutex mutex;
+    GlobalThreadPool().ParallelFor(jobs.size(), [&](size_t j) {
+      const Job& job = jobs[j];
+      BenchConfig local = config;
+      local.gnn_kind = kKinds[job.kind];
+      Result<double> spread =
+          RunMethodOnce(Method::kPrivImStar, datasets[job.dataset], local,
+                        epsilon, config.base_seed + 677 * (job.repeat + 1));
+      if (!spread.ok()) return;
+      std::lock_guard<std::mutex> lock(mutex);
+      coverages[job.dataset][job.kind].push_back(CoverageRatioPercent(
+          spread.value(), datasets[job.dataset].celf_spread));
+    });
+
+    std::vector<std::string> header = {"Dataset"};
+    for (GnnKind kind : kKinds) header.push_back(GnnKindToString(kind));
+    TablePrinter table(header);
+    for (size_t d = 0; d < datasets.size(); ++d) {
+      std::vector<std::string> row = {datasets[d].spec.name};
+      for (size_t k = 0; k < std::size(kKinds); ++k) {
+        const auto& samples = coverages[d][k];
+        row.push_back(samples.empty()
+                          ? "-"
+                          : TablePrinter::FormatMeanStd(
+                                Mean(samples), SampleStdDev(samples), 1));
+      }
+      table.AddRow(std::move(row));
+    }
+    std::printf("-- coverage ratio (%%), eps=%.0f --\n", epsilon);
+    EmitTable("bench_fig9_gnn_models_eps" + TablePrinter::FormatDouble(epsilon, 0),
+              table);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace privim
+
+int main(int argc, char** argv) { return privim::bench::Run(argc, argv); }

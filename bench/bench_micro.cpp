@@ -1,0 +1,197 @@
+// Substrate microbenchmarks (google-benchmark): graph construction,
+// generators, projection, sampling, sparse message passing, GNN forward
+// passes, IC simulation, CELF and the RDP accountant. These quantify the
+// building blocks underneath the per-figure harnesses.
+
+#include <benchmark/benchmark.h>
+
+#include "privim/core/loss.h"
+#include "privim/diffusion/ic_model.h"
+#include "privim/dp/rdp_accountant.h"
+#include "privim/gnn/features.h"
+#include "privim/gnn/models.h"
+#include "privim/graph/generators.h"
+#include "privim/graph/projection.h"
+#include "privim/im/celf.h"
+#include "privim/sampling/dual_stage.h"
+#include "privim/sampling/rwr_sampler.h"
+
+namespace privim {
+namespace {
+
+Graph MakeBenchGraph(int64_t nodes, int64_t m) {
+  Rng rng(42);
+  Result<Graph> graph = BarabasiAlbert(nodes, m, &rng);
+  return WithUniformWeights(graph.value(), 1.0f);
+}
+
+void BM_GraphBuild(benchmark::State& state) {
+  const int64_t nodes = state.range(0);
+  Rng rng(1);
+  Result<Graph> base = BarabasiAlbert(nodes, 5, &rng);
+  const std::vector<Edge> edges = base->ToEdgeList();
+  for (auto _ : state) {
+    GraphBuilder builder(nodes);
+    benchmark::DoNotOptimize(builder.AddEdges(edges));
+    Result<Graph> graph = builder.Build();
+    benchmark::DoNotOptimize(graph.ok());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(edges.size()));
+}
+BENCHMARK(BM_GraphBuild)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_BarabasiAlbertGenerate(benchmark::State& state) {
+  const int64_t nodes = state.range(0);
+  uint64_t seed = 7;
+  for (auto _ : state) {
+    Rng rng(seed++);
+    Result<Graph> graph = BarabasiAlbert(nodes, 5, &rng);
+    benchmark::DoNotOptimize(graph->num_arcs());
+  }
+}
+BENCHMARK(BM_BarabasiAlbertGenerate)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_ThetaProjection(benchmark::State& state) {
+  const Graph graph = MakeBenchGraph(state.range(0), 8);
+  uint64_t seed = 3;
+  for (auto _ : state) {
+    Rng rng(seed++);
+    Result<Graph> projected = ProjectInDegree(graph, 10, &rng);
+    benchmark::DoNotOptimize(projected->num_arcs());
+  }
+}
+BENCHMARK(BM_ThetaProjection)->Arg(10000)->Arg(100000);
+
+void BM_RwrExtraction(benchmark::State& state) {
+  const Graph graph = MakeBenchGraph(state.range(0), 5);
+  RwrSamplerOptions options;
+  options.subgraph_size = 25;
+  options.sampling_rate =
+      std::min(1.0, 256.0 / static_cast<double>(graph.num_nodes()));
+  uint64_t seed = 11;
+  for (auto _ : state) {
+    Rng rng(seed++);
+    Result<SubgraphContainer> container =
+        ExtractSubgraphsRwr(graph, options, &rng);
+    benchmark::DoNotOptimize(container->size());
+  }
+}
+BENCHMARK(BM_RwrExtraction)->Arg(10000)->Arg(100000);
+
+void BM_DualStageSampling(benchmark::State& state) {
+  const Graph graph = MakeBenchGraph(state.range(0), 5);
+  DualStageOptions options;
+  options.stage1.subgraph_size = 25;
+  options.stage1.sampling_rate =
+      std::min(1.0, 256.0 / static_cast<double>(graph.num_nodes()));
+  uint64_t seed = 13;
+  for (auto _ : state) {
+    Rng rng(seed++);
+    Result<DualStageResult> result = DualStageSampling(graph, options, &rng);
+    benchmark::DoNotOptimize(result->container.size());
+  }
+}
+BENCHMARK(BM_DualStageSampling)->Arg(10000)->Arg(100000);
+
+void BM_GnnForward(benchmark::State& state) {
+  const Graph graph = MakeBenchGraph(state.range(0), 5);
+  const GraphContext ctx = GraphContext::Build(graph);
+  GnnConfig config;
+  config.kind = static_cast<GnnKind>(state.range(1));
+  Rng rng(17);
+  auto model = CreateGnnModel(config, &rng);
+  const Tensor features = BuildNodeFeatures(graph, config.input_dim);
+  for (auto _ : state) {
+    Variable out = model.value()->Forward(ctx, Variable(features));
+    benchmark::DoNotOptimize(out.value().Sum());
+  }
+  state.SetItemsProcessed(state.iterations() * graph.num_arcs());
+}
+BENCHMARK(BM_GnnForward)
+    ->Args({1000, static_cast<long>(GnnKind::kGcn)})
+    ->Args({1000, static_cast<long>(GnnKind::kGrat)})
+    ->Args({1000, static_cast<long>(GnnKind::kGin)})
+    ->Args({10000, static_cast<long>(GnnKind::kGrat)});
+
+void BM_InfluenceLossBackward(benchmark::State& state) {
+  const Graph graph = MakeBenchGraph(40, 4);
+  const GraphContext ctx = GraphContext::Build(graph);
+  GnnConfig config;
+  Rng rng(19);
+  auto model = CreateGnnModel(config, &rng);
+  const Tensor features = BuildNodeFeatures(graph, config.input_dim);
+  for (auto _ : state) {
+    for (const Variable& p : model.value()->parameters()) {
+      const_cast<Variable&>(p).ZeroGrad();
+    }
+    Result<Variable> loss =
+        InfluenceLoss(*model.value(), ctx, features, InfluenceLossOptions());
+    loss->Backward();
+    benchmark::DoNotOptimize(
+        FlattenGradients(model.value()->parameters()).size());
+  }
+}
+BENCHMARK(BM_InfluenceLossBackward);
+
+void BM_IcSimulation(benchmark::State& state) {
+  Rng graph_rng(23);
+  Result<Graph> base = BarabasiAlbert(state.range(0), 5, &graph_rng);
+  const Graph graph = WithWeightedCascadeWeights(base.value());
+  const std::vector<NodeId> seeds = {0, 1, 2, 3, 4};
+  Rng rng(29);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SimulateIcOnce(graph, seeds, -1, &rng));
+  }
+}
+BENCHMARK(BM_IcSimulation)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_DeterministicCoverage(benchmark::State& state) {
+  const Graph graph = MakeBenchGraph(state.range(0), 5);
+  const std::vector<NodeId> seeds = {0, 1, 2, 3, 4};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(DeterministicIcSpread(graph, seeds, 1));
+  }
+}
+BENCHMARK(BM_DeterministicCoverage)->Arg(10000)->Arg(100000);
+
+void BM_CelfGreedy(benchmark::State& state) {
+  const Graph graph = MakeBenchGraph(state.range(0), 5);
+  DeterministicCoverageOracle oracle(graph, 1);
+  for (auto _ : state) {
+    Result<SeedSelectionResult> result = CelfGreedy(oracle, 25);
+    benchmark::DoNotOptimize(result->spread);
+  }
+  state.counters["evals"] = static_cast<double>(
+      CelfGreedy(oracle, 25)->evaluations);
+}
+BENCHMARK(BM_CelfGreedy)->Arg(10000)->Arg(50000);
+
+void BM_RdpAccountantEpsilon(benchmark::State& state) {
+  SubsampledGaussianConfig config;
+  config.container_size = 300;
+  config.batch_size = 32;
+  config.occurrence_bound = state.range(0);
+  config.noise_multiplier = 2.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ComputeEpsilon(config, 80, 1e-4).epsilon);
+  }
+}
+BENCHMARK(BM_RdpAccountantEpsilon)->Arg(6)->Arg(300);
+
+void BM_NoiseCalibration(benchmark::State& state) {
+  SubsampledGaussianConfig config;
+  config.container_size = 300;
+  config.batch_size = 32;
+  config.occurrence_bound = 6;
+  for (auto _ : state) {
+    Result<double> sigma = CalibrateNoiseMultiplier(config, 80, 1e-4, 3.0);
+    benchmark::DoNotOptimize(sigma.value());
+  }
+}
+BENCHMARK(BM_NoiseCalibration);
+
+}  // namespace
+}  // namespace privim
+
+BENCHMARK_MAIN();

@@ -1,0 +1,94 @@
+// Table II: coverage ratio (percent of CELF) of the ablation ladder
+// PrivIM -> PrivIM+SCS -> PrivIM+SCS+BES (= PrivIM*) at epsilon = 4 and
+// epsilon = 1, plus the Non-Private reference row, over the six datasets.
+
+#include <cstdio>
+#include <mutex>
+
+#include "harness/harness.h"
+#include "privim/common/math_utils.h"
+#include "privim/common/thread_pool.h"
+
+namespace privim {
+namespace bench {
+namespace {
+
+int Run(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  const BenchConfig config = BenchConfig::FromFlags(flags);
+  PrintBanner("Table II: coverage ratio of PrivIM / +SCS / +SCS+BES", config);
+
+  std::vector<PreparedDataset> datasets;
+  for (const DatasetSpec& spec : MainDatasetSpecs()) {
+    Result<PreparedDataset> prepared = PrepareDataset(spec.id, config);
+    if (!prepared.ok()) {
+      std::fprintf(stderr, "%s: %s\n", spec.name,
+                   prepared.status().ToString().c_str());
+      return 1;
+    }
+    datasets.push_back(std::move(prepared).value());
+  }
+
+  struct RowSpec {
+    Method method;
+    double epsilon;
+    const char* label;
+  };
+  const std::vector<RowSpec> rows = {
+      {Method::kNonPrivate, -1.0, "Non-Private (eps=inf)"},
+      {Method::kPrivImNaive, 4.0, "PrivIM (eps=4)"},
+      {Method::kPrivImScs, 4.0, "PrivIM+SCS (eps=4)"},
+      {Method::kPrivImStar, 4.0, "PrivIM+SCS+BES (eps=4)"},
+      {Method::kPrivImNaive, 1.0, "PrivIM (eps=1)"},
+      {Method::kPrivImScs, 1.0, "PrivIM+SCS (eps=1)"},
+      {Method::kPrivImStar, 1.0, "PrivIM+SCS+BES (eps=1)"},
+  };
+
+  struct Job {
+    size_t row;
+    size_t dataset;
+    int repeat;
+  };
+  std::vector<Job> jobs;
+  for (size_t r = 0; r < rows.size(); ++r) {
+    for (size_t d = 0; d < datasets.size(); ++d) {
+      for (int rep = 0; rep < config.repeats; ++rep) jobs.push_back({r, d, rep});
+    }
+  }
+  std::vector<std::vector<std::vector<double>>> coverages(
+      rows.size(), std::vector<std::vector<double>>(datasets.size()));
+  std::mutex mutex;
+  GlobalThreadPool().ParallelFor(jobs.size(), [&](size_t j) {
+    const Job& job = jobs[j];
+    Result<double> spread = RunMethodOnce(
+        rows[job.row].method, datasets[job.dataset], config,
+        rows[job.row].epsilon, config.base_seed + 104729 * (job.repeat + 1));
+    if (!spread.ok()) return;
+    std::lock_guard<std::mutex> lock(mutex);
+    coverages[job.row][job.dataset].push_back(CoverageRatioPercent(
+        spread.value(), datasets[job.dataset].celf_spread));
+  });
+
+  std::vector<std::string> header = {"Method"};
+  for (const PreparedDataset& d : datasets) header.push_back(d.spec.name);
+  TablePrinter table(header);
+  for (size_t r = 0; r < rows.size(); ++r) {
+    std::vector<std::string> row = {rows[r].label};
+    for (size_t d = 0; d < datasets.size(); ++d) {
+      const auto& samples = coverages[r][d];
+      row.push_back(samples.empty()
+                        ? "-"
+                        : TablePrinter::FormatMeanStd(
+                              Mean(samples), SampleStdDev(samples), 2));
+    }
+    table.AddRow(std::move(row));
+  }
+  EmitTable("bench_table2_ablation", table);
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace privim
+
+int main(int argc, char** argv) { return privim::bench::Run(argc, argv); }

@@ -1,0 +1,141 @@
+// Table III: computational time cost (seconds) of PrivIM*, PrivIM, HP-GRAT
+// and EGN over the six datasets, split into preprocessing (projection +
+// subgraph extraction) and per-epoch training time. One epoch is one full
+// pass over the subgraph container (m / B iterations).
+
+#include <cstdio>
+
+#include "harness/harness.h"
+
+namespace privim {
+namespace bench {
+namespace {
+
+struct Timing {
+  double preprocessing = 0.0;
+  double per_epoch = 0.0;
+  bool ok = false;
+};
+
+Timing TimeMethod(Method method, const PreparedDataset& dataset,
+                  const BenchConfig& config) {
+  Timing timing;
+  const double epsilon = 3.0;
+  const uint64_t seed = config.base_seed + 555;
+
+  PrivImResult result;
+  Result<PrivImResult> run = [&]() -> Result<PrivImResult> {
+    switch (method) {
+      case Method::kPrivImStar:
+      case Method::kPrivImNaive: {
+        const PrivImVariant variant = method == Method::kPrivImStar
+                                          ? PrivImVariant::kDualStage
+                                          : PrivImVariant::kNaive;
+        return RunPrivIm(dataset.train, dataset.eval,
+                         MakePrivImOptions(config, dataset, variant, epsilon),
+                         seed);
+      }
+      case Method::kEgn: {
+        EgnOptions options;
+        options.gnn.input_dim = config.input_dim;
+        options.gnn.hidden_dim = config.hidden_dim;
+        options.gnn.num_layers = config.gnn_layers;
+        options.subgraph_size = config.DefaultSubgraphSize();
+        options.sampling_rate = HarnessSamplingRate(config, dataset.train);
+        options.batch_size = config.batch_size;
+        options.iterations = config.iterations;
+        options.learning_rate = config.learning_rate;
+        options.clip_bound = config.clip_bound;
+        options.epsilon = epsilon;
+        options.seed_set_size = config.DefaultSeedSetSize();
+        return RunEgn(dataset.train, dataset.eval, options, seed);
+      }
+      case Method::kHpGrat: {
+        HpOptions options;
+        options.gnn.input_dim = config.input_dim;
+        options.gnn.hidden_dim = config.hidden_dim;
+        options.gnn.num_layers = config.gnn_layers;
+        options.theta = config.theta;
+        options.sampling_rate = HarnessSamplingRate(config, dataset.train);
+        options.batch_size = config.batch_size;
+        options.iterations = config.iterations;
+        options.learning_rate = config.learning_rate;
+        options.clip_bound = config.clip_bound;
+        options.epsilon = epsilon;
+        options.seed_set_size = config.DefaultSeedSetSize();
+        return RunHp(dataset.train, dataset.eval, options, /*use_grat=*/true,
+                     seed);
+      }
+      default:
+        return Status::InvalidArgument("method not timed in Table III");
+    }
+  }();
+  if (!run.ok()) {
+    std::fprintf(stderr, "[table3] %s on %s: %s\n", MethodName(method),
+                 dataset.spec.name, run.status().ToString().c_str());
+    return timing;
+  }
+  result = std::move(run).value();
+  timing.ok = true;
+  // Preprocessing includes extraction plus per-subgraph context/feature
+  // setup (both are one-time costs before the training loop).
+  timing.preprocessing =
+      result.sampling_seconds + result.train_stats.setup_seconds;
+  const double per_iteration =
+      result.train_stats.training_seconds /
+      static_cast<double>(std::max<int64_t>(1, result.train_stats.iterations));
+  const double iterations_per_epoch =
+      static_cast<double>(result.container_size) /
+      static_cast<double>(config.batch_size);
+  timing.per_epoch = per_iteration * std::max(1.0, iterations_per_epoch);
+  return timing;
+}
+
+int Run(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  const BenchConfig config = BenchConfig::FromFlags(flags);
+  PrintBanner("Table III: computational time cost (seconds)", config);
+
+  const Method methods[] = {Method::kPrivImStar, Method::kPrivImNaive,
+                            Method::kHpGrat, Method::kEgn};
+  std::vector<std::string> header = {"Method", "Phase"};
+  std::vector<PreparedDataset> datasets;
+  for (const DatasetSpec& spec : MainDatasetSpecs()) {
+    Result<PreparedDataset> prepared = PrepareDataset(spec.id, config);
+    if (!prepared.ok()) {
+      std::fprintf(stderr, "%s: %s\n", spec.name,
+                   prepared.status().ToString().c_str());
+      return 1;
+    }
+    datasets.push_back(std::move(prepared).value());
+    header.push_back(spec.name);
+  }
+
+  TablePrinter table(header);
+  for (Method method : methods) {
+    std::vector<std::string> pre_row = {MethodName(method), "Preprocessing"};
+    std::vector<std::string> epoch_row = {MethodName(method),
+                                          "Per-epoch Training"};
+    for (const PreparedDataset& dataset : datasets) {
+      // Timing runs are sequential and single-threaded so the measured
+      // wall-clock is not polluted by sibling jobs.
+      const Timing timing = TimeMethod(method, dataset, config);
+      pre_row.push_back(
+          timing.ok ? TablePrinter::FormatDouble(timing.preprocessing, 3) + "s"
+                    : "-");
+      epoch_row.push_back(
+          timing.ok ? TablePrinter::FormatDouble(timing.per_epoch, 3) + "s"
+                    : "-");
+    }
+    table.AddRow(std::move(pre_row));
+    table.AddRow(std::move(epoch_row));
+  }
+  EmitTable("bench_table3_time", table);
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace privim
+
+int main(int argc, char** argv) { return privim::bench::Run(argc, argv); }

@@ -1,0 +1,303 @@
+#include "harness/harness.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <mutex>
+
+#include "privim/common/math_utils.h"
+#include "privim/common/thread_pool.h"
+
+namespace privim {
+namespace bench {
+
+const char* MethodName(Method method) {
+  switch (method) {
+    case Method::kNonPrivate:
+      return "Non-Private";
+    case Method::kPrivImStar:
+      return "PrivIM*";
+    case Method::kPrivImScs:
+      return "PrivIM+SCS";
+    case Method::kPrivImNaive:
+      return "PrivIM";
+    case Method::kEgn:
+      return "EGN";
+    case Method::kHp:
+      return "HP";
+    case Method::kHpGrat:
+      return "HP-GRAT";
+    case Method::kCelf:
+      return "CELF";
+    case Method::kTopDegree:
+      return "TopDegree";
+  }
+  return "?";
+}
+
+int64_t BenchConfig::DefaultSubgraphSize() const {
+  switch (scale) {
+    case DatasetScale::kTiny:
+      return 15;
+    case DatasetScale::kSmall:
+      return 25;
+    case DatasetScale::kPaper:
+      return 40;
+  }
+  return 25;
+}
+
+int64_t BenchConfig::DefaultFrequencyThreshold() const {
+  return scale == DatasetScale::kTiny ? 4 : 6;
+}
+
+int64_t BenchConfig::DefaultSeedSetSize() const {
+  switch (scale) {
+    case DatasetScale::kTiny:
+      return 10;
+    case DatasetScale::kSmall:
+      return 25;
+    case DatasetScale::kPaper:
+      return 50;  // paper setting
+  }
+  return 25;
+}
+
+BenchConfig BenchConfig::FromFlags(const Flags& flags) {
+  BenchConfig config;
+  const std::string scale =
+      flags.GetString("scale", Flags::GetEnv("PRIVIM_BENCH_SCALE", "small"));
+  if (scale == "tiny") config.scale = DatasetScale::kTiny;
+  else if (scale == "paper") config.scale = DatasetScale::kPaper;
+  else config.scale = DatasetScale::kSmall;
+
+  config.repeats = static_cast<int>(flags.GetInt("repeats", config.repeats));
+  config.base_seed = static_cast<uint64_t>(
+      flags.GetInt("seed", static_cast<int64_t>(config.base_seed)));
+  config.iterations = flags.GetInt("iterations", config.iterations);
+  config.batch_size = flags.GetInt("batch", config.batch_size);
+  config.learning_rate =
+      static_cast<float>(flags.GetDouble("lr", config.learning_rate));
+  config.lambda = static_cast<float>(flags.GetDouble("lambda", config.lambda));
+  config.subgraph_size = flags.GetInt("n", config.subgraph_size);
+  config.frequency_threshold = flags.GetInt("M", config.frequency_threshold);
+  config.seed_set_size = flags.GetInt("k", config.seed_set_size);
+  config.theta = flags.GetInt("theta", config.theta);
+  config.clip_bound =
+      static_cast<float>(flags.GetDouble("clip", config.clip_bound));
+  config.decay = flags.GetDouble("mu", config.decay);
+  config.sampling_multiplier =
+      flags.GetDouble("qmult", config.sampling_multiplier);
+  config.gnn_layers = flags.GetInt("layers", config.gnn_layers);
+  config.hidden_dim = flags.GetInt("hidden", config.hidden_dim);
+  const std::string gnn = flags.GetString("gnn", "grat");
+  if (Result<GnnKind> kind = GnnKindFromString(gnn); kind.ok()) {
+    config.gnn_kind = kind.value();
+  }
+  return config;
+}
+
+Result<PreparedDataset> PrepareDataset(DatasetId id,
+                                       const BenchConfig& config) {
+  Result<Dataset> dataset = MakeDataset(id, config.scale, config.base_seed);
+  if (!dataset.ok()) return dataset.status();
+
+  Rng rng(config.base_seed ^ 0xD1CEBA5Eu);
+  Result<TrainTestSplit> split = SplitNodes(dataset->graph, 0.5, &rng);
+  if (!split.ok()) return split.status();
+
+  PreparedDataset prepared;
+  prepared.spec = dataset->spec;
+  prepared.train = std::move(split->train.local);
+  prepared.eval = std::move(split->test.local);
+
+  const int64_t k = config.seed_set_size > 0 ? config.seed_set_size
+                                             : config.DefaultSeedSetSize();
+  DeterministicCoverageOracle oracle(prepared.eval, /*steps=*/1);
+  Result<SeedSelectionResult> celf = CelfGreedy(oracle, k);
+  if (!celf.ok()) return celf.status();
+  prepared.celf_spread = celf->spread;
+  prepared.celf_seeds = std::move(celf->seeds);
+  return prepared;
+}
+
+double EvaluateSpread(const PreparedDataset& dataset,
+                      const std::vector<NodeId>& seeds) {
+  return static_cast<double>(
+      DeterministicIcSpread(dataset.eval, seeds, /*max_steps=*/1));
+}
+
+double HarnessSamplingRate(const BenchConfig& config, const Graph& train) {
+  return std::min(1.0, config.sampling_multiplier * 256.0 /
+                           static_cast<double>(
+                               std::max<int64_t>(1, train.num_nodes())));
+}
+
+PrivImOptions MakePrivImOptions(const BenchConfig& config,
+                                const PreparedDataset& dataset,
+                                PrivImVariant variant, double epsilon) {
+  PrivImOptions options;
+  options.variant = variant;
+  options.gnn.kind = config.gnn_kind;
+  options.gnn.input_dim = config.input_dim;
+  options.gnn.hidden_dim = config.hidden_dim;
+  options.gnn.num_layers = config.gnn_layers;
+  options.subgraph_size = config.subgraph_size > 0
+                              ? config.subgraph_size
+                              : config.DefaultSubgraphSize();
+  options.frequency_threshold = config.frequency_threshold > 0
+                                    ? config.frequency_threshold
+                                    : config.DefaultFrequencyThreshold();
+  options.theta = config.theta;
+  options.decay = config.decay;
+  options.sampling_rate = HarnessSamplingRate(config, dataset.train);
+  options.batch_size = config.batch_size;
+  options.iterations = config.iterations;
+  options.learning_rate = config.learning_rate;
+  options.clip_bound = config.clip_bound;
+  options.loss.lambda = config.lambda;
+  options.seed_set_size = config.seed_set_size > 0
+                              ? config.seed_set_size
+                              : config.DefaultSeedSetSize();
+  options.epsilon = epsilon;
+  return options;
+}
+
+Result<double> RunMethodOnce(Method method, const PreparedDataset& dataset,
+                             const BenchConfig& config, double epsilon,
+                             uint64_t seed) {
+  const int64_t k = config.seed_set_size > 0 ? config.seed_set_size
+                                             : config.DefaultSeedSetSize();
+  switch (method) {
+    case Method::kCelf:
+      return dataset.celf_spread;
+    case Method::kTopDegree:
+      return EvaluateSpread(dataset, TopDegreeSeeds(dataset.eval, k));
+    case Method::kNonPrivate:
+    case Method::kPrivImStar:
+    case Method::kPrivImScs:
+    case Method::kPrivImNaive: {
+      PrivImVariant variant = PrivImVariant::kDualStage;
+      if (method == Method::kPrivImScs) variant = PrivImVariant::kScsOnly;
+      if (method == Method::kPrivImNaive) variant = PrivImVariant::kNaive;
+      const double eps =
+          method == Method::kNonPrivate ? -1.0 : epsilon;
+      PrivImOptions options =
+          MakePrivImOptions(config, dataset, variant, eps);
+      Result<PrivImResult> result =
+          RunPrivIm(dataset.train, dataset.eval, options, seed);
+      if (!result.ok()) return result.status();
+      return EvaluateSpread(dataset, result->seeds);
+    }
+    case Method::kEgn: {
+      EgnOptions options;
+      options.gnn.input_dim = config.input_dim;
+      options.gnn.hidden_dim = config.hidden_dim;
+      options.gnn.num_layers = config.gnn_layers;
+      options.subgraph_size = config.subgraph_size > 0
+                                  ? config.subgraph_size
+                                  : config.DefaultSubgraphSize();
+      options.sampling_rate = HarnessSamplingRate(config, dataset.train);
+      options.batch_size = config.batch_size;
+      options.iterations = config.iterations;
+      options.learning_rate = config.learning_rate;
+      options.clip_bound = config.clip_bound;
+      options.loss.lambda = config.lambda;
+      options.seed_set_size = k;
+      options.epsilon = epsilon;
+      Result<PrivImResult> result =
+          RunEgn(dataset.train, dataset.eval, options, seed);
+      if (!result.ok()) return result.status();
+      return EvaluateSpread(dataset, result->seeds);
+    }
+    case Method::kHp:
+    case Method::kHpGrat: {
+      HpOptions options;
+      options.gnn.input_dim = config.input_dim;
+      options.gnn.hidden_dim = config.hidden_dim;
+      options.gnn.num_layers = config.gnn_layers;
+      options.theta = config.theta;
+      options.sampling_rate = HarnessSamplingRate(config, dataset.train);
+      options.batch_size = config.batch_size;
+      options.iterations = config.iterations;
+      options.learning_rate = config.learning_rate;
+      options.clip_bound = config.clip_bound;
+      options.loss.lambda = config.lambda;
+      options.seed_set_size = k;
+      options.epsilon = epsilon;
+      Result<PrivImResult> result =
+          RunHp(dataset.train, dataset.eval, options,
+                /*use_grat=*/method == Method::kHpGrat, seed);
+      if (!result.ok()) return result.status();
+      return EvaluateSpread(dataset, result->seeds);
+    }
+  }
+  return Status::InvalidArgument("unknown method");
+}
+
+AggregateResult RunMethod(Method method, const PreparedDataset& dataset,
+                          const BenchConfig& config, double epsilon) {
+  const int repeats = std::max(1, config.repeats);
+  std::vector<double> spreads(repeats, -1.0);
+  std::mutex error_mutex;
+  std::string first_error;
+
+  GlobalThreadPool().ParallelFor(static_cast<size_t>(repeats), [&](size_t r) {
+    Result<double> spread =
+        RunMethodOnce(method, dataset, config, epsilon,
+                      config.base_seed + 7919 * (r + 1));
+    if (spread.ok()) {
+      spreads[r] = spread.value();
+    } else {
+      std::lock_guard<std::mutex> lock(error_mutex);
+      if (first_error.empty()) first_error = spread.status().ToString();
+    }
+  });
+
+  AggregateResult aggregate;
+  std::vector<double> ok_spreads;
+  std::vector<double> coverages;
+  for (double s : spreads) {
+    if (s < 0.0) continue;
+    ok_spreads.push_back(s);
+    coverages.push_back(CoverageRatioPercent(s, dataset.celf_spread));
+  }
+  aggregate.completed = static_cast<int>(ok_spreads.size());
+  if (!first_error.empty()) {
+    std::fprintf(stderr, "[bench] %s on %s failed: %s\n", MethodName(method),
+                 dataset.spec.name, first_error.c_str());
+  }
+  if (ok_spreads.empty()) return aggregate;
+  aggregate.spread_mean = Mean(ok_spreads);
+  aggregate.spread_std = SampleStdDev(ok_spreads);
+  aggregate.coverage_mean = Mean(coverages);
+  aggregate.coverage_std = SampleStdDev(coverages);
+  return aggregate;
+}
+
+void EmitTable(const std::string& bench_name, const TablePrinter& table) {
+  std::printf("%s\n", table.ToAsciiTable().c_str());
+  const std::string csv_path = bench_name + ".csv";
+  const Status status = table.WriteCsv(csv_path);
+  if (status.ok()) {
+    std::printf("[csv written to %s]\n\n", csv_path.c_str());
+  } else {
+    std::fprintf(stderr, "[csv write failed: %s]\n", status.ToString().c_str());
+  }
+}
+
+void PrintBanner(const std::string& bench_name, const BenchConfig& config) {
+  std::printf("==== %s ====\n", bench_name.c_str());
+  std::printf(
+      "scale=%s repeats=%d iterations=%lld batch=%lld lr=%.3f lambda=%.2f "
+      "gnn=%s layers=%lld hidden=%lld\n\n",
+      DatasetScaleToString(config.scale), config.repeats,
+      static_cast<long long>(config.iterations),
+      static_cast<long long>(config.batch_size), config.learning_rate,
+      config.lambda, GnnKindToString(config.gnn_kind),
+      static_cast<long long>(config.gnn_layers),
+      static_cast<long long>(config.hidden_dim));
+}
+
+}  // namespace bench
+}  // namespace privim

@@ -1,0 +1,73 @@
+// Model zoo: runs PrivIM* with each of the five GNN backbones of
+// Appendix G (GRAT, GAT, GCN, GraphSAGE, GIN) on one dataset and compares
+// their coverage ratio and parameter counts — the Figure 9 experiment in
+// miniature, as an API tour of the gnn module.
+
+#include <cstdio>
+
+#include "privim/common/flags.h"
+#include "privim/core/pipeline.h"
+#include "privim/datasets/datasets.h"
+#include "privim/datasets/split.h"
+#include "privim/im/celf.h"
+#include "privim/im/seed_selection.h"
+
+int main(int argc, char** argv) {
+  using namespace privim;
+  const Flags flags(argc, argv);
+  const double epsilon = flags.GetDouble("epsilon", 5.0);
+  const int64_t k = flags.GetInt("k", 15);
+
+  Result<Dataset> dataset =
+      MakeDataset(DatasetId::kLastFm, DatasetScale::kSmall, 41);
+  if (!dataset.ok()) return 1;
+  Rng rng(43);
+  Result<TrainTestSplit> split = SplitNodes(dataset->graph, 0.5, &rng);
+  if (!split.ok()) return 1;
+
+  DeterministicCoverageOracle oracle(split->test.local, 1);
+  Result<SeedSelectionResult> celf = CelfGreedy(oracle, k);
+  if (!celf.ok()) return 1;
+  std::printf("LastFM-like network, eps=%.1f, k=%lld, CELF spread %.0f\n\n",
+              epsilon, static_cast<long long>(k), celf->spread);
+  std::printf("%10s %10s %12s %12s %14s\n", "model", "params", "train time",
+              "spread", "coverage");
+
+  for (GnnKind kind : {GnnKind::kGrat, GnnKind::kGat, GnnKind::kGcn,
+                       GnnKind::kSage, GnnKind::kGin}) {
+    PrivImOptions options;
+    options.gnn.kind = kind;
+    options.subgraph_size = 25;
+    options.frequency_threshold = 6;
+    options.sampling_rate = 0.5;
+    options.iterations = 40;
+    options.batch_size = 16;
+    options.learning_rate = 0.1f;
+    options.clip_bound = 0.2f;
+    options.loss.lambda = 0.7f;
+    options.seed_set_size = k;
+    options.epsilon = epsilon;
+    Result<PrivImResult> result =
+        RunPrivIm(split->train.local, split->test.local, options, 47);
+    if (!result.ok()) {
+      std::printf("%10s failed: %s\n", GnnKindToString(kind),
+                  result.status().ToString().c_str());
+      continue;
+    }
+    // Parameter count from a fresh instance of the same architecture.
+    Rng param_rng(1);
+    auto model = CreateGnnModel(options.gnn, &param_rng);
+    const double spread = oracle.Spread(result->seeds);
+    std::printf("%10s %10lld %11.2fs %12.0f %13.1f%%\n",
+                GnnKindToString(kind),
+                static_cast<long long>(
+                    ParameterCount(model.value()->parameters())),
+                result->train_stats.training_seconds, spread,
+                CoverageRatioPercent(spread, celf->spread));
+  }
+  std::printf(
+      "\nGRAT normalizes attention at the source node, de-rewarding seeds "
+      "with overlapping coverage — the paper's recommendation for IM "
+      "(Sec. V-E).\n");
+  return 0;
+}

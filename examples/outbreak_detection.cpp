@@ -1,0 +1,99 @@
+// Network monitoring / outbreak detection (the paper's second motivating
+// application, after Leskovec et al.'s CELF paper): place k monitors in a
+// directed communication network so that as much of the network as possible
+// is "watched" (covered by a monitor's out-neighborhood), while the
+// communication graph itself is protected with node-level DP.
+//
+// The example also evaluates the chosen monitor sets against epidemic-style
+// diffusion (SIS) and Linear Threshold dynamics — the future-work models of
+// Sec. VII — to show the seeds generalize across diffusion semantics.
+
+#include <cstdio>
+
+#include "privim/common/flags.h"
+#include "privim/core/pipeline.h"
+#include "privim/datasets/datasets.h"
+#include "privim/datasets/split.h"
+#include "privim/diffusion/lt_model.h"
+#include "privim/diffusion/sis_model.h"
+#include "privim/im/celf.h"
+#include "privim/im/seed_selection.h"
+
+int main(int argc, char** argv) {
+  using namespace privim;
+  const Flags flags(argc, argv);
+  const double epsilon = flags.GetDouble("epsilon", 2.0);
+  const int64_t k = flags.GetInt("k", 15);
+
+  // Email-like directed communication network.
+  Result<Dataset> dataset =
+      MakeDataset(DatasetId::kEmail, DatasetScale::kSmall, 21);
+  if (!dataset.ok()) return 1;
+  Rng rng(23);
+  Result<TrainTestSplit> split = SplitNodes(dataset->graph, 0.5, &rng);
+  if (!split.ok()) return 1;
+  const Graph& train = split->train.local;
+  const Graph& eval = split->test.local;
+
+  std::printf("communication network: %lld hosts, %lld directed links\n",
+              static_cast<long long>(eval.num_nodes()),
+              static_cast<long long>(eval.num_arcs()));
+
+  PrivImOptions options;
+  options.subgraph_size = 20;
+  options.frequency_threshold = 6;
+  options.sampling_rate = 1.0;
+  options.iterations = 50;
+  options.batch_size = 16;
+  options.learning_rate = 0.1f;
+  options.clip_bound = 0.2f;
+  options.loss.lambda = 0.7f;
+  options.seed_set_size = k;
+  options.epsilon = epsilon;
+  Result<PrivImResult> result = RunPrivIm(train, eval, options, 31);
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+    return 1;
+  }
+
+  DeterministicCoverageOracle oracle(eval, 1);
+  Result<SeedSelectionResult> celf = CelfGreedy(oracle, k);
+  if (!celf.ok()) return 1;
+
+  std::printf("\nmonitor placement, k=%lld (1-hop watch coverage):\n",
+              static_cast<long long>(k));
+  std::printf("  PrivIM* (eps=%.1f): %.0f hosts watched (%.1f%% of CELF)\n",
+              epsilon, oracle.Spread(result->seeds),
+              CoverageRatioPercent(oracle.Spread(result->seeds),
+                                   celf->spread));
+  std::printf("  CELF:              %.0f hosts watched\n", celf->spread);
+
+  // Would the same monitors catch an epidemic-style worm (SIS dynamics)?
+  SisOptions sis;
+  sis.infection_rate = 0.3;
+  sis.recovery_rate = 0.2;
+  sis.horizon = 15;
+  sis.num_simulations = 200;
+  Rng sim_rng(37);
+  std::printf("\nSIS worm reach when *started* from each monitor set "
+              "(higher = monitors sit at contagion hot spots):\n");
+  std::printf("  from PrivIM* monitors: %.1f hosts ever infected\n",
+              EstimateSisSpread(eval, result->seeds, sis, &sim_rng));
+  std::printf("  from CELF monitors:    %.1f hosts ever infected\n",
+              EstimateSisSpread(eval, celf->seeds, sis, &sim_rng));
+  std::printf("  from first %lld hosts:  %.1f hosts ever infected\n",
+              static_cast<long long>(k), [&] {
+                std::vector<NodeId> naive;
+                for (NodeId v = 0; v < k; ++v) naive.push_back(v);
+                return EstimateSisSpread(eval, naive, sis, &sim_rng);
+              }());
+
+  LtOptions lt;
+  lt.num_simulations = 200;
+  std::printf("\nLinear Threshold spread from each set:\n");
+  std::printf("  PrivIM* seeds: %.1f\n",
+              EstimateLtSpread(eval, result->seeds, lt, &sim_rng));
+  std::printf("  CELF seeds:    %.1f\n",
+              EstimateLtSpread(eval, celf->seeds, lt, &sim_rng));
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Privacy accounting walkthrough: how the Theorem 3 accountant converts
+// PrivIM's sampling parameters into an (epsilon, delta) guarantee, and why
+// the dual-stage frequency sampler's occurrence cap N_g* = M is the whole
+// ballgame.
+//
+// Prints (a) the Lemma 1 occurrence bound as theta and r grow, (b) epsilon
+// as a function of the noise multiplier for capped vs naive containers at
+// equal *effective* noise, and (c) calibrated noise for target epsilons.
+
+#include <cstdio>
+
+#include "privim/common/flags.h"
+#include "privim/dp/rdp_accountant.h"
+#include "privim/dp/sensitivity.h"
+
+int main(int argc, char** argv) {
+  using namespace privim;
+  const Flags flags(argc, argv);
+  const int64_t container = flags.GetInt("m", 1000);
+  const int64_t batch = flags.GetInt("B", 16);
+  const int64_t iterations = flags.GetInt("T", 40);
+  const double delta = flags.GetDouble("delta", 1e-4);
+
+  std::printf("Lemma 1: naive occurrence bound N_g = sum theta^i, i<=r\n");
+  std::printf("%8s", "theta\\r");
+  for (int r = 1; r <= 4; ++r) std::printf("%12d", r);
+  std::printf("\n");
+  for (int64_t theta : {2, 5, 10, 20}) {
+    std::printf("%8lld", static_cast<long long>(theta));
+    for (int64_t r = 1; r <= 4; ++r) {
+      std::printf("%12lld",
+                  static_cast<long long>(NaiveOccurrenceBound(theta, r)));
+    }
+    std::printf("\n");
+  }
+  std::printf("The dual-stage sampler replaces all of this with N_g* = M "
+              "(typically 2-12).\n\n");
+
+  std::printf(
+      "epsilon after T=%lld iterations (m=%lld, B=%lld, delta=%g) at equal "
+      "effective noise sigma*N_g:\n",
+      static_cast<long long>(iterations), static_cast<long long>(container),
+      static_cast<long long>(batch), delta);
+  std::printf("%18s %16s %16s\n", "effective noise", "capped (M=6)",
+              "naive (N_g=m)");
+  for (double effective : {2.0, 6.0, 20.0, 60.0}) {
+    SubsampledGaussianConfig capped;
+    capped.container_size = container;
+    capped.batch_size = batch;
+    capped.occurrence_bound = 6;
+    capped.noise_multiplier = effective / 6.0;
+    SubsampledGaussianConfig naive = capped;
+    naive.occurrence_bound = container;
+    naive.noise_multiplier = effective / static_cast<double>(container);
+    std::printf("%18.1f %16.3f %16.3f\n", effective,
+                ComputeEpsilon(capped, iterations, delta).epsilon,
+                ComputeEpsilon(naive, iterations, delta).epsilon);
+  }
+
+  std::printf("\ncalibrated noise multiplier sigma for target epsilon "
+              "(M = 6 container):\n");
+  std::printf("%10s %10s %20s\n", "epsilon", "sigma", "effective noise");
+  for (double target : {0.5, 1.0, 2.0, 4.0, 6.0}) {
+    SubsampledGaussianConfig config;
+    config.container_size = container;
+    config.batch_size = batch;
+    config.occurrence_bound = 6;
+    Result<double> sigma =
+        CalibrateNoiseMultiplier(config, iterations, delta, target);
+    if (!sigma.ok()) {
+      std::printf("%10.1f %10s\n", target, "-");
+      continue;
+    }
+    std::printf("%10.1f %10.3f %20.3f\n", target, sigma.value(),
+                sigma.value() * 6.0);
+  }
+  std::printf(
+      "\nReading: the capped container keeps both subsampling amplification "
+      "(p = M/m) and a small sensitivity (Delta = C*M), so the same privacy "
+      "budget buys far less noise — Sec. IV's central claim.\n");
+  return 0;
+}

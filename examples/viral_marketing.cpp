@@ -1,0 +1,104 @@
+// Viral marketing scenario (the paper's motivating application): a company
+// wants to seed a product campaign with k influencers chosen from a social
+// network, but the friendship graph is private user data. This example
+// sweeps the campaign budget k and compares, under a fixed privacy budget:
+//
+//   - PrivIM* (node-level DP, dual-stage sampling)
+//   - the non-private model (what you give up by insisting on DP)
+//   - CELF (non-private combinatorial ground truth)
+//   - DegreeDiscount (non-private cheap heuristic)
+//
+// and evaluates spreads under both the paper's 1-step w=1 setting and a
+// probabilistic weighted-cascade IC model via Monte Carlo.
+
+#include <cstdio>
+
+#include "privim/common/flags.h"
+#include "privim/core/pipeline.h"
+#include "privim/datasets/datasets.h"
+#include "privim/datasets/split.h"
+#include "privim/im/celf.h"
+#include "privim/im/seed_selection.h"
+
+int main(int argc, char** argv) {
+  using namespace privim;
+  const Flags flags(argc, argv);
+  const double epsilon = flags.GetDouble("epsilon", 3.0);
+
+  // Facebook-like page network (Table I statistics at reduced scale).
+  Result<Dataset> dataset =
+      MakeDataset(DatasetId::kFacebook, DatasetScale::kSmall, 11);
+  if (!dataset.ok()) return 1;
+  Rng rng(13);
+  Result<TrainTestSplit> split = SplitNodes(dataset->graph, 0.5, &rng);
+  if (!split.ok()) return 1;
+  const Graph& train = split->train.local;
+  const Graph& eval = split->test.local;
+  std::printf("campaign network: %lld users (evaluation half)\n\n",
+              static_cast<long long>(eval.num_nodes()));
+
+  // Train one private and one non-private model; reuse them across budgets
+  // (the model scores every node once; top-k just truncates deeper).
+  auto run_model = [&](double eps) -> Result<PrivImResult> {
+    PrivImOptions options;
+    options.subgraph_size = 25;
+    options.frequency_threshold = 6;
+    options.sampling_rate = 0.3;
+    options.iterations = 40;
+    options.batch_size = 16;
+    options.learning_rate = 0.1f;
+    options.clip_bound = 0.2f;
+    options.loss.lambda = 0.7f;
+    options.seed_set_size = 50;
+    options.epsilon = eps;
+    return RunPrivIm(train, eval, options, 99);
+  };
+  Result<PrivImResult> private_model = run_model(epsilon);
+  Result<PrivImResult> clear_model = run_model(-1.0);
+  if (!private_model.ok() || !clear_model.ok()) {
+    std::fprintf(stderr, "training failed\n");
+    return 1;
+  }
+
+  // Weighted-cascade IC for the probabilistic evaluation.
+  const Graph wc_eval = WithWeightedCascadeWeights(eval);
+  IcOptions mc;
+  mc.num_simulations = 200;
+
+  std::printf("%6s %12s %12s %12s %12s   (1-step spread)\n", "budget",
+              "PrivIM*", "NonPrivate", "CELF", "DegDiscount");
+  for (int64_t k : {5, 10, 20, 40}) {
+    DeterministicCoverageOracle oracle(eval, 1);
+    Result<SeedSelectionResult> celf = CelfGreedy(oracle, k);
+    if (!celf.ok()) return 1;
+    const std::vector<NodeId> private_seeds =
+        TopKSeeds(private_model->eval_scores, k);
+    const std::vector<NodeId> clear_seeds =
+        TopKSeeds(clear_model->eval_scores, k);
+    const std::vector<NodeId> dd_seeds = DegreeDiscountSeeds(eval, k, 0.1);
+    std::printf("%6lld %12.0f %12.0f %12.0f %12.0f\n",
+                static_cast<long long>(k), oracle.Spread(private_seeds),
+                oracle.Spread(clear_seeds), celf->spread,
+                oracle.Spread(dd_seeds));
+  }
+
+  std::printf("\nprobabilistic reach (weighted-cascade IC, 200 simulations, "
+              "k=20):\n");
+  Rng mc_rng(17);
+  const std::vector<NodeId> private_seeds =
+      TopKSeeds(private_model->eval_scores, 20);
+  std::printf("  PrivIM* expected reach: %.1f users\n",
+              EstimateIcSpread(wc_eval, private_seeds, mc, &mc_rng));
+  DeterministicCoverageOracle oracle(eval, 1);
+  Result<SeedSelectionResult> celf20 = CelfGreedy(oracle, 20);
+  if (celf20.ok()) {
+    std::printf("  CELF expected reach:    %.1f users\n",
+                EstimateIcSpread(wc_eval, celf20->seeds, mc, &mc_rng));
+  }
+  std::printf(
+      "\nThe private campaign pays a utility cost controlled by epsilon "
+      "(%.1f here), while individual users' links stay protected by "
+      "node-level DP.\n",
+      epsilon);
+  return 0;
+}

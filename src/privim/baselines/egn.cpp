@@ -1,0 +1,130 @@
+#include "privim/baselines/egn.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "privim/common/timer.h"
+#include "privim/dp/rdp_accountant.h"
+#include "privim/gnn/features.h"
+#include "privim/graph/traversal.h"
+#include "privim/im/seed_selection.h"
+#include "privim/sampling/subgraph_container.h"
+
+namespace privim {
+namespace {
+
+// Unconstrained RWR: uniform neighbor choice, no hop limit, no frequency
+// control — EGN's original subgraph sampling.
+Result<SubgraphContainer> SampleUnconstrained(const Graph& graph,
+                                              const EgnOptions& options,
+                                              double sampling_rate, Rng* rng) {
+  SubgraphContainer container;
+  std::vector<NodeId> walk_nodes;
+  for (NodeId v0 = 0; v0 < graph.num_nodes(); ++v0) {
+    if (!rng->NextBernoulli(sampling_rate)) continue;
+    if (graph.OutDegree(v0) + graph.InDegree(v0) == 0) continue;
+    walk_nodes.assign(1, v0);
+    std::unordered_set<NodeId> visited{v0};
+    NodeId current = v0;
+    for (int64_t step = 0; step < options.walk_length; ++step) {
+      if (rng->NextBernoulli(options.restart_probability)) current = v0;
+      const std::vector<NodeId> neighbors =
+          UndirectedNeighbors(graph, current);
+      if (neighbors.empty()) {
+        current = v0;
+        continue;
+      }
+      const NodeId next = neighbors[rng->NextBounded(neighbors.size())];
+      current = next;
+      if (visited.insert(next).second) walk_nodes.push_back(next);
+      if (static_cast<int64_t>(walk_nodes.size()) == options.subgraph_size) {
+        Result<Subgraph> sub = InducedSubgraph(graph, walk_nodes);
+        if (!sub.ok()) return sub.status();
+        container.Add(std::move(sub).value());
+        break;
+      }
+    }
+  }
+  return container;
+}
+
+}  // namespace
+
+Result<PrivImResult> RunEgn(const Graph& train_graph, const Graph& eval_graph,
+                            const EgnOptions& options, uint64_t seed) {
+  Rng rng(seed);
+  PrivImResult result;
+
+  const double q =
+      options.sampling_rate > 0.0
+          ? std::min(1.0, options.sampling_rate)
+          : std::min(1.0, 256.0 / static_cast<double>(std::max<int64_t>(
+                                      1, train_graph.num_nodes())));
+
+  WallTimer sampling_timer;
+  Result<SubgraphContainer> sampled =
+      SampleUnconstrained(train_graph, options, q, &rng);
+  if (!sampled.ok()) return sampled.status();
+  SubgraphContainer container = std::move(sampled).value();
+  result.sampling_seconds = sampling_timer.ElapsedSeconds();
+  if (container.empty()) {
+    return Status::FailedPrecondition("EGN sampling produced no subgraphs");
+  }
+  result.container_size = container.size();
+  result.empirical_max_occurrence =
+      container.MaxOccurrence(train_graph.num_nodes());
+  // No structural constraint: a node may appear in every subgraph, so the
+  // only valid a-priori occurrence bound is m itself.
+  result.occurrence_bound = result.container_size;
+
+  const bool is_private =
+      options.epsilon > 0.0 && std::isfinite(options.epsilon);
+  if (is_private) {
+    const double delta =
+        options.delta > 0.0
+            ? options.delta
+            : 1.0 / static_cast<double>(train_graph.num_nodes());
+    SubsampledGaussianConfig accounting;
+    accounting.container_size = result.container_size;
+    accounting.batch_size =
+        std::min<int64_t>(options.batch_size, result.container_size);
+    accounting.occurrence_bound = result.occurrence_bound;
+    Result<double> sigma = CalibrateNoiseMultiplier(
+        accounting, options.iterations, delta, options.epsilon);
+    if (!sigma.ok()) return sigma.status();
+    result.noise_multiplier = sigma.value();
+    accounting.noise_multiplier = result.noise_multiplier;
+    result.achieved_epsilon =
+        ComputeEpsilon(accounting, options.iterations, delta).epsilon;
+  }
+
+  // EGN's original framework uses a GCN backbone (Sec. V-A).
+  GnnConfig gnn = options.gnn;
+  gnn.kind = GnnKind::kGcn;
+  Result<std::unique_ptr<GnnModel>> model = CreateGnnModel(gnn, &rng);
+  if (!model.ok()) return model.status();
+
+  DpSgdOptions training;
+  training.batch_size = options.batch_size;
+  training.iterations = options.iterations;
+  training.learning_rate = options.learning_rate;
+  training.clip_bound = options.clip_bound;
+  training.noise_multiplier = is_private ? result.noise_multiplier : 0.0;
+  training.occurrence_bound = result.occurrence_bound;
+  training.loss = options.loss;
+  Result<TrainStats> stats =
+      TrainDpGnn(model.value().get(), container, training, &rng);
+  if (!stats.ok()) return stats.status();
+  result.train_stats = stats.value();
+
+  const GraphContext eval_ctx = GraphContext::Build(eval_graph);
+  const Tensor eval_features = BuildNodeFeatures(eval_graph, gnn.input_dim);
+  result.eval_scores =
+      model.value()->Forward(eval_ctx, Variable(eval_features)).value();
+  result.seeds = TopKSeeds(result.eval_scores, options.seed_set_size);
+  result.model = std::move(model).value();
+  return result;
+}
+
+}  // namespace privim

@@ -1,0 +1,43 @@
+// HP baseline: HeterPoisson sampling + Symmetric Multivariate Laplace noise
+// (Xiang, Wang & Wang, IEEE S&P 2024), applied to IM tasks as in Sec. V-A.
+//
+// HP protects node-level privacy by training on per-node ego subtrees:
+// for each sampled center, neighbors are Poisson-subsampled with a degree
+// cap theta per hop up to depth r, and SML noise is added to the clipped
+// gradient sum. Because every training example is a single node's local
+// tree, the global structural signal IM needs is absent — the mechanism the
+// paper identifies for HP's weaker utility. HP-GRAT swaps the GCN backbone
+// for GRAT (keeping the sampling and noise unchanged).
+
+#ifndef PRIVIM_BASELINES_HP_H_
+#define PRIVIM_BASELINES_HP_H_
+
+#include "privim/core/pipeline.h"
+
+namespace privim {
+
+struct HpOptions {
+  GnnConfig gnn;  ///< backbone; kind is forced by RunHp's `use_grat`
+  int64_t theta = 10;          ///< per-hop Poisson degree cap
+  double sampling_rate = 0.0;  ///< center sampling rate; <= 0: 256/|V_train|
+
+  int64_t batch_size = 32;
+  int64_t iterations = 80;
+  float learning_rate = 0.005f;
+  float clip_bound = 1.0f;
+  InfluenceLossOptions loss;
+
+  double epsilon = 4.0;
+  double delta = 0.0;
+  int64_t seed_set_size = 50;
+};
+
+/// Runs HP (use_grat = false -> GCN backbone, the paper's "HP") or HP-GRAT
+/// (use_grat = true).
+Result<PrivImResult> RunHp(const Graph& train_graph, const Graph& eval_graph,
+                           const HpOptions& options, bool use_grat,
+                           uint64_t seed);
+
+}  // namespace privim
+
+#endif  // PRIVIM_BASELINES_HP_H_

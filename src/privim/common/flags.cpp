@@ -1,0 +1,62 @@
+#include "privim/common/flags.h"
+
+#include <cstdlib>
+#include <string_view>
+
+namespace privim {
+
+Flags::Flags(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg(argv[i]);
+    if (arg.rfind("--", 0) != 0) continue;
+    arg.remove_prefix(2);
+    const size_t eq = arg.find('=');
+    if (eq != std::string_view::npos) {
+      values_[std::string(arg.substr(0, eq))] = std::string(arg.substr(eq + 1));
+    } else if (i + 1 < argc && std::string_view(argv[i + 1]).rfind("--", 0) != 0) {
+      values_[std::string(arg)] = argv[i + 1];
+      ++i;
+    } else {
+      values_[std::string(arg)] = "true";
+    }
+  }
+}
+
+bool Flags::Has(const std::string& name) const {
+  return values_.count(name) > 0;
+}
+
+std::string Flags::GetString(const std::string& name,
+                             const std::string& def) const {
+  auto it = values_.find(name);
+  return it == values_.end() ? def : it->second;
+}
+
+int64_t Flags::GetInt(const std::string& name, int64_t def) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return def;
+  char* end = nullptr;
+  const int64_t value = std::strtoll(it->second.c_str(), &end, 10);
+  return (end && *end == '\0') ? value : def;
+}
+
+double Flags::GetDouble(const std::string& name, double def) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return def;
+  char* end = nullptr;
+  const double value = std::strtod(it->second.c_str(), &end);
+  return (end && *end == '\0') ? value : def;
+}
+
+bool Flags::GetBool(const std::string& name, bool def) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return def;
+  return it->second == "true" || it->second == "1" || it->second == "yes";
+}
+
+std::string Flags::GetEnv(const std::string& name, const std::string& def) {
+  const char* value = std::getenv(name.c_str());
+  return value ? value : def;
+}
+
+}  // namespace privim

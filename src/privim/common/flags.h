@@ -1,0 +1,40 @@
+// Tiny command-line / environment flag parser for benches and examples.
+//
+// Flags are `--name=value` or `--name value`; `--name` alone sets a boolean.
+// Environment fallback lets the whole bench suite be steered without
+// arguments, e.g. PRIVIM_BENCH_SCALE=tiny ctest.
+
+#ifndef PRIVIM_COMMON_FLAGS_H_
+#define PRIVIM_COMMON_FLAGS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace privim {
+
+/// Parsed view over argv plus environment fallbacks.
+class Flags {
+ public:
+  Flags() = default;
+  Flags(int argc, char** argv);
+
+  /// True if --name was given.
+  bool Has(const std::string& name) const;
+
+  /// Value of --name, or `def` when absent.
+  std::string GetString(const std::string& name, const std::string& def) const;
+  int64_t GetInt(const std::string& name, int64_t def) const;
+  double GetDouble(const std::string& name, double def) const;
+  bool GetBool(const std::string& name, bool def) const;
+
+  /// Environment variable lookup with default.
+  static std::string GetEnv(const std::string& name, const std::string& def);
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace privim
+
+#endif  // PRIVIM_COMMON_FLAGS_H_

@@ -1,0 +1,50 @@
+// Minimal leveled logger for library diagnostics.
+//
+// The library is quiet by default (kWarning); benches and examples raise the
+// level. Formatting is printf-free streaming into a single line flushed on
+// destruction, so interleaved multi-threaded logs stay line-atomic.
+
+#ifndef PRIVIM_COMMON_LOGGING_H_
+#define PRIVIM_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace privim {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Sets the global minimum level that is actually emitted.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    if (enabled_) stream_ << value;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace privim
+
+#define PRIVIM_LOG(level)                                              \
+  ::privim::internal::LogMessage(::privim::LogLevel::k##level, __FILE__, \
+                                 __LINE__)
+
+#endif  // PRIVIM_COMMON_LOGGING_H_

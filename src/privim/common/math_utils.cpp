@@ -1,0 +1,90 @@
+#include "privim/common/math_utils.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace privim {
+
+double LogBinomialCoefficient(double n, double k) {
+  if (k < 0.0 || k > n) return -std::numeric_limits<double>::infinity();
+  if (k == 0.0 || k == n) return 0.0;
+  return std::lgamma(n + 1.0) - std::lgamma(k + 1.0) - std::lgamma(n - k + 1.0);
+}
+
+double LogSumExp(const std::vector<double>& xs) {
+  if (xs.empty()) return -std::numeric_limits<double>::infinity();
+  const double max_x = *std::max_element(xs.begin(), xs.end());
+  if (!std::isfinite(max_x)) return max_x;
+  double sum = 0.0;
+  for (double x : xs) sum += std::exp(x - max_x);
+  return max_x + std::log(sum);
+}
+
+double LogBinomialPmf(uint64_t n, uint64_t k, double p) {
+  if (k > n) return -std::numeric_limits<double>::infinity();
+  p = std::clamp(p, 0.0, 1.0);
+  const double dn = static_cast<double>(n);
+  const double dk = static_cast<double>(k);
+  if (p == 0.0) {
+    return k == 0 ? 0.0 : -std::numeric_limits<double>::infinity();
+  }
+  if (p == 1.0) {
+    return k == n ? 0.0 : -std::numeric_limits<double>::infinity();
+  }
+  return LogBinomialCoefficient(dn, dk) + dk * std::log(p) +
+         (dn - dk) * std::log1p(-p);
+}
+
+double GammaPdf(double x, double shape, double scale) {
+  if (shape <= 0.0 || scale <= 0.0) return 0.0;
+  if (x < 0.0) return 0.0;
+  if (x == 0.0) {
+    if (shape < 1.0) return std::numeric_limits<double>::infinity();
+    if (shape == 1.0) return 1.0 / scale;
+    return 0.0;
+  }
+  const double log_pdf = (shape - 1.0) * std::log(x) - x / scale -
+                         shape * std::log(scale) - std::lgamma(shape);
+  return std::exp(log_pdf);
+}
+
+double Mean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double sum = 0.0;
+  for (double x : xs) sum += x;
+  return sum / static_cast<double>(xs.size());
+}
+
+double SampleStdDev(const std::vector<double>& xs) {
+  if (xs.size() < 2) return 0.0;
+  const double mean = Mean(xs);
+  double ss = 0.0;
+  for (double x : xs) ss += (x - mean) * (x - mean);
+  return std::sqrt(ss / static_cast<double>(xs.size() - 1));
+}
+
+LinearFit FitLeastSquares(const std::vector<double>& xs,
+                          const std::vector<double>& ys) {
+  LinearFit fit;
+  const size_t n = std::min(xs.size(), ys.size());
+  if (n == 0) return fit;
+  double sx = 0.0, sy = 0.0, sxx = 0.0, sxy = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    sx += xs[i];
+    sy += ys[i];
+    sxx += xs[i] * xs[i];
+    sxy += xs[i] * ys[i];
+  }
+  const double dn = static_cast<double>(n);
+  const double denom = dn * sxx - sx * sx;
+  if (std::abs(denom) < 1e-12) {
+    fit.intercept = sy / dn;
+    return fit;
+  }
+  fit.slope = (dn * sxy - sx * sy) / denom;
+  fit.intercept = (sy - fit.slope * sx) / dn;
+  return fit;
+}
+
+}  // namespace privim

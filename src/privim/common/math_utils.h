@@ -1,0 +1,44 @@
+// Numerically stable special-function helpers used by the privacy accountant
+// (log-space binomial mixtures, Theorem 3) and the parameter-selection
+// indicator (Gamma pdf, Eq. 10-11), plus small statistics utilities for the
+// evaluation harness.
+
+#ifndef PRIVIM_COMMON_MATH_UTILS_H_
+#define PRIVIM_COMMON_MATH_UTILS_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace privim {
+
+/// log(n choose k) via lgamma; exact enough for accounting at any scale.
+double LogBinomialCoefficient(double n, double k);
+
+/// log(sum_i exp(x_i)) without overflow; -inf on empty input.
+double LogSumExp(const std::vector<double>& xs);
+
+/// log-pmf of Binomial(n, p) at k, stable for extreme p.
+double LogBinomialPmf(uint64_t n, uint64_t k, double p);
+
+/// Probability density of Gamma(shape, scale) at x (x > 0; returns 0 for
+/// x <= 0 unless shape == 1).
+double GammaPdf(double x, double shape, double scale);
+
+/// Arithmetic mean; 0 on empty input.
+double Mean(const std::vector<double>& xs);
+
+/// Sample standard deviation (n-1 denominator); 0 for fewer than 2 samples.
+double SampleStdDev(const std::vector<double>& xs);
+
+/// Simple ordinary-least-squares fit y = k*x + b. Returns {k, b}. Requires
+/// at least two points with distinct x; falls back to {0, mean(y)} otherwise.
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+};
+LinearFit FitLeastSquares(const std::vector<double>& xs,
+                          const std::vector<double>& ys);
+
+}  // namespace privim
+
+#endif  // PRIVIM_COMMON_MATH_UTILS_H_

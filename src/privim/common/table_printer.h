@@ -1,0 +1,49 @@
+// Aligned ASCII tables and CSV emission for the benchmark harness, so every
+// bench binary can print the same rows/series its paper table or figure
+// reports.
+
+#ifndef PRIVIM_COMMON_TABLE_PRINTER_H_
+#define PRIVIM_COMMON_TABLE_PRINTER_H_
+
+#include <string>
+#include <vector>
+
+#include "privim/common/status.h"
+
+namespace privim {
+
+/// Collects rows of string cells and renders them either as an aligned
+/// monospace table (for terminals) or as CSV (for plotting).
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  /// Appends a row; short rows are padded with empty cells.
+  void AddRow(std::vector<std::string> row);
+
+  size_t num_rows() const { return rows_.size(); }
+
+  /// Renders the aligned ASCII table, including a header separator.
+  std::string ToAsciiTable() const;
+
+  /// Renders RFC-4180-ish CSV (cells containing commas/quotes are quoted).
+  std::string ToCsv() const;
+
+  /// Writes ToCsv() to `path`.
+  Status WriteCsv(const std::string& path) const;
+
+  /// Formats a double with `precision` digits after the point.
+  static std::string FormatDouble(double value, int precision = 2);
+
+  /// Formats "mean ± std".
+  static std::string FormatMeanStd(double mean, double stddev,
+                                   int precision = 2);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace privim
+
+#endif  // PRIVIM_COMMON_TABLE_PRINTER_H_

@@ -1,0 +1,64 @@
+// Fixed-size worker pool used for Monte-Carlo diffusion simulation, repeated
+// experiment trials, and per-subgraph gradient computation.
+
+#ifndef PRIVIM_COMMON_THREAD_POOL_H_
+#define PRIVIM_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace privim {
+
+/// A minimal work-stealing-free thread pool. Tasks are `void()` closures;
+/// `Submit` returns a future for completion/exception-free result plumbing.
+class ThreadPool {
+ public:
+  /// Creates `num_threads` workers; 0 means hardware concurrency (min 1).
+  explicit ThreadPool(size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t num_threads() const { return workers_.size(); }
+
+  /// Enqueues a task; the returned future becomes ready when it finishes.
+  template <typename Fn>
+  std::future<void> Submit(Fn&& fn) {
+    auto task =
+        std::make_shared<std::packaged_task<void()>>(std::forward<Fn>(fn));
+    std::future<void> result = task->get_future();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      tasks_.emplace([task]() { (*task)(); });
+    }
+    cv_.notify_one();
+    return result;
+  }
+
+  /// Runs fn(i) for i in [0, count) across the pool and blocks until all
+  /// iterations complete. Iterations are distributed in contiguous chunks.
+  void ParallelFor(size_t count, const std::function<void(size_t)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+/// Process-wide shared pool (created on first use, hardware concurrency).
+ThreadPool& GlobalThreadPool();
+
+}  // namespace privim
+
+#endif  // PRIVIM_COMMON_THREAD_POOL_H_

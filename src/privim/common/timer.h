@@ -1,0 +1,46 @@
+// Wall-clock timers for the efficiency experiments (Table III) and benches.
+
+#ifndef PRIVIM_COMMON_TIMER_H_
+#define PRIVIM_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace privim {
+
+/// Monotonic wall-clock stopwatch.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Accumulates elapsed time into a double on scope exit; lets a phase be
+/// timed across many disjoint scopes (e.g. per-epoch training time).
+class ScopedAccumulator {
+ public:
+  explicit ScopedAccumulator(double* sink) : sink_(sink) {}
+  ~ScopedAccumulator() { *sink_ += timer_.ElapsedSeconds(); }
+
+  ScopedAccumulator(const ScopedAccumulator&) = delete;
+  ScopedAccumulator& operator=(const ScopedAccumulator&) = delete;
+
+ private:
+  double* sink_;
+  WallTimer timer_;
+};
+
+}  // namespace privim
+
+#endif  // PRIVIM_COMMON_TIMER_H_

@@ -1,0 +1,105 @@
+#include "privim/core/indicator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "privim/common/math_utils.h"
+
+namespace privim {
+
+double IndicatorShapeN(int64_t num_nodes, const IndicatorParams& params) {
+  return params.k_n * std::log(static_cast<double>(num_nodes)) + params.b_n;
+}
+
+double IndicatorShapeM(int64_t num_nodes, const IndicatorParams& params) {
+  return params.k_m / std::log(static_cast<double>(num_nodes)) + params.b_m;
+}
+
+double IndicatorRaw(double n, double m, int64_t num_nodes,
+                    const IndicatorParams& params) {
+  const double beta_n = IndicatorShapeN(num_nodes, params);
+  const double beta_m = IndicatorShapeM(num_nodes, params);
+  return GammaPdf(n, beta_n, params.psi_n) +
+         GammaPdf(m, beta_m, params.psi_m);
+}
+
+std::vector<std::vector<double>> IndicatorGrid(
+    const std::vector<int64_t>& n_grid, const std::vector<int64_t>& m_grid,
+    int64_t num_nodes, const IndicatorParams& params) {
+  std::vector<std::vector<double>> values(
+      n_grid.size(), std::vector<double>(m_grid.size(), 0.0));
+  double max_value = 0.0;
+  for (size_t i = 0; i < n_grid.size(); ++i) {
+    for (size_t j = 0; j < m_grid.size(); ++j) {
+      values[i][j] = IndicatorRaw(static_cast<double>(n_grid[i]),
+                                  static_cast<double>(m_grid[j]), num_nodes,
+                                  params);
+      max_value = std::max(max_value, values[i][j]);
+    }
+  }
+  if (max_value > 0.0) {
+    for (auto& row : values) {
+      for (double& v : row) v /= max_value;
+    }
+  }
+  return values;
+}
+
+IndicatorOptimum SelectParameters(const std::vector<int64_t>& n_grid,
+                                  const std::vector<int64_t>& m_grid,
+                                  int64_t num_nodes,
+                                  const IndicatorParams& params) {
+  IndicatorOptimum best;
+  if (n_grid.empty() || m_grid.empty()) return best;
+  const auto values = IndicatorGrid(n_grid, m_grid, num_nodes, params);
+  best.subgraph_size = n_grid[0];
+  best.frequency_threshold = m_grid[0];
+  for (size_t i = 0; i < n_grid.size(); ++i) {
+    for (size_t j = 0; j < m_grid.size(); ++j) {
+      if (values[i][j] > best.value) {
+        best.value = values[i][j];
+        best.subgraph_size = n_grid[i];
+        best.frequency_threshold = m_grid[j];
+      }
+    }
+  }
+  return best;
+}
+
+Result<IndicatorParams> FitIndicatorParams(
+    const std::vector<PriorObservation>& observations, double psi_n,
+    double psi_m) {
+  if (observations.size() < 2) {
+    return Status::InvalidArgument("need >= 2 prior observations");
+  }
+  if (psi_n <= 0.0 || psi_m <= 0.0) {
+    return Status::InvalidArgument("psi scales must be positive");
+  }
+  // Gamma(beta, psi) peaks at (beta - 1) psi (Eq. 46), so the observed
+  // optimum n* satisfies n*/psi_n = beta_n - 1 = k_n ln|V| + b_n - 1
+  // (Eq. 47); for M, Eq. 12's form gives M*/psi_m = k_m / ln|V| + b_m - 1.
+  std::vector<double> xs_n, ys_n, xs_m, ys_m;
+  for (const PriorObservation& obs : observations) {
+    if (obs.num_nodes < 3 || obs.best_n <= 0 || obs.best_m <= 0) {
+      return Status::InvalidArgument("invalid prior observation");
+    }
+    const double log_v = std::log(static_cast<double>(obs.num_nodes));
+    xs_n.push_back(log_v);
+    ys_n.push_back(static_cast<double>(obs.best_n) / psi_n);
+    xs_m.push_back(1.0 / log_v);
+    ys_m.push_back(static_cast<double>(obs.best_m) / psi_m);
+  }
+  const LinearFit fit_n = FitLeastSquares(xs_n, ys_n);
+  const LinearFit fit_m = FitLeastSquares(xs_m, ys_m);
+
+  IndicatorParams params;
+  params.psi_n = psi_n;
+  params.psi_m = psi_m;
+  params.k_n = fit_n.slope;
+  params.b_n = fit_n.intercept + 1.0;
+  params.k_m = fit_m.slope;
+  params.b_m = fit_m.intercept + 1.0;
+  return params;
+}
+
+}  // namespace privim

@@ -1,0 +1,78 @@
+// Parameter-selection indicator (Sec. IV-C, Appendix H).
+//
+// The utility of PrivIM* is unimodal in the subgraph size n and the
+// frequency threshold M; the indicator models this with Gamma pdfs whose
+// shape parameters are tied to the dataset size:
+//
+//   I(n, M) = ( xi(n; beta_n, psi_n) + xi(M; beta_M, psi_M) ) / max(...)
+//   beta_n  = k_n ln|V| + b_n        (Eq. 12)
+//   beta_M  = k_M / ln|V| + b_M
+//
+// so the indicator's peak — the recommended (n, M) — shifts with |V|
+// exactly as the prior experiments observed: larger datasets prefer larger
+// n and smaller M. Appendix H fits (k, b) by least squares on the observed
+// optima with the psi scales fixed.
+
+#ifndef PRIVIM_CORE_INDICATOR_H_
+#define PRIVIM_CORE_INDICATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "privim/common/status.h"
+
+namespace privim {
+
+struct IndicatorParams {
+  double psi_n = 25.0;  ///< scale of the n component (paper Sec. V-D)
+  double psi_m = 5.0;   ///< scale of the M component
+  double k_n = 0.47;
+  double b_n = -1.03;
+  double k_m = 4.02;
+  double b_m = 1.22;
+};
+
+/// beta_n and beta_M for a dataset of |V| nodes (Eq. 12).
+double IndicatorShapeN(int64_t num_nodes, const IndicatorParams& params);
+double IndicatorShapeM(int64_t num_nodes, const IndicatorParams& params);
+
+/// Unnormalized xi(n) + xi(M) (Eq. 10 numerator).
+double IndicatorRaw(double n, double m, int64_t num_nodes,
+                    const IndicatorParams& params);
+
+/// I(n, M) over the given grids, normalized so the grid maximum is 1.
+/// values[i][j] corresponds to (n_grid[i], m_grid[j]).
+std::vector<std::vector<double>> IndicatorGrid(
+    const std::vector<int64_t>& n_grid, const std::vector<int64_t>& m_grid,
+    int64_t num_nodes, const IndicatorParams& params);
+
+struct IndicatorOptimum {
+  int64_t subgraph_size = 0;        ///< recommended n
+  int64_t frequency_threshold = 0;  ///< recommended M
+  double value = 0.0;               ///< normalized indicator at the optimum
+};
+
+/// argmax of the indicator over the grids — the "grid search combined with
+/// our indicator" selection of Sec. IV-C.
+IndicatorOptimum SelectParameters(const std::vector<int64_t>& n_grid,
+                                  const std::vector<int64_t>& m_grid,
+                                  int64_t num_nodes,
+                                  const IndicatorParams& params);
+
+/// One prior observation for fitting: dataset size and empirically optimal
+/// (n, M) from the parameter studies (Sec. V-C).
+struct PriorObservation {
+  int64_t num_nodes = 0;
+  int64_t best_n = 0;
+  int64_t best_m = 0;
+};
+
+/// Appendix H: least-squares fit of (k_n, b_n, k_m, b_m) with psi_n / psi_m
+/// held fixed (Eqs. 48-51). Requires >= 2 observations with distinct |V|.
+Result<IndicatorParams> FitIndicatorParams(
+    const std::vector<PriorObservation>& observations, double psi_n,
+    double psi_m);
+
+}  // namespace privim
+
+#endif  // PRIVIM_CORE_INDICATOR_H_

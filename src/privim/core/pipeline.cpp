@@ -1,0 +1,181 @@
+#include "privim/core/pipeline.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "privim/common/logging.h"
+#include "privim/common/timer.h"
+#include "privim/dp/rdp_accountant.h"
+#include "privim/dp/sensitivity.h"
+#include "privim/gnn/features.h"
+#include "privim/graph/projection.h"
+#include "privim/im/seed_selection.h"
+#include "privim/sampling/dual_stage.h"
+#include "privim/sampling/rwr_sampler.h"
+
+namespace privim {
+
+const char* PrivImVariantToString(PrivImVariant variant) {
+  switch (variant) {
+    case PrivImVariant::kNaive:
+      return "PrivIM";
+    case PrivImVariant::kScsOnly:
+      return "PrivIM+SCS";
+    case PrivImVariant::kDualStage:
+      return "PrivIM*";
+  }
+  return "?";
+}
+
+Status PrivImOptions::Validate() const {
+  if (subgraph_size < 2) {
+    return Status::InvalidArgument("subgraph_size must be >= 2");
+  }
+  if (frequency_threshold < 1) {
+    return Status::InvalidArgument("frequency_threshold must be >= 1");
+  }
+  if (theta < 1) return Status::InvalidArgument("theta must be >= 1");
+  if (batch_size < 1) return Status::InvalidArgument("batch_size must be >= 1");
+  if (iterations < 1) return Status::InvalidArgument("iterations must be >= 1");
+  if (seed_set_size < 1) {
+    return Status::InvalidArgument("seed_set_size must be >= 1");
+  }
+  return Status::OK();
+}
+
+namespace {
+
+double EffectiveSamplingRate(const PrivImOptions& options,
+                             int64_t train_nodes) {
+  if (options.sampling_rate > 0.0) {
+    return std::min(1.0, options.sampling_rate);
+  }
+  // Paper default: q = 256 / |V_train|.
+  return std::min(1.0, 256.0 / static_cast<double>(std::max<int64_t>(
+                                   1, train_nodes)));
+}
+
+}  // namespace
+
+Result<PrivImResult> RunPrivIm(const Graph& train_graph,
+                               const Graph& eval_graph,
+                               const PrivImOptions& options, uint64_t seed) {
+  PRIVIM_RETURN_NOT_OK(options.Validate());
+  if (train_graph.num_nodes() < options.subgraph_size) {
+    return Status::InvalidArgument(
+        "train graph smaller than one subgraph");
+  }
+
+  Rng rng(seed);
+  PrivImResult result;
+
+  // ---- Module 1: subgraph extraction ----------------------------------
+  WallTimer sampling_timer;
+  SubgraphContainer container;
+  const double q = EffectiveSamplingRate(options, train_graph.num_nodes());
+
+  if (options.variant == PrivImVariant::kNaive) {
+    Result<Graph> projected =
+        ProjectInDegree(train_graph, options.theta, &rng);
+    if (!projected.ok()) return projected.status();
+    RwrSamplerOptions rwr;
+    rwr.subgraph_size = options.subgraph_size;
+    rwr.restart_probability = options.restart_probability;
+    rwr.sampling_rate = q;
+    rwr.walk_length = options.walk_length;
+    rwr.hop_limit = options.gnn.num_layers;  // r-layer GNN -> r-hop ball
+    Result<SubgraphContainer> extracted =
+        ExtractSubgraphsRwr(projected.value(), rwr, &rng);
+    if (!extracted.ok()) return extracted.status();
+    container = std::move(extracted).value();
+    result.occurrence_bound =
+        NaiveOccurrenceBound(options.theta, options.gnn.num_layers);
+  } else {
+    DualStageOptions dual;
+    dual.stage1.subgraph_size = options.subgraph_size;
+    dual.stage1.restart_probability = options.restart_probability;
+    dual.stage1.decay = options.decay;
+    dual.stage1.sampling_rate = q;
+    dual.stage1.walk_length = options.walk_length;
+    dual.stage1.frequency_threshold = options.frequency_threshold;
+    dual.boundary_divisor = options.boundary_divisor;
+    dual.enable_boundary_stage =
+        options.variant == PrivImVariant::kDualStage;
+    Result<DualStageResult> sampled =
+        DualStageSampling(train_graph, dual, &rng);
+    if (!sampled.ok()) return sampled.status();
+    container = std::move(sampled.value().container);
+    result.occurrence_bound = options.frequency_threshold;  // N_g* = M
+  }
+  result.sampling_seconds = sampling_timer.ElapsedSeconds();
+
+  if (container.empty()) {
+    return Status::FailedPrecondition(
+        "subgraph extraction produced no subgraphs; increase sampling_rate "
+        "or walk_length, or decrease subgraph_size");
+  }
+  result.container_size = container.size();
+  result.empirical_max_occurrence =
+      container.MaxOccurrence(train_graph.num_nodes());
+  // A node can never occur more often than there are subgraphs.
+  result.occurrence_bound =
+      std::min(result.occurrence_bound, result.container_size);
+
+  // ---- Module 2: privacy accounting ------------------------------------
+  const bool is_private =
+      options.epsilon > 0.0 && std::isfinite(options.epsilon);
+  if (is_private) {
+    const double delta =
+        options.delta > 0.0
+            ? options.delta
+            : 1.0 / static_cast<double>(train_graph.num_nodes());
+    SubsampledGaussianConfig accounting;
+    accounting.container_size = result.container_size;
+    accounting.batch_size =
+        std::min<int64_t>(options.batch_size, result.container_size);
+    accounting.occurrence_bound = result.occurrence_bound;
+    Result<double> sigma = CalibrateNoiseMultiplier(
+        accounting, options.iterations, delta, options.epsilon);
+    if (!sigma.ok()) return sigma.status();
+    result.noise_multiplier = sigma.value();
+    accounting.noise_multiplier = result.noise_multiplier;
+    result.achieved_epsilon =
+        ComputeEpsilon(accounting, options.iterations, delta).epsilon;
+    PRIVIM_LOG(Info) << PrivImVariantToString(options.variant)
+                     << ": m=" << result.container_size
+                     << " N_g=" << result.occurrence_bound
+                     << " sigma=" << result.noise_multiplier
+                     << " eps=" << result.achieved_epsilon;
+  }
+
+  // ---- Module 3: DP-GNN training ----------------------------------------
+  Result<std::unique_ptr<GnnModel>> model = CreateGnnModel(options.gnn, &rng);
+  if (!model.ok()) return model.status();
+
+  DpSgdOptions training;
+  training.batch_size = options.batch_size;
+  training.iterations = options.iterations;
+  training.learning_rate = options.learning_rate;
+  training.clip_bound = options.clip_bound;
+  training.noise_multiplier = is_private ? result.noise_multiplier : 0.0;
+  training.occurrence_bound = result.occurrence_bound;
+  training.optimizer = options.optimizer;
+  training.loss = options.loss;
+  Result<TrainStats> stats =
+      TrainDpGnn(model.value().get(), container, training, &rng);
+  if (!stats.ok()) return stats.status();
+  result.train_stats = stats.value();
+
+  // ---- Seed selection on the evaluation graph ---------------------------
+  const GraphContext eval_ctx = GraphContext::Build(eval_graph);
+  const Tensor eval_features =
+      BuildNodeFeatures(eval_graph, options.gnn.input_dim);
+  const Variable scores =
+      model.value()->Forward(eval_ctx, Variable(eval_features));
+  result.eval_scores = scores.value();
+  result.seeds = TopKSeeds(result.eval_scores, options.seed_set_size);
+  result.model = std::move(model).value();
+  return result;
+}
+
+}  // namespace privim

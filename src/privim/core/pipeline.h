@@ -1,0 +1,88 @@
+// End-to-end PrivIM pipelines (Fig. 2): subgraph extraction -> privacy
+// accounting -> DP-GNN training -> seed selection.
+//
+// Three variants are exposed, matching the paper's ablation rows:
+//   kNaive      — Sec. III: theta-projection + Alg. 1 RWR extraction;
+//                 occurrence bound N_g = sum theta^i (Lemma 1).
+//   kScsOnly    — Alg. 3 stage 1 only ("PrivIM+SCS"); N_g* = M.
+//   kDualStage  — full Alg. 3 ("PrivIM+SCS+BES", i.e. PrivIM*); N_g* = M.
+//
+// Noise is calibrated from the target (epsilon, delta) via the Theorem 3
+// accountant, trained with Alg. 2, and seeds are the top-k scored nodes of
+// the evaluation graph.
+
+#ifndef PRIVIM_CORE_PIPELINE_H_
+#define PRIVIM_CORE_PIPELINE_H_
+
+#include <limits>
+#include <vector>
+
+#include "privim/core/trainer.h"
+#include "privim/gnn/models.h"
+#include "privim/graph/graph.h"
+
+namespace privim {
+
+enum class PrivImVariant { kNaive, kScsOnly, kDualStage };
+
+const char* PrivImVariantToString(PrivImVariant variant);
+
+struct PrivImOptions {
+  PrivImVariant variant = PrivImVariant::kDualStage;
+  GnnConfig gnn;  ///< default: 3-layer GRAT, 32 hidden units (Sec. V-A)
+
+  // --- Sampling (Sec. V-A defaults) ---
+  int64_t subgraph_size = 40;        ///< n
+  int64_t frequency_threshold = 6;   ///< M (SCS/dual-stage variants)
+  double decay = 1.0;                ///< mu
+  double restart_probability = 0.3;  ///< tau
+  double sampling_rate = 0.0;        ///< q; <= 0 means 256 / |V_train|
+  int64_t walk_length = 200;         ///< L
+  int64_t theta = 10;                ///< in-degree bound (naive variant)
+  int64_t boundary_divisor = 2;      ///< s (BES subgraph size n / s)
+
+  // --- Training ---
+  int64_t batch_size = 32;       ///< B
+  int64_t iterations = 80;       ///< T
+  float learning_rate = 0.005f;  ///< eta
+  float clip_bound = 1.0f;       ///< C
+  OptimizerKind optimizer = OptimizerKind::kSgd;
+  InfluenceLossOptions loss;
+
+  // --- Privacy ---
+  /// Target epsilon; <= 0 or +inf trains without noise (Non-Private).
+  double epsilon = 4.0;
+  /// Target delta; <= 0 means 1 / |V_train| (paper: delta < 1/|V_train|).
+  double delta = 0.0;
+
+  int64_t seed_set_size = 50;  ///< k
+
+  Status Validate() const;
+};
+
+struct PrivImResult {
+  std::vector<NodeId> seeds;  ///< top-k node ids in the evaluation graph
+  Tensor eval_scores;         ///< (n_eval x 1) per-node seed probabilities
+  /// The trained (privatized) model — the artifact DP lets you release.
+  /// Persist with SaveGnnModel (gnn/serialization.h).
+  std::shared_ptr<GnnModel> model;
+
+  // Bookkeeping for the efficiency and privacy experiments.
+  double sampling_seconds = 0.0;  ///< preprocessing (projection+extraction)
+  TrainStats train_stats;
+  int64_t container_size = 0;             ///< m
+  int64_t occurrence_bound = 0;           ///< N_g used for accounting
+  int64_t empirical_max_occurrence = 0;   ///< observed container max
+  double noise_multiplier = 0.0;          ///< calibrated sigma
+  double achieved_epsilon = std::numeric_limits<double>::infinity();
+};
+
+/// Trains on `train_graph` and scores/selects seeds on `eval_graph`.
+/// Deterministic in `seed`.
+Result<PrivImResult> RunPrivIm(const Graph& train_graph,
+                               const Graph& eval_graph,
+                               const PrivImOptions& options, uint64_t seed);
+
+}  // namespace privim
+
+#endif  // PRIVIM_CORE_PIPELINE_H_

@@ -1,0 +1,133 @@
+#include "privim/core/trainer.h"
+
+#include <cmath>
+
+#include "privim/common/logging.h"
+#include "privim/common/timer.h"
+#include "privim/dp/mechanisms.h"
+#include "privim/dp/sensitivity.h"
+#include "privim/gnn/features.h"
+#include "privim/nn/ops.h"
+#include "privim/nn/optimizer.h"
+
+namespace privim {
+
+Status DpSgdOptions::Validate() const {
+  if (batch_size < 1) return Status::InvalidArgument("batch_size must be >= 1");
+  if (iterations < 1) return Status::InvalidArgument("iterations must be >= 1");
+  if (learning_rate <= 0.0f) {
+    return Status::InvalidArgument("learning_rate must be positive");
+  }
+  if (clip_bound <= 0.0f) {
+    return Status::InvalidArgument("clip_bound must be positive");
+  }
+  if (noise_multiplier < 0.0) {
+    return Status::InvalidArgument("noise_multiplier must be >= 0");
+  }
+  if (occurrence_bound < 1) {
+    return Status::InvalidArgument("occurrence_bound must be >= 1");
+  }
+  return Status::OK();
+}
+
+Result<TrainStats> TrainDpGnn(GnnModel* model,
+                              const SubgraphContainer& container,
+                              const DpSgdOptions& options, Rng* rng) {
+  PRIVIM_RETURN_NOT_OK(options.Validate());
+  if (container.empty()) {
+    return Status::FailedPrecondition("empty subgraph container");
+  }
+
+  TrainStats stats;
+  WallTimer setup_timer;
+
+  // Message-passing operators and features are immutable per subgraph:
+  // build them once, reuse across all T iterations.
+  std::vector<GraphContext> contexts;
+  std::vector<Tensor> features;
+  contexts.reserve(container.size());
+  features.reserve(container.size());
+  for (int64_t i = 0; i < container.size(); ++i) {
+    const Subgraph& sub = container.at(i);
+    contexts.push_back(GraphContext::Build(sub.local));
+    features.push_back(BuildNodeFeatures(
+        sub.local, model->config().input_dim, &sub.global_ids));
+  }
+  stats.setup_seconds = setup_timer.ElapsedSeconds();
+
+  const std::vector<Variable>& params = model->parameters();
+  const size_t param_count = static_cast<size_t>(ParameterCount(params));
+  const double noise_stddev =
+      options.noise_multiplier *
+      NodeSensitivity(options.clip_bound, options.occurrence_bound);
+
+  // The optimizer consumes the privatized mean gradient; applying momentum
+  // or Adam to it is post-processing and leaves the DP guarantee intact.
+  std::unique_ptr<Optimizer> optimizer;
+  switch (options.optimizer) {
+    case OptimizerKind::kSgd:
+      optimizer = std::make_unique<SgdOptimizer>(params,
+                                                 options.learning_rate);
+      break;
+    case OptimizerKind::kMomentum:
+      optimizer = std::make_unique<SgdOptimizer>(
+          params, options.learning_rate, options.momentum);
+      break;
+    case OptimizerKind::kAdam:
+      optimizer =
+          std::make_unique<AdamOptimizer>(params, options.learning_rate);
+      break;
+  }
+
+  WallTimer train_timer;
+  std::vector<float> summed(param_count, 0.0f);
+  for (int64_t t = 0; t < options.iterations; ++t) {
+    const std::vector<int64_t> batch =
+        container.SampleBatch(options.batch_size, rng);
+    std::fill(summed.begin(), summed.end(), 0.0f);
+    double batch_loss = 0.0;
+
+    for (int64_t index : batch) {
+      for (const Variable& p : params) const_cast<Variable&>(p).ZeroGrad();
+      Result<Variable> loss =
+          options.loss_fn
+              ? options.loss_fn(*model, contexts[index], features[index],
+                                container.at(index))
+              : InfluenceLoss(*model, contexts[index], features[index],
+                              options.loss);
+      if (!loss.ok()) return loss.status();
+      batch_loss += loss.value().value().at(0, 0);
+      loss.value().Backward();
+      std::vector<float> grad = FlattenGradients(params);
+      ClipL2(&grad, options.clip_bound);  // Alg. 2 line 6
+      for (size_t i = 0; i < param_count; ++i) summed[i] += grad[i];
+    }
+
+    if (noise_stddev > 0.0) {
+      // Alg. 2 line 8 (Gaussian) or the HP baseline's SML variant.
+      if (options.noise_kind == NoiseKind::kGaussian) {
+        AddGaussianNoise(&summed, noise_stddev, rng);
+      } else {
+        AddSmlNoise(&summed, noise_stddev, rng);
+      }
+    }
+    // Alg. 2 line 9: step by the privatized mean gradient (noisy sum / B).
+    const float inv_batch = 1.0f / static_cast<float>(options.batch_size);
+    std::vector<float> mean_grad(summed.size());
+    for (size_t i = 0; i < summed.size(); ++i) {
+      mean_grad[i] = summed[i] * inv_batch;
+    }
+    optimizer->Step(mean_grad);
+
+    const double mean_loss =
+        batch.empty() ? 0.0 : batch_loss / static_cast<double>(batch.size());
+    if (t == 0) stats.mean_loss_first = mean_loss;
+    if (t == options.iterations - 1) stats.mean_loss_last = mean_loss;
+    PRIVIM_LOG(Debug) << "iter " << t << " mean loss " << mean_loss;
+  }
+  stats.training_seconds = train_timer.ElapsedSeconds();
+  stats.iterations = options.iterations;
+  return stats;
+}
+
+}  // namespace privim

@@ -1,0 +1,63 @@
+#include "privim/datasets/split.h"
+
+namespace privim {
+namespace {
+
+uint64_t Mix(uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+}  // namespace
+
+Result<TrainTestSplit> SplitNodes(const Graph& graph, double train_fraction,
+                                  Rng* rng) {
+  if (train_fraction <= 0.0 || train_fraction >= 1.0) {
+    return Status::InvalidArgument("train_fraction must be in (0, 1)");
+  }
+  std::vector<NodeId> train_nodes;
+  std::vector<NodeId> test_nodes;
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+    (rng->NextBernoulli(train_fraction) ? train_nodes : test_nodes)
+        .push_back(v);
+  }
+  if (train_nodes.size() < 2 || test_nodes.size() < 2) {
+    return Status::FailedPrecondition("split produced a degenerate side");
+  }
+  Result<Subgraph> train = InducedSubgraph(graph, train_nodes);
+  if (!train.ok()) return train.status();
+  Result<Subgraph> test = InducedSubgraph(graph, test_nodes);
+  if (!test.ok()) return test.status();
+  TrainTestSplit split;
+  split.train = std::move(train).value();
+  split.test = std::move(test).value();
+  return split;
+}
+
+Result<std::vector<Subgraph>> HashPartition(const Graph& graph,
+                                            int64_t num_parts,
+                                            uint64_t seed) {
+  if (num_parts < 1) {
+    return Status::InvalidArgument("num_parts must be >= 1");
+  }
+  std::vector<std::vector<NodeId>> buckets(num_parts);
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+    const uint64_t h = Mix(seed ^ static_cast<uint64_t>(v));
+    buckets[h % static_cast<uint64_t>(num_parts)].push_back(v);
+  }
+  std::vector<Subgraph> parts;
+  parts.reserve(num_parts);
+  for (const auto& bucket : buckets) {
+    if (bucket.empty()) continue;
+    Result<Subgraph> part = InducedSubgraph(graph, bucket);
+    if (!part.ok()) return part.status();
+    parts.push_back(std::move(part).value());
+  }
+  return parts;
+}
+
+}  // namespace privim

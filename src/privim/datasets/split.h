@@ -1,0 +1,33 @@
+// Train/test node split (Sec. V-A: "we split the training and testing nodes
+// randomly by (50%, 50%)") and the hash partitioner used for the
+// Friendster-style multi-graph processing path.
+
+#ifndef PRIVIM_DATASETS_SPLIT_H_
+#define PRIVIM_DATASETS_SPLIT_H_
+
+#include <vector>
+
+#include "privim/common/rng.h"
+#include "privim/graph/subgraph.h"
+
+namespace privim {
+
+struct TrainTestSplit {
+  Subgraph train;  ///< induced subgraph over the training nodes
+  Subgraph test;   ///< induced subgraph over the testing nodes
+};
+
+/// Randomly assigns each node to train with probability `train_fraction`
+/// and returns the two induced subgraphs.
+Result<TrainTestSplit> SplitNodes(const Graph& graph, double train_fraction,
+                                  Rng* rng);
+
+/// Partitions nodes into `num_parts` buckets by salted hash and returns the
+/// induced subgraph of each bucket — how the paper handles Friendster's
+/// memory footprint (Sec. V-A).
+Result<std::vector<Subgraph>> HashPartition(const Graph& graph,
+                                            int64_t num_parts, uint64_t seed);
+
+}  // namespace privim
+
+#endif  // PRIVIM_DATASETS_SPLIT_H_

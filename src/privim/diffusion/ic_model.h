@@ -1,0 +1,49 @@
+// Independent Cascade diffusion (Def. 6) — the evaluation substrate.
+//
+// General graphs use Monte-Carlo estimation (parallelized across
+// simulations). The paper's evaluation setting (w_uv = 1, j = 1) makes the
+// spread deterministic — exactly the nodes within j out-hops of the seed
+// set — so a BFS fast path is provided and tested for equality against the
+// Monte-Carlo estimator.
+
+#ifndef PRIVIM_DIFFUSION_IC_MODEL_H_
+#define PRIVIM_DIFFUSION_IC_MODEL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "privim/common/rng.h"
+#include "privim/graph/graph.h"
+
+namespace privim {
+
+struct IcOptions {
+  /// Diffusion steps j; -1 runs until no activations occur.
+  int64_t max_steps = -1;
+  /// Monte-Carlo repetitions for EstimateIcSpread.
+  int64_t num_simulations = 200;
+  /// Parallelize simulations across the global thread pool.
+  bool parallel = true;
+};
+
+/// One IC cascade; returns the number of activated nodes (seeds included).
+int64_t SimulateIcOnce(const Graph& graph, const std::vector<NodeId>& seeds,
+                       int64_t max_steps, Rng* rng);
+
+/// Monte-Carlo estimate of I(S, G) under IC.
+double EstimateIcSpread(const Graph& graph, const std::vector<NodeId>& seeds,
+                        const IcOptions& options, Rng* rng);
+
+/// Exact spread when every arc weight is 1: |nodes within max_steps
+/// out-hops of S| (max_steps = -1 means full reachability).
+int64_t DeterministicIcSpread(const Graph& graph,
+                              const std::vector<NodeId>& seeds,
+                              int64_t max_steps);
+
+/// True if every arc weight equals 1 (within eps), i.e. the deterministic
+/// fast path is exact.
+bool HasUnitWeights(const Graph& graph, float eps = 1e-6f);
+
+}  // namespace privim
+
+#endif  // PRIVIM_DIFFUSION_IC_MODEL_H_

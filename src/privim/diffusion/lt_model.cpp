@@ -1,0 +1,83 @@
+#include "privim/diffusion/lt_model.h"
+
+#include <algorithm>
+
+#include "privim/common/thread_pool.h"
+
+namespace privim {
+
+int64_t SimulateLtOnce(const Graph& graph, const std::vector<NodeId>& seeds,
+                       int64_t max_steps, Rng* rng) {
+  const int64_t n = graph.num_nodes();
+  std::vector<uint8_t> active(n, 0);
+  std::vector<float> threshold(n);
+  std::vector<float> incoming(n, 0.0f);
+  for (int64_t v = 0; v < n; ++v) {
+    threshold[v] = static_cast<float>(rng->NextDouble());
+  }
+
+  // Per-node in-weight normalizers (sum of in-weights, floored at 1 so that
+  // already-normalized graphs pass through unchanged).
+  std::vector<float> norm(n, 1.0f);
+  for (NodeId v = 0; v < n; ++v) {
+    float sum = 0.0f;
+    for (float w : graph.InWeights(v)) sum += w;
+    norm[v] = std::max(1.0f, sum);
+  }
+
+  std::vector<NodeId> frontier;
+  int64_t activated = 0;
+  for (NodeId s : seeds) {
+    if (s < 0 || s >= n || active[s]) continue;
+    active[s] = 1;
+    frontier.push_back(s);
+    ++activated;
+  }
+  std::vector<NodeId> next_frontier;
+  for (int64_t step = 0;
+       !frontier.empty() && (max_steps < 0 || step < max_steps); ++step) {
+    next_frontier.clear();
+    for (NodeId u : frontier) {
+      const auto neighbors = graph.OutNeighbors(u);
+      const auto weights = graph.OutWeights(u);
+      for (size_t i = 0; i < neighbors.size(); ++i) {
+        const NodeId v = neighbors[i];
+        if (active[v]) continue;
+        incoming[v] += weights[i] / norm[v];
+        if (incoming[v] >= threshold[v]) {
+          active[v] = 1;
+          next_frontier.push_back(v);
+          ++activated;
+        }
+      }
+    }
+    frontier.swap(next_frontier);
+  }
+  return activated;
+}
+
+double EstimateLtSpread(const Graph& graph, const std::vector<NodeId>& seeds,
+                        const LtOptions& options, Rng* rng) {
+  const int64_t runs = std::max<int64_t>(1, options.num_simulations);
+  if (!options.parallel || runs < 8) {
+    double total = 0.0;
+    for (int64_t i = 0; i < runs; ++i) {
+      total += static_cast<double>(
+          SimulateLtOnce(graph, seeds, options.max_steps, rng));
+    }
+    return total / static_cast<double>(runs);
+  }
+  std::vector<Rng> rngs;
+  rngs.reserve(runs);
+  for (int64_t i = 0; i < runs; ++i) rngs.push_back(rng->Split());
+  std::vector<double> spreads(runs, 0.0);
+  GlobalThreadPool().ParallelFor(static_cast<size_t>(runs), [&](size_t i) {
+    spreads[i] = static_cast<double>(
+        SimulateLtOnce(graph, seeds, options.max_steps, &rngs[i]));
+  });
+  double total = 0.0;
+  for (double s : spreads) total += s;
+  return total / static_cast<double>(runs);
+}
+
+}  // namespace privim

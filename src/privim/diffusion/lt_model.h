@@ -1,0 +1,36 @@
+// Linear Threshold diffusion — named by the paper as future work (Sec. VII)
+// and implemented here as an extension so PrivIM-selected seeds can be
+// evaluated under an alternative diffusion semantics.
+//
+// Each node v draws a threshold t_v ~ U[0, 1]; v activates once the summed
+// weight of its active in-neighbors reaches t_v. In-weights at each node are
+// normalized to sum to at most 1, the standard LT convention.
+
+#ifndef PRIVIM_DIFFUSION_LT_MODEL_H_
+#define PRIVIM_DIFFUSION_LT_MODEL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "privim/common/rng.h"
+#include "privim/graph/graph.h"
+
+namespace privim {
+
+struct LtOptions {
+  int64_t max_steps = -1;        ///< -1: run to quiescence
+  int64_t num_simulations = 200;
+  bool parallel = true;
+};
+
+/// One LT cascade with freshly drawn thresholds; returns activated count.
+int64_t SimulateLtOnce(const Graph& graph, const std::vector<NodeId>& seeds,
+                       int64_t max_steps, Rng* rng);
+
+/// Monte-Carlo estimate of LT influence spread.
+double EstimateLtSpread(const Graph& graph, const std::vector<NodeId>& seeds,
+                        const LtOptions& options, Rng* rng);
+
+}  // namespace privim
+
+#endif  // PRIVIM_DIFFUSION_LT_MODEL_H_

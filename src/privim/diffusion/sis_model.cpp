@@ -1,0 +1,80 @@
+#include "privim/diffusion/sis_model.h"
+
+#include <algorithm>
+
+#include "privim/common/thread_pool.h"
+
+namespace privim {
+
+int64_t SimulateSisOnce(const Graph& graph, const std::vector<NodeId>& seeds,
+                        const SisOptions& options, Rng* rng) {
+  const int64_t n = graph.num_nodes();
+  std::vector<uint8_t> infected(n, 0);
+  std::vector<uint8_t> ever_infected(n, 0);
+  std::vector<NodeId> current;
+  int64_t ever_count = 0;
+  for (NodeId s : seeds) {
+    if (s < 0 || s >= n || infected[s]) continue;
+    infected[s] = 1;
+    ever_infected[s] = 1;
+    current.push_back(s);
+    ++ever_count;
+  }
+
+  std::vector<NodeId> newly_infected;
+  std::vector<NodeId> still_infected;
+  for (int64_t step = 0; step < options.horizon && !current.empty(); ++step) {
+    newly_infected.clear();
+    still_infected.clear();
+    for (NodeId u : current) {
+      const auto neighbors = graph.OutNeighbors(u);
+      const auto weights = graph.OutWeights(u);
+      for (size_t i = 0; i < neighbors.size(); ++i) {
+        const NodeId v = neighbors[i];
+        if (infected[v]) continue;
+        if (rng->NextBernoulli(options.infection_rate * weights[i])) {
+          infected[v] = 1;
+          newly_infected.push_back(v);
+          if (!ever_infected[v]) {
+            ever_infected[v] = 1;
+            ++ever_count;
+          }
+        }
+      }
+      if (rng->NextBernoulli(options.recovery_rate)) {
+        infected[u] = 0;  // back to susceptible
+      } else {
+        still_infected.push_back(u);
+      }
+    }
+    current = still_infected;
+    current.insert(current.end(), newly_infected.begin(),
+                   newly_infected.end());
+  }
+  return ever_count;
+}
+
+double EstimateSisSpread(const Graph& graph, const std::vector<NodeId>& seeds,
+                         const SisOptions& options, Rng* rng) {
+  const int64_t runs = std::max<int64_t>(1, options.num_simulations);
+  if (!options.parallel || runs < 8) {
+    double total = 0.0;
+    for (int64_t i = 0; i < runs; ++i) {
+      total += static_cast<double>(SimulateSisOnce(graph, seeds, options, rng));
+    }
+    return total / static_cast<double>(runs);
+  }
+  std::vector<Rng> rngs;
+  rngs.reserve(runs);
+  for (int64_t i = 0; i < runs; ++i) rngs.push_back(rng->Split());
+  std::vector<double> spreads(runs, 0.0);
+  GlobalThreadPool().ParallelFor(static_cast<size_t>(runs), [&](size_t i) {
+    spreads[i] =
+        static_cast<double>(SimulateSisOnce(graph, seeds, options, &rngs[i]));
+  });
+  double total = 0.0;
+  for (double s : spreads) total += s;
+  return total / static_cast<double>(runs);
+}
+
+}  // namespace privim

@@ -1,0 +1,37 @@
+// Susceptible-Infectious-Susceptible epidemic diffusion — the second
+// future-work diffusion model named in Sec. VII, implemented as an
+// extension. Infected nodes infect each susceptible out-neighbor with
+// probability beta * w_uv per step and recover (back to susceptible) with
+// probability recovery per step. The spread metric is the number of nodes
+// ever infected within the horizon.
+
+#ifndef PRIVIM_DIFFUSION_SIS_MODEL_H_
+#define PRIVIM_DIFFUSION_SIS_MODEL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "privim/common/rng.h"
+#include "privim/graph/graph.h"
+
+namespace privim {
+
+struct SisOptions {
+  double infection_rate = 0.5;   ///< beta
+  double recovery_rate = 0.3;    ///< gamma
+  int64_t horizon = 20;          ///< simulated steps
+  int64_t num_simulations = 100;
+  bool parallel = true;
+};
+
+/// One SIS run; returns the count of nodes ever infected within the horizon.
+int64_t SimulateSisOnce(const Graph& graph, const std::vector<NodeId>& seeds,
+                        const SisOptions& options, Rng* rng);
+
+/// Monte-Carlo estimate of the ever-infected count.
+double EstimateSisSpread(const Graph& graph, const std::vector<NodeId>& seeds,
+                         const SisOptions& options, Rng* rng);
+
+}  // namespace privim
+
+#endif  // PRIVIM_DIFFUSION_SIS_MODEL_H_

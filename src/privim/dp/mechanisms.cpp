@@ -1,0 +1,37 @@
+#include "privim/dp/mechanisms.h"
+
+#include <cmath>
+
+namespace privim {
+
+double L2Norm(const std::vector<float>& vec) {
+  double sum = 0.0;
+  for (float x : vec) sum += static_cast<double>(x) * x;
+  return std::sqrt(sum);
+}
+
+double ClipL2(std::vector<float>* vec, double clip_bound) {
+  const double norm = L2Norm(*vec);
+  if (norm > clip_bound && norm > 0.0) {
+    const float factor = static_cast<float>(clip_bound / norm);
+    for (float& x : *vec) x *= factor;
+  }
+  return norm;
+}
+
+void AddGaussianNoise(std::vector<float>* vec, double stddev, Rng* rng) {
+  if (stddev <= 0.0) return;
+  for (float& x : *vec) {
+    x += static_cast<float>(rng->NextGaussian(0.0, stddev));
+  }
+}
+
+void AddSmlNoise(std::vector<float>* vec, double scale, Rng* rng) {
+  if (scale <= 0.0) return;
+  const double shared_w = std::sqrt(rng->NextExponential(1.0));
+  for (float& x : *vec) {
+    x += static_cast<float>(shared_w * rng->NextGaussian(0.0, scale));
+  }
+}
+
+}  // namespace privim

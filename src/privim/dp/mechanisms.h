@@ -1,0 +1,32 @@
+// Noise mechanisms and gradient clipping used by the trainers.
+//
+// Alg. 2 adds N(0, sigma^2 Delta_g^2 I) to the summed clipped gradients.
+// The HP baseline (Xiang et al., S&P'24) instead uses Symmetric Multivariate
+// Laplace noise, generated as sqrt(W) * g with W ~ Exp(1), g ~ Gaussian.
+
+#ifndef PRIVIM_DP_MECHANISMS_H_
+#define PRIVIM_DP_MECHANISMS_H_
+
+#include <vector>
+
+#include "privim/common/rng.h"
+
+namespace privim {
+
+/// Scales `vec` in place so its l2 norm is at most `clip_bound`
+/// (v <- v / max(1, ||v||/C), Alg. 2 line 6). Returns the pre-clip norm.
+double ClipL2(std::vector<float>* vec, double clip_bound);
+
+/// l2 norm of a flat gradient.
+double L2Norm(const std::vector<float>& vec);
+
+/// Adds i.i.d. N(0, stddev^2) to every coordinate.
+void AddGaussianNoise(std::vector<float>* vec, double stddev, Rng* rng);
+
+/// Adds Symmetric Multivariate Laplace noise of scale parameter `scale`
+/// (coordinates are sqrt(W) * N(0, scale^2) with one shared W ~ Exp(1)).
+void AddSmlNoise(std::vector<float>* vec, double scale, Rng* rng);
+
+}  // namespace privim
+
+#endif  // PRIVIM_DP_MECHANISMS_H_

@@ -1,0 +1,112 @@
+#include "privim/dp/rdp_accountant.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "privim/common/math_utils.h"
+
+namespace privim {
+
+double RdpOfIteration(const SubsampledGaussianConfig& config, double alpha) {
+  const double inf = std::numeric_limits<double>::infinity();
+  if (alpha <= 1.0 || config.container_size <= 0 || config.batch_size <= 0 ||
+      config.occurrence_bound <= 0 || config.noise_multiplier <= 0.0) {
+    return inf;
+  }
+  const double m = static_cast<double>(config.container_size);
+  const double ng = static_cast<double>(config.occurrence_bound);
+  const double sigma = config.noise_multiplier;
+  // Probability that one uniformly drawn subgraph is among the <= N_g
+  // subgraphs containing the differing node.
+  const double p = std::min(1.0, ng / m);
+
+  const uint64_t max_i = static_cast<uint64_t>(std::min<int64_t>(
+      config.occurrence_bound, config.batch_size));
+  std::vector<double> log_terms;
+  log_terms.reserve(max_i + 1);
+  const double noise_coeff =
+      alpha * (alpha - 1.0) / (2.0 * ng * ng * sigma * sigma);
+  for (uint64_t i = 0; i <= max_i; ++i) {
+    const double log_pmf =
+        LogBinomialPmf(static_cast<uint64_t>(config.batch_size), i, p);
+    const double di = static_cast<double>(i);
+    log_terms.push_back(log_pmf + noise_coeff * di * di);
+  }
+  return LogSumExp(log_terms) / (alpha - 1.0);
+}
+
+double RdpToDpEpsilon(double gamma, double alpha, double delta) {
+  if (alpha <= 1.0 || delta <= 0.0) {
+    return std::numeric_limits<double>::infinity();
+  }
+  // Theorem 1 (Canonne-Kamath-Steinke improved conversion):
+  //   eps = gamma + log((alpha-1)/alpha) - (log delta + log alpha)/(alpha-1)
+  return gamma + std::log((alpha - 1.0) / alpha) -
+         (std::log(delta) + std::log(alpha)) / (alpha - 1.0);
+}
+
+const std::vector<double>& DefaultAlphaGrid() {
+  static const std::vector<double>* grid = [] {
+    auto* alphas = new std::vector<double>();
+    for (double a = 1.25; a < 2.0; a += 0.25) alphas->push_back(a);
+    for (double a = 2.0; a <= 64.0; a += 1.0) alphas->push_back(a);
+    for (double a : {96.0, 128.0, 192.0, 256.0, 512.0, 1024.0}) {
+      alphas->push_back(a);
+    }
+    return alphas;
+  }();
+  return *grid;
+}
+
+DpGuarantee ComputeEpsilon(const SubsampledGaussianConfig& config,
+                           int64_t num_iterations, double delta) {
+  DpGuarantee best;
+  best.epsilon = std::numeric_limits<double>::infinity();
+  for (double alpha : DefaultAlphaGrid()) {
+    const double gamma = RdpOfIteration(config, alpha);
+    if (!std::isfinite(gamma)) continue;
+    const double epsilon = RdpToDpEpsilon(
+        gamma * static_cast<double>(num_iterations), alpha, delta);
+    if (epsilon < best.epsilon) {
+      best.epsilon = epsilon;
+      best.best_alpha = alpha;
+    }
+  }
+  return best;
+}
+
+Result<double> CalibrateNoiseMultiplier(SubsampledGaussianConfig config,
+                                        int64_t num_iterations, double delta,
+                                        double target_epsilon,
+                                        double sigma_max) {
+  if (target_epsilon <= 0.0) {
+    return Status::InvalidArgument("target_epsilon must be positive");
+  }
+  double lo = 1e-3;
+  double hi = 1.0;
+  auto epsilon_at = [&](double sigma) {
+    config.noise_multiplier = sigma;
+    return ComputeEpsilon(config, num_iterations, delta).epsilon;
+  };
+  // Grow hi until the target is met.
+  while (epsilon_at(hi) > target_epsilon) {
+    hi *= 2.0;
+    if (hi > sigma_max) {
+      return Status::OutOfRange(
+          "cannot reach target epsilon even at sigma_max");
+    }
+  }
+  // Binary search for the smallest sufficient sigma.
+  for (int iter = 0; iter < 64 && (hi - lo) / hi > 1e-4; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    if (epsilon_at(mid) > target_epsilon) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return hi;
+}
+
+}  // namespace privim

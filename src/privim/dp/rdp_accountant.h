@@ -1,0 +1,64 @@
+// Renyi-DP accounting for the subsampled Gaussian mechanism of Alg. 2.
+//
+// Theorem 3 (Eq. 8): one iteration of PrivIM's DP-SGD over a container of m
+// subgraphs, batch size B, per-node occurrence bound N_g and noise multiplier
+// sigma satisfies (alpha, gamma)-RDP with
+//
+//   gamma = 1/(alpha-1) * log sum_{i=0}^{N_g}
+//           Binom(B, i) (N_g/m)^i (1 - N_g/m)^(B-i)
+//           exp( alpha (alpha-1) i^2 / (2 N_g^2 sigma^2) )
+//
+// Sequential composition multiplies gamma by T; Theorem 1 converts
+// (alpha, gamma T)-RDP to (epsilon, delta)-DP, and the reported epsilon is
+// minimized over a standard alpha grid.
+
+#ifndef PRIVIM_DP_RDP_ACCOUNTANT_H_
+#define PRIVIM_DP_RDP_ACCOUNTANT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "privim/common/status.h"
+
+namespace privim {
+
+/// Mechanism parameters for one training iteration.
+struct SubsampledGaussianConfig {
+  int64_t container_size = 0;    ///< m = |G_sub|
+  int64_t batch_size = 0;        ///< B
+  int64_t occurrence_bound = 0;  ///< N_g (Lemma 1) or N_g* = M (Sec. IV)
+  double noise_multiplier = 0.0; ///< sigma
+};
+
+/// gamma(alpha) for a single iteration (Eq. 8), computed in log space.
+/// Requires alpha > 1; returns +inf for degenerate configurations.
+double RdpOfIteration(const SubsampledGaussianConfig& config, double alpha);
+
+/// Theorem 1: epsilon from (alpha, gamma)-RDP at the given delta.
+double RdpToDpEpsilon(double gamma, double alpha, double delta);
+
+/// The alpha grid used for conversion (Opacus-style: 1.25..64 plus sparse
+/// larger orders).
+const std::vector<double>& DefaultAlphaGrid();
+
+struct DpGuarantee {
+  double epsilon = 0.0;
+  double best_alpha = 0.0;
+};
+
+/// (epsilon, delta) guarantee of T iterations (sequential composition over
+/// the alpha grid).
+DpGuarantee ComputeEpsilon(const SubsampledGaussianConfig& config,
+                           int64_t num_iterations, double delta);
+
+/// Finds the smallest noise multiplier sigma such that T iterations satisfy
+/// (target_epsilon, delta)-DP. Binary search; epsilon is monotone
+/// decreasing in sigma. Fails when even sigma = sigma_max is insufficient.
+Result<double> CalibrateNoiseMultiplier(SubsampledGaussianConfig config,
+                                        int64_t num_iterations, double delta,
+                                        double target_epsilon,
+                                        double sigma_max = 1e6);
+
+}  // namespace privim
+
+#endif  // PRIVIM_DP_RDP_ACCOUNTANT_H_

@@ -1,0 +1,24 @@
+#include "privim/dp/sensitivity.h"
+
+namespace privim {
+
+int64_t NaiveOccurrenceBound(int64_t theta, int64_t num_layers, int64_t cap) {
+  if (theta < 1 || num_layers < 0) return 0;
+  int64_t total = 0;
+  int64_t power = 1;  // theta^0
+  for (int64_t i = 0; i <= num_layers; ++i) {
+    total += power;
+    if (total >= cap) return cap;
+    if (i < num_layers) {
+      if (power > cap / theta) return cap;
+      power *= theta;
+    }
+  }
+  return total;
+}
+
+double NodeSensitivity(double clip_bound, int64_t occurrence_bound) {
+  return clip_bound * static_cast<double>(occurrence_bound);
+}
+
+}  // namespace privim

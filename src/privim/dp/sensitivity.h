@@ -1,0 +1,29 @@
+// Node-level sensitivity bounds (Lemmas 1 and 2).
+//
+// Lemma 1: with in-degree bound theta and an r-layer GNN, any single node
+// occurs in at most N_g = sum_{i=0}^{r} theta^i subgraphs produced by the
+// naive RWR extraction (Alg. 1). The dual-stage frequency sampler replaces
+// this with the hard cap N_g* = M (Sec. IV-A).
+// Lemma 2: with per-subgraph gradients clipped to C, the l2 sensitivity of
+// the summed batch gradient is Delta_g <= C * N_g.
+
+#ifndef PRIVIM_DP_SENSITIVITY_H_
+#define PRIVIM_DP_SENSITIVITY_H_
+
+#include <cstdint>
+
+#include "privim/common/status.h"
+
+namespace privim {
+
+/// N_g from Lemma 1 / Eq. 6. Saturates at `cap` (default 2^40) instead of
+/// overflowing for large theta^r.
+int64_t NaiveOccurrenceBound(int64_t theta, int64_t num_layers,
+                             int64_t cap = int64_t{1} << 40);
+
+/// Delta_g = clip_bound * occurrence_bound (Lemma 2 / Eq. 7).
+double NodeSensitivity(double clip_bound, int64_t occurrence_bound);
+
+}  // namespace privim
+
+#endif  // PRIVIM_DP_SENSITIVITY_H_

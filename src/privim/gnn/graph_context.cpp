@@ -1,0 +1,56 @@
+#include "privim/gnn/graph_context.h"
+
+#include <cmath>
+
+namespace privim {
+
+GraphContext GraphContext::Build(const Graph& graph) {
+  GraphContext ctx;
+  const int64_t n = graph.num_nodes();
+  ctx.num_nodes = n;
+
+  std::vector<Triplet> influence;
+  std::vector<Triplet> gcn;
+  std::vector<Triplet> mean_in;
+  std::vector<Triplet> sum_in;
+  influence.reserve(graph.num_arcs());
+  gcn.reserve(graph.num_arcs() + n);
+  mean_in.reserve(graph.num_arcs());
+  sum_in.reserve(graph.num_arcs());
+  ctx.arc_src.reserve(graph.num_arcs());
+  ctx.arc_dst.reserve(graph.num_arcs());
+
+  for (NodeId v = 0; v < n; ++v) {
+    const auto sources = graph.InNeighbors(v);
+    const auto weights = graph.InWeights(v);
+    const float inv_din =
+        sources.empty() ? 0.0f : 1.0f / static_cast<float>(sources.size());
+    const double dv = static_cast<double>(sources.size()) + 1.0;
+    for (size_t i = 0; i < sources.size(); ++i) {
+      const NodeId u = sources[i];
+      influence.push_back({v, u, weights[i]});
+      const double du = static_cast<double>(graph.InDegree(u)) + 1.0;
+      gcn.push_back({v, u, static_cast<float>(1.0 / std::sqrt(dv * du))});
+      mean_in.push_back({v, u, inv_din});
+      sum_in.push_back({v, u, 1.0f});
+      ctx.arc_src.push_back(u);
+      ctx.arc_dst.push_back(v);
+    }
+    gcn.push_back({v, v, static_cast<float>(1.0 / dv)});
+  }
+
+  ctx.attention_src = ctx.arc_src;
+  ctx.attention_dst = ctx.arc_dst;
+  for (NodeId v = 0; v < n; ++v) {
+    ctx.attention_src.push_back(v);
+    ctx.attention_dst.push_back(v);
+  }
+
+  ctx.influence_adj = MakeSparsePair(n, n, influence);
+  ctx.gcn_adj = MakeSparsePair(n, n, gcn);
+  ctx.mean_in_adj = MakeSparsePair(n, n, mean_in);
+  ctx.sum_in_adj = MakeSparsePair(n, n, sum_in);
+  return ctx;
+}
+
+}  // namespace privim

@@ -1,0 +1,113 @@
+#include "privim/gnn/serialization.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace privim {
+
+Status SaveGnnModel(const GnnModel& model, const std::string& path) {
+  std::ofstream file(path);
+  if (!file) return Status::IOError("cannot open for write: " + path);
+
+  const GnnConfig& config = model.config();
+  file << "privim-model v1\n";
+  file << "kind " << GnnKindToString(config.kind) << "\n";
+  file << "input_dim " << config.input_dim << "\n";
+  file << "hidden_dim " << config.hidden_dim << "\n";
+  file << "num_layers " << config.num_layers << "\n";
+  char slope[64];
+  std::snprintf(slope, sizeof(slope), "%a", config.leaky_slope);
+  file << "leaky_slope " << slope << "\n";
+  file << "params " << model.parameters().size() << "\n";
+  for (const Variable& param : model.parameters()) {
+    const Tensor& value = param.value();
+    file << value.rows() << " " << value.cols() << "\n";
+    char buffer[64];
+    for (int64_t i = 0; i < value.size(); ++i) {
+      // Hex floats round-trip bit-exactly through text.
+      std::snprintf(buffer, sizeof(buffer), "%a", value.data()[i]);
+      file << buffer << (i + 1 == value.size() ? "\n" : " ");
+    }
+    if (value.size() == 0) file << "\n";
+  }
+  if (!file) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+namespace {
+
+Status ExpectKey(std::istream& in, const std::string& key,
+                 std::string* value) {
+  std::string actual;
+  if (!(in >> actual) || actual != key) {
+    return Status::IOError("expected key '" + key + "' in model file");
+  }
+  if (!(in >> *value)) {
+    return Status::IOError("missing value for key '" + key + "'");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<std::unique_ptr<GnnModel>> LoadGnnModel(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) return Status::IOError("cannot open: " + path);
+
+  std::string magic, version;
+  if (!(file >> magic >> version) || magic != "privim-model" ||
+      version != "v1") {
+    return Status::IOError("not a privim-model v1 file: " + path);
+  }
+
+  std::string value;
+  GnnConfig config;
+  PRIVIM_RETURN_NOT_OK(ExpectKey(file, "kind", &value));
+  Result<GnnKind> kind = GnnKindFromString(value);
+  if (!kind.ok()) return kind.status();
+  config.kind = kind.value();
+  PRIVIM_RETURN_NOT_OK(ExpectKey(file, "input_dim", &value));
+  config.input_dim = std::strtoll(value.c_str(), nullptr, 10);
+  PRIVIM_RETURN_NOT_OK(ExpectKey(file, "hidden_dim", &value));
+  config.hidden_dim = std::strtoll(value.c_str(), nullptr, 10);
+  PRIVIM_RETURN_NOT_OK(ExpectKey(file, "num_layers", &value));
+  config.num_layers = std::strtoll(value.c_str(), nullptr, 10);
+  PRIVIM_RETURN_NOT_OK(ExpectKey(file, "leaky_slope", &value));
+  config.leaky_slope = std::strtof(value.c_str(), nullptr);
+
+  PRIVIM_RETURN_NOT_OK(ExpectKey(file, "params", &value));
+  const int64_t param_count = std::strtoll(value.c_str(), nullptr, 10);
+
+  // Build the architecture (weights are about to be overwritten, so the
+  // initializer RNG seed is irrelevant).
+  Rng rng(0);
+  Result<std::unique_ptr<GnnModel>> model = CreateGnnModel(config, &rng);
+  if (!model.ok()) return model.status();
+  if (static_cast<int64_t>(model.value()->parameters().size()) !=
+      param_count) {
+    return Status::IOError("parameter count mismatch in " + path);
+  }
+
+  for (const Variable& param : model.value()->parameters()) {
+    int64_t rows = 0, cols = 0;
+    if (!(file >> rows >> cols)) {
+      return Status::IOError("truncated parameter header in " + path);
+    }
+    Tensor& target = const_cast<Variable&>(param).mutable_value();
+    if (rows != target.rows() || cols != target.cols()) {
+      return Status::IOError("parameter shape mismatch in " + path);
+    }
+    for (int64_t i = 0; i < target.size(); ++i) {
+      std::string token;
+      if (!(file >> token)) {
+        return Status::IOError("truncated parameter data in " + path);
+      }
+      target.data()[i] = std::strtof(token.c_str(), nullptr);
+    }
+  }
+  return model;
+}
+
+}  // namespace privim

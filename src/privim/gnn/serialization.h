@@ -1,0 +1,32 @@
+// Model persistence: save a trained GNN's architecture and weights to a
+// plain-text file and restore it later. A trained (privatized) model is
+// exactly the artifact node-level DP lets you release — this is the format
+// the privim_cli tool exchanges between its train / select subcommands.
+//
+// Format (line-oriented, locale-independent):
+//   privim-model v1
+//   kind <gcn|sage|gat|grat|gin>
+//   input_dim <d>  hidden_dim <h>  num_layers <l>  leaky_slope <s>
+//   params <count>
+//   <rows> <cols> followed by rows*cols floats (hex float for exactness)
+
+#ifndef PRIVIM_GNN_SERIALIZATION_H_
+#define PRIVIM_GNN_SERIALIZATION_H_
+
+#include <memory>
+#include <string>
+
+#include "privim/gnn/models.h"
+
+namespace privim {
+
+/// Writes architecture + parameter values to `path`.
+Status SaveGnnModel(const GnnModel& model, const std::string& path);
+
+/// Reconstructs a model saved by SaveGnnModel. Weight values are restored
+/// bit-exactly (hex float encoding).
+Result<std::unique_ptr<GnnModel>> LoadGnnModel(const std::string& path);
+
+}  // namespace privim
+
+#endif  // PRIVIM_GNN_SERIALIZATION_H_

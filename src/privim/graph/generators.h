@@ -1,0 +1,41 @@
+// Random graph generators used to synthesize Table-I-scale social networks.
+//
+// The paper evaluates on SNAP datasets that cannot be downloaded in this
+// environment; DESIGN.md documents the substitution. Barabasi-Albert /
+// directed preferential attachment reproduce the heavy-tailed degree
+// distributions of social graphs, Watts-Strogatz the high clustering of
+// friendship networks, and Erdos-Renyi serves as a homogeneous control.
+
+#ifndef PRIVIM_GRAPH_GENERATORS_H_
+#define PRIVIM_GRAPH_GENERATORS_H_
+
+#include "privim/common/rng.h"
+#include "privim/graph/graph.h"
+
+namespace privim {
+
+/// G(n, m): exactly `num_edges` distinct edges chosen uniformly.
+Result<Graph> ErdosRenyi(int64_t num_nodes, int64_t num_edges, bool directed,
+                         Rng* rng);
+
+/// Undirected Barabasi-Albert preferential attachment; each arriving node
+/// attaches `edges_per_node` edges. Requires edges_per_node >= 1.
+Result<Graph> BarabasiAlbert(int64_t num_nodes, int64_t edges_per_node,
+                             Rng* rng);
+
+/// Undirected Watts-Strogatz small world: ring lattice of even degree
+/// `mean_degree` with rewiring probability `beta`.
+Result<Graph> WattsStrogatz(int64_t num_nodes, int64_t mean_degree,
+                            double beta, Rng* rng);
+
+/// Directed preferential attachment (Bollobas-style simplification): each
+/// arriving node emits `out_edges_per_node` arcs whose targets are chosen
+/// proportionally to in-degree + 1. Produces heavy-tailed in-degrees like
+/// email/trust networks.
+Result<Graph> DirectedPreferentialAttachment(int64_t num_nodes,
+                                             int64_t out_edges_per_node,
+                                             Rng* rng);
+
+}  // namespace privim
+
+#endif  // PRIVIM_GRAPH_GENERATORS_H_

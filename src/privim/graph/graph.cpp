@@ -1,0 +1,152 @@
+#include "privim/graph/graph.h"
+
+#include <algorithm>
+#include <functional>
+#include <string>
+
+namespace privim {
+
+bool Graph::HasArc(NodeId u, NodeId v) const {
+  const auto neighbors = OutNeighbors(u);
+  return std::binary_search(neighbors.begin(), neighbors.end(), v);
+}
+
+std::vector<Edge> Graph::ToEdgeList() const {
+  std::vector<Edge> edges;
+  edges.reserve(out_neighbors_.size());
+  for (NodeId u = 0; u < num_nodes_; ++u) {
+    const auto neighbors = OutNeighbors(u);
+    const auto weights = OutWeights(u);
+    for (size_t i = 0; i < neighbors.size(); ++i) {
+      edges.push_back({u, neighbors[i], weights[i]});
+    }
+  }
+  return edges;
+}
+
+GraphBuilder::GraphBuilder(int64_t num_nodes, bool undirected)
+    : num_nodes_(num_nodes), undirected_(undirected) {}
+
+Status GraphBuilder::AddEdge(NodeId src, NodeId dst, float weight) {
+  if (built_) return Status::FailedPrecondition("builder already consumed");
+  if (src < 0 || src >= num_nodes_ || dst < 0 || dst >= num_nodes_) {
+    return Status::OutOfRange("edge endpoint out of range: (" +
+                              std::to_string(src) + ", " +
+                              std::to_string(dst) + ")");
+  }
+  if (src == dst) {
+    return Status::InvalidArgument("self-loop rejected at node " +
+                                   std::to_string(src));
+  }
+  edges_.push_back({src, dst, weight});
+  if (undirected_) edges_.push_back({dst, src, weight});
+  return Status::OK();
+}
+
+Status GraphBuilder::AddEdges(const std::vector<Edge>& edges) {
+  for (const Edge& e : edges) {
+    PRIVIM_RETURN_NOT_OK(AddEdge(e.src, e.dst, e.weight));
+  }
+  return Status::OK();
+}
+
+Result<Graph> GraphBuilder::Build() {
+  if (built_) {
+    return Status::FailedPrecondition("GraphBuilder::Build called twice");
+  }
+  built_ = true;
+
+  std::sort(edges_.begin(), edges_.end(), [](const Edge& a, const Edge& b) {
+    return a.src != b.src ? a.src < b.src : a.dst < b.dst;
+  });
+  edges_.erase(std::unique(edges_.begin(), edges_.end(),
+                           [](const Edge& a, const Edge& b) {
+                             return a.src == b.src && a.dst == b.dst;
+                           }),
+               edges_.end());
+
+  Graph graph;
+  graph.num_nodes_ = num_nodes_;
+  graph.undirected_ = undirected_;
+
+  graph.out_offsets_.assign(num_nodes_ + 1, 0);
+  graph.in_offsets_.assign(num_nodes_ + 1, 0);
+  for (const Edge& e : edges_) {
+    ++graph.out_offsets_[e.src + 1];
+    ++graph.in_offsets_[e.dst + 1];
+  }
+  for (int64_t v = 0; v < num_nodes_; ++v) {
+    graph.out_offsets_[v + 1] += graph.out_offsets_[v];
+    graph.in_offsets_[v + 1] += graph.in_offsets_[v];
+  }
+
+  graph.out_neighbors_.resize(edges_.size());
+  graph.out_weights_.resize(edges_.size());
+  graph.in_neighbors_.resize(edges_.size());
+  graph.in_weights_.resize(edges_.size());
+
+  // Edges are sorted by (src, dst), so the out-CSR fills sequentially and
+  // stays sorted; track a per-node cursor for the in-CSR.
+  std::vector<int64_t> in_cursor(graph.in_offsets_.begin(),
+                                 graph.in_offsets_.end() - 1);
+  for (size_t i = 0; i < edges_.size(); ++i) {
+    const Edge& e = edges_[i];
+    graph.out_neighbors_[i] = e.dst;
+    graph.out_weights_[i] = e.weight;
+    const int64_t slot = in_cursor[e.dst]++;
+    graph.in_neighbors_[slot] = e.src;
+    graph.in_weights_[slot] = e.weight;
+  }
+  // In-neighbor lists come out sorted by source automatically because the
+  // outer iteration is sorted by src.
+
+  edges_.clear();
+  edges_.shrink_to_fit();
+  return graph;
+}
+
+namespace {
+
+Graph RebuildWithWeights(const Graph& graph,
+                         const std::function<float(NodeId, NodeId)>& weight_fn) {
+  GraphBuilder builder(graph.num_nodes(), /*undirected=*/false);
+  for (NodeId u = 0; u < graph.num_nodes(); ++u) {
+    for (NodeId v : graph.OutNeighbors(u)) {
+      // Endpoints come from a valid graph; AddEdge cannot fail.
+      (void)builder.AddEdge(u, v, weight_fn(u, v));
+    }
+  }
+  Result<Graph> result = builder.Build();
+  return std::move(result).value();
+}
+
+}  // namespace
+
+Graph WithUniformWeights(const Graph& graph, float weight) {
+  return RebuildWithWeights(graph, [weight](NodeId, NodeId) { return weight; });
+}
+
+Graph WithWeightedCascadeWeights(const Graph& graph) {
+  return RebuildWithWeights(graph, [&graph](NodeId, NodeId v) {
+    const int64_t in_degree = graph.InDegree(v);
+    return in_degree > 0 ? 1.0f / static_cast<float>(in_degree) : 0.0f;
+  });
+}
+
+Graph WithPermutedNodeIds(const Graph& graph, Rng* rng) {
+  std::vector<NodeId> new_id(graph.num_nodes());
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) new_id[v] = v;
+  rng->Shuffle(&new_id);
+  GraphBuilder builder(graph.num_nodes(), /*undirected=*/false);
+  for (NodeId u = 0; u < graph.num_nodes(); ++u) {
+    const auto neighbors = graph.OutNeighbors(u);
+    const auto weights = graph.OutWeights(u);
+    for (size_t i = 0; i < neighbors.size(); ++i) {
+      (void)builder.AddEdge(new_id[u], new_id[neighbors[i]], weights[i]);
+    }
+  }
+  Result<Graph> result = builder.Build();
+  return std::move(result).value();
+}
+
+}  // namespace privim

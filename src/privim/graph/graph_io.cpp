@@ -1,0 +1,61 @@
+#include "privim/graph/graph_io.h"
+
+#include <fstream>
+#include <sstream>
+#include <unordered_map>
+#include <vector>
+
+namespace privim {
+
+Result<Graph> LoadEdgeList(const std::string& path, bool undirected) {
+  std::ifstream file(path);
+  if (!file) return Status::IOError("cannot open: " + path);
+
+  std::unordered_map<int64_t, NodeId> remap;
+  std::vector<Edge> edges;
+  auto intern = [&remap](int64_t raw) {
+    auto [it, inserted] =
+        remap.emplace(raw, static_cast<NodeId>(remap.size()));
+    (void)inserted;
+    return it->second;
+  };
+
+  std::string line;
+  int64_t line_number = 0;
+  while (std::getline(file, line)) {
+    ++line_number;
+    if (line.empty() || line[0] == '#' || line[0] == '%') continue;
+    std::istringstream fields(line);
+    int64_t raw_src = 0, raw_dst = 0;
+    double weight = 1.0;
+    if (!(fields >> raw_src >> raw_dst)) {
+      return Status::IOError("malformed line " + std::to_string(line_number) +
+                             " in " + path);
+    }
+    fields >> weight;  // optional third column
+    if (raw_src == raw_dst) continue;  // drop self-loops silently
+    edges.push_back(
+        {intern(raw_src), intern(raw_dst), static_cast<float>(weight)});
+  }
+
+  GraphBuilder builder(static_cast<int64_t>(remap.size()), undirected);
+  PRIVIM_RETURN_NOT_OK(builder.AddEdges(edges));
+  return builder.Build();
+}
+
+Status SaveEdgeList(const Graph& graph, const std::string& path) {
+  std::ofstream file(path);
+  if (!file) return Status::IOError("cannot open for write: " + path);
+  file << "# privim edge list: src dst weight\n";
+  for (NodeId u = 0; u < graph.num_nodes(); ++u) {
+    const auto neighbors = graph.OutNeighbors(u);
+    const auto weights = graph.OutWeights(u);
+    for (size_t i = 0; i < neighbors.size(); ++i) {
+      file << u << ' ' << neighbors[i] << ' ' << weights[i] << '\n';
+    }
+  }
+  if (!file) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+}  // namespace privim

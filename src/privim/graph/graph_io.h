@@ -1,0 +1,24 @@
+// Plain-text edge-list I/O so the pipeline can run on real SNAP datasets.
+//
+// Format: one arc per line, "src dst [weight]", '#'-prefixed comment lines
+// ignored, node ids are arbitrary non-negative integers and are densely
+// remapped on load.
+
+#ifndef PRIVIM_GRAPH_GRAPH_IO_H_
+#define PRIVIM_GRAPH_GRAPH_IO_H_
+
+#include <string>
+
+#include "privim/graph/graph.h"
+
+namespace privim {
+
+/// Loads an edge list. `undirected` symmetrizes every edge.
+Result<Graph> LoadEdgeList(const std::string& path, bool undirected);
+
+/// Writes `graph` as "src dst weight" lines.
+Status SaveEdgeList(const Graph& graph, const std::string& path);
+
+}  // namespace privim
+
+#endif  // PRIVIM_GRAPH_GRAPH_IO_H_

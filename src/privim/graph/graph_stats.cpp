@@ -1,0 +1,48 @@
+#include "privim/graph/graph_stats.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace privim {
+
+GraphStats ComputeGraphStats(const Graph& graph, Rng* rng,
+                             int64_t clustering_samples) {
+  GraphStats stats;
+  stats.num_nodes = graph.num_nodes();
+  stats.num_arcs = graph.num_arcs();
+  stats.average_degree = graph.AverageDegree();
+  stats.average_undirected_degree = stats.average_degree;
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+    stats.max_out_degree = std::max(stats.max_out_degree, graph.OutDegree(v));
+    stats.max_in_degree = std::max(stats.max_in_degree, graph.InDegree(v));
+  }
+
+  if (clustering_samples > 0 && graph.num_nodes() > 0) {
+    double total = 0.0;
+    int64_t counted = 0;
+    const int64_t samples =
+        std::min<int64_t>(clustering_samples, graph.num_nodes());
+    for (int64_t s = 0; s < samples; ++s) {
+      const NodeId v = static_cast<NodeId>(rng->NextBounded(graph.num_nodes()));
+      const auto neighbors = graph.OutNeighbors(v);
+      if (neighbors.size() < 2) continue;
+      std::unordered_set<NodeId> neighbor_set(neighbors.begin(),
+                                              neighbors.end());
+      int64_t closed = 0;
+      for (NodeId u : neighbors) {
+        for (NodeId w : graph.OutNeighbors(u)) {
+          if (w != v && neighbor_set.count(w)) ++closed;
+        }
+      }
+      const double possible = static_cast<double>(neighbors.size()) *
+                              static_cast<double>(neighbors.size() - 1);
+      total += static_cast<double>(closed) / possible;
+      ++counted;
+    }
+    stats.clustering_coefficient =
+        counted > 0 ? total / static_cast<double>(counted) : 0.0;
+  }
+  return stats;
+}
+
+}  // namespace privim

@@ -1,0 +1,34 @@
+// Summary statistics for generated and loaded graphs (Table I reporting).
+
+#ifndef PRIVIM_GRAPH_GRAPH_STATS_H_
+#define PRIVIM_GRAPH_GRAPH_STATS_H_
+
+#include <cstdint>
+
+#include "privim/common/rng.h"
+#include "privim/graph/graph.h"
+
+namespace privim {
+
+struct GraphStats {
+  int64_t num_nodes = 0;
+  int64_t num_arcs = 0;
+  double average_degree = 0.0;  ///< arcs / nodes (paper's Table I convention
+                                ///< counts undirected edges once; see
+                                ///< `average_undirected_degree`)
+  double average_undirected_degree = 0.0;  ///< arcs/nodes for directed graphs,
+                                           ///< arcs/(2*nodes)*2 == arcs/nodes
+                                           ///< either way after symmetrizing
+  int64_t max_out_degree = 0;
+  int64_t max_in_degree = 0;
+  double clustering_coefficient = 0.0;  ///< sampled local clustering estimate
+};
+
+/// Computes stats; the clustering coefficient is estimated from
+/// `clustering_samples` random nodes (0 disables the estimate).
+GraphStats ComputeGraphStats(const Graph& graph, Rng* rng,
+                             int64_t clustering_samples = 1000);
+
+}  // namespace privim
+
+#endif  // PRIVIM_GRAPH_GRAPH_STATS_H_

@@ -1,0 +1,39 @@
+#include "privim/graph/projection.h"
+
+#include <numeric>
+#include <vector>
+
+namespace privim {
+
+Result<Graph> ProjectInDegree(const Graph& graph, int64_t theta, Rng* rng) {
+  if (theta < 1) {
+    return Status::InvalidArgument("theta must be >= 1");
+  }
+  GraphBuilder builder(graph.num_nodes(), /*undirected=*/false);
+  std::vector<size_t> indices;
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+    const auto sources = graph.InNeighbors(v);
+    const auto weights = graph.InWeights(v);
+    const int64_t degree = static_cast<int64_t>(sources.size());
+    if (degree <= theta) {
+      for (size_t i = 0; i < sources.size(); ++i) {
+        PRIVIM_RETURN_NOT_OK(builder.AddEdge(sources[i], v, weights[i]));
+      }
+      continue;
+    }
+    // Partial Fisher-Yates: choose theta in-arcs uniformly without
+    // replacement.
+    indices.resize(sources.size());
+    std::iota(indices.begin(), indices.end(), size_t{0});
+    for (int64_t k = 0; k < theta; ++k) {
+      const size_t j =
+          k + static_cast<size_t>(rng->NextBounded(indices.size() - k));
+      std::swap(indices[k], indices[j]);
+      PRIVIM_RETURN_NOT_OK(
+          builder.AddEdge(sources[indices[k]], v, weights[indices[k]]));
+    }
+  }
+  return builder.Build();
+}
+
+}  // namespace privim

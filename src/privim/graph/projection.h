@@ -1,0 +1,22 @@
+// Theta-bounded in-degree projection (PrivIM Sec. III-B).
+//
+// The naive PrivIM pipeline projects G into G^theta by randomly dropping
+// in-arcs at nodes whose in-degree exceeds theta, bounding each node's
+// influence on its neighbors' embeddings and thus the occurrence bound N_g
+// of Lemma 1.
+
+#ifndef PRIVIM_GRAPH_PROJECTION_H_
+#define PRIVIM_GRAPH_PROJECTION_H_
+
+#include "privim/common/rng.h"
+#include "privim/graph/graph.h"
+
+namespace privim {
+
+/// Returns G^theta: every node keeps at most `theta` uniformly chosen
+/// in-arcs (weights preserved). `theta` must be >= 1.
+Result<Graph> ProjectInDegree(const Graph& graph, int64_t theta, Rng* rng);
+
+}  // namespace privim
+
+#endif  // PRIVIM_GRAPH_PROJECTION_H_

@@ -1,0 +1,44 @@
+#include "privim/graph/subgraph.h"
+
+#include <string>
+#include <unordered_map>
+
+namespace privim {
+
+Result<Subgraph> InducedSubgraph(const Graph& graph,
+                                 const std::vector<NodeId>& nodes) {
+  Subgraph sub;
+  std::unordered_map<NodeId, NodeId> global_to_local;
+  global_to_local.reserve(nodes.size());
+  for (NodeId global : nodes) {
+    if (global < 0 || global >= graph.num_nodes()) {
+      return Status::OutOfRange("subgraph node out of range: " +
+                                std::to_string(global));
+    }
+    if (global_to_local.emplace(global, static_cast<NodeId>(
+                                            sub.global_ids.size()))
+            .second) {
+      sub.global_ids.push_back(global);
+    }
+  }
+
+  GraphBuilder builder(static_cast<int64_t>(sub.global_ids.size()),
+                       /*undirected=*/false);
+  for (size_t local_src = 0; local_src < sub.global_ids.size(); ++local_src) {
+    const NodeId global_src = sub.global_ids[local_src];
+    const auto neighbors = graph.OutNeighbors(global_src);
+    const auto weights = graph.OutWeights(global_src);
+    for (size_t i = 0; i < neighbors.size(); ++i) {
+      auto it = global_to_local.find(neighbors[i]);
+      if (it == global_to_local.end()) continue;
+      PRIVIM_RETURN_NOT_OK(builder.AddEdge(static_cast<NodeId>(local_src),
+                                           it->second, weights[i]));
+    }
+  }
+  Result<Graph> local = builder.Build();
+  if (!local.ok()) return local.status();
+  sub.local = std::move(local).value();
+  return sub;
+}
+
+}  // namespace privim

@@ -1,0 +1,39 @@
+// Breadth-first traversal utilities: r-hop balls (the N_r(v0) constraint in
+// Alg. 1), distances, and weakly connected components.
+
+#ifndef PRIVIM_GRAPH_TRAVERSAL_H_
+#define PRIVIM_GRAPH_TRAVERSAL_H_
+
+#include <vector>
+
+#include "privim/graph/graph.h"
+
+namespace privim {
+
+/// Nodes within `r` hops of `source` following out-arcs (including the
+/// source itself at distance 0), in BFS order.
+std::vector<NodeId> RHopBall(const Graph& graph, NodeId source, int r);
+
+/// Like RHopBall but over the underlying undirected structure (both arc
+/// directions). Random-walk subgraph extraction uses this so walks do not
+/// strand at sink nodes of directed graphs.
+std::vector<NodeId> UndirectedRHopBall(const Graph& graph, NodeId source,
+                                       int r);
+
+/// Concatenated out- and in-neighbors of v, deduplicated for nodes that are
+/// both (i.e. reciprocal arcs contribute once).
+std::vector<NodeId> UndirectedNeighbors(const Graph& graph, NodeId v);
+
+/// BFS hop distance from `source` along out-arcs; -1 for unreachable nodes.
+std::vector<int> BfsDistances(const Graph& graph, NodeId source);
+
+/// Weakly connected component label per node (labels are 0-based and dense).
+struct ComponentInfo {
+  std::vector<NodeId> label;  ///< component id per node
+  int64_t num_components = 0;
+};
+ComponentInfo WeaklyConnectedComponents(const Graph& graph);
+
+}  // namespace privim
+
+#endif  // PRIVIM_GRAPH_TRAVERSAL_H_

@@ -1,0 +1,28 @@
+#include "privim/im/seed_selection.h"
+
+#include <algorithm>
+
+namespace privim {
+
+std::vector<NodeId> TopKSeeds(const Tensor& scores, int64_t k) {
+  const int64_t n = scores.rows();
+  k = std::min(k, n);
+  if (k <= 0) return {};
+  std::vector<NodeId> nodes(n);
+  for (NodeId v = 0; v < n; ++v) nodes[v] = v;
+  std::partial_sort(nodes.begin(), nodes.begin() + k, nodes.end(),
+                    [&scores](NodeId a, NodeId b) {
+                      const float sa = scores.at(a, 0);
+                      const float sb = scores.at(b, 0);
+                      return sa != sb ? sa > sb : a < b;
+                    });
+  nodes.resize(k);
+  return nodes;
+}
+
+double CoverageRatioPercent(double method_spread, double celf_spread) {
+  if (celf_spread <= 0.0) return 0.0;
+  return 100.0 * method_spread / celf_spread;
+}
+
+}  // namespace privim

@@ -1,0 +1,24 @@
+// Top-k seed extraction from per-node model scores, and the coverage-ratio
+// metric used throughout the evaluation (|V_method| / |V_CELF|, Sec. V-A).
+
+#ifndef PRIVIM_IM_SEED_SELECTION_H_
+#define PRIVIM_IM_SEED_SELECTION_H_
+
+#include <vector>
+
+#include "privim/graph/graph.h"
+#include "privim/nn/tensor.h"
+
+namespace privim {
+
+/// Indices of the k largest entries of the (n x 1) score column, ties broken
+/// by smaller node id for determinism.
+std::vector<NodeId> TopKSeeds(const Tensor& scores, int64_t k);
+
+/// method_spread / celf_spread as a percentage in [0, 100+] (the paper's
+/// Table II reports percentages).
+double CoverageRatioPercent(double method_spread, double celf_spread);
+
+}  // namespace privim
+
+#endif  // PRIVIM_IM_SEED_SELECTION_H_

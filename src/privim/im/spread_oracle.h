@@ -1,0 +1,67 @@
+// Spread oracles: the influence function I(S, G) that greedy/CELF maximize.
+//
+// The paper's evaluation uses w = 1, j = 1 (Sec. V-A), under which the IC
+// spread is the deterministic coverage |S union N_out(S)| — that case gets
+// an exact oracle. A Monte-Carlo IC oracle covers general weights.
+
+#ifndef PRIVIM_IM_SPREAD_ORACLE_H_
+#define PRIVIM_IM_SPREAD_ORACLE_H_
+
+#include <memory>
+#include <vector>
+
+#include "privim/common/rng.h"
+#include "privim/diffusion/ic_model.h"
+#include "privim/graph/graph.h"
+
+namespace privim {
+
+/// Influence-spread evaluator over a fixed graph.
+class SpreadOracle {
+ public:
+  virtual ~SpreadOracle() = default;
+  virtual double Spread(const std::vector<NodeId>& seeds) const = 0;
+  virtual int64_t num_nodes() const = 0;
+};
+
+/// Exact spread when every arc weight is 1: nodes within `steps` out-hops
+/// of the seed set (steps = -1 for full reachability).
+class DeterministicCoverageOracle : public SpreadOracle {
+ public:
+  DeterministicCoverageOracle(const Graph& graph, int64_t steps)
+      : graph_(graph), steps_(steps) {}
+
+  double Spread(const std::vector<NodeId>& seeds) const override {
+    return static_cast<double>(DeterministicIcSpread(graph_, seeds, steps_));
+  }
+  int64_t num_nodes() const override { return graph_.num_nodes(); }
+  const Graph& graph() const { return graph_; }
+  int64_t steps() const { return steps_; }
+
+ private:
+  const Graph& graph_;
+  int64_t steps_;
+};
+
+/// Monte-Carlo IC spread for general edge probabilities. Each Spread call
+/// derives a fresh RNG stream deterministically from the base seed.
+class MonteCarloIcOracle : public SpreadOracle {
+ public:
+  MonteCarloIcOracle(const Graph& graph, IcOptions options, uint64_t seed)
+      : graph_(graph), options_(options), base_rng_(seed) {}
+
+  double Spread(const std::vector<NodeId>& seeds) const override {
+    Rng rng = base_rng_.Split();
+    return EstimateIcSpread(graph_, seeds, options_, &rng);
+  }
+  int64_t num_nodes() const override { return graph_.num_nodes(); }
+
+ private:
+  const Graph& graph_;
+  IcOptions options_;
+  mutable Rng base_rng_;
+};
+
+}  // namespace privim
+
+#endif  // PRIVIM_IM_SPREAD_ORACLE_H_

@@ -1,0 +1,119 @@
+#include "privim/nn/autograd.h"
+
+#include <cassert>
+#include <unordered_set>
+
+namespace privim {
+
+namespace internal {
+
+void VariableNode::AccumulateGrad(const Tensor& delta) {
+  if (!grad_initialized) {
+    grad = Tensor::Zeros(value.rows(), value.cols());
+    grad_initialized = true;
+  }
+  grad.AddInPlace(delta);
+}
+
+}  // namespace internal
+
+Variable::Variable(Tensor value, bool requires_grad)
+    : node_(std::make_shared<internal::VariableNode>()) {
+  node_->value = std::move(value);
+  node_->requires_grad = requires_grad;
+}
+
+Tensor Variable::grad() const {
+  if (!node_->grad_initialized) {
+    return Tensor::Zeros(node_->value.rows(), node_->value.cols());
+  }
+  return node_->grad;
+}
+
+void Variable::ZeroGrad() {
+  node_->grad_initialized = false;
+  node_->grad = Tensor();
+}
+
+Variable Variable::MakeOp(
+    Tensor value, std::vector<Variable> parents,
+    std::function<void(internal::VariableNode*)> backward_fn) {
+  bool requires_grad = false;
+  for (const Variable& p : parents) {
+    requires_grad = requires_grad || p.requires_grad();
+  }
+  Variable out(std::move(value), requires_grad);
+  if (requires_grad) {
+    out.node_->parents.reserve(parents.size());
+    for (const Variable& p : parents) out.node_->parents.push_back(p.node_);
+    out.node_->backward_fn = std::move(backward_fn);
+  }
+  return out;
+}
+
+void Variable::Backward() {
+  assert(node_ && node_->value.rows() == 1 && node_->value.cols() == 1 &&
+         "Backward() requires a scalar output");
+
+  // Iterative post-order DFS over parents -> topological order.
+  std::vector<internal::VariableNode*> topo;
+  std::unordered_set<internal::VariableNode*> visited;
+  struct Frame {
+    internal::VariableNode* node;
+    size_t next_parent;
+  };
+  std::vector<Frame> stack;
+  if (visited.insert(node_.get()).second) stack.push_back({node_.get(), 0});
+  while (!stack.empty()) {
+    Frame& frame = stack.back();
+    if (frame.next_parent < frame.node->parents.size()) {
+      internal::VariableNode* parent =
+          frame.node->parents[frame.next_parent++].get();
+      if (parent->requires_grad && visited.insert(parent).second) {
+        stack.push_back({parent, 0});
+      }
+    } else {
+      topo.push_back(frame.node);
+      stack.pop_back();
+    }
+  }
+
+  node_->AccumulateGrad(Tensor::Ones(1, 1));
+  for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+    internal::VariableNode* node = *it;
+    if (node->backward_fn && node->grad_initialized) {
+      node->backward_fn(node);
+    }
+  }
+}
+
+std::vector<float> FlattenGradients(const std::vector<Variable>& params) {
+  std::vector<float> flat;
+  flat.reserve(static_cast<size_t>(ParameterCount(params)));
+  for (const Variable& p : params) {
+    const Tensor g = p.grad();
+    flat.insert(flat.end(), g.data(), g.data() + g.size());
+  }
+  return flat;
+}
+
+int64_t ParameterCount(const std::vector<Variable>& params) {
+  int64_t count = 0;
+  for (const Variable& p : params) count += p.value().size();
+  return count;
+}
+
+void ApplyFlatUpdate(const std::vector<Variable>& params,
+                     const std::vector<float>& flat, float scale) {
+  size_t offset = 0;
+  for (const Variable& p : params) {
+    Tensor& value = const_cast<Variable&>(p).mutable_value();
+    const size_t n = static_cast<size_t>(value.size());
+    assert(offset + n <= flat.size());
+    float* data = value.data();
+    for (size_t i = 0; i < n; ++i) data[i] += scale * flat[offset + i];
+    offset += n;
+  }
+}
+
+}  // namespace privim

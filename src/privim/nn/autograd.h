@@ -1,0 +1,90 @@
+// Tape-based reverse-mode automatic differentiation.
+//
+// A forward pass dynamically builds a DAG of `VariableNode`s; calling
+// `Backward()` on a scalar output topologically sorts the tape and runs each
+// node's pullback, accumulating gradients into `grad`. This is the engine
+// under every GNN layer and under the Eq. 5 influence loss, and is verified
+// against central differences in tests/nn/autograd_test.cpp.
+
+#ifndef PRIVIM_NN_AUTOGRAD_H_
+#define PRIVIM_NN_AUTOGRAD_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "privim/nn/tensor.h"
+
+namespace privim {
+
+namespace internal {
+
+struct VariableNode {
+  Tensor value;
+  Tensor grad;             // lazily sized on first accumulation
+  bool requires_grad = false;
+  bool grad_initialized = false;
+  std::vector<std::shared_ptr<VariableNode>> parents;
+  // Pullback: given this node (value+grad), push gradient into parents.
+  std::function<void(VariableNode*)> backward_fn;
+
+  void AccumulateGrad(const Tensor& delta);
+};
+
+}  // namespace internal
+
+/// Handle to a node in the autograd tape. Copying a Variable aliases the
+/// same node (shared ownership), mirroring the PyTorch mental model.
+class Variable {
+ public:
+  Variable() = default;
+
+  /// Leaf node. `requires_grad` marks trainable parameters.
+  explicit Variable(Tensor value, bool requires_grad = false);
+
+  bool defined() const { return node_ != nullptr; }
+  const Tensor& value() const { return node_->value; }
+  Tensor& mutable_value() { return node_->value; }
+  bool requires_grad() const { return node_ && node_->requires_grad; }
+
+  int64_t rows() const { return node_->value.rows(); }
+  int64_t cols() const { return node_->value.cols(); }
+
+  /// Gradient accumulated by the last Backward(); zeros if untouched.
+  Tensor grad() const;
+
+  /// Clears the accumulated gradient (call between microbatches).
+  void ZeroGrad();
+
+  /// Runs reverse-mode AD from this scalar (1x1) variable.
+  void Backward();
+
+  /// Internal: builds an op node. `backward_fn` receives the result node.
+  static Variable MakeOp(
+      Tensor value, std::vector<Variable> parents,
+      std::function<void(internal::VariableNode*)> backward_fn);
+
+  internal::VariableNode* node() const { return node_.get(); }
+  const std::shared_ptr<internal::VariableNode>& shared_node() const {
+    return node_;
+  }
+
+ private:
+  std::shared_ptr<internal::VariableNode> node_;
+};
+
+/// Convenience: gradients of `params` flattened into one vector, in order
+/// (row-major per tensor). Used by the DP-SGD per-sample gradient pipeline.
+std::vector<float> FlattenGradients(const std::vector<Variable>& params);
+
+/// Total number of scalar parameters.
+int64_t ParameterCount(const std::vector<Variable>& params);
+
+/// Writes `flat` (layout as produced by FlattenGradients) into the parameter
+/// values via `value += scale * flat`.
+void ApplyFlatUpdate(const std::vector<Variable>& params,
+                     const std::vector<float>& flat, float scale);
+
+}  // namespace privim
+
+#endif  // PRIVIM_NN_AUTOGRAD_H_

@@ -1,0 +1,492 @@
+#include "privim/nn/ops.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <utility>
+
+namespace privim {
+namespace {
+
+using internal::VariableNode;
+
+Tensor TransposeValues(const Tensor& a) {
+  Tensor t(a.cols(), a.rows());
+  for (int64_t i = 0; i < a.rows(); ++i) {
+    for (int64_t j = 0; j < a.cols(); ++j) t.at(j, i) = a.at(i, j);
+  }
+  return t;
+}
+
+// Elementwise unary op with pullback dy/dx expressed from (x, y).
+template <typename ForwardFn, typename GradFn>
+Variable PointwiseOp(const Variable& x, ForwardFn&& forward,
+                     GradFn&& grad_from_xy) {
+  Tensor out(x.rows(), x.cols());
+  const Tensor& xv = x.value();
+  for (int64_t i = 0; i < out.size(); ++i) {
+    out.data()[i] = forward(xv.data()[i]);
+  }
+  return Variable::MakeOp(
+      std::move(out), {x},
+      [grad = std::forward<GradFn>(grad_from_xy)](VariableNode* node) {
+        VariableNode* parent = node->parents[0].get();
+        if (!parent->requires_grad) return;
+        Tensor dx(parent->value.rows(), parent->value.cols());
+        const float* xs = parent->value.data();
+        const float* ys = node->value.data();
+        const float* dys = node->grad.data();
+        for (int64_t i = 0; i < dx.size(); ++i) {
+          dx.data()[i] = dys[i] * grad(xs[i], ys[i]);
+        }
+        parent->AccumulateGrad(dx);
+      });
+}
+
+SparseMatrix BuildCsr(int64_t rows, int64_t cols,
+                      std::vector<Triplet> triplets) {
+  std::sort(triplets.begin(), triplets.end(),
+            [](const Triplet& a, const Triplet& b) {
+              return a.row != b.row ? a.row < b.row : a.col < b.col;
+            });
+  SparseMatrix sp;
+  sp.rows = rows;
+  sp.cols = cols;
+  sp.offsets.assign(rows + 1, 0);
+  sp.indices.reserve(triplets.size());
+  sp.values.reserve(triplets.size());
+  for (size_t i = 0; i < triplets.size();) {
+    size_t j = i;
+    float sum = 0.0f;
+    while (j < triplets.size() && triplets[j].row == triplets[i].row &&
+           triplets[j].col == triplets[i].col) {
+      sum += triplets[j].value;
+      ++j;
+    }
+    sp.indices.push_back(triplets[i].col);
+    sp.values.push_back(sum);
+    ++sp.offsets[triplets[i].row + 1];
+    i = j;
+  }
+  for (int64_t r = 0; r < rows; ++r) sp.offsets[r + 1] += sp.offsets[r];
+  return sp;
+}
+
+// y += S * x for dense row-major x (m x d), y (n x d).
+void SpMMAccumulate(const SparseMatrix& sp, const Tensor& x, Tensor* y) {
+  assert(sp.cols == x.rows() && sp.rows == y->rows() && x.cols() == y->cols());
+  const int64_t d = x.cols();
+  for (int64_t r = 0; r < sp.rows; ++r) {
+    float* yrow = y->data() + r * d;
+    for (int64_t k = sp.offsets[r]; k < sp.offsets[r + 1]; ++k) {
+      const float w = sp.values[k];
+      const float* xrow = x.data() + static_cast<int64_t>(sp.indices[k]) * d;
+      for (int64_t j = 0; j < d; ++j) yrow[j] += w * xrow[j];
+    }
+  }
+}
+
+}  // namespace
+
+Variable MatMul(const Variable& a, const Variable& b) {
+  assert(a.cols() == b.rows());
+  return Variable::MakeOp(
+      MatMulValues(a.value(), b.value()), {a, b}, [](VariableNode* node) {
+        VariableNode* a_node = node->parents[0].get();
+        VariableNode* b_node = node->parents[1].get();
+        if (a_node->requires_grad) {
+          a_node->AccumulateGrad(
+              MatMulValues(node->grad, TransposeValues(b_node->value)));
+        }
+        if (b_node->requires_grad) {
+          b_node->AccumulateGrad(
+              MatMulValues(TransposeValues(a_node->value), node->grad));
+        }
+      });
+}
+
+Variable Add(const Variable& a, const Variable& b) {
+  assert(a.value().SameShape(b.value()));
+  Tensor out = a.value();
+  out.AddInPlace(b.value());
+  return Variable::MakeOp(std::move(out), {a, b}, [](VariableNode* node) {
+    for (int p = 0; p < 2; ++p) {
+      VariableNode* parent = node->parents[p].get();
+      if (parent->requires_grad) parent->AccumulateGrad(node->grad);
+    }
+  });
+}
+
+Variable Subtract(const Variable& a, const Variable& b) {
+  assert(a.value().SameShape(b.value()));
+  Tensor out = a.value();
+  const float* bv = b.value().data();
+  for (int64_t i = 0; i < out.size(); ++i) out.data()[i] -= bv[i];
+  return Variable::MakeOp(std::move(out), {a, b}, [](VariableNode* node) {
+    VariableNode* a_node = node->parents[0].get();
+    VariableNode* b_node = node->parents[1].get();
+    if (a_node->requires_grad) a_node->AccumulateGrad(node->grad);
+    if (b_node->requires_grad) {
+      Tensor neg = node->grad;
+      neg.ScaleInPlace(-1.0f);
+      b_node->AccumulateGrad(neg);
+    }
+  });
+}
+
+Variable Multiply(const Variable& a, const Variable& b) {
+  assert(a.value().SameShape(b.value()));
+  Tensor out(a.rows(), a.cols());
+  const float* av = a.value().data();
+  const float* bv = b.value().data();
+  for (int64_t i = 0; i < out.size(); ++i) out.data()[i] = av[i] * bv[i];
+  return Variable::MakeOp(std::move(out), {a, b}, [](VariableNode* node) {
+    VariableNode* a_node = node->parents[0].get();
+    VariableNode* b_node = node->parents[1].get();
+    const float* dys = node->grad.data();
+    if (a_node->requires_grad) {
+      Tensor da(a_node->value.rows(), a_node->value.cols());
+      const float* bv2 = b_node->value.data();
+      for (int64_t i = 0; i < da.size(); ++i) da.data()[i] = dys[i] * bv2[i];
+      a_node->AccumulateGrad(da);
+    }
+    if (b_node->requires_grad) {
+      Tensor db(b_node->value.rows(), b_node->value.cols());
+      const float* av2 = a_node->value.data();
+      for (int64_t i = 0; i < db.size(); ++i) db.data()[i] = dys[i] * av2[i];
+      b_node->AccumulateGrad(db);
+    }
+  });
+}
+
+Variable AddRowBroadcast(const Variable& x, const Variable& bias) {
+  assert(bias.rows() == 1 && bias.cols() == x.cols());
+  Tensor out = x.value();
+  const float* bv = bias.value().data();
+  for (int64_t i = 0; i < out.rows(); ++i) {
+    float* row = out.data() + i * out.cols();
+    for (int64_t j = 0; j < out.cols(); ++j) row[j] += bv[j];
+  }
+  return Variable::MakeOp(std::move(out), {x, bias}, [](VariableNode* node) {
+    VariableNode* x_node = node->parents[0].get();
+    VariableNode* b_node = node->parents[1].get();
+    if (x_node->requires_grad) x_node->AccumulateGrad(node->grad);
+    if (b_node->requires_grad) {
+      Tensor db(1, node->grad.cols());
+      for (int64_t i = 0; i < node->grad.rows(); ++i) {
+        const float* row = node->grad.data() + i * node->grad.cols();
+        for (int64_t j = 0; j < node->grad.cols(); ++j) db.at(0, j) += row[j];
+      }
+      b_node->AccumulateGrad(db);
+    }
+  });
+}
+
+Variable MulColBroadcast(const Variable& scale, const Variable& x) {
+  assert(scale.cols() == 1 && scale.rows() == x.rows());
+  Tensor out(x.rows(), x.cols());
+  for (int64_t i = 0; i < x.rows(); ++i) {
+    const float s = scale.value().at(i, 0);
+    const float* xrow = x.value().data() + i * x.cols();
+    float* orow = out.data() + i * x.cols();
+    for (int64_t j = 0; j < x.cols(); ++j) orow[j] = s * xrow[j];
+  }
+  return Variable::MakeOp(std::move(out), {scale, x}, [](VariableNode* node) {
+    VariableNode* s_node = node->parents[0].get();
+    VariableNode* x_node = node->parents[1].get();
+    const Tensor& grad = node->grad;
+    const int64_t d = grad.cols();
+    if (s_node->requires_grad) {
+      Tensor ds(s_node->value.rows(), 1);
+      for (int64_t i = 0; i < grad.rows(); ++i) {
+        const float* grow = grad.data() + i * d;
+        const float* xrow = x_node->value.data() + i * d;
+        double sum = 0.0;
+        for (int64_t j = 0; j < d; ++j) sum += grow[j] * xrow[j];
+        ds.at(i, 0) = static_cast<float>(sum);
+      }
+      s_node->AccumulateGrad(ds);
+    }
+    if (x_node->requires_grad) {
+      Tensor dx(grad.rows(), d);
+      for (int64_t i = 0; i < grad.rows(); ++i) {
+        const float s = s_node->value.at(i, 0);
+        const float* grow = grad.data() + i * d;
+        float* drow = dx.data() + i * d;
+        for (int64_t j = 0; j < d; ++j) drow[j] = s * grow[j];
+      }
+      x_node->AccumulateGrad(dx);
+    }
+  });
+}
+
+Variable Affine(const Variable& x, float alpha, float beta) {
+  return PointwiseOp(
+      x, [alpha, beta](float v) { return alpha * v + beta; },
+      [alpha](float, float) { return alpha; });
+}
+
+Variable ScaleByScalar(const Variable& x, const Variable& scalar) {
+  assert(scalar.rows() == 1 && scalar.cols() == 1);
+  const float s = scalar.value().at(0, 0);
+  Tensor out = x.value();
+  out.ScaleInPlace(s);
+  return Variable::MakeOp(std::move(out), {x, scalar}, [](VariableNode* node) {
+    VariableNode* x_node = node->parents[0].get();
+    VariableNode* s_node = node->parents[1].get();
+    const float scale = s_node->value.at(0, 0);
+    if (x_node->requires_grad) {
+      Tensor dx = node->grad;
+      dx.ScaleInPlace(scale);
+      x_node->AccumulateGrad(dx);
+    }
+    if (s_node->requires_grad) {
+      double sum = 0.0;
+      const float* g = node->grad.data();
+      const float* xv = x_node->value.data();
+      for (int64_t i = 0; i < node->grad.size(); ++i) sum += g[i] * xv[i];
+      s_node->AccumulateGrad(Tensor::Scalar(static_cast<float>(sum)));
+    }
+  });
+}
+
+Variable Relu(const Variable& x) {
+  return PointwiseOp(
+      x, [](float v) { return v > 0.0f ? v : 0.0f; },
+      [](float xv, float) { return xv > 0.0f ? 1.0f : 0.0f; });
+}
+
+Variable LeakyRelu(const Variable& x, float negative_slope) {
+  return PointwiseOp(
+      x,
+      [negative_slope](float v) { return v > 0.0f ? v : negative_slope * v; },
+      [negative_slope](float xv, float) {
+        return xv > 0.0f ? 1.0f : negative_slope;
+      });
+}
+
+Variable Sigmoid(const Variable& x) {
+  return PointwiseOp(
+      x,
+      [](float v) {
+        return v >= 0.0f ? 1.0f / (1.0f + std::exp(-v))
+                         : std::exp(v) / (1.0f + std::exp(v));
+      },
+      [](float, float yv) { return yv * (1.0f - yv); });
+}
+
+Variable Tanh(const Variable& x) {
+  return PointwiseOp(x, [](float v) { return std::tanh(v); },
+                     [](float, float yv) { return 1.0f - yv * yv; });
+}
+
+Variable Exp(const Variable& x) {
+  return PointwiseOp(x, [](float v) { return std::exp(v); },
+                     [](float, float yv) { return yv; });
+}
+
+Variable Log(const Variable& x, float eps) {
+  return PointwiseOp(
+      x, [eps](float v) { return std::log(std::max(v, eps)); },
+      [eps](float xv, float) { return 1.0f / std::max(xv, eps); });
+}
+
+Variable OneMinusExpNeg(const Variable& x) {
+  return PointwiseOp(
+      x, [](float v) { return -std::expm1(-v); },
+      [](float, float yv) { return 1.0f - yv; });  // d/dx = exp(-x) = 1 - y
+}
+
+Variable Clamp(const Variable& x, float lo, float hi) {
+  return PointwiseOp(
+      x, [lo, hi](float v) { return std::clamp(v, lo, hi); },
+      [lo, hi](float xv, float) {
+        return (xv >= lo && xv <= hi) ? 1.0f : 0.0f;
+      });
+}
+
+Variable Sum(const Variable& x) {
+  return Variable::MakeOp(
+      Tensor::Scalar(x.value().Sum()), {x}, [](VariableNode* node) {
+        VariableNode* parent = node->parents[0].get();
+        if (!parent->requires_grad) return;
+        Tensor dx(parent->value.rows(), parent->value.cols());
+        dx.Fill(node->grad.at(0, 0));
+        parent->AccumulateGrad(dx);
+      });
+}
+
+Variable Mean(const Variable& x) {
+  const float inv =
+      x.value().size() > 0 ? 1.0f / static_cast<float>(x.value().size()) : 0.0f;
+  return Variable::MakeOp(
+      Tensor::Scalar(x.value().Sum() * inv), {x}, [inv](VariableNode* node) {
+        VariableNode* parent = node->parents[0].get();
+        if (!parent->requires_grad) return;
+        Tensor dx(parent->value.rows(), parent->value.cols());
+        dx.Fill(node->grad.at(0, 0) * inv);
+        parent->AccumulateGrad(dx);
+      });
+}
+
+Variable ConcatCols(const Variable& a, const Variable& b) {
+  assert(a.rows() == b.rows());
+  const int64_t d1 = a.cols(), d2 = b.cols();
+  Tensor out(a.rows(), d1 + d2);
+  for (int64_t i = 0; i < a.rows(); ++i) {
+    float* row = out.data() + i * (d1 + d2);
+    const float* arow = a.value().data() + i * d1;
+    const float* brow = b.value().data() + i * d2;
+    std::copy(arow, arow + d1, row);
+    std::copy(brow, brow + d2, row + d1);
+  }
+  return Variable::MakeOp(
+      std::move(out), {a, b}, [d1, d2](VariableNode* node) {
+        VariableNode* a_node = node->parents[0].get();
+        VariableNode* b_node = node->parents[1].get();
+        const Tensor& grad = node->grad;
+        if (a_node->requires_grad) {
+          Tensor da(grad.rows(), d1);
+          for (int64_t i = 0; i < grad.rows(); ++i) {
+            const float* grow = grad.data() + i * (d1 + d2);
+            std::copy(grow, grow + d1, da.data() + i * d1);
+          }
+          a_node->AccumulateGrad(da);
+        }
+        if (b_node->requires_grad) {
+          Tensor db(grad.rows(), d2);
+          for (int64_t i = 0; i < grad.rows(); ++i) {
+            const float* grow = grad.data() + i * (d1 + d2);
+            std::copy(grow + d1, grow + d1 + d2, db.data() + i * d2);
+          }
+          b_node->AccumulateGrad(db);
+        }
+      });
+}
+
+Variable GatherRows(const Variable& x, std::vector<int32_t> indices) {
+  const int64_t d = x.cols();
+  Tensor out(static_cast<int64_t>(indices.size()), d);
+  for (size_t i = 0; i < indices.size(); ++i) {
+    assert(indices[i] >= 0 && indices[i] < x.rows());
+    const float* src = x.value().data() + static_cast<int64_t>(indices[i]) * d;
+    std::copy(src, src + d, out.data() + static_cast<int64_t>(i) * d);
+  }
+  return Variable::MakeOp(
+      std::move(out), {x},
+      [idx = std::move(indices), d](VariableNode* node) {
+        VariableNode* parent = node->parents[0].get();
+        if (!parent->requires_grad) return;
+        Tensor dx(parent->value.rows(), d);
+        for (size_t i = 0; i < idx.size(); ++i) {
+          const float* grow =
+              node->grad.data() + static_cast<int64_t>(i) * d;
+          float* drow = dx.data() + static_cast<int64_t>(idx[i]) * d;
+          for (int64_t j = 0; j < d; ++j) drow[j] += grow[j];
+        }
+        parent->AccumulateGrad(dx);
+      });
+}
+
+std::shared_ptr<const SparsePair> MakeSparsePair(
+    int64_t rows, int64_t cols, const std::vector<Triplet>& triplets) {
+  auto pair = std::make_shared<SparsePair>();
+  pair->forward = BuildCsr(rows, cols, triplets);
+  std::vector<Triplet> transposed;
+  transposed.reserve(triplets.size());
+  for (const Triplet& t : triplets) {
+    transposed.push_back({t.col, t.row, t.value});
+  }
+  pair->transpose = BuildCsr(cols, rows, std::move(transposed));
+  return pair;
+}
+
+Variable SpMM(std::shared_ptr<const SparsePair> sparse, const Variable& x) {
+  assert(sparse->forward.cols == x.rows());
+  Tensor out(sparse->forward.rows, x.cols());
+  SpMMAccumulate(sparse->forward, x.value(), &out);
+  return Variable::MakeOp(
+      std::move(out), {x}, [sp = std::move(sparse)](VariableNode* node) {
+        VariableNode* parent = node->parents[0].get();
+        if (!parent->requires_grad) return;
+        Tensor dx(parent->value.rows(), parent->value.cols());
+        SpMMAccumulate(sp->transpose, node->grad, &dx);
+        parent->AccumulateGrad(dx);
+      });
+}
+
+Variable SegmentSoftmax(const Variable& scores,
+                        std::vector<int32_t> segments, int64_t num_segments) {
+  assert(scores.cols() == 1);
+  assert(static_cast<size_t>(scores.rows()) == segments.size());
+  const int64_t num_edges = scores.rows();
+
+  std::vector<float> seg_max(num_segments,
+                             -std::numeric_limits<float>::infinity());
+  for (int64_t e = 0; e < num_edges; ++e) {
+    seg_max[segments[e]] =
+        std::max(seg_max[segments[e]], scores.value().at(e, 0));
+  }
+  std::vector<double> seg_sum(num_segments, 0.0);
+  Tensor out(num_edges, 1);
+  for (int64_t e = 0; e < num_edges; ++e) {
+    const float shifted =
+        scores.value().at(e, 0) - seg_max[segments[e]];
+    out.at(e, 0) = std::exp(shifted);
+    seg_sum[segments[e]] += out.at(e, 0);
+  }
+  for (int64_t e = 0; e < num_edges; ++e) {
+    const double denom = std::max(seg_sum[segments[e]], 1e-30);
+    out.at(e, 0) = static_cast<float>(out.at(e, 0) / denom);
+  }
+
+  return Variable::MakeOp(
+      std::move(out), {scores},
+      [segs = std::move(segments), num_segments](VariableNode* node) {
+        VariableNode* parent = node->parents[0].get();
+        if (!parent->requires_grad) return;
+        const Tensor& alpha = node->value;
+        const Tensor& dalpha = node->grad;
+        std::vector<double> seg_dot(num_segments, 0.0);
+        const int64_t edge_count = alpha.rows();
+        for (int64_t e = 0; e < edge_count; ++e) {
+          seg_dot[segs[e]] +=
+              static_cast<double>(alpha.at(e, 0)) * dalpha.at(e, 0);
+        }
+        Tensor ds(edge_count, 1);
+        for (int64_t e = 0; e < edge_count; ++e) {
+          ds.at(e, 0) = alpha.at(e, 0) *
+                        (dalpha.at(e, 0) -
+                         static_cast<float>(seg_dot[segs[e]]));
+        }
+        parent->AccumulateGrad(ds);
+      });
+}
+
+Variable SegmentSum(const Variable& x, std::vector<int32_t> segments,
+                    int64_t num_segments) {
+  assert(static_cast<size_t>(x.rows()) == segments.size());
+  const int64_t d = x.cols();
+  Tensor out(num_segments, d);
+  for (int64_t e = 0; e < x.rows(); ++e) {
+    const float* xrow = x.value().data() + e * d;
+    float* orow = out.data() + static_cast<int64_t>(segments[e]) * d;
+    for (int64_t j = 0; j < d; ++j) orow[j] += xrow[j];
+  }
+  return Variable::MakeOp(
+      std::move(out), {x},
+      [segs = std::move(segments), d](VariableNode* node) {
+        VariableNode* parent = node->parents[0].get();
+        if (!parent->requires_grad) return;
+        Tensor dx(parent->value.rows(), d);
+        for (int64_t e = 0; e < dx.rows(); ++e) {
+          const float* grow =
+              node->grad.data() + static_cast<int64_t>(segs[e]) * d;
+          std::copy(grow, grow + d, dx.data() + e * d);
+        }
+        parent->AccumulateGrad(dx);
+      });
+}
+
+}  // namespace privim

@@ -1,0 +1,136 @@
+// Differentiable operations over `Variable`s.
+//
+// The set is exactly what the paper's five GNNs (Appendix G), the Eq. 5
+// influence loss, and the baselines need: dense affine algebra, pointwise
+// nonlinearities, CSR sparse-dense products for message passing, and
+// gather / segment ops for edge-level attention (GAT/GRAT).
+// Every op's pullback is validated by central differences in the tests.
+
+#ifndef PRIVIM_NN_OPS_H_
+#define PRIVIM_NN_OPS_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "privim/nn/autograd.h"
+
+namespace privim {
+
+// ---------------------------------------------------------------------------
+// Dense algebra
+// ---------------------------------------------------------------------------
+
+/// c = a * b (dense matmul).
+Variable MatMul(const Variable& a, const Variable& b);
+
+/// Elementwise a + b (same shape).
+Variable Add(const Variable& a, const Variable& b);
+
+/// Elementwise a - b (same shape).
+Variable Subtract(const Variable& a, const Variable& b);
+
+/// Elementwise a * b (same shape).
+Variable Multiply(const Variable& a, const Variable& b);
+
+/// Adds a (1 x d) bias row to every row of a (n x d) matrix.
+Variable AddRowBroadcast(const Variable& x, const Variable& bias);
+
+/// Multiplies every column of x (n x d) by the (n x 1) column `scale`.
+Variable MulColBroadcast(const Variable& scale, const Variable& x);
+
+/// Elementwise alpha * x + beta with constant scalars.
+Variable Affine(const Variable& x, float alpha, float beta);
+
+/// Multiplies x by a learnable 1x1 scalar variable (used by GIN's
+/// (1 + omega) self-term).
+Variable ScaleByScalar(const Variable& x, const Variable& scalar);
+
+// ---------------------------------------------------------------------------
+// Pointwise nonlinearities
+// ---------------------------------------------------------------------------
+
+Variable Relu(const Variable& x);
+Variable LeakyRelu(const Variable& x, float negative_slope = 0.2f);
+Variable Sigmoid(const Variable& x);
+Variable Tanh(const Variable& x);
+Variable Exp(const Variable& x);
+/// Natural log of max(x, eps) for numerical safety.
+Variable Log(const Variable& x, float eps = 1e-12f);
+
+/// phi(x) = 1 - exp(-x): the smooth [0, 1) squash used for diffusion
+/// probabilities in Eq. 3/5 (a lower bound on the true IC probability;
+/// see core/loss.h PhiKind for the bound analysis).
+Variable OneMinusExpNeg(const Variable& x);
+
+/// Clamps to [lo, hi]; gradient is passed through inside the interval and
+/// zeroed outside (saturating clamp).
+Variable Clamp(const Variable& x, float lo, float hi);
+
+// ---------------------------------------------------------------------------
+// Reductions and reshaping
+// ---------------------------------------------------------------------------
+
+/// Sum of all entries -> 1x1.
+Variable Sum(const Variable& x);
+
+/// Mean of all entries -> 1x1.
+Variable Mean(const Variable& x);
+
+/// Horizontal concatenation [a | b] of (n x d1) and (n x d2).
+Variable ConcatCols(const Variable& a, const Variable& b);
+
+/// out[i] = x[indices[i]] (row gather); backward scatter-adds.
+Variable GatherRows(const Variable& x, std::vector<int32_t> indices);
+
+// ---------------------------------------------------------------------------
+// Sparse message passing
+// ---------------------------------------------------------------------------
+
+/// Immutable CSR matrix whose values are treated as constants (graph
+/// structure / influence probabilities are data, not parameters).
+struct SparseMatrix {
+  int64_t rows = 0;
+  int64_t cols = 0;
+  std::vector<int64_t> offsets;   // rows + 1
+  std::vector<int32_t> indices;   // column ids
+  std::vector<float> values;
+};
+
+/// A sparse matrix paired with its transpose (needed by the SpMM pullback).
+struct SparsePair {
+  SparseMatrix forward;
+  SparseMatrix transpose;
+};
+
+/// COO triplet for building sparse matrices.
+struct Triplet {
+  int32_t row = 0;
+  int32_t col = 0;
+  float value = 0.0f;
+};
+
+/// Builds CSR + transposed CSR from triplets (duplicates are summed).
+std::shared_ptr<const SparsePair> MakeSparsePair(
+    int64_t rows, int64_t cols, const std::vector<Triplet>& triplets);
+
+/// y = S * x where S is (n x m) sparse and x is (m x d) dense.
+Variable SpMM(std::shared_ptr<const SparsePair> sparse, const Variable& x);
+
+// ---------------------------------------------------------------------------
+// Segment ops (edge-level attention)
+// ---------------------------------------------------------------------------
+
+/// Softmax of the (E x 1) scores within each segment: out_e =
+/// exp(s_e) / sum_{e' : seg[e'] == seg[e]} exp(s_e'). Stable (max-shifted).
+Variable SegmentSoftmax(const Variable& scores,
+                        std::vector<int32_t> segments, int64_t num_segments);
+
+/// out[s] = sum over edges e with segments[e] == s of x[e] (x is E x d,
+/// out is num_segments x d).
+Variable SegmentSum(const Variable& x, std::vector<int32_t> segments,
+                    int64_t num_segments);
+
+}  // namespace privim
+
+#endif  // PRIVIM_NN_OPS_H_

@@ -1,0 +1,61 @@
+#include "privim/nn/optimizer.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace privim {
+
+void Optimizer::ZeroGrad() {
+  for (Variable& p : params_) p.ZeroGrad();
+}
+
+SgdOptimizer::SgdOptimizer(std::vector<Variable> params, float learning_rate,
+                           float momentum)
+    : Optimizer(std::move(params)),
+      learning_rate_(learning_rate),
+      momentum_(momentum) {
+  velocity_.assign(static_cast<size_t>(ParameterCount(params_)), 0.0f);
+}
+
+void SgdOptimizer::Step(const std::vector<float>& flat_gradient) {
+  assert(flat_gradient.size() == velocity_.size());
+  if (momentum_ > 0.0f) {
+    for (size_t i = 0; i < velocity_.size(); ++i) {
+      velocity_[i] = momentum_ * velocity_[i] + flat_gradient[i];
+    }
+    ApplyFlatUpdate(params_, velocity_, -learning_rate_);
+  } else {
+    ApplyFlatUpdate(params_, flat_gradient, -learning_rate_);
+  }
+}
+
+AdamOptimizer::AdamOptimizer(std::vector<Variable> params, float learning_rate,
+                             float beta1, float beta2, float eps)
+    : Optimizer(std::move(params)),
+      learning_rate_(learning_rate),
+      beta1_(beta1),
+      beta2_(beta2),
+      eps_(eps) {
+  const size_t count = static_cast<size_t>(ParameterCount(params_));
+  first_moment_.assign(count, 0.0f);
+  second_moment_.assign(count, 0.0f);
+}
+
+void AdamOptimizer::Step(const std::vector<float>& flat_gradient) {
+  assert(flat_gradient.size() == first_moment_.size());
+  ++step_count_;
+  const float bc1 = 1.0f - std::pow(beta1_, static_cast<float>(step_count_));
+  const float bc2 = 1.0f - std::pow(beta2_, static_cast<float>(step_count_));
+  std::vector<float> update(flat_gradient.size());
+  for (size_t i = 0; i < flat_gradient.size(); ++i) {
+    const float g = flat_gradient[i];
+    first_moment_[i] = beta1_ * first_moment_[i] + (1.0f - beta1_) * g;
+    second_moment_[i] = beta2_ * second_moment_[i] + (1.0f - beta2_) * g * g;
+    const float m_hat = first_moment_[i] / bc1;
+    const float v_hat = second_moment_[i] / bc2;
+    update[i] = m_hat / (std::sqrt(v_hat) + eps_);
+  }
+  ApplyFlatUpdate(params_, update, -learning_rate_);
+}
+
+}  // namespace privim

@@ -1,0 +1,71 @@
+// First-order optimizers over flat gradient vectors.
+//
+// DP-SGD (Alg. 2) produces the privatized gradient as a flat vector (clip,
+// sum, noise), so optimizers consume that representation directly; the
+// non-private path flattens autograd gradients with FlattenGradients().
+
+#ifndef PRIVIM_NN_OPTIMIZER_H_
+#define PRIVIM_NN_OPTIMIZER_H_
+
+#include <memory>
+#include <vector>
+
+#include "privim/nn/autograd.h"
+
+namespace privim {
+
+/// Base optimizer; owns references to the parameter variables.
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<Variable> params)
+      : params_(std::move(params)) {}
+  virtual ~Optimizer() = default;
+
+  /// Applies one update from a flat gradient (FlattenGradients layout).
+  virtual void Step(const std::vector<float>& flat_gradient) = 0;
+
+  /// Zeroes the autograd gradients of every parameter.
+  void ZeroGrad();
+
+  const std::vector<Variable>& params() const { return params_; }
+
+ protected:
+  std::vector<Variable> params_;
+};
+
+/// Plain SGD with optional momentum.
+class SgdOptimizer : public Optimizer {
+ public:
+  SgdOptimizer(std::vector<Variable> params, float learning_rate,
+               float momentum = 0.0f);
+  void Step(const std::vector<float>& flat_gradient) override;
+
+  void set_learning_rate(float lr) { learning_rate_ = lr; }
+  float learning_rate() const { return learning_rate_; }
+
+ private:
+  float learning_rate_;
+  float momentum_;
+  std::vector<float> velocity_;
+};
+
+/// Adam (Kingma & Ba) with bias correction.
+class AdamOptimizer : public Optimizer {
+ public:
+  AdamOptimizer(std::vector<Variable> params, float learning_rate,
+                float beta1 = 0.9f, float beta2 = 0.999f, float eps = 1e-8f);
+  void Step(const std::vector<float>& flat_gradient) override;
+
+ private:
+  float learning_rate_;
+  float beta1_;
+  float beta2_;
+  float eps_;
+  int64_t step_count_ = 0;
+  std::vector<float> first_moment_;
+  std::vector<float> second_moment_;
+};
+
+}  // namespace privim
+
+#endif  // PRIVIM_NN_OPTIMIZER_H_

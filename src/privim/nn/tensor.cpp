@@ -1,0 +1,82 @@
+#include "privim/nn/tensor.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace privim {
+
+Tensor Tensor::FromVector(int64_t rows, int64_t cols,
+                          std::vector<float> values) {
+  assert(static_cast<int64_t>(values.size()) == rows * cols);
+  Tensor t;
+  t.rows_ = rows;
+  t.cols_ = cols;
+  t.data_ = std::move(values);
+  return t;
+}
+
+Tensor Tensor::Gaussian(int64_t rows, int64_t cols, float stddev, Rng* rng) {
+  Tensor t(rows, cols);
+  for (float& x : t.data_) {
+    x = static_cast<float>(rng->NextGaussian(0.0, stddev));
+  }
+  return t;
+}
+
+Tensor Tensor::GlorotUniform(int64_t fan_in, int64_t fan_out, Rng* rng) {
+  Tensor t(fan_in, fan_out);
+  const float limit =
+      std::sqrt(6.0f / static_cast<float>(fan_in + fan_out));
+  for (float& x : t.data_) {
+    x = limit * (2.0f * static_cast<float>(rng->NextDouble()) - 1.0f);
+  }
+  return t;
+}
+
+void Tensor::AddInPlace(const Tensor& other) {
+  assert(SameShape(other));
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+}
+
+void Tensor::ScaleInPlace(float factor) {
+  for (float& x : data_) x *= factor;
+}
+
+float Tensor::L2Norm() const {
+  double sum = 0.0;
+  for (float x : data_) sum += static_cast<double>(x) * x;
+  return static_cast<float>(std::sqrt(sum));
+}
+
+float Tensor::Sum() const {
+  double sum = 0.0;
+  for (float x : data_) sum += x;
+  return static_cast<float>(sum);
+}
+
+float Tensor::MaxAbs() const {
+  float max_abs = 0.0f;
+  for (float x : data_) max_abs = std::max(max_abs, std::abs(x));
+  return max_abs;
+}
+
+Tensor MatMulValues(const Tensor& a, const Tensor& b) {
+  assert(a.cols() == b.rows());
+  Tensor c(a.rows(), b.cols());
+  const int64_t inner = a.cols();
+  const int64_t bcols = b.cols();
+  // ikj loop order: streams through b and c rows, friendly to the cache.
+  for (int64_t i = 0; i < a.rows(); ++i) {
+    float* crow = c.data() + i * bcols;
+    const float* arow = a.data() + i * inner;
+    for (int64_t k = 0; k < inner; ++k) {
+      const float aik = arow[k];
+      if (aik == 0.0f) continue;
+      const float* brow = b.data() + k * bcols;
+      for (int64_t j = 0; j < bcols; ++j) crow[j] += aik * brow[j];
+    }
+  }
+  return c;
+}
+
+}  // namespace privim

@@ -1,0 +1,89 @@
+// Dense row-major float32 matrix — the value type of the autograd engine.
+//
+// PrivIM's models are small (3 layers x 32 hidden units on <=80-node
+// subgraphs), so a straightforward cache-friendly dense kernel plus a CSR
+// sparse-dense product (ops.h) is all the linear algebra the paper needs.
+
+#ifndef PRIVIM_NN_TENSOR_H_
+#define PRIVIM_NN_TENSOR_H_
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+#include "privim/common/rng.h"
+
+namespace privim {
+
+/// 2D row-major float matrix. A column vector is (n x 1), a scalar (1 x 1).
+class Tensor {
+ public:
+  Tensor() = default;
+  Tensor(int64_t rows, int64_t cols, float fill = 0.0f)
+      : rows_(rows), cols_(cols),
+        data_(static_cast<size_t>(rows * cols), fill) {
+    assert(rows >= 0 && cols >= 0);
+  }
+
+  static Tensor Zeros(int64_t rows, int64_t cols) {
+    return Tensor(rows, cols, 0.0f);
+  }
+  static Tensor Ones(int64_t rows, int64_t cols) {
+    return Tensor(rows, cols, 1.0f);
+  }
+  static Tensor Scalar(float value) { return Tensor(1, 1, value); }
+  /// Builds from a flat row-major buffer; `values.size()` must be rows*cols.
+  static Tensor FromVector(int64_t rows, int64_t cols,
+                           std::vector<float> values);
+  /// I.i.d. N(0, stddev^2) entries.
+  static Tensor Gaussian(int64_t rows, int64_t cols, float stddev, Rng* rng);
+  /// Glorot/Xavier-uniform init for a (fan_in x fan_out) weight matrix.
+  static Tensor GlorotUniform(int64_t fan_in, int64_t fan_out, Rng* rng);
+
+  int64_t rows() const { return rows_; }
+  int64_t cols() const { return cols_; }
+  int64_t size() const { return rows_ * cols_; }
+  bool SameShape(const Tensor& other) const {
+    return rows_ == other.rows_ && cols_ == other.cols_;
+  }
+
+  float& at(int64_t r, int64_t c) {
+    assert(r >= 0 && r < rows_ && c >= 0 && c < cols_);
+    return data_[static_cast<size_t>(r * cols_ + c)];
+  }
+  float at(int64_t r, int64_t c) const {
+    assert(r >= 0 && r < rows_ && c >= 0 && c < cols_);
+    return data_[static_cast<size_t>(r * cols_ + c)];
+  }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+
+  void Fill(float value) { std::fill(data_.begin(), data_.end(), value); }
+
+  /// this += other (same shape).
+  void AddInPlace(const Tensor& other);
+  /// this *= scalar.
+  void ScaleInPlace(float factor);
+
+  /// Frobenius / l2 norm of all entries.
+  float L2Norm() const;
+
+  /// Sum of all entries.
+  float Sum() const;
+
+  /// Max |entry|.
+  float MaxAbs() const;
+
+ private:
+  int64_t rows_ = 0;
+  int64_t cols_ = 0;
+  std::vector<float> data_;
+};
+
+/// Dense matrix product c = a * b.
+Tensor MatMulValues(const Tensor& a, const Tensor& b);
+
+}  // namespace privim
+
+#endif  // PRIVIM_NN_TENSOR_H_

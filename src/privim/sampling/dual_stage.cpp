@@ -1,0 +1,75 @@
+#include "privim/sampling/dual_stage.h"
+
+#include <algorithm>
+
+#include "privim/graph/subgraph.h"
+
+namespace privim {
+
+Status DualStageOptions::Validate() const {
+  PRIVIM_RETURN_NOT_OK(stage1.Validate());
+  if (boundary_divisor < 1) {
+    return Status::InvalidArgument("boundary_divisor must be >= 1");
+  }
+  return Status::OK();
+}
+
+Result<DualStageResult> DualStageSampling(const Graph& graph,
+                                          const DualStageOptions& options,
+                                          Rng* rng) {
+  PRIVIM_RETURN_NOT_OK(options.Validate());
+
+  DualStageResult result;
+  result.frequency.assign(graph.num_nodes(), 0);
+
+  // Stage 1: Sensitivity-Constrained Sampling on the full graph.
+  Result<std::vector<Subgraph>> stage1 =
+      FreqSampling(graph, options.stage1, &result.frequency, rng);
+  if (!stage1.ok()) return stage1.status();
+  result.stage1_subgraphs = static_cast<int64_t>(stage1.value().size());
+  result.container.Append(std::move(stage1).value());
+
+  if (!options.enable_boundary_stage) return result;
+
+  // Stage 2: Boundary-Enhanced Sampling on the graph of unsaturated nodes.
+  std::vector<NodeId> remaining;
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+    if (result.frequency[v] < options.stage1.frequency_threshold) {
+      remaining.push_back(v);
+    }
+  }
+  if (remaining.size() < 2) return result;
+
+  Result<Subgraph> boundary = InducedSubgraph(graph, remaining);
+  if (!boundary.ok()) return boundary.status();
+  const Subgraph& boundary_graph = boundary.value();
+
+  // f* carries each remaining node's stage-1 count so the global cap of M
+  // occurrences still holds across both stages.
+  std::vector<int64_t> boundary_frequency(boundary_graph.num_nodes());
+  for (int64_t local = 0; local < boundary_graph.num_nodes(); ++local) {
+    boundary_frequency[local] =
+        result.frequency[boundary_graph.global_ids[local]];
+  }
+
+  FreqSamplingOptions stage2 = options.stage1;
+  stage2.subgraph_size = std::max<int64_t>(
+      2, options.stage1.subgraph_size / options.boundary_divisor);
+  Result<std::vector<Subgraph>> stage2_subgraphs = FreqSampling(
+      boundary_graph.local, stage2, &boundary_frequency, rng);
+  if (!stage2_subgraphs.ok()) return stage2_subgraphs.status();
+
+  // Remap stage-2 subgraphs from boundary-local ids to parent-graph ids and
+  // fold the stage-2 counts back into the global frequency vector.
+  for (Subgraph& sub : stage2_subgraphs.value()) {
+    for (NodeId& id : sub.global_ids) {
+      id = boundary_graph.global_ids[id];
+    }
+    for (NodeId global : sub.global_ids) ++result.frequency[global];
+    ++result.stage2_subgraphs;
+    result.container.Add(std::move(sub));
+  }
+  return result;
+}
+
+}  // namespace privim

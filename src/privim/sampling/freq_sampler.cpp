@@ -1,0 +1,97 @@
+#include "privim/sampling/freq_sampler.h"
+
+#include <cmath>
+#include <unordered_set>
+
+#include "privim/graph/traversal.h"
+
+namespace privim {
+
+Status FreqSamplingOptions::Validate() const {
+  if (subgraph_size < 2) {
+    return Status::InvalidArgument("subgraph_size must be >= 2");
+  }
+  if (restart_probability < 0.0 || restart_probability >= 1.0) {
+    return Status::InvalidArgument("restart_probability must be in [0, 1)");
+  }
+  if (decay < 0.0) return Status::InvalidArgument("decay must be >= 0");
+  if (sampling_rate <= 0.0 || sampling_rate > 1.0) {
+    return Status::InvalidArgument("sampling_rate must be in (0, 1]");
+  }
+  if (walk_length < 1) {
+    return Status::InvalidArgument("walk_length must be >= 1");
+  }
+  if (frequency_threshold < 1) {
+    return Status::InvalidArgument("frequency_threshold must be >= 1");
+  }
+  return Status::OK();
+}
+
+Result<std::vector<Subgraph>> FreqSampling(const Graph& graph,
+                                           const FreqSamplingOptions& options,
+                                           std::vector<int64_t>* frequency,
+                                           Rng* rng) {
+  PRIVIM_RETURN_NOT_OK(options.Validate());
+  if (static_cast<int64_t>(frequency->size()) != graph.num_nodes()) {
+    return Status::InvalidArgument("frequency vector size mismatch");
+  }
+
+  std::vector<Subgraph> subgraphs;
+  std::vector<NodeId> walk_nodes;
+  std::vector<NodeId> candidates;
+  std::vector<double> weights;
+
+  // e_v of Eq. 9: inverse-polynomial in the running frequency, 0 once the
+  // node saturates the threshold M.
+  auto eligibility = [&](NodeId v) -> double {
+    const int64_t f = (*frequency)[v];
+    if (f >= options.frequency_threshold) return 0.0;
+    return 1.0 / std::pow(static_cast<double>(f) + 1.0, options.decay);
+  };
+
+  for (NodeId v0 = 0; v0 < graph.num_nodes(); ++v0) {
+    if (!rng->NextBernoulli(options.sampling_rate)) continue;
+    if ((*frequency)[v0] >= options.frequency_threshold) continue;
+    if (graph.OutDegree(v0) + graph.InDegree(v0) == 0) continue;
+
+    walk_nodes.assign(1, v0);
+    std::unordered_set<NodeId> visited{v0};
+    NodeId current = v0;
+    for (int64_t step = 0; step < options.walk_length; ++step) {
+      if (rng->NextBernoulli(options.restart_probability)) current = v0;
+      candidates.clear();
+      weights.clear();
+      // Walk the underlying undirected structure (see rwr_sampler.cpp).
+      for (NodeId u : UndirectedNeighbors(graph, current)) {
+        const double e = eligibility(u);
+        if (e > 0.0) {
+          candidates.push_back(u);
+          weights.push_back(e);
+        }
+      }
+      if (candidates.empty()) {
+        current = v0;  // every neighbor saturated: restart
+        continue;
+      }
+      const size_t pick = rng->NextDiscrete(weights);
+      if (pick >= candidates.size()) {
+        current = v0;
+        continue;
+      }
+      const NodeId next = candidates[pick];
+      current = next;
+      if (visited.insert(next).second) walk_nodes.push_back(next);
+      if (static_cast<int64_t>(walk_nodes.size()) == options.subgraph_size) {
+        Result<Subgraph> sub = InducedSubgraph(graph, walk_nodes);
+        if (!sub.ok()) return sub.status();
+        subgraphs.push_back(std::move(sub).value());
+        // Alg. 3 line 26: frequencies update only for completed subgraphs.
+        for (NodeId v : walk_nodes) ++(*frequency)[v];
+        break;
+      }
+    }
+  }
+  return subgraphs;
+}
+
+}  // namespace privim

@@ -1,0 +1,41 @@
+// Adaptive frequency sampling (the FreqSampling routine of Alg. 3).
+//
+// Random walk where a neighbor v is chosen with probability proportional to
+// e_v = 1/(f_v + 1)^mu when f_v < M, and 0 once v has saturated the global
+// frequency threshold M (Eq. 9). The frequency vector counts how many
+// *completed* subgraphs contain each node, so the sampler enforces the hard
+// occurrence bound N_g* = M that Sec. IV's privacy analysis relies on.
+
+#ifndef PRIVIM_SAMPLING_FREQ_SAMPLER_H_
+#define PRIVIM_SAMPLING_FREQ_SAMPLER_H_
+
+#include <vector>
+
+#include "privim/common/rng.h"
+#include "privim/graph/graph.h"
+#include "privim/graph/subgraph.h"
+
+namespace privim {
+
+struct FreqSamplingOptions {
+  int64_t subgraph_size = 40;        ///< n
+  double restart_probability = 0.3;  ///< tau
+  double decay = 1.0;                ///< mu — frequency decay exponent
+  double sampling_rate = 0.1;        ///< q
+  int64_t walk_length = 200;         ///< L
+  int64_t frequency_threshold = 6;   ///< M
+
+  Status Validate() const;
+};
+
+/// Runs FreqSampling(f, G, n). `frequency` must have graph.num_nodes()
+/// entries and is updated in place as subgraphs complete (Alg. 3 line 26).
+/// The returned subgraphs carry node ids of `graph`.
+Result<std::vector<Subgraph>> FreqSampling(const Graph& graph,
+                                           const FreqSamplingOptions& options,
+                                           std::vector<int64_t>* frequency,
+                                           Rng* rng);
+
+}  // namespace privim
+
+#endif  // PRIVIM_SAMPLING_FREQ_SAMPLER_H_

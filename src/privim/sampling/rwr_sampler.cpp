@@ -1,0 +1,75 @@
+#include "privim/sampling/rwr_sampler.h"
+
+#include <unordered_set>
+#include <vector>
+
+#include "privim/graph/traversal.h"
+
+namespace privim {
+
+Status RwrSamplerOptions::Validate() const {
+  if (subgraph_size < 2) {
+    return Status::InvalidArgument("subgraph_size must be >= 2");
+  }
+  if (restart_probability < 0.0 || restart_probability >= 1.0) {
+    return Status::InvalidArgument("restart_probability must be in [0, 1)");
+  }
+  if (sampling_rate <= 0.0 || sampling_rate > 1.0) {
+    return Status::InvalidArgument("sampling_rate must be in (0, 1]");
+  }
+  if (walk_length < 1) {
+    return Status::InvalidArgument("walk_length must be >= 1");
+  }
+  if (hop_limit < 1) return Status::InvalidArgument("hop_limit must be >= 1");
+  return Status::OK();
+}
+
+Result<SubgraphContainer> ExtractSubgraphsRwr(const Graph& graph,
+                                              const RwrSamplerOptions& options,
+                                              Rng* rng) {
+  PRIVIM_RETURN_NOT_OK(options.Validate());
+
+  SubgraphContainer container;
+  std::vector<NodeId> walk_nodes;
+  for (NodeId v0 = 0; v0 < graph.num_nodes(); ++v0) {
+    if (!rng->NextBernoulli(options.sampling_rate)) continue;
+    if (graph.OutDegree(v0) + graph.InDegree(v0) == 0) continue;
+
+    // N_r(v0): membership set for the r-hop constraint of Alg. 1 line 10.
+    // The walk moves on the underlying undirected structure so directed
+    // graphs (whose sinks would otherwise strand the walk) sample cleanly.
+    const std::vector<NodeId> ball =
+        UndirectedRHopBall(graph, v0, options.hop_limit);
+    if (static_cast<int64_t>(ball.size()) < options.subgraph_size) continue;
+    std::unordered_set<NodeId> in_ball(ball.begin(), ball.end());
+
+    walk_nodes.assign(1, v0);
+    std::unordered_set<NodeId> visited{v0};
+    NodeId current = v0;
+    std::vector<NodeId> candidates;
+    for (int64_t step = 0; step < options.walk_length; ++step) {
+      if (rng->NextBernoulli(options.restart_probability)) current = v0;
+      candidates.clear();
+      for (NodeId u : UndirectedNeighbors(graph, current)) {
+        if (in_ball.count(u)) candidates.push_back(u);
+      }
+      if (candidates.empty()) {
+        current = v0;  // dead end inside the ball: restart
+        continue;
+      }
+      const NodeId next =
+          candidates[rng->NextBounded(candidates.size())];
+      current = next;
+      if (visited.insert(next).second) walk_nodes.push_back(next);
+      if (static_cast<int64_t>(walk_nodes.size()) == options.subgraph_size) {
+        Result<Subgraph> sub = InducedSubgraph(graph, walk_nodes);
+        if (!sub.ok()) return sub.status();
+        container.Add(std::move(sub).value());
+        break;
+      }
+    }
+  }
+  return container;
+}
+
+}  // namespace privim

@@ -1,0 +1,32 @@
+// Algorithm 1: naive subgraph extraction via Random Walk with Restart on the
+// theta-bounded graph, restricted to the r-hop ball of the start node.
+
+#ifndef PRIVIM_SAMPLING_RWR_SAMPLER_H_
+#define PRIVIM_SAMPLING_RWR_SAMPLER_H_
+
+#include "privim/common/rng.h"
+#include "privim/graph/graph.h"
+#include "privim/sampling/subgraph_container.h"
+
+namespace privim {
+
+struct RwrSamplerOptions {
+  int64_t subgraph_size = 40;        ///< n — unique nodes per subgraph
+  double restart_probability = 0.3;  ///< tau
+  double sampling_rate = 0.1;        ///< q — paper: 256 / |V_train|
+  int64_t walk_length = 200;         ///< L — steps before giving up
+  int64_t hop_limit = 3;             ///< r — walk stays inside N_r(v0)
+
+  Status Validate() const;
+};
+
+/// Runs Alg. 1 on `graph` (which the caller has already theta-projected;
+/// see ProjectInDegree). Walks that fail to collect n unique nodes within L
+/// steps produce no subgraph, exactly as in the paper.
+Result<SubgraphContainer> ExtractSubgraphsRwr(const Graph& graph,
+                                              const RwrSamplerOptions& options,
+                                              Rng* rng);
+
+}  // namespace privim
+
+#endif  // PRIVIM_SAMPLING_RWR_SAMPLER_H_

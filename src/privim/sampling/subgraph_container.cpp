@@ -1,0 +1,47 @@
+#include "privim/sampling/subgraph_container.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace privim {
+
+void SubgraphContainer::Append(std::vector<Subgraph> subgraphs) {
+  for (Subgraph& s : subgraphs) subgraphs_.push_back(std::move(s));
+}
+
+std::vector<int64_t> SubgraphContainer::SampleBatch(int64_t batch_size,
+                                                    Rng* rng) const {
+  const int64_t n = size();
+  batch_size = std::min(batch_size, n);
+  std::vector<int64_t> indices(n);
+  std::iota(indices.begin(), indices.end(), int64_t{0});
+  // Partial Fisher-Yates: first `batch_size` entries are a uniform sample
+  // without replacement.
+  for (int64_t k = 0; k < batch_size; ++k) {
+    const int64_t j =
+        k + static_cast<int64_t>(rng->NextBounded(static_cast<uint64_t>(n - k)));
+    std::swap(indices[k], indices[j]);
+  }
+  indices.resize(batch_size);
+  return indices;
+}
+
+std::vector<int64_t> SubgraphContainer::NodeOccurrences(
+    int64_t num_parent_nodes) const {
+  std::vector<int64_t> occurrences(num_parent_nodes, 0);
+  for (const Subgraph& s : subgraphs_) {
+    for (NodeId global : s.global_ids) {
+      if (global >= 0 && global < num_parent_nodes) ++occurrences[global];
+    }
+  }
+  return occurrences;
+}
+
+int64_t SubgraphContainer::MaxOccurrence(int64_t num_parent_nodes) const {
+  const std::vector<int64_t> occurrences = NodeOccurrences(num_parent_nodes);
+  return occurrences.empty()
+             ? 0
+             : *std::max_element(occurrences.begin(), occurrences.end());
+}
+
+}  // namespace privim

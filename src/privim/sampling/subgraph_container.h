@@ -1,0 +1,46 @@
+// The subgraph container G_sub: the pool mini-batches are drawn from during
+// DP-GNN training (Fig. 2, Module 1 output).
+
+#ifndef PRIVIM_SAMPLING_SUBGRAPH_CONTAINER_H_
+#define PRIVIM_SAMPLING_SUBGRAPH_CONTAINER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "privim/common/rng.h"
+#include "privim/graph/subgraph.h"
+
+namespace privim {
+
+/// Owns the extracted subgraphs and provides uniform mini-batch sampling
+/// plus the node-occurrence statistics the privacy analysis reasons about.
+class SubgraphContainer {
+ public:
+  SubgraphContainer() = default;
+
+  void Add(Subgraph subgraph) { subgraphs_.push_back(std::move(subgraph)); }
+  void Append(std::vector<Subgraph> subgraphs);
+
+  int64_t size() const { return static_cast<int64_t>(subgraphs_.size()); }
+  bool empty() const { return subgraphs_.empty(); }
+  const Subgraph& at(int64_t i) const { return subgraphs_[i]; }
+  const std::vector<Subgraph>& subgraphs() const { return subgraphs_; }
+
+  /// Uniformly samples min(batch_size, size) distinct subgraph indices
+  /// (Alg. 2 line 3).
+  std::vector<int64_t> SampleBatch(int64_t batch_size, Rng* rng) const;
+
+  /// occurrences[v] = number of subgraphs containing parent-graph node v.
+  std::vector<int64_t> NodeOccurrences(int64_t num_parent_nodes) const;
+
+  /// Empirical max occurrence — must stay <= the analytic bound of Lemma 1
+  /// (naive sampler) or <= M (frequency sampler); asserted in tests.
+  int64_t MaxOccurrence(int64_t num_parent_nodes) const;
+
+ private:
+  std::vector<Subgraph> subgraphs_;
+};
+
+}  // namespace privim
+
+#endif  // PRIVIM_SAMPLING_SUBGRAPH_CONTAINER_H_

@@ -1,0 +1,158 @@
+#include <cmath>
+#include <set>
+
+#include "gtest/gtest.h"
+#include "privim/baselines/egn.h"
+#include "privim/baselines/hp.h"
+#include "privim/datasets/datasets.h"
+#include "privim/datasets/split.h"
+#include "privim/dp/sensitivity.h"
+
+namespace privim {
+namespace {
+
+struct BaselineFixture {
+  Graph train;
+  Graph eval;
+};
+
+BaselineFixture MakeFixture(uint64_t seed) {
+  Result<Dataset> dataset =
+      MakeDataset(DatasetId::kEmail, DatasetScale::kTiny, seed);
+  EXPECT_TRUE(dataset.ok());
+  Rng rng(seed + 1);
+  Result<TrainTestSplit> split = SplitNodes(dataset->graph, 0.5, &rng);
+  EXPECT_TRUE(split.ok());
+  BaselineFixture fixture;
+  fixture.train = std::move(split->train.local);
+  fixture.eval = std::move(split->test.local);
+  return fixture;
+}
+
+EgnOptions FastEgn() {
+  EgnOptions options;
+  options.gnn.input_dim = 4;
+  options.gnn.hidden_dim = 8;
+  options.gnn.num_layers = 2;
+  options.subgraph_size = 12;
+  options.sampling_rate = 0.5;
+  options.walk_length = 150;
+  options.batch_size = 8;
+  options.iterations = 10;
+  options.seed_set_size = 10;
+  options.epsilon = 4.0;
+  return options;
+}
+
+HpOptions FastHp() {
+  HpOptions options;
+  options.gnn.input_dim = 4;
+  options.gnn.hidden_dim = 8;
+  options.gnn.num_layers = 2;
+  options.theta = 5;
+  options.sampling_rate = 0.5;
+  options.batch_size = 8;
+  options.iterations = 10;
+  options.seed_set_size = 10;
+  options.epsilon = 4.0;
+  return options;
+}
+
+TEST(EgnTest, EndToEndProducesSeeds) {
+  BaselineFixture fixture = MakeFixture(1);
+  Result<PrivImResult> result = RunEgn(fixture.train, fixture.eval,
+                                       FastEgn(), 42);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->seeds.size(), 10u);
+  std::set<NodeId> unique(result->seeds.begin(), result->seeds.end());
+  EXPECT_EQ(unique.size(), 10u);
+  EXPECT_GT(result->container_size, 0);
+}
+
+TEST(EgnTest, OccurrenceBoundIsContainerSize) {
+  // Unconstrained sampling admits no a-priori bound below m.
+  BaselineFixture fixture = MakeFixture(2);
+  Result<PrivImResult> result =
+      RunEgn(fixture.train, fixture.eval, FastEgn(), 43);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->occurrence_bound, result->container_size);
+  EXPECT_LE(result->empirical_max_occurrence, result->container_size);
+}
+
+TEST(EgnTest, NonPrivateMode) {
+  BaselineFixture fixture = MakeFixture(3);
+  EgnOptions options = FastEgn();
+  options.epsilon = -1.0;
+  Result<PrivImResult> result =
+      RunEgn(fixture.train, fixture.eval, options, 44);
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(result->noise_multiplier, 0.0);
+}
+
+TEST(EgnTest, DeterministicInSeed) {
+  BaselineFixture fixture = MakeFixture(4);
+  Result<PrivImResult> a = RunEgn(fixture.train, fixture.eval, FastEgn(), 7);
+  Result<PrivImResult> b = RunEgn(fixture.train, fixture.eval, FastEgn(), 7);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->seeds, b->seeds);
+}
+
+TEST(HpTest, EndToEndProducesSeeds) {
+  BaselineFixture fixture = MakeFixture(5);
+  Result<PrivImResult> result =
+      RunHp(fixture.train, fixture.eval, FastHp(), /*use_grat=*/false, 45);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->seeds.size(), 10u);
+  EXPECT_GT(result->container_size, 0);
+}
+
+TEST(HpTest, OccurrenceBoundMatchesEgoTreeLemma) {
+  BaselineFixture fixture = MakeFixture(6);
+  HpOptions options = FastHp();
+  Result<PrivImResult> result =
+      RunHp(fixture.train, fixture.eval, options, false, 46);
+  ASSERT_TRUE(result.ok());
+  const int64_t lemma = NaiveOccurrenceBound(options.theta,
+                                             options.gnn.num_layers);
+  EXPECT_EQ(result->occurrence_bound,
+            std::min<int64_t>(lemma, result->container_size));
+}
+
+TEST(HpTest, GratVariantRuns) {
+  BaselineFixture fixture = MakeFixture(7);
+  Result<PrivImResult> result =
+      RunHp(fixture.train, fixture.eval, FastHp(), /*use_grat=*/true, 47);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->seeds.size(), 10u);
+}
+
+TEST(HpTest, GratAndGcnVariantsDiffer) {
+  BaselineFixture fixture = MakeFixture(8);
+  Result<PrivImResult> gcn =
+      RunHp(fixture.train, fixture.eval, FastHp(), false, 48);
+  Result<PrivImResult> grat =
+      RunHp(fixture.train, fixture.eval, FastHp(), true, 48);
+  ASSERT_TRUE(gcn.ok());
+  ASSERT_TRUE(grat.ok());
+  float diff = 0.0f;
+  for (int64_t v = 0; v < gcn->eval_scores.rows(); ++v) {
+    diff += std::fabs(gcn->eval_scores.at(v, 0) - grat->eval_scores.at(v, 0));
+  }
+  EXPECT_GT(diff, 0.0f);
+}
+
+TEST(HpTest, EgoSubgraphsAreLocalTrees) {
+  // HP trains on small per-node neighborhoods — far smaller than the graph.
+  BaselineFixture fixture = MakeFixture(9);
+  HpOptions options = FastHp();
+  options.theta = 3;
+  options.gnn.num_layers = 1;
+  Result<PrivImResult> result =
+      RunHp(fixture.train, fixture.eval, options, false, 49);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->container_size, 0);
+}
+
+}  // namespace
+}  // namespace privim

@@ -1,0 +1,77 @@
+#include "privim/common/flags.h"
+
+#include <cstdlib>
+
+#include "gtest/gtest.h"
+
+namespace privim {
+namespace {
+
+Flags ParseFlags(std::vector<std::string> args) {
+  std::vector<char*> argv;
+  static std::vector<std::string> storage;
+  storage = std::move(args);
+  argv.push_back(const_cast<char*>("prog"));
+  for (auto& a : storage) argv.push_back(const_cast<char*>(a.c_str()));
+  return Flags(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(FlagsTest, EqualsSyntax) {
+  Flags flags = ParseFlags({"--epsilon=3.5", "--name=email"});
+  EXPECT_TRUE(flags.Has("epsilon"));
+  EXPECT_DOUBLE_EQ(flags.GetDouble("epsilon", 0.0), 3.5);
+  EXPECT_EQ(flags.GetString("name", ""), "email");
+}
+
+TEST(FlagsTest, SpaceSyntax) {
+  Flags flags = ParseFlags({"--iters", "42"});
+  EXPECT_EQ(flags.GetInt("iters", 0), 42);
+}
+
+TEST(FlagsTest, BareFlagIsBooleanTrue) {
+  Flags flags = ParseFlags({"--verbose"});
+  EXPECT_TRUE(flags.GetBool("verbose", false));
+}
+
+TEST(FlagsTest, BareFlagFollowedByAnotherFlag) {
+  Flags flags = ParseFlags({"--fast", "--k=3"});
+  EXPECT_TRUE(flags.GetBool("fast", false));
+  EXPECT_EQ(flags.GetInt("k", 0), 3);
+}
+
+TEST(FlagsTest, DefaultsWhenAbsent) {
+  Flags flags = ParseFlags({});
+  EXPECT_FALSE(flags.Has("missing"));
+  EXPECT_EQ(flags.GetString("missing", "dflt"), "dflt");
+  EXPECT_EQ(flags.GetInt("missing", 7), 7);
+  EXPECT_DOUBLE_EQ(flags.GetDouble("missing", 1.5), 1.5);
+  EXPECT_TRUE(flags.GetBool("missing", true));
+}
+
+TEST(FlagsTest, MalformedNumbersFallBackToDefault) {
+  Flags flags = ParseFlags({"--n=abc"});
+  EXPECT_EQ(flags.GetInt("n", 9), 9);
+  EXPECT_DOUBLE_EQ(flags.GetDouble("n", 2.5), 2.5);
+}
+
+TEST(FlagsTest, BoolParsesCommonSpellings) {
+  EXPECT_TRUE(ParseFlags({"--a=true"}).GetBool("a", false));
+  EXPECT_TRUE(ParseFlags({"--a=1"}).GetBool("a", false));
+  EXPECT_TRUE(ParseFlags({"--a=yes"}).GetBool("a", false));
+  EXPECT_FALSE(ParseFlags({"--a=false"}).GetBool("a", true));
+}
+
+TEST(FlagsTest, NonFlagArgumentsIgnored) {
+  Flags flags = ParseFlags({"positional", "--k=1"});
+  EXPECT_EQ(flags.GetInt("k", 0), 1);
+}
+
+TEST(FlagsTest, GetEnvReadsEnvironment) {
+  ::setenv("PRIVIM_FLAGS_TEST_VAR", "hello", 1);
+  EXPECT_EQ(Flags::GetEnv("PRIVIM_FLAGS_TEST_VAR", "d"), "hello");
+  ::unsetenv("PRIVIM_FLAGS_TEST_VAR");
+  EXPECT_EQ(Flags::GetEnv("PRIVIM_FLAGS_TEST_VAR", "d"), "d");
+}
+
+}  // namespace
+}  // namespace privim

@@ -1,0 +1,140 @@
+#include "privim/common/math_utils.h"
+
+#include <cmath>
+#include <limits>
+
+#include "gtest/gtest.h"
+
+namespace privim {
+namespace {
+
+TEST(LogBinomialCoefficientTest, SmallExactValues) {
+  EXPECT_NEAR(LogBinomialCoefficient(5, 2), std::log(10.0), 1e-9);
+  EXPECT_NEAR(LogBinomialCoefficient(10, 5), std::log(252.0), 1e-9);
+  EXPECT_DOUBLE_EQ(LogBinomialCoefficient(7, 0), 0.0);
+  EXPECT_DOUBLE_EQ(LogBinomialCoefficient(7, 7), 0.0);
+}
+
+TEST(LogBinomialCoefficientTest, OutOfRangeIsMinusInfinity) {
+  EXPECT_TRUE(std::isinf(LogBinomialCoefficient(5, 6)));
+  EXPECT_TRUE(std::isinf(LogBinomialCoefficient(5, -1)));
+}
+
+TEST(LogBinomialCoefficientTest, LargeArgumentsStayFinite) {
+  const double v = LogBinomialCoefficient(1e6, 5e5);
+  EXPECT_TRUE(std::isfinite(v));
+  // ln C(2n, n) ~ 2n ln 2 - 0.5 ln(pi n).
+  EXPECT_NEAR(v, 1e6 * std::log(2.0) - 0.5 * std::log(M_PI * 5e5), 1.0);
+}
+
+TEST(LogSumExpTest, MatchesDirectComputation) {
+  const std::vector<double> xs = {0.0, 1.0, 2.0};
+  const double expected = std::log(std::exp(0.0) + std::exp(1.0) +
+                                   std::exp(2.0));
+  EXPECT_NEAR(LogSumExp(xs), expected, 1e-12);
+}
+
+TEST(LogSumExpTest, StableForLargeInputs) {
+  const std::vector<double> xs = {1000.0, 1000.0};
+  EXPECT_NEAR(LogSumExp(xs), 1000.0 + std::log(2.0), 1e-9);
+}
+
+TEST(LogSumExpTest, EmptyIsMinusInfinity) {
+  EXPECT_TRUE(std::isinf(LogSumExp({})));
+  EXPECT_LT(LogSumExp({}), 0.0);
+}
+
+TEST(LogSumExpTest, SingleElement) {
+  EXPECT_DOUBLE_EQ(LogSumExp({-3.5}), -3.5);
+}
+
+TEST(LogBinomialPmfTest, SumsToOne) {
+  const uint64_t n = 12;
+  const double p = 0.37;
+  double total = 0.0;
+  for (uint64_t k = 0; k <= n; ++k) {
+    total += std::exp(LogBinomialPmf(n, k, p));
+  }
+  EXPECT_NEAR(total, 1.0, 1e-10);
+}
+
+TEST(LogBinomialPmfTest, KnownValue) {
+  // P(Binom(4, 0.5) = 2) = 6/16.
+  EXPECT_NEAR(std::exp(LogBinomialPmf(4, 2, 0.5)), 0.375, 1e-12);
+}
+
+TEST(LogBinomialPmfTest, DegenerateP) {
+  EXPECT_DOUBLE_EQ(LogBinomialPmf(5, 0, 0.0), 0.0);
+  EXPECT_TRUE(std::isinf(LogBinomialPmf(5, 1, 0.0)));
+  EXPECT_DOUBLE_EQ(LogBinomialPmf(5, 5, 1.0), 0.0);
+  EXPECT_TRUE(std::isinf(LogBinomialPmf(5, 4, 1.0)));
+}
+
+TEST(GammaPdfTest, ExponentialSpecialCase) {
+  // Gamma(1, scale) is Exponential(1/scale).
+  for (double x : {0.1, 1.0, 2.5}) {
+    EXPECT_NEAR(GammaPdf(x, 1.0, 2.0), 0.5 * std::exp(-x / 2.0), 1e-12);
+  }
+}
+
+TEST(GammaPdfTest, IntegratesToOne) {
+  const double shape = 3.0, scale = 1.5;
+  double integral = 0.0;
+  const double dx = 0.001;
+  for (double x = dx / 2; x < 60.0; x += dx) {
+    integral += GammaPdf(x, shape, scale) * dx;
+  }
+  EXPECT_NEAR(integral, 1.0, 1e-3);
+}
+
+TEST(GammaPdfTest, PeakAtShapeMinusOneTimesScale) {
+  // Eq. 46: the mode of Gamma(beta, psi) is (beta - 1) psi.
+  const double shape = 4.0, scale = 2.0;
+  const double mode = (shape - 1.0) * scale;
+  const double at_mode = GammaPdf(mode, shape, scale);
+  EXPECT_GT(at_mode, GammaPdf(mode - 0.5, shape, scale));
+  EXPECT_GT(at_mode, GammaPdf(mode + 0.5, shape, scale));
+}
+
+TEST(GammaPdfTest, InvalidParametersReturnZero) {
+  EXPECT_DOUBLE_EQ(GammaPdf(1.0, -1.0, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(GammaPdf(1.0, 1.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(GammaPdf(-1.0, 2.0, 1.0), 0.0);
+}
+
+TEST(MeanTest, Basics) {
+  EXPECT_DOUBLE_EQ(Mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(Mean({3.0}), 3.0);
+  EXPECT_DOUBLE_EQ(Mean({1.0, 2.0, 3.0}), 2.0);
+}
+
+TEST(SampleStdDevTest, Basics) {
+  EXPECT_DOUBLE_EQ(SampleStdDev({}), 0.0);
+  EXPECT_DOUBLE_EQ(SampleStdDev({5.0}), 0.0);
+  EXPECT_NEAR(SampleStdDev({2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}),
+              std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(FitLeastSquaresTest, RecoversExactLine) {
+  std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+  std::vector<double> ys;
+  for (double x : xs) ys.push_back(2.5 * x - 1.0);
+  const LinearFit fit = FitLeastSquares(xs, ys);
+  EXPECT_NEAR(fit.slope, 2.5, 1e-10);
+  EXPECT_NEAR(fit.intercept, -1.0, 1e-10);
+}
+
+TEST(FitLeastSquaresTest, DegenerateXFallsBackToMean) {
+  const LinearFit fit = FitLeastSquares({2.0, 2.0}, {1.0, 3.0});
+  EXPECT_DOUBLE_EQ(fit.slope, 0.0);
+  EXPECT_DOUBLE_EQ(fit.intercept, 2.0);
+}
+
+TEST(FitLeastSquaresTest, EmptyInput) {
+  const LinearFit fit = FitLeastSquares({}, {});
+  EXPECT_DOUBLE_EQ(fit.slope, 0.0);
+  EXPECT_DOUBLE_EQ(fit.intercept, 0.0);
+}
+
+}  // namespace
+}  // namespace privim

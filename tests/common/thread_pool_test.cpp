@@ -1,0 +1,63 @@
+#include "privim/common/thread_pool.h"
+
+#include <atomic>
+#include <numeric>
+
+#include "gtest/gtest.h"
+
+namespace privim {
+namespace {
+
+TEST(ThreadPoolTest, RunsSubmittedTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 100; ++i) {
+    futures.push_back(pool.Submit([&counter] { ++counter; }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversAllIndices) {
+  ThreadPool pool(3);
+  std::vector<int> hits(1000, 0);
+  pool.ParallelFor(hits.size(), [&hits](size_t i) { ++hits[i]; });
+  EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0), 1000);
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(ThreadPoolTest, ParallelForEmpty) {
+  ThreadPool pool(2);
+  bool called = false;
+  pool.ParallelFor(0, [&called](size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPoolTest, ParallelForSingleIterationRunsInline) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  pool.ParallelFor(1, [&counter](size_t) { ++counter; });
+  EXPECT_EQ(counter.load(), 1);
+}
+
+TEST(ThreadPoolTest, ZeroThreadsDefaultsToHardware) {
+  ThreadPool pool(0);
+  EXPECT_GE(pool.num_threads(), 1u);
+}
+
+TEST(ThreadPoolTest, GlobalPoolIsSingleton) {
+  EXPECT_EQ(&GlobalThreadPool(), &GlobalThreadPool());
+}
+
+TEST(ThreadPoolTest, ParallelForMoreIterationsThanThreads) {
+  ThreadPool pool(2);
+  std::atomic<int64_t> sum{0};
+  pool.ParallelFor(10000, [&sum](size_t i) {
+    sum += static_cast<int64_t>(i);
+  });
+  EXPECT_EQ(sum.load(), 10000LL * 9999 / 2);
+}
+
+}  // namespace
+}  // namespace privim

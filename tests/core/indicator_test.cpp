@@ -1,0 +1,131 @@
+#include "privim/core/indicator.h"
+
+#include <cmath>
+
+#include "gtest/gtest.h"
+
+namespace privim {
+namespace {
+
+// The paper's published constants (Sec. V-D).
+IndicatorParams PaperParams() { return IndicatorParams(); }
+
+TEST(IndicatorShapeTest, Eq12Forms) {
+  const IndicatorParams params = PaperParams();
+  const int64_t v = 7600;  // LastFM
+  EXPECT_NEAR(IndicatorShapeN(v, params),
+              0.47 * std::log(7600.0) - 1.03, 1e-9);
+  EXPECT_NEAR(IndicatorShapeM(v, params),
+              4.02 / std::log(7600.0) + 1.22, 1e-9);
+}
+
+TEST(IndicatorShapeTest, LargerDatasetsPreferLargerNAndSmallerM) {
+  const IndicatorParams params = PaperParams();
+  // Mode of the Gamma component is (beta - 1) * psi (Eq. 46).
+  auto n_peak = [&](int64_t v) {
+    return (IndicatorShapeN(v, params) - 1.0) * params.psi_n;
+  };
+  auto m_peak = [&](int64_t v) {
+    return (IndicatorShapeM(v, params) - 1.0) * params.psi_m;
+  };
+  EXPECT_LT(n_peak(1000), n_peak(196000));
+  EXPECT_GT(m_peak(1000), m_peak(196000));
+}
+
+TEST(IndicatorTest, LastFmPeaksMatchPaper) {
+  // Sec. V-D reports that on LastFM the indicator peaks at M = 4 (and the
+  // n component near n = 60 on the studied grid).
+  const IndicatorParams params = PaperParams();
+  const std::vector<int64_t> m_grid = {2, 4, 6, 8, 10};
+  const std::vector<int64_t> n_grid = {10, 20, 30, 40, 50, 60, 70, 80};
+  const IndicatorOptimum best =
+      SelectParameters(n_grid, m_grid, 7600, params);
+  EXPECT_EQ(best.frequency_threshold, 4);
+  EXPECT_NEAR(static_cast<double>(best.subgraph_size), 55.0, 15.0);
+}
+
+TEST(IndicatorGridTest, NormalizedToMaxOne) {
+  const std::vector<int64_t> n_grid = {20, 40, 60};
+  const std::vector<int64_t> m_grid = {2, 4, 6};
+  const auto grid = IndicatorGrid(n_grid, m_grid, 10000, PaperParams());
+  double max_v = 0.0;
+  for (const auto& row : grid) {
+    for (double v : row) {
+      EXPECT_GE(v, 0.0);
+      EXPECT_LE(v, 1.0 + 1e-12);
+      max_v = std::max(max_v, v);
+    }
+  }
+  EXPECT_NEAR(max_v, 1.0, 1e-12);
+}
+
+TEST(IndicatorGridTest, UnimodalInM) {
+  // Fixing n, the indicator must rise then fall in M (Sec. V-C trend).
+  const std::vector<int64_t> n_grid = {60};
+  const std::vector<int64_t> m_grid = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 12, 14};
+  const auto grid = IndicatorGrid(n_grid, m_grid, 7600, PaperParams());
+  const std::vector<double>& row = grid[0];
+  const size_t peak =
+      std::max_element(row.begin(), row.end()) - row.begin();
+  for (size_t j = 1; j <= peak; ++j) EXPECT_GE(row[j], row[j - 1] - 1e-12);
+  for (size_t j = peak + 1; j < row.size(); ++j) {
+    EXPECT_LE(row[j], row[j - 1] + 1e-12);
+  }
+}
+
+TEST(SelectParametersTest, EmptyGridIsHarmless) {
+  const IndicatorOptimum best = SelectParameters({}, {}, 1000, PaperParams());
+  EXPECT_EQ(best.subgraph_size, 0);
+  EXPECT_EQ(best.frequency_threshold, 0);
+}
+
+TEST(FitIndicatorParamsTest, RecoversSyntheticGroundTruth) {
+  // Generate observations exactly on the Eq. 12 model and refit.
+  IndicatorParams truth;
+  truth.psi_n = 25.0;
+  truth.psi_m = 5.0;
+  truth.k_n = 0.5;
+  truth.b_n = -1.0;
+  truth.k_m = 4.0;
+  truth.b_m = 1.2;
+  std::vector<PriorObservation> observations;
+  for (int64_t v : {1000, 5900, 7600, 12000, 22500, 196000}) {
+    PriorObservation obs;
+    obs.num_nodes = v;
+    obs.best_n = static_cast<int64_t>(
+        std::llround((IndicatorShapeN(v, truth) - 1.0) * truth.psi_n));
+    obs.best_m = std::max<int64_t>(
+        1, std::llround((IndicatorShapeM(v, truth) - 1.0) * truth.psi_m));
+    observations.push_back(obs);
+  }
+  Result<IndicatorParams> fitted =
+      FitIndicatorParams(observations, truth.psi_n, truth.psi_m);
+  ASSERT_TRUE(fitted.ok());
+  EXPECT_NEAR(fitted->k_n, truth.k_n, 0.05);
+  EXPECT_NEAR(fitted->b_n, truth.b_n, 0.3);
+  EXPECT_NEAR(fitted->k_m, truth.k_m, 1.0);
+  EXPECT_NEAR(fitted->b_m, truth.b_m, 0.2);
+}
+
+TEST(FitIndicatorParamsTest, RejectsDegenerateInput) {
+  EXPECT_FALSE(FitIndicatorParams({}, 25.0, 5.0).ok());
+  EXPECT_FALSE(
+      FitIndicatorParams({{1000, 40, 4}}, 25.0, 5.0).ok());  // 1 point
+  EXPECT_FALSE(
+      FitIndicatorParams({{1000, 40, 4}, {2000, 0, 4}}, 25.0, 5.0).ok());
+  EXPECT_FALSE(
+      FitIndicatorParams({{1000, 40, 4}, {2000, 50, 5}}, 0.0, 5.0).ok());
+}
+
+TEST(IndicatorRawTest, ZeroForInvalidShapeRegions) {
+  // For tiny |V|, beta_n can go below zero; GammaPdf guards return 0.
+  IndicatorParams params = PaperParams();
+  params.b_n = -10.0;
+  EXPECT_DOUBLE_EQ(
+      IndicatorRaw(40.0, 4.0, 20, params),
+      IndicatorRaw(40.0, 4.0, 20, params));  // deterministic, no NaN
+  EXPECT_FALSE(std::isnan(IndicatorRaw(40.0, 4.0, 20, params)));
+}
+
+}  // namespace
+}  // namespace privim

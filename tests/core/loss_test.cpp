@@ -1,0 +1,208 @@
+#include "privim/core/loss.h"
+
+#include <cmath>
+
+#include "gtest/gtest.h"
+#include "privim/gnn/features.h"
+#include "privim/graph/generators.h"
+#include "privim/nn/ops.h"
+#include "testing/graph_fixtures.h"
+
+namespace privim {
+namespace {
+
+std::unique_ptr<GnnModel> MakeModel(uint64_t seed, GnnKind kind = GnnKind::kGrat) {
+  GnnConfig config;
+  config.kind = kind;
+  config.input_dim = 4;
+  config.hidden_dim = 6;
+  config.num_layers = 2;
+  Rng rng(seed);
+  Result<std::unique_ptr<GnnModel>> model = CreateGnnModel(config, &rng);
+  EXPECT_TRUE(model.ok());
+  return std::move(model).value();
+}
+
+TEST(InfluenceLossTest, ScalarOutputAndFiniteValue) {
+  Rng rng(1);
+  Result<Graph> graph = BarabasiAlbert(30, 3, &rng);
+  ASSERT_TRUE(graph.ok());
+  const Graph unit = WithUniformWeights(graph.value(), 1.0f);
+  const GraphContext ctx = GraphContext::Build(unit);
+  const Tensor features = BuildNodeFeatures(unit, 4);
+  auto model = MakeModel(2);
+
+  InfluenceLossOptions options;
+  Result<Variable> loss = InfluenceLoss(*model, ctx, features, options);
+  ASSERT_TRUE(loss.ok()) << loss.status().ToString();
+  EXPECT_EQ(loss->rows(), 1);
+  EXPECT_EQ(loss->cols(), 1);
+  EXPECT_TRUE(std::isfinite(loss->value().at(0, 0)));
+  EXPECT_GT(loss->value().at(0, 0), 0.0f);
+}
+
+TEST(InfluenceLossTest, ValidatesOptions) {
+  const Graph graph = testing::MakeStar(5);
+  const GraphContext ctx = GraphContext::Build(graph);
+  const Tensor features = BuildNodeFeatures(graph, 4);
+  auto model = MakeModel(3);
+  InfluenceLossOptions options;
+  options.diffusion_steps = 0;
+  EXPECT_FALSE(InfluenceLoss(*model, ctx, features, options).ok());
+  options = InfluenceLossOptions();
+  options.lambda = -1.0f;
+  EXPECT_FALSE(InfluenceLoss(*model, ctx, features, options).ok());
+}
+
+TEST(InfluenceLossTest, RejectsShapeMismatch) {
+  const Graph graph = testing::MakeStar(5);
+  const GraphContext ctx = GraphContext::Build(graph);
+  auto model = MakeModel(4);
+  const Tensor bad_features(5, 9);  // wrong input_dim
+  EXPECT_FALSE(
+      InfluenceLoss(*model, ctx, bad_features, InfluenceLossOptions()).ok());
+}
+
+TEST(InfluenceLossTest, LambdaIncreasesLossForSameSeedProbabilities) {
+  Rng rng(5);
+  Result<Graph> graph = BarabasiAlbert(25, 3, &rng);
+  ASSERT_TRUE(graph.ok());
+  const Graph unit = WithUniformWeights(graph.value(), 1.0f);
+  const GraphContext ctx = GraphContext::Build(unit);
+  const Tensor features = BuildNodeFeatures(unit, 4);
+  auto model = MakeModel(6);
+
+  InfluenceLossOptions small_lambda;
+  small_lambda.lambda = 0.0f;
+  InfluenceLossOptions big_lambda;
+  big_lambda.lambda = 1.0f;
+  const float lo =
+      InfluenceLoss(*model, ctx, features, small_lambda).value().value().at(0, 0);
+  const float hi =
+      InfluenceLoss(*model, ctx, features, big_lambda).value().value().at(0, 0);
+  EXPECT_GT(hi, lo);
+}
+
+TEST(InfluenceLossTest, GradientsFlowToAllParameters) {
+  Rng rng(7);
+  Result<Graph> graph = BarabasiAlbert(20, 2, &rng);
+  ASSERT_TRUE(graph.ok());
+  const Graph unit = WithUniformWeights(graph.value(), 1.0f);
+  const GraphContext ctx = GraphContext::Build(unit);
+  const Tensor features = BuildNodeFeatures(unit, 4);
+  auto model = MakeModel(8);
+
+  Result<Variable> loss =
+      InfluenceLoss(*model, ctx, features, InfluenceLossOptions());
+  ASSERT_TRUE(loss.ok());
+  loss->Backward();
+  int params_with_grad = 0;
+  for (const Variable& p : model->parameters()) {
+    if (p.grad().MaxAbs() > 0.0f) ++params_with_grad;
+  }
+  // Nearly all parameters should receive signal (biases in dead ReLU paths
+  // may not on a tiny graph).
+  EXPECT_GE(params_with_grad,
+            static_cast<int>(model->parameters().size()) - 2);
+}
+
+TEST(InfluenceLossTest, MoreDiffusionStepsLowerMissTerm) {
+  // With lambda = 0, the loss is the expected not-influenced mass; more
+  // diffusion steps can only decrease it (monotone coverage).
+  Rng rng(9);
+  Result<Graph> graph = BarabasiAlbert(40, 3, &rng);
+  ASSERT_TRUE(graph.ok());
+  const Graph unit = WithUniformWeights(graph.value(), 1.0f);
+  const GraphContext ctx = GraphContext::Build(unit);
+  const Tensor features = BuildNodeFeatures(unit, 4);
+  auto model = MakeModel(10);
+
+  InfluenceLossOptions one_step;
+  one_step.lambda = 0.0f;
+  one_step.diffusion_steps = 1;
+  InfluenceLossOptions three_steps = one_step;
+  three_steps.diffusion_steps = 3;
+  const float l1 =
+      InfluenceLoss(*model, ctx, features, one_step).value().value().at(0, 0);
+  const float l3 = InfluenceLoss(*model, ctx, features, three_steps)
+                       .value().value().at(0, 0);
+  EXPECT_LE(l3, l1 + 1e-6f);
+}
+
+TEST(InfluenceLossTest, AnalyticValueOnIsolatedNodes) {
+  // Graph with no arcs: p_hat = phi(0) = 0 for every node, so the miss term
+  // is exactly 1 per node and the size term is lambda * mean(p).
+  GraphBuilder builder(4);
+  Result<Graph> no_arcs = builder.Build();
+  ASSERT_TRUE(no_arcs.ok());
+  const GraphContext ctx = GraphContext::Build(no_arcs.value());
+  const Tensor features = BuildNodeFeatures(no_arcs.value(), 4);
+  auto model = MakeModel(11);
+
+  InfluenceLossOptions options;
+  options.lambda = 0.0f;
+  Result<Variable> loss = InfluenceLoss(*model, ctx, features, options);
+  ASSERT_TRUE(loss.ok());
+  EXPECT_NEAR(loss->value().at(0, 0), 1.0f, 1e-6f);
+}
+
+TEST(InfluenceLossTest, WorksWithAllModelKinds) {
+  Rng rng(12);
+  Result<Graph> graph = BarabasiAlbert(20, 2, &rng);
+  ASSERT_TRUE(graph.ok());
+  const Graph unit = WithUniformWeights(graph.value(), 1.0f);
+  const GraphContext ctx = GraphContext::Build(unit);
+  const Tensor features = BuildNodeFeatures(unit, 4);
+  for (GnnKind kind : {GnnKind::kGcn, GnnKind::kSage, GnnKind::kGat,
+                       GnnKind::kGrat, GnnKind::kGin}) {
+    auto model = MakeModel(13, kind);
+    Result<Variable> loss =
+        InfluenceLoss(*model, ctx, features, InfluenceLossOptions());
+    ASSERT_TRUE(loss.ok()) << GnnKindToString(kind);
+    EXPECT_TRUE(std::isfinite(loss->value().at(0, 0)));
+  }
+}
+
+TEST(InfluenceLossTest, ClampPhiVariantRunsAndDiffers) {
+  Rng rng(14);
+  Result<Graph> graph = BarabasiAlbert(30, 3, &rng);
+  ASSERT_TRUE(graph.ok());
+  const Graph unit = WithUniformWeights(graph.value(), 1.0f);
+  const GraphContext ctx = GraphContext::Build(unit);
+  const Tensor features = BuildNodeFeatures(unit, 4);
+  auto model = MakeModel(15);
+
+  InfluenceLossOptions smooth;
+  InfluenceLossOptions clamped;
+  clamped.phi = PhiKind::kClamp;
+  const float smooth_loss =
+      InfluenceLoss(*model, ctx, features, smooth).value().value().at(0, 0);
+  const float clamp_loss =
+      InfluenceLoss(*model, ctx, features, clamped).value().value().at(0, 0);
+  EXPECT_TRUE(std::isfinite(clamp_loss));
+  // phi_clamp(x) >= phi_smooth(x) pointwise on [0, inf), so the clamped
+  // variant reports at least as much influence -> a smaller miss term.
+  EXPECT_LE(clamp_loss, smooth_loss + 1e-6f);
+}
+
+TEST(InfluenceLossTest, PhiVariantsAgreeOnZeroMass) {
+  // On an arcless graph both squashes see zero aggregated influence and the
+  // miss term is exactly 1 regardless of phi.
+  GraphBuilder builder(3);
+  Result<Graph> no_arcs = builder.Build();
+  ASSERT_TRUE(no_arcs.ok());
+  const GraphContext ctx = GraphContext::Build(no_arcs.value());
+  const Tensor features = BuildNodeFeatures(no_arcs.value(), 4);
+  auto model = MakeModel(16);
+  for (PhiKind phi : {PhiKind::kOneMinusExpNeg, PhiKind::kClamp}) {
+    InfluenceLossOptions options;
+    options.phi = phi;
+    options.lambda = 0.0f;
+    Result<Variable> loss = InfluenceLoss(*model, ctx, features, options);
+    ASSERT_TRUE(loss.ok());
+    EXPECT_NEAR(loss->value().at(0, 0), 1.0f, 1e-6f);
+  }
+}
+
+}  // namespace
+}  // namespace privim

@@ -1,0 +1,156 @@
+#include "privim/core/pipeline.h"
+
+#include <cmath>
+#include <set>
+
+#include "gtest/gtest.h"
+#include "privim/datasets/datasets.h"
+#include "privim/datasets/split.h"
+#include "privim/dp/sensitivity.h"
+
+namespace privim {
+namespace {
+
+struct PipelineFixture {
+  Graph train;
+  Graph eval;
+};
+
+PipelineFixture MakeFixture(uint64_t seed) {
+  Result<Dataset> dataset = MakeDataset(DatasetId::kEmail, DatasetScale::kTiny,
+                                        seed);
+  EXPECT_TRUE(dataset.ok());
+  Rng rng(seed + 1);
+  Result<TrainTestSplit> split = SplitNodes(dataset->graph, 0.5, &rng);
+  EXPECT_TRUE(split.ok());
+  PipelineFixture fixture;
+  fixture.train = std::move(split->train.local);
+  fixture.eval = std::move(split->test.local);
+  return fixture;
+}
+
+PrivImOptions FastOptions() {
+  PrivImOptions options;
+  options.gnn.input_dim = 4;
+  options.gnn.hidden_dim = 8;
+  options.gnn.num_layers = 2;
+  options.subgraph_size = 12;
+  options.frequency_threshold = 4;
+  options.sampling_rate = 0.6;
+  options.walk_length = 150;
+  options.batch_size = 8;
+  options.iterations = 15;
+  options.seed_set_size = 10;
+  options.epsilon = 4.0;
+  return options;
+}
+
+TEST(PrivImOptionsTest, Validation) {
+  PrivImOptions options = FastOptions();
+  options.subgraph_size = 1;
+  EXPECT_FALSE(options.Validate().ok());
+  options = FastOptions();
+  options.seed_set_size = 0;
+  EXPECT_FALSE(options.Validate().ok());
+  EXPECT_TRUE(FastOptions().Validate().ok());
+}
+
+TEST(PrivImVariantTest, Names) {
+  EXPECT_STREQ(PrivImVariantToString(PrivImVariant::kNaive), "PrivIM");
+  EXPECT_STREQ(PrivImVariantToString(PrivImVariant::kScsOnly), "PrivIM+SCS");
+  EXPECT_STREQ(PrivImVariantToString(PrivImVariant::kDualStage), "PrivIM*");
+}
+
+TEST(RunPrivImTest, DualStageEndToEnd) {
+  PipelineFixture fixture = MakeFixture(1);
+  Result<PrivImResult> result =
+      RunPrivIm(fixture.train, fixture.eval, FastOptions(), 42);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+  EXPECT_EQ(result->seeds.size(), 10u);
+  std::set<NodeId> unique(result->seeds.begin(), result->seeds.end());
+  EXPECT_EQ(unique.size(), 10u);
+  for (NodeId v : result->seeds) {
+    EXPECT_GE(v, 0);
+    EXPECT_LT(v, fixture.eval.num_nodes());
+  }
+  EXPECT_EQ(result->eval_scores.rows(), fixture.eval.num_nodes());
+  EXPECT_GT(result->container_size, 0);
+  // Dual stage: accounting bound is M.
+  EXPECT_EQ(result->occurrence_bound,
+            std::min<int64_t>(4, result->container_size));
+  EXPECT_LE(result->empirical_max_occurrence, 4);
+  EXPECT_GT(result->noise_multiplier, 0.0);
+  EXPECT_LE(result->achieved_epsilon, 4.0 * 1.001);
+}
+
+TEST(RunPrivImTest, NaiveVariantUsesLemma1Bound) {
+  PipelineFixture fixture = MakeFixture(2);
+  PrivImOptions options = FastOptions();
+  options.variant = PrivImVariant::kNaive;
+  options.theta = 3;
+  Result<PrivImResult> result =
+      RunPrivIm(fixture.train, fixture.eval, options, 43);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const int64_t lemma1 = NaiveOccurrenceBound(3, options.gnn.num_layers);
+  EXPECT_EQ(result->occurrence_bound,
+            std::min<int64_t>(lemma1, result->container_size));
+}
+
+TEST(RunPrivImTest, ScsOnlyRespectsThreshold) {
+  PipelineFixture fixture = MakeFixture(3);
+  PrivImOptions options = FastOptions();
+  options.variant = PrivImVariant::kScsOnly;
+  Result<PrivImResult> result =
+      RunPrivIm(fixture.train, fixture.eval, options, 44);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_LE(result->empirical_max_occurrence, options.frequency_threshold);
+}
+
+TEST(RunPrivImTest, NonPrivateSkipsNoise) {
+  PipelineFixture fixture = MakeFixture(4);
+  PrivImOptions options = FastOptions();
+  options.epsilon = std::numeric_limits<double>::infinity();
+  Result<PrivImResult> result =
+      RunPrivIm(fixture.train, fixture.eval, options, 45);
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(result->noise_multiplier, 0.0);
+  EXPECT_TRUE(std::isinf(result->achieved_epsilon));
+}
+
+TEST(RunPrivImTest, DeterministicInSeed) {
+  PipelineFixture fixture = MakeFixture(5);
+  Result<PrivImResult> a =
+      RunPrivIm(fixture.train, fixture.eval, FastOptions(), 7);
+  Result<PrivImResult> b =
+      RunPrivIm(fixture.train, fixture.eval, FastOptions(), 7);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->seeds, b->seeds);
+  EXPECT_EQ(a->container_size, b->container_size);
+}
+
+TEST(RunPrivImTest, TinyTrainGraphFails) {
+  PipelineFixture fixture = MakeFixture(6);
+  GraphBuilder builder(4);
+  ASSERT_TRUE(builder.AddEdge(0, 1).ok());
+  Result<Graph> tiny = builder.Build();
+  ASSERT_TRUE(tiny.ok());
+  EXPECT_FALSE(RunPrivIm(tiny.value(), fixture.eval, FastOptions(), 8).ok());
+}
+
+TEST(RunPrivImTest, TighterEpsilonMeansMoreNoise) {
+  PipelineFixture fixture = MakeFixture(7);
+  PrivImOptions tight = FastOptions();
+  tight.epsilon = 1.0;
+  PrivImOptions loose = FastOptions();
+  loose.epsilon = 6.0;
+  Result<PrivImResult> t = RunPrivIm(fixture.train, fixture.eval, tight, 9);
+  Result<PrivImResult> l = RunPrivIm(fixture.train, fixture.eval, loose, 9);
+  ASSERT_TRUE(t.ok());
+  ASSERT_TRUE(l.ok());
+  EXPECT_GT(t->noise_multiplier, l->noise_multiplier);
+}
+
+}  // namespace
+}  // namespace privim

@@ -1,0 +1,96 @@
+// Numerical validation of the squash bounds around the true one-step IC
+// influence probability p = 1 - prod_v (1 - w_vu h_v):
+//
+//   1 - exp(-sum w h)  <=  p  <=  min(1, sum w h)
+//
+// The right inequality is the paper's Theorem 2 (Boole's inequality): the
+// clamped sum upper-bounds p, which is what PhiKind::kClamp implements.
+// The left follows from log(1 - x) <= -x: the smooth default squash
+// phi(x) = 1 - exp(-x) LOWER-bounds p, so the Eq. 5 miss term
+// prod (1 - phi(...)) UPPER-bounds the true miss probability — minimizing
+// it maximizes a guaranteed lower bound on influence spread, which is the
+// sound direction for a surrogate (see loss.h).
+
+#include <cmath>
+
+#include "gtest/gtest.h"
+#include "privim/common/rng.h"
+
+namespace privim {
+namespace {
+
+// phi(x) = 1 - exp(-x), the [0,1) squash the implementation uses.
+double Phi(double x) { return -std::expm1(-x); }
+
+double TrueInfluence(const std::vector<double>& w,
+                     const std::vector<double>& h) {
+  double survive = 1.0;
+  for (size_t i = 0; i < w.size(); ++i) survive *= 1.0 - w[i] * h[i];
+  return 1.0 - survive;
+}
+
+double Mass(const std::vector<double>& w, const std::vector<double>& h) {
+  double mass = 0.0;
+  for (size_t i = 0; i < w.size(); ++i) mass += w[i] * h[i];
+  return mass;
+}
+
+double SmoothLowerBound(const std::vector<double>& w,
+                        const std::vector<double>& h) {
+  return Phi(Mass(w, h));
+}
+
+double ClampUpperBound(const std::vector<double>& w,
+                       const std::vector<double>& h) {
+  return std::min(1.0, Mass(w, h));
+}
+
+TEST(Theorem2Test, SandwichHoldsOnRandomInstances) {
+  Rng rng(1);
+  for (int trial = 0; trial < 2000; ++trial) {
+    const size_t degree = 1 + rng.NextBounded(20);
+    std::vector<double> w(degree), h(degree);
+    for (size_t i = 0; i < degree; ++i) {
+      w[i] = rng.NextDouble();
+      h[i] = rng.NextDouble();
+    }
+    const double truth = TrueInfluence(w, h);
+    // Theorem 2 (Boole): clamped sum is an upper bound.
+    EXPECT_GE(ClampUpperBound(w, h), truth - 1e-12)
+        << "upper bound violated at trial " << trial;
+    // log(1-x) <= -x: the smooth squash is a lower bound.
+    EXPECT_LE(SmoothLowerBound(w, h), truth + 1e-12)
+        << "lower bound violated at trial " << trial;
+  }
+}
+
+TEST(Theorem2Test, BothBoundsTightAtZeroAndFirstOrder) {
+  EXPECT_DOUBLE_EQ(SmoothLowerBound({0.0}, {0.0}), 0.0);
+  EXPECT_DOUBLE_EQ(ClampUpperBound({0.0}, {0.0}), 0.0);
+  EXPECT_DOUBLE_EQ(TrueInfluence({0.0}, {0.0}), 0.0);
+  // For one tiny edge both bounds are tight to first order.
+  const double truth = TrueInfluence({0.001}, {1.0});
+  EXPECT_NEAR(SmoothLowerBound({0.001}, {1.0}), truth, 1e-6);
+  EXPECT_NEAR(ClampUpperBound({0.001}, {1.0}), truth, 1e-6);
+}
+
+TEST(Theorem2Test, SmoothBoundStaysBelowOne) {
+  // Even with overwhelming incoming mass the squash stays a probability.
+  std::vector<double> w(100, 1.0), h(100, 1.0);
+  EXPECT_LT(SmoothLowerBound(w, h), 1.0 + 1e-12);
+  EXPECT_LE(SmoothLowerBound(w, h), TrueInfluence(w, h) + 1e-12);
+}
+
+TEST(Theorem2Test, SmoothBoundMonotoneInEachArgument) {
+  Rng rng(2);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<double> w = {rng.NextDouble(), rng.NextDouble()};
+    std::vector<double> h = {rng.NextDouble(), rng.NextDouble()};
+    const double base = SmoothLowerBound(w, h);
+    w[0] = std::min(1.0, w[0] + 0.1);
+    EXPECT_GE(SmoothLowerBound(w, h), base - 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace privim

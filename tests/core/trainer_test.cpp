@@ -1,0 +1,212 @@
+#include "privim/core/trainer.h"
+
+#include <cmath>
+
+#include "gtest/gtest.h"
+#include "privim/graph/generators.h"
+#include "privim/sampling/dual_stage.h"
+
+namespace privim {
+namespace {
+
+struct TrainFixture {
+  Graph graph;
+  SubgraphContainer container;
+  std::unique_ptr<GnnModel> model;
+};
+
+TrainFixture MakeFixture(uint64_t seed, GnnKind kind = GnnKind::kGrat) {
+  TrainFixture fixture;
+  Rng rng(seed);
+  Result<Graph> graph = BarabasiAlbert(300, 4, &rng);
+  EXPECT_TRUE(graph.ok());
+  fixture.graph = WithUniformWeights(graph.value(), 1.0f);
+
+  DualStageOptions sampling;
+  sampling.stage1.subgraph_size = 12;
+  sampling.stage1.sampling_rate = 0.6;
+  sampling.stage1.frequency_threshold = 4;
+  sampling.stage1.walk_length = 200;
+  Result<DualStageResult> sampled =
+      DualStageSampling(fixture.graph, sampling, &rng);
+  EXPECT_TRUE(sampled.ok());
+  fixture.container = std::move(sampled.value().container);
+
+  GnnConfig config;
+  config.kind = kind;
+  config.input_dim = 4;
+  config.hidden_dim = 8;
+  config.num_layers = 2;
+  Result<std::unique_ptr<GnnModel>> model = CreateGnnModel(config, &rng);
+  EXPECT_TRUE(model.ok());
+  fixture.model = std::move(model).value();
+  return fixture;
+}
+
+DpSgdOptions FastOptions() {
+  DpSgdOptions options;
+  options.batch_size = 8;
+  options.iterations = 25;
+  options.learning_rate = 0.05f;
+  options.clip_bound = 1.0f;
+  options.noise_multiplier = 0.0;
+  options.occurrence_bound = 4;
+  return options;
+}
+
+TEST(DpSgdOptionsTest, Validation) {
+  DpSgdOptions options = FastOptions();
+  options.batch_size = 0;
+  EXPECT_FALSE(options.Validate().ok());
+  options = FastOptions();
+  options.clip_bound = 0.0f;
+  EXPECT_FALSE(options.Validate().ok());
+  options = FastOptions();
+  options.noise_multiplier = -1.0;
+  EXPECT_FALSE(options.Validate().ok());
+  EXPECT_TRUE(FastOptions().Validate().ok());
+}
+
+TEST(TrainDpGnnTest, EmptyContainerFails) {
+  TrainFixture fixture = MakeFixture(1);
+  SubgraphContainer empty;
+  Rng rng(2);
+  EXPECT_EQ(
+      TrainDpGnn(fixture.model.get(), empty, FastOptions(), &rng).status().code(),
+      StatusCode::kFailedPrecondition);
+}
+
+TEST(TrainDpGnnTest, NonPrivateTrainingReducesLoss) {
+  TrainFixture fixture = MakeFixture(3);
+  Rng rng(4);
+  DpSgdOptions options = FastOptions();
+  options.iterations = 60;
+  Result<TrainStats> stats =
+      TrainDpGnn(fixture.model.get(), fixture.container, options, &rng);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_LT(stats->mean_loss_last, stats->mean_loss_first);
+  EXPECT_EQ(stats->iterations, 60);
+  EXPECT_GT(stats->training_seconds, 0.0);
+}
+
+TEST(TrainDpGnnTest, TrainingChangesParameters) {
+  TrainFixture fixture = MakeFixture(5);
+  std::vector<Tensor> before;
+  for (const Variable& p : fixture.model->parameters()) {
+    before.push_back(p.value());
+  }
+  Rng rng(6);
+  ASSERT_TRUE(
+      TrainDpGnn(fixture.model.get(), fixture.container, FastOptions(), &rng)
+          .ok());
+  float total_change = 0.0f;
+  const auto& params = fixture.model->parameters();
+  for (size_t i = 0; i < params.size(); ++i) {
+    Tensor diff = params[i].value();
+    diff.ScaleInPlace(-1.0f);
+    diff.AddInPlace(before[i]);
+    total_change += diff.L2Norm();
+  }
+  EXPECT_GT(total_change, 1e-4f);
+}
+
+TEST(TrainDpGnnTest, DeterministicInSeed) {
+  TrainFixture a = MakeFixture(7);
+  TrainFixture b = MakeFixture(7);
+  Rng rng1(8), rng2(8);
+  DpSgdOptions options = FastOptions();
+  options.noise_multiplier = 0.5;  // exercise the noise path too
+  ASSERT_TRUE(TrainDpGnn(a.model.get(), a.container, options, &rng1).ok());
+  ASSERT_TRUE(TrainDpGnn(b.model.get(), b.container, options, &rng2).ok());
+  const auto& pa = a.model->parameters();
+  const auto& pb = b.model->parameters();
+  for (size_t i = 0; i < pa.size(); ++i) {
+    for (int64_t j = 0; j < pa[i].value().size(); ++j) {
+      EXPECT_FLOAT_EQ(pa[i].value().data()[j], pb[i].value().data()[j]);
+    }
+  }
+}
+
+TEST(TrainDpGnnTest, LargeNoiseDegradesTraining) {
+  // Property the whole paper rests on: more DP noise, worse optimization.
+  TrainFixture clean_fixture = MakeFixture(9);
+  TrainFixture noisy_fixture = MakeFixture(9);
+  DpSgdOptions clean = FastOptions();
+  clean.iterations = 50;
+  DpSgdOptions noisy = clean;
+  noisy.noise_multiplier = 5.0;
+  noisy.occurrence_bound = 50;  // huge sensitivity -> huge noise
+  Rng rng1(10), rng2(10);
+  Result<TrainStats> clean_stats =
+      TrainDpGnn(clean_fixture.model.get(), clean_fixture.container, clean,
+                 &rng1);
+  Result<TrainStats> noisy_stats =
+      TrainDpGnn(noisy_fixture.model.get(), noisy_fixture.container, noisy,
+                 &rng2);
+  ASSERT_TRUE(clean_stats.ok());
+  ASSERT_TRUE(noisy_stats.ok());
+  EXPECT_LT(clean_stats->mean_loss_last, noisy_stats->mean_loss_last);
+}
+
+TEST(TrainDpGnnTest, SmlNoiseKindRuns) {
+  TrainFixture fixture = MakeFixture(11);
+  DpSgdOptions options = FastOptions();
+  options.noise_multiplier = 0.3;
+  options.noise_kind = NoiseKind::kSml;
+  Rng rng(12);
+  Result<TrainStats> stats =
+      TrainDpGnn(fixture.model.get(), fixture.container, options, &rng);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_TRUE(std::isfinite(stats->mean_loss_last));
+}
+
+TEST(TrainDpGnnTest, AllModelKindsTrain) {
+  for (GnnKind kind : {GnnKind::kGcn, GnnKind::kSage, GnnKind::kGat,
+                       GnnKind::kGrat, GnnKind::kGin}) {
+    TrainFixture fixture = MakeFixture(13, kind);
+    Rng rng(14);
+    DpSgdOptions options = FastOptions();
+    options.iterations = 5;
+    Result<TrainStats> stats =
+        TrainDpGnn(fixture.model.get(), fixture.container, options, &rng);
+    ASSERT_TRUE(stats.ok()) << GnnKindToString(kind) << ": "
+                            << stats.status().ToString();
+  }
+}
+
+TEST(TrainDpGnnTest, MomentumAndAdamOptimizersTrain) {
+  for (OptimizerKind kind :
+       {OptimizerKind::kMomentum, OptimizerKind::kAdam}) {
+    TrainFixture fixture = MakeFixture(20);
+    Rng rng(21);
+    DpSgdOptions options = FastOptions();
+    options.optimizer = kind;
+    options.learning_rate = kind == OptimizerKind::kAdam ? 0.01f : 0.05f;
+    options.iterations = 40;
+    Result<TrainStats> stats =
+        TrainDpGnn(fixture.model.get(), fixture.container, options, &rng);
+    ASSERT_TRUE(stats.ok());
+    EXPECT_LT(stats->mean_loss_last, stats->mean_loss_first)
+        << "optimizer kind " << static_cast<int>(kind);
+  }
+}
+
+TEST(TrainDpGnnTest, CustomLossHookIsUsed) {
+  TrainFixture fixture = MakeFixture(22);
+  Rng rng(23);
+  DpSgdOptions options = FastOptions();
+  options.iterations = 3;
+  int calls = 0;
+  options.loss_fn = [&calls](const GnnModel& m, const GraphContext& ctx,
+                             const Tensor& f, const Subgraph& sub) {
+    ++calls;
+    EXPECT_EQ(static_cast<int64_t>(sub.global_ids.size()), ctx.num_nodes);
+    return InfluenceLoss(m, ctx, f, InfluenceLossOptions());
+  };
+  ASSERT_TRUE(
+      TrainDpGnn(fixture.model.get(), fixture.container, options, &rng).ok());
+  EXPECT_EQ(calls, 3 * 8);  // iterations * batch_size
+}
+
+}  // namespace
+}  // namespace privim

@@ -1,0 +1,111 @@
+#include "privim/datasets/split.h"
+
+#include <set>
+
+#include "gtest/gtest.h"
+#include "privim/graph/generators.h"
+
+namespace privim {
+namespace {
+
+Graph MakeTestGraph(uint64_t seed, int64_t nodes = 500) {
+  Rng rng(seed);
+  Result<Graph> graph = BarabasiAlbert(nodes, 4, &rng);
+  EXPECT_TRUE(graph.ok());
+  return std::move(graph).value();
+}
+
+TEST(SplitNodesTest, PartitionsAllNodes) {
+  const Graph graph = MakeTestGraph(1);
+  Rng rng(2);
+  Result<TrainTestSplit> split = SplitNodes(graph, 0.5, &rng);
+  ASSERT_TRUE(split.ok());
+  EXPECT_EQ(split->train.num_nodes() + split->test.num_nodes(),
+            graph.num_nodes());
+  std::set<NodeId> seen;
+  for (NodeId v : split->train.global_ids) EXPECT_TRUE(seen.insert(v).second);
+  for (NodeId v : split->test.global_ids) EXPECT_TRUE(seen.insert(v).second);
+  EXPECT_EQ(static_cast<int64_t>(seen.size()), graph.num_nodes());
+}
+
+TEST(SplitNodesTest, FractionControlsSizes) {
+  const Graph graph = MakeTestGraph(3, 2000);
+  Rng rng(4);
+  Result<TrainTestSplit> split = SplitNodes(graph, 0.8, &rng);
+  ASSERT_TRUE(split.ok());
+  EXPECT_NEAR(static_cast<double>(split->train.num_nodes()) /
+                  static_cast<double>(graph.num_nodes()),
+              0.8, 0.05);
+}
+
+TEST(SplitNodesTest, InducedArcsAreInternal) {
+  const Graph graph = MakeTestGraph(5);
+  Rng rng(6);
+  Result<TrainTestSplit> split = SplitNodes(graph, 0.5, &rng);
+  ASSERT_TRUE(split.ok());
+  // Train subgraph arcs must all exist in the parent between train nodes.
+  const Subgraph& train = split->train;
+  for (NodeId u = 0; u < train.num_nodes(); ++u) {
+    for (NodeId v : train.local.OutNeighbors(u)) {
+      EXPECT_TRUE(graph.HasArc(train.global_ids[u], train.global_ids[v]));
+    }
+  }
+}
+
+TEST(SplitNodesTest, InvalidFractionFails) {
+  const Graph graph = MakeTestGraph(7);
+  Rng rng(8);
+  EXPECT_FALSE(SplitNodes(graph, 0.0, &rng).ok());
+  EXPECT_FALSE(SplitNodes(graph, 1.0, &rng).ok());
+}
+
+TEST(HashPartitionTest, CoversAllNodesDisjointly) {
+  const Graph graph = MakeTestGraph(9);
+  Result<std::vector<Subgraph>> parts = HashPartition(graph, 4, 42);
+  ASSERT_TRUE(parts.ok());
+  EXPECT_EQ(parts->size(), 4u);
+  std::set<NodeId> seen;
+  int64_t total = 0;
+  for (const Subgraph& part : parts.value()) {
+    total += part.num_nodes();
+    for (NodeId v : part.global_ids) EXPECT_TRUE(seen.insert(v).second);
+  }
+  EXPECT_EQ(total, graph.num_nodes());
+}
+
+TEST(HashPartitionTest, RoughlyBalanced) {
+  const Graph graph = MakeTestGraph(10, 4000);
+  Result<std::vector<Subgraph>> parts = HashPartition(graph, 8, 7);
+  ASSERT_TRUE(parts.ok());
+  for (const Subgraph& part : parts.value()) {
+    EXPECT_NEAR(static_cast<double>(part.num_nodes()), 500.0, 120.0);
+  }
+}
+
+TEST(HashPartitionTest, SinglePartIsWholeGraph) {
+  const Graph graph = MakeTestGraph(11, 300);
+  Result<std::vector<Subgraph>> parts = HashPartition(graph, 1, 1);
+  ASSERT_TRUE(parts.ok());
+  ASSERT_EQ(parts->size(), 1u);
+  EXPECT_EQ(parts->front().num_nodes(), graph.num_nodes());
+  EXPECT_EQ(parts->front().local.num_arcs(), graph.num_arcs());
+}
+
+TEST(HashPartitionTest, DeterministicInSeed) {
+  const Graph graph = MakeTestGraph(12, 300);
+  Result<std::vector<Subgraph>> a = HashPartition(graph, 3, 5);
+  Result<std::vector<Subgraph>> b = HashPartition(graph, 3, 5);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  for (size_t i = 0; i < a->size(); ++i) {
+    EXPECT_EQ(a->at(i).global_ids, b->at(i).global_ids);
+  }
+}
+
+TEST(HashPartitionTest, InvalidNumPartsFails) {
+  const Graph graph = MakeTestGraph(13, 300);
+  EXPECT_FALSE(HashPartition(graph, 0, 1).ok());
+}
+
+}  // namespace
+}  // namespace privim

@@ -1,0 +1,143 @@
+#include "privim/diffusion/ic_model.h"
+
+#include "gtest/gtest.h"
+#include "privim/graph/generators.h"
+#include "testing/graph_fixtures.h"
+
+namespace privim {
+namespace {
+
+using testing::MakeGraph;
+using testing::MakePath;
+using testing::MakeStar;
+
+TEST(DeterministicIcSpreadTest, StarOneStep) {
+  const Graph star = MakeStar(10);
+  EXPECT_EQ(DeterministicIcSpread(star, {0}, 1), 10);
+  EXPECT_EQ(DeterministicIcSpread(star, {1}, 1), 1);  // leaf reaches nobody
+}
+
+TEST(DeterministicIcSpreadTest, PathRespectsStepBound) {
+  const Graph path = MakePath(10);
+  EXPECT_EQ(DeterministicIcSpread(path, {0}, 0), 1);
+  EXPECT_EQ(DeterministicIcSpread(path, {0}, 3), 4);
+  EXPECT_EQ(DeterministicIcSpread(path, {0}, -1), 10);
+}
+
+TEST(DeterministicIcSpreadTest, MultipleSeedsUnion) {
+  const Graph path = MakePath(10);
+  EXPECT_EQ(DeterministicIcSpread(path, {0, 5}, 1), 4);  // {0,1} U {5,6}
+  EXPECT_EQ(DeterministicIcSpread(path, {0, 1}, 1), 3);  // overlap collapses
+}
+
+TEST(DeterministicIcSpreadTest, InvalidAndDuplicateSeedsIgnored) {
+  const Graph path = MakePath(5);
+  EXPECT_EQ(DeterministicIcSpread(path, {0, 0, -3, 99}, 0), 1);
+  EXPECT_EQ(DeterministicIcSpread(path, {}, 5), 0);
+}
+
+TEST(SimulateIcOnceTest, UnitWeightsAreDeterministic) {
+  const Graph star = MakeStar(8);
+  Rng rng(1);
+  EXPECT_EQ(SimulateIcOnce(star, {0}, 1, &rng), 8);
+}
+
+TEST(SimulateIcOnceTest, ZeroWeightsNeverPropagate) {
+  const Graph path = MakePath(6, 0.0f);
+  Rng rng(2);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(SimulateIcOnce(path, {0}, -1, &rng), 1);
+  }
+}
+
+TEST(SimulateIcOnceTest, SingleChanceSemantics) {
+  // Path with p = 0.5 per hop: spread from node 0 is geometric-ish;
+  // after many runs the mean spread is sum_k 0.5^k ~ 2.
+  const Graph path = MakePath(20, 0.5f);
+  Rng rng(3);
+  double total = 0.0;
+  const int runs = 20000;
+  for (int i = 0; i < runs; ++i) {
+    total += static_cast<double>(SimulateIcOnce(path, {0}, -1, &rng));
+  }
+  EXPECT_NEAR(total / runs, 2.0, 0.05);
+}
+
+TEST(EstimateIcSpreadTest, MatchesAnalyticOnTwoNodeGraph) {
+  // Single arc with w = 0.3: E[spread from 0] = 1 + 0.3.
+  const Graph graph = MakeGraph(2, {{0, 1, 0.3f}});
+  IcOptions options;
+  options.num_simulations = 50000;
+  options.max_steps = -1;
+  options.parallel = false;
+  Rng rng(4);
+  EXPECT_NEAR(EstimateIcSpread(graph, {0}, options, &rng), 1.3, 0.02);
+}
+
+TEST(EstimateIcSpreadTest, ParallelMatchesSequentialInExpectation) {
+  Rng graph_rng(5);
+  Result<Graph> graph = BarabasiAlbert(100, 3, &graph_rng);
+  ASSERT_TRUE(graph.ok());
+  const Graph weighted = WithWeightedCascadeWeights(graph.value());
+  IcOptions seq;
+  seq.num_simulations = 4000;
+  seq.parallel = false;
+  IcOptions par = seq;
+  par.parallel = true;
+  Rng rng1(6), rng2(7);
+  const double s = EstimateIcSpread(weighted, {0, 1, 2}, seq, &rng1);
+  const double p = EstimateIcSpread(weighted, {0, 1, 2}, par, &rng2);
+  EXPECT_NEAR(s, p, 0.15 * std::max(s, p));
+}
+
+TEST(EstimateIcSpreadTest, DeterministicFastPathEqualsMonteCarloAtUnitWeights) {
+  Rng graph_rng(8);
+  Result<Graph> graph = BarabasiAlbert(200, 3, &graph_rng);
+  ASSERT_TRUE(graph.ok());
+  const Graph unit = WithUniformWeights(graph.value(), 1.0f);
+  ASSERT_TRUE(HasUnitWeights(unit));
+  const std::vector<NodeId> seeds = {0, 5, 9};
+  IcOptions options;
+  options.num_simulations = 3;
+  options.max_steps = 1;
+  options.parallel = false;
+  Rng rng(9);
+  EXPECT_DOUBLE_EQ(
+      EstimateIcSpread(unit, seeds, options, &rng),
+      static_cast<double>(DeterministicIcSpread(unit, seeds, 1)));
+}
+
+TEST(HasUnitWeightsTest, DetectsNonUnit) {
+  EXPECT_TRUE(HasUnitWeights(MakePath(4, 1.0f)));
+  EXPECT_FALSE(HasUnitWeights(MakePath(4, 0.5f)));
+}
+
+TEST(IcSpreadTest, MonotoneInSeeds) {
+  Rng graph_rng(10);
+  Result<Graph> graph = BarabasiAlbert(300, 4, &graph_rng);
+  ASSERT_TRUE(graph.ok());
+  const Graph unit = WithUniformWeights(graph.value(), 1.0f);
+  const int64_t small = DeterministicIcSpread(unit, {0, 1}, 1);
+  const int64_t large = DeterministicIcSpread(unit, {0, 1, 2, 3, 4}, 1);
+  EXPECT_GE(large, small);
+}
+
+TEST(IcSpreadTest, SubmodularityOnUnitWeightCoverage) {
+  // f(S u {v}) - f(S) >= f(T u {v}) - f(T) for S subset T (coverage is
+  // submodular). Spot-check on a concrete graph.
+  Rng graph_rng(11);
+  Result<Graph> g = BarabasiAlbert(150, 3, &graph_rng);
+  ASSERT_TRUE(g.ok());
+  const Graph unit = WithUniformWeights(g.value(), 1.0f);
+  auto f = [&unit](std::vector<NodeId> seeds) {
+    return DeterministicIcSpread(unit, seeds, 1);
+  };
+  for (NodeId v : {7, 23, 51, 88}) {
+    const int64_t gain_small = f({0, v}) - f({0});
+    const int64_t gain_large = f({0, 1, 2, 3, v}) - f({0, 1, 2, 3});
+    EXPECT_GE(gain_small, gain_large) << "violated at v=" << v;
+  }
+}
+
+}  // namespace
+}  // namespace privim

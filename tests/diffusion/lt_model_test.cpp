@@ -1,0 +1,87 @@
+#include "privim/diffusion/lt_model.h"
+
+#include "gtest/gtest.h"
+#include "privim/graph/generators.h"
+#include "testing/graph_fixtures.h"
+
+namespace privim {
+namespace {
+
+using testing::MakeGraph;
+using testing::MakePath;
+using testing::MakeStar;
+
+TEST(SimulateLtOnceTest, SeedsAlwaysActive) {
+  const Graph path = MakePath(5, 0.0f);
+  Rng rng(1);
+  EXPECT_EQ(SimulateLtOnce(path, {0, 2}, -1, &rng), 2);
+}
+
+TEST(SimulateLtOnceTest, FullWeightActivatesDownstreamAlmostSurely) {
+  // In-weight 1.0 >= any threshold in (0,1): the whole path activates.
+  const Graph path = MakePath(6, 1.0f);
+  Rng rng(2);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(SimulateLtOnce(path, {0}, -1, &rng), 6);
+  }
+}
+
+TEST(SimulateLtOnceTest, StepBoundLimitsSpread) {
+  const Graph path = MakePath(6, 1.0f);
+  Rng rng(3);
+  EXPECT_EQ(SimulateLtOnce(path, {0}, 2, &rng), 3);
+}
+
+TEST(SimulateLtOnceTest, HalfWeightActivatesAboutHalf) {
+  // Two-node graph with in-weight 0.5: node 1 activates iff threshold <= .5.
+  const Graph graph = MakeGraph(2, {{0, 1, 0.5f}});
+  Rng rng(4);
+  int total = 0;
+  const int runs = 20000;
+  for (int i = 0; i < runs; ++i) {
+    total += static_cast<int>(SimulateLtOnce(graph, {0}, -1, &rng)) - 1;
+  }
+  EXPECT_NEAR(total / static_cast<double>(runs), 0.5, 0.02);
+}
+
+TEST(SimulateLtOnceTest, InfluenceAccumulatesAcrossNeighbors) {
+  // Node 3 gets 1/3 weight from each of three seeds (normalized): all three
+  // active means total influence 1.0 >= any threshold.
+  const Graph graph = MakeGraph(
+      4, {{0, 3, 1.0f}, {1, 3, 1.0f}, {2, 3, 1.0f}});
+  Rng rng(5);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(SimulateLtOnce(graph, {0, 1, 2}, -1, &rng), 4);
+  }
+}
+
+TEST(EstimateLtSpreadTest, MonotoneInSeedCount) {
+  Rng graph_rng(6);
+  Result<Graph> graph = BarabasiAlbert(200, 3, &graph_rng);
+  ASSERT_TRUE(graph.ok());
+  LtOptions options;
+  options.num_simulations = 2000;
+  options.parallel = false;
+  Rng rng1(7), rng2(8);
+  const double small =
+      EstimateLtSpread(graph.value(), {0}, options, &rng1);
+  const double large =
+      EstimateLtSpread(graph.value(), {0, 1, 2, 3, 4, 5}, options, &rng2);
+  EXPECT_GT(large, small);
+}
+
+TEST(EstimateLtSpreadTest, ParallelAgreesWithSequential) {
+  const Graph star = MakeStar(30, 1.0f);
+  LtOptions seq;
+  seq.num_simulations = 2000;
+  seq.parallel = false;
+  LtOptions par = seq;
+  par.parallel = true;
+  Rng rng1(9), rng2(10);
+  const double s = EstimateLtSpread(star, {0}, seq, &rng1);
+  const double p = EstimateLtSpread(star, {0}, par, &rng2);
+  EXPECT_NEAR(s, p, 0.05 * s);
+}
+
+}  // namespace
+}  // namespace privim

@@ -1,0 +1,104 @@
+#include "privim/diffusion/sis_model.h"
+
+#include "gtest/gtest.h"
+#include "privim/graph/generators.h"
+#include "testing/graph_fixtures.h"
+
+namespace privim {
+namespace {
+
+using testing::MakePath;
+using testing::MakeStar;
+
+TEST(SimulateSisOnceTest, SeedsCountedOnce) {
+  const Graph path = MakePath(5);
+  SisOptions options;
+  options.infection_rate = 0.0;
+  options.horizon = 10;
+  Rng rng(1);
+  EXPECT_EQ(SimulateSisOnce(path, {0, 0, 2}, options, &rng), 2);
+}
+
+TEST(SimulateSisOnceTest, CertainInfectionCoversStarInOneStep) {
+  const Graph star = MakeStar(12);
+  SisOptions options;
+  options.infection_rate = 1.0;
+  options.recovery_rate = 0.0;
+  options.horizon = 1;
+  Rng rng(2);
+  EXPECT_EQ(SimulateSisOnce(star, {0}, options, &rng), 12);
+}
+
+TEST(SimulateSisOnceTest, HorizonZeroIsJustSeeds) {
+  const Graph star = MakeStar(10);
+  SisOptions options;
+  options.horizon = 0;
+  Rng rng(3);
+  EXPECT_EQ(SimulateSisOnce(star, {0}, options, &rng), 1);
+}
+
+TEST(SimulateSisOnceTest, EverInfectedIsMonotoneInHorizon) {
+  const Graph path = MakePath(30);
+  SisOptions short_run;
+  short_run.infection_rate = 0.9;
+  short_run.recovery_rate = 0.2;
+  short_run.horizon = 2;
+  SisOptions long_run = short_run;
+  long_run.horizon = 20;
+  double total_short = 0.0, total_long = 0.0;
+  Rng rng(4);
+  for (int i = 0; i < 500; ++i) {
+    total_short +=
+        static_cast<double>(SimulateSisOnce(path, {0}, short_run, &rng));
+    total_long +=
+        static_cast<double>(SimulateSisOnce(path, {0}, long_run, &rng));
+  }
+  EXPECT_GT(total_long, total_short);
+}
+
+TEST(SimulateSisOnceTest, RecoveryAllowsReinfectionDynamics) {
+  // With recovery active and no new infections possible (rate 0), the
+  // epidemic dies out but ever-infected stays at the seed count.
+  const Graph path = MakePath(4);
+  SisOptions options;
+  options.infection_rate = 0.0;
+  options.recovery_rate = 1.0;
+  options.horizon = 10;
+  Rng rng(5);
+  EXPECT_EQ(SimulateSisOnce(path, {0, 1}, options, &rng), 2);
+}
+
+TEST(EstimateSisSpreadTest, HigherInfectionRateSpreadsFurther) {
+  Rng graph_rng(6);
+  Result<Graph> graph = BarabasiAlbert(300, 3, &graph_rng);
+  ASSERT_TRUE(graph.ok());
+  SisOptions mild;
+  mild.infection_rate = 0.05;
+  mild.num_simulations = 500;
+  mild.parallel = false;
+  SisOptions aggressive = mild;
+  aggressive.infection_rate = 0.6;
+  Rng rng1(7), rng2(8);
+  const double low =
+      EstimateSisSpread(graph.value(), {0, 1}, mild, &rng1);
+  const double high =
+      EstimateSisSpread(graph.value(), {0, 1}, aggressive, &rng2);
+  EXPECT_GT(high, 2.0 * low);
+}
+
+TEST(EstimateSisSpreadTest, ParallelAgreesWithSequential) {
+  const Graph star = MakeStar(40);
+  SisOptions seq;
+  seq.infection_rate = 0.5;
+  seq.num_simulations = 2000;
+  seq.parallel = false;
+  SisOptions par = seq;
+  par.parallel = true;
+  Rng rng1(9), rng2(10);
+  const double s = EstimateSisSpread(star, {0}, seq, &rng1);
+  const double p = EstimateSisSpread(star, {0}, par, &rng2);
+  EXPECT_NEAR(s, p, 0.1 * s);
+}
+
+}  // namespace
+}  // namespace privim

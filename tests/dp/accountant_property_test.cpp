@@ -1,0 +1,102 @@
+// Property sweeps over the Theorem-3 accountant: invariants that must hold
+// for every sensible (m, B, N_g, sigma) combination.
+
+#include <cmath>
+
+#include "gtest/gtest.h"
+#include "privim/dp/rdp_accountant.h"
+
+namespace privim {
+namespace {
+
+struct AccountantCase {
+  int64_t container_size;
+  int64_t batch_size;
+  int64_t occurrence_bound;
+  double sigma;
+};
+
+class AccountantPropertyTest
+    : public ::testing::TestWithParam<AccountantCase> {};
+
+TEST_P(AccountantPropertyTest, GammaPositiveFiniteAndIncreasingInAlpha) {
+  const AccountantCase& c = GetParam();
+  SubsampledGaussianConfig config;
+  config.container_size = c.container_size;
+  config.batch_size = c.batch_size;
+  config.occurrence_bound = c.occurrence_bound;
+  config.noise_multiplier = c.sigma;
+
+  double previous = 0.0;
+  for (double alpha : {1.5, 2.0, 4.0, 8.0, 16.0, 32.0}) {
+    const double gamma = RdpOfIteration(config, alpha);
+    ASSERT_TRUE(std::isfinite(gamma));
+    EXPECT_GT(gamma, 0.0);
+    // Renyi divergence is non-decreasing in the order alpha.
+    EXPECT_GE(gamma, previous - 1e-12);
+    previous = gamma;
+  }
+}
+
+TEST_P(AccountantPropertyTest, CompositionIsLinearInIterations) {
+  const AccountantCase& c = GetParam();
+  SubsampledGaussianConfig config;
+  config.container_size = c.container_size;
+  config.batch_size = c.batch_size;
+  config.occurrence_bound = c.occurrence_bound;
+  config.noise_multiplier = c.sigma;
+
+  // epsilon(2T) <= 2 * epsilon(T) + slack: with a fixed alpha, gamma
+  // composes exactly linearly; the grid minimum can only improve on that.
+  const double e1 = ComputeEpsilon(config, 20, 1e-4).epsilon;
+  const double e2 = ComputeEpsilon(config, 40, 1e-4).epsilon;
+  EXPECT_GE(e2, e1);
+  EXPECT_LE(e2, 2.0 * e1 + 1e-9);
+}
+
+TEST_P(AccountantPropertyTest, CalibrationInvertsComputeEpsilon) {
+  const AccountantCase& c = GetParam();
+  SubsampledGaussianConfig config;
+  config.container_size = c.container_size;
+  config.batch_size = c.batch_size;
+  config.occurrence_bound = c.occurrence_bound;
+
+  Result<double> sigma = CalibrateNoiseMultiplier(config, 30, 1e-4, 2.5);
+  ASSERT_TRUE(sigma.ok());
+  config.noise_multiplier = sigma.value();
+  EXPECT_LE(ComputeEpsilon(config, 30, 1e-4).epsilon, 2.5 * 1.001);
+}
+
+TEST_P(AccountantPropertyTest, BatchSizeMonotonicity) {
+  // More subgraphs per batch expose more of the sensitive node's copies:
+  // gamma is non-decreasing in B (all else equal).
+  const AccountantCase& c = GetParam();
+  SubsampledGaussianConfig small;
+  small.container_size = c.container_size;
+  small.batch_size = std::max<int64_t>(1, c.batch_size / 2);
+  small.occurrence_bound = c.occurrence_bound;
+  small.noise_multiplier = c.sigma;
+  SubsampledGaussianConfig large = small;
+  large.batch_size = c.batch_size;
+  EXPECT_LE(RdpOfIteration(small, 8.0), RdpOfIteration(large, 8.0) + 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, AccountantPropertyTest,
+    ::testing::Values(AccountantCase{100, 8, 4, 1.0},
+                      AccountantCase{300, 16, 6, 0.8},
+                      AccountantCase{300, 32, 6, 2.0},
+                      AccountantCase{1000, 64, 10, 1.5},
+                      AccountantCase{2000, 16, 2, 0.5},
+                      AccountantCase{50, 50, 50, 3.0},   // saturated p = 1
+                      AccountantCase{500, 16, 500, 4.0}  // N_g = m
+                      ),
+    [](const ::testing::TestParamInfo<AccountantCase>& info) {
+      const AccountantCase& c = info.param;
+      return "m" + std::to_string(c.container_size) + "_B" +
+             std::to_string(c.batch_size) + "_Ng" +
+             std::to_string(c.occurrence_bound);
+    });
+
+}  // namespace
+}  // namespace privim

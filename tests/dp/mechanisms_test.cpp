@@ -1,0 +1,97 @@
+#include "privim/dp/mechanisms.h"
+
+#include <cmath>
+
+#include "gtest/gtest.h"
+
+namespace privim {
+namespace {
+
+TEST(L2NormTest, KnownValues) {
+  EXPECT_DOUBLE_EQ(L2Norm({3.0f, 4.0f}), 5.0);
+  EXPECT_DOUBLE_EQ(L2Norm({}), 0.0);
+}
+
+TEST(ClipL2Test, ScalesDownLongVectors) {
+  std::vector<float> v = {3.0f, 4.0f};
+  const double pre = ClipL2(&v, 1.0);
+  EXPECT_DOUBLE_EQ(pre, 5.0);
+  EXPECT_NEAR(L2Norm(v), 1.0, 1e-6);
+  EXPECT_NEAR(v[0] / v[1], 0.75, 1e-6);  // direction preserved
+}
+
+TEST(ClipL2Test, LeavesShortVectorsUntouched) {
+  std::vector<float> v = {0.3f, 0.4f};
+  ClipL2(&v, 1.0);
+  EXPECT_FLOAT_EQ(v[0], 0.3f);
+  EXPECT_FLOAT_EQ(v[1], 0.4f);
+}
+
+TEST(ClipL2Test, ExactBoundaryUntouched) {
+  std::vector<float> v = {1.0f, 0.0f};
+  ClipL2(&v, 1.0);
+  EXPECT_FLOAT_EQ(v[0], 1.0f);
+}
+
+TEST(ClipL2Test, ZeroVectorSafe) {
+  std::vector<float> v = {0.0f, 0.0f};
+  EXPECT_DOUBLE_EQ(ClipL2(&v, 1.0), 0.0);
+  EXPECT_FLOAT_EQ(v[0], 0.0f);
+}
+
+TEST(AddGaussianNoiseTest, MatchesRequestedStddev) {
+  Rng rng(1);
+  std::vector<float> v(200000, 0.0f);
+  AddGaussianNoise(&v, 3.0, &rng);
+  double sum = 0.0, sum_sq = 0.0;
+  for (float x : v) {
+    sum += x;
+    sum_sq += static_cast<double>(x) * x;
+  }
+  EXPECT_NEAR(sum / v.size(), 0.0, 0.05);
+  EXPECT_NEAR(std::sqrt(sum_sq / v.size()), 3.0, 0.05);
+}
+
+TEST(AddGaussianNoiseTest, ZeroStddevIsNoOp) {
+  Rng rng(2);
+  std::vector<float> v = {1.0f, 2.0f};
+  AddGaussianNoise(&v, 0.0, &rng);
+  EXPECT_FLOAT_EQ(v[0], 1.0f);
+  EXPECT_FLOAT_EQ(v[1], 2.0f);
+}
+
+TEST(AddSmlNoiseTest, ZeroMeanWithHeavierTails) {
+  Rng rng(3);
+  const int trials = 4000;
+  const size_t dim = 50;
+  double sum = 0.0, sum_sq = 0.0, sum_q4 = 0.0;
+  for (int t = 0; t < trials; ++t) {
+    std::vector<float> v(dim, 0.0f);
+    AddSmlNoise(&v, 1.0, &rng);
+    for (float x : v) {
+      sum += x;
+      const double x2 = static_cast<double>(x) * x;
+      sum_sq += x2;
+      sum_q4 += x2 * x2;
+    }
+  }
+  const double n = static_cast<double>(trials) * dim;
+  const double mean = sum / n;
+  const double var = sum_sq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  // Var[sqrt(W) g] = E[W] Var[g] = 1 for scale 1.
+  EXPECT_NEAR(var, 1.0, 0.1);
+  // Kurtosis of the SML marginal exceeds the Gaussian's 3 (heavier tails).
+  const double kurtosis = (sum_q4 / n) / (var * var);
+  EXPECT_GT(kurtosis, 4.0);
+}
+
+TEST(AddSmlNoiseTest, ZeroScaleIsNoOp) {
+  Rng rng(4);
+  std::vector<float> v = {5.0f};
+  AddSmlNoise(&v, 0.0, &rng);
+  EXPECT_FLOAT_EQ(v[0], 5.0f);
+}
+
+}  // namespace
+}  // namespace privim

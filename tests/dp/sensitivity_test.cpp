@@ -1,0 +1,49 @@
+#include "privim/dp/sensitivity.h"
+
+#include "gtest/gtest.h"
+
+namespace privim {
+namespace {
+
+TEST(NaiveOccurrenceBoundTest, MatchesLemma1Formula) {
+  // N_g = sum_{i=0}^{r} theta^i.
+  EXPECT_EQ(NaiveOccurrenceBound(10, 3), 1 + 10 + 100 + 1000);
+  EXPECT_EQ(NaiveOccurrenceBound(2, 4), 31);
+  EXPECT_EQ(NaiveOccurrenceBound(5, 1), 6);
+}
+
+TEST(NaiveOccurrenceBoundTest, ZeroLayersIsOne) {
+  EXPECT_EQ(NaiveOccurrenceBound(10, 0), 1);
+}
+
+TEST(NaiveOccurrenceBoundTest, ThetaOneIsLayersPlusOne) {
+  // Geometric series degenerates: sum of r+1 ones.
+  EXPECT_EQ(NaiveOccurrenceBound(1, 5), 6);
+}
+
+TEST(NaiveOccurrenceBoundTest, SaturatesAtCapWithoutOverflow) {
+  EXPECT_EQ(NaiveOccurrenceBound(1000, 50, 1 << 20), 1 << 20);
+  EXPECT_EQ(NaiveOccurrenceBound(10, 100), int64_t{1} << 40);
+}
+
+TEST(NaiveOccurrenceBoundTest, InvalidInputs) {
+  EXPECT_EQ(NaiveOccurrenceBound(0, 3), 0);
+  EXPECT_EQ(NaiveOccurrenceBound(10, -1), 0);
+}
+
+TEST(NodeSensitivityTest, Lemma2Product) {
+  EXPECT_DOUBLE_EQ(NodeSensitivity(1.0, 111), 111.0);
+  EXPECT_DOUBLE_EQ(NodeSensitivity(0.5, 6), 3.0);
+  EXPECT_DOUBLE_EQ(NodeSensitivity(2.0, 0), 0.0);
+}
+
+TEST(SensitivityTest, DualStageBoundIsFarSmaller) {
+  // The paper's motivation: N_g* = M << N_g for the defaults theta = 10,
+  // r = 3, M in [2, 12].
+  const int64_t naive = NaiveOccurrenceBound(10, 3);
+  EXPECT_GT(naive, 1000);
+  EXPECT_LT(12, naive / 80);
+}
+
+}  // namespace
+}  // namespace privim

@@ -1,0 +1,90 @@
+#include "privim/gnn/graph_context.h"
+
+#include <cmath>
+
+#include "gtest/gtest.h"
+#include "privim/nn/ops.h"
+#include "testing/graph_fixtures.h"
+
+namespace privim {
+namespace {
+
+using testing::MakeGraph;
+
+TEST(GraphContextTest, InfluenceAdjacencyMatchesEq2) {
+  // Arc weights w_uv: influence_adj[v][u] = w_uv.
+  const Graph graph = MakeGraph(3, {{0, 2, 0.5f}, {1, 2, 0.25f}});
+  const GraphContext ctx = GraphContext::Build(graph);
+  Variable p(Tensor::FromVector(3, 1, {1, 1, 0}));
+  const Tensor y = SpMM(ctx.influence_adj, p).value();
+  EXPECT_FLOAT_EQ(y.at(0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(y.at(1, 0), 0.0f);
+  EXPECT_FLOAT_EQ(y.at(2, 0), 0.75f);  // 0.5 * 1 + 0.25 * 1
+}
+
+TEST(GraphContextTest, GcnAdjacencyHasSelfLoopsAndSymmetricNorm) {
+  const Graph graph = MakeGraph(2, {{0, 1, 1.0f}});
+  const GraphContext ctx = GraphContext::Build(graph);
+  // Node 1: din=1; self-loop value 1/(1+1) = 0.5; arc from 0 (din(0)=0):
+  // 1/sqrt((1+1)(0+1)) = 1/sqrt(2).
+  Variable x(Tensor::FromVector(2, 1, {1, 1}));
+  const Tensor y = SpMM(ctx.gcn_adj, x).value();
+  EXPECT_NEAR(y.at(0, 0), 1.0f, 1e-6f);  // only self-loop 1/(0+1)
+  EXPECT_NEAR(y.at(1, 0), 0.5f + 1.0f / std::sqrt(2.0f), 1e-6f);
+}
+
+TEST(GraphContextTest, MeanAdjacencyAveragesInNeighbors) {
+  const Graph graph = MakeGraph(4, {{0, 3, 1.0f}, {1, 3, 1.0f}, {2, 3, 1.0f}});
+  const GraphContext ctx = GraphContext::Build(graph);
+  Variable x(Tensor::FromVector(4, 1, {3, 6, 9, 100}));
+  const Tensor y = SpMM(ctx.mean_in_adj, x).value();
+  EXPECT_FLOAT_EQ(y.at(3, 0), 6.0f);  // (3+6+9)/3
+  EXPECT_FLOAT_EQ(y.at(0, 0), 0.0f);  // no in-neighbors
+}
+
+TEST(GraphContextTest, SumAdjacencySums) {
+  const Graph graph = MakeGraph(3, {{0, 2, 0.5f}, {1, 2, 0.5f}});
+  const GraphContext ctx = GraphContext::Build(graph);
+  Variable x(Tensor::FromVector(3, 1, {2, 5, 0}));
+  // GIN ignores edge weights: value 1 per arc.
+  EXPECT_FLOAT_EQ(SpMM(ctx.sum_in_adj, x).value().at(2, 0), 7.0f);
+}
+
+TEST(GraphContextTest, ArcListsMatchGraph) {
+  const Graph graph = MakeGraph(3, {{0, 1}, {1, 2}, {2, 0}});
+  const GraphContext ctx = GraphContext::Build(graph);
+  ASSERT_EQ(ctx.arc_src.size(), 3u);
+  ASSERT_EQ(ctx.arc_dst.size(), 3u);
+  for (size_t e = 0; e < ctx.arc_src.size(); ++e) {
+    EXPECT_TRUE(graph.HasArc(ctx.arc_src[e], ctx.arc_dst[e]));
+  }
+}
+
+TEST(GraphContextTest, AttentionListsAddOneSelfLoopPerNode) {
+  const Graph graph = MakeGraph(3, {{0, 1}, {1, 2}, {2, 0}});
+  const GraphContext ctx = GraphContext::Build(graph);
+  ASSERT_EQ(ctx.attention_src.size(), 6u);  // 3 arcs + 3 self-loops
+  int self_loops = 0;
+  for (size_t e = 0; e < ctx.attention_src.size(); ++e) {
+    if (ctx.attention_src[e] == ctx.attention_dst[e]) {
+      ++self_loops;
+    } else {
+      EXPECT_TRUE(graph.HasArc(ctx.attention_src[e], ctx.attention_dst[e]));
+    }
+  }
+  EXPECT_EQ(self_loops, 3);
+}
+
+TEST(GraphContextTest, EmptyGraph) {
+  GraphBuilder builder(3);
+  Result<Graph> graph = builder.Build();
+  ASSERT_TRUE(graph.ok());
+  const GraphContext ctx = GraphContext::Build(graph.value());
+  EXPECT_EQ(ctx.num_nodes, 3);
+  EXPECT_TRUE(ctx.arc_src.empty());
+  Variable x(Tensor::Ones(3, 2));
+  EXPECT_FLOAT_EQ(SpMM(ctx.influence_adj, x).value().MaxAbs(), 0.0f);
+}
+
+}  // namespace
+}  // namespace privim

@@ -1,0 +1,185 @@
+#include "privim/gnn/models.h"
+
+#include "gtest/gtest.h"
+#include "privim/gnn/features.h"
+#include "privim/graph/generators.h"
+#include "privim/nn/ops.h"
+#include "testing/gradcheck.h"
+#include "testing/graph_fixtures.h"
+
+namespace privim {
+namespace {
+
+constexpr GnnKind kAllKinds[] = {GnnKind::kGcn, GnnKind::kSage, GnnKind::kGat,
+                                 GnnKind::kGrat, GnnKind::kGin};
+
+GnnConfig SmallConfig(GnnKind kind) {
+  GnnConfig config;
+  config.kind = kind;
+  config.input_dim = 4;
+  config.hidden_dim = 6;
+  config.num_layers = 2;
+  return config;
+}
+
+TEST(GnnKindTest, StringRoundTrip) {
+  for (GnnKind kind : kAllKinds) {
+    Result<GnnKind> parsed = GnnKindFromString(GnnKindToString(kind));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(parsed.value(), kind);
+  }
+  EXPECT_FALSE(GnnKindFromString("transformer").ok());
+  EXPECT_TRUE(GnnKindFromString("graphsage").ok());
+}
+
+TEST(CreateGnnModelTest, RejectsBadConfig) {
+  Rng rng(1);
+  GnnConfig config;
+  config.hidden_dim = 0;
+  EXPECT_FALSE(CreateGnnModel(config, &rng).ok());
+  config = GnnConfig();
+  config.num_layers = 0;
+  EXPECT_FALSE(CreateGnnModel(config, &rng).ok());
+}
+
+class GnnModelSweepTest : public ::testing::TestWithParam<GnnKind> {};
+
+TEST_P(GnnModelSweepTest, OutputIsProbabilityColumn) {
+  Rng rng(2);
+  Result<Graph> graph = BarabasiAlbert(30, 3, &rng);
+  ASSERT_TRUE(graph.ok());
+  const GraphContext ctx = GraphContext::Build(graph.value());
+  const Tensor features = BuildNodeFeatures(graph.value(), 4);
+
+  Result<std::unique_ptr<GnnModel>> model =
+      CreateGnnModel(SmallConfig(GetParam()), &rng);
+  ASSERT_TRUE(model.ok());
+  const Variable out = model.value()->Forward(ctx, Variable(features));
+  EXPECT_EQ(out.rows(), 30);
+  EXPECT_EQ(out.cols(), 1);
+  for (int64_t v = 0; v < out.rows(); ++v) {
+    EXPECT_GT(out.value().at(v, 0), 0.0f);
+    EXPECT_LT(out.value().at(v, 0), 1.0f);
+  }
+}
+
+TEST_P(GnnModelSweepTest, DeterministicForwardForSameSeed) {
+  Rng graph_rng(3);
+  Result<Graph> graph = BarabasiAlbert(20, 2, &graph_rng);
+  ASSERT_TRUE(graph.ok());
+  const GraphContext ctx = GraphContext::Build(graph.value());
+  const Tensor features = BuildNodeFeatures(graph.value(), 4);
+
+  Rng rng1(7), rng2(7);
+  auto m1 = CreateGnnModel(SmallConfig(GetParam()), &rng1);
+  auto m2 = CreateGnnModel(SmallConfig(GetParam()), &rng2);
+  ASSERT_TRUE(m1.ok());
+  ASSERT_TRUE(m2.ok());
+  const Tensor o1 = m1.value()->Forward(ctx, Variable(features)).value();
+  const Tensor o2 = m2.value()->Forward(ctx, Variable(features)).value();
+  for (int64_t v = 0; v < o1.rows(); ++v) {
+    EXPECT_FLOAT_EQ(o1.at(v, 0), o2.at(v, 0));
+  }
+}
+
+TEST_P(GnnModelSweepTest, ParametersReceiveGradients) {
+  Rng rng(4);
+  Result<Graph> graph = BarabasiAlbert(15, 2, &rng);
+  ASSERT_TRUE(graph.ok());
+  const GraphContext ctx = GraphContext::Build(graph.value());
+  const Tensor features = BuildNodeFeatures(graph.value(), 4);
+
+  auto model = CreateGnnModel(SmallConfig(GetParam()), &rng);
+  ASSERT_TRUE(model.ok());
+  Variable loss = Sum(model.value()->Forward(ctx, Variable(features)));
+  loss.Backward();
+  const std::vector<float> flat =
+      FlattenGradients(model.value()->parameters());
+  double total = 0.0;
+  for (float g : flat) total += std::fabs(g);
+  EXPECT_GT(total, 0.0);
+}
+
+TEST_P(GnnModelSweepTest, WeightGradcheckOnTinyGraph) {
+  const Graph graph = testing::MakeGraph(
+      4, {{0, 1, 0.7f}, {1, 2, 1.0f}, {2, 3, 0.5f}, {3, 0, 1.0f}, {0, 2, 0.3f}});
+  const GraphContext ctx = GraphContext::Build(graph);
+  Rng rng(5);
+  GnnConfig config = SmallConfig(GetParam());
+  config.hidden_dim = 3;
+  auto model = CreateGnnModel(config, &rng);
+  ASSERT_TRUE(model.ok());
+  const Tensor features = BuildNodeFeatures(graph, config.input_dim);
+
+  // Check the gradient of the first weight matrix through the whole model.
+  Variable first_param = model.value()->parameters().front();
+  testing::ExpectGradientsMatch(
+      first_param,
+      [&](Variable) {
+        return Sum(model.value()->Forward(ctx, Variable(features)));
+      },
+      /*step=*/2e-3f, /*rel_tol=*/5e-2f, /*abs_tol=*/5e-3f);
+}
+
+TEST_P(GnnModelSweepTest, CopyParametersProducesIdenticalOutputs) {
+  Rng rng(6);
+  Result<Graph> graph = BarabasiAlbert(12, 2, &rng);
+  ASSERT_TRUE(graph.ok());
+  const GraphContext ctx = GraphContext::Build(graph.value());
+  const Tensor features = BuildNodeFeatures(graph.value(), 4);
+
+  auto source = CreateGnnModel(SmallConfig(GetParam()), &rng);
+  auto target = CreateGnnModel(SmallConfig(GetParam()), &rng);
+  ASSERT_TRUE(source.ok());
+  ASSERT_TRUE(target.ok());
+  ASSERT_TRUE(target.value()->CopyParametersFrom(*source.value()).ok());
+  const Tensor o1 = source.value()->Forward(ctx, Variable(features)).value();
+  const Tensor o2 = target.value()->Forward(ctx, Variable(features)).value();
+  for (int64_t v = 0; v < o1.rows(); ++v) {
+    EXPECT_FLOAT_EQ(o1.at(v, 0), o2.at(v, 0));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, GnnModelSweepTest,
+                         ::testing::ValuesIn(kAllKinds),
+                         [](const ::testing::TestParamInfo<GnnKind>& info) {
+                           return GnnKindToString(info.param);
+                         });
+
+TEST(GnnModelTest, GatAndGratDifferOnAsymmetricGraph) {
+  // GAT normalizes attention over in-edges (per destination), GRAT over
+  // out-edges (per source); on an asymmetric graph outputs must differ.
+  const Graph graph = testing::MakeGraph(
+      4, {{0, 1}, {0, 2}, {0, 3}, {1, 2}, {3, 2}});
+  const GraphContext ctx = GraphContext::Build(graph);
+  Rng rng1(9), rng2(9);
+  GnnConfig gat_config = SmallConfig(GnnKind::kGat);
+  GnnConfig grat_config = SmallConfig(GnnKind::kGrat);
+  auto gat = CreateGnnModel(gat_config, &rng1);
+  auto grat = CreateGnnModel(grat_config, &rng2);
+  ASSERT_TRUE(gat.ok());
+  ASSERT_TRUE(grat.ok());
+  // Same initial weights (same RNG seed, same shapes).
+  const Tensor features = BuildNodeFeatures(graph, 4);
+  const Tensor o_gat = gat.value()->Forward(ctx, Variable(features)).value();
+  const Tensor o_grat = grat.value()->Forward(ctx, Variable(features)).value();
+  float diff = 0.0f;
+  for (int64_t v = 0; v < 4; ++v) {
+    diff += std::fabs(o_gat.at(v, 0) - o_grat.at(v, 0));
+  }
+  EXPECT_GT(diff, 1e-6f);
+}
+
+TEST(GnnModelTest, CopyParametersShapeMismatchFails) {
+  Rng rng(10);
+  auto small = CreateGnnModel(SmallConfig(GnnKind::kGcn), &rng);
+  GnnConfig big_config = SmallConfig(GnnKind::kGcn);
+  big_config.hidden_dim = 12;
+  auto big = CreateGnnModel(big_config, &rng);
+  ASSERT_TRUE(small.ok());
+  ASSERT_TRUE(big.ok());
+  EXPECT_FALSE(big.value()->CopyParametersFrom(*small.value()).ok());
+}
+
+}  // namespace
+}  // namespace privim

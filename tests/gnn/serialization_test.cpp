@@ -1,0 +1,137 @@
+#include "privim/gnn/serialization.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include "gtest/gtest.h"
+#include "privim/gnn/features.h"
+#include "privim/graph/generators.h"
+
+namespace privim {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+GnnConfig SmallConfig(GnnKind kind) {
+  GnnConfig config;
+  config.kind = kind;
+  config.input_dim = 4;
+  config.hidden_dim = 6;
+  config.num_layers = 2;
+  return config;
+}
+
+class SerializationSweepTest : public ::testing::TestWithParam<GnnKind> {};
+
+TEST_P(SerializationSweepTest, RoundTripIsBitExact) {
+  Rng rng(1);
+  auto original = CreateGnnModel(SmallConfig(GetParam()), &rng);
+  ASSERT_TRUE(original.ok());
+  // Perturb weights so we are not round-tripping an all-fresh init.
+  for (const Variable& p : original.value()->parameters()) {
+    Tensor& t = const_cast<Variable&>(p).mutable_value();
+    for (int64_t i = 0; i < t.size(); ++i) t.data()[i] *= 1.37f;
+  }
+
+  const std::string path =
+      TempPath(std::string("model_") + GnnKindToString(GetParam()) + ".txt");
+  ASSERT_TRUE(SaveGnnModel(*original.value(), path).ok());
+  Result<std::unique_ptr<GnnModel>> loaded = LoadGnnModel(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+
+  // Architecture matches.
+  EXPECT_EQ(loaded.value()->config().kind, GetParam());
+  EXPECT_EQ(loaded.value()->config().hidden_dim, 6);
+  // Weights match bit-exactly.
+  const auto& orig_params = original.value()->parameters();
+  const auto& load_params = loaded.value()->parameters();
+  ASSERT_EQ(orig_params.size(), load_params.size());
+  for (size_t i = 0; i < orig_params.size(); ++i) {
+    const Tensor& a = orig_params[i].value();
+    const Tensor& b = load_params[i].value();
+    ASSERT_TRUE(a.SameShape(b));
+    for (int64_t j = 0; j < a.size(); ++j) {
+      EXPECT_EQ(a.data()[j], b.data()[j]);
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST_P(SerializationSweepTest, LoadedModelProducesIdenticalForward) {
+  Rng graph_rng(2);
+  Result<Graph> graph = BarabasiAlbert(25, 3, &graph_rng);
+  ASSERT_TRUE(graph.ok());
+  const GraphContext ctx = GraphContext::Build(graph.value());
+  const Tensor features = BuildNodeFeatures(graph.value(), 4);
+
+  Rng rng(3);
+  auto original = CreateGnnModel(SmallConfig(GetParam()), &rng);
+  ASSERT_TRUE(original.ok());
+  const std::string path =
+      TempPath(std::string("fwd_") + GnnKindToString(GetParam()) + ".txt");
+  ASSERT_TRUE(SaveGnnModel(*original.value(), path).ok());
+  Result<std::unique_ptr<GnnModel>> loaded = LoadGnnModel(path);
+  ASSERT_TRUE(loaded.ok());
+
+  const Tensor a = original.value()->Forward(ctx, Variable(features)).value();
+  const Tensor b = loaded.value()->Forward(ctx, Variable(features)).value();
+  for (int64_t v = 0; v < a.rows(); ++v) {
+    EXPECT_EQ(a.at(v, 0), b.at(v, 0));
+  }
+  std::remove(path.c_str());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, SerializationSweepTest,
+                         ::testing::Values(GnnKind::kGcn, GnnKind::kSage,
+                                           GnnKind::kGat, GnnKind::kGrat,
+                                           GnnKind::kGin),
+                         [](const ::testing::TestParamInfo<GnnKind>& info) {
+                           return GnnKindToString(info.param);
+                         });
+
+TEST(SerializationTest, MissingFileFails) {
+  EXPECT_EQ(LoadGnnModel("/nonexistent/model.txt").status().code(),
+            StatusCode::kIOError);
+}
+
+TEST(SerializationTest, GarbageFileFails) {
+  const std::string path = TempPath("garbage_model.txt");
+  {
+    std::ofstream file(path);
+    file << "not a model\n";
+  }
+  EXPECT_FALSE(LoadGnnModel(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(SerializationTest, TruncatedFileFails) {
+  Rng rng(4);
+  auto model = CreateGnnModel(SmallConfig(GnnKind::kGcn), &rng);
+  ASSERT_TRUE(model.ok());
+  const std::string path = TempPath("truncated_model.txt");
+  ASSERT_TRUE(SaveGnnModel(*model.value(), path).ok());
+  // Chop off the tail.
+  std::ifstream in(path);
+  std::string contents((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  in.close();
+  {
+    std::ofstream out(path);
+    out << contents.substr(0, contents.size() / 2);
+  }
+  EXPECT_FALSE(LoadGnnModel(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(SerializationTest, SavePathUnwritableFails) {
+  Rng rng(5);
+  auto model = CreateGnnModel(SmallConfig(GnnKind::kGcn), &rng);
+  ASSERT_TRUE(model.ok());
+  EXPECT_EQ(SaveGnnModel(*model.value(), "/nonexistent_dir/m.txt").code(),
+            StatusCode::kIOError);
+}
+
+}  // namespace
+}  // namespace privim

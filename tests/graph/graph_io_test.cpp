@@ -1,0 +1,83 @@
+#include "privim/graph/graph_io.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include "gtest/gtest.h"
+#include "testing/graph_fixtures.h"
+
+namespace privim {
+namespace {
+
+std::string WriteTempFile(const std::string& name, const std::string& body) {
+  const std::string path = ::testing::TempDir() + "/" + name;
+  std::ofstream file(path);
+  file << body;
+  return path;
+}
+
+TEST(GraphIoTest, LoadsSimpleEdgeList) {
+  const std::string path = WriteTempFile("simple.txt",
+                                         "# comment\n"
+                                         "0 1\n"
+                                         "1 2 0.5\n"
+                                         "% alt comment\n"
+                                         "2 0\n");
+  Result<Graph> graph = LoadEdgeList(path, /*undirected=*/false);
+  ASSERT_TRUE(graph.ok()) << graph.status().ToString();
+  EXPECT_EQ(graph->num_nodes(), 3);
+  EXPECT_EQ(graph->num_arcs(), 3);
+  EXPECT_FLOAT_EQ(graph->OutWeights(1)[0], 0.5f);
+  std::remove(path.c_str());
+}
+
+TEST(GraphIoTest, RemapsSparseNodeIds) {
+  const std::string path =
+      WriteTempFile("sparse_ids.txt", "1000 2000\n2000 5\n");
+  Result<Graph> graph = LoadEdgeList(path, false);
+  ASSERT_TRUE(graph.ok());
+  EXPECT_EQ(graph->num_nodes(), 3);
+  EXPECT_EQ(graph->num_arcs(), 2);
+  std::remove(path.c_str());
+}
+
+TEST(GraphIoTest, UndirectedSymmetrizes) {
+  const std::string path = WriteTempFile("undirected.txt", "0 1\n");
+  Result<Graph> graph = LoadEdgeList(path, /*undirected=*/true);
+  ASSERT_TRUE(graph.ok());
+  EXPECT_EQ(graph->num_arcs(), 2);
+  std::remove(path.c_str());
+}
+
+TEST(GraphIoTest, DropsSelfLoops) {
+  const std::string path = WriteTempFile("loops.txt", "0 0\n0 1\n1 1\n");
+  Result<Graph> graph = LoadEdgeList(path, false);
+  ASSERT_TRUE(graph.ok());
+  EXPECT_EQ(graph->num_arcs(), 1);
+  std::remove(path.c_str());
+}
+
+TEST(GraphIoTest, MalformedLineFails) {
+  const std::string path = WriteTempFile("bad.txt", "0 1\nnot numbers\n");
+  EXPECT_EQ(LoadEdgeList(path, false).status().code(), StatusCode::kIOError);
+  std::remove(path.c_str());
+}
+
+TEST(GraphIoTest, MissingFileFails) {
+  EXPECT_EQ(LoadEdgeList("/nonexistent/file.txt", false).status().code(),
+            StatusCode::kIOError);
+}
+
+TEST(GraphIoTest, SaveLoadRoundTrip) {
+  const Graph original =
+      testing::MakeGraph(4, {{0, 1, 0.25f}, {1, 2, 0.5f}, {3, 0, 1.0f}});
+  const std::string path = ::testing::TempDir() + "/roundtrip.txt";
+  ASSERT_TRUE(SaveEdgeList(original, path).ok());
+  Result<Graph> loaded = LoadEdgeList(path, false);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->num_arcs(), original.num_arcs());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace privim

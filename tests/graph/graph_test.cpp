@@ -1,0 +1,200 @@
+#include "privim/graph/graph.h"
+
+#include <algorithm>
+
+#include "gtest/gtest.h"
+#include "testing/graph_fixtures.h"
+
+namespace privim {
+namespace {
+
+using testing::MakeGraph;
+
+TEST(GraphBuilderTest, EmptyGraph) {
+  GraphBuilder builder(5);
+  Result<Graph> graph = builder.Build();
+  ASSERT_TRUE(graph.ok());
+  EXPECT_EQ(graph->num_nodes(), 5);
+  EXPECT_EQ(graph->num_arcs(), 0);
+  for (NodeId v = 0; v < 5; ++v) {
+    EXPECT_EQ(graph->OutDegree(v), 0);
+    EXPECT_EQ(graph->InDegree(v), 0);
+  }
+}
+
+TEST(GraphBuilderTest, DirectedArcsAndWeights) {
+  const Graph graph = MakeGraph(3, {{0, 1, 0.5f}, {1, 2, 0.25f}});
+  EXPECT_EQ(graph.num_arcs(), 2);
+  EXPECT_EQ(graph.OutDegree(0), 1);
+  EXPECT_EQ(graph.InDegree(1), 1);
+  EXPECT_EQ(graph.OutNeighbors(0)[0], 1);
+  EXPECT_FLOAT_EQ(graph.OutWeights(0)[0], 0.5f);
+  EXPECT_EQ(graph.InNeighbors(2)[0], 1);
+  EXPECT_FLOAT_EQ(graph.InWeights(2)[0], 0.25f);
+}
+
+TEST(GraphBuilderTest, UndirectedAddsBothArcs) {
+  GraphBuilder builder(2, /*undirected=*/true);
+  ASSERT_TRUE(builder.AddEdge(0, 1, 0.7f).ok());
+  Result<Graph> graph = builder.Build();
+  ASSERT_TRUE(graph.ok());
+  EXPECT_EQ(graph->num_arcs(), 2);
+  EXPECT_TRUE(graph->HasArc(0, 1));
+  EXPECT_TRUE(graph->HasArc(1, 0));
+  EXPECT_TRUE(graph->undirected());
+}
+
+TEST(GraphBuilderTest, RejectsSelfLoop) {
+  GraphBuilder builder(3);
+  EXPECT_EQ(builder.AddEdge(1, 1).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(GraphBuilderTest, RejectsOutOfRangeEndpoints) {
+  GraphBuilder builder(3);
+  EXPECT_EQ(builder.AddEdge(0, 3).code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(builder.AddEdge(-1, 0).code(), StatusCode::kOutOfRange);
+}
+
+TEST(GraphBuilderTest, DeduplicatesParallelArcs) {
+  GraphBuilder builder(2);
+  ASSERT_TRUE(builder.AddEdge(0, 1, 0.9f).ok());
+  ASSERT_TRUE(builder.AddEdge(0, 1, 0.1f).ok());
+  Result<Graph> graph = builder.Build();
+  ASSERT_TRUE(graph.ok());
+  EXPECT_EQ(graph->num_arcs(), 1);
+}
+
+TEST(GraphBuilderTest, BuildTwiceFails) {
+  GraphBuilder builder(2);
+  ASSERT_TRUE(builder.AddEdge(0, 1).ok());
+  ASSERT_TRUE(builder.Build().ok());
+  EXPECT_EQ(builder.Build().status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(builder.AddEdge(1, 0).code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(GraphTest, OutNeighborsAreSorted) {
+  const Graph graph = MakeGraph(5, {{0, 4}, {0, 1}, {0, 3}, {0, 2}});
+  const auto neighbors = graph.OutNeighbors(0);
+  EXPECT_TRUE(std::is_sorted(neighbors.begin(), neighbors.end()));
+}
+
+TEST(GraphTest, InOutConsistency) {
+  const Graph graph =
+      MakeGraph(6, {{0, 1}, {2, 1}, {3, 1}, {1, 4}, {4, 5}, {0, 5}});
+  // Total out-degrees == total in-degrees == arcs.
+  int64_t out_total = 0, in_total = 0;
+  for (NodeId v = 0; v < 6; ++v) {
+    out_total += graph.OutDegree(v);
+    in_total += graph.InDegree(v);
+  }
+  EXPECT_EQ(out_total, graph.num_arcs());
+  EXPECT_EQ(in_total, graph.num_arcs());
+  // Every out-arc appears as an in-arc with the same weight.
+  for (NodeId u = 0; u < 6; ++u) {
+    for (NodeId v : graph.OutNeighbors(u)) {
+      const auto sources = graph.InNeighbors(v);
+      EXPECT_NE(std::find(sources.begin(), sources.end(), u), sources.end());
+    }
+  }
+}
+
+TEST(GraphTest, InWeightsMatchArcWeights) {
+  const Graph graph = MakeGraph(3, {{0, 2, 0.3f}, {1, 2, 0.6f}});
+  const auto sources = graph.InNeighbors(2);
+  const auto weights = graph.InWeights(2);
+  ASSERT_EQ(sources.size(), 2u);
+  for (size_t i = 0; i < sources.size(); ++i) {
+    EXPECT_FLOAT_EQ(weights[i], sources[i] == 0 ? 0.3f : 0.6f);
+  }
+}
+
+TEST(GraphTest, HasArc) {
+  const Graph graph = MakeGraph(4, {{0, 1}, {1, 2}});
+  EXPECT_TRUE(graph.HasArc(0, 1));
+  EXPECT_FALSE(graph.HasArc(1, 0));
+  EXPECT_FALSE(graph.HasArc(2, 3));
+}
+
+TEST(GraphTest, AverageDegree) {
+  const Graph graph = MakeGraph(4, {{0, 1}, {1, 2}, {2, 3}, {3, 0}});
+  EXPECT_DOUBLE_EQ(graph.AverageDegree(), 1.0);
+  EXPECT_DOUBLE_EQ(Graph().AverageDegree(), 0.0);
+}
+
+TEST(GraphTest, ToEdgeListRoundTrip) {
+  const std::vector<Edge> edges = {{0, 1, 0.5f}, {1, 2, 1.0f}, {2, 0, 0.1f}};
+  const Graph graph = MakeGraph(3, edges);
+  const std::vector<Edge> out = graph.ToEdgeList();
+  ASSERT_EQ(out.size(), 3u);
+  GraphBuilder rebuilt(3);
+  ASSERT_TRUE(rebuilt.AddEdges(out).ok());
+  Result<Graph> graph2 = rebuilt.Build();
+  ASSERT_TRUE(graph2.ok());
+  EXPECT_EQ(graph2->num_arcs(), graph.num_arcs());
+  for (NodeId v = 0; v < 3; ++v) {
+    EXPECT_EQ(graph2->OutDegree(v), graph.OutDegree(v));
+  }
+}
+
+TEST(WithUniformWeightsTest, OverridesAllWeights) {
+  const Graph graph = MakeGraph(3, {{0, 1, 0.2f}, {1, 2, 0.8f}});
+  const Graph unit = WithUniformWeights(graph, 1.0f);
+  EXPECT_EQ(unit.num_arcs(), graph.num_arcs());
+  for (NodeId u = 0; u < 3; ++u) {
+    for (float w : unit.OutWeights(u)) EXPECT_FLOAT_EQ(w, 1.0f);
+  }
+}
+
+TEST(WithWeightedCascadeWeightsTest, InverseInDegree) {
+  const Graph graph = MakeGraph(4, {{0, 3}, {1, 3}, {2, 3}, {3, 0}});
+  const Graph wc = WithWeightedCascadeWeights(graph);
+  // Node 3 has in-degree 3 -> each incoming arc gets weight 1/3.
+  for (size_t i = 0; i < wc.InNeighbors(3).size(); ++i) {
+    EXPECT_NEAR(wc.InWeights(3)[i], 1.0f / 3.0f, 1e-6f);
+  }
+  // Node 0 has in-degree 1.
+  EXPECT_FLOAT_EQ(wc.InWeights(0)[0], 1.0f);
+}
+
+TEST(WithPermutedNodeIdsTest, PreservesStructureUnderRelabeling) {
+  const Graph graph = MakeGraph(6, {{0, 1, 0.5f}, {1, 2, 0.25f}, {2, 3, 1.0f},
+                                    {4, 5, 0.75f}});
+  Rng rng(9);
+  const Graph permuted = WithPermutedNodeIds(graph, &rng);
+  EXPECT_EQ(permuted.num_nodes(), graph.num_nodes());
+  EXPECT_EQ(permuted.num_arcs(), graph.num_arcs());
+  // Degree multiset is invariant.
+  std::vector<int64_t> orig_deg, perm_deg;
+  for (NodeId v = 0; v < 6; ++v) {
+    orig_deg.push_back(graph.OutDegree(v) * 100 + graph.InDegree(v));
+    perm_deg.push_back(permuted.OutDegree(v) * 100 + permuted.InDegree(v));
+  }
+  std::sort(orig_deg.begin(), orig_deg.end());
+  std::sort(perm_deg.begin(), perm_deg.end());
+  EXPECT_EQ(orig_deg, perm_deg);
+  // Weight multiset is invariant.
+  std::vector<float> orig_w, perm_w;
+  for (const Edge& e : graph.ToEdgeList()) orig_w.push_back(e.weight);
+  for (const Edge& e : permuted.ToEdgeList()) perm_w.push_back(e.weight);
+  std::sort(orig_w.begin(), orig_w.end());
+  std::sort(perm_w.begin(), perm_w.end());
+  EXPECT_EQ(orig_w, perm_w);
+}
+
+TEST(WithPermutedNodeIdsTest, ActuallyPermutesLargeGraphs) {
+  std::vector<Edge> edges;
+  for (NodeId v = 1; v < 50; ++v) edges.push_back({0, v, 1.0f});
+  const Graph star = MakeGraph(50, edges);
+  Rng rng(10);
+  const Graph permuted = WithPermutedNodeIds(star, &rng);
+  // The center (out-degree 49) almost surely moved away from id 0.
+  int64_t center = -1;
+  for (NodeId v = 0; v < 50; ++v) {
+    if (permuted.OutDegree(v) == 49) center = v;
+  }
+  ASSERT_NE(center, -1);
+  EXPECT_NE(center, 0);
+}
+
+}  // namespace
+}  // namespace privim

@@ -1,0 +1,81 @@
+#include "privim/graph/projection.h"
+
+#include "gtest/gtest.h"
+#include "privim/graph/generators.h"
+#include "testing/graph_fixtures.h"
+
+namespace privim {
+namespace {
+
+using testing::MakeGraph;
+
+TEST(ProjectInDegreeTest, CapsInDegree) {
+  // Node 5 has in-degree 5.
+  std::vector<Edge> edges;
+  for (NodeId u = 0; u < 5; ++u) edges.push_back({u, 5, 1.0f});
+  const Graph graph = MakeGraph(6, edges);
+  Rng rng(1);
+  Result<Graph> projected = ProjectInDegree(graph, 2, &rng);
+  ASSERT_TRUE(projected.ok());
+  EXPECT_EQ(projected->InDegree(5), 2);
+  EXPECT_EQ(projected->num_arcs(), 2);
+}
+
+TEST(ProjectInDegreeTest, LeavesLowDegreeNodesUntouched) {
+  const Graph graph = MakeGraph(4, {{0, 1, 0.4f}, {1, 2, 0.6f}, {2, 3, 0.8f}});
+  Rng rng(2);
+  Result<Graph> projected = ProjectInDegree(graph, 10, &rng);
+  ASSERT_TRUE(projected.ok());
+  EXPECT_EQ(projected->num_arcs(), graph.num_arcs());
+  EXPECT_FLOAT_EQ(projected->InWeights(1)[0], 0.4f);
+}
+
+TEST(ProjectInDegreeTest, KeptArcsAreSubsetWithWeights) {
+  Rng gen_rng(3);
+  Result<Graph> original = BarabasiAlbert(200, 8, &gen_rng);
+  ASSERT_TRUE(original.ok());
+  Rng rng(4);
+  Result<Graph> projected = ProjectInDegree(original.value(), 5, &rng);
+  ASSERT_TRUE(projected.ok());
+  for (NodeId v = 0; v < projected->num_nodes(); ++v) {
+    EXPECT_LE(projected->InDegree(v), 5);
+    const auto sources = projected->InNeighbors(v);
+    for (NodeId u : sources) {
+      EXPECT_TRUE(original->HasArc(u, v));
+    }
+  }
+}
+
+TEST(ProjectInDegreeTest, ThetaOneKeepsOneArcPerNode) {
+  std::vector<Edge> edges;
+  for (NodeId u = 0; u < 4; ++u) edges.push_back({u, 4, 1.0f});
+  const Graph graph = MakeGraph(5, edges);
+  Rng rng(5);
+  Result<Graph> projected = ProjectInDegree(graph, 1, &rng);
+  ASSERT_TRUE(projected.ok());
+  EXPECT_EQ(projected->InDegree(4), 1);
+}
+
+TEST(ProjectInDegreeTest, InvalidTheta) {
+  const Graph graph = MakeGraph(3, {{0, 1}});
+  Rng rng(6);
+  EXPECT_FALSE(ProjectInDegree(graph, 0, &rng).ok());
+}
+
+TEST(ProjectInDegreeTest, SelectionIsUniformAcrossArcs) {
+  // With theta = 1 and 3 candidate in-arcs, each survives ~1/3 of runs.
+  std::vector<Edge> edges = {{0, 3, 1.0f}, {1, 3, 1.0f}, {2, 3, 1.0f}};
+  const Graph graph = MakeGraph(4, edges);
+  std::vector<int> kept(3, 0);
+  Rng rng(7);
+  const int trials = 3000;
+  for (int t = 0; t < trials; ++t) {
+    Result<Graph> projected = ProjectInDegree(graph, 1, &rng);
+    ASSERT_TRUE(projected.ok());
+    ++kept[projected->InNeighbors(3)[0]];
+  }
+  for (int count : kept) EXPECT_NEAR(count, trials / 3, 150);
+}
+
+}  // namespace
+}  // namespace privim

@@ -1,0 +1,62 @@
+#include "privim/graph/subgraph.h"
+
+#include "gtest/gtest.h"
+#include "testing/graph_fixtures.h"
+
+namespace privim {
+namespace {
+
+using testing::MakeGraph;
+
+TEST(InducedSubgraphTest, KeepsInternalArcsOnly) {
+  const Graph graph =
+      MakeGraph(5, {{0, 1, 0.5f}, {1, 2, 0.6f}, {2, 3, 0.7f}, {3, 4, 0.8f}});
+  Result<Subgraph> sub = InducedSubgraph(graph, {1, 2, 4});
+  ASSERT_TRUE(sub.ok());
+  EXPECT_EQ(sub->num_nodes(), 3);
+  // Only arc 1 -> 2 survives (3 excluded cuts 2->3 and 3->4).
+  EXPECT_EQ(sub->local.num_arcs(), 1);
+  EXPECT_TRUE(sub->local.HasArc(0, 1));  // local ids of 1 and 2
+  EXPECT_FLOAT_EQ(sub->local.OutWeights(0)[0], 0.6f);
+}
+
+TEST(InducedSubgraphTest, GlobalIdsPreserveFirstOccurrenceOrder) {
+  const Graph graph = MakeGraph(5, {{0, 1}});
+  Result<Subgraph> sub = InducedSubgraph(graph, {4, 2, 0, 2, 4});
+  ASSERT_TRUE(sub.ok());
+  ASSERT_EQ(sub->global_ids.size(), 3u);
+  EXPECT_EQ(sub->global_ids[0], 4);
+  EXPECT_EQ(sub->global_ids[1], 2);
+  EXPECT_EQ(sub->global_ids[2], 0);
+}
+
+TEST(InducedSubgraphTest, FullNodeSetIsIsomorphic) {
+  const Graph graph = MakeGraph(4, {{0, 1}, {1, 2}, {2, 3}, {3, 0}});
+  Result<Subgraph> sub = InducedSubgraph(graph, {0, 1, 2, 3});
+  ASSERT_TRUE(sub.ok());
+  EXPECT_EQ(sub->local.num_arcs(), graph.num_arcs());
+}
+
+TEST(InducedSubgraphTest, OutOfRangeNodeFails) {
+  const Graph graph = MakeGraph(3, {{0, 1}});
+  EXPECT_EQ(InducedSubgraph(graph, {0, 7}).status().code(),
+            StatusCode::kOutOfRange);
+}
+
+TEST(InducedSubgraphTest, EmptyNodeSet) {
+  const Graph graph = MakeGraph(3, {{0, 1}});
+  Result<Subgraph> sub = InducedSubgraph(graph, {});
+  ASSERT_TRUE(sub.ok());
+  EXPECT_EQ(sub->num_nodes(), 0);
+}
+
+TEST(InducedSubgraphTest, IsolatedNodesKeptWithoutArcs) {
+  const Graph graph = MakeGraph(4, {{0, 1}});
+  Result<Subgraph> sub = InducedSubgraph(graph, {2, 3});
+  ASSERT_TRUE(sub.ok());
+  EXPECT_EQ(sub->num_nodes(), 2);
+  EXPECT_EQ(sub->local.num_arcs(), 0);
+}
+
+}  // namespace
+}  // namespace privim

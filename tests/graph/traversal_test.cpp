@@ -1,0 +1,138 @@
+#include "privim/graph/traversal.h"
+
+#include <algorithm>
+
+#include "gtest/gtest.h"
+#include "testing/graph_fixtures.h"
+
+namespace privim {
+namespace {
+
+using testing::MakeCycle;
+using testing::MakeGraph;
+using testing::MakePath;
+using testing::MakeStar;
+
+TEST(RHopBallTest, PathGraph) {
+  const Graph path = MakePath(10);
+  const std::vector<NodeId> ball = RHopBall(path, 0, 3);
+  EXPECT_EQ(ball.size(), 4u);  // 0, 1, 2, 3
+  EXPECT_EQ(ball[0], 0);
+  EXPECT_EQ(ball[3], 3);
+}
+
+TEST(RHopBallTest, ZeroHopsIsJustSource) {
+  const Graph path = MakePath(5);
+  const std::vector<NodeId> ball = RHopBall(path, 2, 0);
+  ASSERT_EQ(ball.size(), 1u);
+  EXPECT_EQ(ball[0], 2);
+}
+
+TEST(RHopBallTest, StarCoversAllLeavesInOneHop) {
+  const Graph star = MakeStar(8);
+  EXPECT_EQ(RHopBall(star, 0, 1).size(), 8u);
+  // Leaves have no out-arcs.
+  EXPECT_EQ(RHopBall(star, 3, 5).size(), 1u);
+}
+
+TEST(RHopBallTest, InvalidSource) {
+  const Graph path = MakePath(5);
+  EXPECT_TRUE(RHopBall(path, -1, 2).empty());
+  EXPECT_TRUE(RHopBall(path, 99, 2).empty());
+  EXPECT_TRUE(RHopBall(path, 0, -1).empty());
+}
+
+TEST(BfsDistancesTest, PathDistances) {
+  const Graph path = MakePath(6);
+  const std::vector<int> dist = BfsDistances(path, 0);
+  for (int v = 0; v < 6; ++v) EXPECT_EQ(dist[v], v);
+}
+
+TEST(BfsDistancesTest, UnreachableIsMinusOne) {
+  const Graph graph = MakeGraph(4, {{0, 1}});
+  const std::vector<int> dist = BfsDistances(graph, 0);
+  EXPECT_EQ(dist[0], 0);
+  EXPECT_EQ(dist[1], 1);
+  EXPECT_EQ(dist[2], -1);
+  EXPECT_EQ(dist[3], -1);
+}
+
+TEST(BfsDistancesTest, DirectionalityMatters) {
+  const Graph path = MakePath(4);
+  const std::vector<int> dist = BfsDistances(path, 3);
+  EXPECT_EQ(dist[3], 0);
+  EXPECT_EQ(dist[0], -1);  // arcs point forward only
+}
+
+TEST(BfsDistancesTest, CycleWrapsAround) {
+  const Graph cycle = MakeCycle(5);
+  const std::vector<int> dist = BfsDistances(cycle, 0);
+  EXPECT_EQ(dist[4], 4);
+  EXPECT_EQ(dist[1], 1);
+}
+
+TEST(WeaklyConnectedComponentsTest, SingleComponent) {
+  const Graph cycle = MakeCycle(7);
+  const ComponentInfo info = WeaklyConnectedComponents(cycle);
+  EXPECT_EQ(info.num_components, 1);
+}
+
+TEST(WeaklyConnectedComponentsTest, MultipleComponents) {
+  const Graph graph = MakeGraph(6, {{0, 1}, {2, 3}});
+  const ComponentInfo info = WeaklyConnectedComponents(graph);
+  EXPECT_EQ(info.num_components, 4);  // {0,1}, {2,3}, {4}, {5}
+  EXPECT_EQ(info.label[0], info.label[1]);
+  EXPECT_EQ(info.label[2], info.label[3]);
+  EXPECT_NE(info.label[0], info.label[2]);
+  EXPECT_NE(info.label[4], info.label[5]);
+}
+
+TEST(WeaklyConnectedComponentsTest, DirectedArcsCountBothWays) {
+  // 0 -> 1 and 2 -> 1: weakly connected through node 1.
+  const Graph graph = MakeGraph(3, {{0, 1}, {2, 1}});
+  EXPECT_EQ(WeaklyConnectedComponents(graph).num_components, 1);
+}
+
+TEST(UndirectedNeighborsTest, MergesBothDirectionsWithoutDuplicates) {
+  // 0 -> 1, 2 -> 0, and a reciprocal pair 0 <-> 3.
+  const Graph graph = MakeGraph(4, {{0, 1}, {2, 0}, {0, 3}, {3, 0}});
+  std::vector<NodeId> neighbors = UndirectedNeighbors(graph, 0);
+  std::sort(neighbors.begin(), neighbors.end());
+  EXPECT_EQ(neighbors, (std::vector<NodeId>{1, 2, 3}));
+}
+
+TEST(UndirectedNeighborsTest, IsolatedNodeHasNone) {
+  const Graph graph = MakeGraph(3, {{0, 1}});
+  EXPECT_TRUE(UndirectedNeighbors(graph, 2).empty());
+}
+
+TEST(UndirectedRHopBallTest, IgnoresArcDirection) {
+  // Directed path 0 -> 1 -> 2 -> 3: the undirected 2-ball of node 3
+  // includes 1, 2, 3 even though no out-arcs leave node 3.
+  const Graph path = MakePath(4);
+  const std::vector<NodeId> ball = UndirectedRHopBall(path, 3, 2);
+  EXPECT_EQ(ball.size(), 3u);
+  EXPECT_TRUE(RHopBall(path, 3, 2).size() == 1u);  // directed ball is tiny
+}
+
+TEST(UndirectedRHopBallTest, MatchesDirectedBallOnSymmetricGraphs) {
+  const Graph cycle = MakeCycle(8);
+  // A directed cycle's 2-ball misses the predecessors; symmetrize first.
+  GraphBuilder builder(8, /*undirected=*/true);
+  for (NodeId v = 0; v < 8; ++v) {
+    ASSERT_TRUE(builder.AddEdge(v, static_cast<NodeId>((v + 1) % 8)).ok());
+  }
+  Result<Graph> sym = builder.Build();
+  ASSERT_TRUE(sym.ok());
+  EXPECT_EQ(UndirectedRHopBall(cycle, 0, 2).size(),
+            RHopBall(sym.value(), 0, 2).size());
+}
+
+TEST(UndirectedRHopBallTest, InvalidInputsEmpty) {
+  const Graph path = MakePath(3);
+  EXPECT_TRUE(UndirectedRHopBall(path, -1, 2).empty());
+  EXPECT_TRUE(UndirectedRHopBall(path, 0, -1).empty());
+}
+
+}  // namespace
+}  // namespace privim

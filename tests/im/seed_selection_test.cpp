@@ -1,0 +1,47 @@
+#include "privim/im/seed_selection.h"
+
+#include "gtest/gtest.h"
+
+namespace privim {
+namespace {
+
+TEST(TopKSeedsTest, SelectsLargestScores) {
+  const Tensor scores = Tensor::FromVector(5, 1, {0.1f, 0.9f, 0.5f, 0.7f, 0.2f});
+  const std::vector<NodeId> seeds = TopKSeeds(scores, 3);
+  ASSERT_EQ(seeds.size(), 3u);
+  EXPECT_EQ(seeds[0], 1);
+  EXPECT_EQ(seeds[1], 3);
+  EXPECT_EQ(seeds[2], 2);
+}
+
+TEST(TopKSeedsTest, TiesBrokenBySmallerId) {
+  const Tensor scores = Tensor::FromVector(4, 1, {0.5f, 0.5f, 0.5f, 0.5f});
+  const std::vector<NodeId> seeds = TopKSeeds(scores, 2);
+  ASSERT_EQ(seeds.size(), 2u);
+  EXPECT_EQ(seeds[0], 0);
+  EXPECT_EQ(seeds[1], 1);
+}
+
+TEST(TopKSeedsTest, KLargerThanNClamps) {
+  const Tensor scores = Tensor::FromVector(2, 1, {0.3f, 0.6f});
+  EXPECT_EQ(TopKSeeds(scores, 10).size(), 2u);
+}
+
+TEST(TopKSeedsTest, NonPositiveKIsEmpty) {
+  const Tensor scores = Tensor::FromVector(2, 1, {0.3f, 0.6f});
+  EXPECT_TRUE(TopKSeeds(scores, 0).empty());
+  EXPECT_TRUE(TopKSeeds(scores, -5).empty());
+}
+
+TEST(CoverageRatioPercentTest, Basics) {
+  EXPECT_DOUBLE_EQ(CoverageRatioPercent(50.0, 100.0), 50.0);
+  EXPECT_DOUBLE_EQ(CoverageRatioPercent(100.0, 100.0), 100.0);
+  EXPECT_DOUBLE_EQ(CoverageRatioPercent(110.0, 100.0), 110.0);
+}
+
+TEST(CoverageRatioPercentTest, ZeroDenominatorIsZero) {
+  EXPECT_DOUBLE_EQ(CoverageRatioPercent(5.0, 0.0), 0.0);
+}
+
+}  // namespace
+}  // namespace privim

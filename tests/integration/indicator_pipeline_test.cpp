@@ -1,0 +1,84 @@
+// Integration of the Sec. IV-C indicator with the pipeline: select (n, M)
+// with the Gamma indicator and run PrivIM* with them — the workflow the
+// paper recommends to "save the privacy budget for expensive parameter
+// searching".
+
+#include "gtest/gtest.h"
+#include "privim/core/indicator.h"
+#include "privim/core/pipeline.h"
+#include "privim/datasets/datasets.h"
+#include "privim/datasets/split.h"
+#include "privim/im/celf.h"
+#include "privim/im/seed_selection.h"
+
+namespace privim {
+namespace {
+
+TEST(IndicatorPipelineTest, IndicatorChosenParametersRunEndToEnd) {
+  Result<Dataset> dataset =
+      MakeDataset(DatasetId::kLastFm, DatasetScale::kTiny, 1);
+  ASSERT_TRUE(dataset.ok());
+  Rng rng(2);
+  Result<TrainTestSplit> split = SplitNodes(dataset->graph, 0.5, &rng);
+  ASSERT_TRUE(split.ok());
+
+  // Grid-search the indicator instead of the model (cheap, budget-free).
+  IndicatorParams params;
+  params.psi_n = 10.0;  // rescaled for tiny-scale subgraph sizes
+  const std::vector<int64_t> n_grid = {8, 12, 16, 20, 24};
+  const std::vector<int64_t> m_grid = {2, 3, 4, 5, 6, 8};
+  const IndicatorOptimum best = SelectParameters(
+      n_grid, m_grid, split->train.local.num_nodes(), params);
+  ASSERT_GT(best.subgraph_size, 0);
+  ASSERT_GT(best.frequency_threshold, 0);
+  EXPECT_DOUBLE_EQ(best.value, 1.0);  // argmax of the normalized grid
+
+  PrivImOptions options;
+  options.gnn.input_dim = 6;
+  options.gnn.hidden_dim = 12;
+  options.gnn.num_layers = 2;
+  options.subgraph_size = best.subgraph_size;
+  options.frequency_threshold = best.frequency_threshold;
+  options.sampling_rate = 0.8;
+  options.iterations = 30;
+  options.batch_size = 12;
+  options.learning_rate = 0.1f;
+  options.clip_bound = 0.2f;
+  options.loss.lambda = 0.7f;
+  options.decay = 0.0;
+  options.seed_set_size = 10;
+  options.epsilon = 3.0;
+  Result<PrivImResult> result = RunPrivIm(split->train.local,
+                                          split->test.local, options, 3);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+  // The indicator's M is the privacy accountant's bound.
+  EXPECT_EQ(result->occurrence_bound,
+            std::min<int64_t>(best.frequency_threshold,
+                              result->container_size));
+  EXPECT_LE(result->empirical_max_occurrence, best.frequency_threshold);
+
+  // And the run produces a usable seed set.
+  DeterministicCoverageOracle oracle(split->test.local, 1);
+  Result<SeedSelectionResult> celf = CelfGreedy(oracle, 10);
+  ASSERT_TRUE(celf.ok());
+  EXPECT_GT(oracle.Spread(result->seeds), 0.0);
+}
+
+TEST(IndicatorPipelineTest, IndicatorAdaptsAcrossDatasetSizes) {
+  // Larger |V| must push the recommendation toward larger n and smaller M
+  // (Sec. IV-C), using the paper's constants.
+  IndicatorParams params;
+  const std::vector<int64_t> n_grid = {10, 20, 30, 40, 50, 60, 70, 80};
+  const std::vector<int64_t> m_grid = {2, 4, 6, 8, 10, 12};
+  const IndicatorOptimum small_graph =
+      SelectParameters(n_grid, m_grid, 1000, params);
+  const IndicatorOptimum large_graph =
+      SelectParameters(n_grid, m_grid, 196000, params);
+  EXPECT_LE(small_graph.subgraph_size, large_graph.subgraph_size);
+  EXPECT_GE(small_graph.frequency_threshold,
+            large_graph.frequency_threshold);
+}
+
+}  // namespace
+}  // namespace privim

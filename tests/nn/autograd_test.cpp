@@ -1,0 +1,117 @@
+#include "privim/nn/autograd.h"
+
+#include "gtest/gtest.h"
+#include "privim/nn/ops.h"
+#include "testing/gradcheck.h"
+
+namespace privim {
+namespace {
+
+TEST(VariableTest, LeafProperties) {
+  Variable v(Tensor::FromVector(2, 2, {1, 2, 3, 4}), /*requires_grad=*/true);
+  EXPECT_TRUE(v.defined());
+  EXPECT_TRUE(v.requires_grad());
+  EXPECT_EQ(v.rows(), 2);
+  EXPECT_EQ(v.cols(), 2);
+  EXPECT_FLOAT_EQ(v.value().at(1, 0), 3.0f);
+}
+
+TEST(VariableTest, GradStartsAtZero) {
+  Variable v(Tensor::Ones(2, 3), true);
+  const Tensor g = v.grad();
+  EXPECT_EQ(g.rows(), 2);
+  EXPECT_EQ(g.cols(), 3);
+  EXPECT_FLOAT_EQ(g.MaxAbs(), 0.0f);
+}
+
+TEST(VariableTest, CopyAliasesSameNode) {
+  Variable a(Tensor::Scalar(1.0f), true);
+  Variable b = a;
+  b.mutable_value().at(0, 0) = 5.0f;
+  EXPECT_FLOAT_EQ(a.value().at(0, 0), 5.0f);
+}
+
+TEST(BackwardTest, SumGradientIsOnes) {
+  Variable x(Tensor::FromVector(2, 2, {1, 2, 3, 4}), true);
+  Variable loss = Sum(x);
+  loss.Backward();
+  const Tensor g = x.grad();
+  for (int64_t i = 0; i < g.size(); ++i) EXPECT_FLOAT_EQ(g.data()[i], 1.0f);
+}
+
+TEST(BackwardTest, GradAccumulatesAcrossBackwardCalls) {
+  Variable x(Tensor::Scalar(3.0f), true);
+  Sum(x).Backward();
+  Sum(x).Backward();
+  EXPECT_FLOAT_EQ(x.grad().at(0, 0), 2.0f);
+  x.ZeroGrad();
+  EXPECT_FLOAT_EQ(x.grad().at(0, 0), 0.0f);
+}
+
+TEST(BackwardTest, DiamondGraphAccumulatesBothPaths) {
+  // loss = sum(x * x') where both operands are the same variable:
+  // d/dx (x^2) = 2x.
+  Variable x(Tensor::FromVector(1, 2, {3, -2}), true);
+  Variable loss = Sum(Multiply(x, x));
+  loss.Backward();
+  EXPECT_FLOAT_EQ(x.grad().at(0, 0), 6.0f);
+  EXPECT_FLOAT_EQ(x.grad().at(0, 1), -4.0f);
+}
+
+TEST(BackwardTest, NoGradLeafIsSkipped) {
+  Variable x(Tensor::Scalar(2.0f), false);
+  Variable y(Tensor::Scalar(3.0f), true);
+  Variable loss = Sum(Multiply(x, y));
+  loss.Backward();
+  EXPECT_FLOAT_EQ(y.grad().at(0, 0), 2.0f);
+  EXPECT_FLOAT_EQ(x.grad().at(0, 0), 0.0f);
+}
+
+TEST(BackwardTest, DeepChain) {
+  // loss = sum(affine^(20)(x)) with alpha = 1.1 each: grad = 1.1^20.
+  Variable x(Tensor::Scalar(0.5f), true);
+  Variable h = x;
+  for (int i = 0; i < 20; ++i) h = Affine(h, 1.1f, 0.0f);
+  Sum(h).Backward();
+  EXPECT_NEAR(x.grad().at(0, 0), std::pow(1.1f, 20.0f), 1e-3);
+}
+
+TEST(FlattenGradientsTest, OrderAndContent) {
+  Variable a(Tensor::FromVector(1, 2, {1, 2}), true);
+  Variable b(Tensor::Scalar(5.0f), true);
+  Variable loss = Add(Sum(Multiply(a, a)), Sum(b));
+  loss.Backward();
+  const std::vector<float> flat = FlattenGradients({a, b});
+  ASSERT_EQ(flat.size(), 3u);
+  EXPECT_FLOAT_EQ(flat[0], 2.0f);   // d/da0 a0^2
+  EXPECT_FLOAT_EQ(flat[1], 4.0f);   // d/da1 a1^2
+  EXPECT_FLOAT_EQ(flat[2], 1.0f);   // d/db b
+}
+
+TEST(ParameterCountTest, SumsSizes) {
+  Variable a(Tensor::Zeros(2, 3), true);
+  Variable b(Tensor::Zeros(4, 1), true);
+  EXPECT_EQ(ParameterCount({a, b}), 10);
+  EXPECT_EQ(ParameterCount({}), 0);
+}
+
+TEST(ApplyFlatUpdateTest, AddsScaledVector) {
+  Variable a(Tensor::FromVector(1, 2, {1, 2}), true);
+  Variable b(Tensor::Scalar(10.0f), true);
+  ApplyFlatUpdate({a, b}, {1.0f, 2.0f, 3.0f}, -0.5f);
+  EXPECT_FLOAT_EQ(a.value().at(0, 0), 0.5f);
+  EXPECT_FLOAT_EQ(a.value().at(0, 1), 1.0f);
+  EXPECT_FLOAT_EQ(b.value().at(0, 0), 8.5f);
+}
+
+TEST(GradcheckTest, CompositeExpression) {
+  // loss = sum(sigmoid(x) * tanh(x) + exp(-x)) checked numerically.
+  Rng rng(11);
+  Variable x(Tensor::Gaussian(3, 2, 1.0f, &rng), true);
+  testing::ExpectGradientsMatch(x, [](Variable v) {
+    return Sum(Add(Multiply(Sigmoid(v), Tanh(v)), Exp(Affine(v, -1.0f, 0.0f))));
+  });
+}
+
+}  // namespace
+}  // namespace privim

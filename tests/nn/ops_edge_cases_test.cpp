@@ -1,0 +1,116 @@
+// Edge-case coverage for the autograd ops: empty segments, degenerate
+// shapes, rectangular sparse operators, and accumulation across shared
+// subexpressions — the configurations the GNN layers hit on pathological
+// subgraphs (isolated nodes, arcless graphs, single-node graphs).
+
+#include <cmath>
+
+#include "gtest/gtest.h"
+#include "privim/nn/ops.h"
+#include "testing/gradcheck.h"
+
+namespace privim {
+namespace {
+
+TEST(OpsEdgeCaseTest, GatherRowsEmptyIndexList) {
+  Variable x(Tensor::Ones(3, 2), true);
+  const Variable gathered = GatherRows(x, {});
+  EXPECT_EQ(gathered.rows(), 0);
+  EXPECT_EQ(gathered.cols(), 2);
+  // Backward through an empty gather must not touch x's gradient.
+  Variable loss = Add(Sum(gathered), Sum(x));
+  loss.Backward();
+  EXPECT_FLOAT_EQ(x.grad().at(0, 0), 1.0f);
+}
+
+TEST(OpsEdgeCaseTest, SegmentSoftmaxSingletonSegmentsAreOne) {
+  Variable scores(Tensor::FromVector(3, 1, {-5, 0, 17}));
+  const Tensor alpha = SegmentSoftmax(scores, {0, 1, 2}, 3).value();
+  for (int64_t e = 0; e < 3; ++e) EXPECT_NEAR(alpha.at(e, 0), 1.0f, 1e-6f);
+}
+
+TEST(OpsEdgeCaseTest, SegmentSumEmptySegmentStaysZero) {
+  Variable x(Tensor::FromVector(2, 1, {3, 4}));
+  const Tensor out = SegmentSum(x, {0, 2}, 4).value();
+  EXPECT_FLOAT_EQ(out.at(0, 0), 3);
+  EXPECT_FLOAT_EQ(out.at(1, 0), 0);  // no edges mapped here
+  EXPECT_FLOAT_EQ(out.at(2, 0), 4);
+  EXPECT_FLOAT_EQ(out.at(3, 0), 0);
+}
+
+TEST(OpsEdgeCaseTest, SegmentSoftmaxZeroEdges) {
+  Variable scores(Tensor::Zeros(0, 1), true);
+  const Variable alpha = SegmentSoftmax(scores, {}, 5);
+  EXPECT_EQ(alpha.rows(), 0);
+}
+
+TEST(OpsEdgeCaseTest, SpMMRectangular) {
+  // S is 2x4, x is 4x3.
+  auto sp = MakeSparsePair(2, 4, {{0, 0, 1.0f}, {0, 3, 2.0f}, {1, 2, -1.0f}});
+  Variable x(Tensor::FromVector(4, 3, {1, 2, 3,   4, 5, 6,
+                                       7, 8, 9,   10, 11, 12}),
+             true);
+  const Tensor y = SpMM(sp, x).value();
+  EXPECT_EQ(y.rows(), 2);
+  EXPECT_EQ(y.cols(), 3);
+  EXPECT_FLOAT_EQ(y.at(0, 0), 1 + 20);
+  EXPECT_FLOAT_EQ(y.at(1, 1), -8);
+  testing::ExpectGradientsMatch(x, [&sp](Variable v) {
+    return Sum(Tanh(SpMM(sp, v)));
+  });
+}
+
+TEST(OpsEdgeCaseTest, SpMMEmptyMatrix) {
+  auto sp = MakeSparsePair(3, 3, {});
+  Variable x(Tensor::Ones(3, 2), true);
+  const Variable y = SpMM(sp, x);
+  EXPECT_FLOAT_EQ(y.value().MaxAbs(), 0.0f);
+  Sum(y).Backward();
+  EXPECT_FLOAT_EQ(x.grad().MaxAbs(), 0.0f);
+}
+
+TEST(OpsEdgeCaseTest, SharedSubexpressionAccumulates) {
+  // y = tanh(x); loss = sum(y * y + y): dy flows through three uses.
+  Variable x(Tensor::FromVector(1, 2, {0.3f, -0.8f}), true);
+  testing::ExpectGradientsMatch(x, [](Variable v) {
+    Variable y = Tanh(v);
+    return Sum(Add(Multiply(y, y), y));
+  });
+}
+
+TEST(OpsEdgeCaseTest, ScalarChainsCompose) {
+  Variable x(Tensor::Scalar(0.7f), true);
+  testing::ExpectGradientsMatch(x, [](Variable v) {
+    return Sum(OneMinusExpNeg(Sigmoid(Exp(Affine(v, 2.0f, -0.5f)))));
+  });
+}
+
+TEST(OpsEdgeCaseTest, ConcatWithZeroWidthSide) {
+  Variable a(Tensor::Ones(2, 0));
+  Variable b(Tensor::FromVector(2, 2, {1, 2, 3, 4}), true);
+  const Variable cat = ConcatCols(a, b);
+  EXPECT_EQ(cat.cols(), 2);
+  Sum(cat).Backward();
+  EXPECT_FLOAT_EQ(b.grad().at(1, 1), 1.0f);
+}
+
+TEST(OpsEdgeCaseTest, MatMulToScalarOutput) {
+  Variable a(Tensor::FromVector(1, 3, {1, 2, 3}), true);
+  Variable b(Tensor::FromVector(3, 1, {4, 5, 6}), true);
+  Variable product = MatMul(a, b);
+  EXPECT_FLOAT_EQ(product.value().at(0, 0), 32.0f);
+  product.Backward();
+  EXPECT_FLOAT_EQ(a.grad().at(0, 2), 6.0f);
+  EXPECT_FLOAT_EQ(b.grad().at(0, 0), 1.0f);
+}
+
+TEST(OpsEdgeCaseTest, LogGuardsAgainstNonPositive) {
+  Variable x(Tensor::FromVector(1, 3, {-1.0f, 0.0f, 1.0f}));
+  const Tensor y = Log(x, 1e-6f).value();
+  EXPECT_TRUE(std::isfinite(y.at(0, 0)));
+  EXPECT_TRUE(std::isfinite(y.at(0, 1)));
+  EXPECT_FLOAT_EQ(y.at(0, 2), 0.0f);
+}
+
+}  // namespace
+}  // namespace privim

@@ -1,0 +1,370 @@
+#include <cmath>
+
+#include "gtest/gtest.h"
+#include "privim/nn/ops.h"
+#include "testing/gradcheck.h"
+
+namespace privim {
+namespace {
+
+using testing::ExpectGradientsMatch;
+
+Tensor RandomTensor(int64_t rows, int64_t cols, uint64_t seed,
+                    float stddev = 1.0f) {
+  Rng rng(seed);
+  return Tensor::Gaussian(rows, cols, stddev, &rng);
+}
+
+// ---------------------------------------------------------------------------
+// Forward-value checks
+// ---------------------------------------------------------------------------
+
+TEST(OpsForwardTest, AddSubtractMultiply) {
+  Variable a(Tensor::FromVector(1, 3, {1, 2, 3}));
+  Variable b(Tensor::FromVector(1, 3, {10, 20, 30}));
+  EXPECT_FLOAT_EQ(Add(a, b).value().at(0, 1), 22);
+  EXPECT_FLOAT_EQ(Subtract(b, a).value().at(0, 2), 27);
+  EXPECT_FLOAT_EQ(Multiply(a, b).value().at(0, 0), 10);
+}
+
+TEST(OpsForwardTest, MatMul) {
+  Variable a(Tensor::FromVector(1, 2, {1, 2}));
+  Variable b(Tensor::FromVector(2, 1, {3, 4}));
+  EXPECT_FLOAT_EQ(MatMul(a, b).value().at(0, 0), 11);
+}
+
+TEST(OpsForwardTest, Nonlinearities) {
+  Variable x(Tensor::FromVector(1, 4, {-2, -0.5f, 0, 3}));
+  const Tensor relu = Relu(x).value();
+  EXPECT_FLOAT_EQ(relu.at(0, 0), 0);
+  EXPECT_FLOAT_EQ(relu.at(0, 3), 3);
+  const Tensor leaky = LeakyRelu(x, 0.1f).value();
+  EXPECT_FLOAT_EQ(leaky.at(0, 0), -0.2f);
+  EXPECT_FLOAT_EQ(leaky.at(0, 3), 3);
+  const Tensor sig = Sigmoid(x).value();
+  EXPECT_NEAR(sig.at(0, 2), 0.5f, 1e-6f);
+  EXPECT_NEAR(sig.at(0, 3), 1.0f / (1.0f + std::exp(-3.0f)), 1e-6f);
+}
+
+TEST(OpsForwardTest, OneMinusExpNegIsInUnitInterval) {
+  Variable x(Tensor::FromVector(1, 4, {0, 0.5f, 2, 50}));
+  const Tensor y = OneMinusExpNeg(x).value();
+  EXPECT_FLOAT_EQ(y.at(0, 0), 0.0f);
+  EXPECT_NEAR(y.at(0, 1), 1.0f - std::exp(-0.5f), 1e-6f);
+  EXPECT_NEAR(y.at(0, 3), 1.0f, 1e-6f);
+  for (int64_t c = 0; c < 4; ++c) {
+    EXPECT_GE(y.at(0, c), 0.0f);
+    EXPECT_LT(y.at(0, c), 1.0f + 1e-6f);
+  }
+}
+
+TEST(OpsForwardTest, ClampSaturates) {
+  Variable x(Tensor::FromVector(1, 3, {-5, 0.3f, 9}));
+  const Tensor y = Clamp(x, 0.0f, 1.0f).value();
+  EXPECT_FLOAT_EQ(y.at(0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(y.at(0, 1), 0.3f);
+  EXPECT_FLOAT_EQ(y.at(0, 2), 1.0f);
+}
+
+TEST(OpsForwardTest, SumMean) {
+  Variable x(Tensor::FromVector(2, 2, {1, 2, 3, 4}));
+  EXPECT_FLOAT_EQ(Sum(x).value().at(0, 0), 10);
+  EXPECT_FLOAT_EQ(Mean(x).value().at(0, 0), 2.5f);
+}
+
+TEST(OpsForwardTest, ConcatAndGather) {
+  Variable a(Tensor::FromVector(2, 1, {1, 2}));
+  Variable b(Tensor::FromVector(2, 2, {3, 4, 5, 6}));
+  const Tensor cat = ConcatCols(a, b).value();
+  EXPECT_EQ(cat.cols(), 3);
+  EXPECT_FLOAT_EQ(cat.at(1, 0), 2);
+  EXPECT_FLOAT_EQ(cat.at(1, 2), 6);
+
+  const Tensor gathered = GatherRows(b, {1, 0, 1}).value();
+  EXPECT_EQ(gathered.rows(), 3);
+  EXPECT_FLOAT_EQ(gathered.at(0, 0), 5);
+  EXPECT_FLOAT_EQ(gathered.at(1, 1), 4);
+}
+
+TEST(OpsForwardTest, AddRowBroadcast) {
+  Variable x(Tensor::Zeros(3, 2));
+  Variable bias(Tensor::FromVector(1, 2, {1, -1}));
+  const Tensor y = AddRowBroadcast(x, bias).value();
+  for (int64_t r = 0; r < 3; ++r) {
+    EXPECT_FLOAT_EQ(y.at(r, 0), 1);
+    EXPECT_FLOAT_EQ(y.at(r, 1), -1);
+  }
+}
+
+TEST(OpsForwardTest, MulColBroadcast) {
+  Variable s(Tensor::FromVector(2, 1, {2, -1}));
+  Variable x(Tensor::FromVector(2, 2, {1, 2, 3, 4}));
+  const Tensor y = MulColBroadcast(s, x).value();
+  EXPECT_FLOAT_EQ(y.at(0, 1), 4);
+  EXPECT_FLOAT_EQ(y.at(1, 0), -3);
+}
+
+TEST(OpsForwardTest, SpMMValues) {
+  // S = [[0, 2], [1, 0]]; x = [[1], [3]]; Sx = [[6], [1]].
+  auto sp = MakeSparsePair(2, 2, {{0, 1, 2.0f}, {1, 0, 1.0f}});
+  Variable x(Tensor::FromVector(2, 1, {1, 3}));
+  const Tensor y = SpMM(sp, x).value();
+  EXPECT_FLOAT_EQ(y.at(0, 0), 6);
+  EXPECT_FLOAT_EQ(y.at(1, 0), 1);
+}
+
+TEST(OpsForwardTest, SparseDuplicateTripletsSum) {
+  auto sp = MakeSparsePair(1, 1, {{0, 0, 1.5f}, {0, 0, 2.5f}});
+  Variable x(Tensor::Scalar(2.0f));
+  EXPECT_FLOAT_EQ(SpMM(sp, x).value().at(0, 0), 8.0f);
+}
+
+TEST(OpsForwardTest, SegmentSoftmaxNormalizesPerSegment) {
+  Variable scores(Tensor::FromVector(4, 1, {1, 2, 5, 5}));
+  const Tensor alpha =
+      SegmentSoftmax(scores, {0, 0, 1, 1}, 2).value();
+  EXPECT_NEAR(alpha.at(0, 0) + alpha.at(1, 0), 1.0f, 1e-6f);
+  EXPECT_NEAR(alpha.at(2, 0), 0.5f, 1e-6f);
+  EXPECT_NEAR(alpha.at(3, 0), 0.5f, 1e-6f);
+  EXPECT_GT(alpha.at(1, 0), alpha.at(0, 0));
+}
+
+TEST(OpsForwardTest, SegmentSoftmaxStableForLargeScores) {
+  Variable scores(Tensor::FromVector(2, 1, {1000, 1001}));
+  const Tensor alpha = SegmentSoftmax(scores, {0, 0}, 1).value();
+  EXPECT_TRUE(std::isfinite(alpha.at(0, 0)));
+  EXPECT_NEAR(alpha.at(0, 0) + alpha.at(1, 0), 1.0f, 1e-5f);
+}
+
+TEST(OpsForwardTest, SegmentSum) {
+  Variable x(Tensor::FromVector(3, 2, {1, 2, 3, 4, 5, 6}));
+  const Tensor y = SegmentSum(x, {1, 0, 1}, 2).value();
+  EXPECT_FLOAT_EQ(y.at(0, 0), 3);
+  EXPECT_FLOAT_EQ(y.at(0, 1), 4);
+  EXPECT_FLOAT_EQ(y.at(1, 0), 6);
+  EXPECT_FLOAT_EQ(y.at(1, 1), 8);
+}
+
+// ---------------------------------------------------------------------------
+// Gradient checks (central differences) for every op
+// ---------------------------------------------------------------------------
+
+TEST(OpsGradTest, MatMulLeft) {
+  Variable a(RandomTensor(3, 4, 1), true);
+  const Variable b(RandomTensor(4, 2, 2));
+  ExpectGradientsMatch(a, [&b](Variable v) { return Sum(MatMul(v, b)); });
+}
+
+TEST(OpsGradTest, MatMulRight) {
+  const Variable a(RandomTensor(3, 4, 3));
+  Variable b(RandomTensor(4, 2, 4), true);
+  ExpectGradientsMatch(b, [&a](Variable v) { return Sum(MatMul(a, v)); });
+}
+
+TEST(OpsGradTest, AddAndSubtract) {
+  Variable a(RandomTensor(2, 3, 5), true);
+  const Variable b(RandomTensor(2, 3, 6));
+  ExpectGradientsMatch(
+      a, [&b](Variable v) { return Sum(Multiply(Add(v, b), Subtract(v, b))); });
+}
+
+TEST(OpsGradTest, MultiplyBothSides) {
+  Variable a(RandomTensor(2, 2, 7), true);
+  const Variable b(RandomTensor(2, 2, 8));
+  ExpectGradientsMatch(a, [&b](Variable v) {
+    return Sum(Multiply(Multiply(v, b), v));
+  });
+}
+
+TEST(OpsGradTest, AddRowBroadcastBias) {
+  const Variable x(RandomTensor(4, 3, 9));
+  Variable bias(RandomTensor(1, 3, 10), true);
+  ExpectGradientsMatch(bias, [&x](Variable v) {
+    return Sum(Tanh(AddRowBroadcast(x, v)));
+  });
+}
+
+TEST(OpsGradTest, MulColBroadcastScale) {
+  Variable s(RandomTensor(3, 1, 11), true);
+  const Variable x(RandomTensor(3, 4, 12));
+  ExpectGradientsMatch(s, [&x](Variable v) {
+    return Sum(MulColBroadcast(v, x));
+  });
+}
+
+TEST(OpsGradTest, MulColBroadcastData) {
+  const Variable s(RandomTensor(3, 1, 13));
+  Variable x(RandomTensor(3, 4, 14), true);
+  ExpectGradientsMatch(x, [&s](Variable v) {
+    return Sum(Multiply(MulColBroadcast(s, v), v));
+  });
+}
+
+TEST(OpsGradTest, Affine) {
+  Variable x(RandomTensor(2, 3, 15), true);
+  ExpectGradientsMatch(
+      x, [](Variable v) { return Sum(Affine(v, -2.5f, 0.5f)); });
+}
+
+TEST(OpsGradTest, ScaleByScalarBoth) {
+  Variable x(RandomTensor(2, 2, 16), true);
+  Variable s(Tensor::Scalar(1.3f), true);
+  ExpectGradientsMatch(x, [&s](Variable v) {
+    return Sum(ScaleByScalar(v, s));
+  });
+  ExpectGradientsMatch(s, [&x](Variable v) {
+    return Sum(ScaleByScalar(x, v));
+  });
+}
+
+TEST(OpsGradTest, ReluAwayFromKink) {
+  // Keep values away from 0 so finite differences are valid.
+  Tensor t = RandomTensor(3, 3, 17);
+  for (int64_t i = 0; i < t.size(); ++i) {
+    if (std::fabs(t.data()[i]) < 0.2f) t.data()[i] = 0.5f;
+  }
+  Variable x(t, true);
+  ExpectGradientsMatch(x, [](Variable v) { return Sum(Relu(v)); });
+}
+
+TEST(OpsGradTest, LeakyReluAwayFromKink) {
+  Tensor t = RandomTensor(3, 3, 18);
+  for (int64_t i = 0; i < t.size(); ++i) {
+    if (std::fabs(t.data()[i]) < 0.2f) t.data()[i] = -0.5f;
+  }
+  Variable x(t, true);
+  ExpectGradientsMatch(x,
+                       [](Variable v) { return Sum(LeakyRelu(v, 0.2f)); });
+}
+
+TEST(OpsGradTest, SigmoidTanhExp) {
+  Variable x(RandomTensor(2, 3, 19), true);
+  ExpectGradientsMatch(x, [](Variable v) { return Sum(Sigmoid(v)); });
+  ExpectGradientsMatch(x, [](Variable v) { return Sum(Tanh(v)); });
+  ExpectGradientsMatch(x, [](Variable v) { return Sum(Exp(v)); });
+}
+
+TEST(OpsGradTest, LogOfPositive) {
+  Tensor t = RandomTensor(2, 3, 20);
+  for (int64_t i = 0; i < t.size(); ++i) {
+    t.data()[i] = std::fabs(t.data()[i]) + 0.5f;
+  }
+  Variable x(t, true);
+  ExpectGradientsMatch(x, [](Variable v) { return Sum(Log(v)); });
+}
+
+TEST(OpsGradTest, OneMinusExpNeg) {
+  Variable x(RandomTensor(3, 2, 21, 0.5f), true);
+  ExpectGradientsMatch(x,
+                       [](Variable v) { return Sum(OneMinusExpNeg(v)); });
+}
+
+TEST(OpsGradTest, ClampInterior) {
+  // All values strictly inside the clamp interval.
+  Tensor t(2, 2);
+  t.at(0, 0) = 0.2f;
+  t.at(0, 1) = 0.4f;
+  t.at(1, 0) = 0.6f;
+  t.at(1, 1) = 0.8f;
+  Variable x(t, true);
+  ExpectGradientsMatch(x, [](Variable v) {
+    return Sum(Multiply(Clamp(v, 0.0f, 1.0f), v));
+  });
+}
+
+TEST(OpsGradTest, MeanReduction) {
+  Variable x(RandomTensor(4, 3, 22), true);
+  ExpectGradientsMatch(x, [](Variable v) { return Mean(Multiply(v, v)); });
+}
+
+TEST(OpsGradTest, ConcatColsBothSides) {
+  Variable a(RandomTensor(3, 2, 23), true);
+  Variable b(RandomTensor(3, 4, 24), true);
+  ExpectGradientsMatch(a, [&b](Variable v) {
+    return Sum(Tanh(ConcatCols(v, b)));
+  });
+  ExpectGradientsMatch(b, [&a](Variable v) {
+    return Sum(Tanh(ConcatCols(a, v)));
+  });
+}
+
+TEST(OpsGradTest, GatherRowsWithRepeats) {
+  Variable x(RandomTensor(4, 3, 25), true);
+  const std::vector<int32_t> idx = {2, 0, 2, 3, 2};
+  ExpectGradientsMatch(x, [&idx](Variable v) {
+    return Sum(Tanh(GatherRows(v, idx)));
+  });
+}
+
+TEST(OpsGradTest, SpMM) {
+  auto sp = MakeSparsePair(
+      3, 4, {{0, 1, 0.5f}, {0, 3, -1.0f}, {1, 0, 2.0f}, {2, 2, 1.5f},
+             {2, 3, 0.25f}});
+  Variable x(RandomTensor(4, 2, 26), true);
+  ExpectGradientsMatch(x, [&sp](Variable v) {
+    return Sum(Tanh(SpMM(sp, v)));
+  });
+}
+
+TEST(OpsGradTest, SegmentSoftmax) {
+  Variable scores(RandomTensor(6, 1, 27), true);
+  const std::vector<int32_t> segments = {0, 0, 1, 1, 1, 2};
+  // Weight the alphas so the gradient is not identically zero (softmax
+  // outputs sum to one per segment).
+  const Variable weights(RandomTensor(6, 1, 28));
+  ExpectGradientsMatch(scores, [&](Variable v) {
+    return Sum(Multiply(SegmentSoftmax(v, segments, 3), weights));
+  });
+}
+
+TEST(OpsGradTest, SegmentSum) {
+  Variable x(RandomTensor(5, 3, 29), true);
+  const std::vector<int32_t> segments = {1, 0, 1, 2, 0};
+  ExpectGradientsMatch(x, [&segments](Variable v) {
+    return Sum(Tanh(SegmentSum(v, segments, 3)));
+  });
+}
+
+TEST(OpsGradTest, AttentionCompositePattern) {
+  // The full GAT edge-attention pattern as used in models.cpp.
+  const std::vector<int32_t> src = {0, 1, 2, 0, 2};
+  const std::vector<int32_t> dst = {1, 2, 0, 2, 1};
+  Variable h(RandomTensor(3, 4, 30), true);
+  Variable w(RandomTensor(4, 3, 31), true);
+  auto forward = [&](const Variable& hv, const Variable& wv) {
+    Variable t = MatMul(hv, wv);
+    Variable s_src(RandomTensor(3, 1, 32));
+    Variable scores = LeakyRelu(
+        Add(GatherRows(MatMul(t, Variable(RandomTensor(3, 1, 33))), src),
+            GatherRows(MatMul(t, Variable(RandomTensor(3, 1, 34))), dst)),
+        0.2f);
+    Variable alpha = SegmentSoftmax(scores, dst, 3);
+    Variable messages = MulColBroadcast(alpha, GatherRows(t, src));
+    return Sum(Tanh(SegmentSum(messages, dst, 3)));
+  };
+  ExpectGradientsMatch(h, [&](Variable v) { return forward(v, w); });
+  ExpectGradientsMatch(w, [&](Variable v) { return forward(h, v); });
+}
+
+// Property sweep: composite expression gradcheck across shapes.
+class OpsShapeSweepTest
+    : public ::testing::TestWithParam<std::pair<int64_t, int64_t>> {};
+
+TEST_P(OpsShapeSweepTest, CompositeGradcheck) {
+  const auto [rows, cols] = GetParam();
+  Variable x(RandomTensor(rows, cols, 100 + rows * 31 + cols, 0.7f), true);
+  ExpectGradientsMatch(x, [](Variable v) {
+    return Mean(Multiply(Sigmoid(v), OneMinusExpNeg(Exp(Affine(v, 0.5f, 0.1f)))));
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, OpsShapeSweepTest,
+    ::testing::Values(std::make_pair<int64_t, int64_t>(1, 1),
+                      std::make_pair<int64_t, int64_t>(1, 7),
+                      std::make_pair<int64_t, int64_t>(5, 1),
+                      std::make_pair<int64_t, int64_t>(4, 4),
+                      std::make_pair<int64_t, int64_t>(8, 3)));
+
+}  // namespace
+}  // namespace privim

@@ -1,0 +1,87 @@
+#include "privim/nn/optimizer.h"
+
+#include <cmath>
+
+#include "gtest/gtest.h"
+#include "privim/nn/ops.h"
+
+namespace privim {
+namespace {
+
+// Minimizes f(w) = sum((w - target)^2) with explicit gradients.
+std::vector<float> QuadraticGrad(const Variable& w, const Tensor& target) {
+  std::vector<float> grad(static_cast<size_t>(w.value().size()));
+  for (int64_t i = 0; i < w.value().size(); ++i) {
+    grad[i] = 2.0f * (w.value().data()[i] - target.data()[i]);
+  }
+  return grad;
+}
+
+TEST(SgdOptimizerTest, ConvergesOnQuadratic) {
+  Variable w(Tensor::Zeros(2, 2), true);
+  const Tensor target = Tensor::FromVector(2, 2, {1, -2, 3, 0.5f});
+  SgdOptimizer sgd({w}, 0.1f);
+  for (int i = 0; i < 200; ++i) sgd.Step(QuadraticGrad(w, target));
+  for (int64_t i = 0; i < 4; ++i) {
+    EXPECT_NEAR(w.value().data()[i], target.data()[i], 1e-4f);
+  }
+}
+
+TEST(SgdOptimizerTest, SingleStepMatchesFormula) {
+  Variable w(Tensor::Scalar(1.0f), true);
+  SgdOptimizer sgd({w}, 0.5f);
+  sgd.Step({2.0f});
+  EXPECT_FLOAT_EQ(w.value().at(0, 0), 0.0f);  // 1 - 0.5*2
+}
+
+TEST(SgdOptimizerTest, MomentumAcceleratesAlongConsistentGradient) {
+  Variable w1(Tensor::Scalar(0.0f), true);
+  Variable w2(Tensor::Scalar(0.0f), true);
+  SgdOptimizer plain({w1}, 0.01f, 0.0f);
+  SgdOptimizer momentum({w2}, 0.01f, 0.9f);
+  for (int i = 0; i < 10; ++i) {
+    plain.Step({-1.0f});
+    momentum.Step({-1.0f});
+  }
+  EXPECT_GT(w2.value().at(0, 0), w1.value().at(0, 0));
+}
+
+TEST(AdamOptimizerTest, ConvergesOnQuadratic) {
+  Variable w(Tensor::Zeros(1, 3), true);
+  const Tensor target = Tensor::FromVector(1, 3, {5, -5, 2});
+  AdamOptimizer adam({w}, 0.1f);
+  for (int i = 0; i < 1000; ++i) adam.Step(QuadraticGrad(w, target));
+  for (int64_t i = 0; i < 3; ++i) {
+    EXPECT_NEAR(w.value().data()[i], target.data()[i], 1e-2f);
+  }
+}
+
+TEST(AdamOptimizerTest, FirstStepIsLearningRateSized) {
+  // With bias correction, the first Adam step is ~lr * sign(gradient).
+  Variable w(Tensor::Scalar(0.0f), true);
+  AdamOptimizer adam({w}, 0.1f);
+  adam.Step({42.0f});
+  EXPECT_NEAR(w.value().at(0, 0), -0.1f, 1e-3f);
+}
+
+TEST(OptimizerTest, ZeroGradClearsParameterGradients) {
+  Variable w(Tensor::Scalar(2.0f), true);
+  Sum(Multiply(w, w)).Backward();
+  EXPECT_GT(std::fabs(w.grad().at(0, 0)), 0.0f);
+  SgdOptimizer sgd({w}, 0.1f);
+  sgd.ZeroGrad();
+  EXPECT_FLOAT_EQ(w.grad().at(0, 0), 0.0f);
+}
+
+TEST(OptimizerTest, MultipleParametersUpdateInOrder) {
+  Variable a(Tensor::Scalar(0.0f), true);
+  Variable b(Tensor::FromVector(1, 2, {0, 0}), true);
+  SgdOptimizer sgd({a, b}, 1.0f);
+  sgd.Step({1.0f, 2.0f, 3.0f});
+  EXPECT_FLOAT_EQ(a.value().at(0, 0), -1.0f);
+  EXPECT_FLOAT_EQ(b.value().at(0, 0), -2.0f);
+  EXPECT_FLOAT_EQ(b.value().at(0, 1), -3.0f);
+}
+
+}  // namespace
+}  // namespace privim

@@ -1,0 +1,105 @@
+#include "privim/nn/tensor.h"
+
+#include <cmath>
+
+#include "gtest/gtest.h"
+
+namespace privim {
+namespace {
+
+TEST(TensorTest, ConstructionAndFill) {
+  Tensor t(2, 3, 1.5f);
+  EXPECT_EQ(t.rows(), 2);
+  EXPECT_EQ(t.cols(), 3);
+  EXPECT_EQ(t.size(), 6);
+  for (int64_t r = 0; r < 2; ++r) {
+    for (int64_t c = 0; c < 3; ++c) EXPECT_FLOAT_EQ(t.at(r, c), 1.5f);
+  }
+  t.Fill(-2.0f);
+  EXPECT_FLOAT_EQ(t.at(1, 2), -2.0f);
+}
+
+TEST(TensorTest, Factories) {
+  EXPECT_FLOAT_EQ(Tensor::Zeros(2, 2).at(0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(Tensor::Ones(2, 2).at(1, 1), 1.0f);
+  EXPECT_FLOAT_EQ(Tensor::Scalar(7.0f).at(0, 0), 7.0f);
+}
+
+TEST(TensorTest, FromVectorRowMajor) {
+  const Tensor t = Tensor::FromVector(2, 2, {1, 2, 3, 4});
+  EXPECT_FLOAT_EQ(t.at(0, 0), 1);
+  EXPECT_FLOAT_EQ(t.at(0, 1), 2);
+  EXPECT_FLOAT_EQ(t.at(1, 0), 3);
+  EXPECT_FLOAT_EQ(t.at(1, 1), 4);
+}
+
+TEST(TensorTest, GaussianStats) {
+  Rng rng(1);
+  const Tensor t = Tensor::Gaussian(100, 100, 2.0f, &rng);
+  double sum = 0.0, sum_sq = 0.0;
+  for (int64_t i = 0; i < t.size(); ++i) {
+    sum += t.data()[i];
+    sum_sq += static_cast<double>(t.data()[i]) * t.data()[i];
+  }
+  EXPECT_NEAR(sum / t.size(), 0.0, 0.05);
+  EXPECT_NEAR(sum_sq / t.size(), 4.0, 0.15);
+}
+
+TEST(TensorTest, GlorotUniformWithinLimit) {
+  Rng rng(2);
+  const int64_t fan_in = 30, fan_out = 20;
+  const Tensor t = Tensor::GlorotUniform(fan_in, fan_out, &rng);
+  const float limit = std::sqrt(6.0f / (fan_in + fan_out));
+  for (int64_t i = 0; i < t.size(); ++i) {
+    EXPECT_LE(std::abs(t.data()[i]), limit);
+  }
+  EXPECT_GT(t.MaxAbs(), 0.5f * limit);  // not degenerate
+}
+
+TEST(TensorTest, AddInPlaceAndScale) {
+  Tensor a = Tensor::FromVector(1, 3, {1, 2, 3});
+  const Tensor b = Tensor::FromVector(1, 3, {10, 20, 30});
+  a.AddInPlace(b);
+  EXPECT_FLOAT_EQ(a.at(0, 2), 33);
+  a.ScaleInPlace(0.5f);
+  EXPECT_FLOAT_EQ(a.at(0, 0), 5.5f);
+}
+
+TEST(TensorTest, Norms) {
+  const Tensor t = Tensor::FromVector(1, 2, {3, -4});
+  EXPECT_FLOAT_EQ(t.L2Norm(), 5.0f);
+  EXPECT_FLOAT_EQ(t.Sum(), -1.0f);
+  EXPECT_FLOAT_EQ(t.MaxAbs(), 4.0f);
+}
+
+TEST(MatMulValuesTest, KnownProduct) {
+  const Tensor a = Tensor::FromVector(2, 3, {1, 2, 3, 4, 5, 6});
+  const Tensor b = Tensor::FromVector(3, 2, {7, 8, 9, 10, 11, 12});
+  const Tensor c = MatMulValues(a, b);
+  EXPECT_FLOAT_EQ(c.at(0, 0), 58);
+  EXPECT_FLOAT_EQ(c.at(0, 1), 64);
+  EXPECT_FLOAT_EQ(c.at(1, 0), 139);
+  EXPECT_FLOAT_EQ(c.at(1, 1), 154);
+}
+
+TEST(MatMulValuesTest, IdentityIsNeutral) {
+  Tensor eye = Tensor::Zeros(3, 3);
+  for (int64_t i = 0; i < 3; ++i) eye.at(i, i) = 1.0f;
+  Rng rng(3);
+  const Tensor x = Tensor::Gaussian(3, 5, 1.0f, &rng);
+  const Tensor y = MatMulValues(eye, x);
+  for (int64_t i = 0; i < x.size(); ++i) {
+    EXPECT_FLOAT_EQ(y.data()[i], x.data()[i]);
+  }
+}
+
+TEST(MatMulValuesTest, ZeroRowsSkipped) {
+  Tensor a = Tensor::Zeros(2, 2);
+  const Tensor b = Tensor::FromVector(2, 2, {1, 2, 3, 4});
+  const Tensor c = MatMulValues(a, b);
+  EXPECT_FLOAT_EQ(c.at(0, 0), 0);
+  EXPECT_FLOAT_EQ(c.at(1, 1), 0);
+}
+
+}  // namespace
+}  // namespace privim

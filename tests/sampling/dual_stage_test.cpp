@@ -1,0 +1,149 @@
+#include "privim/sampling/dual_stage.h"
+
+#include "gtest/gtest.h"
+#include "privim/graph/generators.h"
+
+namespace privim {
+namespace {
+
+DualStageOptions DefaultOptions() {
+  DualStageOptions options;
+  options.stage1.subgraph_size = 12;
+  options.stage1.restart_probability = 0.3;
+  options.stage1.decay = 1.0;
+  options.stage1.sampling_rate = 0.8;
+  options.stage1.walk_length = 300;
+  options.stage1.frequency_threshold = 3;
+  options.boundary_divisor = 3;
+  return options;
+}
+
+Graph MakeTestGraph(uint64_t seed) {
+  Rng rng(seed);
+  Result<Graph> graph = BarabasiAlbert(400, 4, &rng);
+  EXPECT_TRUE(graph.ok());
+  return std::move(graph).value();
+}
+
+TEST(DualStageTest, ValidatesOptions) {
+  DualStageOptions options = DefaultOptions();
+  options.boundary_divisor = 0;
+  EXPECT_FALSE(options.Validate().ok());
+  EXPECT_TRUE(DefaultOptions().Validate().ok());
+}
+
+TEST(DualStageTest, CombinedFrequencyNeverExceedsM) {
+  // The key privacy invariant of Alg. 3: occurrences across BOTH stages are
+  // capped at M, so BES really is free.
+  const Graph graph = MakeTestGraph(1);
+  Rng rng(2);
+  Result<DualStageResult> result =
+      DualStageSampling(graph, DefaultOptions(), &rng);
+  ASSERT_TRUE(result.ok());
+  const int64_t M = DefaultOptions().stage1.frequency_threshold;
+  for (int64_t f : result->frequency) EXPECT_LE(f, M);
+  EXPECT_LE(result->container.MaxOccurrence(graph.num_nodes()), M);
+}
+
+TEST(DualStageTest, FrequencyMatchesContainerOccurrences) {
+  const Graph graph = MakeTestGraph(3);
+  Rng rng(4);
+  Result<DualStageResult> result =
+      DualStageSampling(graph, DefaultOptions(), &rng);
+  ASSERT_TRUE(result.ok());
+  const std::vector<int64_t> occurrences =
+      result->container.NodeOccurrences(graph.num_nodes());
+  EXPECT_EQ(result->frequency, occurrences);
+}
+
+TEST(DualStageTest, BoundaryStageAddsSubgraphs) {
+  const Graph graph = MakeTestGraph(5);
+  Rng rng(6);
+  Result<DualStageResult> result =
+      DualStageSampling(graph, DefaultOptions(), &rng);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->stage1_subgraphs, 0);
+  EXPECT_GT(result->stage2_subgraphs, 0);
+  EXPECT_EQ(result->container.size(),
+            result->stage1_subgraphs + result->stage2_subgraphs);
+}
+
+TEST(DualStageTest, DisablingBoundaryStageSkipsStage2) {
+  const Graph graph = MakeTestGraph(7);
+  DualStageOptions options = DefaultOptions();
+  options.enable_boundary_stage = false;
+  Rng rng(8);
+  Result<DualStageResult> result = DualStageSampling(graph, options, &rng);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->stage2_subgraphs, 0);
+}
+
+TEST(DualStageTest, Stage2SubgraphsAreSmaller) {
+  const Graph graph = MakeTestGraph(9);
+  const DualStageOptions options = DefaultOptions();
+  Rng rng(10);
+  Result<DualStageResult> result = DualStageSampling(graph, options, &rng);
+  ASSERT_TRUE(result.ok());
+  const int64_t n1 = options.stage1.subgraph_size;
+  const int64_t n2 = std::max<int64_t>(2, n1 / options.boundary_divisor);
+  for (int64_t i = 0; i < result->container.size(); ++i) {
+    const int64_t size = result->container.at(i).num_nodes();
+    if (i < result->stage1_subgraphs) {
+      EXPECT_EQ(size, n1);
+    } else {
+      EXPECT_EQ(size, n2);
+    }
+  }
+}
+
+TEST(DualStageTest, Stage2GlobalIdsAreValidParentIds) {
+  const Graph graph = MakeTestGraph(11);
+  Rng rng(12);
+  Result<DualStageResult> result =
+      DualStageSampling(graph, DefaultOptions(), &rng);
+  ASSERT_TRUE(result.ok());
+  for (int64_t i = result->stage1_subgraphs; i < result->container.size();
+       ++i) {
+    for (NodeId v : result->container.at(i).global_ids) {
+      EXPECT_GE(v, 0);
+      EXPECT_LT(v, graph.num_nodes());
+    }
+  }
+}
+
+TEST(DualStageTest, Stage2ArcsExistInParentGraph) {
+  const Graph graph = MakeTestGraph(13);
+  Rng rng(14);
+  Result<DualStageResult> result =
+      DualStageSampling(graph, DefaultOptions(), &rng);
+  ASSERT_TRUE(result.ok());
+  for (int64_t i = result->stage1_subgraphs; i < result->container.size();
+       ++i) {
+    const Subgraph& sub = result->container.at(i);
+    for (NodeId local_u = 0; local_u < sub.num_nodes(); ++local_u) {
+      for (NodeId local_v : sub.local.OutNeighbors(local_u)) {
+        EXPECT_TRUE(graph.HasArc(sub.global_ids[local_u],
+                                 sub.global_ids[local_v]));
+      }
+    }
+  }
+}
+
+TEST(DualStageTest, BesIncreasesCoverageOfRarelySeenNodes) {
+  const Graph graph = MakeTestGraph(15);
+  DualStageOptions with_bes = DefaultOptions();
+  DualStageOptions without_bes = DefaultOptions();
+  without_bes.enable_boundary_stage = false;
+  Rng rng1(16), rng2(16);
+  Result<DualStageResult> a = DualStageSampling(graph, with_bes, &rng1);
+  Result<DualStageResult> b = DualStageSampling(graph, without_bes, &rng2);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  int64_t covered_with = 0, covered_without = 0;
+  for (int64_t f : a->frequency) covered_with += (f > 0);
+  for (int64_t f : b->frequency) covered_without += (f > 0);
+  EXPECT_GE(covered_with, covered_without);
+}
+
+}  // namespace
+}  // namespace privim

@@ -1,0 +1,89 @@
+// Property sweeps over the dual-stage sampler: the privacy-critical
+// invariants must hold for every (n, M, mu, s) combination.
+
+#include <algorithm>
+
+#include "gtest/gtest.h"
+#include "privim/graph/generators.h"
+#include "privim/sampling/dual_stage.h"
+
+namespace privim {
+namespace {
+
+struct SamplingCase {
+  int64_t subgraph_size;
+  int64_t threshold;
+  double decay;
+  int64_t divisor;
+};
+
+class SamplingPropertyTest : public ::testing::TestWithParam<SamplingCase> {};
+
+TEST_P(SamplingPropertyTest, InvariantsHoldAcrossTheGrid) {
+  const SamplingCase& c = GetParam();
+  Rng graph_rng(77);
+  Result<Graph> graph = BarabasiAlbert(400, 4, &graph_rng);
+  ASSERT_TRUE(graph.ok());
+
+  DualStageOptions options;
+  options.stage1.subgraph_size = c.subgraph_size;
+  options.stage1.frequency_threshold = c.threshold;
+  options.stage1.decay = c.decay;
+  options.stage1.sampling_rate = 0.7;
+  options.stage1.walk_length = 250;
+  options.boundary_divisor = c.divisor;
+
+  Rng rng(78);
+  Result<DualStageResult> result =
+      DualStageSampling(graph.value(), options, &rng);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+  // Invariant 1: the hard occurrence cap (the privacy guarantee's anchor).
+  EXPECT_LE(result->container.MaxOccurrence(graph->num_nodes()),
+            c.threshold);
+
+  // Invariant 2: frequency bookkeeping matches the container contents.
+  EXPECT_EQ(result->frequency,
+            result->container.NodeOccurrences(graph->num_nodes()));
+
+  // Invariant 3: stage-1 subgraphs have size n, stage-2 size max(2, n/s).
+  const int64_t stage2_size =
+      std::max<int64_t>(2, c.subgraph_size / c.divisor);
+  for (int64_t i = 0; i < result->container.size(); ++i) {
+    const int64_t size = result->container.at(i).num_nodes();
+    if (i < result->stage1_subgraphs) {
+      EXPECT_EQ(size, c.subgraph_size);
+    } else {
+      EXPECT_EQ(size, stage2_size);
+    }
+  }
+
+  // Invariant 4: every subgraph arc exists in the parent graph.
+  for (int64_t i = 0; i < result->container.size(); ++i) {
+    const Subgraph& sub = result->container.at(i);
+    for (NodeId u = 0; u < sub.num_nodes(); ++u) {
+      for (NodeId v : sub.local.OutNeighbors(u)) {
+        ASSERT_TRUE(
+            graph->HasArc(sub.global_ids[u], sub.global_ids[v]));
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, SamplingPropertyTest,
+    ::testing::Values(SamplingCase{8, 2, 1.0, 2},
+                      SamplingCase{12, 4, 0.0, 2},
+                      SamplingCase{12, 4, 2.0, 3},
+                      SamplingCase{20, 1, 1.0, 2},
+                      SamplingCase{20, 8, 1.0, 1},
+                      SamplingCase{30, 6, 0.5, 4}),
+    [](const ::testing::TestParamInfo<SamplingCase>& info) {
+      const SamplingCase& c = info.param;
+      return "n" + std::to_string(c.subgraph_size) + "_M" +
+             std::to_string(c.threshold) + "_s" + std::to_string(c.divisor) +
+             "_mu" + std::to_string(static_cast<int>(c.decay * 10));
+    });
+
+}  // namespace
+}  // namespace privim

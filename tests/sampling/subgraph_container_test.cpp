@@ -1,0 +1,88 @@
+#include "privim/sampling/subgraph_container.h"
+
+#include <algorithm>
+#include <set>
+
+#include "gtest/gtest.h"
+#include "testing/graph_fixtures.h"
+
+namespace privim {
+namespace {
+
+Subgraph MakeSubgraphWithIds(std::vector<NodeId> global_ids) {
+  Subgraph sub;
+  GraphBuilder builder(static_cast<int64_t>(global_ids.size()));
+  Result<Graph> graph = builder.Build();
+  sub.local = std::move(graph).value();
+  sub.global_ids = std::move(global_ids);
+  return sub;
+}
+
+TEST(SubgraphContainerTest, AddAndAppend) {
+  SubgraphContainer container;
+  EXPECT_TRUE(container.empty());
+  container.Add(MakeSubgraphWithIds({0, 1}));
+  std::vector<Subgraph> more;
+  more.push_back(MakeSubgraphWithIds({2}));
+  more.push_back(MakeSubgraphWithIds({3}));
+  container.Append(std::move(more));
+  EXPECT_EQ(container.size(), 3);
+  EXPECT_EQ(container.at(1).global_ids[0], 2);
+}
+
+TEST(SubgraphContainerTest, SampleBatchDistinctIndices) {
+  SubgraphContainer container;
+  for (int i = 0; i < 10; ++i) container.Add(MakeSubgraphWithIds({i}));
+  Rng rng(1);
+  const std::vector<int64_t> batch = container.SampleBatch(5, &rng);
+  EXPECT_EQ(batch.size(), 5u);
+  std::set<int64_t> unique(batch.begin(), batch.end());
+  EXPECT_EQ(unique.size(), 5u);
+  for (int64_t i : batch) {
+    EXPECT_GE(i, 0);
+    EXPECT_LT(i, 10);
+  }
+}
+
+TEST(SubgraphContainerTest, SampleBatchClampedToSize) {
+  SubgraphContainer container;
+  container.Add(MakeSubgraphWithIds({0}));
+  container.Add(MakeSubgraphWithIds({1}));
+  Rng rng(2);
+  EXPECT_EQ(container.SampleBatch(10, &rng).size(), 2u);
+}
+
+TEST(SubgraphContainerTest, SampleBatchIsUniform) {
+  SubgraphContainer container;
+  for (int i = 0; i < 4; ++i) container.Add(MakeSubgraphWithIds({i}));
+  Rng rng(3);
+  std::vector<int> counts(4, 0);
+  const int trials = 20000;
+  for (int t = 0; t < trials; ++t) {
+    for (int64_t i : container.SampleBatch(1, &rng)) ++counts[i];
+  }
+  for (int c : counts) EXPECT_NEAR(c, trials / 4, 300);
+}
+
+TEST(SubgraphContainerTest, NodeOccurrencesCountsMembership) {
+  SubgraphContainer container;
+  container.Add(MakeSubgraphWithIds({0, 1, 2}));
+  container.Add(MakeSubgraphWithIds({1, 2}));
+  container.Add(MakeSubgraphWithIds({2}));
+  const std::vector<int64_t> occ = container.NodeOccurrences(4);
+  EXPECT_EQ(occ[0], 1);
+  EXPECT_EQ(occ[1], 2);
+  EXPECT_EQ(occ[2], 3);
+  EXPECT_EQ(occ[3], 0);
+  EXPECT_EQ(container.MaxOccurrence(4), 3);
+}
+
+TEST(SubgraphContainerTest, EmptyContainerStats) {
+  SubgraphContainer container;
+  EXPECT_EQ(container.MaxOccurrence(5), 0);
+  Rng rng(4);
+  EXPECT_TRUE(container.SampleBatch(3, &rng).empty());
+}
+
+}  // namespace
+}  // namespace privim

@@ -1,0 +1,55 @@
+// Central-difference gradient checking for autograd ops and GNN models.
+
+#ifndef PRIVIM_TESTS_TESTING_GRADCHECK_H_
+#define PRIVIM_TESTS_TESTING_GRADCHECK_H_
+
+#include <cmath>
+#include <functional>
+#include <string>
+
+#include "gtest/gtest.h"
+#include "privim/nn/autograd.h"
+
+namespace privim {
+namespace testing {
+
+/// Checks d(loss)/d(input) against central differences for every entry of
+/// `input`. `forward` must rebuild the graph from scratch (so perturbed
+/// values propagate) and return a scalar Variable.
+///
+/// Tolerances are float32-friendly: relative 2e-2 with absolute floor 2e-3.
+inline void ExpectGradientsMatch(
+    Variable input, const std::function<Variable(Variable)>& forward,
+    float step = 1e-3f, float rel_tol = 2e-2f, float abs_tol = 2e-3f) {
+  // Analytic gradient.
+  input.ZeroGrad();
+  Variable loss = forward(input);
+  ASSERT_EQ(loss.rows(), 1);
+  ASSERT_EQ(loss.cols(), 1);
+  loss.Backward();
+  const Tensor analytic = input.grad();
+
+  Tensor& value = input.mutable_value();
+  for (int64_t r = 0; r < value.rows(); ++r) {
+    for (int64_t c = 0; c < value.cols(); ++c) {
+      const float original = value.at(r, c);
+      value.at(r, c) = original + step;
+      const float up = forward(input).value().at(0, 0);
+      value.at(r, c) = original - step;
+      const float down = forward(input).value().at(0, 0);
+      value.at(r, c) = original;
+      const float numeric = (up - down) / (2.0f * step);
+      const float expected = analytic.at(r, c);
+      const float tol =
+          std::max(abs_tol, rel_tol * std::max(std::fabs(numeric),
+                                               std::fabs(expected)));
+      EXPECT_NEAR(expected, numeric, tol)
+          << "gradient mismatch at (" << r << ", " << c << ")";
+    }
+  }
+}
+
+}  // namespace testing
+}  // namespace privim
+
+#endif  // PRIVIM_TESTS_TESTING_GRADCHECK_H_

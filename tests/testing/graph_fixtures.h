@@ -1,0 +1,60 @@
+// Small graph constructors shared across test suites.
+
+#ifndef PRIVIM_TESTS_TESTING_GRAPH_FIXTURES_H_
+#define PRIVIM_TESTS_TESTING_GRAPH_FIXTURES_H_
+
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "privim/graph/graph.h"
+
+namespace privim {
+namespace testing {
+
+/// Builds a graph from (src, dst, weight) triples; aborts the test on error.
+inline Graph MakeGraph(int64_t num_nodes, const std::vector<Edge>& edges,
+                       bool undirected = false) {
+  GraphBuilder builder(num_nodes, undirected);
+  Status status = builder.AddEdges(edges);
+  EXPECT_TRUE(status.ok()) << status.ToString();
+  Result<Graph> graph = builder.Build();
+  EXPECT_TRUE(graph.ok()) << graph.status().ToString();
+  return std::move(graph).value();
+}
+
+/// Directed path 0 -> 1 -> ... -> n-1 with the given arc weight.
+inline Graph MakePath(int64_t n, float weight = 1.0f) {
+  std::vector<Edge> edges;
+  for (NodeId v = 0; v + 1 < n; ++v) edges.push_back({v, v + 1, weight});
+  return MakeGraph(n, edges);
+}
+
+/// Directed star: center 0 -> leaves 1..n-1.
+inline Graph MakeStar(int64_t n, float weight = 1.0f) {
+  std::vector<Edge> edges;
+  for (NodeId v = 1; v < n; ++v) edges.push_back({0, v, weight});
+  return MakeGraph(n, edges);
+}
+
+/// Directed cycle over n nodes.
+inline Graph MakeCycle(int64_t n, float weight = 1.0f) {
+  std::vector<Edge> edges;
+  for (NodeId v = 0; v < n; ++v) {
+    edges.push_back({v, static_cast<NodeId>((v + 1) % n), weight});
+  }
+  return MakeGraph(n, edges);
+}
+
+/// Undirected complete graph on n nodes.
+inline Graph MakeClique(int64_t n, float weight = 1.0f) {
+  std::vector<Edge> edges;
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = u + 1; v < n; ++v) edges.push_back({u, v, weight});
+  }
+  return MakeGraph(n, edges, /*undirected=*/true);
+}
+
+}  // namespace testing
+}  // namespace privim
+
+#endif  // PRIVIM_TESTS_TESTING_GRAPH_FIXTURES_H_
