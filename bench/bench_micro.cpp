@@ -2,10 +2,23 @@
 // generators, projection, sampling, sparse message passing, GNN forward
 // passes, IC simulation, CELF and the RDP accountant. These quantify the
 // building blocks underneath the per-figure harnesses.
+//
+// The BM_Mc* / BM_DpTraining* benchmarks take the pool size as their range
+// argument (1 = serial baseline) and measure real time; the outputs are
+// bit-identical across thread counts, so the speedup is directly the ratio
+// of the Arg(1) and Arg(N) rows. --threads N / PRIVIM_THREADS sizes the
+// pool for every other benchmark.
 
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "privim/common/flags.h"
+#include "privim/common/thread_pool.h"
 #include "privim/core/loss.h"
+#include "privim/core/trainer.h"
 #include "privim/diffusion/ic_model.h"
 #include "privim/dp/rdp_accountant.h"
 #include "privim/gnn/features.h"
@@ -146,6 +159,53 @@ void BM_IcSimulation(benchmark::State& state) {
 }
 BENCHMARK(BM_IcSimulation)->Arg(1000)->Arg(10000)->Arg(100000);
 
+// Monte-Carlo spread estimation at a given pool size (range argument).
+// Per-simulation RNG streams are pre-split, so every Arg produces the same
+// estimate — the rows differ only in wall-clock.
+void BM_McSpreadEstimation(benchmark::State& state) {
+  SetGlobalThreadPoolSize(static_cast<size_t>(state.range(0)));
+  Rng graph_rng(23);
+  Result<Graph> base = BarabasiAlbert(10000, 5, &graph_rng);
+  const Graph graph = WithWeightedCascadeWeights(base.value());
+  const std::vector<NodeId> seeds = {0, 1, 2, 3, 4};
+  IcOptions options;
+  options.num_simulations = 256;
+  Rng rng(31);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EstimateIcSpread(graph, seeds, options, &rng));
+  }
+  SetGlobalThreadPoolSize(1);
+}
+BENCHMARK(BM_McSpreadEstimation)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
+
+// One DP-SGD training run (per-subgraph gradients fan out across the pool,
+// fixed-order reduction) at a given pool size. Bit-identical across Args.
+void BM_DpTrainingIteration(benchmark::State& state) {
+  SetGlobalThreadPoolSize(static_cast<size_t>(state.range(0)));
+  const Graph graph = MakeBenchGraph(2000, 5);
+  RwrSamplerOptions sampler;
+  sampler.subgraph_size = 25;
+  sampler.sampling_rate = 0.05;
+  Rng sample_rng(37);
+  Result<SubgraphContainer> container =
+      ExtractSubgraphsRwr(graph, sampler, &sample_rng);
+  GnnConfig config;
+  Rng model_rng(41);
+  auto model = CreateGnnModel(config, &model_rng);
+  DpSgdOptions options;
+  options.batch_size = 16;
+  options.iterations = 4;
+  options.noise_multiplier = 1.0;
+  for (auto _ : state) {
+    Rng rng(43);
+    Result<TrainStats> stats =
+        TrainDpGnn(model.value().get(), container.value(), options, &rng);
+    benchmark::DoNotOptimize(stats.ok());
+  }
+  SetGlobalThreadPoolSize(1);
+}
+BENCHMARK(BM_DpTrainingIteration)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
+
 void BM_DeterministicCoverage(benchmark::State& state) {
   const Graph graph = MakeBenchGraph(state.range(0), 5);
   const std::vector<NodeId> seeds = {0, 1, 2, 3, 4};
@@ -194,4 +254,33 @@ BENCHMARK(BM_NoiseCalibration);
 }  // namespace
 }  // namespace privim
 
-BENCHMARK_MAIN();
+// Custom main: peel off --threads (google-benchmark rejects unknown flags),
+// apply it to the global pool, then hand the rest to the benchmark runner.
+int main(int argc, char** argv) {
+  std::vector<char*> bench_argv;
+  bench_argv.reserve(static_cast<size_t>(argc));
+  int64_t threads = std::strtoll(
+      privim::Flags::GetEnv("PRIVIM_THREADS", "0").c_str(), nullptr, 10);
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--threads=", 0) == 0) {
+      threads = std::strtoll(arg.c_str() + 10, nullptr, 10);
+      continue;
+    }
+    if (arg == "--threads" && i + 1 < argc) {
+      threads = std::strtoll(argv[++i], nullptr, 10);
+      continue;
+    }
+    bench_argv.push_back(argv[i]);
+  }
+  if (threads < 0) threads = 0;
+  privim::SetGlobalThreadPoolSize(static_cast<size_t>(threads));
+  int bench_argc = static_cast<int>(bench_argv.size());
+  benchmark::Initialize(&bench_argc, bench_argv.data());
+  if (benchmark::ReportUnrecognizedArguments(bench_argc, bench_argv.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

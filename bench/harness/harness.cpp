@@ -94,6 +94,8 @@ BenchConfig BenchConfig::FromFlags(const Flags& flags) {
   if (Result<GnnKind> kind = GnnKindFromString(gnn); kind.ok()) {
     config.gnn_kind = kind.value();
   }
+  config.threads = std::max<int64_t>(0, flags.Threads());
+  SetGlobalThreadPoolSize(static_cast<size_t>(config.threads));
   return config;
 }
 

@@ -80,13 +80,16 @@ struct BenchConfig {
   int64_t gnn_layers = 3;
   int64_t hidden_dim = 32;
   int64_t input_dim = 8;
+  /// Global thread-pool size (0 = hardware concurrency, 1 = serial).
+  int64_t threads = 0;
 
   int64_t DefaultSubgraphSize() const;
   int64_t DefaultFrequencyThreshold() const;
   int64_t DefaultSeedSetSize() const;
 
-  /// Parses --scale/--repeats/--iterations/--seed/... and the
-  /// PRIVIM_BENCH_SCALE environment variable.
+  /// Parses --scale/--repeats/--iterations/--seed/... plus the
+  /// PRIVIM_BENCH_SCALE environment variable, and applies --threads /
+  /// PRIVIM_THREADS to the global thread pool.
   static BenchConfig FromFlags(const Flags& flags);
 };
 

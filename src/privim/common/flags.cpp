@@ -13,7 +13,8 @@ Flags::Flags(int argc, char** argv) {
     const size_t eq = arg.find('=');
     if (eq != std::string_view::npos) {
       values_[std::string(arg.substr(0, eq))] = std::string(arg.substr(eq + 1));
-    } else if (i + 1 < argc && std::string_view(argv[i + 1]).rfind("--", 0) != 0) {
+    } else if (i + 1 < argc &&
+               std::string_view(argv[i + 1]).rfind("--", 0) != 0) {
       values_[std::string(arg)] = argv[i + 1];
       ++i;
     } else {
@@ -52,6 +53,18 @@ bool Flags::GetBool(const std::string& name, bool def) const {
   auto it = values_.find(name);
   if (it == values_.end()) return def;
   return it->second == "true" || it->second == "1" || it->second == "yes";
+}
+
+int64_t Flags::Threads() const {
+  int64_t def = 0;
+  const std::string env = GetEnv("PRIVIM_THREADS", "");
+  if (!env.empty()) {
+    char* end = nullptr;
+    const int64_t value = std::strtoll(env.c_str(), &end, 10);
+    if (end && *end == '\0' && value >= 0) def = value;
+  }
+  const int64_t threads = GetInt("threads", def);
+  return threads >= 0 ? threads : def;
 }
 
 std::string Flags::GetEnv(const std::string& name, const std::string& def) {

@@ -28,6 +28,12 @@ class Flags {
   double GetDouble(const std::string& name, double def) const;
   bool GetBool(const std::string& name, bool def) const;
 
+  /// Worker-thread count for the global thread pool: `--threads N`, falling
+  /// back to the PRIVIM_THREADS environment variable. 0 (the default) means
+  /// hardware concurrency; 1 selects the serial path (every ParallelFor runs
+  /// inline). Pass the result to SetGlobalThreadPoolSize at startup.
+  int64_t Threads() const;
+
   /// Environment variable lookup with default.
   static std::string GetEnv(const std::string& name, const std::string& def);
 

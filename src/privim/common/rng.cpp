@@ -137,4 +137,15 @@ size_t Rng::NextDiscrete(const std::vector<double>& weights) {
 
 Rng Rng::Split() { return Rng(Next()); }
 
+Rng SplitRng(uint64_t base_seed, uint64_t stream) {
+  // Mix the stream index through the SplitMix64 finalizer before folding it
+  // into the base seed, so that consecutive stream indices (0, 1, 2, ...)
+  // land on unrelated seeds and (base, stream) pairs don't collide the way
+  // a plain `base + stream` would.
+  uint64_t mixed = stream;
+  uint64_t salt = SplitMix64(&mixed);
+  uint64_t seed = base_seed ^ salt;
+  return Rng(SplitMix64(&seed));
+}
+
 }  // namespace privim

@@ -88,6 +88,14 @@ class Rng {
   double cached_gaussian_ = 0.0;
 };
 
+/// Derives the `stream`-th independent RNG stream of `base_seed` without
+/// touching any shared generator state. This is the per-task scheme the
+/// parallel hot paths use: task i draws from SplitRng(base_seed, i), so the
+/// random numbers a task sees depend only on (base_seed, i) — never on which
+/// worker ran it or how many threads exist — and results are bit-identical
+/// at any thread count.
+Rng SplitRng(uint64_t base_seed, uint64_t stream);
+
 }  // namespace privim
 
 #endif  // PRIVIM_COMMON_RNG_H_

@@ -1,8 +1,17 @@
 #include "privim/common/thread_pool.h"
 
 #include <algorithm>
+#include <exception>
+#include <memory>
 
 namespace privim {
+namespace {
+
+// Set inside WorkerLoop; lets nested parallel regions run inline instead of
+// deadlocking on a pool whose workers are all blocked in outer barriers.
+thread_local bool t_in_pool_worker = false;
+
+}  // namespace
 
 ThreadPool::ThreadPool(size_t num_threads) {
   if (num_threads == 0) {
@@ -23,7 +32,10 @@ ThreadPool::~ThreadPool() {
   for (auto& worker : workers_) worker.join();
 }
 
+bool ThreadPool::InWorkerThread() { return t_in_pool_worker; }
+
 void ThreadPool::WorkerLoop() {
+  t_in_pool_worker = true;
   for (;;) {
     std::function<void()> task;
     {
@@ -39,29 +51,92 @@ void ThreadPool::WorkerLoop() {
 
 void ThreadPool::ParallelFor(size_t count,
                              const std::function<void(size_t)>& fn) {
+  ParallelForChunks(count, 0,
+                    [&fn](size_t /*chunk*/, size_t begin, size_t end) {
+                      for (size_t i = begin; i < end; ++i) fn(i);
+                    });
+}
+
+void ThreadPool::ParallelForChunks(
+    size_t count, size_t max_chunks,
+    const std::function<void(size_t chunk, size_t begin, size_t end)>& fn) {
   if (count == 0) return;
-  const size_t chunks = std::min(count, num_threads());
-  if (chunks <= 1) {
-    for (size_t i = 0; i < count; ++i) fn(i);
+  if (max_chunks == 0) max_chunks = num_threads();
+  const size_t chunks = std::min(count, std::max<size_t>(1, max_chunks));
+  const size_t per_chunk = (count + chunks - 1) / chunks;
+
+  // The partition below is a pure function of (count, chunks); only the
+  // execution placement differs between the inline and pooled paths.
+  if (chunks <= 1 || num_threads() <= 1 || InWorkerThread()) {
+    for (size_t c = 0; c < chunks; ++c) {
+      const size_t begin = c * per_chunk;
+      const size_t end = std::min(count, begin + per_chunk);
+      if (begin >= end) break;
+      fn(c, begin, end);
+    }
     return;
   }
+
   std::vector<std::future<void>> futures;
-  futures.reserve(chunks);
-  const size_t per_chunk = (count + chunks - 1) / chunks;
-  for (size_t c = 0; c < chunks; ++c) {
+  futures.reserve(chunks - 1);
+  for (size_t c = 1; c < chunks; ++c) {
     const size_t begin = c * per_chunk;
     const size_t end = std::min(count, begin + per_chunk);
     if (begin >= end) break;
-    futures.push_back(Submit([begin, end, &fn] {
-      for (size_t i = begin; i < end; ++i) fn(i);
-    }));
+    futures.push_back(Submit([begin, end, c, &fn] { fn(c, begin, end); }));
   }
-  for (auto& future : futures) future.get();
+  // The caller works too (chunk 0) instead of idling on the barrier.
+  std::exception_ptr first_error;
+  try {
+    fn(0, 0, std::min(count, per_chunk));
+  } catch (...) {
+    first_error = std::current_exception();
+  }
+  // Wait for ALL chunks before rethrowing: an early rethrow would destroy
+  // `fn` and the caller's captures while workers still reference them.
+  for (auto& future : futures) {
+    try {
+      future.get();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
 }
 
+namespace {
+
+std::mutex& GlobalPoolMutex() {
+  static std::mutex mutex;
+  return mutex;
+}
+
+// Function-local static so the pool is destroyed (workers joined) at exit,
+// keeping LeakSanitizer quiet. The mutex above is created first and hence
+// destroyed last.
+std::unique_ptr<ThreadPool>& GlobalPoolSlot() {
+  static std::unique_ptr<ThreadPool> slot;
+  return slot;
+}
+
+}  // namespace
+
 ThreadPool& GlobalThreadPool() {
-  static ThreadPool* pool = new ThreadPool();
-  return *pool;
+  std::lock_guard<std::mutex> lock(GlobalPoolMutex());
+  std::unique_ptr<ThreadPool>& slot = GlobalPoolSlot();
+  if (!slot) slot = std::make_unique<ThreadPool>();
+  return *slot;
+}
+
+void SetGlobalThreadPoolSize(size_t num_threads) {
+  const size_t resolved =
+      num_threads != 0 ? num_threads
+                       : std::max(1u, std::thread::hardware_concurrency());
+  std::lock_guard<std::mutex> lock(GlobalPoolMutex());
+  std::unique_ptr<ThreadPool>& slot = GlobalPoolSlot();
+  if (slot && slot->num_threads() == resolved) return;
+  slot.reset();  // joins the old workers before the new pool spins up
+  slot = std::make_unique<ThreadPool>(resolved);
 }
 
 }  // namespace privim

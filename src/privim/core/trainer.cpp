@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "privim/common/logging.h"
+#include "privim/common/thread_pool.h"
 #include "privim/common/timer.h"
 #include "privim/dp/mechanisms.h"
 #include "privim/dp/sensitivity.h"
@@ -79,28 +80,95 @@ Result<TrainStats> TrainDpGnn(GnnModel* model,
       break;
   }
 
+  // Per-subgraph gradients are embarrassingly parallel: each batch member's
+  // forward/backward/clip runs against its own model replica (the autograd
+  // tape accumulates into the replica's parameter nodes, so workers never
+  // share mutable state), and the clipped gradients are reduced in fixed
+  // batch order below — the summed gradient entering the DP noise step is
+  // bit-identical at any thread count.
+  ThreadPool& pool = GlobalThreadPool();
+  size_t max_workers = 1;
+  if (options.parallel && !ThreadPool::InWorkerThread()) {
+    max_workers = std::min<size_t>(pool.num_threads(),
+                                   static_cast<size_t>(options.batch_size));
+  }
+  std::vector<std::unique_ptr<GnnModel>> replicas;
+  if (max_workers > 1) {
+    replicas.reserve(max_workers);
+    Rng replica_rng(0);  // init values are overwritten by CopyParametersFrom
+    for (size_t w = 0; w < max_workers; ++w) {
+      Result<std::unique_ptr<GnnModel>> replica =
+          CreateGnnModel(model->config(), &replica_rng);
+      if (!replica.ok()) return replica.status();
+      replicas.push_back(std::move(replica).value());
+    }
+  }
+
   WallTimer train_timer;
   std::vector<float> summed(param_count, 0.0f);
+  std::vector<std::vector<float>> per_grad;
+  std::vector<double> per_loss;
   for (int64_t t = 0; t < options.iterations; ++t) {
     const std::vector<int64_t> batch =
         container.SampleBatch(options.batch_size, rng);
-    std::fill(summed.begin(), summed.end(), 0.0f);
-    double batch_loss = 0.0;
+    const size_t batch_count = batch.size();
+    per_grad.assign(batch_count, std::vector<float>());
+    per_loss.assign(batch_count, 0.0);
 
-    for (int64_t index : batch) {
-      for (const Variable& p : params) const_cast<Variable&>(p).ZeroGrad();
+    auto subgraph_gradient = [&](GnnModel* worker_model,
+                                 size_t pos) -> Status {
+      const int64_t index = batch[pos];
+      for (const Variable& p : worker_model->parameters()) {
+        const_cast<Variable&>(p).ZeroGrad();
+      }
       Result<Variable> loss =
           options.loss_fn
-              ? options.loss_fn(*model, contexts[index], features[index],
-                                container.at(index))
-              : InfluenceLoss(*model, contexts[index], features[index],
+              ? options.loss_fn(*worker_model, contexts[index],
+                                features[index], container.at(index))
+              : InfluenceLoss(*worker_model, contexts[index], features[index],
                               options.loss);
       if (!loss.ok()) return loss.status();
-      batch_loss += loss.value().value().at(0, 0);
+      per_loss[pos] = loss.value().value().at(0, 0);
       loss.value().Backward();
-      std::vector<float> grad = FlattenGradients(params);
+      std::vector<float> grad = FlattenGradients(worker_model->parameters());
       ClipL2(&grad, options.clip_bound);  // Alg. 2 line 6
+      per_grad[pos] = std::move(grad);
+      return Status::OK();
+    };
+
+    if (max_workers <= 1) {
+      for (size_t pos = 0; pos < batch_count; ++pos) {
+        PRIVIM_RETURN_NOT_OK(subgraph_gradient(model, pos));
+      }
+    } else {
+      std::vector<Status> chunk_status(max_workers, Status::OK());
+      pool.ParallelForChunks(
+          batch_count, max_workers,
+          [&](size_t chunk, size_t begin, size_t end) {
+            GnnModel* worker_model = replicas[chunk].get();
+            const Status sync = worker_model->CopyParametersFrom(*model);
+            if (!sync.ok()) {
+              chunk_status[chunk] = sync;
+              return;
+            }
+            for (size_t pos = begin; pos < end; ++pos) {
+              const Status status = subgraph_gradient(worker_model, pos);
+              if (!status.ok()) {
+                chunk_status[chunk] = status;
+                return;
+              }
+            }
+          });
+      for (const Status& status : chunk_status) PRIVIM_RETURN_NOT_OK(status);
+    }
+
+    // Alg. 2 line 7: reduce in batch order, independent of chunk placement.
+    std::fill(summed.begin(), summed.end(), 0.0f);
+    double batch_loss = 0.0;
+    for (size_t pos = 0; pos < batch_count; ++pos) {
+      const std::vector<float>& grad = per_grad[pos];
       for (size_t i = 0; i < param_count; ++i) summed[i] += grad[i];
+      batch_loss += per_loss[pos];
     }
 
     if (noise_stddev > 0.0) {

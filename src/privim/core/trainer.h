@@ -25,6 +25,11 @@ namespace privim {
 /// loss; the Sec. VI extensions (max-cut, node classification) plug in
 /// their own objectives through this hook. `subgraph` provides the
 /// local->global id mapping for objectives that need per-node supervision.
+///
+/// Thread safety: with `DpSgdOptions::parallel` (the default) the hook is
+/// invoked concurrently from pool workers, each with its own model replica.
+/// The hook must not mutate shared state without synchronization; captured
+/// read-only data (label tables, option structs) is fine.
 using SubgraphLossFn = std::function<Result<Variable>(
     const GnnModel& model, const GraphContext& ctx, const Tensor& features,
     const Subgraph& subgraph)>;
@@ -51,6 +56,12 @@ struct DpSgdOptions {
   InfluenceLossOptions loss;
   /// When set, overrides the Eq. 5 objective (the `loss` field is ignored).
   SubgraphLossFn loss_fn;
+  /// Compute the batch's per-subgraph gradients on the global thread pool
+  /// (Alg. 2 lines 4-6), one model replica per worker chunk. The clipped
+  /// per-subgraph gradients are reduced in fixed batch order before the
+  /// noise step, so the result is bit-identical to the serial path at any
+  /// thread count and the privacy accounting is unchanged.
+  bool parallel = true;
 
   Status Validate() const;
 };

@@ -46,24 +46,23 @@ int64_t SimulateIcOnce(const Graph& graph, const std::vector<NodeId>& seeds,
 double EstimateIcSpread(const Graph& graph, const std::vector<NodeId>& seeds,
                         const IcOptions& options, Rng* rng) {
   const int64_t runs = std::max<int64_t>(1, options.num_simulations);
-  if (!options.parallel || runs < 8) {
-    double total = 0.0;
-    for (int64_t i = 0; i < runs; ++i) {
-      total += static_cast<double>(
-          SimulateIcOnce(graph, seeds, options.max_steps, rng));
-    }
-    return total / static_cast<double>(runs);
-  }
-
-  // One derived RNG per simulation keeps results independent of scheduling.
+  // One RNG stream per simulation, derived serially up front: simulation i
+  // sees the same stream whether it runs inline or on any worker, so the
+  // estimate is bit-identical at every thread count (the sum below is in
+  // fixed index order for the same reason).
   std::vector<Rng> rngs;
   rngs.reserve(runs);
   for (int64_t i = 0; i < runs; ++i) rngs.push_back(rng->Split());
   std::vector<double> spreads(runs, 0.0);
-  GlobalThreadPool().ParallelFor(static_cast<size_t>(runs), [&](size_t i) {
+  auto run_one = [&](size_t i) {
     spreads[i] = static_cast<double>(
         SimulateIcOnce(graph, seeds, options.max_steps, &rngs[i]));
-  });
+  };
+  if (options.parallel) {
+    GlobalThreadPool().ParallelFor(static_cast<size_t>(runs), run_one);
+  } else {
+    for (int64_t i = 0; i < runs; ++i) run_one(static_cast<size_t>(i));
+  }
   double total = 0.0;
   for (double s : spreads) total += s;
   return total / static_cast<double>(runs);

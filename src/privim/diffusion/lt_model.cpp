@@ -59,22 +59,21 @@ int64_t SimulateLtOnce(const Graph& graph, const std::vector<NodeId>& seeds,
 double EstimateLtSpread(const Graph& graph, const std::vector<NodeId>& seeds,
                         const LtOptions& options, Rng* rng) {
   const int64_t runs = std::max<int64_t>(1, options.num_simulations);
-  if (!options.parallel || runs < 8) {
-    double total = 0.0;
-    for (int64_t i = 0; i < runs; ++i) {
-      total += static_cast<double>(
-          SimulateLtOnce(graph, seeds, options.max_steps, rng));
-    }
-    return total / static_cast<double>(runs);
-  }
+  // Per-simulation RNG streams + fixed-order reduction: bit-identical at
+  // every thread count (see EstimateIcSpread).
   std::vector<Rng> rngs;
   rngs.reserve(runs);
   for (int64_t i = 0; i < runs; ++i) rngs.push_back(rng->Split());
   std::vector<double> spreads(runs, 0.0);
-  GlobalThreadPool().ParallelFor(static_cast<size_t>(runs), [&](size_t i) {
+  auto run_one = [&](size_t i) {
     spreads[i] = static_cast<double>(
         SimulateLtOnce(graph, seeds, options.max_steps, &rngs[i]));
-  });
+  };
+  if (options.parallel) {
+    GlobalThreadPool().ParallelFor(static_cast<size_t>(runs), run_one);
+  } else {
+    for (int64_t i = 0; i < runs; ++i) run_one(static_cast<size_t>(i));
+  }
   double total = 0.0;
   for (double s : spreads) total += s;
   return total / static_cast<double>(runs);

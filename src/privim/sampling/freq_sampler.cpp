@@ -1,11 +1,73 @@
 #include "privim/sampling/freq_sampler.h"
 
+#include <algorithm>
 #include <cmath>
 #include <unordered_set>
 
+#include "privim/common/thread_pool.h"
 #include "privim/graph/traversal.h"
 
 namespace privim {
+namespace {
+
+// Start nodes are processed in fixed-width waves; walks inside a wave run in
+// parallel against the frequencies committed before the wave. The width is a
+// constant — never the worker count — so the wave partition, and therefore
+// the sampler's output, is identical at every thread count.
+constexpr int64_t kWaveWidth = 32;
+
+// One adaptive-frequency walk attempt from v0 (Alg. 3 inner loop). Reads
+// `frequency` but never writes it; returns the collected node set when the
+// walk reached `subgraph_size` unique nodes, empty otherwise.
+std::vector<NodeId> TryFreqWalk(const Graph& graph,
+                                const FreqSamplingOptions& options,
+                                const std::vector<int64_t>& frequency,
+                                NodeId v0, Rng* rng) {
+  // e_v of Eq. 9: inverse-polynomial in the running frequency, 0 once the
+  // node saturates the threshold M.
+  auto eligibility = [&](NodeId v) -> double {
+    const int64_t f = frequency[v];
+    if (f >= options.frequency_threshold) return 0.0;
+    return 1.0 / std::pow(static_cast<double>(f) + 1.0, options.decay);
+  };
+
+  std::vector<NodeId> walk_nodes{v0};
+  std::unordered_set<NodeId> visited{v0};
+  std::vector<NodeId> candidates;
+  std::vector<double> weights;
+  NodeId current = v0;
+  for (int64_t step = 0; step < options.walk_length; ++step) {
+    if (rng->NextBernoulli(options.restart_probability)) current = v0;
+    candidates.clear();
+    weights.clear();
+    // Walk the underlying undirected structure (see rwr_sampler.cpp).
+    for (NodeId u : UndirectedNeighbors(graph, current)) {
+      const double e = eligibility(u);
+      if (e > 0.0) {
+        candidates.push_back(u);
+        weights.push_back(e);
+      }
+    }
+    if (candidates.empty()) {
+      current = v0;  // every neighbor saturated: restart
+      continue;
+    }
+    const size_t pick = rng->NextDiscrete(weights);
+    if (pick >= candidates.size()) {
+      current = v0;
+      continue;
+    }
+    const NodeId next = candidates[pick];
+    current = next;
+    if (visited.insert(next).second) walk_nodes.push_back(next);
+    if (static_cast<int64_t>(walk_nodes.size()) == options.subgraph_size) {
+      return walk_nodes;
+    }
+  }
+  return {};
+}
+
+}  // namespace
 
 Status FreqSamplingOptions::Validate() const {
   if (subgraph_size < 2) {
@@ -36,59 +98,64 @@ Result<std::vector<Subgraph>> FreqSampling(const Graph& graph,
     return Status::InvalidArgument("frequency vector size mismatch");
   }
 
+  // Per-start-node RNG streams (see rwr_sampler.cpp): walks inside a wave
+  // are independent of scheduling, and the commit phase below runs in start
+  // order, so the output is bit-identical at every thread count.
+  const uint64_t select_seed = rng->Next();
+  const uint64_t walk_seed = rng->Next();
+  const uint64_t rerun_seed = rng->Next();
+
   std::vector<Subgraph> subgraphs;
-  std::vector<NodeId> walk_nodes;
-  std::vector<NodeId> candidates;
-  std::vector<double> weights;
+  std::vector<NodeId> starts;
+  std::vector<std::vector<NodeId>> walks;
+  for (int64_t wave_begin = 0; wave_begin < graph.num_nodes();
+       wave_begin += kWaveWidth) {
+    const int64_t wave_end =
+        std::min(graph.num_nodes(), wave_begin + kWaveWidth);
+    starts.clear();
+    for (NodeId v0 = static_cast<NodeId>(wave_begin); v0 < wave_end; ++v0) {
+      Rng select = SplitRng(select_seed, static_cast<uint64_t>(v0));
+      if (!select.NextBernoulli(options.sampling_rate)) continue;
+      if ((*frequency)[v0] >= options.frequency_threshold) continue;
+      if (graph.OutDegree(v0) + graph.InDegree(v0) == 0) continue;
+      starts.push_back(v0);
+    }
+    if (starts.empty()) continue;
 
-  // e_v of Eq. 9: inverse-polynomial in the running frequency, 0 once the
-  // node saturates the threshold M.
-  auto eligibility = [&](NodeId v) -> double {
-    const int64_t f = (*frequency)[v];
-    if (f >= options.frequency_threshold) return 0.0;
-    return 1.0 / std::pow(static_cast<double>(f) + 1.0, options.decay);
-  };
+    // Frequencies are frozen for the duration of the wave: tasks only read
+    // the vector, commits happen after the join.
+    walks.assign(starts.size(), {});
+    GlobalThreadPool().ParallelFor(starts.size(), [&](size_t i) {
+      Rng task_rng = SplitRng(walk_seed, static_cast<uint64_t>(starts[i]));
+      walks[i] = TryFreqWalk(graph, options, *frequency, starts[i], &task_rng);
+    });
 
-  for (NodeId v0 = 0; v0 < graph.num_nodes(); ++v0) {
-    if (!rng->NextBernoulli(options.sampling_rate)) continue;
-    if ((*frequency)[v0] >= options.frequency_threshold) continue;
-    if (graph.OutDegree(v0) + graph.InDegree(v0) == 0) continue;
-
-    walk_nodes.assign(1, v0);
-    std::unordered_set<NodeId> visited{v0};
-    NodeId current = v0;
-    for (int64_t step = 0; step < options.walk_length; ++step) {
-      if (rng->NextBernoulli(options.restart_probability)) current = v0;
-      candidates.clear();
-      weights.clear();
-      // Walk the underlying undirected structure (see rwr_sampler.cpp).
-      for (NodeId u : UndirectedNeighbors(graph, current)) {
-        const double e = eligibility(u);
-        if (e > 0.0) {
-          candidates.push_back(u);
-          weights.push_back(e);
+    // Commit in start order. The SCS cap (Sec. IV-A) stays hard: a walk is
+    // only committed while every member node is strictly below M, so no
+    // node's frequency can ever exceed M. A walk invalidated by an earlier
+    // commit in the same wave is re-run serially against the live
+    // frequencies — exactly the legacy serial behavior for that start node.
+    for (size_t i = 0; i < starts.size(); ++i) {
+      if (walks[i].empty()) continue;
+      bool fresh = true;
+      for (NodeId v : walks[i]) {
+        if ((*frequency)[v] >= options.frequency_threshold) {
+          fresh = false;
+          break;
         }
       }
-      if (candidates.empty()) {
-        current = v0;  // every neighbor saturated: restart
-        continue;
+      if (!fresh) {
+        if ((*frequency)[starts[i]] >= options.frequency_threshold) continue;
+        Rng rerun_rng = SplitRng(rerun_seed, static_cast<uint64_t>(starts[i]));
+        walks[i] =
+            TryFreqWalk(graph, options, *frequency, starts[i], &rerun_rng);
+        if (walks[i].empty()) continue;
       }
-      const size_t pick = rng->NextDiscrete(weights);
-      if (pick >= candidates.size()) {
-        current = v0;
-        continue;
-      }
-      const NodeId next = candidates[pick];
-      current = next;
-      if (visited.insert(next).second) walk_nodes.push_back(next);
-      if (static_cast<int64_t>(walk_nodes.size()) == options.subgraph_size) {
-        Result<Subgraph> sub = InducedSubgraph(graph, walk_nodes);
-        if (!sub.ok()) return sub.status();
-        subgraphs.push_back(std::move(sub).value());
-        // Alg. 3 line 26: frequencies update only for completed subgraphs.
-        for (NodeId v : walk_nodes) ++(*frequency)[v];
-        break;
-      }
+      Result<Subgraph> sub = InducedSubgraph(graph, walks[i]);
+      if (!sub.ok()) return sub.status();
+      // Alg. 3 line 26: frequencies update only for completed subgraphs.
+      for (NodeId v : walks[i]) ++(*frequency)[v];
+      subgraphs.push_back(std::move(sub).value());
     }
   }
   return subgraphs;

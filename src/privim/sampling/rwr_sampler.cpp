@@ -1,8 +1,10 @@
 #include "privim/sampling/rwr_sampler.h"
 
+#include <optional>
 #include <unordered_set>
 #include <vector>
 
+#include "privim/common/thread_pool.h"
 #include "privim/graph/traversal.h"
 
 namespace privim {
@@ -29,26 +31,41 @@ Result<SubgraphContainer> ExtractSubgraphsRwr(const Graph& graph,
                                               Rng* rng) {
   PRIVIM_RETURN_NOT_OK(options.Validate());
 
-  SubgraphContainer container;
-  std::vector<NodeId> walk_nodes;
+  // Every start node gets its own RNG stream derived from two base seeds
+  // drawn serially from the caller's generator, so walks are independent of
+  // each other and of scheduling: the container is bit-identical at any
+  // thread count.
+  const uint64_t select_seed = rng->Next();
+  const uint64_t walk_seed = rng->Next();
+
+  std::vector<NodeId> starts;
   for (NodeId v0 = 0; v0 < graph.num_nodes(); ++v0) {
-    if (!rng->NextBernoulli(options.sampling_rate)) continue;
+    Rng select = SplitRng(select_seed, static_cast<uint64_t>(v0));
+    if (!select.NextBernoulli(options.sampling_rate)) continue;
     if (graph.OutDegree(v0) + graph.InDegree(v0) == 0) continue;
+    starts.push_back(v0);
+  }
+
+  std::vector<std::optional<Subgraph>> extracted(starts.size());
+  std::vector<std::optional<Status>> errors(starts.size());
+  GlobalThreadPool().ParallelFor(starts.size(), [&](size_t task) {
+    const NodeId v0 = starts[task];
+    Rng task_rng = SplitRng(walk_seed, static_cast<uint64_t>(v0));
 
     // N_r(v0): membership set for the r-hop constraint of Alg. 1 line 10.
     // The walk moves on the underlying undirected structure so directed
     // graphs (whose sinks would otherwise strand the walk) sample cleanly.
     const std::vector<NodeId> ball =
         UndirectedRHopBall(graph, v0, options.hop_limit);
-    if (static_cast<int64_t>(ball.size()) < options.subgraph_size) continue;
+    if (static_cast<int64_t>(ball.size()) < options.subgraph_size) return;
     std::unordered_set<NodeId> in_ball(ball.begin(), ball.end());
 
-    walk_nodes.assign(1, v0);
+    std::vector<NodeId> walk_nodes{v0};
     std::unordered_set<NodeId> visited{v0};
     NodeId current = v0;
     std::vector<NodeId> candidates;
     for (int64_t step = 0; step < options.walk_length; ++step) {
-      if (rng->NextBernoulli(options.restart_probability)) current = v0;
+      if (task_rng.NextBernoulli(options.restart_probability)) current = v0;
       candidates.clear();
       for (NodeId u : UndirectedNeighbors(graph, current)) {
         if (in_ball.count(u)) candidates.push_back(u);
@@ -57,16 +74,26 @@ Result<SubgraphContainer> ExtractSubgraphsRwr(const Graph& graph,
         current = v0;  // dead end inside the ball: restart
         continue;
       }
-      const NodeId next =
-          candidates[rng->NextBounded(candidates.size())];
+      const NodeId next = candidates[task_rng.NextBounded(candidates.size())];
       current = next;
       if (visited.insert(next).second) walk_nodes.push_back(next);
       if (static_cast<int64_t>(walk_nodes.size()) == options.subgraph_size) {
         Result<Subgraph> sub = InducedSubgraph(graph, walk_nodes);
-        if (!sub.ok()) return sub.status();
-        container.Add(std::move(sub).value());
-        break;
+        if (sub.ok()) {
+          extracted[task].emplace(std::move(sub).value());
+        } else {
+          errors[task] = sub.status();
+        }
+        return;
       }
+    }
+  });
+
+  SubgraphContainer container;
+  for (size_t task = 0; task < starts.size(); ++task) {
+    if (errors[task].has_value()) return *errors[task];
+    if (extracted[task].has_value()) {
+      container.Add(std::move(*extracted[task]));
     }
   }
   return container;

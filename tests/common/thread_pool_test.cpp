@@ -1,7 +1,10 @@
 #include "privim/common/thread_pool.h"
 
+#include <algorithm>
 #include <atomic>
+#include <mutex>
 #include <numeric>
+#include <stdexcept>
 
 #include "gtest/gtest.h"
 
@@ -57,6 +60,87 @@ TEST(ThreadPoolTest, ParallelForMoreIterationsThanThreads) {
     sum += static_cast<int64_t>(i);
   });
   EXPECT_EQ(sum.load(), 10000LL * 9999 / 2);
+}
+
+TEST(ThreadPoolTest, SubmitPropagatesException) {
+  ThreadPool pool(2);
+  std::future<void> future =
+      pool.Submit([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(future.get(), std::runtime_error);
+  // The worker survives the throw and keeps serving tasks.
+  std::atomic<int> counter{0};
+  pool.Submit([&counter] { ++counter; }).get();
+  EXPECT_EQ(counter.load(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForPropagatesException) {
+  ThreadPool pool(3);
+  EXPECT_THROW(pool.ParallelFor(100,
+                                [](size_t i) {
+                                  if (i == 57) {
+                                    throw std::runtime_error("iteration 57");
+                                  }
+                                }),
+               std::runtime_error);
+  // The pool stays usable after a failed loop.
+  std::atomic<int> hits{0};
+  pool.ParallelFor(100, [&hits](size_t) { ++hits; });
+  EXPECT_EQ(hits.load(), 100);
+}
+
+TEST(ThreadPoolTest, ParallelForChunksCoversPartition) {
+  ThreadPool pool(3);
+  for (size_t max_chunks : {size_t{1}, size_t{3}, size_t{7}, size_t{100}}) {
+    std::vector<int> hits(41, 0);
+    std::mutex mutex;
+    std::vector<size_t> chunk_ids;
+    pool.ParallelForChunks(hits.size(), max_chunks,
+                           [&](size_t chunk, size_t begin, size_t end) {
+                             ASSERT_LE(begin, end);
+                             for (size_t i = begin; i < end; ++i) ++hits[i];
+                             std::lock_guard<std::mutex> lock(mutex);
+                             chunk_ids.push_back(chunk);
+                           });
+    for (int h : hits) EXPECT_EQ(h, 1);
+    // The partition is a pure function of (count, max_chunks): every chunk
+    // id below the chunk count appears exactly once.
+    std::sort(chunk_ids.begin(), chunk_ids.end());
+    for (size_t c = 0; c < chunk_ids.size(); ++c) EXPECT_EQ(chunk_ids[c], c);
+    EXPECT_LE(chunk_ids.size(), std::max<size_t>(max_chunks, 1));
+  }
+}
+
+TEST(ThreadPoolTest, NestedParallelForRunsInline) {
+  ThreadPool pool(2);
+  EXPECT_FALSE(ThreadPool::InWorkerThread());
+  std::atomic<int> inner_total{0};
+  std::atomic<int> nested_flags{0};
+  pool.ParallelFor(4, [&](size_t) {
+    // Inside a worker (or the caller thread running chunk 0) a nested loop
+    // must complete inline rather than wait on occupied workers.
+    pool.ParallelFor(8, [&](size_t) { ++inner_total; });
+    if (ThreadPool::InWorkerThread()) ++nested_flags;
+  });
+  EXPECT_EQ(inner_total.load(), 4 * 8);
+  EXPECT_GE(nested_flags.load(), 0);
+  EXPECT_FALSE(ThreadPool::InWorkerThread());
+}
+
+TEST(ThreadPoolTest, SetGlobalThreadPoolSizeResizes) {
+  SetGlobalThreadPoolSize(3);
+  EXPECT_EQ(GlobalThreadPool().num_threads(), 3u);
+  std::atomic<int> hits{0};
+  GlobalThreadPool().ParallelFor(10, [&hits](size_t) { ++hits; });
+  EXPECT_EQ(hits.load(), 10);
+
+  SetGlobalThreadPoolSize(1);
+  EXPECT_EQ(GlobalThreadPool().num_threads(), 1u);
+  hits = 0;
+  GlobalThreadPool().ParallelFor(10, [&hits](size_t) { ++hits; });
+  EXPECT_EQ(hits.load(), 10);
+
+  SetGlobalThreadPoolSize(0);  // hardware concurrency
+  EXPECT_GE(GlobalThreadPool().num_threads(), 1u);
 }
 
 }  // namespace

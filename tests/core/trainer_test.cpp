@@ -1,5 +1,6 @@
 #include "privim/core/trainer.h"
 
+#include <atomic>
 #include <cmath>
 
 #include "gtest/gtest.h"
@@ -71,9 +72,10 @@ TEST(TrainDpGnnTest, EmptyContainerFails) {
   TrainFixture fixture = MakeFixture(1);
   SubgraphContainer empty;
   Rng rng(2);
-  EXPECT_EQ(
-      TrainDpGnn(fixture.model.get(), empty, FastOptions(), &rng).status().code(),
-      StatusCode::kFailedPrecondition);
+  EXPECT_EQ(TrainDpGnn(fixture.model.get(), empty, FastOptions(), &rng)
+                .status()
+                .code(),
+            StatusCode::kFailedPrecondition);
 }
 
 TEST(TrainDpGnnTest, NonPrivateTrainingReducesLoss) {
@@ -196,7 +198,8 @@ TEST(TrainDpGnnTest, CustomLossHookIsUsed) {
   Rng rng(23);
   DpSgdOptions options = FastOptions();
   options.iterations = 3;
-  int calls = 0;
+  // The hook runs concurrently from pool workers (see SubgraphLossFn).
+  std::atomic<int> calls{0};
   options.loss_fn = [&calls](const GnnModel& m, const GraphContext& ctx,
                              const Tensor& f, const Subgraph& sub) {
     ++calls;
@@ -205,7 +208,7 @@ TEST(TrainDpGnnTest, CustomLossHookIsUsed) {
   };
   ASSERT_TRUE(
       TrainDpGnn(fixture.model.get(), fixture.container, options, &rng).ok());
-  EXPECT_EQ(calls, 3 * 8);  // iterations * batch_size
+  EXPECT_EQ(calls.load(), 3 * 8);  // iterations * batch_size
 }
 
 }  // namespace

@@ -1,0 +1,215 @@
+// Thread-count invariance regression tests: every parallelized stage
+// (Monte-Carlo diffusion, subgraph extraction, DP-GNN training, the full
+// pipeline) must produce bit-identical output whether the global pool has
+// one worker or several. The guarantee rests on per-task RNG streams
+// (SplitRng) plus fixed-order reductions; these tests pin it down.
+
+#include <memory>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "privim/common/thread_pool.h"
+#include "privim/core/pipeline.h"
+#include "privim/core/trainer.h"
+#include "privim/diffusion/ic_model.h"
+#include "privim/diffusion/lt_model.h"
+#include "privim/diffusion/sis_model.h"
+#include "privim/graph/generators.h"
+#include "privim/sampling/dual_stage.h"
+#include "privim/sampling/freq_sampler.h"
+#include "privim/sampling/rwr_sampler.h"
+
+namespace privim {
+namespace {
+
+// Evaluates `compute` (which must reseed its own RNG internally) with a
+// serial global pool and again with a 4-worker pool; restores the serial
+// pool before returning the two results.
+template <typename Fn>
+auto AtOneAndFourThreads(Fn&& compute) {
+  SetGlobalThreadPoolSize(1);
+  auto serial = compute();
+  SetGlobalThreadPoolSize(4);
+  auto threaded = compute();
+  SetGlobalThreadPoolSize(1);
+  return std::make_pair(std::move(serial), std::move(threaded));
+}
+
+Graph MakeCascadeGraph(int64_t nodes, uint64_t seed) {
+  Rng rng(seed);
+  Result<Graph> base = BarabasiAlbert(nodes, 4, &rng);
+  EXPECT_TRUE(base.ok());
+  return WithWeightedCascadeWeights(base.value());
+}
+
+TEST(DeterminismTest, McDiffusionSpreadsThreadCountInvariant) {
+  const Graph graph = MakeCascadeGraph(400, 3);
+  const std::vector<NodeId> seeds = {0, 1, 2, 3, 4};
+
+  auto [ic1, ic4] = AtOneAndFourThreads([&] {
+    IcOptions options;
+    options.num_simulations = 64;
+    Rng rng(11);
+    return EstimateIcSpread(graph, seeds, options, &rng);
+  });
+  EXPECT_EQ(ic1, ic4);
+
+  auto [lt1, lt4] = AtOneAndFourThreads([&] {
+    LtOptions options;
+    options.num_simulations = 64;
+    Rng rng(13);
+    return EstimateLtSpread(graph, seeds, options, &rng);
+  });
+  EXPECT_EQ(lt1, lt4);
+
+  auto [sis1, sis4] = AtOneAndFourThreads([&] {
+    SisOptions options;
+    options.num_simulations = 32;
+    Rng rng(17);
+    return EstimateSisSpread(graph, seeds, options, &rng);
+  });
+  EXPECT_EQ(sis1, sis4);
+}
+
+// Flattens a container into (per-subgraph global id lists, arc counts) for
+// exact comparison.
+struct ContainerSnapshot {
+  std::vector<std::vector<NodeId>> global_ids;
+  std::vector<int64_t> arc_counts;
+
+  bool operator==(const ContainerSnapshot& other) const {
+    return global_ids == other.global_ids && arc_counts == other.arc_counts;
+  }
+};
+
+ContainerSnapshot Snapshot(const SubgraphContainer& container) {
+  ContainerSnapshot snapshot;
+  for (int64_t i = 0; i < container.size(); ++i) {
+    snapshot.global_ids.push_back(container.at(i).global_ids);
+    snapshot.arc_counts.push_back(container.at(i).local.num_arcs());
+  }
+  return snapshot;
+}
+
+TEST(DeterminismTest, RwrExtractionThreadCountInvariant) {
+  Rng graph_rng(23);
+  Result<Graph> base = BarabasiAlbert(500, 4, &graph_rng);
+  ASSERT_TRUE(base.ok());
+  const Graph graph = WithUniformWeights(base.value(), 1.0f);
+
+  auto [serial, threaded] = AtOneAndFourThreads([&] {
+    RwrSamplerOptions options;
+    options.subgraph_size = 15;
+    options.sampling_rate = 0.3;
+    Rng rng(29);
+    Result<SubgraphContainer> container =
+        ExtractSubgraphsRwr(graph, options, &rng);
+    EXPECT_TRUE(container.ok());
+    return Snapshot(container.value());
+  });
+  EXPECT_TRUE(serial == threaded);
+  EXPECT_FALSE(serial.global_ids.empty());
+}
+
+TEST(DeterminismTest, FreqSamplingThreadCountInvariant) {
+  Rng graph_rng(31);
+  Result<Graph> base = BarabasiAlbert(500, 4, &graph_rng);
+  ASSERT_TRUE(base.ok());
+  const Graph graph = WithUniformWeights(base.value(), 1.0f);
+
+  auto run = [&] {
+    FreqSamplingOptions options;
+    options.subgraph_size = 12;
+    options.sampling_rate = 0.4;
+    options.frequency_threshold = 4;
+    options.walk_length = 200;
+    std::vector<int64_t> frequency(graph.num_nodes(), 0);
+    Rng rng(37);
+    Result<std::vector<Subgraph>> subgraphs =
+        FreqSampling(graph, options, &frequency, &rng);
+    EXPECT_TRUE(subgraphs.ok());
+    std::vector<std::vector<NodeId>> ids;
+    for (const Subgraph& sub : subgraphs.value()) {
+      ids.push_back(sub.global_ids);
+    }
+    return std::make_pair(std::move(ids), std::move(frequency));
+  };
+  auto [serial, threaded] = AtOneAndFourThreads(run);
+  EXPECT_EQ(serial.first, threaded.first);    // identical subgraphs, in order
+  EXPECT_EQ(serial.second, threaded.second);  // identical SCS frequencies
+  EXPECT_FALSE(serial.first.empty());
+}
+
+TEST(DeterminismTest, DpTrainingThreadCountInvariant) {
+  Rng graph_rng(41);
+  Result<Graph> base = BarabasiAlbert(300, 4, &graph_rng);
+  ASSERT_TRUE(base.ok());
+  const Graph graph = WithUniformWeights(base.value(), 1.0f);
+
+  DualStageOptions sampling;
+  sampling.stage1.subgraph_size = 12;
+  sampling.stage1.sampling_rate = 0.6;
+  sampling.stage1.frequency_threshold = 4;
+  sampling.stage1.walk_length = 200;
+  Rng sample_rng(43);
+  Result<DualStageResult> sampled =
+      DualStageSampling(graph, sampling, &sample_rng);
+  ASSERT_TRUE(sampled.ok());
+  const SubgraphContainer& container = sampled->container;
+  ASSERT_GT(container.size(), 0);
+
+  auto [serial, threaded] = AtOneAndFourThreads([&] {
+    GnnConfig config;
+    config.num_layers = 2;
+    config.hidden_dim = 8;
+    Rng model_rng(47);
+    Result<std::unique_ptr<GnnModel>> model =
+        CreateGnnModel(config, &model_rng);
+    EXPECT_TRUE(model.ok());
+    DpSgdOptions options;
+    options.batch_size = 8;
+    options.iterations = 5;
+    options.noise_multiplier = 0.5;  // exercise the noise path too
+    Rng rng(53);
+    EXPECT_TRUE(
+        TrainDpGnn(model.value().get(), container, options, &rng).ok());
+    std::vector<float> params;
+    for (const Variable& p : model.value()->parameters()) {
+      const float* data = p.value().data();
+      params.insert(params.end(), data, data + p.value().size());
+    }
+    return params;
+  });
+  ASSERT_EQ(serial.size(), threaded.size());
+  for (size_t i = 0; i < serial.size(); ++i) {
+    // Bitwise equality, not approximate: the reduction order is fixed.
+    EXPECT_EQ(serial[i], threaded[i]) << "parameter " << i;
+  }
+}
+
+TEST(DeterminismTest, FullPipelineThreadCountInvariant) {
+  Rng graph_rng(59);
+  Result<Graph> base = BarabasiAlbert(300, 4, &graph_rng);
+  ASSERT_TRUE(base.ok());
+  const Graph graph = WithUniformWeights(base.value(), 1.0f);
+
+  auto [serial, threaded] = AtOneAndFourThreads([&] {
+    PrivImOptions options;
+    options.subgraph_size = 12;
+    options.frequency_threshold = 4;
+    options.sampling_rate = 0.5;
+    options.batch_size = 8;
+    options.iterations = 4;
+    options.gnn.num_layers = 2;
+    options.gnn.hidden_dim = 8;
+    options.seed_set_size = 10;
+    Result<PrivImResult> result = RunPrivIm(graph, graph, options, 61);
+    EXPECT_TRUE(result.ok());
+    return result.ok() ? result->seeds : std::vector<NodeId>();
+  });
+  EXPECT_EQ(serial, threaded);
+  EXPECT_FALSE(serial.empty());
+}
+
+}  // namespace
+}  // namespace privim

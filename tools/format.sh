@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Formats every tracked C++ source with the repo .clang-format.
+#
+#   tools/format.sh          # rewrite files in place
+#   tools/format.sh --check  # exit nonzero if anything is misformatted
+#
+# Set CLANG_FORMAT to use a specific binary (e.g. clang-format-18).
+set -euo pipefail
+cd "$(git rev-parse --show-toplevel)"
+
+mode=(-i)
+if [[ "${1:-}" == "--check" ]]; then
+  mode=(--dry-run -Werror)
+fi
+
+git ls-files -- '*.h' '*.cpp' |
+  xargs -r "${CLANG_FORMAT:-clang-format}" "${mode[@]}"

@@ -16,12 +16,18 @@
 //
 // Node ids are densely remapped on load (the mapping is stable for a given
 // file); seeds are reported in remapped ids.
+//
+// All subcommands accept --threads N (or PRIVIM_THREADS): size of the global
+// worker pool. 0 = hardware concurrency (default), 1 = serial. Results are
+// bit-identical at every setting.
 
+#include <algorithm>
 #include <cstdio>
 #include <string>
 #include <vector>
 
 #include "privim/common/flags.h"
+#include "privim/common/thread_pool.h"
 #include "privim/core/pipeline.h"
 #include "privim/diffusion/ic_model.h"
 #include "privim/dp/rdp_accountant.h"
@@ -200,6 +206,8 @@ int Main(int argc, char** argv) {
   if (argc < 2) return Usage();
   const std::string command = argv[1];
   const Flags flags(argc - 1, argv + 1);
+  SetGlobalThreadPoolSize(
+      static_cast<size_t>(std::max<int64_t>(0, flags.Threads())));
   if (command == "train") return CmdTrain(flags);
   if (command == "select") return CmdSelect(flags);
   if (command == "evaluate") return CmdEvaluate(flags);
