@@ -11,11 +11,14 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
 #include <cstdlib>
 #include <string>
 #include <vector>
 
 #include "privim/common/flags.h"
+#include "privim/obs/export.h"
+#include "privim/obs/trace.h"
 #include "privim/common/thread_pool.h"
 #include "privim/core/loss.h"
 #include "privim/core/trainer.h"
@@ -254,27 +257,51 @@ BENCHMARK(BM_NoiseCalibration);
 }  // namespace
 }  // namespace privim
 
-// Custom main: peel off --threads (google-benchmark rejects unknown flags),
-// apply it to the global pool, then hand the rest to the benchmark runner.
+// Custom main: peel off --threads and --metrics-out (google-benchmark
+// rejects unknown flags), validate them through the Flags helpers, then hand
+// the rest to the benchmark runner. With --metrics-out, tracing is enabled
+// and the combined metrics + trace JSON is written after the run.
 int main(int argc, char** argv) {
   std::vector<char*> bench_argv;
+  std::vector<char*> peeled_argv;
   bench_argv.reserve(static_cast<size_t>(argc));
-  int64_t threads = std::strtoll(
-      privim::Flags::GetEnv("PRIVIM_THREADS", "0").c_str(), nullptr, 10);
+  if (argc > 0) peeled_argv.push_back(argv[0]);  // Flags skips argv[0]
+  auto is_peeled = [](const std::string& arg) {
+    return arg.rfind("--threads", 0) == 0 ||
+           arg.rfind("--metrics-out", 0) == 0;
+  };
   for (int i = 0; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (arg.rfind("--threads=", 0) == 0) {
-      threads = std::strtoll(arg.c_str() + 10, nullptr, 10);
-      continue;
-    }
-    if (arg == "--threads" && i + 1 < argc) {
-      threads = std::strtoll(argv[++i], nullptr, 10);
+    if (i > 0 && is_peeled(arg)) {
+      peeled_argv.push_back(argv[i]);
+      const bool has_inline_value = arg.find('=') != std::string::npos;
+      // Mirror the Flags parser: a separate value token is anything that
+      // does not itself start with "--".
+      if (!has_inline_value && i + 1 < argc &&
+          std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        peeled_argv.push_back(argv[++i]);
+      }
       continue;
     }
     bench_argv.push_back(argv[i]);
   }
-  if (threads < 0) threads = 0;
-  privim::SetGlobalThreadPoolSize(static_cast<size_t>(threads));
+
+  const privim::Flags flags(static_cast<int>(peeled_argv.size()),
+                            peeled_argv.data());
+  const privim::Result<int64_t> threads = flags.ValidatedThreads();
+  if (!threads.ok()) {
+    std::fprintf(stderr, "error: %s\n", threads.status().ToString().c_str());
+    return 2;
+  }
+  const privim::Result<std::string> metrics_out = flags.MetricsOutPath();
+  if (!metrics_out.ok()) {
+    std::fprintf(stderr, "error: %s\n",
+                 metrics_out.status().ToString().c_str());
+    return 2;
+  }
+  privim::SetGlobalThreadPoolSize(static_cast<size_t>(threads.value()));
+  if (!metrics_out.value().empty()) privim::obs::SetTracingEnabled(true);
+
   int bench_argc = static_cast<int>(bench_argv.size());
   benchmark::Initialize(&bench_argc, bench_argv.data());
   if (benchmark::ReportUnrecognizedArguments(bench_argc, bench_argv.data())) {
@@ -282,5 +309,16 @@ int main(int argc, char** argv) {
   }
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
+
+  if (!metrics_out.value().empty()) {
+    const std::string error =
+        privim::obs::WriteMetricsFile(metrics_out.value());
+    if (!error.empty()) {
+      std::fprintf(stderr, "error: %s\n", error.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "metrics written to %s\n",
+                 metrics_out.value().c_str());
+  }
   return 0;
 }

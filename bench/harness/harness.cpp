@@ -3,13 +3,26 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <mutex>
 
 #include "privim/common/math_utils.h"
 #include "privim/common/thread_pool.h"
+#include "privim/obs/export.h"
+#include "privim/obs/trace.h"
 
 namespace privim {
 namespace bench {
+namespace {
+
+// Destination for the combined metrics + trace JSON, captured when the
+// bench parsed its flags and consumed by EmitTable.
+std::string& MetricsOutSlot() {
+  static std::string path;
+  return path;
+}
+
+}  // namespace
 
 const char* MethodName(Method method) {
   switch (method) {
@@ -94,8 +107,23 @@ BenchConfig BenchConfig::FromFlags(const Flags& flags) {
   if (Result<GnnKind> kind = GnnKindFromString(gnn); kind.ok()) {
     config.gnn_kind = kind.value();
   }
-  config.threads = std::max<int64_t>(0, flags.Threads());
+  const Result<int64_t> threads = flags.ValidatedThreads();
+  if (!threads.ok()) {
+    std::fprintf(stderr, "error: %s\n", threads.status().ToString().c_str());
+    std::exit(2);
+  }
+  config.threads = threads.value();
   SetGlobalThreadPoolSize(static_cast<size_t>(config.threads));
+
+  const Result<std::string> metrics_out = flags.MetricsOutPath();
+  if (!metrics_out.ok()) {
+    std::fprintf(stderr, "error: %s\n",
+                 metrics_out.status().ToString().c_str());
+    std::exit(2);
+  }
+  config.metrics_out = metrics_out.value();
+  MetricsOutSlot() = config.metrics_out;
+  if (!config.metrics_out.empty()) obs::SetTracingEnabled(true);
   return config;
 }
 
@@ -285,6 +313,15 @@ void EmitTable(const std::string& bench_name, const TablePrinter& table) {
     std::printf("[csv written to %s]\n\n", csv_path.c_str());
   } else {
     std::fprintf(stderr, "[csv write failed: %s]\n", status.ToString().c_str());
+  }
+  const std::string& metrics_path = MetricsOutSlot();
+  if (!metrics_path.empty()) {
+    const std::string error = obs::WriteMetricsFile(metrics_path);
+    if (error.empty()) {
+      std::printf("[metrics written to %s]\n\n", metrics_path.c_str());
+    } else {
+      std::fprintf(stderr, "[metrics write failed: %s]\n", error.c_str());
+    }
   }
 }
 

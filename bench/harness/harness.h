@@ -82,6 +82,8 @@ struct BenchConfig {
   int64_t input_dim = 8;
   /// Global thread-pool size (0 = hardware concurrency, 1 = serial).
   int64_t threads = 0;
+  /// Combined metrics + trace JSON written by EmitTable (empty = disabled).
+  std::string metrics_out;
 
   int64_t DefaultSubgraphSize() const;
   int64_t DefaultFrequencyThreshold() const;
@@ -89,7 +91,8 @@ struct BenchConfig {
 
   /// Parses --scale/--repeats/--iterations/--seed/... plus the
   /// PRIVIM_BENCH_SCALE environment variable, and applies --threads /
-  /// PRIVIM_THREADS to the global thread pool.
+  /// PRIVIM_THREADS to the global thread pool. Invalid --threads or
+  /// --metrics-out values abort with a usage error (exit code 2).
   static BenchConfig FromFlags(const Flags& flags);
 };
 
@@ -139,7 +142,8 @@ PrivImOptions MakePrivImOptions(const BenchConfig& config,
                                 PrivImVariant variant, double epsilon);
 
 /// Prints the table to stdout and writes "<name>.csv" in the working
-/// directory.
+/// directory. When the config carried --metrics-out, also writes the
+/// combined metrics + trace JSON there.
 void EmitTable(const std::string& bench_name, const TablePrinter& table);
 
 /// Standard bench banner (scale, repeats, iterations).

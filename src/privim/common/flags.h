@@ -11,6 +11,8 @@
 #include <map>
 #include <string>
 
+#include "privim/common/status.h"
+
 namespace privim {
 
 /// Parsed view over argv plus environment fallbacks.
@@ -32,7 +34,23 @@ class Flags {
   /// back to the PRIVIM_THREADS environment variable. 0 (the default) means
   /// hardware concurrency; 1 selects the serial path (every ParallelFor runs
   /// inline). Pass the result to SetGlobalThreadPoolSize at startup.
+  /// Lenient: malformed or negative values silently fall back; front ends
+  /// should prefer ValidatedThreads().
   int64_t Threads() const;
+
+  /// Strict variant of GetInt: a present-but-malformed value is an
+  /// InvalidArgument error naming the flag and the offending text, instead
+  /// of silently falling back to the default.
+  Result<int64_t> GetValidatedInt(const std::string& name, int64_t def) const;
+
+  /// Strict Threads(): rejects non-numeric or negative `--threads` (and a
+  /// non-numeric/negative PRIVIM_THREADS) with a clear error.
+  Result<int64_t> ValidatedThreads() const;
+
+  /// Path given to `--metrics-out`. Returns "" when the flag is absent;
+  /// errors when the flag is present without a file path (e.g. a bare
+  /// `--metrics-out` at the end of the command line).
+  Result<std::string> MetricsOutPath() const;
 
   /// Environment variable lookup with default.
   static std::string GetEnv(const std::string& name, const std::string& def);

@@ -1,8 +1,12 @@
 #include "privim/common/thread_pool.h"
 
 #include <algorithm>
+#include <chrono>
 #include <exception>
 #include <memory>
+
+#include "privim/obs/metrics.h"
+#include "privim/obs/trace.h"
 
 namespace privim {
 namespace {
@@ -10,6 +14,26 @@ namespace {
 // Set inside WorkerLoop; lets nested parallel regions run inline instead of
 // deadlocking on a pool whose workers are all blocked in outer barriers.
 thread_local bool t_in_pool_worker = false;
+
+struct PoolMetrics {
+  obs::Counter* regions;
+  obs::Counter* inline_regions;
+  obs::Counter* tasks;
+  obs::Histogram* queue_wait;
+};
+
+// Registered once; the pointers stay valid for the process lifetime, so the
+// per-region cost is one relaxed load per metric touched.
+const PoolMetrics& Metrics() {
+  static const PoolMetrics metrics = {
+      obs::GlobalMetrics().GetCounter("threadpool.parallel_regions"),
+      obs::GlobalMetrics().GetCounter("threadpool.inline_regions"),
+      obs::GlobalMetrics().GetCounter("threadpool.tasks"),
+      obs::GlobalMetrics().GetHistogram("threadpool.queue_wait_s",
+                                        obs::DefaultTimeBucketsSeconds()),
+  };
+  return metrics;
+}
 
 }  // namespace
 
@@ -68,6 +92,7 @@ void ThreadPool::ParallelForChunks(
   // The partition below is a pure function of (count, chunks); only the
   // execution placement differs between the inline and pooled paths.
   if (chunks <= 1 || num_threads() <= 1 || InWorkerThread()) {
+    Metrics().inline_regions->Increment();
     for (size_t c = 0; c < chunks; ++c) {
       const size_t begin = c * per_chunk;
       const size_t end = std::min(count, begin + per_chunk);
@@ -77,13 +102,28 @@ void ThreadPool::ParallelForChunks(
     return;
   }
 
+  obs::TraceSpan region_span("threadpool/parallel_region");
+  const PoolMetrics& metrics = Metrics();
+  metrics.regions->Increment();
+  const bool observe = obs::MetricsEnabled();
   std::vector<std::future<void>> futures;
   futures.reserve(chunks - 1);
   for (size_t c = 1; c < chunks; ++c) {
     const size_t begin = c * per_chunk;
     const size_t end = std::min(count, begin + per_chunk);
     if (begin >= end) break;
-    futures.push_back(Submit([begin, end, c, &fn] { fn(c, begin, end); }));
+    metrics.tasks->Increment();
+    const auto enqueued = std::chrono::steady_clock::now();
+    futures.push_back(Submit([begin, end, c, &fn, enqueued, observe] {
+      if (observe) {
+        Metrics().queue_wait->Observe(
+            std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          enqueued)
+                .count());
+      }
+      obs::TraceSpan task_span("threadpool/task");
+      fn(c, begin, end);
+    }));
   }
   // The caller works too (chunk 0) instead of idling on the barrier.
   std::exception_ptr first_error;

@@ -10,6 +10,8 @@
 #include "privim/gnn/features.h"
 #include "privim/graph/projection.h"
 #include "privim/im/seed_selection.h"
+#include "privim/obs/metrics.h"
+#include "privim/obs/trace.h"
 #include "privim/sampling/dual_stage.h"
 #include "privim/sampling/rwr_sampler.h"
 
@@ -68,44 +70,48 @@ Result<PrivImResult> RunPrivIm(const Graph& train_graph,
 
   Rng rng(seed);
   PrivImResult result;
+  obs::TraceSpan pipeline_span("pipeline/run_privim");
 
   // ---- Module 1: subgraph extraction ----------------------------------
   WallTimer sampling_timer;
   SubgraphContainer container;
   const double q = EffectiveSamplingRate(options, train_graph.num_nodes());
 
-  if (options.variant == PrivImVariant::kNaive) {
-    Result<Graph> projected =
-        ProjectInDegree(train_graph, options.theta, &rng);
-    if (!projected.ok()) return projected.status();
-    RwrSamplerOptions rwr;
-    rwr.subgraph_size = options.subgraph_size;
-    rwr.restart_probability = options.restart_probability;
-    rwr.sampling_rate = q;
-    rwr.walk_length = options.walk_length;
-    rwr.hop_limit = options.gnn.num_layers;  // r-layer GNN -> r-hop ball
-    Result<SubgraphContainer> extracted =
-        ExtractSubgraphsRwr(projected.value(), rwr, &rng);
-    if (!extracted.ok()) return extracted.status();
-    container = std::move(extracted).value();
-    result.occurrence_bound =
-        NaiveOccurrenceBound(options.theta, options.gnn.num_layers);
-  } else {
-    DualStageOptions dual;
-    dual.stage1.subgraph_size = options.subgraph_size;
-    dual.stage1.restart_probability = options.restart_probability;
-    dual.stage1.decay = options.decay;
-    dual.stage1.sampling_rate = q;
-    dual.stage1.walk_length = options.walk_length;
-    dual.stage1.frequency_threshold = options.frequency_threshold;
-    dual.boundary_divisor = options.boundary_divisor;
-    dual.enable_boundary_stage =
-        options.variant == PrivImVariant::kDualStage;
-    Result<DualStageResult> sampled =
-        DualStageSampling(train_graph, dual, &rng);
-    if (!sampled.ok()) return sampled.status();
-    container = std::move(sampled.value().container);
-    result.occurrence_bound = options.frequency_threshold;  // N_g* = M
+  {
+    obs::TraceSpan extraction_span("pipeline/extraction");
+    if (options.variant == PrivImVariant::kNaive) {
+      Result<Graph> projected =
+          ProjectInDegree(train_graph, options.theta, &rng);
+      if (!projected.ok()) return projected.status();
+      RwrSamplerOptions rwr;
+      rwr.subgraph_size = options.subgraph_size;
+      rwr.restart_probability = options.restart_probability;
+      rwr.sampling_rate = q;
+      rwr.walk_length = options.walk_length;
+      rwr.hop_limit = options.gnn.num_layers;  // r-layer GNN -> r-hop ball
+      Result<SubgraphContainer> extracted =
+          ExtractSubgraphsRwr(projected.value(), rwr, &rng);
+      if (!extracted.ok()) return extracted.status();
+      container = std::move(extracted).value();
+      result.occurrence_bound =
+          NaiveOccurrenceBound(options.theta, options.gnn.num_layers);
+    } else {
+      DualStageOptions dual;
+      dual.stage1.subgraph_size = options.subgraph_size;
+      dual.stage1.restart_probability = options.restart_probability;
+      dual.stage1.decay = options.decay;
+      dual.stage1.sampling_rate = q;
+      dual.stage1.walk_length = options.walk_length;
+      dual.stage1.frequency_threshold = options.frequency_threshold;
+      dual.boundary_divisor = options.boundary_divisor;
+      dual.enable_boundary_stage =
+          options.variant == PrivImVariant::kDualStage;
+      Result<DualStageResult> sampled =
+          DualStageSampling(train_graph, dual, &rng);
+      if (!sampled.ok()) return sampled.status();
+      container = std::move(sampled.value().container);
+      result.occurrence_bound = options.frequency_threshold;  // N_g* = M
+    }
   }
   result.sampling_seconds = sampling_timer.ElapsedSeconds();
 
@@ -125,6 +131,7 @@ Result<PrivImResult> RunPrivIm(const Graph& train_graph,
   const bool is_private =
       options.epsilon > 0.0 && std::isfinite(options.epsilon);
   if (is_private) {
+    obs::TraceSpan accounting_span("pipeline/accounting");
     const double delta =
         options.delta > 0.0
             ? options.delta
@@ -141,6 +148,18 @@ Result<PrivImResult> RunPrivIm(const Graph& train_graph,
     accounting.noise_multiplier = result.noise_multiplier;
     result.achieved_epsilon =
         ComputeEpsilon(accounting, options.iterations, delta).epsilon;
+    result.epsilon_trajectory =
+        EpsilonTrajectory(accounting, options.iterations, delta);
+    obs::MetricsRegistry& registry = obs::GlobalMetrics();
+    static obs::Gauge* epsilon_gauge = registry.GetGauge("dp.epsilon");
+    static obs::Gauge* delta_gauge = registry.GetGauge("dp.delta");
+    static obs::Gauge* eps_step_gauge =
+        registry.GetGauge("dp.epsilon_first_step");
+    epsilon_gauge->Set(result.achieved_epsilon);
+    delta_gauge->Set(delta);
+    if (!result.epsilon_trajectory.empty()) {
+      eps_step_gauge->Set(result.epsilon_trajectory.front());
+    }
     PRIVIM_LOG(Info) << PrivImVariantToString(options.variant)
                      << ": m=" << result.container_size
                      << " N_g=" << result.occurrence_bound
@@ -167,6 +186,7 @@ Result<PrivImResult> RunPrivIm(const Graph& train_graph,
   result.train_stats = stats.value();
 
   // ---- Seed selection on the evaluation graph ---------------------------
+  obs::TraceSpan selection_span("pipeline/seed_selection");
   const GraphContext eval_ctx = GraphContext::Build(eval_graph);
   const Tensor eval_features =
       BuildNodeFeatures(eval_graph, options.gnn.input_dim);

@@ -75,6 +75,8 @@ struct PrivImResult {
   int64_t empirical_max_occurrence = 0;   ///< observed container max
   double noise_multiplier = 0.0;          ///< calibrated sigma
   double achieved_epsilon = std::numeric_limits<double>::infinity();
+  /// Epsilon spent after each iteration 1..T (empty for non-private runs).
+  std::vector<double> epsilon_trajectory;
 };
 
 /// Trains on `train_graph` and scores/selects seeds on `eval_graph`.

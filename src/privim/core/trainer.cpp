@@ -10,8 +10,40 @@
 #include "privim/gnn/features.h"
 #include "privim/nn/ops.h"
 #include "privim/nn/optimizer.h"
+#include "privim/obs/metrics.h"
+#include "privim/obs/trace.h"
 
 namespace privim {
+namespace {
+
+// Per-iteration training metrics. Pointers are process-lifetime (registry
+// entries are never removed), so the per-iteration cost is a few relaxed
+// atomic ops.
+struct TrainMetrics {
+  obs::Counter* iterations;
+  obs::Counter* grads_clipped;
+  obs::Gauge* loss;
+  obs::Gauge* noise_sigma;
+  obs::Histogram* grad_norm;
+  obs::Histogram* iteration_s;
+};
+
+const TrainMetrics& Metrics() {
+  static const TrainMetrics metrics = {
+      obs::GlobalMetrics().GetCounter("train.iterations"),
+      obs::GlobalMetrics().GetCounter("train.grads_clipped"),
+      obs::GlobalMetrics().GetGauge("train.loss"),
+      obs::GlobalMetrics().GetGauge("train.noise_sigma"),
+      obs::GlobalMetrics().GetHistogram(
+          "train.grad_norm_preclip",
+          {0.01, 0.1, 0.5, 1.0, 2.0, 5.0, 10.0, 50.0, 100.0}),
+      obs::GlobalMetrics().GetHistogram("train.iteration_s",
+                                        obs::DefaultTimeBucketsSeconds()),
+  };
+  return metrics;
+}
+
+}  // namespace
 
 Status DpSgdOptions::Validate() const {
   if (batch_size < 1) return Status::InvalidArgument("batch_size must be >= 1");
@@ -38,6 +70,7 @@ Result<TrainStats> TrainDpGnn(GnnModel* model,
   if (container.empty()) {
     return Status::FailedPrecondition("empty subgraph container");
   }
+  obs::TraceSpan span("train/dp_sgd");
 
   TrainStats stats;
   WallTimer setup_timer;
@@ -104,16 +137,23 @@ Result<TrainStats> TrainDpGnn(GnnModel* model,
     }
   }
 
+  const TrainMetrics& metrics = Metrics();
+  metrics.noise_sigma->Set(noise_stddev);
+
   WallTimer train_timer;
   std::vector<float> summed(param_count, 0.0f);
   std::vector<std::vector<float>> per_grad;
   std::vector<double> per_loss;
+  std::vector<double> per_norm;
   for (int64_t t = 0; t < options.iterations; ++t) {
+    obs::TraceSpan iter_span("train/iteration");
+    WallTimer iter_timer;
     const std::vector<int64_t> batch =
         container.SampleBatch(options.batch_size, rng);
     const size_t batch_count = batch.size();
     per_grad.assign(batch_count, std::vector<float>());
     per_loss.assign(batch_count, 0.0);
+    per_norm.assign(batch_count, 0.0);
 
     auto subgraph_gradient = [&](GnnModel* worker_model,
                                  size_t pos) -> Status {
@@ -131,7 +171,7 @@ Result<TrainStats> TrainDpGnn(GnnModel* model,
       per_loss[pos] = loss.value().value().at(0, 0);
       loss.value().Backward();
       std::vector<float> grad = FlattenGradients(worker_model->parameters());
-      ClipL2(&grad, options.clip_bound);  // Alg. 2 line 6
+      per_norm[pos] = ClipL2(&grad, options.clip_bound);  // Alg. 2 line 6
       per_grad[pos] = std::move(grad);
       return Status::OK();
     };
@@ -165,11 +205,15 @@ Result<TrainStats> TrainDpGnn(GnnModel* model,
     // Alg. 2 line 7: reduce in batch order, independent of chunk placement.
     std::fill(summed.begin(), summed.end(), 0.0f);
     double batch_loss = 0.0;
+    int64_t clipped = 0;
     for (size_t pos = 0; pos < batch_count; ++pos) {
       const std::vector<float>& grad = per_grad[pos];
       for (size_t i = 0; i < param_count; ++i) summed[i] += grad[i];
       batch_loss += per_loss[pos];
+      metrics.grad_norm->Observe(per_norm[pos]);
+      if (per_norm[pos] > options.clip_bound) ++clipped;
     }
+    metrics.grads_clipped->Increment(static_cast<uint64_t>(clipped));
 
     if (noise_stddev > 0.0) {
       // Alg. 2 line 8 (Gaussian) or the HP baseline's SML variant.
@@ -191,6 +235,9 @@ Result<TrainStats> TrainDpGnn(GnnModel* model,
         batch.empty() ? 0.0 : batch_loss / static_cast<double>(batch.size());
     if (t == 0) stats.mean_loss_first = mean_loss;
     if (t == options.iterations - 1) stats.mean_loss_last = mean_loss;
+    metrics.loss->Set(mean_loss);
+    metrics.iterations->Increment();
+    metrics.iteration_s->Observe(iter_timer.ElapsedSeconds());
     PRIVIM_LOG(Debug) << "iter " << t << " mean loss " << mean_loss;
   }
   stats.training_seconds = train_timer.ElapsedSeconds();

@@ -5,6 +5,8 @@
 #include <vector>
 
 #include "privim/common/thread_pool.h"
+#include "privim/obs/metrics.h"
+#include "privim/obs/trace.h"
 
 namespace privim {
 
@@ -45,7 +47,11 @@ int64_t SimulateIcOnce(const Graph& graph, const std::vector<NodeId>& seeds,
 
 double EstimateIcSpread(const Graph& graph, const std::vector<NodeId>& seeds,
                         const IcOptions& options, Rng* rng) {
+  obs::TraceSpan span("diffusion/estimate_ic");
   const int64_t runs = std::max<int64_t>(1, options.num_simulations);
+  static obs::Counter* simulations =
+      obs::GlobalMetrics().GetCounter("diffusion.ic.simulations");
+  simulations->Increment(static_cast<uint64_t>(runs));
   // One RNG stream per simulation, derived serially up front: simulation i
   // sees the same stream whether it runs inline or on any worker, so the
   // estimate is bit-identical at every thread count (the sum below is in

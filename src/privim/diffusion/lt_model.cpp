@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "privim/common/thread_pool.h"
+#include "privim/obs/metrics.h"
+#include "privim/obs/trace.h"
 
 namespace privim {
 
@@ -58,7 +60,11 @@ int64_t SimulateLtOnce(const Graph& graph, const std::vector<NodeId>& seeds,
 
 double EstimateLtSpread(const Graph& graph, const std::vector<NodeId>& seeds,
                         const LtOptions& options, Rng* rng) {
+  obs::TraceSpan span("diffusion/estimate_lt");
   const int64_t runs = std::max<int64_t>(1, options.num_simulations);
+  static obs::Counter* simulations =
+      obs::GlobalMetrics().GetCounter("diffusion.lt.simulations");
+  simulations->Increment(static_cast<uint64_t>(runs));
   // Per-simulation RNG streams + fixed-order reduction: bit-identical at
   // every thread count (see EstimateIcSpread).
   std::vector<Rng> rngs;

@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "privim/common/thread_pool.h"
+#include "privim/obs/metrics.h"
+#include "privim/obs/trace.h"
 
 namespace privim {
 
@@ -56,7 +58,11 @@ int64_t SimulateSisOnce(const Graph& graph, const std::vector<NodeId>& seeds,
 
 double EstimateSisSpread(const Graph& graph, const std::vector<NodeId>& seeds,
                          const SisOptions& options, Rng* rng) {
+  obs::TraceSpan span("diffusion/estimate_sis");
   const int64_t runs = std::max<int64_t>(1, options.num_simulations);
+  static obs::Counter* simulations =
+      obs::GlobalMetrics().GetCounter("diffusion.sis.simulations");
+  simulations->Increment(static_cast<uint64_t>(runs));
   // Per-simulation RNG streams + fixed-order reduction: bit-identical at
   // every thread count (see EstimateIcSpread).
   std::vector<Rng> rngs;

@@ -76,6 +76,31 @@ DpGuarantee ComputeEpsilon(const SubsampledGaussianConfig& config,
   return best;
 }
 
+std::vector<double> EpsilonTrajectory(const SubsampledGaussianConfig& config,
+                                      int64_t num_iterations, double delta) {
+  std::vector<double> trajectory;
+  if (num_iterations <= 0) return trajectory;
+  trajectory.reserve(static_cast<size_t>(num_iterations));
+  // gamma(alpha) is iteration-independent: compute it once per order, then
+  // each step of the trajectory is a min over the grid of the T-scaled
+  // conversions.
+  const std::vector<double>& grid = DefaultAlphaGrid();
+  std::vector<double> gammas;
+  gammas.reserve(grid.size());
+  for (double alpha : grid) gammas.push_back(RdpOfIteration(config, alpha));
+  for (int64_t t = 1; t <= num_iterations; ++t) {
+    double best = std::numeric_limits<double>::infinity();
+    for (size_t a = 0; a < grid.size(); ++a) {
+      if (!std::isfinite(gammas[a])) continue;
+      best = std::min(best,
+                      RdpToDpEpsilon(gammas[a] * static_cast<double>(t),
+                                     grid[a], delta));
+    }
+    trajectory.push_back(best);
+  }
+  return trajectory;
+}
+
 Result<double> CalibrateNoiseMultiplier(SubsampledGaussianConfig config,
                                         int64_t num_iterations, double delta,
                                         double target_epsilon,

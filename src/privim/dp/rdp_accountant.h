@@ -51,6 +51,13 @@ struct DpGuarantee {
 DpGuarantee ComputeEpsilon(const SubsampledGaussianConfig& config,
                            int64_t num_iterations, double delta);
 
+/// Epsilon after each of the first T iterations: element t-1 equals
+/// ComputeEpsilon(config, t, delta).epsilon. The per-alpha gamma is computed
+/// once, so this costs one grid sweep plus O(T * |grid|) conversions —
+/// useful for privacy-budget dashboards and the observability layer.
+std::vector<double> EpsilonTrajectory(const SubsampledGaussianConfig& config,
+                                      int64_t num_iterations, double delta);
+
 /// Finds the smallest noise multiplier sigma such that T iterations satisfy
 /// (target_epsilon, delta)-DP. Binary search; epsilon is monotone
 /// decreasing in sigma. Fails when even sigma = sigma_max is insufficient.

@@ -5,9 +5,23 @@
 #include <unordered_map>
 #include <vector>
 
+#include "privim/obs/metrics.h"
+#include "privim/obs/trace.h"
+
 namespace privim {
+namespace {
+
+bool IsBlank(const std::string& line) {
+  for (char c : line) {
+    if (c != ' ' && c != '\t') return false;
+  }
+  return true;
+}
+
+}  // namespace
 
 Result<Graph> LoadEdgeList(const std::string& path, bool undirected) {
+  obs::TraceSpan span("graph/load_edge_list");
   std::ifstream file(path);
   if (!file) return Status::IOError("cannot open: " + path);
 
@@ -20,11 +34,17 @@ Result<Graph> LoadEdgeList(const std::string& path, bool undirected) {
     return it->second;
   };
 
+  int64_t self_loops = 0;
   std::string line;
   int64_t line_number = 0;
   while (std::getline(file, line)) {
     ++line_number;
-    if (line.empty() || line[0] == '#' || line[0] == '%') continue;
+    // Tolerate CRLF edge lists: getline keeps the '\r', which would
+    // otherwise corrupt the weight column or reject blank lines.
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty() || line[0] == '#' || line[0] == '%' || IsBlank(line)) {
+      continue;
+    }
     std::istringstream fields(line);
     int64_t raw_src = 0, raw_dst = 0;
     double weight = 1.0;
@@ -33,10 +53,20 @@ Result<Graph> LoadEdgeList(const std::string& path, bool undirected) {
                              " in " + path);
     }
     fields >> weight;  // optional third column
-    if (raw_src == raw_dst) continue;  // drop self-loops silently
+    if (raw_src == raw_dst) {  // drop self-loops (counted, not fatal)
+      ++self_loops;
+      continue;
+    }
     edges.push_back(
         {intern(raw_src), intern(raw_dst), static_cast<float>(weight)});
   }
+
+  static obs::Counter* edges_loaded =
+      obs::GlobalMetrics().GetCounter("graph.load.edges");
+  static obs::Counter* loops_dropped =
+      obs::GlobalMetrics().GetCounter("graph.load.self_loops_dropped");
+  edges_loaded->Increment(edges.size());
+  loops_dropped->Increment(static_cast<uint64_t>(self_loops));
 
   GraphBuilder builder(static_cast<int64_t>(remap.size()), undirected);
   PRIVIM_RETURN_NOT_OK(builder.AddEdges(edges));
@@ -44,6 +74,7 @@ Result<Graph> LoadEdgeList(const std::string& path, bool undirected) {
 }
 
 Status SaveEdgeList(const Graph& graph, const std::string& path) {
+  obs::TraceSpan span("graph/save_edge_list");
   std::ofstream file(path);
   if (!file) return Status::IOError("cannot open for write: " + path);
   file << "# privim edge list: src dst weight\n";

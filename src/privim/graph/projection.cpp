@@ -3,12 +3,18 @@
 #include <numeric>
 #include <vector>
 
+#include "privim/obs/metrics.h"
+#include "privim/obs/trace.h"
+
 namespace privim {
 
 Result<Graph> ProjectInDegree(const Graph& graph, int64_t theta, Rng* rng) {
   if (theta < 1) {
     return Status::InvalidArgument("theta must be >= 1");
   }
+  obs::TraceSpan span("graph/project_in_degree");
+  int64_t truncated_nodes = 0;
+  int64_t dropped_arcs = 0;
   GraphBuilder builder(graph.num_nodes(), /*undirected=*/false);
   std::vector<size_t> indices;
   for (NodeId v = 0; v < graph.num_nodes(); ++v) {
@@ -21,6 +27,8 @@ Result<Graph> ProjectInDegree(const Graph& graph, int64_t theta, Rng* rng) {
       }
       continue;
     }
+    ++truncated_nodes;
+    dropped_arcs += degree - theta;
     // Partial Fisher-Yates: choose theta in-arcs uniformly without
     // replacement.
     indices.resize(sources.size());
@@ -33,6 +41,12 @@ Result<Graph> ProjectInDegree(const Graph& graph, int64_t theta, Rng* rng) {
           builder.AddEdge(sources[indices[k]], v, weights[indices[k]]));
     }
   }
+  static obs::Counter* truncated =
+      obs::GlobalMetrics().GetCounter("graph.projection.truncated_nodes");
+  static obs::Counter* dropped =
+      obs::GlobalMetrics().GetCounter("graph.projection.dropped_arcs");
+  truncated->Increment(static_cast<uint64_t>(truncated_nodes));
+  dropped->Increment(static_cast<uint64_t>(dropped_arcs));
   return builder.Build();
 }
 

@@ -1,0 +1,30 @@
+#include "privim/obs/export.h"
+
+#include <fstream>
+
+#include "privim/obs/metrics.h"
+#include "privim/obs/trace.h"
+
+namespace privim {
+namespace obs {
+
+std::string CombinedJson() {
+  std::string trace = TraceToChromeJson();
+  // Splice "metrics" into the trace document before its closing brace.
+  trace.pop_back();  // '}'
+  trace += ",\"metrics\":";
+  trace += GlobalMetrics().ToJson();
+  trace += "}";
+  return trace;
+}
+
+std::string WriteMetricsFile(const std::string& path) {
+  std::ofstream file(path);
+  if (!file) return "cannot open for write: " + path;
+  file << CombinedJson() << '\n';
+  if (!file) return "write failed: " + path;
+  return "";
+}
+
+}  // namespace obs
+}  // namespace privim

@@ -1,0 +1,26 @@
+// Combined observability export: one JSON document holding the Chrome
+// trace events plus the metrics registry dump. chrome://tracing (and
+// Perfetto) load the object form and ignore the extra "metrics" key, so a
+// single `--metrics-out run.json` artifact serves both the trace viewer
+// and machine post-processing.
+
+#ifndef PRIVIM_OBS_EXPORT_H_
+#define PRIVIM_OBS_EXPORT_H_
+
+#include <string>
+
+namespace privim {
+namespace obs {
+
+/// The combined document: {"displayTimeUnit":...,"traceEvents":[...],
+/// "metrics":{...}}.
+std::string CombinedJson();
+
+/// Writes CombinedJson() to `path`. Returns "" on success, else an error
+/// message (this layer is Status-free so the lowest substrates can link it).
+std::string WriteMetricsFile(const std::string& path);
+
+}  // namespace obs
+}  // namespace privim
+
+#endif  // PRIVIM_OBS_EXPORT_H_

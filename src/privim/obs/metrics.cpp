@@ -1,0 +1,290 @@
+#include "privim/obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <limits>
+#include <sstream>
+
+namespace privim {
+namespace obs {
+namespace {
+
+std::atomic<bool> g_metrics_enabled{true};
+
+uint64_t DoubleToBits(double value) {
+  uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(value));
+  std::memcpy(&bits, &value, sizeof(bits));
+  return bits;
+}
+
+double BitsToDouble(uint64_t bits) {
+  double value = 0.0;
+  std::memcpy(&value, &bits, sizeof(value));
+  return value;
+}
+
+// value <- op(value, operand) via CAS. std::atomic<double>::fetch_add is
+// C++20 but spotty across standard libraries; the bit-cast loop is portable
+// and lock-free wherever 64-bit CAS is.
+template <typename Op>
+void AtomicDoubleUpdate(std::atomic<uint64_t>* bits, double operand, Op op) {
+  uint64_t observed = bits->load(std::memory_order_relaxed);
+  for (;;) {
+    const double updated = op(BitsToDouble(observed), operand);
+    if (bits->compare_exchange_weak(observed, DoubleToBits(updated),
+                                    std::memory_order_relaxed)) {
+      return;
+    }
+  }
+}
+
+std::string FormatDouble(double value) {
+  char buffer[40];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  return buffer;
+}
+
+// Compact form for the ASCII table (full precision stays in the JSON).
+std::string FormatShort(double value) {
+  char buffer[40];
+  std::snprintf(buffer, sizeof(buffer), "%.6g", value);
+  return buffer;
+}
+
+}  // namespace
+
+void SetMetricsEnabled(bool enabled) {
+  g_metrics_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool MetricsEnabled() {
+  return g_metrics_enabled.load(std::memory_order_relaxed);
+}
+
+double Gauge::Value() const {
+  return BitsToDouble(bits_.load(std::memory_order_relaxed));
+}
+
+uint64_t Gauge::ToBits(double value) { return DoubleToBits(value); }
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds)),
+      buckets_(bounds_.size() + 1),
+      sum_bits_(DoubleToBits(0.0)),
+      min_bits_(DoubleToBits(std::numeric_limits<double>::infinity())),
+      max_bits_(DoubleToBits(-std::numeric_limits<double>::infinity())) {
+  for (auto& bucket : buckets_) bucket.store(0, std::memory_order_relaxed);
+}
+
+void Histogram::Observe(double value) {
+  if (!MetricsEnabled()) return;
+  const size_t bucket =
+      std::lower_bound(bounds_.begin(), bounds_.end(), value) -
+      bounds_.begin();
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  AtomicDoubleUpdate(&sum_bits_, value,
+                     [](double a, double b) { return a + b; });
+  AtomicDoubleUpdate(&min_bits_, value,
+                     [](double a, double b) { return std::min(a, b); });
+  AtomicDoubleUpdate(&max_bits_, value,
+                     [](double a, double b) { return std::max(a, b); });
+}
+
+double Histogram::Sum() const {
+  return BitsToDouble(sum_bits_.load(std::memory_order_relaxed));
+}
+
+double Histogram::Min() const {
+  return BitsToDouble(min_bits_.load(std::memory_order_relaxed));
+}
+
+double Histogram::Max() const {
+  return BitsToDouble(max_bits_.load(std::memory_order_relaxed));
+}
+
+double Histogram::Mean() const {
+  const uint64_t count = Count();
+  return count == 0 ? 0.0 : Sum() / static_cast<double>(count);
+}
+
+std::vector<uint64_t> Histogram::BucketCounts() const {
+  std::vector<uint64_t> counts;
+  counts.reserve(buckets_.size());
+  for (const auto& bucket : buckets_) {
+    counts.push_back(bucket.load(std::memory_order_relaxed));
+  }
+  return counts;
+}
+
+void Histogram::Reset() {
+  for (auto& bucket : buckets_) bucket.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_bits_.store(DoubleToBits(0.0), std::memory_order_relaxed);
+  min_bits_.store(DoubleToBits(std::numeric_limits<double>::infinity()),
+                  std::memory_order_relaxed);
+  max_bits_.store(DoubleToBits(-std::numeric_limits<double>::infinity()),
+                  std::memory_order_relaxed);
+}
+
+std::vector<double> DefaultTimeBucketsSeconds() {
+  return {1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.1, 0.5, 1.0, 5.0, 30.0, 120.0};
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         std::vector<double> upper_bounds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>(std::move(upper_bounds));
+  return slot.get();
+}
+
+void MetricsRegistry::ResetAll() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, counter] : counters_) counter->Reset();
+  for (auto& [name, gauge] : gauges_) gauge->Reset();
+  for (auto& [name, histogram] : histograms_) histogram->Reset();
+}
+
+std::string MetricsRegistry::ToJson() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::ostringstream out;
+  out << "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, counter] : counters_) {
+    if (!first) out << ',';
+    first = false;
+    out << '"' << name << "\":" << counter->Value();
+  }
+  out << "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, gauge] : gauges_) {
+    if (!gauge->has_value()) continue;
+    if (!first) out << ',';
+    first = false;
+    out << '"' << name << "\":" << FormatDouble(gauge->Value());
+  }
+  out << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, histogram] : histograms_) {
+    if (!first) out << ',';
+    first = false;
+    out << '"' << name << "\":{\"count\":" << histogram->Count()
+        << ",\"sum\":" << FormatDouble(histogram->Sum());
+    if (histogram->Count() > 0) {
+      out << ",\"min\":" << FormatDouble(histogram->Min())
+          << ",\"max\":" << FormatDouble(histogram->Max())
+          << ",\"mean\":" << FormatDouble(histogram->Mean());
+    }
+    out << ",\"buckets\":[";
+    const std::vector<double>& bounds = histogram->bounds();
+    const std::vector<uint64_t> counts = histogram->BucketCounts();
+    for (size_t i = 0; i < counts.size(); ++i) {
+      if (i > 0) out << ',';
+      out << "{\"le\":";
+      if (i < bounds.size()) {
+        out << FormatDouble(bounds[i]);
+      } else {
+        out << "\"inf\"";
+      }
+      out << ",\"count\":" << counts[i] << '}';
+    }
+    out << "]}";
+  }
+  out << "}}";
+  return out.str();
+}
+
+std::string MetricsRegistry::ToTable() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::ostringstream out;
+  auto pad = [](const std::string& s, size_t width) {
+    return s.size() >= width ? s : s + std::string(width - s.size(), ' ');
+  };
+  size_t width = 12;
+  for (const auto& [name, counter] : counters_) {
+    width = std::max(width, name.size());
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    width = std::max(width, name.size());
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    width = std::max(width, name.size());
+  }
+  width += 2;
+  if (!counters_.empty()) {
+    out << "-- counters --\n";
+    for (const auto& [name, counter] : counters_) {
+      out << pad(name, width) << counter->Value() << '\n';
+    }
+  }
+  if (!gauges_.empty()) {
+    out << "-- gauges --\n";
+    for (const auto& [name, gauge] : gauges_) {
+      if (!gauge->has_value()) continue;
+      out << pad(name, width) << FormatShort(gauge->Value()) << '\n';
+    }
+  }
+  if (!histograms_.empty()) {
+    out << "-- histograms (count / mean / min / max) --\n";
+    for (const auto& [name, histogram] : histograms_) {
+      out << pad(name, width) << histogram->Count();
+      if (histogram->Count() > 0) {
+        out << " / " << FormatShort(histogram->Mean()) << " / "
+            << FormatShort(histogram->Min()) << " / "
+            << FormatShort(histogram->Max());
+      }
+      out << '\n';
+    }
+  }
+  return out.str();
+}
+
+std::vector<std::string> MetricsRegistry::CounterNames() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> names;
+  names.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) names.push_back(name);
+  return names;
+}
+
+std::vector<std::string> MetricsRegistry::GaugeNames() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> names;
+  names.reserve(gauges_.size());
+  for (const auto& [name, gauge] : gauges_) names.push_back(name);
+  return names;
+}
+
+std::vector<std::string> MetricsRegistry::HistogramNames() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> names;
+  names.reserve(histograms_.size());
+  for (const auto& [name, histogram] : histograms_) names.push_back(name);
+  return names;
+}
+
+MetricsRegistry& GlobalMetrics() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+}  // namespace obs
+}  // namespace privim

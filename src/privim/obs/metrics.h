@@ -1,0 +1,145 @@
+// Thread-safe metrics registry: counters, gauges, and fixed-bucket
+// histograms, designed for hot-path use.
+//
+// Design rules:
+//  - Recording is lock-free (relaxed atomics / CAS loops); the registry
+//    mutex is taken only on metric *registration* and export.
+//  - Metric objects are never deleted or moved once registered, so call
+//    sites cache the returned pointer in a function-local static and skip
+//    the name lookup on every subsequent hit.
+//  - Instrumentation is zero-RNG and side-effect-free with respect to the
+//    computation it observes: enabling/disabling metrics can never change
+//    a result bit (pinned by tests/integration/determinism_test.cpp).
+//  - This library depends only on the C++ standard library so that even
+//    the lowest layers (thread pool, RNG-free substrate) can link it.
+//
+// Names are dotted paths ("sampling.rwr.restarts"); exports sort by name,
+// so the JSON/table dumps are byte-stable for a given set of values.
+
+#ifndef PRIVIM_OBS_METRICS_H_
+#define PRIVIM_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace privim {
+namespace obs {
+
+/// Global record/no-record switch (default on). Disabling turns every
+/// Increment/Set/Observe into a no-op; it never changes computation results
+/// either way, it only saves the atomic traffic.
+void SetMetricsEnabled(bool enabled);
+bool MetricsEnabled();
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void Increment(uint64_t delta = 1) {
+    if (!MetricsEnabled()) return;
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  uint64_t Value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Last-write-wins scalar (loss, sigma, epsilon, ...). Set from one thread
+/// at a time by convention; concurrent setters are safe but race on which
+/// value sticks.
+class Gauge {
+ public:
+  void Set(double value) {
+    if (!MetricsEnabled()) return;
+    bits_.store(ToBits(value), std::memory_order_relaxed);
+    set_.store(true, std::memory_order_relaxed);
+  }
+  double Value() const;
+  bool has_value() const { return set_.load(std::memory_order_relaxed); }
+  void Reset() {
+    bits_.store(0, std::memory_order_relaxed);
+    set_.store(false, std::memory_order_relaxed);
+  }
+
+ private:
+  static uint64_t ToBits(double value);
+  std::atomic<uint64_t> bits_{0};
+  std::atomic<bool> set_{false};
+};
+
+/// Fixed-bucket histogram. Bucket i counts observations <= bounds[i]; one
+/// implicit overflow bucket counts the rest. Also tracks count/sum/min/max.
+class Histogram {
+ public:
+  /// `upper_bounds` must be strictly increasing and non-empty.
+  explicit Histogram(std::vector<double> upper_bounds);
+
+  void Observe(double value);
+
+  uint64_t Count() const { return count_.load(std::memory_order_relaxed); }
+  double Sum() const;
+  double Min() const;  ///< +inf when empty
+  double Max() const;  ///< -inf when empty
+  double Mean() const;
+  /// Per-bucket counts; size() == bounds().size() + 1 (last = overflow).
+  std::vector<uint64_t> BucketCounts() const;
+  const std::vector<double>& bounds() const { return bounds_; }
+  void Reset();
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::atomic<uint64_t>> buckets_;
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_bits_;
+  std::atomic<uint64_t> min_bits_;
+  std::atomic<uint64_t> max_bits_;
+};
+
+/// Duration bucket boundaries (seconds) shared by the timing histograms.
+std::vector<double> DefaultTimeBucketsSeconds();
+
+/// Name -> metric map. Registration is idempotent: the first call for a
+/// name creates the metric, later calls return the same pointer (for a
+/// histogram, the first call's bounds win).
+class MetricsRegistry {
+ public:
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  Histogram* GetHistogram(const std::string& name,
+                          std::vector<double> upper_bounds);
+
+  /// Zeroes every registered metric (names stay registered, pointers stay
+  /// valid). Use between runs that share the process.
+  void ResetAll();
+
+  /// JSON object: {"counters":{...},"gauges":{...},"histograms":{...}}.
+  /// Keys sorted; doubles printed with %.17g, so the dump round-trips.
+  std::string ToJson() const;
+
+  /// Aligned ASCII dump for terminals.
+  std::string ToTable() const;
+
+  std::vector<std::string> CounterNames() const;
+  std::vector<std::string> GaugeNames() const;
+  std::vector<std::string> HistogramNames() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+/// Process-wide registry. All library instrumentation records here.
+MetricsRegistry& GlobalMetrics();
+
+}  // namespace obs
+}  // namespace privim
+
+#endif  // PRIVIM_OBS_METRICS_H_

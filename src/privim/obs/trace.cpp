@@ -1,0 +1,148 @@
+#include "privim/obs/trace.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <sstream>
+
+namespace privim {
+namespace obs {
+namespace {
+
+std::atomic<bool> g_tracing_enabled{false};
+std::atomic<uint32_t> g_next_tid{0};
+
+uint64_t NowNs() {
+  // One process-wide epoch so timestamps from different threads share an
+  // origin. steady_clock: immune to wall-clock adjustments.
+  static const std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - epoch)
+          .count());
+}
+
+// Each thread owns one buffer; the exporter takes `mutex` to read it. The
+// buffer outlives its thread (shared_ptr in the global list), so events
+// from joined pool workers survive until export.
+struct ThreadBuffer {
+  std::mutex mutex;
+  std::vector<TraceEvent> events;
+  uint32_t tid = 0;
+  uint32_t depth = 0;  // only touched by the owning thread
+};
+
+struct BufferList {
+  std::mutex mutex;
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+};
+
+BufferList& Buffers() {
+  static BufferList* list = new BufferList();
+  return *list;
+}
+
+ThreadBuffer& LocalBuffer() {
+  thread_local std::shared_ptr<ThreadBuffer> buffer = [] {
+    auto owned = std::make_shared<ThreadBuffer>();
+    owned->tid = g_next_tid.fetch_add(1, std::memory_order_relaxed);
+    BufferList& list = Buffers();
+    std::lock_guard<std::mutex> lock(list.mutex);
+    list.buffers.push_back(owned);
+    return owned;
+  }();
+  return *buffer;
+}
+
+std::string EscapeJson(const char* text) {
+  std::string out;
+  for (const char* p = text; *p; ++p) {
+    if (*p == '"' || *p == '\\') out.push_back('\\');
+    out.push_back(*p);
+  }
+  return out;
+}
+
+}  // namespace
+
+void SetTracingEnabled(bool enabled) {
+  g_tracing_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool TracingEnabled() {
+  return g_tracing_enabled.load(std::memory_order_relaxed);
+}
+
+void ClearTrace() {
+  BufferList& list = Buffers();
+  std::lock_guard<std::mutex> lock(list.mutex);
+  for (const auto& buffer : list.buffers) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
+    buffer->events.clear();
+  }
+}
+
+std::vector<TraceEvent> SnapshotTrace() {
+  std::vector<TraceEvent> merged;
+  BufferList& list = Buffers();
+  {
+    std::lock_guard<std::mutex> lock(list.mutex);
+    for (const auto& buffer : list.buffers) {
+      std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
+      merged.insert(merged.end(), buffer->events.begin(),
+                    buffer->events.end());
+    }
+  }
+  std::sort(merged.begin(), merged.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              return a.start_ns != b.start_ns ? a.start_ns < b.start_ns
+                                              : a.tid < b.tid;
+            });
+  return merged;
+}
+
+std::string TraceToChromeJson() {
+  const std::vector<TraceEvent> events = SnapshotTrace();
+  std::ostringstream out;
+  out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  char buffer[96];
+  for (size_t i = 0; i < events.size(); ++i) {
+    const TraceEvent& event = events[i];
+    if (i > 0) out << ',';
+    // ts/dur are microseconds in the trace-event format.
+    std::snprintf(buffer, sizeof(buffer),
+                  "\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,\"pid\":1,"
+                  "\"tid\":%u,\"args\":{\"depth\":%u}",
+                  static_cast<double>(event.start_ns) / 1e3,
+                  static_cast<double>(event.duration_ns) / 1e3, event.tid,
+                  event.depth);
+    out << "{\"name\":\"" << EscapeJson(event.name) << "\"," << buffer << '}';
+  }
+  out << "]}";
+  return out.str();
+}
+
+TraceSpan::TraceSpan(const char* name) : name_(name) {
+  if (!TracingEnabled()) return;
+  ThreadBuffer& buffer = LocalBuffer();
+  depth_ = buffer.depth++;
+  start_ns_ = NowNs();
+  active_ = true;
+}
+
+TraceSpan::~TraceSpan() {
+  if (!active_) return;
+  const uint64_t end_ns = NowNs();
+  ThreadBuffer& buffer = LocalBuffer();
+  buffer.depth = depth_;  // unwind even if tracing was toggled mid-span
+  std::lock_guard<std::mutex> lock(buffer.mutex);
+  buffer.events.push_back(
+      {name_, start_ns_, end_ns - start_ns_, buffer.tid, depth_});
+}
+
+}  // namespace obs
+}  // namespace privim

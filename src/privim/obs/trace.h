@@ -1,0 +1,68 @@
+// Hierarchical scoped trace spans with per-thread buffers.
+//
+// A `TraceSpan` is an RAII scope: construction stamps the start time,
+// destruction appends one complete event to the calling thread's buffer.
+// Buffers are merged at export into Chrome trace-event JSON ("X" complete
+// events; nesting is rendered from the time containment per thread, and
+// each event also carries its scope depth as an argument). Tracing is off
+// by default — a disabled span is two relaxed atomic loads — and is
+// switched on by the `--metrics-out` flag in the CLI/bench front ends.
+//
+// Span names must be string literals (or otherwise outlive the process):
+// the buffer stores the pointer, never a copy, so the hot path does not
+// allocate.
+//
+// Like the metrics registry, tracing is zero-RNG and cannot perturb the
+// traced computation (see tests/integration/determinism_test.cpp).
+
+#ifndef PRIVIM_OBS_TRACE_H_
+#define PRIVIM_OBS_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace privim {
+namespace obs {
+
+struct TraceEvent {
+  const char* name = nullptr;
+  uint64_t start_ns = 0;     ///< since the process trace epoch
+  uint64_t duration_ns = 0;
+  uint32_t tid = 0;          ///< dense per-thread id (main thread = 0)
+  uint32_t depth = 0;        ///< span nesting depth at start, 0 = top level
+};
+
+void SetTracingEnabled(bool enabled);
+bool TracingEnabled();
+
+/// Discards every buffered event (live and finished threads).
+void ClearTrace();
+
+/// Merged snapshot of all per-thread buffers, sorted by (start, tid).
+/// Spans still open at the call are not included.
+std::vector<TraceEvent> SnapshotTrace();
+
+/// Complete Chrome trace-event document: {"traceEvents":[...],...}. Load
+/// via chrome://tracing or https://ui.perfetto.dev.
+std::string TraceToChromeJson();
+
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name);
+  ~TraceSpan();
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  const char* name_;
+  uint64_t start_ns_ = 0;
+  uint32_t depth_ = 0;
+  bool active_ = false;
+};
+
+}  // namespace obs
+}  // namespace privim
+
+#endif  // PRIVIM_OBS_TRACE_H_

@@ -3,8 +3,29 @@
 #include <algorithm>
 
 #include "privim/graph/subgraph.h"
+#include "privim/obs/metrics.h"
+#include "privim/obs/trace.h"
 
 namespace privim {
+namespace {
+
+// Stage yields for the dual-stage sampler. `boundary_nodes` measures how much
+// of the graph stage 1 left unsaturated — the input BES works with.
+void RecordDualStageMetrics(const DualStageResult& result,
+                            int64_t boundary_nodes) {
+  obs::MetricsRegistry& registry = obs::GlobalMetrics();
+  static obs::Counter* stage1 =
+      registry.GetCounter("sampling.dual.stage1_subgraphs");
+  static obs::Counter* stage2 =
+      registry.GetCounter("sampling.dual.stage2_subgraphs");
+  static obs::Counter* boundary =
+      registry.GetCounter("sampling.dual.boundary_nodes");
+  stage1->Increment(static_cast<uint64_t>(result.stage1_subgraphs));
+  stage2->Increment(static_cast<uint64_t>(result.stage2_subgraphs));
+  boundary->Increment(static_cast<uint64_t>(boundary_nodes));
+}
+
+}  // namespace
 
 Status DualStageOptions::Validate() const {
   PRIVIM_RETURN_NOT_OK(stage1.Validate());
@@ -18,6 +39,7 @@ Result<DualStageResult> DualStageSampling(const Graph& graph,
                                           const DualStageOptions& options,
                                           Rng* rng) {
   PRIVIM_RETURN_NOT_OK(options.Validate());
+  obs::TraceSpan span("sampling/dual_stage");
 
   DualStageResult result;
   result.frequency.assign(graph.num_nodes(), 0);
@@ -29,7 +51,10 @@ Result<DualStageResult> DualStageSampling(const Graph& graph,
   result.stage1_subgraphs = static_cast<int64_t>(stage1.value().size());
   result.container.Append(std::move(stage1).value());
 
-  if (!options.enable_boundary_stage) return result;
+  if (!options.enable_boundary_stage) {
+    RecordDualStageMetrics(result, /*boundary_nodes=*/0);
+    return result;
+  }
 
   // Stage 2: Boundary-Enhanced Sampling on the graph of unsaturated nodes.
   std::vector<NodeId> remaining;
@@ -38,7 +63,10 @@ Result<DualStageResult> DualStageSampling(const Graph& graph,
       remaining.push_back(v);
     }
   }
-  if (remaining.size() < 2) return result;
+  if (remaining.size() < 2) {
+    RecordDualStageMetrics(result, static_cast<int64_t>(remaining.size()));
+    return result;
+  }
 
   Result<Subgraph> boundary = InducedSubgraph(graph, remaining);
   if (!boundary.ok()) return boundary.status();
@@ -69,6 +97,7 @@ Result<DualStageResult> DualStageSampling(const Graph& graph,
     ++result.stage2_subgraphs;
     result.container.Add(std::move(sub));
   }
+  RecordDualStageMetrics(result, static_cast<int64_t>(remaining.size()));
   return result;
 }
 

@@ -6,9 +6,19 @@
 
 #include "privim/common/thread_pool.h"
 #include "privim/graph/traversal.h"
+#include "privim/obs/metrics.h"
+#include "privim/obs/trace.h"
 
 namespace privim {
 namespace {
+
+// Alg. 3 observability tallies for one walk attempt. Task-local; folded
+// into the global counters in wave-commit order so totals are identical at
+// every thread count.
+struct FreqWalkTally {
+  int64_t restarts = 0;         // tau-restarts
+  int64_t saturated_steps = 0;  // steps where every neighbor hit the M cap
+};
 
 // Start nodes are processed in fixed-width waves; walks inside a wave run in
 // parallel against the frequencies committed before the wave. The width is a
@@ -22,7 +32,7 @@ constexpr int64_t kWaveWidth = 32;
 std::vector<NodeId> TryFreqWalk(const Graph& graph,
                                 const FreqSamplingOptions& options,
                                 const std::vector<int64_t>& frequency,
-                                NodeId v0, Rng* rng) {
+                                NodeId v0, Rng* rng, FreqWalkTally* tally) {
   // e_v of Eq. 9: inverse-polynomial in the running frequency, 0 once the
   // node saturates the threshold M.
   auto eligibility = [&](NodeId v) -> double {
@@ -37,7 +47,10 @@ std::vector<NodeId> TryFreqWalk(const Graph& graph,
   std::vector<double> weights;
   NodeId current = v0;
   for (int64_t step = 0; step < options.walk_length; ++step) {
-    if (rng->NextBernoulli(options.restart_probability)) current = v0;
+    if (rng->NextBernoulli(options.restart_probability)) {
+      current = v0;
+      ++tally->restarts;
+    }
     candidates.clear();
     weights.clear();
     // Walk the underlying undirected structure (see rwr_sampler.cpp).
@@ -50,6 +63,7 @@ std::vector<NodeId> TryFreqWalk(const Graph& graph,
     }
     if (candidates.empty()) {
       current = v0;  // every neighbor saturated: restart
+      ++tally->saturated_steps;
       continue;
     }
     const size_t pick = rng->NextDiscrete(weights);
@@ -97,6 +111,10 @@ Result<std::vector<Subgraph>> FreqSampling(const Graph& graph,
   if (static_cast<int64_t>(frequency->size()) != graph.num_nodes()) {
     return Status::InvalidArgument("frequency vector size mismatch");
   }
+  obs::TraceSpan span("sampling/freq_sampling");
+  FreqWalkTally total;
+  int64_t walks_started = 0, saturated_starts = 0, stale_walks = 0,
+          reruns = 0;
 
   // Per-start-node RNG streams (see rwr_sampler.cpp): walks inside a wave
   // are independent of scheduling, and the commit phase below runs in start
@@ -116,19 +134,29 @@ Result<std::vector<Subgraph>> FreqSampling(const Graph& graph,
     for (NodeId v0 = static_cast<NodeId>(wave_begin); v0 < wave_end; ++v0) {
       Rng select = SplitRng(select_seed, static_cast<uint64_t>(v0));
       if (!select.NextBernoulli(options.sampling_rate)) continue;
-      if ((*frequency)[v0] >= options.frequency_threshold) continue;
+      if ((*frequency)[v0] >= options.frequency_threshold) {
+        ++saturated_starts;  // SCS cap hit before the walk even started
+        continue;
+      }
       if (graph.OutDegree(v0) + graph.InDegree(v0) == 0) continue;
       starts.push_back(v0);
     }
     if (starts.empty()) continue;
+    walks_started += static_cast<int64_t>(starts.size());
 
     // Frequencies are frozen for the duration of the wave: tasks only read
     // the vector, commits happen after the join.
     walks.assign(starts.size(), {});
+    std::vector<FreqWalkTally> tallies(starts.size());
     GlobalThreadPool().ParallelFor(starts.size(), [&](size_t i) {
       Rng task_rng = SplitRng(walk_seed, static_cast<uint64_t>(starts[i]));
-      walks[i] = TryFreqWalk(graph, options, *frequency, starts[i], &task_rng);
+      walks[i] = TryFreqWalk(graph, options, *frequency, starts[i], &task_rng,
+                             &tallies[i]);
     });
+    for (const FreqWalkTally& tally : tallies) {
+      total.restarts += tally.restarts;
+      total.saturated_steps += tally.saturated_steps;
+    }
 
     // Commit in start order. The SCS cap (Sec. IV-A) stays hard: a walk is
     // only committed while every member node is strictly below M, so no
@@ -145,10 +173,12 @@ Result<std::vector<Subgraph>> FreqSampling(const Graph& graph,
         }
       }
       if (!fresh) {
+        ++stale_walks;
         if ((*frequency)[starts[i]] >= options.frequency_threshold) continue;
+        ++reruns;
         Rng rerun_rng = SplitRng(rerun_seed, static_cast<uint64_t>(starts[i]));
-        walks[i] =
-            TryFreqWalk(graph, options, *frequency, starts[i], &rerun_rng);
+        walks[i] = TryFreqWalk(graph, options, *frequency, starts[i],
+                               &rerun_rng, &total);
         if (walks[i].empty()) continue;
       }
       Result<Subgraph> sub = InducedSubgraph(graph, walks[i]);
@@ -158,6 +188,30 @@ Result<std::vector<Subgraph>> FreqSampling(const Graph& graph,
       subgraphs.push_back(std::move(sub).value());
     }
   }
+
+  obs::MetricsRegistry& registry = obs::GlobalMetrics();
+  static obs::Counter* started =
+      registry.GetCounter("sampling.freq.walks_started");
+  static obs::Counter* committed =
+      registry.GetCounter("sampling.freq.subgraphs_committed");
+  static obs::Counter* restarts =
+      registry.GetCounter("sampling.freq.restarts");
+  static obs::Counter* saturated_steps_counter =
+      registry.GetCounter("sampling.freq.saturated_steps");
+  static obs::Counter* saturated_starts_counter =
+      registry.GetCounter("sampling.freq.cap_saturated_starts");
+  static obs::Counter* stale =
+      registry.GetCounter("sampling.freq.stale_walks");
+  static obs::Counter* rerun_counter =
+      registry.GetCounter("sampling.freq.reruns");
+  started->Increment(static_cast<uint64_t>(walks_started));
+  committed->Increment(subgraphs.size());
+  restarts->Increment(static_cast<uint64_t>(total.restarts));
+  saturated_steps_counter->Increment(
+      static_cast<uint64_t>(total.saturated_steps));
+  saturated_starts_counter->Increment(static_cast<uint64_t>(saturated_starts));
+  stale->Increment(static_cast<uint64_t>(stale_walks));
+  rerun_counter->Increment(static_cast<uint64_t>(reruns));
   return subgraphs;
 }
 

@@ -6,8 +6,23 @@
 
 #include "privim/common/thread_pool.h"
 #include "privim/graph/traversal.h"
+#include "privim/obs/metrics.h"
+#include "privim/obs/trace.h"
 
 namespace privim {
+namespace {
+
+// Per-walk observability tallies, kept in task-local storage and folded into
+// the global counters on the calling thread after the join — the totals are
+// therefore identical at every thread count, like the sampler output itself.
+struct WalkTally {
+  int64_t restarts = 0;   // explicit tau-restarts
+  int64_t dead_ends = 0;  // forced restarts (no in-ball neighbor)
+  bool ball_too_small = false;
+  bool completed = false;
+};
+
+}  // namespace
 
 Status RwrSamplerOptions::Validate() const {
   if (subgraph_size < 2) {
@@ -30,6 +45,7 @@ Result<SubgraphContainer> ExtractSubgraphsRwr(const Graph& graph,
                                               const RwrSamplerOptions& options,
                                               Rng* rng) {
   PRIVIM_RETURN_NOT_OK(options.Validate());
+  obs::TraceSpan span("sampling/rwr_extract");
 
   // Every start node gets its own RNG stream derived from two base seeds
   // drawn serially from the caller's generator, so walks are independent of
@@ -48,8 +64,10 @@ Result<SubgraphContainer> ExtractSubgraphsRwr(const Graph& graph,
 
   std::vector<std::optional<Subgraph>> extracted(starts.size());
   std::vector<std::optional<Status>> errors(starts.size());
+  std::vector<WalkTally> tallies(starts.size());
   GlobalThreadPool().ParallelFor(starts.size(), [&](size_t task) {
     const NodeId v0 = starts[task];
+    WalkTally& tally = tallies[task];
     Rng task_rng = SplitRng(walk_seed, static_cast<uint64_t>(v0));
 
     // N_r(v0): membership set for the r-hop constraint of Alg. 1 line 10.
@@ -57,7 +75,10 @@ Result<SubgraphContainer> ExtractSubgraphsRwr(const Graph& graph,
     // graphs (whose sinks would otherwise strand the walk) sample cleanly.
     const std::vector<NodeId> ball =
         UndirectedRHopBall(graph, v0, options.hop_limit);
-    if (static_cast<int64_t>(ball.size()) < options.subgraph_size) return;
+    if (static_cast<int64_t>(ball.size()) < options.subgraph_size) {
+      tally.ball_too_small = true;
+      return;
+    }
     std::unordered_set<NodeId> in_ball(ball.begin(), ball.end());
 
     std::vector<NodeId> walk_nodes{v0};
@@ -65,13 +86,17 @@ Result<SubgraphContainer> ExtractSubgraphsRwr(const Graph& graph,
     NodeId current = v0;
     std::vector<NodeId> candidates;
     for (int64_t step = 0; step < options.walk_length; ++step) {
-      if (task_rng.NextBernoulli(options.restart_probability)) current = v0;
+      if (task_rng.NextBernoulli(options.restart_probability)) {
+        current = v0;
+        ++tally.restarts;
+      }
       candidates.clear();
       for (NodeId u : UndirectedNeighbors(graph, current)) {
         if (in_ball.count(u)) candidates.push_back(u);
       }
       if (candidates.empty()) {
         current = v0;  // dead end inside the ball: restart
+        ++tally.dead_ends;
         continue;
       }
       const NodeId next = candidates[task_rng.NextBounded(candidates.size())];
@@ -81,6 +106,7 @@ Result<SubgraphContainer> ExtractSubgraphsRwr(const Graph& graph,
         Result<Subgraph> sub = InducedSubgraph(graph, walk_nodes);
         if (sub.ok()) {
           extracted[task].emplace(std::move(sub).value());
+          tally.completed = true;
         } else {
           errors[task] = sub.status();
         }
@@ -89,13 +115,34 @@ Result<SubgraphContainer> ExtractSubgraphsRwr(const Graph& graph,
     }
   });
 
+  WalkTally total;
+  int64_t completed = 0, rejected_ball = 0;
   SubgraphContainer container;
   for (size_t task = 0; task < starts.size(); ++task) {
     if (errors[task].has_value()) return *errors[task];
+    total.restarts += tallies[task].restarts;
+    total.dead_ends += tallies[task].dead_ends;
+    completed += tallies[task].completed ? 1 : 0;
+    rejected_ball += tallies[task].ball_too_small ? 1 : 0;
     if (extracted[task].has_value()) {
       container.Add(std::move(*extracted[task]));
     }
   }
+  obs::MetricsRegistry& metrics = obs::GlobalMetrics();
+  static obs::Counter* walks =
+      metrics.GetCounter("sampling.rwr.walks_started");
+  static obs::Counter* walks_completed =
+      metrics.GetCounter("sampling.rwr.walks_completed");
+  static obs::Counter* restarts = metrics.GetCounter("sampling.rwr.restarts");
+  static obs::Counter* dead_ends =
+      metrics.GetCounter("sampling.rwr.dead_ends");
+  static obs::Counter* ball_rejections =
+      metrics.GetCounter("sampling.rwr.ball_too_small");
+  walks->Increment(starts.size());
+  walks_completed->Increment(static_cast<uint64_t>(completed));
+  restarts->Increment(static_cast<uint64_t>(total.restarts));
+  dead_ends->Increment(static_cast<uint64_t>(total.dead_ends));
+  ball_rejections->Increment(static_cast<uint64_t>(rejected_ball));
   return container;
 }
 

@@ -66,6 +66,107 @@ TEST(FlagsTest, NonFlagArgumentsIgnored) {
   EXPECT_EQ(flags.GetInt("k", 0), 1);
 }
 
+TEST(FlagsTest, GetValidatedIntAcceptsWellFormedValues) {
+  Flags flags = ParseFlags({"--iters=42", "--offset=-7"});
+  Result<int64_t> iters = flags.GetValidatedInt("iters", 0);
+  ASSERT_TRUE(iters.ok());
+  EXPECT_EQ(iters.value(), 42);
+  Result<int64_t> offset = flags.GetValidatedInt("offset", 0);
+  ASSERT_TRUE(offset.ok());
+  EXPECT_EQ(offset.value(), -7);
+  Result<int64_t> absent = flags.GetValidatedInt("missing", 9);
+  ASSERT_TRUE(absent.ok());
+  EXPECT_EQ(absent.value(), 9);
+}
+
+TEST(FlagsTest, GetValidatedIntRejectsMalformedValues) {
+  for (const char* bad : {"--n=abc", "--n=12x", "--n=1.5", "--n="}) {
+    Flags flags = ParseFlags({bad});
+    Result<int64_t> n = flags.GetValidatedInt("n", 9);
+    EXPECT_FALSE(n.ok()) << bad;
+    EXPECT_EQ(n.status().code(), StatusCode::kInvalidArgument) << bad;
+    EXPECT_NE(n.status().message().find("--n expects an integer"),
+              std::string::npos)
+        << n.status().ToString();
+  }
+}
+
+TEST(FlagsTest, ValidatedThreadsAcceptsZeroAndPositive) {
+  Result<int64_t> zero = ParseFlags({"--threads=0"}).ValidatedThreads();
+  ASSERT_TRUE(zero.ok());
+  EXPECT_EQ(zero.value(), 0);
+  Result<int64_t> four = ParseFlags({"--threads", "4"}).ValidatedThreads();
+  ASSERT_TRUE(four.ok());
+  EXPECT_EQ(four.value(), 4);
+}
+
+TEST(FlagsTest, ValidatedThreadsRejectsNegative) {
+  Result<int64_t> threads = ParseFlags({"--threads=-3"}).ValidatedThreads();
+  ASSERT_FALSE(threads.ok());
+  EXPECT_EQ(threads.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(threads.status().message().find("must be >= 0"), std::string::npos)
+      << threads.status().ToString();
+}
+
+TEST(FlagsTest, ValidatedThreadsRejectsNonNumeric) {
+  Result<int64_t> threads = ParseFlags({"--threads=many"}).ValidatedThreads();
+  ASSERT_FALSE(threads.ok());
+  EXPECT_EQ(threads.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(FlagsTest, ValidatedThreadsChecksTheEnvironmentFallback) {
+  ::setenv("PRIVIM_THREADS", "8", 1);
+  Result<int64_t> from_env = ParseFlags({}).ValidatedThreads();
+  ASSERT_TRUE(from_env.ok());
+  EXPECT_EQ(from_env.value(), 8);
+
+  // The flag wins over the environment.
+  Result<int64_t> from_flag = ParseFlags({"--threads=2"}).ValidatedThreads();
+  ASSERT_TRUE(from_flag.ok());
+  EXPECT_EQ(from_flag.value(), 2);
+
+  ::setenv("PRIVIM_THREADS", "lots", 1);
+  Result<int64_t> bad_env = ParseFlags({}).ValidatedThreads();
+  EXPECT_FALSE(bad_env.ok());
+  EXPECT_EQ(bad_env.status().code(), StatusCode::kInvalidArgument);
+
+  ::setenv("PRIVIM_THREADS", "-1", 1);
+  EXPECT_FALSE(ParseFlags({}).ValidatedThreads().ok());
+  ::unsetenv("PRIVIM_THREADS");
+}
+
+TEST(FlagsTest, MetricsOutPathAbsentIsEmptyNotError) {
+  Result<std::string> path = ParseFlags({}).MetricsOutPath();
+  ASSERT_TRUE(path.ok());
+  EXPECT_TRUE(path.value().empty());
+}
+
+TEST(FlagsTest, MetricsOutPathReturnsTheGivenPath) {
+  Result<std::string> eq =
+      ParseFlags({"--metrics-out=run.json"}).MetricsOutPath();
+  ASSERT_TRUE(eq.ok());
+  EXPECT_EQ(eq.value(), "run.json");
+  Result<std::string> sp =
+      ParseFlags({"--metrics-out", "/tmp/m.json"}).MetricsOutPath();
+  ASSERT_TRUE(sp.ok());
+  EXPECT_EQ(sp.value(), "/tmp/m.json");
+}
+
+TEST(FlagsTest, MetricsOutPathRejectsMissingPath) {
+  // Bare flag at end of line, bare flag before another flag, and an
+  // explicitly empty value are all "present without a path".
+  for (auto args : {std::vector<std::string>{"--metrics-out"},
+                    std::vector<std::string>{"--metrics-out", "--verbose"},
+                    std::vector<std::string>{"--metrics-out="}}) {
+    Result<std::string> path = ParseFlags(args).MetricsOutPath();
+    EXPECT_FALSE(path.ok());
+    EXPECT_EQ(path.status().code(), StatusCode::kInvalidArgument);
+    EXPECT_NE(path.status().message().find("requires a file path"),
+              std::string::npos)
+        << path.status().ToString();
+  }
+}
+
 TEST(FlagsTest, GetEnvReadsEnvironment) {
   ::setenv("PRIVIM_FLAGS_TEST_VAR", "hello", 1);
   EXPECT_EQ(Flags::GetEnv("PRIVIM_FLAGS_TEST_VAR", "d"), "hello");

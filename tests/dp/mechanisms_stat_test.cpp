@@ -1,0 +1,168 @@
+// Statistical distribution tests for the noise mechanisms: fixed seeds,
+// large samples, and tolerances several standard errors wide, so the suite
+// is deterministic today yet still catches a mis-scaled or mis-shaped
+// mechanism (e.g. variance off by 2x, or Gaussian silently replacing the
+// heavy-tailed SML noise).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "privim/common/rng.h"
+#include "privim/dp/mechanisms.h"
+
+namespace privim {
+namespace {
+
+struct SampleStats {
+  double mean = 0.0;
+  double variance = 0.0;
+  double kurtosis = 0.0;       // standardized 4th moment (Gaussian = 3)
+  double tail_frac_2 = 0.0;    // fraction with |x| > 2 * stddev_expected
+  double tail_frac_3 = 0.0;    // fraction with |x| > 3 * stddev_expected
+};
+
+SampleStats Summarize(const std::vector<float>& samples,
+                      double stddev_expected) {
+  SampleStats stats;
+  const double n = static_cast<double>(samples.size());
+  double sum = 0.0;
+  for (float x : samples) sum += x;
+  stats.mean = sum / n;
+  double m2 = 0.0, m4 = 0.0;
+  int64_t beyond2 = 0, beyond3 = 0;
+  for (float x : samples) {
+    const double d = x - stats.mean;
+    m2 += d * d;
+    m4 += d * d * d * d;
+    if (std::fabs(x) > 2.0 * stddev_expected) ++beyond2;
+    if (std::fabs(x) > 3.0 * stddev_expected) ++beyond3;
+  }
+  stats.variance = m2 / n;
+  stats.kurtosis = (m4 / n) / (stats.variance * stats.variance);
+  stats.tail_frac_2 = static_cast<double>(beyond2) / n;
+  stats.tail_frac_3 = static_cast<double>(beyond3) / n;
+  return stats;
+}
+
+TEST(MechanismsStatTest, GaussianNoiseMatchesUnitNormalMoments) {
+  constexpr size_t kSamples = 200000;
+  std::vector<float> noise(kSamples, 0.0f);
+  Rng rng(20240801);
+  AddGaussianNoise(&noise, 1.0, &rng);
+  const SampleStats stats = Summarize(noise, 1.0);
+
+  // Standard errors at n = 200k: mean 0.0022, variance 0.0032.
+  EXPECT_NEAR(stats.mean, 0.0, 0.02);
+  EXPECT_NEAR(stats.variance, 1.0, 0.03);
+  EXPECT_NEAR(stats.kurtosis, 3.0, 0.2);
+  // Two-sided Gaussian tail mass: P(|X| > 2) = 4.55%, P(|X| > 3) = 0.27%.
+  EXPECT_NEAR(stats.tail_frac_2, 0.0455, 0.005);
+  EXPECT_NEAR(stats.tail_frac_3, 0.0027, 0.001);
+}
+
+TEST(MechanismsStatTest, GaussianNoiseVarianceScalesQuadratically) {
+  constexpr size_t kSamples = 100000;
+  std::vector<float> noise(kSamples, 0.0f);
+  Rng rng(7);
+  AddGaussianNoise(&noise, 3.0, &rng);
+  const SampleStats stats = Summarize(noise, 3.0);
+  EXPECT_NEAR(stats.variance, 9.0, 0.4);
+  EXPECT_NEAR(stats.tail_frac_2, 0.0455, 0.006);
+}
+
+TEST(MechanismsStatTest, GaussianNoiseCentersOnTheOriginalValues) {
+  constexpr size_t kSamples = 100000;
+  std::vector<float> noise(kSamples, 5.0f);
+  Rng rng(11);
+  AddGaussianNoise(&noise, 0.5, &rng);
+  double sum = 0.0;
+  for (float x : noise) sum += x;
+  EXPECT_NEAR(sum / static_cast<double>(kSamples), 5.0, 0.02);
+}
+
+TEST(MechanismsStatTest, SmlNoiseHasLaplaceMarginals) {
+  // One coordinate per call: with a fresh W ~ Exp(1) each draw, the
+  // marginal sqrt(W) * N(0, 1) is the standard Laplace with variance 1
+  // and P(|X| > t) = exp(-sqrt(2) t).
+  constexpr size_t kSamples = 60000;
+  std::vector<float> samples;
+  samples.reserve(kSamples);
+  Rng rng(20240802);
+  for (size_t i = 0; i < kSamples; ++i) {
+    std::vector<float> one{0.0f};
+    AddSmlNoise(&one, 1.0, &rng);
+    samples.push_back(one[0]);
+  }
+  const SampleStats stats = Summarize(samples, 1.0);
+
+  EXPECT_NEAR(stats.mean, 0.0, 0.03);
+  EXPECT_NEAR(stats.variance, 1.0, 0.08);
+  // Laplace kurtosis is 6: sharply heavier-tailed than Gaussian.
+  EXPECT_GT(stats.kurtosis, 4.5);
+  EXPECT_NEAR(stats.kurtosis, 6.0, 1.5);
+  // exp(-2 sqrt(2)) = 5.91%, exp(-3 sqrt(2)) = 1.44%.
+  EXPECT_NEAR(stats.tail_frac_2, 0.0591, 0.008);
+  EXPECT_NEAR(stats.tail_frac_3, 0.0144, 0.004);
+}
+
+TEST(MechanismsStatTest, SmlNoiseSharesOneScaleMixerPerCall) {
+  // Within a single call every coordinate is scaled by the same sqrt(W), so
+  // coordinate magnitudes are positively correlated — across many calls the
+  // per-call sample variances spread far more than independent Gaussians
+  // would (relative variance of a chi-square would be 2/n; Exp(1) mixing
+  // adds variance 1 of the scale itself).
+  constexpr size_t kDim = 256;
+  constexpr size_t kCalls = 2000;
+  std::vector<double> call_variances;
+  call_variances.reserve(kCalls);
+  Rng rng(13);
+  for (size_t c = 0; c < kCalls; ++c) {
+    std::vector<float> vec(kDim, 0.0f);
+    AddSmlNoise(&vec, 1.0, &rng);
+    double m2 = 0.0;
+    for (float x : vec) m2 += static_cast<double>(x) * x;
+    call_variances.push_back(m2 / static_cast<double>(kDim));
+  }
+  double mean_var = 0.0;
+  for (double v : call_variances) mean_var += v;
+  mean_var /= static_cast<double>(kCalls);
+  double var_of_var = 0.0;
+  for (double v : call_variances) {
+    var_of_var += (v - mean_var) * (v - mean_var);
+  }
+  var_of_var /= static_cast<double>(kCalls);
+
+  EXPECT_NEAR(mean_var, 1.0, 0.1);
+  // Independent Gaussian coordinates would give var-of-var ~= 2/256 = 0.008;
+  // the shared exponential mixer pushes it to ~= 1.
+  EXPECT_GT(var_of_var, 0.3);
+}
+
+TEST(MechanismsStatTest, NoiseIsDeterministicInTheSeed) {
+  std::vector<float> a(64, 0.0f), b(64, 0.0f);
+  Rng rng_a(99), rng_b(99);
+  AddGaussianNoise(&a, 1.0, &rng_a);
+  AddGaussianNoise(&b, 1.0, &rng_b);
+  EXPECT_EQ(a, b);
+
+  std::vector<float> c(64, 0.0f), d(64, 0.0f);
+  Rng rng_c(99), rng_d(99);
+  AddSmlNoise(&c, 1.0, &rng_c);
+  AddSmlNoise(&d, 1.0, &rng_d);
+  EXPECT_EQ(c, d);
+}
+
+TEST(MechanismsStatTest, ZeroStddevAddsNothing) {
+  std::vector<float> vec{1.0f, -2.0f, 3.0f};
+  const std::vector<float> original = vec;
+  Rng rng(5);
+  AddGaussianNoise(&vec, 0.0, &rng);
+  EXPECT_EQ(vec, original);
+  AddSmlNoise(&vec, 0.0, &rng);
+  EXPECT_EQ(vec, original);
+}
+
+}  // namespace
+}  // namespace privim

@@ -2,6 +2,7 @@
 
 #include <cstdio>
 #include <fstream>
+#include <vector>
 
 #include "gtest/gtest.h"
 #include "testing/graph_fixtures.h"
@@ -66,6 +67,120 @@ TEST(GraphIoTest, MalformedLineFails) {
 TEST(GraphIoTest, MissingFileFails) {
   EXPECT_EQ(LoadEdgeList("/nonexistent/file.txt", false).status().code(),
             StatusCode::kIOError);
+}
+
+TEST(GraphIoTest, EmptyFileLoadsAsEmptyGraph) {
+  const std::string path = WriteTempFile("empty.txt", "");
+  Result<Graph> graph = LoadEdgeList(path, false);
+  ASSERT_TRUE(graph.ok()) << graph.status().ToString();
+  EXPECT_EQ(graph->num_nodes(), 0);
+  EXPECT_EQ(graph->num_arcs(), 0);
+  std::remove(path.c_str());
+}
+
+TEST(GraphIoTest, CommentOnlyFileLoadsAsEmptyGraph) {
+  const std::string path = WriteTempFile("comments.txt",
+                                         "# only comments here\n"
+                                         "% and alt comments\n"
+                                         "\n"
+                                         "   \n"
+                                         "\t\n");
+  Result<Graph> graph = LoadEdgeList(path, false);
+  ASSERT_TRUE(graph.ok()) << graph.status().ToString();
+  EXPECT_EQ(graph->num_nodes(), 0);
+  EXPECT_EQ(graph->num_arcs(), 0);
+  std::remove(path.c_str());
+}
+
+TEST(GraphIoTest, CrlfLineEndingsParseWithoutCorruption) {
+  // Windows-saved edge lists: every line ends "\r\n", including blank and
+  // comment lines. The '\r' must not corrupt the weight column, turn blank
+  // lines into parse errors, or leak into node ids.
+  const std::string path = WriteTempFile("crlf.txt",
+                                         "# comment\r\n"
+                                         "\r\n"
+                                         "0 1 0.25\r\n"
+                                         "1 2\r\n"
+                                         "   \r\n"
+                                         "2 0 0.75\r\n");
+  Result<Graph> graph = LoadEdgeList(path, false);
+  ASSERT_TRUE(graph.ok()) << graph.status().ToString();
+  EXPECT_EQ(graph->num_nodes(), 3);
+  EXPECT_EQ(graph->num_arcs(), 3);
+  EXPECT_FLOAT_EQ(graph->OutWeights(0)[0], 0.25f);
+  EXPECT_FLOAT_EQ(graph->OutWeights(1)[0], 1.0f);  // default weight intact
+  EXPECT_FLOAT_EQ(graph->OutWeights(2)[0], 0.75f);
+  std::remove(path.c_str());
+}
+
+TEST(GraphIoTest, CrlfAndUnixLoadsAgree) {
+  const std::string unix_path =
+      WriteTempFile("agree_unix.txt", "0 1 0.5\n1 2\n2 0\n");
+  const std::string crlf_path =
+      WriteTempFile("agree_crlf.txt", "0 1 0.5\r\n1 2\r\n2 0\r\n");
+  Result<Graph> unix_graph = LoadEdgeList(unix_path, false);
+  Result<Graph> crlf_graph = LoadEdgeList(crlf_path, false);
+  ASSERT_TRUE(unix_graph.ok());
+  ASSERT_TRUE(crlf_graph.ok());
+  EXPECT_EQ(unix_graph->num_nodes(), crlf_graph->num_nodes());
+  EXPECT_EQ(unix_graph->num_arcs(), crlf_graph->num_arcs());
+  for (NodeId v = 0; v < unix_graph->num_nodes(); ++v) {
+    const auto unix_out = unix_graph->OutNeighbors(v);
+    const auto crlf_out = crlf_graph->OutNeighbors(v);
+    EXPECT_EQ(std::vector<NodeId>(unix_out.begin(), unix_out.end()),
+              std::vector<NodeId>(crlf_out.begin(), crlf_out.end()));
+  }
+  std::remove(unix_path.c_str());
+  std::remove(crlf_path.c_str());
+}
+
+TEST(GraphIoTest, DuplicateEdgesCollapseToOneArc) {
+  // GraphBuilder dedups repeated (src, dst) pairs, so loading a file that
+  // lists the same edge twice yields a simple graph — no parallel arcs.
+  const std::string path =
+      WriteTempFile("dupes.txt", "0 1 0.5\n0 1 0.5\n1 0\n");
+  Result<Graph> graph = LoadEdgeList(path, false);
+  ASSERT_TRUE(graph.ok()) << graph.status().ToString();
+  EXPECT_EQ(graph->num_nodes(), 2);
+  EXPECT_EQ(graph->num_arcs(), 2);
+  ASSERT_EQ(graph->OutNeighbors(0).size(), 1u);
+  EXPECT_EQ(graph->OutNeighbors(0)[0], 1);
+  EXPECT_FLOAT_EQ(graph->OutWeights(0)[0], 0.5f);
+  std::remove(path.c_str());
+}
+
+TEST(GraphIoTest, UndirectedDuplicateEdgesStaySymmetric) {
+  // "0 1" listed twice in undirected mode still yields exactly one arc per
+  // direction after symmetrization + dedup.
+  const std::string path = WriteTempFile("dupes_undir.txt", "0 1\n1 0\n0 1\n");
+  Result<Graph> graph = LoadEdgeList(path, /*undirected=*/true);
+  ASSERT_TRUE(graph.ok()) << graph.status().ToString();
+  EXPECT_EQ(graph->num_arcs(), 2);
+  ASSERT_EQ(graph->OutNeighbors(0).size(), 1u);
+  ASSERT_EQ(graph->OutNeighbors(1).size(), 1u);
+  std::remove(path.c_str());
+}
+
+TEST(GraphIoTest, SelfLoopOnlyFileLoadsNodesWithoutArcs) {
+  // Self-loops are dropped but their endpoints still intern node ids.
+  const std::string path = WriteTempFile("only_loops.txt", "0 0\n5 5\n");
+  Result<Graph> graph = LoadEdgeList(path, false);
+  ASSERT_TRUE(graph.ok()) << graph.status().ToString();
+  EXPECT_EQ(graph->num_arcs(), 0);
+  std::remove(path.c_str());
+}
+
+TEST(GraphIoTest, SaveLoadRoundTripPreservesWeightsExactly) {
+  const Graph original =
+      testing::MakeGraph(4, {{0, 1, 0.25f}, {1, 2, 0.5f}, {3, 0, 1.0f}});
+  const std::string path = ::testing::TempDir() + "/roundtrip_weights.txt";
+  ASSERT_TRUE(SaveEdgeList(original, path).ok());
+  Result<Graph> loaded = LoadEdgeList(path, false);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_FLOAT_EQ(loaded->OutWeights(0)[0], 0.25f);
+  EXPECT_FLOAT_EQ(loaded->OutWeights(1)[0], 0.5f);
+  EXPECT_FLOAT_EQ(loaded->OutWeights(3)[0], 1.0f);
+  std::remove(path.c_str());
 }
 
 TEST(GraphIoTest, SaveLoadRoundTrip) {

@@ -5,6 +5,8 @@
 // (SplitRng) plus fixed-order reductions; these tests pin it down.
 
 #include <memory>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "gtest/gtest.h"
@@ -15,6 +17,8 @@
 #include "privim/diffusion/lt_model.h"
 #include "privim/diffusion/sis_model.h"
 #include "privim/graph/generators.h"
+#include "privim/obs/metrics.h"
+#include "privim/obs/trace.h"
 #include "privim/sampling/dual_stage.h"
 #include "privim/sampling/freq_sampler.h"
 #include "privim/sampling/rwr_sampler.h"
@@ -185,6 +189,93 @@ TEST(DeterminismTest, DpTrainingThreadCountInvariant) {
     // Bitwise equality, not approximate: the reduction order is fixed.
     EXPECT_EQ(serial[i], threaded[i]) << "parameter " << i;
   }
+}
+
+// The observability layer must be a pure observer: running with metrics
+// and tracing enabled has to produce the same bits as running with both
+// disabled. Instrumentation is zero-RNG by design; this test pins it.
+TEST(DeterminismTest, InstrumentationObserverEffectFree) {
+  Rng graph_rng(59);
+  Result<Graph> base = BarabasiAlbert(300, 4, &graph_rng);
+  ASSERT_TRUE(base.ok());
+  const Graph graph = WithUniformWeights(base.value(), 1.0f);
+
+  auto run_pipeline = [&] {
+    PrivImOptions options;
+    options.subgraph_size = 12;
+    options.frequency_threshold = 4;
+    options.sampling_rate = 0.5;
+    options.batch_size = 8;
+    options.iterations = 4;
+    options.gnn.num_layers = 2;
+    options.gnn.hidden_dim = 8;
+    options.seed_set_size = 10;
+    Result<PrivImResult> result = RunPrivIm(graph, graph, options, 61);
+    EXPECT_TRUE(result.ok());
+    std::vector<float> scores;
+    if (result.ok()) {
+      const float* data = result->eval_scores.data();
+      scores.assign(data, data + result->eval_scores.size());
+    }
+    return std::make_pair(result.ok() ? result->seeds : std::vector<NodeId>(),
+                          std::move(scores));
+  };
+
+  obs::SetMetricsEnabled(true);
+  obs::SetTracingEnabled(true);
+  auto instrumented = run_pipeline();
+  EXPECT_FALSE(obs::SnapshotTrace().empty());
+
+  obs::SetTracingEnabled(false);
+  obs::ClearTrace();
+  obs::SetMetricsEnabled(false);
+  auto bare = run_pipeline();
+  obs::SetMetricsEnabled(true);
+
+  EXPECT_EQ(instrumented.first, bare.first);  // identical seed sets
+  ASSERT_EQ(instrumented.second.size(), bare.second.size());
+  for (size_t i = 0; i < instrumented.second.size(); ++i) {
+    // Bitwise, not approximate: instrumentation must not touch the math.
+    EXPECT_EQ(instrumented.second[i], bare.second[i]) << "score " << i;
+  }
+  EXPECT_FALSE(instrumented.first.empty());
+}
+
+// Sampler tallies are folded on the calling thread in fixed task order, so
+// even the *metric totals* are thread-count invariant, not just the results.
+TEST(DeterminismTest, SamplerCountersThreadCountInvariant) {
+  Rng graph_rng(31);
+  Result<Graph> base = BarabasiAlbert(500, 4, &graph_rng);
+  ASSERT_TRUE(base.ok());
+  const Graph graph = WithUniformWeights(base.value(), 1.0f);
+
+  const std::vector<std::string> names = {
+      "sampling.freq.walks_started", "sampling.freq.subgraphs_committed",
+      "sampling.freq.restarts",      "sampling.freq.saturated_steps",
+      "sampling.freq.stale_walks",   "sampling.freq.reruns",
+  };
+  auto run_and_read = [&] {
+    obs::GlobalMetrics().ResetAll();
+    FreqSamplingOptions options;
+    options.subgraph_size = 12;
+    options.sampling_rate = 0.4;
+    options.frequency_threshold = 4;
+    options.walk_length = 200;
+    std::vector<int64_t> frequency(graph.num_nodes(), 0);
+    Rng rng(37);
+    Result<std::vector<Subgraph>> subgraphs =
+        FreqSampling(graph, options, &frequency, &rng);
+    EXPECT_TRUE(subgraphs.ok());
+    std::vector<uint64_t> values;
+    for (const std::string& name : names) {
+      values.push_back(obs::GlobalMetrics().GetCounter(name)->Value());
+    }
+    return values;
+  };
+  auto [serial, threaded] = AtOneAndFourThreads(run_and_read);
+  EXPECT_EQ(serial, threaded);
+  EXPECT_GT(serial[0], 0u);  // walks_started
+  EXPECT_GT(serial[1], 0u);  // subgraphs_committed
 }
 
 TEST(DeterminismTest, FullPipelineThreadCountInvariant) {

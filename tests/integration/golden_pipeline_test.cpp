@@ -1,0 +1,181 @@
+// Golden-file regression test for the full pipeline: extract -> account ->
+// train -> select on a fixed generated graph with a fixed seed, compared
+// against a checked-in reference (seed set exactly; epsilon / sigma / loss
+// to 1e-9). Any change to the RNG stream layout, sampler order, reduction
+// order, accountant math or model initialization shows up here as a diff.
+//
+// After an *intentional* behavior change, regenerate the reference with
+//   PRIVIM_UPDATE_GOLDEN=1 ./tests/privim_golden_test
+// and commit the updated tests/golden/pipeline_small.txt with the change
+// that caused it. The build pins -ffp-contract=off so the floats agree
+// across compilers and optimization levels.
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "privim/common/thread_pool.h"
+#include "privim/core/pipeline.h"
+#include "privim/graph/generators.h"
+
+#ifndef PRIVIM_TEST_GOLDEN_DIR
+#error "PRIVIM_TEST_GOLDEN_DIR must be defined by the build"
+#endif
+
+namespace privim {
+namespace {
+
+constexpr char kGoldenPath[] = PRIVIM_TEST_GOLDEN_DIR "/pipeline_small.txt";
+constexpr double kTolerance = 1e-9;
+
+struct GoldenRecord {
+  std::vector<NodeId> seeds;
+  int64_t container_size = 0;
+  int64_t occurrence_bound = 0;
+  double noise_multiplier = 0.0;
+  double achieved_epsilon = 0.0;
+  double epsilon_after_first_iteration = 0.0;
+  double mean_loss_first = 0.0;
+  double mean_loss_last = 0.0;
+};
+
+PrivImOptions GoldenOptions() {
+  PrivImOptions options;
+  options.variant = PrivImVariant::kDualStage;
+  options.subgraph_size = 12;
+  options.frequency_threshold = 4;
+  options.sampling_rate = 0.5;
+  options.batch_size = 8;
+  options.iterations = 6;
+  options.gnn.num_layers = 2;
+  options.gnn.hidden_dim = 8;
+  options.seed_set_size = 10;
+  options.epsilon = 4.0;
+  return options;
+}
+
+GoldenRecord RunGoldenPipeline() {
+  Rng graph_rng(59);
+  Result<Graph> base = BarabasiAlbert(300, 4, &graph_rng);
+  EXPECT_TRUE(base.ok());
+  const Graph graph = WithUniformWeights(base.value(), 1.0f);
+
+  Result<PrivImResult> result =
+      RunPrivIm(graph, graph, GoldenOptions(), /*seed=*/61);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+
+  GoldenRecord record;
+  record.seeds = result->seeds;
+  record.container_size = result->container_size;
+  record.occurrence_bound = result->occurrence_bound;
+  record.noise_multiplier = result->noise_multiplier;
+  record.achieved_epsilon = result->achieved_epsilon;
+  EXPECT_FALSE(result->epsilon_trajectory.empty());
+  if (!result->epsilon_trajectory.empty()) {
+    record.epsilon_after_first_iteration = result->epsilon_trajectory.front();
+  }
+  record.mean_loss_first = result->train_stats.mean_loss_first;
+  record.mean_loss_last = result->train_stats.mean_loss_last;
+  return record;
+}
+
+std::string Serialize(const GoldenRecord& record) {
+  std::ostringstream out;
+  out << "seeds:";
+  for (NodeId v : record.seeds) out << ' ' << v;
+  out << '\n';
+  out << "container_size: " << record.container_size << '\n';
+  out << "occurrence_bound: " << record.occurrence_bound << '\n';
+  char buffer[64];
+  auto emit = [&](const char* key, double value) {
+    std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+    out << key << ": " << buffer << '\n';
+  };
+  emit("noise_multiplier", record.noise_multiplier);
+  emit("achieved_epsilon", record.achieved_epsilon);
+  emit("epsilon_after_first_iteration",
+       record.epsilon_after_first_iteration);
+  emit("mean_loss_first", record.mean_loss_first);
+  emit("mean_loss_last", record.mean_loss_last);
+  return out.str();
+}
+
+bool ParseGolden(const std::string& text, GoldenRecord* record) {
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    std::istringstream fields(line);
+    std::string key;
+    if (!(fields >> key)) continue;
+    if (key == "seeds:") {
+      NodeId v;
+      while (fields >> v) record->seeds.push_back(v);
+    } else if (key == "container_size:") {
+      fields >> record->container_size;
+    } else if (key == "occurrence_bound:") {
+      fields >> record->occurrence_bound;
+    } else if (key == "noise_multiplier:") {
+      fields >> record->noise_multiplier;
+    } else if (key == "achieved_epsilon:") {
+      fields >> record->achieved_epsilon;
+    } else if (key == "epsilon_after_first_iteration:") {
+      fields >> record->epsilon_after_first_iteration;
+    } else if (key == "mean_loss_first:") {
+      fields >> record->mean_loss_first;
+    } else if (key == "mean_loss_last:") {
+      fields >> record->mean_loss_last;
+    } else {
+      return false;
+    }
+  }
+  return !record->seeds.empty();
+}
+
+TEST(GoldenPipelineTest, MatchesCheckedInReference) {
+  const GoldenRecord actual = RunGoldenPipeline();
+
+  if (std::getenv("PRIVIM_UPDATE_GOLDEN") != nullptr) {
+    std::ofstream out(kGoldenPath);
+    ASSERT_TRUE(out.good()) << "cannot write " << kGoldenPath;
+    out << Serialize(actual);
+    ASSERT_TRUE(out.good());
+    GTEST_SKIP() << "golden file regenerated at " << kGoldenPath;
+  }
+
+  std::ifstream file(kGoldenPath);
+  ASSERT_TRUE(file.good())
+      << "missing golden file " << kGoldenPath
+      << " — regenerate with PRIVIM_UPDATE_GOLDEN=1";
+  std::stringstream buffer;
+  buffer << file.rdbuf();
+  GoldenRecord expected;
+  ASSERT_TRUE(ParseGolden(buffer.str(), &expected))
+      << "unparseable golden file " << kGoldenPath;
+
+  EXPECT_EQ(actual.seeds, expected.seeds);
+  EXPECT_EQ(actual.container_size, expected.container_size);
+  EXPECT_EQ(actual.occurrence_bound, expected.occurrence_bound);
+  EXPECT_NEAR(actual.noise_multiplier, expected.noise_multiplier, kTolerance);
+  EXPECT_NEAR(actual.achieved_epsilon, expected.achieved_epsilon, kTolerance);
+  EXPECT_NEAR(actual.epsilon_after_first_iteration,
+              expected.epsilon_after_first_iteration, kTolerance);
+  EXPECT_NEAR(actual.mean_loss_first, expected.mean_loss_first, kTolerance);
+  EXPECT_NEAR(actual.mean_loss_last, expected.mean_loss_last, kTolerance);
+}
+
+TEST(GoldenPipelineTest, RunIsRepeatableWithinTheProcess) {
+  // The golden contract is only meaningful if the pipeline is a pure
+  // function of its seed; a second in-process run must agree bitwise.
+  const GoldenRecord first = RunGoldenPipeline();
+  const GoldenRecord second = RunGoldenPipeline();
+  EXPECT_EQ(first.seeds, second.seeds);
+  EXPECT_EQ(first.noise_multiplier, second.noise_multiplier);
+  EXPECT_EQ(first.mean_loss_first, second.mean_loss_first);
+  EXPECT_EQ(first.mean_loss_last, second.mean_loss_last);
+}
+
+}  // namespace
+}  // namespace privim

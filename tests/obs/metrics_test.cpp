@@ -1,0 +1,208 @@
+#include "privim/obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <thread>
+#include <vector>
+
+namespace privim {
+namespace obs {
+namespace {
+
+// Metrics default to enabled; individual tests toggle the switch and must
+// restore it so the rest of the suite (and the global registry) behaves.
+class MetricsTest : public ::testing::Test {
+ protected:
+  void TearDown() override { SetMetricsEnabled(true); }
+};
+
+TEST_F(MetricsTest, CounterStartsAtZeroAndIncrements) {
+  Counter counter;
+  EXPECT_EQ(counter.Value(), 0u);
+  counter.Increment();
+  counter.Increment(41);
+  EXPECT_EQ(counter.Value(), 42u);
+  counter.Reset();
+  EXPECT_EQ(counter.Value(), 0u);
+}
+
+TEST_F(MetricsTest, DisabledCounterIsANoOp) {
+  Counter counter;
+  SetMetricsEnabled(false);
+  EXPECT_FALSE(MetricsEnabled());
+  counter.Increment(100);
+  EXPECT_EQ(counter.Value(), 0u);
+  SetMetricsEnabled(true);
+  counter.Increment(1);
+  EXPECT_EQ(counter.Value(), 1u);
+}
+
+TEST_F(MetricsTest, GaugeTracksLastValueAndSetState) {
+  Gauge gauge;
+  EXPECT_FALSE(gauge.has_value());
+  gauge.Set(2.5);
+  gauge.Set(-7.25);
+  EXPECT_TRUE(gauge.has_value());
+  EXPECT_DOUBLE_EQ(gauge.Value(), -7.25);
+  gauge.Reset();
+  EXPECT_FALSE(gauge.has_value());
+}
+
+TEST_F(MetricsTest, GaugeRoundTripsNonFiniteAndZero) {
+  Gauge gauge;
+  gauge.Set(0.0);
+  EXPECT_DOUBLE_EQ(gauge.Value(), 0.0);
+  gauge.Set(std::numeric_limits<double>::infinity());
+  EXPECT_TRUE(std::isinf(gauge.Value()));
+}
+
+TEST_F(MetricsTest, HistogramAssignsObservationsToBuckets) {
+  Histogram histogram({1.0, 2.0, 4.0});
+  histogram.Observe(0.5);   // <= 1
+  histogram.Observe(1.0);   // <= 1 (boundary counts down)
+  histogram.Observe(1.5);   // <= 2
+  histogram.Observe(3.0);   // <= 4
+  histogram.Observe(100.0); // overflow
+  const std::vector<uint64_t> counts = histogram.BucketCounts();
+  ASSERT_EQ(counts.size(), 4u);
+  EXPECT_EQ(counts[0], 2u);
+  EXPECT_EQ(counts[1], 1u);
+  EXPECT_EQ(counts[2], 1u);
+  EXPECT_EQ(counts[3], 1u);
+  EXPECT_EQ(histogram.Count(), 5u);
+  EXPECT_DOUBLE_EQ(histogram.Sum(), 106.0);
+  EXPECT_DOUBLE_EQ(histogram.Min(), 0.5);
+  EXPECT_DOUBLE_EQ(histogram.Max(), 100.0);
+  EXPECT_DOUBLE_EQ(histogram.Mean(), 106.0 / 5.0);
+}
+
+TEST_F(MetricsTest, EmptyHistogramHasSentinelExtrema) {
+  Histogram histogram({1.0});
+  EXPECT_EQ(histogram.Count(), 0u);
+  EXPECT_TRUE(std::isinf(histogram.Min()));
+  EXPECT_GT(histogram.Min(), 0.0);
+  EXPECT_TRUE(std::isinf(histogram.Max()));
+  EXPECT_LT(histogram.Max(), 0.0);
+  EXPECT_DOUBLE_EQ(histogram.Mean(), 0.0);
+}
+
+TEST_F(MetricsTest, HistogramResetClearsEverything) {
+  Histogram histogram({1.0, 2.0});
+  histogram.Observe(0.5);
+  histogram.Observe(5.0);
+  histogram.Reset();
+  EXPECT_EQ(histogram.Count(), 0u);
+  EXPECT_DOUBLE_EQ(histogram.Sum(), 0.0);
+  for (uint64_t c : histogram.BucketCounts()) EXPECT_EQ(c, 0u);
+}
+
+TEST_F(MetricsTest, RegistryReturnsStablePointers) {
+  MetricsRegistry registry;
+  Counter* a = registry.GetCounter("x.count");
+  Counter* b = registry.GetCounter("x.count");
+  EXPECT_EQ(a, b);
+  Gauge* g1 = registry.GetGauge("x.gauge");
+  Gauge* g2 = registry.GetGauge("x.gauge");
+  EXPECT_EQ(g1, g2);
+  Histogram* h1 = registry.GetHistogram("x.hist", {1.0, 2.0});
+  // The first registration's bounds win; later bounds are ignored.
+  Histogram* h2 = registry.GetHistogram("x.hist", {42.0});
+  EXPECT_EQ(h1, h2);
+  ASSERT_EQ(h2->bounds().size(), 2u);
+  EXPECT_DOUBLE_EQ(h2->bounds()[0], 1.0);
+}
+
+TEST_F(MetricsTest, RegistryResetAllZeroesButKeepsRegistrations) {
+  MetricsRegistry registry;
+  Counter* counter = registry.GetCounter("r.count");
+  Gauge* gauge = registry.GetGauge("r.gauge");
+  Histogram* histogram = registry.GetHistogram("r.hist", {1.0});
+  counter->Increment(3);
+  gauge->Set(1.5);
+  histogram->Observe(0.5);
+  registry.ResetAll();
+  EXPECT_EQ(counter->Value(), 0u);
+  EXPECT_FALSE(gauge->has_value());
+  EXPECT_EQ(histogram->Count(), 0u);
+  // Same pointer after reset: registrations survive.
+  EXPECT_EQ(registry.GetCounter("r.count"), counter);
+}
+
+TEST_F(MetricsTest, ToJsonIsSortedAndStable) {
+  MetricsRegistry registry;
+  registry.GetCounter("b.second")->Increment(2);
+  registry.GetCounter("a.first")->Increment(1);
+  registry.GetGauge("g.loss")->Set(0.5);
+  registry.GetHistogram("h.wait", {1.0, 2.0})->Observe(1.5);
+  const std::string json = registry.ToJson();
+  EXPECT_LT(json.find("\"a.first\""), json.find("\"b.second\""));
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"le\""), std::string::npos);
+  // Byte-stable: a second export of the same state is identical.
+  EXPECT_EQ(json, registry.ToJson());
+  // Balanced braces (cheap well-formedness check).
+  int depth = 0;
+  for (char c : json) {
+    if (c == '{') ++depth;
+    if (c == '}') --depth;
+    ASSERT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+}
+
+TEST_F(MetricsTest, ToTableListsEveryMetric) {
+  MetricsRegistry registry;
+  registry.GetCounter("t.count")->Increment(7);
+  registry.GetGauge("t.gauge")->Set(1.25);
+  registry.GetHistogram("t.hist", {1.0})->Observe(0.5);
+  const std::string table = registry.ToTable();
+  EXPECT_NE(table.find("t.count"), std::string::npos);
+  EXPECT_NE(table.find("t.gauge"), std::string::npos);
+  EXPECT_NE(table.find("t.hist"), std::string::npos);
+  EXPECT_NE(table.find("7"), std::string::npos);
+}
+
+TEST_F(MetricsTest, ConcurrentIncrementsAreExact) {
+  MetricsRegistry registry;
+  Counter* counter = registry.GetCounter("c.concurrent");
+  Histogram* histogram = registry.GetHistogram("c.hist", {0.5});
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kPerThread; ++i) {
+        counter->Increment();
+        histogram->Observe(1.0);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(counter->Value(),
+            static_cast<uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(histogram->Count(),
+            static_cast<uint64_t>(kThreads) * kPerThread);
+  EXPECT_DOUBLE_EQ(histogram->Sum(),
+                   static_cast<double>(kThreads) * kPerThread);
+}
+
+TEST_F(MetricsTest, GlobalRegistryIsASingleton) {
+  EXPECT_EQ(&GlobalMetrics(), &GlobalMetrics());
+}
+
+TEST_F(MetricsTest, DefaultTimeBucketsAreStrictlyIncreasing) {
+  const std::vector<double> buckets = DefaultTimeBucketsSeconds();
+  ASSERT_GE(buckets.size(), 2u);
+  for (size_t i = 1; i < buckets.size(); ++i) {
+    EXPECT_LT(buckets[i - 1], buckets[i]);
+  }
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace privim

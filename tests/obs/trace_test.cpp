@@ -1,0 +1,150 @@
+#include "privim/obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace privim {
+namespace obs {
+namespace {
+
+// Tracing is global state: every test starts from a clean, disabled slate
+// and restores it, so ordering between tests cannot matter.
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    SetTracingEnabled(false);
+    ClearTrace();
+  }
+  void TearDown() override {
+    SetTracingEnabled(false);
+    ClearTrace();
+  }
+};
+
+TEST_F(TraceTest, DisabledSpansRecordNothing) {
+  { TraceSpan span("should_not_appear"); }
+  EXPECT_TRUE(SnapshotTrace().empty());
+}
+
+TEST_F(TraceTest, EnabledSpanRecordsOneCompleteEvent) {
+  SetTracingEnabled(true);
+  { TraceSpan span("unit_test_span"); }
+  const std::vector<TraceEvent> events = SnapshotTrace();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_STREQ(events[0].name, "unit_test_span");
+  EXPECT_EQ(events[0].depth, 0u);
+}
+
+TEST_F(TraceTest, OpenSpansAreExcludedFromSnapshots) {
+  SetTracingEnabled(true);
+  TraceSpan open("still_open");
+  EXPECT_TRUE(SnapshotTrace().empty());
+}
+
+TEST_F(TraceTest, NestedSpansRecordDepthAndContainment) {
+  SetTracingEnabled(true);
+  {
+    TraceSpan outer("outer");
+    {
+      TraceSpan inner("inner");
+    }
+  }
+  const std::vector<TraceEvent> events = SnapshotTrace();
+  ASSERT_EQ(events.size(), 2u);
+  // Sorted by start time: outer opened first.
+  EXPECT_STREQ(events[0].name, "outer");
+  EXPECT_STREQ(events[1].name, "inner");
+  EXPECT_EQ(events[0].depth, 0u);
+  EXPECT_EQ(events[1].depth, 1u);
+  // Time containment: the inner span lies within the outer one.
+  EXPECT_GE(events[1].start_ns, events[0].start_ns);
+  EXPECT_LE(events[1].start_ns + events[1].duration_ns,
+            events[0].start_ns + events[0].duration_ns);
+}
+
+TEST_F(TraceTest, SiblingSpansReuseTheDepth) {
+  SetTracingEnabled(true);
+  {
+    TraceSpan outer("outer");
+    { TraceSpan first("first"); }
+    { TraceSpan second("second"); }
+  }
+  const std::vector<TraceEvent> events = SnapshotTrace();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[1].depth, 1u);
+  EXPECT_EQ(events[2].depth, 1u);
+}
+
+TEST_F(TraceTest, EventsFromOtherThreadsSurviveTheJoin) {
+  SetTracingEnabled(true);
+  std::thread worker([] { TraceSpan span("worker_span"); });
+  worker.join();
+  { TraceSpan span("main_span"); }
+  const std::vector<TraceEvent> events = SnapshotTrace();
+  ASSERT_EQ(events.size(), 2u);
+  bool saw_worker = false, saw_main = false;
+  uint32_t worker_tid = 0, main_tid = 0;
+  for (const TraceEvent& event : events) {
+    if (std::string(event.name) == "worker_span") {
+      saw_worker = true;
+      worker_tid = event.tid;
+    }
+    if (std::string(event.name) == "main_span") {
+      saw_main = true;
+      main_tid = event.tid;
+    }
+  }
+  EXPECT_TRUE(saw_worker);
+  EXPECT_TRUE(saw_main);
+  EXPECT_NE(worker_tid, main_tid);
+}
+
+TEST_F(TraceTest, ClearTraceDropsBufferedEvents) {
+  SetTracingEnabled(true);
+  { TraceSpan span("to_be_cleared"); }
+  ASSERT_FALSE(SnapshotTrace().empty());
+  ClearTrace();
+  EXPECT_TRUE(SnapshotTrace().empty());
+}
+
+TEST_F(TraceTest, SnapshotIsSortedByStartTime) {
+  SetTracingEnabled(true);
+  { TraceSpan a("a"); }
+  { TraceSpan b("b"); }
+  { TraceSpan c("c"); }
+  const std::vector<TraceEvent> events = SnapshotTrace();
+  ASSERT_EQ(events.size(), 3u);
+  for (size_t i = 1; i < events.size(); ++i) {
+    EXPECT_LE(events[i - 1].start_ns, events[i].start_ns);
+  }
+}
+
+TEST_F(TraceTest, ChromeJsonHasCompleteEventsAndNames) {
+  SetTracingEnabled(true);
+  {
+    TraceSpan outer("chrome_outer");
+    TraceSpan inner("chrome_inner");
+  }
+  const std::string json = TraceToChromeJson();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("chrome_outer"), std::string::npos);
+  EXPECT_NE(json.find("chrome_inner"), std::string::npos);
+  EXPECT_NE(json.find("\"ts\":"), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":"), std::string::npos);
+  // Object form (not the bare-array form) so extra top-level keys are legal.
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+}
+
+TEST_F(TraceTest, ChromeJsonIsWellFormedWhenEmpty) {
+  const std::string json = TraceToChromeJson();
+  EXPECT_NE(json.find("\"traceEvents\":[]"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace privim

@@ -20,6 +20,11 @@
 // All subcommands accept --threads N (or PRIVIM_THREADS): size of the global
 // worker pool. 0 = hardware concurrency (default), 1 = serial. Results are
 // bit-identical at every setting.
+//
+// All subcommands also accept --metrics-out FILE: writes a combined
+// metrics + trace JSON (Chrome trace-event format plus a top-level
+// "metrics" object) at exit; viewable in chrome://tracing. Invalid
+// --threads / --metrics-out values are rejected with a clear error.
 
 #include <algorithm>
 #include <cstdio>
@@ -36,6 +41,8 @@
 #include "privim/graph/graph_io.h"
 #include "privim/im/celf.h"
 #include "privim/im/seed_selection.h"
+#include "privim/obs/export.h"
+#include "privim/obs/trace.h"
 
 namespace privim {
 namespace {
@@ -202,18 +209,41 @@ int Usage() {
   return 2;
 }
 
-int Main(int argc, char** argv) {
-  if (argc < 2) return Usage();
-  const std::string command = argv[1];
-  const Flags flags(argc - 1, argv + 1);
-  SetGlobalThreadPoolSize(
-      static_cast<size_t>(std::max<int64_t>(0, flags.Threads())));
+int Dispatch(const std::string& command, const Flags& flags) {
   if (command == "train") return CmdTrain(flags);
   if (command == "select") return CmdSelect(flags);
   if (command == "evaluate") return CmdEvaluate(flags);
   if (command == "celf") return CmdCelf(flags);
   if (command == "account") return CmdAccount(flags);
   return Usage();
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string command = argv[1];
+  const Flags flags(argc - 1, argv + 1);
+  const Result<int64_t> threads = flags.ValidatedThreads();
+  if (!threads.ok()) return Fail(threads.status());
+  const Result<std::string> metrics_out = flags.MetricsOutPath();
+  if (!metrics_out.ok()) return Fail(metrics_out.status());
+  SetGlobalThreadPoolSize(static_cast<size_t>(threads.value()));
+  // Tracing is opt-in via --metrics-out; metrics counters are always on
+  // (their cost is a few relaxed atomics per operation).
+  if (!metrics_out->empty()) obs::SetTracingEnabled(true);
+
+  int rc = Dispatch(command, flags);
+
+  if (!metrics_out->empty()) {
+    const std::string error = obs::WriteMetricsFile(metrics_out.value());
+    if (error.empty()) {
+      std::fprintf(stderr, "metrics written to %s\n",
+                   metrics_out.value().c_str());
+    } else {
+      std::fprintf(stderr, "error: %s\n", error.c_str());
+      if (rc == 0) rc = 1;
+    }
+  }
+  return rc;
 }
 
 }  // namespace
