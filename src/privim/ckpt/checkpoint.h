@@ -1,0 +1,166 @@
+// Crash-safe checkpoint/resume for DP training.
+//
+// DP-SGD spends an irreversible (epsilon, delta) budget per iteration, so a
+// crash mid-run does not just lose wall-clock: node-level DP forbids
+// re-spending the budget consumed by the lost iterations. A snapshot
+// therefore captures the *complete* training state — model weights (the
+// gnn/serialization encoding, embedded), optimizer moments, the training
+// RNG stream position, the sampler frequency table and extracted subgraph
+// container (so SCS saturation state survives restarts without re-running
+// extraction), the calibrated noise multiplier + RDP epsilon trajectory,
+// and the iteration cursor — and resuming from it continues the run
+// bit-identically to one that never crashed, at any thread count.
+//
+// On-disk format (version 1):
+//   bytes 0-7   magic "PRIVIMCK"
+//   bytes 8-11  format version (u32 LE)
+//   bytes 12-19 payload size   (u64 LE)
+//   bytes 20-23 payload CRC-32 (u32 LE)
+//   bytes 24-   payload (ckpt/io.h little-endian encoding)
+//
+// Snapshots are written with write-to-temp + fsync + atomic-rename
+// (common/atomic_file.h), named "ckpt-<iteration, 8 digits>.privim", and
+// pruned to the most recent K. Discovery scans the directory and picks the
+// highest iteration; a latest snapshot that fails the magic/version/CRC
+// checks is a hard error — never silently fall back and double-spend
+// epsilon on a corrupt budget record.
+
+#ifndef PRIVIM_CKPT_CHECKPOINT_H_
+#define PRIVIM_CKPT_CHECKPOINT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "privim/common/rng.h"
+#include "privim/common/status.h"
+#include "privim/gnn/models.h"
+#include "privim/nn/optimizer.h"
+#include "privim/sampling/subgraph_container.h"
+
+namespace privim {
+namespace ckpt {
+
+/// Current snapshot format version; Load refuses anything else.
+inline constexpr uint32_t kFormatVersion = 1;
+
+/// Checkpoint policy.
+struct CheckpointConfig {
+  std::string directory;
+  /// Write a snapshot after every `every` completed iterations (and always
+  /// after the final one). Must be >= 1.
+  int64_t every = 1;
+  /// Snapshots retained on disk (older ones are pruned). Must be >= 1.
+  int64_t keep = 3;
+
+  Status Validate() const;
+};
+
+/// Privacy-accounting state. Persisted rather than recomputed on resume:
+/// the trajectory is the authoritative record of budget already spent, and
+/// recomputing it under drifted options would silently re-spend epsilon.
+struct AccountingState {
+  bool is_private = false;
+  double noise_multiplier = 0.0;
+  double achieved_epsilon = 0.0;
+  double delta = 0.0;
+  int64_t occurrence_bound = 0;
+  std::vector<double> epsilon_trajectory;  ///< epsilon after iteration 1..T
+};
+
+/// Sampler outputs the privacy analysis depends on. The frequency table is
+/// the SCS saturation state (f_v = M means node v must not enter further
+/// subgraphs); persisting it keeps the occurrence bound enforceable across
+/// restarts.
+struct SamplerState {
+  std::vector<int64_t> frequency;
+  int64_t empirical_max_occurrence = 0;
+};
+
+/// Borrowed view of the live training state, assembled by the trainer's
+/// checkpoint callback. Encode snapshots everything it points at.
+struct SnapshotRefs {
+  uint64_t config_fingerprint = 0;
+  int64_t next_iteration = 0;      ///< iterations completed so far
+  int64_t total_iterations = 0;    ///< T (sanity-checked on resume)
+  double mean_loss_first = 0.0;
+  double mean_loss_last = 0.0;
+  RngState rng;
+  const GnnModel* model = nullptr;
+  const Optimizer* optimizer = nullptr;
+  const AccountingState* accounting = nullptr;
+  const SamplerState* sampler = nullptr;
+  const SubgraphContainer* container = nullptr;
+  /// Deterministic metric totals, restored on resume so the exported
+  /// metrics of a resumed run match an uninterrupted one.
+  uint64_t train_iterations_counter = 0;
+  uint64_t grads_clipped_counter = 0;
+};
+
+/// Owned training state decoded from a snapshot.
+struct LoadedSnapshot {
+  uint64_t config_fingerprint = 0;
+  int64_t next_iteration = 0;
+  int64_t total_iterations = 0;
+  double mean_loss_first = 0.0;
+  double mean_loss_last = 0.0;
+  RngState rng;
+  std::unique_ptr<GnnModel> model;
+  OptimizerState optimizer;
+  AccountingState accounting;
+  SamplerState sampler;
+  SubgraphContainer container;
+  uint64_t train_iterations_counter = 0;
+  uint64_t grads_clipped_counter = 0;
+};
+
+/// Serializes a snapshot to the on-disk byte format (header + CRC +
+/// payload).
+Result<std::string> EncodeSnapshot(const SnapshotRefs& refs);
+
+/// Parses and validates bytes from EncodeSnapshot. Corrupt, truncated or
+/// version-mismatched input fails with a descriptive IOError.
+Result<LoadedSnapshot> DecodeSnapshot(std::string_view bytes);
+
+/// The snapshot filename for an iteration: "ckpt-00000042.privim".
+std::string SnapshotFilename(int64_t next_iteration);
+
+/// Writes snapshots atomically and enforces the retention policy.
+class CheckpointManager {
+ public:
+  explicit CheckpointManager(CheckpointConfig config);
+
+  /// Creates the checkpoint directory (and parents) if missing.
+  Status Initialize();
+
+  /// True when a snapshot is due after `next_iteration` iterations have
+  /// completed out of `total_iterations`.
+  bool ShouldCheckpoint(int64_t next_iteration,
+                        int64_t total_iterations) const;
+
+  /// Encode + atomic write + prune-to-keep-K.
+  Status Write(const SnapshotRefs& refs);
+
+  const CheckpointConfig& config() const { return config_; }
+
+  /// Snapshot paths in `directory`, sorted by ascending iteration. Temp
+  /// artifacts from interrupted writes are skipped. An empty result is not
+  /// an error.
+  static Result<std::vector<std::string>> ListSnapshots(
+      const std::string& directory);
+
+  /// Path of the highest-iteration snapshot; NotFound when none exist.
+  static Result<std::string> LatestSnapshotPath(const std::string& directory);
+
+  /// Reads + validates + decodes one snapshot file.
+  static Result<LoadedSnapshot> Load(const std::string& path);
+
+ private:
+  CheckpointConfig config_;
+};
+
+}  // namespace ckpt
+}  // namespace privim
+
+#endif  // PRIVIM_CKPT_CHECKPOINT_H_

@@ -1,0 +1,109 @@
+#include "privim/common/atomic_file.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "privim/common/fault_injection.h"
+
+namespace privim {
+namespace {
+
+Status Errno(const std::string& what, const std::string& path) {
+  return Status::IOError(what + " " + path + ": " + std::strerror(errno));
+}
+
+// fsync the directory containing `path` so the rename itself is durable.
+// Best-effort: some filesystems refuse O_RDONLY on directories; the rename
+// atomicity (the crash-consistency property tests rely on) is unaffected.
+void SyncParentDirectory(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : path.substr(0, slash + 1);
+  const int fd = ::open(dir.c_str(), O_RDONLY);
+  if (fd >= 0) {
+    ::fsync(fd);
+    ::close(fd);
+  }
+}
+
+}  // namespace
+
+bool IsTempArtifact(const std::string& filename) {
+  return filename.find(".tmp.") != std::string::npos;
+}
+
+Status AtomicWriteFile(const std::string& path, std::string_view contents) {
+  const std::string temp = path + ".tmp." + std::to_string(::getpid());
+  const int fd = ::open(temp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return Errno("cannot create", temp);
+
+  auto fail = [&](Status status) {
+    ::close(fd);
+    ::unlink(temp.c_str());
+    return status;
+  };
+  auto write_all = [&](const char* data, size_t size) -> Status {
+    size_t written = 0;
+    while (written < size) {
+      const ssize_t n = ::write(fd, data + written, size - written);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return Errno("write failed", temp);
+      }
+      written += static_cast<size_t>(n);
+    }
+    return Status::OK();
+  };
+
+  // Split the payload so the mid-write fault point genuinely leaves a
+  // half-written temp file behind when it crashes.
+  const size_t head = contents.size() / 2;
+  if (Status status = write_all(contents.data(), head); !status.ok()) {
+    return fail(status);
+  }
+  if (Status status = fault::MaybePointFault("atomic_write.mid_write");
+      !status.ok()) {
+    return fail(status);
+  }
+  if (Status status =
+          write_all(contents.data() + head, contents.size() - head);
+      !status.ok()) {
+    return fail(status);
+  }
+  if (::fsync(fd) != 0) return fail(Errno("fsync failed", temp));
+  if (::close(fd) != 0) {
+    ::unlink(temp.c_str());
+    return Errno("close failed", temp);
+  }
+  if (Status status = fault::MaybePointFault("atomic_write.pre_rename");
+      !status.ok()) {
+    ::unlink(temp.c_str());
+    return status;
+  }
+  if (::rename(temp.c_str(), path.c_str()) != 0) {
+    ::unlink(temp.c_str());
+    return Errno("rename failed", path);
+  }
+  SyncParentDirectory(path);
+  PRIVIM_RETURN_NOT_OK(fault::MaybePointFault("atomic_write.post_rename"));
+  return Status::OK();
+}
+
+Status ReadFileToString(const std::string& path, std::string* contents) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) return Status::IOError("cannot open: " + path);
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  if (file.bad()) return Status::IOError("read failed: " + path);
+  *contents = std::move(buffer).str();
+  return Status::OK();
+}
+
+}  // namespace privim

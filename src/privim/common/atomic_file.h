@@ -1,0 +1,38 @@
+// Crash-safe file writes: write-to-temp + fsync + atomic rename.
+//
+// A reader never observes a partially written file at `path`: either the
+// old content (or absence) survives, or the complete new content has been
+// renamed into place. The durability points (fsync of the file, then of the
+// containing directory after the rename) follow the classic POSIX recipe.
+// The checkpoint subsystem and model serialization both route through this
+// helper so a crash mid-save cannot leave a truncated artifact.
+
+#ifndef PRIVIM_COMMON_ATOMIC_FILE_H_
+#define PRIVIM_COMMON_ATOMIC_FILE_H_
+
+#include <string>
+#include <string_view>
+
+#include "privim/common/status.h"
+
+namespace privim {
+
+/// Atomically replaces `path` with `contents`. The temporary sibling is
+/// named "<path>.tmp.<pid>"; it is unlinked on any failure, so aborted
+/// writes leave no debris beside stale temps from killed processes (which
+/// readers must ignore — see IsTempArtifact).
+///
+/// Fault-injection points (tests/crash harness): "atomic_write.mid_write",
+/// "atomic_write.pre_rename", "atomic_write.post_rename".
+Status AtomicWriteFile(const std::string& path, std::string_view contents);
+
+/// True for paths produced by an interrupted AtomicWriteFile (".tmp." name
+/// component). Directory scans skip these.
+bool IsTempArtifact(const std::string& filename);
+
+/// Reads the whole file into `contents`. IOError when missing/unreadable.
+Status ReadFileToString(const std::string& path, std::string* contents);
+
+}  // namespace privim
+
+#endif  // PRIVIM_COMMON_ATOMIC_FILE_H_

@@ -1,0 +1,109 @@
+#include "privim/common/fault_injection.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace privim {
+namespace fault {
+namespace {
+
+struct FaultConfig {
+  // Iteration fault.
+  int64_t iteration = -1;  ///< -1 = disarmed
+  Mode iteration_mode = Mode::kExit;
+  // Point fault.
+  std::string point;  ///< empty = disarmed
+  Mode point_mode = Mode::kExit;
+  int64_t point_occurrence = 1;
+  int64_t point_hits = 0;
+  bool env_loaded = false;
+};
+
+FaultConfig& Config() {
+  static FaultConfig config;
+  return config;
+}
+
+// Environment arming is read once, lazily, so subprocess tests can steer a
+// fresh process; programmatic arming always takes precedence.
+void LoadEnvOnce() {
+  FaultConfig& config = Config();
+  if (config.env_loaded) return;
+  config.env_loaded = true;
+  if (const char* iter = std::getenv("PRIVIM_FAULT_EXIT_AT_ITER");
+      iter != nullptr && config.iteration < 0) {
+    config.iteration = std::strtoll(iter, nullptr, 10);
+    config.iteration_mode = Mode::kExit;
+  }
+  if (const char* point = std::getenv("PRIVIM_FAULT_CRASH_AT");
+      point != nullptr && config.point.empty()) {
+    std::string spec = point;
+    const size_t at = spec.rfind('@');
+    config.point_occurrence = 1;
+    if (at != std::string::npos && at + 1 < spec.size()) {
+      config.point_occurrence = std::strtoll(spec.c_str() + at + 1,
+                                             nullptr, 10);
+      spec.resize(at);
+    }
+    config.point = spec;
+    config.point_mode = Mode::kExit;
+    config.point_hits = 0;
+  }
+}
+
+Status Fire(Mode mode, const std::string& what) {
+  if (mode == Mode::kExit) {
+    std::fprintf(stderr, "fault injection: crashing at %s\n", what.c_str());
+    std::fflush(nullptr);
+    std::_Exit(kFaultExitCode);
+  }
+  return Status::Internal("injected fault at " + what);
+}
+
+}  // namespace
+
+void ArmIterationFault(int64_t iteration, Mode mode) {
+  FaultConfig& config = Config();
+  config.env_loaded = true;  // programmatic arming overrides the environment
+  config.iteration = iteration;
+  config.iteration_mode = mode;
+}
+
+void ArmPointFault(const std::string& point, Mode mode, int64_t occurrence) {
+  FaultConfig& config = Config();
+  config.env_loaded = true;
+  config.point = point;
+  config.point_mode = mode;
+  config.point_occurrence = occurrence;
+  config.point_hits = 0;
+}
+
+void ClearFaults() {
+  Config() = FaultConfig();
+  Config().env_loaded = true;  // do not re-arm from the environment
+}
+
+Status MaybeIterationFault(int64_t iteration) {
+  LoadEnvOnce();
+  FaultConfig& config = Config();
+  if (config.iteration < 0 || iteration != config.iteration) {
+    return Status::OK();
+  }
+  config.iteration = -1;  // fire once
+  return Fire(config.iteration_mode,
+              "iteration " + std::to_string(iteration));
+}
+
+Status MaybePointFault(const char* point) {
+  LoadEnvOnce();
+  FaultConfig& config = Config();
+  if (config.point.empty() || config.point != point) return Status::OK();
+  if (++config.point_hits < config.point_occurrence) return Status::OK();
+  const Mode mode = config.point_mode;
+  config.point.clear();  // fire once
+  return Fire(mode, std::string(point));
+}
+
+}  // namespace fault
+}  // namespace privim

@@ -1,0 +1,63 @@
+// Deterministic fault injection for crash-safety tests.
+//
+// Production code calls the two Maybe* hooks at well-defined places (the
+// trainer after each completed iteration, the atomic file writer at each
+// phase of its protocol). A hook does nothing unless a fault has been armed
+// — programmatically (in-process tests) or through the environment
+// (subprocess / CLI tests):
+//
+//   PRIVIM_FAULT_EXIT_AT_ITER=<k>        _Exit(kFaultExitCode) after the
+//                                        trainer completes iteration k
+//                                        (0-based, after its checkpoint).
+//   PRIVIM_FAULT_CRASH_AT=<point>[@n]    _Exit(kFaultExitCode) at the n-th
+//                                        hit (default 1st) of the named
+//                                        fault point, e.g.
+//                                        "atomic_write.mid_write@2".
+//
+// Armed faults fire once. The kStatus mode returns an Internal error
+// instead of exiting, so in-process tests can exercise the same code paths
+// without dying. The hooks are called from the training loop's calling
+// thread only; arming/clearing is not synchronized with concurrent hook
+// evaluation and belongs in test setup code.
+
+#ifndef PRIVIM_COMMON_FAULT_INJECTION_H_
+#define PRIVIM_COMMON_FAULT_INJECTION_H_
+
+#include <cstdint>
+#include <string>
+
+#include "privim/common/status.h"
+
+namespace privim {
+namespace fault {
+
+/// Exit code used by kExit faults; distinguishes an injected crash from a
+/// genuine abort in subprocess tests.
+inline constexpr int kFaultExitCode = 42;
+
+/// What an armed fault does when it fires.
+enum class Mode {
+  kExit,    ///< fflush + _Exit(kFaultExitCode) — simulates SIGKILL.
+  kStatus,  ///< return Status::Internal — for in-process tests.
+};
+
+/// Arms a fault that fires after the trainer completes `iteration`.
+void ArmIterationFault(int64_t iteration, Mode mode);
+
+/// Arms a fault at the `occurrence`-th hit (1-based) of the named point.
+void ArmPointFault(const std::string& point, Mode mode, int64_t occurrence = 1);
+
+/// Disarms everything and forgets environment-derived configuration.
+void ClearFaults();
+
+/// Hook: called by the training loop after iteration `iteration` finished
+/// (including its checkpoint write). OK unless an armed fault fires.
+Status MaybeIterationFault(int64_t iteration);
+
+/// Hook: called at named protocol phases. OK unless an armed fault fires.
+Status MaybePointFault(const char* point);
+
+}  // namespace fault
+}  // namespace privim
+
+#endif  // PRIVIM_COMMON_FAULT_INJECTION_H_

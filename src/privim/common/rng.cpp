@@ -137,6 +137,24 @@ size_t Rng::NextDiscrete(const std::vector<double>& weights) {
 
 Rng Rng::Split() { return Rng(Next()); }
 
+RngState Rng::SaveState() const {
+  RngState state;
+  for (int i = 0; i < 4; ++i) state.s[i] = s_[i];
+  state.has_cached_gaussian = has_cached_gaussian_;
+  state.cached_gaussian = cached_gaussian_;
+  return state;
+}
+
+Status Rng::RestoreState(const RngState& state) {
+  if ((state.s[0] | state.s[1] | state.s[2] | state.s[3]) == 0) {
+    return Status::InvalidArgument("all-zero xoshiro state is invalid");
+  }
+  for (int i = 0; i < 4; ++i) s_[i] = state.s[i];
+  has_cached_gaussian_ = state.has_cached_gaussian;
+  cached_gaussian_ = state.cached_gaussian;
+  return Status::OK();
+}
+
 Rng SplitRng(uint64_t base_seed, uint64_t stream) {
   // Mix the stream index through the SplitMix64 finalizer before folding it
   // into the base seed, so that consecutive stream indices (0, 1, 2, ...)

@@ -13,7 +13,25 @@
 #include <utility>
 #include <vector>
 
+#include "privim/common/status.h"
+
 namespace privim {
+
+/// Complete serializable state of an Rng. Restoring it resumes the stream
+/// at exactly the draw where SaveState was taken — including the cached
+/// second Box-Muller Gaussian, which is part of the observable stream.
+struct RngState {
+  uint64_t s[4] = {0, 0, 0, 0};
+  bool has_cached_gaussian = false;
+  double cached_gaussian = 0.0;
+
+  bool operator==(const RngState& other) const {
+    return s[0] == other.s[0] && s[1] == other.s[1] && s[2] == other.s[2] &&
+           s[3] == other.s[3] &&
+           has_cached_gaussian == other.has_cached_gaussian &&
+           cached_gaussian == other.cached_gaussian;
+  }
+};
 
 /// xoshiro256** engine with convenience distributions.
 ///
@@ -81,6 +99,13 @@ class Rng {
   /// Derives a new, statistically independent generator. Deterministic: the
   /// k-th split of a given Rng state is always the same.
   Rng Split();
+
+  /// Snapshot of the full generator state (checkpoint/resume).
+  RngState SaveState() const;
+
+  /// Restores a state captured by SaveState. The all-zero engine state is
+  /// invalid for xoshiro and is rejected.
+  Status RestoreState(const RngState& state);
 
  private:
   uint64_t s_[4];

@@ -15,6 +15,7 @@
 #define PRIVIM_CORE_PIPELINE_H_
 
 #include <limits>
+#include <string>
 #include <vector>
 
 #include "privim/core/trainer.h"
@@ -57,6 +58,20 @@ struct PrivImOptions {
 
   int64_t seed_set_size = 50;  ///< k
 
+  // --- Checkpointing (src/privim/ckpt) ---
+  /// Snapshot directory; empty disables checkpointing entirely.
+  std::string checkpoint_dir;
+  /// Snapshot after every N completed training iterations (and always
+  /// after the final one).
+  int64_t checkpoint_every = 1;
+  /// Snapshots retained on disk.
+  int64_t checkpoint_keep = 3;
+  /// Resume from the latest snapshot in `checkpoint_dir`. A corrupt latest
+  /// snapshot or one from a different configuration/graph/seed is a hard
+  /// error (resuming anything else would re-spend privacy budget); an
+  /// empty directory falls back to a fresh run.
+  bool resume = false;
+
   Status Validate() const;
 };
 
@@ -77,6 +92,8 @@ struct PrivImResult {
   double achieved_epsilon = std::numeric_limits<double>::infinity();
   /// Epsilon spent after each iteration 1..T (empty for non-private runs).
   std::vector<double> epsilon_trajectory;
+  /// Training iterations restored from a snapshot (0 for a fresh run).
+  int64_t resumed_from_iteration = 0;
 };
 
 /// Trains on `train_graph` and scores/selects seeds on `eval_graph`.

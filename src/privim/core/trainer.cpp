@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "privim/common/fault_injection.h"
 #include "privim/common/logging.h"
 #include "privim/common/thread_pool.h"
 #include "privim/common/timer.h"
@@ -60,6 +61,11 @@ Status DpSgdOptions::Validate() const {
   if (occurrence_bound < 1) {
     return Status::InvalidArgument("occurrence_bound must be >= 1");
   }
+  if (resume != nullptr &&
+      (resume->start_iteration < 0 || resume->start_iteration > iterations)) {
+    return Status::InvalidArgument(
+        "resume start_iteration must be in [0, iterations]");
+  }
   return Status::OK();
 }
 
@@ -113,6 +119,16 @@ Result<TrainStats> TrainDpGnn(GnnModel* model,
       break;
   }
 
+  // Resume: the caller restored weights and the RNG stream; the optimizer
+  // moments and loss bookkeeping come from the snapshot here.
+  int64_t start_iteration = 0;
+  if (options.resume != nullptr) {
+    PRIVIM_RETURN_NOT_OK(optimizer->RestoreState(options.resume->optimizer));
+    start_iteration = options.resume->start_iteration;
+    stats.mean_loss_first = options.resume->mean_loss_first;
+    stats.mean_loss_last = options.resume->mean_loss_last;
+  }
+
   // Per-subgraph gradients are embarrassingly parallel: each batch member's
   // forward/backward/clip runs against its own model replica (the autograd
   // tape accumulates into the replica's parameter nodes, so workers never
@@ -145,7 +161,7 @@ Result<TrainStats> TrainDpGnn(GnnModel* model,
   std::vector<std::vector<float>> per_grad;
   std::vector<double> per_loss;
   std::vector<double> per_norm;
-  for (int64_t t = 0; t < options.iterations; ++t) {
+  for (int64_t t = start_iteration; t < options.iterations; ++t) {
     obs::TraceSpan iter_span("train/iteration");
     WallTimer iter_timer;
     const std::vector<int64_t> batch =
@@ -234,11 +250,25 @@ Result<TrainStats> TrainDpGnn(GnnModel* model,
     const double mean_loss =
         batch.empty() ? 0.0 : batch_loss / static_cast<double>(batch.size());
     if (t == 0) stats.mean_loss_first = mean_loss;
-    if (t == options.iterations - 1) stats.mean_loss_last = mean_loss;
+    stats.mean_loss_last = mean_loss;
     metrics.loss->Set(mean_loss);
     metrics.iterations->Increment();
     metrics.iteration_s->Observe(iter_timer.ElapsedSeconds());
     PRIVIM_LOG(Debug) << "iter " << t << " mean loss " << mean_loss;
+
+    if (options.checkpoint_fn) {
+      TrainCheckpointView view;
+      view.next_iteration = t + 1;
+      view.total_iterations = options.iterations;
+      view.mean_loss_first = stats.mean_loss_first;
+      view.mean_loss_last = stats.mean_loss_last;
+      view.model = model;
+      view.optimizer = optimizer.get();
+      view.rng = rng;
+      PRIVIM_RETURN_NOT_OK(options.checkpoint_fn(view));
+    }
+    // Crash-safety tests kill the run here, after iteration t's checkpoint.
+    PRIVIM_RETURN_NOT_OK(fault::MaybeIterationFault(t));
   }
   stats.training_seconds = train_timer.ElapsedSeconds();
   stats.iterations = options.iterations;

@@ -17,6 +17,7 @@
 #include "privim/common/rng.h"
 #include "privim/core/loss.h"
 #include "privim/gnn/models.h"
+#include "privim/nn/optimizer.h"
 #include "privim/sampling/subgraph_container.h"
 
 namespace privim {
@@ -43,6 +44,33 @@ enum class NoiseKind { kGaussian, kSml };
 /// guarantee is unchanged (post-processing).
 enum class OptimizerKind { kSgd, kMomentum, kAdam };
 
+/// Read-only view of the live training state, handed to the checkpoint
+/// hook after each completed iteration. Everything pointed at stays valid
+/// only for the duration of the hook call.
+struct TrainCheckpointView {
+  int64_t next_iteration = 0;    ///< iterations completed so far (t + 1)
+  int64_t total_iterations = 0;  ///< T
+  double mean_loss_first = 0.0;
+  double mean_loss_last = 0.0;   ///< most recent iteration's mean loss
+  const GnnModel* model = nullptr;
+  const Optimizer* optimizer = nullptr;
+  const Rng* rng = nullptr;      ///< stream position *after* the iteration
+};
+
+/// Checkpoint hook; a non-OK return aborts training (a checkpoint that
+/// cannot be written must not let the run silently continue past it).
+using CheckpointFn = std::function<Status(const TrainCheckpointView&)>;
+
+/// Resume point for TrainDpGnn. The caller restores model weights and the
+/// RNG stream position before calling; the trainer restores the optimizer
+/// state and skips the first `start_iteration` iterations.
+struct TrainResume {
+  int64_t start_iteration = 0;  ///< iterations already completed
+  double mean_loss_first = 0.0;
+  double mean_loss_last = 0.0;
+  OptimizerState optimizer;
+};
+
 struct DpSgdOptions {
   int64_t batch_size = 32;       ///< B
   int64_t iterations = 80;       ///< T
@@ -62,6 +90,12 @@ struct DpSgdOptions {
   /// noise step, so the result is bit-identical to the serial path at any
   /// thread count and the privacy accounting is unchanged.
   bool parallel = true;
+  /// When set, called after every completed iteration (before the
+  /// fault-injection hook) with the state a snapshot needs.
+  CheckpointFn checkpoint_fn;
+  /// When set, training resumes mid-run instead of starting fresh. Not
+  /// owned; must outlive the TrainDpGnn call.
+  const TrainResume* resume = nullptr;
 
   Status Validate() const;
 };

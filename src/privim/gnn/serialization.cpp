@@ -5,35 +5,40 @@
 #include <fstream>
 #include <sstream>
 
+#include "privim/common/atomic_file.h"
+
 namespace privim {
 
-Status SaveGnnModel(const GnnModel& model, const std::string& path) {
-  std::ofstream file(path);
-  if (!file) return Status::IOError("cannot open for write: " + path);
-
+Status WriteGnnModel(const GnnModel& model, std::ostream& out) {
   const GnnConfig& config = model.config();
-  file << "privim-model v1\n";
-  file << "kind " << GnnKindToString(config.kind) << "\n";
-  file << "input_dim " << config.input_dim << "\n";
-  file << "hidden_dim " << config.hidden_dim << "\n";
-  file << "num_layers " << config.num_layers << "\n";
+  out << "privim-model v1\n";
+  out << "kind " << GnnKindToString(config.kind) << "\n";
+  out << "input_dim " << config.input_dim << "\n";
+  out << "hidden_dim " << config.hidden_dim << "\n";
+  out << "num_layers " << config.num_layers << "\n";
   char slope[64];
   std::snprintf(slope, sizeof(slope), "%a", config.leaky_slope);
-  file << "leaky_slope " << slope << "\n";
-  file << "params " << model.parameters().size() << "\n";
+  out << "leaky_slope " << slope << "\n";
+  out << "params " << model.parameters().size() << "\n";
   for (const Variable& param : model.parameters()) {
     const Tensor& value = param.value();
-    file << value.rows() << " " << value.cols() << "\n";
+    out << value.rows() << " " << value.cols() << "\n";
     char buffer[64];
     for (int64_t i = 0; i < value.size(); ++i) {
       // Hex floats round-trip bit-exactly through text.
       std::snprintf(buffer, sizeof(buffer), "%a", value.data()[i]);
-      file << buffer << (i + 1 == value.size() ? "\n" : " ");
+      out << buffer << (i + 1 == value.size() ? "\n" : " ");
     }
-    if (value.size() == 0) file << "\n";
+    if (value.size() == 0) out << "\n";
   }
-  if (!file) return Status::IOError("write failed: " + path);
+  if (!out) return Status::IOError("model serialization stream write failed");
   return Status::OK();
+}
+
+Status SaveGnnModel(const GnnModel& model, const std::string& path) {
+  std::ostringstream encoded;
+  PRIVIM_RETURN_NOT_OK(WriteGnnModel(model, encoded));
+  return AtomicWriteFile(path, encoded.view());
 }
 
 namespace {
@@ -52,32 +57,29 @@ Status ExpectKey(std::istream& in, const std::string& key,
 
 }  // namespace
 
-Result<std::unique_ptr<GnnModel>> LoadGnnModel(const std::string& path) {
-  std::ifstream file(path);
-  if (!file) return Status::IOError("cannot open: " + path);
-
+Result<std::unique_ptr<GnnModel>> ReadGnnModel(std::istream& in) {
   std::string magic, version;
-  if (!(file >> magic >> version) || magic != "privim-model" ||
+  if (!(in >> magic >> version) || magic != "privim-model" ||
       version != "v1") {
-    return Status::IOError("not a privim-model v1 file: " + path);
+    return Status::IOError("not a privim-model v1 file");
   }
 
   std::string value;
   GnnConfig config;
-  PRIVIM_RETURN_NOT_OK(ExpectKey(file, "kind", &value));
+  PRIVIM_RETURN_NOT_OK(ExpectKey(in, "kind", &value));
   Result<GnnKind> kind = GnnKindFromString(value);
   if (!kind.ok()) return kind.status();
   config.kind = kind.value();
-  PRIVIM_RETURN_NOT_OK(ExpectKey(file, "input_dim", &value));
+  PRIVIM_RETURN_NOT_OK(ExpectKey(in, "input_dim", &value));
   config.input_dim = std::strtoll(value.c_str(), nullptr, 10);
-  PRIVIM_RETURN_NOT_OK(ExpectKey(file, "hidden_dim", &value));
+  PRIVIM_RETURN_NOT_OK(ExpectKey(in, "hidden_dim", &value));
   config.hidden_dim = std::strtoll(value.c_str(), nullptr, 10);
-  PRIVIM_RETURN_NOT_OK(ExpectKey(file, "num_layers", &value));
+  PRIVIM_RETURN_NOT_OK(ExpectKey(in, "num_layers", &value));
   config.num_layers = std::strtoll(value.c_str(), nullptr, 10);
-  PRIVIM_RETURN_NOT_OK(ExpectKey(file, "leaky_slope", &value));
+  PRIVIM_RETURN_NOT_OK(ExpectKey(in, "leaky_slope", &value));
   config.leaky_slope = std::strtof(value.c_str(), nullptr);
 
-  PRIVIM_RETURN_NOT_OK(ExpectKey(file, "params", &value));
+  PRIVIM_RETURN_NOT_OK(ExpectKey(in, "params", &value));
   const int64_t param_count = std::strtoll(value.c_str(), nullptr, 10);
 
   // Build the architecture (weights are about to be overwritten, so the
@@ -87,25 +89,35 @@ Result<std::unique_ptr<GnnModel>> LoadGnnModel(const std::string& path) {
   if (!model.ok()) return model.status();
   if (static_cast<int64_t>(model.value()->parameters().size()) !=
       param_count) {
-    return Status::IOError("parameter count mismatch in " + path);
+    return Status::IOError("parameter count mismatch in model file");
   }
 
   for (const Variable& param : model.value()->parameters()) {
     int64_t rows = 0, cols = 0;
-    if (!(file >> rows >> cols)) {
-      return Status::IOError("truncated parameter header in " + path);
+    if (!(in >> rows >> cols)) {
+      return Status::IOError("truncated parameter header in model file");
     }
     Tensor& target = const_cast<Variable&>(param).mutable_value();
     if (rows != target.rows() || cols != target.cols()) {
-      return Status::IOError("parameter shape mismatch in " + path);
+      return Status::IOError("parameter shape mismatch in model file");
     }
     for (int64_t i = 0; i < target.size(); ++i) {
       std::string token;
-      if (!(file >> token)) {
-        return Status::IOError("truncated parameter data in " + path);
+      if (!(in >> token)) {
+        return Status::IOError("truncated parameter data in model file");
       }
       target.data()[i] = std::strtof(token.c_str(), nullptr);
     }
+  }
+  return model;
+}
+
+Result<std::unique_ptr<GnnModel>> LoadGnnModel(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) return Status::IOError("cannot open: " + path);
+  Result<std::unique_ptr<GnnModel>> model = ReadGnnModel(file);
+  if (!model.ok()) {
+    return Status::IOError(model.status().message() + " (" + path + ")");
   }
   return model;
 }

@@ -13,6 +13,7 @@
 #ifndef PRIVIM_GNN_SERIALIZATION_H_
 #define PRIVIM_GNN_SERIALIZATION_H_
 
+#include <iosfwd>
 #include <memory>
 #include <string>
 
@@ -20,7 +21,18 @@
 
 namespace privim {
 
-/// Writes architecture + parameter values to `path`.
+/// Writes architecture + parameter values to `out` (the same format
+/// SaveGnnModel puts on disk). The checkpoint subsystem embeds this
+/// encoding inside its snapshots.
+Status WriteGnnModel(const GnnModel& model, std::ostream& out);
+
+/// Reconstructs a model from a stream written by WriteGnnModel. Weight
+/// values are restored bit-exactly (hex float encoding).
+Result<std::unique_ptr<GnnModel>> ReadGnnModel(std::istream& in);
+
+/// Writes architecture + parameter values to `path`. The write is atomic
+/// (temp file + rename), so a crash mid-save cannot leave a truncated
+/// model file — at worst the previous content survives.
 Status SaveGnnModel(const GnnModel& model, const std::string& path);
 
 /// Reconstructs a model saved by SaveGnnModel. Weight values are restored

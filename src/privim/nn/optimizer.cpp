@@ -9,12 +9,54 @@ void Optimizer::ZeroGrad() {
   for (Variable& p : params_) p.ZeroGrad();
 }
 
+namespace {
+
+// Copies `state.slots` into the given accumulators after validating that
+// the layout (slot count and per-slot sizes) matches exactly.
+Status RestoreSlots(const OptimizerState& state,
+                    std::vector<std::vector<float>*> slots) {
+  if (state.slots.size() != slots.size()) {
+    return Status::InvalidArgument(
+        "optimizer state has " + std::to_string(state.slots.size()) +
+        " slots, expected " + std::to_string(slots.size()));
+  }
+  for (size_t i = 0; i < slots.size(); ++i) {
+    if (state.slots[i].size() != slots[i]->size()) {
+      return Status::InvalidArgument(
+          "optimizer slot " + std::to_string(i) + " has " +
+          std::to_string(state.slots[i].size()) + " entries, expected " +
+          std::to_string(slots[i]->size()));
+    }
+    *slots[i] = state.slots[i];
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status Optimizer::RestoreState(const OptimizerState& state) {
+  if (state.step_count != 0 || !state.slots.empty()) {
+    return Status::InvalidArgument("stateless optimizer given non-empty state");
+  }
+  return Status::OK();
+}
+
 SgdOptimizer::SgdOptimizer(std::vector<Variable> params, float learning_rate,
                            float momentum)
     : Optimizer(std::move(params)),
       learning_rate_(learning_rate),
       momentum_(momentum) {
   velocity_.assign(static_cast<size_t>(ParameterCount(params_)), 0.0f);
+}
+
+OptimizerState SgdOptimizer::SaveState() const {
+  OptimizerState state;
+  state.slots = {velocity_};
+  return state;
+}
+
+Status SgdOptimizer::RestoreState(const OptimizerState& state) {
+  return RestoreSlots(state, {&velocity_});
 }
 
 void SgdOptimizer::Step(const std::vector<float>& flat_gradient) {
@@ -39,6 +81,19 @@ AdamOptimizer::AdamOptimizer(std::vector<Variable> params, float learning_rate,
   const size_t count = static_cast<size_t>(ParameterCount(params_));
   first_moment_.assign(count, 0.0f);
   second_moment_.assign(count, 0.0f);
+}
+
+OptimizerState AdamOptimizer::SaveState() const {
+  OptimizerState state;
+  state.step_count = step_count_;
+  state.slots = {first_moment_, second_moment_};
+  return state;
+}
+
+Status AdamOptimizer::RestoreState(const OptimizerState& state) {
+  PRIVIM_RETURN_NOT_OK(RestoreSlots(state, {&first_moment_, &second_moment_}));
+  step_count_ = state.step_count;
+  return Status::OK();
 }
 
 void AdamOptimizer::Step(const std::vector<float>& flat_gradient) {

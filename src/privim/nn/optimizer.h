@@ -14,6 +14,15 @@
 
 namespace privim {
 
+/// Serializable optimizer moments, for checkpoint/resume. `slots` holds the
+/// optimizer's per-parameter accumulators in a fixed order (SGD: velocity;
+/// Adam: first then second moment); hyperparameters are reconstructed from
+/// the training options, not the snapshot.
+struct OptimizerState {
+  int64_t step_count = 0;
+  std::vector<std::vector<float>> slots;
+};
+
 /// Base optimizer; owns references to the parameter variables.
 class Optimizer {
  public:
@@ -23,6 +32,14 @@ class Optimizer {
 
   /// Applies one update from a flat gradient (FlattenGradients layout).
   virtual void Step(const std::vector<float>& flat_gradient) = 0;
+
+  /// Snapshot of the mutable state (moments, step counter). A resumed
+  /// optimizer continues bit-identically after RestoreState.
+  virtual OptimizerState SaveState() const { return OptimizerState(); }
+
+  /// Restores a snapshot from SaveState of an optimizer of the same kind
+  /// over the same parameter shapes; rejects mismatched slot layouts.
+  virtual Status RestoreState(const OptimizerState& state);
 
   /// Zeroes the autograd gradients of every parameter.
   void ZeroGrad();
@@ -39,6 +56,8 @@ class SgdOptimizer : public Optimizer {
   SgdOptimizer(std::vector<Variable> params, float learning_rate,
                float momentum = 0.0f);
   void Step(const std::vector<float>& flat_gradient) override;
+  OptimizerState SaveState() const override;
+  Status RestoreState(const OptimizerState& state) override;
 
   void set_learning_rate(float lr) { learning_rate_ = lr; }
   float learning_rate() const { return learning_rate_; }
@@ -55,6 +74,8 @@ class AdamOptimizer : public Optimizer {
   AdamOptimizer(std::vector<Variable> params, float learning_rate,
                 float beta1 = 0.9f, float beta2 = 0.999f, float eps = 1e-8f);
   void Step(const std::vector<float>& flat_gradient) override;
+  OptimizerState SaveState() const override;
+  Status RestoreState(const OptimizerState& state) override;
 
  private:
   float learning_rate_;

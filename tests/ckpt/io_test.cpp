@@ -1,0 +1,141 @@
+#include "privim/ckpt/io.h"
+
+#include <cmath>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "testing/graph_fixtures.h"
+
+namespace privim {
+namespace ckpt {
+namespace {
+
+TEST(Crc32Test, MatchesKnownVectors) {
+  // The IEEE 802.3 check value: CRC32 of the ASCII digits "123456789".
+  EXPECT_EQ(Crc32("123456789"), 0xCBF43926u);
+  EXPECT_EQ(Crc32(""), 0x00000000u);
+  EXPECT_EQ(Crc32(std::string_view("\x00", 1)), 0xD202EF8Du);
+}
+
+TEST(Crc32Test, DetectsSingleBitFlip) {
+  std::string data(256, '\x5a');
+  const uint32_t clean = Crc32(data);
+  for (size_t i = 0; i < data.size(); i += 37) {
+    std::string flipped = data;
+    flipped[i] ^= 0x01;
+    EXPECT_NE(Crc32(flipped), clean) << "flip at byte " << i;
+  }
+}
+
+TEST(Fnv1a64Test, KnownValuesAndChaining) {
+  // FNV-1a offset basis is the hash of the empty string.
+  EXPECT_EQ(Fnv1a64(""), 0xcbf29ce484222325ULL);
+  EXPECT_EQ(Fnv1a64("a"), 0xaf63dc4c8601ec8cULL);
+  // Chaining via the seed equals hashing the concatenation.
+  EXPECT_EQ(Fnv1a64("world", Fnv1a64("hello")), Fnv1a64("helloworld"));
+}
+
+TEST(ByteIoTest, RoundTripsAllPrimitiveTypes) {
+  ByteWriter writer;
+  writer.WriteU8(0xAB);
+  writer.WriteU32(0xDEADBEEFu);
+  writer.WriteU64(0x0123456789ABCDEFULL);
+  writer.WriteI64(-42);
+  writer.WriteF32(3.14159f);
+  writer.WriteF64(-2.718281828459045);
+  writer.WriteBytes("blob");
+  writer.WriteI64Vector({-1, 0, 1});
+  writer.WriteF64Vector({0.5, std::numeric_limits<double>::infinity()});
+  writer.WriteF32Vector({-0.0f, 1e-38f});
+
+  ByteReader reader(writer.bytes());
+  uint8_t u8 = 0;
+  uint32_t u32 = 0;
+  uint64_t u64 = 0;
+  int64_t i64 = 0;
+  float f32 = 0;
+  double f64 = 0;
+  std::string blob;
+  std::vector<int64_t> i64s;
+  std::vector<double> f64s;
+  std::vector<float> f32s;
+  ASSERT_TRUE(reader.ReadU8(&u8).ok());
+  ASSERT_TRUE(reader.ReadU32(&u32).ok());
+  ASSERT_TRUE(reader.ReadU64(&u64).ok());
+  ASSERT_TRUE(reader.ReadI64(&i64).ok());
+  ASSERT_TRUE(reader.ReadF32(&f32).ok());
+  ASSERT_TRUE(reader.ReadF64(&f64).ok());
+  ASSERT_TRUE(reader.ReadBytes(&blob).ok());
+  ASSERT_TRUE(reader.ReadI64Vector(&i64s).ok());
+  ASSERT_TRUE(reader.ReadF64Vector(&f64s).ok());
+  ASSERT_TRUE(reader.ReadF32Vector(&f32s).ok());
+  EXPECT_TRUE(reader.AtEnd());
+
+  EXPECT_EQ(u8, 0xAB);
+  EXPECT_EQ(u32, 0xDEADBEEFu);
+  EXPECT_EQ(u64, 0x0123456789ABCDEFULL);
+  EXPECT_EQ(i64, -42);
+  EXPECT_EQ(f32, 3.14159f);
+  EXPECT_EQ(f64, -2.718281828459045);
+  EXPECT_EQ(blob, "blob");
+  EXPECT_EQ(i64s, (std::vector<int64_t>{-1, 0, 1}));
+  EXPECT_EQ(f64s[0], 0.5);
+  EXPECT_TRUE(std::isinf(f64s[1]));
+  // -0.0f must round-trip with its sign bit.
+  EXPECT_TRUE(std::signbit(f32s[0]));
+  EXPECT_EQ(f32s[1], 1e-38f);
+}
+
+TEST(ByteIoTest, NanRoundTripsBitExactly) {
+  ByteWriter writer;
+  writer.WriteF64(std::nan("0x5"));
+  ByteReader reader(writer.bytes());
+  double value = 0;
+  ASSERT_TRUE(reader.ReadF64(&value).ok());
+  EXPECT_TRUE(std::isnan(value));
+}
+
+TEST(ByteIoTest, ReadPastEndFails) {
+  ByteWriter writer;
+  writer.WriteU32(7);
+  ByteReader reader(writer.bytes());
+  uint64_t value = 0;
+  EXPECT_EQ(reader.ReadU64(&value).code(), StatusCode::kIOError);
+}
+
+TEST(ByteIoTest, OversizedBlobLengthFails) {
+  ByteWriter writer;
+  writer.WriteU64(1ull << 40);  // length prefix far beyond the data
+  writer.WriteU32(0);
+  ByteReader reader(writer.bytes());
+  std::string blob;
+  EXPECT_EQ(reader.ReadBytes(&blob).code(), StatusCode::kIOError);
+}
+
+TEST(ByteIoTest, ImplausibleVectorCountFails) {
+  ByteWriter writer;
+  writer.WriteU64(1ull << 62);
+  ByteReader reader(writer.bytes());
+  std::vector<int64_t> values;
+  EXPECT_EQ(reader.ReadI64Vector(&values).code(), StatusCode::kIOError);
+}
+
+TEST(FingerprintGraphTest, IdenticalGraphsMatchModifiedOnesDiffer) {
+  const Graph a = testing::MakeGraph(4, {{0, 1, 0.5f}, {1, 2, 0.25f}});
+  const Graph b = testing::MakeGraph(4, {{0, 1, 0.5f}, {1, 2, 0.25f}});
+  EXPECT_EQ(FingerprintGraph(a), FingerprintGraph(b));
+
+  // Different weight, different structure, different node count.
+  const Graph w = testing::MakeGraph(4, {{0, 1, 0.5f}, {1, 2, 0.75f}});
+  const Graph s = testing::MakeGraph(4, {{0, 1, 0.5f}, {1, 3, 0.25f}});
+  const Graph n = testing::MakeGraph(5, {{0, 1, 0.5f}, {1, 2, 0.25f}});
+  EXPECT_NE(FingerprintGraph(a), FingerprintGraph(w));
+  EXPECT_NE(FingerprintGraph(a), FingerprintGraph(s));
+  EXPECT_NE(FingerprintGraph(a), FingerprintGraph(n));
+}
+
+}  // namespace
+}  // namespace ckpt
+}  // namespace privim

@@ -207,6 +207,44 @@ TEST(RngTest, ShuffleActuallyPermutes) {
   EXPECT_GT(moved, 30);
 }
 
+TEST(RngTest, SaveRestoreResumesStreamExactly) {
+  Rng rng(2024);
+  for (int i = 0; i < 10; ++i) rng.Next();
+  const RngState state = rng.SaveState();
+
+  std::vector<uint64_t> expected;
+  for (int i = 0; i < 20; ++i) expected.push_back(rng.Next());
+
+  Rng other(1);  // different seed; state restore must fully overwrite it
+  ASSERT_TRUE(other.RestoreState(state).ok());
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(other.Next(), expected[i]);
+}
+
+TEST(RngTest, SaveRestorePreservesCachedGaussian) {
+  // Box-Muller produces values in pairs; the cached second value is part
+  // of the observable stream, so a snapshot between the two draws must
+  // carry it.
+  Rng rng(55);
+  rng.NextGaussian();  // consumes one pair member, caches the other
+  const RngState state = rng.SaveState();
+  EXPECT_TRUE(state.has_cached_gaussian);
+  const double expected_cached = rng.NextGaussian();
+  const double expected_fresh = rng.NextGaussian();
+
+  Rng restored(0);
+  ASSERT_TRUE(restored.RestoreState(state).ok());
+  EXPECT_EQ(restored.NextGaussian(), expected_cached);
+  EXPECT_EQ(restored.NextGaussian(), expected_fresh);
+}
+
+TEST(RngTest, RestoreRejectsAllZeroState) {
+  RngState dead;  // all-zero engine state is a xoshiro fixed point
+  Rng rng(3);
+  EXPECT_EQ(rng.RestoreState(dead).code(), StatusCode::kInvalidArgument);
+  // The generator is still usable after the rejected restore.
+  EXPECT_NE(rng.Next(), 0u);
+}
+
 TEST(RngTest, SplitStreamsAreIndependentAndDeterministic) {
   Rng parent1(99), parent2(99);
   Rng child1 = parent1.Split();

@@ -164,6 +164,14 @@ TEST(GoldenPipelineTest, MatchesCheckedInReference) {
               expected.epsilon_after_first_iteration, kTolerance);
   EXPECT_NEAR(actual.mean_loss_first, expected.mean_loss_first, kTolerance);
   EXPECT_NEAR(actual.mean_loss_last, expected.mean_loss_last, kTolerance);
+
+  if (::testing::Test::HasFailure()) {
+    // Drop the freshly computed record beside the test binary so CI can
+    // upload it as an artifact; diffing it against the checked-in golden
+    // file shows exactly which quantity drifted.
+    std::ofstream out("golden_pipeline_actual.txt");
+    out << Serialize(actual);
+  }
 }
 
 TEST(GoldenPipelineTest, RunIsRepeatableWithinTheProcess) {

@@ -83,5 +83,97 @@ TEST(OptimizerTest, MultipleParametersUpdateInOrder) {
   EXPECT_FLOAT_EQ(b.value().at(0, 1), -3.0f);
 }
 
+// --- Checkpoint state round trips ------------------------------------------
+
+// Gradient schedule with enough variety that a missing moment would show.
+std::vector<float> GradAt(int step, size_t size) {
+  std::vector<float> grad(size);
+  for (size_t i = 0; i < size; ++i) {
+    grad[i] = 0.25f * static_cast<float>((step + 1) * (i + 2)) *
+              ((step + static_cast<int>(i)) % 2 == 0 ? 1.0f : -1.0f);
+  }
+  return grad;
+}
+
+TEST(SgdOptimizerTest, SaveRestoreResumesBitIdentically) {
+  Variable w_full(Tensor::Zeros(2, 3), true);
+  SgdOptimizer full({w_full}, 0.05f, 0.9f);
+  for (int step = 0; step < 5; ++step) full.Step(GradAt(step, 6));
+  const OptimizerState state = full.SaveState();
+  ASSERT_EQ(state.slots.size(), 1u);  // SGD: velocity only
+  EXPECT_EQ(state.slots[0].size(), 6u);
+  for (int step = 5; step < 10; ++step) full.Step(GradAt(step, 6));
+
+  // A fresh optimizer over the mid-run weights, restored from the snapshot,
+  // must reproduce the second half exactly (not just approximately).
+  Variable w_resumed(Tensor::Zeros(2, 3), true);
+  SgdOptimizer first_half({w_resumed}, 0.05f, 0.9f);
+  for (int step = 0; step < 5; ++step) first_half.Step(GradAt(step, 6));
+  SgdOptimizer resumed({w_resumed}, 0.05f, 0.9f);
+  ASSERT_TRUE(resumed.RestoreState(state).ok());
+  for (int step = 5; step < 10; ++step) resumed.Step(GradAt(step, 6));
+
+  for (int64_t i = 0; i < 6; ++i) {
+    EXPECT_EQ(w_resumed.value().data()[i], w_full.value().data()[i]) << i;
+  }
+}
+
+TEST(AdamOptimizerTest, SaveRestoreResumesBitIdentically) {
+  // Adam's bias correction depends on step_count, so a resume that dropped
+  // the counter (or either moment) would diverge immediately.
+  Variable w_full(Tensor::Zeros(1, 4), true);
+  AdamOptimizer full({w_full}, 0.02f);
+  for (int step = 0; step < 7; ++step) full.Step(GradAt(step, 4));
+  const OptimizerState state = full.SaveState();
+  EXPECT_EQ(state.step_count, 7);
+  ASSERT_EQ(state.slots.size(), 2u);  // first and second moment
+  for (int step = 7; step < 12; ++step) full.Step(GradAt(step, 4));
+
+  Variable w_resumed(Tensor::Zeros(1, 4), true);
+  AdamOptimizer first_half({w_resumed}, 0.02f);
+  for (int step = 0; step < 7; ++step) first_half.Step(GradAt(step, 4));
+  AdamOptimizer resumed({w_resumed}, 0.02f);
+  ASSERT_TRUE(resumed.RestoreState(state).ok());
+  for (int step = 7; step < 12; ++step) resumed.Step(GradAt(step, 4));
+
+  for (int64_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(w_resumed.value().data()[i], w_full.value().data()[i]) << i;
+  }
+}
+
+TEST(OptimizerTest, RestoreRejectsMismatchedSlotLayout) {
+  Variable w(Tensor::Zeros(1, 3), true);
+
+  OptimizerState wrong_count;
+  wrong_count.slots = {{0, 0, 0}, {0, 0, 0}};  // SGD expects one slot
+  SgdOptimizer sgd({w}, 0.1f, 0.9f);
+  EXPECT_EQ(sgd.RestoreState(wrong_count).code(),
+            StatusCode::kInvalidArgument);
+
+  OptimizerState wrong_size;
+  wrong_size.slots = {{0, 0}};  // parameter count is 3
+  EXPECT_EQ(sgd.RestoreState(wrong_size).code(),
+            StatusCode::kInvalidArgument);
+
+  OptimizerState adam_short;
+  adam_short.step_count = 1;
+  adam_short.slots = {{0, 0, 0}};  // Adam expects two slots
+  AdamOptimizer adam({w}, 0.1f);
+  EXPECT_EQ(adam.RestoreState(adam_short).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(OptimizerTest, MomentumFreeSgdStillRoundTripsItsVelocitySlot) {
+  // The velocity slot exists (zeroed) even with momentum 0, so the snapshot
+  // layout is independent of the momentum hyperparameter.
+  Variable w(Tensor::Zeros(1, 2), true);
+  SgdOptimizer sgd({w}, 0.1f);
+  sgd.Step({1.0f, -1.0f});
+  const OptimizerState state = sgd.SaveState();
+  ASSERT_EQ(state.slots.size(), 1u);
+  EXPECT_EQ(state.slots[0], (std::vector<float>{0.0f, 0.0f}));
+  EXPECT_TRUE(sgd.RestoreState(state).ok());
+}
+
 }  // namespace
 }  // namespace privim

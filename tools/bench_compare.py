@@ -1,0 +1,158 @@
+#!/usr/bin/env python3
+"""Merge and compare bench_micro results against a committed baseline.
+
+Three subcommands, all stdlib-only so CI can run them on a bare runner:
+
+  merge     combine google-benchmark JSON output and the --metrics-out
+            metrics object into one artifact (BENCH_<pr>.json)
+  baseline  distill a merged artifact into bench/baseline.json (benchmark
+            name -> real_time), the file committed to the repo
+  compare   diff a merged artifact against the baseline with a relative
+            tolerance; exits 1 when any benchmark regressed past it
+
+The gate is advisory (CI runs it with continue-on-error): shared runners
+are noisy and the baseline was recorded on different hardware, so the
+comparison tracks the trajectory rather than blocking merges. Typical use:
+
+  bench_micro --benchmark_out=bench.json --benchmark_out_format=json \
+              --metrics-out metrics.json
+  tools/bench_compare.py merge --bench bench.json --metrics metrics.json \
+              --out BENCH_3.json
+  tools/bench_compare.py compare --current BENCH_3.json \
+              --baseline bench/baseline.json
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_json(path):
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            return json.load(handle)
+    except (OSError, ValueError) as error:
+        sys.exit(f"error: cannot read {path}: {error}")
+
+
+def benchmark_rows(merged):
+    """Aggregate-aware rows: prefer *_mean aggregates when repetitions were
+    requested, otherwise the plain iteration rows."""
+    rows = [
+        b
+        for b in merged.get("benchmarks", [])
+        if b.get("run_type", "iteration") == "iteration"
+        or b.get("aggregate_name") == "mean"
+    ]
+    means = [b for b in rows if b.get("aggregate_name") == "mean"]
+    return means if means else rows
+
+
+def cmd_merge(args):
+    bench = load_json(args.bench)
+    merged = {
+        "context": bench.get("context", {}),
+        "benchmarks": bench.get("benchmarks", []),
+    }
+    if args.metrics:
+        merged["metrics"] = load_json(args.metrics)
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(merged, handle, indent=2)
+        handle.write("\n")
+    print(f"wrote {args.out} ({len(merged['benchmarks'])} benchmark rows)")
+    return 0
+
+
+def cmd_baseline(args):
+    merged = load_json(args.current)
+    baseline = {
+        "benchmarks": {
+            row["name"]: {
+                "real_time": row["real_time"],
+                "time_unit": row.get("time_unit", "ns"),
+            }
+            for row in benchmark_rows(merged)
+            if "real_time" in row
+        }
+    }
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(baseline, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {args.out} ({len(baseline['benchmarks'])} baselines)")
+    return 0
+
+
+def cmd_compare(args):
+    merged = load_json(args.current)
+    baseline = load_json(args.baseline).get("benchmarks", {})
+    current = {
+        row["name"]: row for row in benchmark_rows(merged) if "real_time" in row
+    }
+
+    regressions = []
+    compared = 0
+    for name in sorted(baseline):
+        if name not in current:
+            print(f"  MISSING  {name} (in baseline, not in current run)")
+            continue
+        base = baseline[name]
+        row = current[name]
+        if row.get("time_unit", "ns") != base.get("time_unit", "ns"):
+            print(f"  SKIP     {name}: time_unit changed")
+            continue
+        compared += 1
+        ratio = row["real_time"] / base["real_time"] if base["real_time"] else 1
+        delta = (ratio - 1.0) * 100.0
+        if ratio > 1.0 + args.tolerance:
+            marker = "REGRESS"
+            regressions.append((name, delta))
+        elif ratio < 1.0 - args.tolerance:
+            marker = "FASTER "
+        else:
+            marker = "ok     "
+        print(
+            f"  {marker}  {name}: {row['real_time']:.1f} vs "
+            f"{base['real_time']:.1f} {base.get('time_unit', 'ns')} "
+            f"({delta:+.1f}%)"
+        )
+    for name in sorted(set(current) - set(baseline)):
+        print(f"  NEW      {name} (no baseline yet)")
+
+    print(
+        f"compared {compared} benchmarks, tolerance ±{args.tolerance:.0%}, "
+        f"{len(regressions)} regression(s)"
+    )
+    if regressions:
+        for name, delta in regressions:
+            print(f"regression: {name} {delta:+.1f}%", file=sys.stderr)
+        return 1
+    return 0
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    merge = sub.add_parser("merge", help="combine benchmark + metrics JSON")
+    merge.add_argument("--bench", required=True)
+    merge.add_argument("--metrics", default=None)
+    merge.add_argument("--out", required=True)
+    merge.set_defaults(func=cmd_merge)
+
+    base = sub.add_parser("baseline", help="distill a merged artifact")
+    base.add_argument("--current", required=True)
+    base.add_argument("--out", required=True)
+    base.set_defaults(func=cmd_baseline)
+
+    comp = sub.add_parser("compare", help="diff against the baseline")
+    comp.add_argument("--current", required=True)
+    comp.add_argument("--baseline", required=True)
+    comp.add_argument("--tolerance", type=float, default=0.15)
+    comp.set_defaults(func=cmd_compare)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
