@@ -31,6 +31,8 @@
 #include "privim/im/celf.h"
 #include "privim/sampling/dual_stage.h"
 #include "privim/sampling/rwr_sampler.h"
+#include "privim/serve/request.h"
+#include "privim/serve/service.h"
 
 namespace privim {
 namespace {
@@ -208,6 +210,97 @@ void BM_DpTrainingIteration(benchmark::State& state) {
   SetGlobalThreadPoolSize(1);
 }
 BENCHMARK(BM_DpTrainingIteration)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
+
+// Serving engine: the same 96-request stream executed one request at a
+// time (Execute, Arg 0) vs submitted all at once through the batching
+// scheduler (Submit, Arg 1). Responses are bit-identical between the two
+// rows — the caching is disabled and every request carries its own RNG
+// seed — so batched/sequential real time is directly the scheduler's
+// speedup with >= 64 requests in flight.
+std::vector<serve::ServeRequest> ServeBenchRequests() {
+  std::vector<serve::ServeRequest> requests;
+  requests.reserve(96);
+  for (int i = 0; i < 96; ++i) {
+    serve::ServeRequest request;
+    request.id = "b";
+    request.id += std::to_string(i);
+    request.op = serve::RequestOp::kSpread;
+    request.seeds = {static_cast<NodeId>(i % 500),
+                     static_cast<NodeId>((i * 7 + 3) % 500)};
+    request.simulations = 16;
+    request.steps = 2;
+    request.seed = static_cast<uint64_t>(1000 + i);
+    requests.push_back(std::move(request));
+  }
+  return requests;
+}
+
+void BM_ServeThroughput(benchmark::State& state) {
+  const bool batched = state.range(0) != 0;
+  SetGlobalThreadPoolSize(4);
+  Rng graph_rng(51);
+  Result<Graph> base = BarabasiAlbert(2000, 5, &graph_rng);
+  serve::ServeOptions options;
+  options.queue_capacity = 128;  // the whole stream stays in flight
+  options.max_batch = 32;
+  options.cache_capacity = 0;  // force real computation every iteration
+  auto service = serve::InfluenceService::Create(
+                     WithWeightedCascadeWeights(base.value()),
+                     /*model=*/nullptr, options)
+                     .value();
+  if (batched && !service->Start().ok()) {
+    state.SkipWithError("service failed to start");
+    return;
+  }
+  const std::vector<serve::ServeRequest> requests = ServeBenchRequests();
+  for (auto _ : state) {
+    if (batched) {
+      std::vector<std::future<serve::ServeResponse>> futures;
+      futures.reserve(requests.size());
+      for (const serve::ServeRequest& request : requests) {
+        futures.push_back(std::move(service->Submit(request).value()));
+      }
+      for (auto& future : futures) {
+        benchmark::DoNotOptimize(future.get().status.ok());
+      }
+    } else {
+      for (const serve::ServeRequest& request : requests) {
+        benchmark::DoNotOptimize(service->Execute(request).status.ok());
+      }
+    }
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(requests.size()));
+  SetGlobalThreadPoolSize(1);
+}
+BENCHMARK(BM_ServeThroughput)->Arg(0)->Arg(1)->UseRealTime();
+
+// Latency of a response served from the sharded LRU cache, measured
+// against a CELF top-k request whose cold computation costs milliseconds:
+// the ratio to a cold run is the cache's whole value proposition.
+void BM_ServeCacheHit(benchmark::State& state) {
+  const Graph graph = MakeBenchGraph(2000, 5);
+  serve::ServeOptions options;
+  auto service =
+      serve::InfluenceService::Create(graph, /*model=*/nullptr, options)
+          .value();
+  serve::ServeRequest request;
+  request.id = "warm";
+  request.op = serve::RequestOp::kTopK;
+  request.method = serve::TopKMethod::kCelf;
+  request.k = 8;
+  // Warm the cache; every timed Execute below is a hit.
+  if (!service->Execute(request).status.ok()) {
+    state.SkipWithError("warmup request failed");
+    return;
+  }
+  for (auto _ : state) {
+    serve::ServeResponse response = service->Execute(request);
+    benchmark::DoNotOptimize(response.cached);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ServeCacheHit);
 
 void BM_DeterministicCoverage(benchmark::State& state) {
   const Graph graph = MakeBenchGraph(state.range(0), 5);

@@ -1,0 +1,75 @@
+// PrivIM public API — the single header a library consumer includes.
+//
+// This is the stable surface of the project; everything reachable from
+// here follows three contracts:
+//
+//  1. Status, not exit(): every fallible call returns Status / Result<T>
+//     (common/status.h). Library code never calls exit() or aborts on bad
+//     input — only the CLI front ends (tools/privim_cli.cpp,
+//     tools/privim_serve.cpp) map Status to process exit codes.
+//  2. Validated options: option structs expose Validate() -> Status
+//     (PrivImOptions, ServeOptions, RisOptions, serve::ServeRequest), and
+//     the entry points call it — so a misconfigured run fails before any
+//     privacy budget is spent or any thread is spawned.
+//  3. Determinism: every result is a pure function of its inputs and a
+//     caller-supplied 64-bit seed, bit-identical at any --threads setting.
+//
+// Layers, bottom to top:
+//
+//   common/   Status, Rng (splittable), Flags + FlagRegistry, ThreadPool
+//   graph/    Graph, edge-list I/O, generators
+//   gnn/      models (GCN/SAGE/GAT/GRAT/GIN), features, serialization
+//   core/     RunPrivIm — the DP training pipeline (Fig. 2)
+//   im/       CELF / RIS / top-k seed selection
+//   diffusion/ IC spread (deterministic fast path + Monte-Carlo)
+//   serve/    InfluenceService — batched query engine over a released
+//             model (docs/serving.md)
+//   obs/      metrics registry + trace spans (--metrics-out)
+//
+// Typical train-then-serve flow:
+//
+//   Result<Graph> g = LoadEdgeList("graph.txt", /*undirected=*/true);
+//   PrivImOptions opt;                       // defaults follow the paper
+//   PRIVIM_RETURN_NOT_OK(opt.Validate());
+//   Result<PrivImResult> trained = RunPrivIm(*g, *g, opt, /*seed=*/42);
+//   PRIVIM_RETURN_NOT_OK(SaveGnnModel(*trained->model, "privim.model"));
+//
+//   serve::ServeOptions so;
+//   Result<std::unique_ptr<serve::InfluenceService>> svc =
+//       serve::InfluenceService::Create(*g, std::move(trained->model), so);
+//   PRIVIM_RETURN_NOT_OK((*svc)->Start());
+//   Result<ServeRequest> req = serve::ParseServeRequest(
+//       R"({"id":"q1","op":"topk","k":10})");
+//   auto future = (*svc)->Submit(*req);
+//   std::puts(future->get().ToJsonLine().c_str());
+
+#ifndef PRIVIM_API_H_
+#define PRIVIM_API_H_
+
+// Version of the public surface described above. Bumped when a type or
+// function reachable from this header changes incompatibly.
+#define PRIVIM_API_VERSION_MAJOR 1
+#define PRIVIM_API_VERSION_MINOR 1
+
+#include "privim/common/flag_registry.h"
+#include "privim/common/flags.h"
+#include "privim/common/rng.h"
+#include "privim/common/status.h"
+#include "privim/common/thread_pool.h"
+#include "privim/core/pipeline.h"
+#include "privim/diffusion/ic_model.h"
+#include "privim/gnn/features.h"
+#include "privim/gnn/models.h"
+#include "privim/gnn/serialization.h"
+#include "privim/graph/graph.h"
+#include "privim/graph/graph_io.h"
+#include "privim/im/celf.h"
+#include "privim/im/ris.h"
+#include "privim/im/seed_selection.h"
+#include "privim/obs/export.h"
+#include "privim/obs/metrics.h"
+#include "privim/obs/trace.h"
+#include "privim/serve/request.h"
+#include "privim/serve/service.h"
+
+#endif  // PRIVIM_API_H_

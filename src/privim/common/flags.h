@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <utility>
 
 #include "privim/common/status.h"
 
@@ -20,6 +21,10 @@ class Flags {
  public:
   Flags() = default;
   Flags(int argc, char** argv);
+  /// Builds a view over pre-parsed values (used by FlagRegistry, which
+  /// validates and canonicalizes argv before handing the map over).
+  explicit Flags(std::map<std::string, std::string> values)
+      : values_(std::move(values)) {}
 
   /// True if --name was given.
   bool Has(const std::string& name) const;

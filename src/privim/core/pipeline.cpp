@@ -34,15 +34,53 @@ const char* PrivImVariantToString(PrivImVariant variant) {
 }
 
 Status PrivImOptions::Validate() const {
+  if (gnn.input_dim < 1 || gnn.hidden_dim < 1 || gnn.num_layers < 1) {
+    return Status::InvalidArgument(
+        "gnn dimensions (input_dim, hidden_dim, num_layers) must be >= 1");
+  }
   if (subgraph_size < 2) {
     return Status::InvalidArgument("subgraph_size must be >= 2");
   }
   if (frequency_threshold < 1) {
     return Status::InvalidArgument("frequency_threshold must be >= 1");
   }
+  if (decay < 0.0 || !std::isfinite(decay)) {
+    return Status::InvalidArgument(
+        "decay (mu) must be finite and >= 0 (0 samples uniformly)");
+  }
+  if (!(restart_probability > 0.0) || restart_probability > 1.0) {
+    return Status::InvalidArgument(
+        "restart_probability (tau) must be in (0, 1]");
+  }
+  if (sampling_rate > 1.0) {
+    return Status::InvalidArgument(
+        "sampling_rate (q) must be <= 1 (<= 0 selects the 256/|V| default)");
+  }
+  if (walk_length < 1) {
+    return Status::InvalidArgument("walk_length must be >= 1");
+  }
   if (theta < 1) return Status::InvalidArgument("theta must be >= 1");
+  if (boundary_divisor < 1) {
+    return Status::InvalidArgument("boundary_divisor must be >= 1");
+  }
   if (batch_size < 1) return Status::InvalidArgument("batch_size must be >= 1");
   if (iterations < 1) return Status::InvalidArgument("iterations must be >= 1");
+  if (!(learning_rate > 0.0f) || !std::isfinite(learning_rate)) {
+    return Status::InvalidArgument(
+        "learning_rate must be a positive finite number");
+  }
+  if (!(clip_bound > 0.0f) || !std::isfinite(clip_bound)) {
+    return Status::InvalidArgument(
+        "clip_bound must be a positive finite number");
+  }
+  // epsilon <= 0 or +inf means "train without noise"; only NaN is
+  // unanswerable. delta is a probability; delta <= 0 selects 1/|V_train|.
+  if (std::isnan(epsilon)) {
+    return Status::InvalidArgument("epsilon must not be NaN");
+  }
+  if (std::isnan(delta) || delta >= 1.0) {
+    return Status::InvalidArgument("delta must be < 1 (a failure probability)");
+  }
   if (seed_set_size < 1) {
     return Status::InvalidArgument("seed_set_size must be >= 1");
   }
@@ -53,7 +91,9 @@ Status PrivImOptions::Validate() const {
     return Status::InvalidArgument("checkpoint_keep must be >= 1");
   }
   if (resume && checkpoint_dir.empty()) {
-    return Status::InvalidArgument("resume requires a checkpoint_dir");
+    return Status::InvalidArgument(
+        "resume requires a checkpoint directory (--resume requires "
+        "--checkpoint-dir DIR)");
   }
   return Status::OK();
 }

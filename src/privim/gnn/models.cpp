@@ -44,6 +44,23 @@ Variable GnnModel::AddZeroParameter(int64_t rows, int64_t cols) {
   return param;
 }
 
+Result<Variable> GnnModel::Run(const GraphContext& ctx,
+                               const Tensor& features) const {
+  if (features.rows() != ctx.num_nodes) {
+    return Status::InvalidArgument(
+        "feature matrix has " + std::to_string(features.rows()) +
+        " rows but the graph has " + std::to_string(ctx.num_nodes) +
+        " nodes");
+  }
+  if (features.cols() != config_.input_dim) {
+    return Status::InvalidArgument(
+        "feature matrix has " + std::to_string(features.cols()) +
+        " columns but the model expects input_dim = " +
+        std::to_string(config_.input_dim));
+  }
+  return Forward(ctx, Variable(features));
+}
+
 Status GnnModel::CopyParametersFrom(const GnnModel& other) {
   if (other.params_.size() != params_.size()) {
     return Status::InvalidArgument("parameter count mismatch");

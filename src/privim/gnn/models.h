@@ -41,6 +41,13 @@ class GnnModel {
   virtual Variable Forward(const GraphContext& ctx,
                            const Variable& features) const = 0;
 
+  /// Validated Forward for library callers fed with external input (the
+  /// serving engine, the CLIs): checks that `features` is
+  /// (ctx.num_nodes x input_dim) and returns InvalidArgument instead of
+  /// tripping the shape asserts inside the ops. Hot training loops that
+  /// construct their own matching features keep calling Forward directly.
+  Result<Variable> Run(const GraphContext& ctx, const Tensor& features) const;
+
   /// Trainable parameters, in a stable order (DP-SGD flattening relies on
   /// this order being identical across calls).
   const std::vector<Variable>& parameters() const { return params_; }

@@ -1,0 +1,108 @@
+#include "privim/serve/cache.h"
+
+#include <algorithm>
+
+namespace privim {
+namespace serve {
+
+uint64_t ShardedLruCache::Mix(const CacheKey& key) {
+  // splitmix64 finalizer over the xor of the halves: cheap and spreads
+  // consecutive digests across shards.
+  uint64_t z = key.fingerprint ^ (key.digest * 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+ShardedLruCache::ShardedLruCache(int64_t capacity, int64_t num_shards)
+    : capacity_(std::max<int64_t>(0, capacity)) {
+  num_shards = std::max<int64_t>(1, num_shards);
+  // More shards than entries would leave shards with zero budget; clamp so
+  // every shard can hold at least one entry (unless the cache is disabled).
+  if (capacity_ > 0) num_shards = std::min(num_shards, capacity_);
+  per_shard_capacity_ = capacity_ == 0 ? 0 : (capacity_ + num_shards - 1) /
+                                                 num_shards;
+  shards_.reserve(static_cast<size_t>(num_shards));
+  for (int64_t i = 0; i < num_shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+bool ShardedLruCache::Lookup(const CacheKey& key, std::string* payload) {
+  if (capacity_ == 0) return false;
+  const uint64_t mixed = Mix(key);
+  Shard& shard = ShardFor(mixed);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto it = shard.index.find(mixed);
+  if (it == shard.index.end() || !(it->second->key == key)) {
+    ++shard.misses;
+    return false;
+  }
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  ++shard.hits;
+  if (payload != nullptr) *payload = it->second->payload;
+  return true;
+}
+
+void ShardedLruCache::Insert(const CacheKey& key, const std::string& payload) {
+  if (capacity_ == 0) return;
+  const uint64_t mixed = Mix(key);
+  Shard& shard = ShardFor(mixed);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto it = shard.index.find(mixed);
+  if (it != shard.index.end()) {
+    // Refresh in place (a 64-bit mix collision between distinct keys simply
+    // replaces the entry — the cache is allowed to forget).
+    it->second->key = key;
+    it->second->payload = payload;
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    return;
+  }
+  shard.lru.push_front(Entry{key, payload});
+  shard.index[mixed] = shard.lru.begin();
+  while (static_cast<int64_t>(shard.lru.size()) > per_shard_capacity_) {
+    const Entry& victim = shard.lru.back();
+    shard.index.erase(Mix(victim.key));
+    shard.lru.pop_back();
+    ++shard.evictions;
+  }
+}
+
+int64_t ShardedLruCache::Size() const {
+  int64_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    total += static_cast<int64_t>(shard->lru.size());
+  }
+  return total;
+}
+
+uint64_t ShardedLruCache::hits() const {
+  uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    total += shard->hits;
+  }
+  return total;
+}
+
+uint64_t ShardedLruCache::misses() const {
+  uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    total += shard->misses;
+  }
+  return total;
+}
+
+uint64_t ShardedLruCache::evictions() const {
+  uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    total += shard->evictions;
+  }
+  return total;
+}
+
+}  // namespace serve
+}  // namespace privim

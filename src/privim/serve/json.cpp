@@ -1,0 +1,449 @@
+#include "privim/serve/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace privim {
+namespace serve {
+
+JsonValue JsonValue::Bool(bool b) {
+  JsonValue v;
+  v.kind_ = Kind::kBool;
+  v.bool_ = b;
+  return v;
+}
+
+JsonValue JsonValue::Number(double d) {
+  JsonValue v;
+  v.kind_ = Kind::kNumber;
+  v.number_ = d;
+  return v;
+}
+
+JsonValue JsonValue::Int(int64_t i) {
+  return Number(static_cast<double>(i));
+}
+
+JsonValue JsonValue::Str(std::string s) {
+  JsonValue v;
+  v.kind_ = Kind::kString;
+  v.string_ = std::move(s);
+  return v;
+}
+
+JsonValue JsonValue::Array() {
+  JsonValue v;
+  v.kind_ = Kind::kArray;
+  return v;
+}
+
+JsonValue JsonValue::Object() {
+  JsonValue v;
+  v.kind_ = Kind::kObject;
+  return v;
+}
+
+const JsonValue* JsonValue::Find(const std::string& key) const {
+  if (kind_ != Kind::kObject) return nullptr;
+  for (const auto& [name, value] : members_) {
+    if (name == key) return &value;
+  }
+  return nullptr;
+}
+
+Result<std::string> JsonValue::GetString(const std::string& key,
+                                         const std::string& def) const {
+  const JsonValue* v = Find(key);
+  if (v == nullptr) return def;
+  if (!v->is_string()) {
+    return Status::InvalidArgument("field \"" + key + "\" must be a string");
+  }
+  return v->string_value();
+}
+
+Result<int64_t> JsonValue::GetInt(const std::string& key, int64_t def) const {
+  const JsonValue* v = Find(key);
+  if (v == nullptr) return def;
+  if (!v->is_number() || v->number_value() != std::floor(v->number_value())) {
+    return Status::InvalidArgument("field \"" + key + "\" must be an integer");
+  }
+  return static_cast<int64_t>(v->number_value());
+}
+
+Result<double> JsonValue::GetDouble(const std::string& key,
+                                    double def) const {
+  const JsonValue* v = Find(key);
+  if (v == nullptr) return def;
+  if (!v->is_number()) {
+    return Status::InvalidArgument("field \"" + key + "\" must be a number");
+  }
+  return v->number_value();
+}
+
+Result<bool> JsonValue::GetBool(const std::string& key, bool def) const {
+  const JsonValue* v = Find(key);
+  if (v == nullptr) return def;
+  if (!v->is_bool()) {
+    return Status::InvalidArgument("field \"" + key + "\" must be a boolean");
+  }
+  return v->bool_value();
+}
+
+Result<std::vector<int64_t>> JsonValue::GetIntArray(
+    const std::string& key) const {
+  std::vector<int64_t> out;
+  const JsonValue* v = Find(key);
+  if (v == nullptr) return out;
+  if (!v->is_array()) {
+    return Status::InvalidArgument("field \"" + key +
+                                   "\" must be an array of integers");
+  }
+  out.reserve(v->items().size());
+  for (const JsonValue& item : v->items()) {
+    if (!item.is_number() ||
+        item.number_value() != std::floor(item.number_value())) {
+      return Status::InvalidArgument("field \"" + key +
+                                     "\" must contain only integers");
+    }
+    out.push_back(static_cast<int64_t>(item.number_value()));
+  }
+  return out;
+}
+
+void JsonValue::Append(JsonValue value) {
+  if (kind_ == Kind::kArray) items_.push_back(std::move(value));
+}
+
+void JsonValue::Set(std::string key, JsonValue value) {
+  if (kind_ != Kind::kObject) return;
+  for (auto& [name, existing] : members_) {
+    if (name == key) {
+      existing = std::move(value);
+      return;
+    }
+  }
+  members_.emplace_back(std::move(key), std::move(value));
+}
+
+std::string JsonQuote(const std::string& text) {
+  std::string out = "\"";
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += "\"";
+  return out;
+}
+
+namespace {
+
+void DumpNumber(double d, std::string* out) {
+  if (std::isfinite(d) && d == std::floor(d) && std::fabs(d) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(d));
+    *out += buf;
+    return;
+  }
+  if (!std::isfinite(d)) {
+    // JSON has no Infinity/NaN; serve payloads encode them as null.
+    *out += "null";
+    return;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", d);
+  *out += buf;
+}
+
+}  // namespace
+
+void JsonValue::DumpTo(std::string* out) const {
+  switch (kind_) {
+    case Kind::kNull:
+      *out += "null";
+      break;
+    case Kind::kBool:
+      *out += bool_ ? "true" : "false";
+      break;
+    case Kind::kNumber:
+      DumpNumber(number_, out);
+      break;
+    case Kind::kString:
+      *out += JsonQuote(string_);
+      break;
+    case Kind::kArray: {
+      *out += '[';
+      bool first = true;
+      for (const JsonValue& item : items_) {
+        if (!first) *out += ',';
+        first = false;
+        item.DumpTo(out);
+      }
+      *out += ']';
+      break;
+    }
+    case Kind::kObject: {
+      *out += '{';
+      bool first = true;
+      for (const auto& [name, value] : members_) {
+        if (!first) *out += ',';
+        first = false;
+        *out += JsonQuote(name);
+        *out += ':';
+        value.DumpTo(out);
+      }
+      *out += '}';
+      break;
+    }
+  }
+}
+
+std::string JsonValue::Dump() const {
+  std::string out;
+  DumpTo(&out);
+  return out;
+}
+
+namespace {
+
+/// Recursive-descent parser over a bounded character range.
+class Parser {
+ public:
+  Parser(const char* begin, const char* end) : p_(begin), end_(end) {}
+
+  Result<JsonValue> ParseDocument() {
+    Result<JsonValue> value = ParseValue();
+    if (!value.ok()) return value;
+    SkipWhitespace();
+    if (p_ != end_) {
+      return Status::InvalidArgument(
+          "trailing characters after JSON document");
+    }
+    return value;
+  }
+
+ private:
+  void SkipWhitespace() {
+    while (p_ != end_ && (*p_ == ' ' || *p_ == '\t' || *p_ == '\n' ||
+                          *p_ == '\r')) {
+      ++p_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (p_ != end_ && *p_ == c) {
+      ++p_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeLiteral(const char* literal) {
+    const char* q = p_;
+    for (const char* l = literal; *l != '\0'; ++l, ++q) {
+      if (q == end_ || *q != *l) return false;
+    }
+    p_ = q;
+    return true;
+  }
+
+  Result<JsonValue> ParseValue() {
+    SkipWhitespace();
+    if (p_ == end_) return Status::InvalidArgument("unexpected end of JSON");
+    switch (*p_) {
+      case '{':
+        return ParseObject();
+      case '[':
+        return ParseArray();
+      case '"': {
+        Result<std::string> s = ParseString();
+        if (!s.ok()) return s.status();
+        return JsonValue::Str(std::move(s).value());
+      }
+      case 't':
+        if (ConsumeLiteral("true")) return JsonValue::Bool(true);
+        break;
+      case 'f':
+        if (ConsumeLiteral("false")) return JsonValue::Bool(false);
+        break;
+      case 'n':
+        if (ConsumeLiteral("null")) return JsonValue::Null();
+        break;
+      default:
+        return ParseNumber();
+    }
+    return Status::InvalidArgument(std::string("invalid JSON near '") +
+                                   *p_ + "'");
+  }
+
+  Result<JsonValue> ParseNumber() {
+    const char* start = p_;
+    if (p_ != end_ && (*p_ == '-' || *p_ == '+')) ++p_;
+    bool digits = false;
+    while (p_ != end_ && (std::isdigit(static_cast<unsigned char>(*p_)) ||
+                          *p_ == '.' || *p_ == 'e' || *p_ == 'E' ||
+                          *p_ == '-' || *p_ == '+')) {
+      if (std::isdigit(static_cast<unsigned char>(*p_))) digits = true;
+      ++p_;
+    }
+    if (!digits) return Status::InvalidArgument("invalid JSON number");
+    const std::string text(start, p_);
+    char* parse_end = nullptr;
+    const double value = std::strtod(text.c_str(), &parse_end);
+    if (parse_end == nullptr || *parse_end != '\0') {
+      return Status::InvalidArgument("invalid JSON number \"" + text + "\"");
+    }
+    return JsonValue::Number(value);
+  }
+
+  Result<std::string> ParseString() {
+    if (!Consume('"')) return Status::InvalidArgument("expected '\"'");
+    std::string out;
+    while (p_ != end_ && *p_ != '"') {
+      if (*p_ == '\\') {
+        ++p_;
+        if (p_ == end_) break;
+        switch (*p_) {
+          case '"':
+            out += '"';
+            break;
+          case '\\':
+            out += '\\';
+            break;
+          case '/':
+            out += '/';
+            break;
+          case 'n':
+            out += '\n';
+            break;
+          case 'r':
+            out += '\r';
+            break;
+          case 't':
+            out += '\t';
+            break;
+          case 'b':
+            out += '\b';
+            break;
+          case 'f':
+            out += '\f';
+            break;
+          case 'u': {
+            if (end_ - p_ < 5) {
+              return Status::InvalidArgument("truncated \\u escape");
+            }
+            const std::string hex(p_ + 1, p_ + 5);
+            char* hex_end = nullptr;
+            const long code = std::strtol(hex.c_str(), &hex_end, 16);
+            if (hex_end == nullptr || *hex_end != '\0') {
+              return Status::InvalidArgument("invalid \\u escape \"" + hex +
+                                             "\"");
+            }
+            // Basic-multilingual-plane only; encode as UTF-8.
+            if (code < 0x80) {
+              out += static_cast<char>(code);
+            } else if (code < 0x800) {
+              out += static_cast<char>(0xC0 | (code >> 6));
+              out += static_cast<char>(0x80 | (code & 0x3F));
+            } else {
+              out += static_cast<char>(0xE0 | (code >> 12));
+              out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+              out += static_cast<char>(0x80 | (code & 0x3F));
+            }
+            p_ += 4;
+            break;
+          }
+          default:
+            return Status::InvalidArgument(
+                std::string("invalid escape '\\") + *p_ + "'");
+        }
+        ++p_;
+      } else {
+        out += *p_;
+        ++p_;
+      }
+    }
+    if (!Consume('"')) {
+      return Status::InvalidArgument("unterminated JSON string");
+    }
+    return out;
+  }
+
+  Result<JsonValue> ParseArray() {
+    Consume('[');
+    JsonValue array = JsonValue::Array();
+    SkipWhitespace();
+    if (Consume(']')) return array;
+    while (true) {
+      Result<JsonValue> item = ParseValue();
+      if (!item.ok()) return item;
+      array.Append(std::move(item).value());
+      SkipWhitespace();
+      if (Consume(']')) return array;
+      if (!Consume(',')) {
+        return Status::InvalidArgument("expected ',' or ']' in JSON array");
+      }
+    }
+  }
+
+  Result<JsonValue> ParseObject() {
+    Consume('{');
+    JsonValue object = JsonValue::Object();
+    SkipWhitespace();
+    if (Consume('}')) return object;
+    while (true) {
+      SkipWhitespace();
+      Result<std::string> key = ParseString();
+      if (!key.ok()) return key.status();
+      SkipWhitespace();
+      if (!Consume(':')) {
+        return Status::InvalidArgument("expected ':' in JSON object");
+      }
+      Result<JsonValue> value = ParseValue();
+      if (!value.ok()) return value;
+      object.Set(std::move(key).value(), std::move(value).value());
+      SkipWhitespace();
+      if (Consume('}')) return object;
+      if (!Consume(',')) {
+        return Status::InvalidArgument("expected ',' or '}' in JSON object");
+      }
+    }
+  }
+
+  const char* p_;
+  const char* end_;
+};
+
+}  // namespace
+
+Result<JsonValue> JsonValue::Parse(const std::string& text) {
+  Parser parser(text.data(), text.data() + text.size());
+  return parser.ParseDocument();
+}
+
+}  // namespace serve
+}  // namespace privim

@@ -1,0 +1,98 @@
+// Minimal JSON value type for the serving wire format (JSON-lines request
+// and response objects). Deliberately small: objects, arrays, strings,
+// doubles, booleans and null — enough for flat request/response records,
+// not a general document store. Parsing returns Status instead of throwing,
+// matching the library-wide error idiom, and serialization is byte-stable
+// (object keys are kept in insertion order, doubles print with %.17g) so
+// responses can be compared bit-for-bit in the determinism tests.
+
+#ifndef PRIVIM_SERVE_JSON_H_
+#define PRIVIM_SERVE_JSON_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "privim/common/status.h"
+
+namespace privim {
+namespace serve {
+
+/// A parsed JSON value. Copyable; object members keep insertion order.
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() : kind_(Kind::kNull) {}
+  static JsonValue Null() { return JsonValue(); }
+  static JsonValue Bool(bool b);
+  static JsonValue Number(double d);
+  static JsonValue Int(int64_t i);
+  static JsonValue Str(std::string s);
+  static JsonValue Array();
+  static JsonValue Object();
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  bool bool_value() const { return bool_; }
+  double number_value() const { return number_; }
+  const std::string& string_value() const { return string_; }
+  const std::vector<JsonValue>& items() const { return items_; }
+  const std::vector<std::pair<std::string, JsonValue>>& members() const {
+    return members_;
+  }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const JsonValue* Find(const std::string& key) const;
+
+  /// Typed object-member accessors for flat request records. Each returns
+  /// the default when the key is absent, and InvalidArgument when the key
+  /// is present with the wrong type (a typo'd request should fail loudly,
+  /// not silently fall back).
+  Result<std::string> GetString(const std::string& key,
+                                const std::string& def) const;
+  Result<int64_t> GetInt(const std::string& key, int64_t def) const;
+  Result<double> GetDouble(const std::string& key, double def) const;
+  Result<bool> GetBool(const std::string& key, bool def) const;
+  /// Array-of-integers member (e.g. seed node lists).
+  Result<std::vector<int64_t>> GetIntArray(const std::string& key) const;
+
+  /// Mutators (no-ops unless the value holds the matching kind).
+  void Append(JsonValue value);
+  void Set(std::string key, JsonValue value);
+
+  /// Compact serialization (no whitespace). Doubles that hold an exact
+  /// integer print without a fraction; others print with %.17g and
+  /// round-trip bit-exactly.
+  std::string Dump() const;
+
+  /// Parses exactly one JSON document from `text` (trailing whitespace
+  /// allowed, anything else is an error).
+  static Result<JsonValue> Parse(const std::string& text);
+
+ private:
+  void DumpTo(std::string* out) const;
+
+  Kind kind_;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> items_;
+  std::vector<std::pair<std::string, JsonValue>> members_;
+};
+
+/// Escapes `text` as a JSON string literal (including the quotes).
+std::string JsonQuote(const std::string& text);
+
+}  // namespace serve
+}  // namespace privim
+
+#endif  // PRIVIM_SERVE_JSON_H_

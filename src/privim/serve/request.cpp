@@ -1,0 +1,182 @@
+#include "privim/serve/request.h"
+
+#include <limits>
+#include <utility>
+
+#include "privim/ckpt/io.h"
+
+namespace privim {
+namespace serve {
+
+const char* RequestOpToString(RequestOp op) {
+  switch (op) {
+    case RequestOp::kInfluence:
+      return "influence";
+    case RequestOp::kTopK:
+      return "topk";
+    case RequestOp::kSpread:
+      return "spread";
+  }
+  return "?";
+}
+
+const char* TopKMethodToString(TopKMethod method) {
+  switch (method) {
+    case TopKMethod::kModel:
+      return "model";
+    case TopKMethod::kCelf:
+      return "celf";
+    case TopKMethod::kRis:
+      return "ris";
+  }
+  return "?";
+}
+
+Status ServeRequest::Validate() const {
+  if (op == RequestOp::kTopK && k < 1) {
+    return Status::InvalidArgument("topk requires k >= 1");
+  }
+  if (op == RequestOp::kTopK && method == TopKMethod::kRis && rr_sets < 1) {
+    return Status::InvalidArgument("ris requires rr_sets >= 1");
+  }
+  if (op == RequestOp::kSpread && seeds.empty()) {
+    return Status::InvalidArgument("spread requires a non-empty \"seeds\"");
+  }
+  if (op == RequestOp::kSpread && simulations < 0) {
+    return Status::InvalidArgument("simulations must be >= 0");
+  }
+  if (steps < -1) {
+    return Status::InvalidArgument("steps must be >= -1 (-1 = to quiescence)");
+  }
+  return Status::OK();
+}
+
+namespace {
+
+Result<std::vector<NodeId>> ToNodeIds(const std::vector<int64_t>& values,
+                                      const char* field) {
+  std::vector<NodeId> ids;
+  ids.reserve(values.size());
+  for (const int64_t v : values) {
+    if (v < 0 || v > std::numeric_limits<NodeId>::max()) {
+      return Status::InvalidArgument(std::string("\"") + field +
+                                     "\" contains an invalid node id: " +
+                                     std::to_string(v));
+    }
+    ids.push_back(static_cast<NodeId>(v));
+  }
+  return ids;
+}
+
+}  // namespace
+
+Result<ServeRequest> ParseServeRequest(const std::string& json_line) {
+  Result<JsonValue> doc = JsonValue::Parse(json_line);
+  if (!doc.ok()) return doc.status();
+  if (!doc->is_object()) {
+    return Status::InvalidArgument("request must be a JSON object");
+  }
+
+  ServeRequest request;
+  Result<std::string> id = doc->GetString("id", "");
+  if (!id.ok()) return id.status();
+  request.id = std::move(id).value();
+
+  Result<std::string> op = doc->GetString("op", "");
+  if (!op.ok()) return op.status();
+  if (op.value() == "influence") {
+    request.op = RequestOp::kInfluence;
+  } else if (op.value() == "topk") {
+    request.op = RequestOp::kTopK;
+  } else if (op.value() == "spread") {
+    request.op = RequestOp::kSpread;
+  } else {
+    return Status::InvalidArgument(
+        "unknown op \"" + op.value() +
+        "\" (expected influence | topk | spread)");
+  }
+
+  Result<std::vector<int64_t>> nodes = doc->GetIntArray("nodes");
+  if (!nodes.ok()) return nodes.status();
+  Result<std::vector<NodeId>> node_ids = ToNodeIds(nodes.value(), "nodes");
+  if (!node_ids.ok()) return node_ids.status();
+  request.nodes = std::move(node_ids).value();
+
+  Result<std::vector<int64_t>> seeds = doc->GetIntArray("seeds");
+  if (!seeds.ok()) return seeds.status();
+  Result<std::vector<NodeId>> seed_ids = ToNodeIds(seeds.value(), "seeds");
+  if (!seed_ids.ok()) return seed_ids.status();
+  request.seeds = std::move(seed_ids).value();
+
+  Result<int64_t> k = doc->GetInt("k", request.k);
+  if (!k.ok()) return k.status();
+  request.k = k.value();
+
+  Result<std::string> method = doc->GetString("method", "model");
+  if (!method.ok()) return method.status();
+  if (method.value() == "model") {
+    request.method = TopKMethod::kModel;
+  } else if (method.value() == "celf") {
+    request.method = TopKMethod::kCelf;
+  } else if (method.value() == "ris") {
+    request.method = TopKMethod::kRis;
+  } else {
+    return Status::InvalidArgument("unknown method \"" + method.value() +
+                                   "\" (expected model | celf | ris)");
+  }
+
+  Result<int64_t> rr_sets = doc->GetInt("rr_sets", request.rr_sets);
+  if (!rr_sets.ok()) return rr_sets.status();
+  request.rr_sets = rr_sets.value();
+
+  Result<int64_t> simulations = doc->GetInt("simulations",
+                                            request.simulations);
+  if (!simulations.ok()) return simulations.status();
+  request.simulations = simulations.value();
+
+  Result<int64_t> steps = doc->GetInt("steps", request.steps);
+  if (!steps.ok()) return steps.status();
+  request.steps = steps.value();
+
+  Result<int64_t> seed = doc->GetInt("seed",
+                                     static_cast<int64_t>(request.seed));
+  if (!seed.ok()) return seed.status();
+  request.seed = static_cast<uint64_t>(seed.value());
+
+  PRIVIM_RETURN_NOT_OK(request.Validate());
+  return request;
+}
+
+uint64_t RequestDigest(const ServeRequest& request) {
+  ckpt::ByteWriter w;
+  w.WriteU8(static_cast<uint8_t>(request.op));
+  w.WriteU8(static_cast<uint8_t>(request.method));
+  w.WriteI64(request.k);
+  w.WriteI64(request.rr_sets);
+  w.WriteI64(request.simulations);
+  w.WriteI64(request.steps);
+  w.WriteU64(request.seed);
+  w.WriteI64(static_cast<int64_t>(request.nodes.size()));
+  for (const NodeId v : request.nodes) w.WriteI64(v);
+  w.WriteI64(static_cast<int64_t>(request.seeds.size()));
+  for (const NodeId v : request.seeds) w.WriteI64(v);
+  return ckpt::Fnv1a64(w.bytes());
+}
+
+std::string ServeResponse::ToJsonLine() const {
+  JsonValue object = JsonValue::Object();
+  object.Set("id", JsonValue::Str(id));
+  object.Set("ok", JsonValue::Bool(status.ok()));
+  if (status.ok()) {
+    for (const auto& [name, value] : payload.members()) {
+      object.Set(name, value);
+    }
+  } else {
+    object.Set("code", JsonValue::Str(StatusCodeToString(status.code())));
+    object.Set("error", JsonValue::Str(status.message()));
+  }
+  return object.Dump();
+}
+
+}  // namespace serve
+}  // namespace privim

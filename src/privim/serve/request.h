@@ -1,0 +1,94 @@
+// Serving wire format: requests and responses exchanged as JSON-lines.
+//
+// A request is one flat JSON object per line:
+//
+//   {"id":"r1","op":"influence","nodes":[1,2,3]}
+//   {"id":"r2","op":"topk","k":10,"method":"model"}
+//   {"id":"r3","op":"topk","k":10,"method":"celf","steps":1}
+//   {"id":"r4","op":"topk","k":10,"method":"ris","rr_sets":2000,"seed":7}
+//   {"id":"r5","op":"spread","seeds":[0,5],"steps":2,"simulations":500,
+//    "seed":13}
+//
+// Responses echo the id and carry op-specific payload fields plus "ok"
+// and (on failure) "error"/"code". Responses are a pure function
+// of (model, graph, request) — never of batch composition, thread count or
+// cache state — so a fixed request seed yields a bit-identical response
+// line at 1, 4 or 8 threads (pinned by tests/serve/service_test.cpp).
+
+#ifndef PRIVIM_SERVE_REQUEST_H_
+#define PRIVIM_SERVE_REQUEST_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "privim/common/status.h"
+#include "privim/graph/graph.h"
+#include "privim/serve/json.h"
+
+namespace privim {
+namespace serve {
+
+enum class RequestOp { kInfluence, kTopK, kSpread };
+enum class TopKMethod { kModel, kCelf, kRis };
+
+const char* RequestOpToString(RequestOp op);
+const char* TopKMethodToString(TopKMethod method);
+
+/// One influence query. Defaults match the evaluation setting of the paper
+/// (j = 1 diffusion steps, MC estimation for weighted graphs).
+struct ServeRequest {
+  std::string id;                          ///< echoed verbatim
+  RequestOp op = RequestOp::kInfluence;
+
+  // --- influence ---
+  /// Nodes to report scores for; empty means every node.
+  std::vector<NodeId> nodes;
+
+  // --- topk ---
+  int64_t k = 10;
+  TopKMethod method = TopKMethod::kModel;
+  int64_t rr_sets = 2000;  ///< RIS pool size
+
+  // --- spread ---
+  std::vector<NodeId> seeds;
+  int64_t simulations = 200;  ///< 0 selects the deterministic unit-weight path
+
+  // --- shared ---
+  int64_t steps = 1;   ///< diffusion steps j
+  uint64_t seed = 42;  ///< per-request RNG stream root
+
+  /// Range checks that do not need the graph (graph-dependent checks —
+  /// node ids in range — happen at execution).
+  Status Validate() const;
+};
+
+/// Parses one JSON-lines record. Unknown "op"/"method" strings, wrongly
+/// typed fields and out-of-range values are InvalidArgument.
+Result<ServeRequest> ParseServeRequest(const std::string& json_line);
+
+/// Order-sensitive FNV-1a digest over every semantic field. Two requests
+/// with equal digests are the same query; together with the model/graph
+/// fingerprint this keys the response cache.
+uint64_t RequestDigest(const ServeRequest& request);
+
+/// Outcome of one request. `payload` holds the op-specific members that
+/// are merged into the response object.
+struct ServeResponse {
+  std::string id;
+  Status status;
+  JsonValue payload = JsonValue::Object();
+  /// True when the payload came from the response cache. Deliberately NOT
+  /// serialized: the wire response must be bit-identical whether or not a
+  /// cache sat in front of the computation.
+  bool cached = false;
+
+  /// {"id":...,"ok":true,...payload...} — or, on error,
+  /// {"id":...,"ok":false,"code":"InvalidArgument","error":"..."}.
+  std::string ToJsonLine() const;
+};
+
+}  // namespace serve
+}  // namespace privim
+
+#endif  // PRIVIM_SERVE_REQUEST_H_

@@ -1,0 +1,508 @@
+#include "privim/serve/service.h"
+
+#include <algorithm>
+#include <sstream>
+#include <utility>
+
+#include "privim/ckpt/io.h"
+#include "privim/common/thread_pool.h"
+#include "privim/diffusion/ic_model.h"
+#include "privim/gnn/features.h"
+#include "privim/gnn/graph_context.h"
+#include "privim/gnn/serialization.h"
+#include "privim/im/celf.h"
+#include "privim/im/ris.h"
+#include "privim/im/seed_selection.h"
+#include "privim/im/spread_oracle.h"
+#include "privim/obs/metrics.h"
+#include "privim/obs/trace.h"
+
+namespace privim {
+namespace serve {
+
+namespace {
+
+obs::Counter* AdmittedCounter() {
+  static obs::Counter* c =
+      obs::GlobalMetrics().GetCounter("serve.requests.admitted");
+  return c;
+}
+obs::Counter* RejectedCounter() {
+  static obs::Counter* c =
+      obs::GlobalMetrics().GetCounter("serve.requests.rejected");
+  return c;
+}
+obs::Counter* CompletedCounter() {
+  static obs::Counter* c =
+      obs::GlobalMetrics().GetCounter("serve.requests.completed");
+  return c;
+}
+obs::Counter* ErrorCounter() {
+  static obs::Counter* c =
+      obs::GlobalMetrics().GetCounter("serve.requests.errors");
+  return c;
+}
+obs::Counter* CacheHitCounter() {
+  static obs::Counter* c = obs::GlobalMetrics().GetCounter("serve.cache.hits");
+  return c;
+}
+obs::Counter* CacheMissCounter() {
+  static obs::Counter* c =
+      obs::GlobalMetrics().GetCounter("serve.cache.misses");
+  return c;
+}
+obs::Gauge* QueueDepthGauge() {
+  static obs::Gauge* g = obs::GlobalMetrics().GetGauge("serve.queue.depth");
+  return g;
+}
+obs::Histogram* BatchSizeHistogram() {
+  static obs::Histogram* h = obs::GlobalMetrics().GetHistogram(
+      "serve.batch.size", {1, 2, 4, 8, 16, 32, 64, 128});
+  return h;
+}
+obs::Histogram* LatencyHistogram() {
+  static obs::Histogram* h = obs::GlobalMetrics().GetHistogram(
+      "serve.latency.seconds", obs::DefaultTimeBucketsSeconds());
+  return h;
+}
+
+void UpdateMax(std::atomic<uint64_t>* sink, uint64_t candidate) {
+  uint64_t current = sink->load(std::memory_order_relaxed);
+  while (candidate > current &&
+         !sink->compare_exchange_weak(current, candidate,
+                                      std::memory_order_relaxed)) {
+  }
+}
+
+JsonValue NodeArray(const std::vector<NodeId>& nodes) {
+  JsonValue array = JsonValue::Array();
+  for (const NodeId v : nodes) array.Append(JsonValue::Int(v));
+  return array;
+}
+
+}  // namespace
+
+Status ServeOptions::Validate() const {
+  if (queue_capacity < 1) {
+    return Status::InvalidArgument("queue_capacity must be >= 1");
+  }
+  if (max_batch < 1) {
+    return Status::InvalidArgument("max_batch must be >= 1");
+  }
+  if (max_batch > queue_capacity) {
+    return Status::InvalidArgument(
+        "max_batch (" + std::to_string(max_batch) +
+        ") must not exceed queue_capacity (" +
+        std::to_string(queue_capacity) + ")");
+  }
+  if (cache_capacity < 0) {
+    return Status::InvalidArgument("cache_capacity must be >= 0");
+  }
+  if (cache_shards < 1) {
+    return Status::InvalidArgument("cache_shards must be >= 1");
+  }
+  return Status::OK();
+}
+
+InfluenceService::InfluenceService(Graph graph,
+                                   std::shared_ptr<const GnnModel> model,
+                                   const ServeOptions& options)
+    : graph_(std::move(graph)),
+      model_(std::move(model)),
+      options_(options),
+      cache_(options.cache_capacity, options.cache_shards) {}
+
+Result<std::unique_ptr<InfluenceService>> InfluenceService::Create(
+    Graph graph, std::shared_ptr<const GnnModel> model,
+    const ServeOptions& options) {
+  PRIVIM_RETURN_NOT_OK(options.Validate());
+  if (graph.num_nodes() < 1) {
+    return Status::InvalidArgument("serving graph must have at least 1 node");
+  }
+  std::unique_ptr<InfluenceService> service(
+      new InfluenceService(std::move(graph), std::move(model), options));
+
+  // Bind cache entries to this exact (graph, model) pair: the graph's
+  // structural fingerprint chained with the model's serialized bytes.
+  uint64_t fp = ckpt::FingerprintGraph(service->graph_);
+  if (service->model_ != nullptr) {
+    std::ostringstream encoded;
+    PRIVIM_RETURN_NOT_OK(WriteGnnModel(*service->model_, encoded));
+    fp = ckpt::Fnv1a64(encoded.str(), fp);
+  }
+  service->fingerprint_ = fp;
+  return service;
+}
+
+InfluenceService::~InfluenceService() { Stop(); }
+
+Status InfluenceService::Start() {
+  std::lock_guard<std::mutex> lock(queue_mutex_);
+  if (started_) {
+    return Status::FailedPrecondition("service already started");
+  }
+  if (stopping_) {
+    return Status::FailedPrecondition("service already stopped");
+  }
+  started_ = true;
+  scheduler_ = std::thread([this] { SchedulerLoop(); });
+  return Status::OK();
+}
+
+void InfluenceService::Stop() {
+  std::vector<Pending> leftover;
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    if (stopping_) return;
+    stopping_ = true;
+    if (!started_) {
+      // No scheduler ever ran: drain whatever queued up inline so every
+      // future is fulfilled.
+      while (!queue_.empty()) {
+        leftover.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+    }
+  }
+  queue_not_empty_.notify_all();
+  queue_not_full_.notify_all();
+  if (scheduler_.joinable()) scheduler_.join();
+  if (!leftover.empty()) RunBatch(&leftover);
+}
+
+Result<std::future<ServeResponse>> InfluenceService::Submit(
+    const ServeRequest& request) {
+  return SubmitInternal(request, /*blocking=*/true);
+}
+
+Result<std::future<ServeResponse>> InfluenceService::TrySubmit(
+    const ServeRequest& request) {
+  return SubmitInternal(request, /*blocking=*/false);
+}
+
+Result<std::future<ServeResponse>> InfluenceService::SubmitInternal(
+    const ServeRequest& request, bool blocking) {
+  PRIVIM_RETURN_NOT_OK(request.Validate());
+
+  // Fast path: a cached payload resolves the future immediately.
+  const CacheKey key{fingerprint_, RequestDigest(request)};
+  std::string payload;
+  if (cache_.Lookup(key, &payload)) {
+    CacheHitCounter()->Increment();
+    Result<JsonValue> parsed = JsonValue::Parse(payload);
+    ServeResponse response;
+    response.id = request.id;
+    response.cached = true;
+    if (parsed.ok()) {
+      response.payload = std::move(parsed).value();
+    } else {
+      response.status = Status::Internal("corrupt cache payload: " +
+                                         parsed.status().message());
+    }
+    std::promise<ServeResponse> ready;
+    std::future<ServeResponse> future = ready.get_future();
+    ready.set_value(std::move(response));
+    return future;
+  }
+  CacheMissCounter()->Increment();
+
+  Pending pending;
+  pending.request = request;
+  pending.request.id = request.id;
+  pending.admit_seconds = epoch_.ElapsedSeconds();
+  std::future<ServeResponse> future = pending.promise.get_future();
+  {
+    std::unique_lock<std::mutex> lock(queue_mutex_);
+    if (stopping_) {
+      return Status::FailedPrecondition("service is stopped");
+    }
+    if (static_cast<int64_t>(queue_.size()) >= options_.queue_capacity) {
+      if (!blocking) {
+        rejected_.fetch_add(1, std::memory_order_relaxed);
+        RejectedCounter()->Increment();
+        return Status::FailedPrecondition(
+            "admission queue full (" +
+            std::to_string(options_.queue_capacity) + " requests)");
+      }
+      queue_not_full_.wait(lock, [this] {
+        return stopping_ ||
+               static_cast<int64_t>(queue_.size()) < options_.queue_capacity;
+      });
+      if (stopping_) {
+        return Status::FailedPrecondition("service is stopped");
+      }
+    }
+    queue_.push_back(std::move(pending));
+    QueueDepthGauge()->Set(static_cast<double>(queue_.size()));
+  }
+  admitted_.fetch_add(1, std::memory_order_relaxed);
+  AdmittedCounter()->Increment();
+  queue_not_empty_.notify_one();
+  return future;
+}
+
+void InfluenceService::SchedulerLoop() {
+  while (true) {
+    std::vector<Pending> batch;
+    {
+      std::unique_lock<std::mutex> lock(queue_mutex_);
+      queue_not_empty_.wait(lock,
+                            [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) break;  // stopping and fully drained
+      const size_t take = std::min<size_t>(
+          queue_.size(), static_cast<size_t>(options_.max_batch));
+      batch.reserve(take);
+      for (size_t i = 0; i < take; ++i) {
+        batch.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+      QueueDepthGauge()->Set(static_cast<double>(queue_.size()));
+    }
+    queue_not_full_.notify_all();
+    RunBatch(&batch);
+  }
+}
+
+void InfluenceService::RunBatch(std::vector<Pending>* batch) {
+  obs::TraceSpan span("serve.batch");
+  batches_.fetch_add(1, std::memory_order_relaxed);
+  UpdateMax(&max_batch_size_, batch->size());
+  BatchSizeHistogram()->Observe(static_cast<double>(batch->size()));
+
+  // One queue batch fans out across the pool; each request is an
+  // independent pure function of (model, graph, request), so the partition
+  // cannot affect any response.
+  GlobalThreadPool().ParallelFor(batch->size(), [&](size_t i) {
+    Pending& pending = (*batch)[i];
+    ServeResponse response = Compute(pending.request);
+    if (response.status.ok()) {
+      cache_.Insert(CacheKey{fingerprint_, RequestDigest(pending.request)},
+                    response.payload.Dump());
+    }
+    LatencyHistogram()->Observe(epoch_.ElapsedSeconds() -
+                                pending.admit_seconds);
+    completed_.fetch_add(1, std::memory_order_relaxed);
+    CompletedCounter()->Increment();
+    if (!response.status.ok()) ErrorCounter()->Increment();
+    pending.promise.set_value(std::move(response));
+  });
+}
+
+ServeResponse InfluenceService::Execute(const ServeRequest& request) {
+  ServeResponse response;
+  response.id = request.id;
+  response.status = request.Validate();
+  if (!response.status.ok()) return response;
+
+  const CacheKey key{fingerprint_, RequestDigest(request)};
+  std::string payload;
+  if (cache_.Lookup(key, &payload)) {
+    CacheHitCounter()->Increment();
+    Result<JsonValue> parsed = JsonValue::Parse(payload);
+    if (parsed.ok()) {
+      response.payload = std::move(parsed).value();
+      response.cached = true;
+    } else {
+      response.status = Status::Internal("corrupt cache payload: " +
+                                         parsed.status().message());
+    }
+    return response;
+  }
+  CacheMissCounter()->Increment();
+
+  const double start = epoch_.ElapsedSeconds();
+  response = Compute(request);
+  if (response.status.ok()) {
+    cache_.Insert(key, response.payload.Dump());
+  }
+  LatencyHistogram()->Observe(epoch_.ElapsedSeconds() - start);
+  completed_.fetch_add(1, std::memory_order_relaxed);
+  CompletedCounter()->Increment();
+  if (!response.status.ok()) ErrorCounter()->Increment();
+  return response;
+}
+
+Result<Tensor> InfluenceService::Scores() {
+  std::lock_guard<std::mutex> lock(scores_mutex_);
+  if (!scores_ready_) {
+    scores_ready_ = true;
+    if (model_ == nullptr) {
+      scores_status_ = Status::FailedPrecondition(
+          "service was created without a model; influence scores and "
+          "method=model top-k need --model");
+    } else {
+      obs::TraceSpan span("serve.forward");
+      const GraphContext ctx = GraphContext::Build(graph_);
+      const Tensor features =
+          BuildNodeFeatures(graph_, model_->config().input_dim);
+      Result<Variable> out = model_->Run(ctx, features);
+      if (out.ok()) {
+        scores_ = out.value().value();
+      } else {
+        scores_status_ = out.status();
+      }
+    }
+  }
+  if (!scores_status_.ok()) return scores_status_;
+  return scores_;
+}
+
+ServeResponse InfluenceService::Compute(const ServeRequest& request) {
+  obs::TraceSpan span("serve.request");
+  ServeResponse response;
+  response.id = request.id;
+
+  // Graph-dependent validation shared by the ops.
+  const int64_t n = graph_.num_nodes();
+  for (const NodeId v : request.nodes) {
+    if (v < 0 || v >= n) {
+      response.status = Status::OutOfRange(
+          "node id " + std::to_string(v) + " out of range [0, " +
+          std::to_string(n) + ")");
+      return response;
+    }
+  }
+  for (const NodeId v : request.seeds) {
+    if (v < 0 || v >= n) {
+      response.status = Status::OutOfRange(
+          "seed id " + std::to_string(v) + " out of range [0, " +
+          std::to_string(n) + ")");
+      return response;
+    }
+  }
+
+  switch (request.op) {
+    case RequestOp::kInfluence: {
+      Result<Tensor> scores = Scores();
+      if (!scores.ok()) {
+        response.status = scores.status();
+        return response;
+      }
+      std::vector<NodeId> nodes = request.nodes;
+      if (nodes.empty()) {
+        nodes.resize(static_cast<size_t>(n));
+        for (int64_t v = 0; v < n; ++v) {
+          nodes[static_cast<size_t>(v)] = static_cast<NodeId>(v);
+        }
+      }
+      JsonValue score_array = JsonValue::Array();
+      for (const NodeId v : nodes) {
+        score_array.Append(
+            JsonValue::Number(static_cast<double>(scores->at(v, 0))));
+      }
+      response.payload.Set("op", JsonValue::Str("influence"));
+      response.payload.Set("nodes", NodeArray(nodes));
+      response.payload.Set("scores", std::move(score_array));
+      return response;
+    }
+
+    case RequestOp::kTopK: {
+      response.payload.Set("op", JsonValue::Str("topk"));
+      response.payload.Set("method",
+                           JsonValue::Str(TopKMethodToString(request.method)));
+      switch (request.method) {
+        case TopKMethod::kModel: {
+          Result<Tensor> scores = Scores();
+          if (!scores.ok()) {
+            response.status = scores.status();
+            return response;
+          }
+          response.payload.Set("seeds",
+                               NodeArray(TopKSeeds(scores.value(),
+                                                   request.k)));
+          return response;
+        }
+        case TopKMethod::kCelf: {
+          Result<SeedSelectionResult> result =
+              [&]() -> Result<SeedSelectionResult> {
+            if (HasUnitWeights(graph_)) {
+              DeterministicCoverageOracle oracle(graph_, request.steps);
+              return CelfGreedy(oracle, request.k);
+            }
+            IcOptions mc;
+            mc.max_steps = request.steps;
+            mc.num_simulations = request.simulations;
+            MonteCarloIcOracle oracle(graph_, mc, request.seed);
+            return CelfGreedy(oracle, request.k);
+          }();
+          if (!result.ok()) {
+            response.status = result.status();
+            return response;
+          }
+          response.payload.Set("seeds", NodeArray(result->seeds));
+          response.payload.Set("spread", JsonValue::Number(result->spread));
+          response.payload.Set("evaluations",
+                               JsonValue::Int(result->evaluations));
+          return response;
+        }
+        case TopKMethod::kRis: {
+          RisOptions ris;
+          ris.num_rr_sets = request.rr_sets;
+          ris.max_steps = request.steps;
+          Rng rng(request.seed);
+          Result<RisResult> result =
+              RisSeedSelection(graph_, request.k, ris, &rng);
+          if (!result.ok()) {
+            response.status = result.status();
+            return response;
+          }
+          response.payload.Set("seeds", NodeArray(result->seeds));
+          response.payload.Set("spread",
+                               JsonValue::Number(result->estimated_spread));
+          return response;
+        }
+      }
+      response.status = Status::Internal("unreachable topk method");
+      return response;
+    }
+
+    case RequestOp::kSpread: {
+      response.payload.Set("op", JsonValue::Str("spread"));
+      if (request.simulations == 0) {
+        if (!HasUnitWeights(graph_)) {
+          response.status = Status::InvalidArgument(
+              "simulations=0 selects the exact unit-weight path, but the "
+              "graph has non-unit arc weights");
+          return response;
+        }
+        response.payload.Set(
+            "spread",
+            JsonValue::Int(DeterministicIcSpread(graph_, request.seeds,
+                                                 request.steps)));
+        response.payload.Set("exact", JsonValue::Bool(true));
+        return response;
+      }
+      IcOptions mc;
+      mc.max_steps = request.steps;
+      mc.num_simulations = request.simulations;
+      Rng rng(request.seed);
+      response.payload.Set(
+          "spread", JsonValue::Number(EstimateIcSpread(graph_, request.seeds,
+                                                       mc, &rng)));
+      response.payload.Set("exact", JsonValue::Bool(false));
+      return response;
+    }
+  }
+  response.status = Status::Internal("unreachable request op");
+  return response;
+}
+
+ServiceStats InfluenceService::GetStats() const {
+  ServiceStats stats;
+  stats.admitted = admitted_.load(std::memory_order_relaxed);
+  stats.rejected = rejected_.load(std::memory_order_relaxed);
+  stats.completed = completed_.load(std::memory_order_relaxed);
+  stats.cache_hits = cache_.hits();
+  stats.cache_misses = cache_.misses();
+  stats.cache_evictions = cache_.evictions();
+  stats.batches = batches_.load(std::memory_order_relaxed);
+  stats.max_batch_size = max_batch_size_.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    stats.queue_depth = static_cast<int64_t>(queue_.size());
+  }
+  return stats;
+}
+
+}  // namespace serve
+}  // namespace privim

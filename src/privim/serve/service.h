@@ -1,0 +1,191 @@
+// In-process influence-serving engine.
+//
+// An InfluenceService loads a released (privatized) GNN model plus an
+// evaluation graph once, then answers concurrent influence queries:
+// per-node influence scores, top-k seed selection (model scores, CELF or
+// RIS) and Monte-Carlo spread estimates. Differential privacy is spent
+// entirely at training time — inference on the released model is
+// post-processing — so the serving path adds no privacy cost and can be
+// cached and replayed freely.
+//
+// Request flow:
+//
+//   Submit ──cache hit──────────────────────────▶ ready future
+//     │ miss
+//     ▼
+//   bounded admission queue ──▶ scheduler thread coalesces up to
+//   `max_batch` requests ──▶ batch executes as a ParallelFor over the
+//   global ThreadPool ──▶ promises fulfilled, cache filled
+//
+// Determinism: a response is a pure function of (model, graph, request).
+// Stochastic ops derive their randomness from the request's own seed via
+// the library's splittable RNG, never from a shared stream, so batch
+// composition, thread count and cache state cannot change a single
+// response bit (tests/serve/service_test.cpp pins 1/4/8 threads).
+//
+// Observability: the engine records serve.* metrics — queue depth gauge,
+// batch-size and latency histograms, admission/rejection counters and
+// cache hit/miss/eviction counters — through the obs registry, exported
+// with --metrics-out like every other front end.
+
+#ifndef PRIVIM_SERVE_SERVICE_H_
+#define PRIVIM_SERVE_SERVICE_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "privim/common/status.h"
+#include "privim/common/timer.h"
+#include "privim/gnn/models.h"
+#include "privim/graph/graph.h"
+#include "privim/nn/tensor.h"
+#include "privim/serve/cache.h"
+#include "privim/serve/request.h"
+
+namespace privim {
+namespace serve {
+
+/// Engine configuration. Everything is validated up front by Validate();
+/// the service never exits or aborts on bad input.
+struct ServeOptions {
+  /// Maximum requests waiting for execution. Submit blocks when full;
+  /// TrySubmit rejects. Must admit at least one batch.
+  int64_t queue_capacity = 256;
+  /// Maximum requests coalesced into one scheduling batch. The batch
+  /// executes as a ParallelFor over the global thread pool, so this is
+  /// the engine's unit of cross-request parallelism.
+  int64_t max_batch = 16;
+  /// Total response-cache entries across shards; 0 disables caching.
+  int64_t cache_capacity = 1024;
+  /// Cache shard count (clamped to cache_capacity when larger).
+  int64_t cache_shards = 8;
+
+  Status Validate() const;
+};
+
+/// Point-in-time engine statistics (all values monotone except
+/// queue_depth).
+struct ServiceStats {
+  uint64_t admitted = 0;    ///< requests accepted into the queue
+  uint64_t rejected = 0;    ///< TrySubmit calls refused on a full queue
+  uint64_t completed = 0;   ///< responses produced (errors included)
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  uint64_t cache_evictions = 0;
+  uint64_t batches = 0;         ///< scheduler dispatches
+  uint64_t max_batch_size = 0;  ///< largest coalesced batch observed
+  int64_t queue_depth = 0;      ///< requests currently waiting
+};
+
+/// A loaded (model, graph) pair answering influence queries until Stop().
+///
+/// Thread-safe: any number of producer threads may Submit concurrently.
+/// The service owns one scheduler thread; request execution fans out over
+/// the global ThreadPool.
+class InfluenceService {
+ public:
+  /// Validates options and builds the service. `model` may be null: score
+  /// ("influence") and model-based top-k requests then fail with
+  /// FailedPrecondition while celf / ris / spread requests — which need
+  /// only the graph — keep working.
+  static Result<std::unique_ptr<InfluenceService>> Create(
+      Graph graph, std::shared_ptr<const GnnModel> model,
+      const ServeOptions& options);
+
+  ~InfluenceService();
+
+  InfluenceService(const InfluenceService&) = delete;
+  InfluenceService& operator=(const InfluenceService&) = delete;
+
+  /// Starts the scheduler thread. Requests submitted before Start() queue
+  /// up (subject to capacity) and are dispatched once it runs. Starting a
+  /// started service is an error.
+  Status Start();
+
+  /// Drains the queue, fulfills every pending future and joins the
+  /// scheduler. Idempotent. Called by the destructor.
+  void Stop();
+
+  /// Blocking admission: waits for queue space, returns a future that
+  /// resolves to the response. A cache hit resolves immediately without
+  /// touching the queue. Fails with FailedPrecondition after Stop().
+  Result<std::future<ServeResponse>> Submit(const ServeRequest& request);
+
+  /// Non-blocking admission: FailedPrecondition when the queue is full
+  /// (counted in ServiceStats::rejected) or the service is stopped.
+  Result<std::future<ServeResponse>> TrySubmit(const ServeRequest& request);
+
+  /// Synchronous single-request path: consults the cache, computes inline
+  /// on the calling thread, fills the cache. This is the "no batching"
+  /// baseline the throughput bench compares against; responses are
+  /// bit-identical to the batched path.
+  ServeResponse Execute(const ServeRequest& request);
+
+  ServiceStats GetStats() const;
+
+  /// FNV fingerprint binding cached responses to this exact model + graph.
+  uint64_t fingerprint() const { return fingerprint_; }
+  const Graph& graph() const { return graph_; }
+  bool has_model() const { return model_ != nullptr; }
+
+ private:
+  InfluenceService(Graph graph, std::shared_ptr<const GnnModel> model,
+                   const ServeOptions& options);
+
+  struct Pending {
+    ServeRequest request;
+    std::promise<ServeResponse> promise;
+    double admit_seconds = 0.0;  ///< monotonic admission stamp
+  };
+
+  Result<std::future<ServeResponse>> SubmitInternal(
+      const ServeRequest& request, bool blocking);
+  void SchedulerLoop();
+  void RunBatch(std::vector<Pending>* batch);
+
+  /// Computes the payload for one request (never consults the cache).
+  ServeResponse Compute(const ServeRequest& request);
+  /// Model scores over the whole graph, computed once and memoized —
+  /// the forward pass is deterministic, so every influence/topk(model)
+  /// request shares it.
+  Result<Tensor> Scores();
+
+  Graph graph_;
+  std::shared_ptr<const GnnModel> model_;
+  ServeOptions options_;
+  uint64_t fingerprint_ = 0;
+  ShardedLruCache cache_;
+  WallTimer epoch_;  ///< admission/latency stamps
+
+  std::mutex scores_mutex_;
+  bool scores_ready_ = false;
+  Status scores_status_;
+  Tensor scores_;
+
+  mutable std::mutex queue_mutex_;
+  std::condition_variable queue_not_empty_;
+  std::condition_variable queue_not_full_;
+  std::deque<Pending> queue_;
+  bool started_ = false;
+  bool stopping_ = false;
+  std::thread scheduler_;
+
+  std::atomic<uint64_t> admitted_{0};
+  std::atomic<uint64_t> rejected_{0};
+  std::atomic<uint64_t> completed_{0};
+  std::atomic<uint64_t> batches_{0};
+  std::atomic<uint64_t> max_batch_size_{0};
+};
+
+}  // namespace serve
+}  // namespace privim
+
+#endif  // PRIVIM_SERVE_SERVICE_H_

@@ -1,0 +1,109 @@
+#include "privim/serve/cache.h"
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace privim {
+namespace serve {
+namespace {
+
+CacheKey Key(uint64_t digest) { return CacheKey{0xabcdef, digest}; }
+
+TEST(CacheTest, HitReturnsInsertedPayload) {
+  ShardedLruCache cache(/*capacity=*/8, /*num_shards=*/2);
+  std::string payload;
+  EXPECT_FALSE(cache.Lookup(Key(1), &payload));
+  EXPECT_EQ(cache.misses(), 1u);
+
+  cache.Insert(Key(1), "response-1");
+  ASSERT_TRUE(cache.Lookup(Key(1), &payload));
+  EXPECT_EQ(payload, "response-1");
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.Size(), 1);
+}
+
+TEST(CacheTest, DifferentFingerprintsDoNotCollide) {
+  ShardedLruCache cache(8, 1);
+  cache.Insert(CacheKey{1, 42}, "model-a");
+  cache.Insert(CacheKey{2, 42}, "model-b");
+  std::string payload;
+  ASSERT_TRUE(cache.Lookup(CacheKey{1, 42}, &payload));
+  EXPECT_EQ(payload, "model-a");
+  ASSERT_TRUE(cache.Lookup(CacheKey{2, 42}, &payload));
+  EXPECT_EQ(payload, "model-b");
+}
+
+TEST(CacheTest, EvictsLeastRecentlyUsedWithinShard) {
+  // Single shard, capacity 2: inserting a third entry evicts the LRU one.
+  ShardedLruCache cache(2, 1);
+  cache.Insert(Key(1), "one");
+  cache.Insert(Key(2), "two");
+  // Touch 1 so 2 becomes the LRU entry.
+  std::string payload;
+  ASSERT_TRUE(cache.Lookup(Key(1), &payload));
+  cache.Insert(Key(3), "three");
+  EXPECT_EQ(cache.evictions(), 1u);
+  EXPECT_TRUE(cache.Lookup(Key(1), &payload));
+  EXPECT_FALSE(cache.Lookup(Key(2), &payload));
+  EXPECT_TRUE(cache.Lookup(Key(3), &payload));
+  EXPECT_EQ(cache.Size(), 2);
+}
+
+TEST(CacheTest, ReinsertRefreshesPayloadWithoutGrowth) {
+  ShardedLruCache cache(4, 1);
+  cache.Insert(Key(1), "old");
+  cache.Insert(Key(1), "new");
+  EXPECT_EQ(cache.Size(), 1);
+  std::string payload;
+  ASSERT_TRUE(cache.Lookup(Key(1), &payload));
+  EXPECT_EQ(payload, "new");
+}
+
+TEST(CacheTest, ZeroCapacityDisablesCaching) {
+  ShardedLruCache cache(0, 8);
+  cache.Insert(Key(1), "dropped");
+  std::string payload;
+  EXPECT_FALSE(cache.Lookup(Key(1), &payload));
+  EXPECT_EQ(cache.Size(), 0);
+}
+
+TEST(CacheTest, ShardCountClampsToCapacity) {
+  // 16 shards but only 4 entries of budget: per-shard capacity stays >= 1
+  // and the total stays bounded.
+  ShardedLruCache cache(4, 16);
+  EXPECT_LE(cache.num_shards(), 4);
+  for (uint64_t i = 0; i < 100; ++i) {
+    cache.Insert(Key(i), "x");
+  }
+  EXPECT_LE(cache.Size(), 4);
+}
+
+TEST(CacheTest, ConcurrentMixedWorkloadStaysConsistent) {
+  ShardedLruCache cache(64, 8);
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 8; ++t) {
+    workers.emplace_back([&cache, t] {
+      for (uint64_t i = 0; i < 500; ++i) {
+        const uint64_t digest = (i + static_cast<uint64_t>(t) * 37) % 96;
+        const std::string expected = "payload-" + std::to_string(digest);
+        cache.Insert(Key(digest), expected);
+        std::string payload;
+        if (cache.Lookup(Key(digest), &payload)) {
+          // A hit must return the exact payload for that key, never a
+          // torn or mismatched value.
+          EXPECT_EQ(payload, expected);
+        }
+      }
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+  EXPECT_LE(cache.Size(), 64);
+  EXPECT_GT(cache.hits() + cache.misses(), 0u);
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace privim

@@ -1,0 +1,108 @@
+#include "privim/serve/json.h"
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+#include "gtest/gtest.h"
+
+namespace privim {
+namespace serve {
+namespace {
+
+TEST(JsonTest, ParsesFlatRequestObject) {
+  Result<JsonValue> parsed = JsonValue::Parse(
+      R"({"id":"r1","op":"topk","k":10,"nodes":[1,2,3],"deep":true})");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->GetString("id", "").value(), "r1");
+  EXPECT_EQ(parsed->GetInt("k", 0).value(), 10);
+  EXPECT_TRUE(parsed->GetBool("deep", false).value());
+  const std::vector<int64_t> nodes = parsed->GetIntArray("nodes").value();
+  EXPECT_EQ(nodes, (std::vector<int64_t>{1, 2, 3}));
+}
+
+TEST(JsonTest, AbsentKeysReturnDefaults) {
+  const JsonValue obj = JsonValue::Parse("{}").value();
+  EXPECT_EQ(obj.GetString("id", "fallback").value(), "fallback");
+  EXPECT_EQ(obj.GetInt("k", 7).value(), 7);
+  EXPECT_EQ(obj.GetDouble("x", 2.5).value(), 2.5);
+  EXPECT_TRUE(obj.GetIntArray("nodes").value().empty());
+}
+
+TEST(JsonTest, WrongTypeIsInvalidArgumentNotSilentFallback) {
+  const JsonValue obj =
+      JsonValue::Parse(R"({"k":"ten","nodes":3})").value();
+  EXPECT_EQ(obj.GetInt("k", 0).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(obj.GetIntArray("nodes").status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(JsonTest, RejectsMalformedDocuments) {
+  EXPECT_FALSE(JsonValue::Parse("").ok());
+  EXPECT_FALSE(JsonValue::Parse("{").ok());
+  EXPECT_FALSE(JsonValue::Parse(R"({"a":1} trailing)").ok());
+  EXPECT_FALSE(JsonValue::Parse(R"({"a":})").ok());
+  EXPECT_FALSE(JsonValue::Parse(R"(["unterminated)").ok());
+  EXPECT_FALSE(JsonValue::Parse("nul").ok());
+}
+
+TEST(JsonTest, DumpKeepsInsertionOrderAndIsByteStable) {
+  JsonValue obj = JsonValue::Object();
+  obj.Set("z", JsonValue::Int(1));
+  obj.Set("a", JsonValue::Str("x"));
+  JsonValue arr = JsonValue::Array();
+  arr.Append(JsonValue::Bool(false));
+  arr.Append(JsonValue::Null());
+  obj.Set("list", arr);
+  EXPECT_EQ(obj.Dump(), R"({"z":1,"a":"x","list":[false,null]})");
+  // Set on an existing key replaces in place, preserving position.
+  obj.Set("z", JsonValue::Int(2));
+  EXPECT_EQ(obj.Dump(), R"({"z":2,"a":"x","list":[false,null]})");
+}
+
+TEST(JsonTest, DoublesRoundTripBitExactly) {
+  const double values[] = {0.1, 1.0 / 3.0, 1e-300, 12345.6789,
+                           -2.2250738585072014e-308};
+  for (double v : values) {
+    JsonValue arr = JsonValue::Array();
+    arr.Append(JsonValue::Number(v));
+    const Result<JsonValue> back = JsonValue::Parse(arr.Dump());
+    ASSERT_TRUE(back.ok());
+    const double reparsed = back->items()[0].number_value();
+    EXPECT_EQ(std::memcmp(&reparsed, &v, sizeof v), 0) << v;
+  }
+}
+
+TEST(JsonTest, IntegerValuedDoublesPrintWithoutFraction) {
+  JsonValue arr = JsonValue::Array();
+  arr.Append(JsonValue::Int(42));
+  arr.Append(JsonValue::Number(-7.0));
+  EXPECT_EQ(arr.Dump(), "[42,-7]");
+}
+
+TEST(JsonTest, NonFiniteNumbersSerializeAsNull) {
+  JsonValue arr = JsonValue::Array();
+  arr.Append(JsonValue::Number(std::numeric_limits<double>::quiet_NaN()));
+  arr.Append(JsonValue::Number(std::numeric_limits<double>::infinity()));
+  EXPECT_EQ(arr.Dump(), "[null,null]");
+}
+
+TEST(JsonTest, StringEscapesRoundTrip) {
+  const std::string raw = "a\"b\\c\n\t\x01z";
+  const std::string quoted = JsonQuote(raw);
+  const Result<JsonValue> back = JsonValue::Parse(quoted);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back->string_value(), raw);
+}
+
+TEST(JsonTest, ParsesUnicodeEscapes) {
+  const Result<JsonValue> parsed = JsonValue::Parse("\"\\u00e9A\"");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->string_value(), "\xc3\xa9"
+                                    "A");
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace privim

@@ -1,0 +1,129 @@
+#include "privim/serve/request.h"
+
+#include "gtest/gtest.h"
+
+namespace privim {
+namespace serve {
+namespace {
+
+TEST(RequestTest, ParsesEveryOp) {
+  const ServeRequest influence =
+      ParseServeRequest(R"({"id":"a","op":"influence","nodes":[1,2]})")
+          .value();
+  EXPECT_EQ(influence.op, RequestOp::kInfluence);
+  EXPECT_EQ(influence.nodes, (std::vector<NodeId>{1, 2}));
+
+  const ServeRequest topk =
+      ParseServeRequest(
+          R"({"id":"b","op":"topk","k":5,"method":"ris","rr_sets":99,"seed":7})")
+          .value();
+  EXPECT_EQ(topk.op, RequestOp::kTopK);
+  EXPECT_EQ(topk.method, TopKMethod::kRis);
+  EXPECT_EQ(topk.k, 5);
+  EXPECT_EQ(topk.rr_sets, 99);
+  EXPECT_EQ(topk.seed, 7u);
+
+  const ServeRequest spread =
+      ParseServeRequest(
+          R"({"id":"c","op":"spread","seeds":[0],"steps":2,"simulations":10})")
+          .value();
+  EXPECT_EQ(spread.op, RequestOp::kSpread);
+  EXPECT_EQ(spread.seeds, (std::vector<NodeId>{0}));
+  EXPECT_EQ(spread.steps, 2);
+  EXPECT_EQ(spread.simulations, 10);
+}
+
+TEST(RequestTest, DefaultsMatchDocumentedValues) {
+  const ServeRequest request =
+      ParseServeRequest(R"({"id":"d","op":"topk"})").value();
+  EXPECT_EQ(request.k, 10);
+  EXPECT_EQ(request.method, TopKMethod::kModel);
+  EXPECT_EQ(request.steps, 1);
+  EXPECT_EQ(request.seed, 42u);
+}
+
+TEST(RequestTest, RejectsBadRecords) {
+  // Unknown op / method.
+  EXPECT_EQ(ParseServeRequest(R"({"op":"frobnicate"})").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(
+      ParseServeRequest(R"({"op":"topk","method":"magic"})").status().code(),
+      StatusCode::kInvalidArgument);
+  // Wrongly typed field.
+  EXPECT_EQ(
+      ParseServeRequest(R"({"op":"topk","k":"five"})").status().code(),
+      StatusCode::kInvalidArgument);
+  // Out-of-range values caught by Validate().
+  EXPECT_FALSE(ParseServeRequest(R"({"op":"topk","k":0})").ok());
+  EXPECT_FALSE(
+      ParseServeRequest(R"({"op":"spread","seeds":[1],"simulations":-1})")
+          .ok());
+  EXPECT_FALSE(ParseServeRequest(R"({"op":"spread","seeds":[]})").ok());
+  // Negative node ids.
+  EXPECT_FALSE(
+      ParseServeRequest(R"({"op":"influence","nodes":[-1]})").ok());
+  // Not JSON at all.
+  EXPECT_FALSE(ParseServeRequest("op=influence").ok());
+}
+
+TEST(RequestTest, DigestIsStableAndFieldSensitive) {
+  const std::string base =
+      R"({"id":"x","op":"topk","k":5,"method":"celf","steps":1})";
+  const uint64_t digest =
+      RequestDigest(ParseServeRequest(base).value());
+  // Stable across parses.
+  EXPECT_EQ(digest, RequestDigest(ParseServeRequest(base).value()));
+  // The id is correlation metadata, not part of the query: two requests
+  // differing only in id share a cache entry.
+  EXPECT_EQ(digest,
+            RequestDigest(ParseServeRequest(
+                              R"({"id":"y","op":"topk","k":5,)"
+                              R"("method":"celf","steps":1})")
+                              .value()));
+  // Every semantic field moves the digest.
+  const char* variants[] = {
+      R"({"id":"x","op":"topk","k":6,"method":"celf","steps":1})",
+      R"({"id":"x","op":"topk","k":5,"method":"ris","steps":1})",
+      R"({"id":"x","op":"topk","k":5,"method":"celf","steps":2})",
+      R"({"id":"x","op":"topk","k":5,"method":"celf","steps":1,"seed":7})",
+      R"({"id":"x","op":"influence"})",
+  };
+  for (const char* variant : variants) {
+    EXPECT_NE(digest, RequestDigest(ParseServeRequest(variant).value()))
+        << variant;
+  }
+}
+
+TEST(RequestTest, ResponseLineEchoesIdAndPayload) {
+  ServeResponse response;
+  response.id = "r9";
+  response.payload.Set("op", JsonValue::Str("topk"));
+  response.payload.Set("k", JsonValue::Int(3));
+  EXPECT_EQ(response.ToJsonLine(), R"({"id":"r9","ok":true,"op":"topk","k":3})");
+}
+
+TEST(RequestTest, ErrorResponseCarriesCodeAndMessage) {
+  ServeResponse response;
+  response.id = "bad";
+  response.status = Status::InvalidArgument("unknown op \"nope\"");
+  const std::string line = response.ToJsonLine();
+  EXPECT_NE(line.find(R"("ok":false)"), std::string::npos) << line;
+  EXPECT_NE(line.find(R"("code":"InvalidArgument")"), std::string::npos)
+      << line;
+  EXPECT_NE(line.find("unknown op"), std::string::npos) << line;
+}
+
+TEST(RequestTest, CachedFlagIsNotSerialized) {
+  // The wire response must be bit-identical whether or not it came from
+  // the cache; `cached` is in-process observability only.
+  ServeResponse response;
+  response.id = "r1";
+  response.payload.Set("spread", JsonValue::Int(4));
+  const std::string fresh = response.ToJsonLine();
+  response.cached = true;
+  EXPECT_EQ(response.ToJsonLine(), fresh);
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace privim

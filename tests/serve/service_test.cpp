@@ -1,0 +1,325 @@
+// InfluenceService engine tests: queue admission, batch coalescing, cache
+// behavior and the bit-identical-at-any-thread-count guarantee.
+
+#include "privim/serve/service.h"
+
+#include <future>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "privim/common/rng.h"
+#include "privim/common/thread_pool.h"
+#include "privim/gnn/models.h"
+#include "privim/serve/request.h"
+
+namespace privim {
+namespace serve {
+namespace {
+
+/// Directed 8-node ring with two chords: small enough to reason about,
+/// asymmetric enough that top-k orderings are non-trivial.
+Graph TestGraph() {
+  GraphBuilder builder(8);
+  for (NodeId v = 0; v < 8; ++v) {
+    EXPECT_TRUE(builder.AddEdge(v, (v + 1) % 8).ok());
+  }
+  EXPECT_TRUE(builder.AddEdge(0, 4).ok());
+  EXPECT_TRUE(builder.AddEdge(2, 6).ok());
+  return builder.Build().value();
+}
+
+std::shared_ptr<const GnnModel> TestModel() {
+  GnnConfig config;
+  config.kind = GnnKind::kGcn;
+  config.input_dim = 4;
+  config.hidden_dim = 6;
+  config.num_layers = 2;
+  Rng rng(7);
+  return std::shared_ptr<const GnnModel>(
+      CreateGnnModel(config, &rng).value().release());
+}
+
+std::unique_ptr<InfluenceService> MakeService(
+    const ServeOptions& options, bool with_model = true) {
+  return InfluenceService::Create(TestGraph(),
+                                  with_model ? TestModel() : nullptr,
+                                  options)
+      .value();
+}
+
+ServeRequest Request(const std::string& json) {
+  return ParseServeRequest(json).value();
+}
+
+TEST(ServeOptionsTest, ValidateCatchesBadConfigurations) {
+  ServeOptions options;
+  EXPECT_TRUE(options.Validate().ok());
+  options.queue_capacity = 0;
+  EXPECT_FALSE(options.Validate().ok());
+  options = ServeOptions();
+  options.max_batch = 0;
+  EXPECT_FALSE(options.Validate().ok());
+  options = ServeOptions();
+  options.max_batch = options.queue_capacity + 1;
+  EXPECT_FALSE(options.Validate().ok());
+  options = ServeOptions();
+  options.cache_capacity = -1;
+  EXPECT_FALSE(options.Validate().ok());
+  options = ServeOptions();
+  options.cache_shards = 0;
+  EXPECT_FALSE(options.Validate().ok());
+}
+
+TEST(ServiceTest, CreateRejectsEmptyGraphAndBadOptions) {
+  ServeOptions options;
+  EXPECT_FALSE(
+      InfluenceService::Create(Graph(), nullptr, options).ok());
+  options.queue_capacity = 0;
+  EXPECT_FALSE(
+      InfluenceService::Create(TestGraph(), nullptr, options).ok());
+}
+
+TEST(ServiceTest, ExecuteAnswersEveryOp) {
+  auto service = MakeService(ServeOptions());
+  const ServeResponse influence = service->Execute(
+      Request(R"({"id":"i","op":"influence","nodes":[0,3]})"));
+  ASSERT_TRUE(influence.status.ok()) << influence.status.ToString();
+  const ServeResponse topk =
+      service->Execute(Request(R"({"id":"t","op":"topk","k":3})"));
+  ASSERT_TRUE(topk.status.ok());
+  const ServeResponse celf = service->Execute(
+      Request(R"({"id":"c","op":"topk","k":3,"method":"celf"})"));
+  ASSERT_TRUE(celf.status.ok());
+  const ServeResponse ris = service->Execute(Request(
+      R"({"id":"r","op":"topk","k":3,"method":"ris","rr_sets":200})"));
+  ASSERT_TRUE(ris.status.ok());
+  // Unit weights: simulations 0 takes the exact path.
+  const ServeResponse spread = service->Execute(
+      Request(R"({"id":"s","op":"spread","seeds":[0],"simulations":0})"));
+  ASSERT_TRUE(spread.status.ok());
+  // Seed 0 reaches 1 and 4 in one step: spread 3.
+  EXPECT_NE(spread.ToJsonLine().find("\"spread\":3"), std::string::npos)
+      << spread.ToJsonLine();
+}
+
+TEST(ServiceTest, ModelOpsFailCleanlyWithoutModel) {
+  auto service = MakeService(ServeOptions(), /*with_model=*/false);
+  const ServeResponse influence =
+      service->Execute(Request(R"({"id":"i","op":"influence"})"));
+  EXPECT_EQ(influence.status.code(), StatusCode::kFailedPrecondition);
+  const ServeResponse topk =
+      service->Execute(Request(R"({"id":"t","op":"topk"})"));
+  EXPECT_EQ(topk.status.code(), StatusCode::kFailedPrecondition);
+  // Graph-only ops keep working.
+  const ServeResponse celf = service->Execute(
+      Request(R"({"id":"c","op":"topk","k":2,"method":"celf"})"));
+  EXPECT_TRUE(celf.status.ok()) << celf.status.ToString();
+}
+
+TEST(ServiceTest, OutOfRangeNodesAreOutOfRangeErrors) {
+  auto service = MakeService(ServeOptions());
+  const ServeResponse response = service->Execute(
+      Request(R"({"id":"x","op":"spread","seeds":[99],"simulations":0})"));
+  EXPECT_EQ(response.status.code(), StatusCode::kOutOfRange);
+}
+
+TEST(ServiceTest, TrySubmitRejectsOnFullQueueAndSubmitBlocksUntilSpace) {
+  ServeOptions options;
+  options.queue_capacity = 4;
+  options.max_batch = 4;
+  options.cache_capacity = 0;  // every request must really queue
+  auto service = MakeService(options);
+  // Not started yet: the queue fills deterministically.
+  std::vector<std::future<ServeResponse>> futures;
+  for (int i = 0; i < 4; ++i) {
+    auto submitted = service->TrySubmit(Request(
+        R"({"id":"q","op":"spread","seeds":[)" + std::to_string(i) +
+        R"(],"simulations":0})"));
+    ASSERT_TRUE(submitted.ok()) << submitted.status().ToString();
+    futures.push_back(std::move(submitted.value()));
+  }
+  auto rejected = service->TrySubmit(
+      Request(R"({"id":"q5","op":"spread","seeds":[5],"simulations":0})"));
+  EXPECT_EQ(rejected.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(service->GetStats().rejected, 1u);
+  EXPECT_EQ(service->GetStats().queue_depth, 4);
+
+  // A blocking Submit parks until the scheduler drains the queue.
+  std::thread blocked([&service] {
+    auto submitted = service->Submit(Request(
+        R"({"id":"q6","op":"spread","seeds":[6],"simulations":0})"));
+    ASSERT_TRUE(submitted.ok());
+    EXPECT_TRUE(submitted.value().get().status.ok());
+  });
+  ASSERT_TRUE(service->Start().ok());
+  blocked.join();
+  for (auto& future : futures) {
+    EXPECT_TRUE(future.get().status.ok());
+  }
+  const ServiceStats stats = service->GetStats();
+  EXPECT_EQ(stats.admitted, 5u);
+  EXPECT_EQ(stats.completed, 5u);
+  EXPECT_EQ(stats.queue_depth, 0);
+}
+
+TEST(ServiceTest, SchedulerCoalescesQueuedRequestsIntoBatches) {
+  ServeOptions options;
+  options.queue_capacity = 64;
+  options.max_batch = 8;
+  options.cache_capacity = 0;
+  auto service = MakeService(options);
+  std::vector<std::future<ServeResponse>> futures;
+  for (int i = 0; i < 24; ++i) {
+    auto submitted = service->Submit(Request(
+        R"({"id":"b","op":"spread","seeds":[)" + std::to_string(i % 8) +
+        R"(],"simulations":0})"));
+    ASSERT_TRUE(submitted.ok());
+    futures.push_back(std::move(submitted.value()));
+  }
+  ASSERT_TRUE(service->Start().ok());
+  for (auto& future : futures) {
+    EXPECT_TRUE(future.get().status.ok());
+  }
+  const ServiceStats stats = service->GetStats();
+  EXPECT_EQ(stats.completed, 24u);
+  // 24 queued requests at max_batch 8 need at least 3 dispatches; a
+  // correct coalescer needs far fewer than 24.
+  EXPECT_GE(stats.batches, 3u);
+  EXPECT_LE(stats.batches, 24u);
+  EXPECT_GT(stats.max_batch_size, 1u);
+  EXPECT_LE(stats.max_batch_size, 8u);
+}
+
+TEST(ServiceTest, CacheHitsSkipRecomputationAndPreserveBytes) {
+  ServeOptions options;
+  auto service = MakeService(options);
+  ASSERT_TRUE(service->Start().ok());
+  const ServeRequest request =
+      Request(R"({"id":"c","op":"topk","k":3,"method":"celf"})");
+  const ServeResponse first = service->Submit(request).value().get();
+  ASSERT_TRUE(first.status.ok());
+  EXPECT_FALSE(first.cached);
+  const ServeResponse second = service->Submit(request).value().get();
+  ASSERT_TRUE(second.status.ok());
+  EXPECT_TRUE(second.cached);
+  EXPECT_EQ(first.ToJsonLine(), second.ToJsonLine());
+  const ServiceStats stats = service->GetStats();
+  EXPECT_EQ(stats.cache_hits, 1u);
+  EXPECT_GE(stats.cache_misses, 1u);
+}
+
+TEST(ServiceTest, ErrorsAreNotCached) {
+  auto service = MakeService(ServeOptions());
+  const ServeRequest bad = Request(
+      R"({"id":"x","op":"spread","seeds":[99],"simulations":0})");
+  EXPECT_FALSE(service->Execute(bad).status.ok());
+  EXPECT_FALSE(service->Execute(bad).cached);
+  EXPECT_EQ(service->GetStats().cache_hits, 0u);
+}
+
+TEST(ServiceTest, SubmitAfterStopFailsCleanly) {
+  auto service = MakeService(ServeOptions());
+  ASSERT_TRUE(service->Start().ok());
+  service->Stop();
+  EXPECT_EQ(service
+                ->Submit(Request(
+                    R"({"id":"z","op":"spread","seeds":[0],"simulations":0})"))
+                .status()
+                .code(),
+            StatusCode::kFailedPrecondition);
+  // Stop is idempotent; Start after Stop is an error, not a crash.
+  service->Stop();
+  EXPECT_FALSE(service->Start().ok());
+}
+
+TEST(ServiceTest, StopFulfillsQueuedRequests) {
+  ServeOptions options;
+  options.cache_capacity = 0;
+  auto service = MakeService(options);
+  // Queued but never started: Stop must still resolve the future.
+  auto submitted = service->Submit(
+      Request(R"({"id":"d","op":"spread","seeds":[0],"simulations":0})"));
+  ASSERT_TRUE(submitted.ok());
+  service->Stop();
+  EXPECT_TRUE(submitted.value().get().status.ok());
+}
+
+/// Runs the same mixed workload at a given pool size and returns the
+/// response lines in request order.
+std::vector<std::string> RunWorkload(size_t threads) {
+  SetGlobalThreadPoolSize(threads);
+  ServeOptions options;
+  options.max_batch = 8;
+  auto service = MakeService(options);
+  EXPECT_TRUE(service->Start().ok());
+  const std::vector<std::string> requests = {
+      R"({"id":"w0","op":"influence"})",
+      R"({"id":"w1","op":"topk","k":3})",
+      R"({"id":"w2","op":"topk","k":3,"method":"celf"})",
+      R"({"id":"w3","op":"topk","k":3,"method":"ris","rr_sets":300,"seed":9})",
+      R"({"id":"w4","op":"spread","seeds":[0,2],"simulations":50,"seed":5})",
+      R"({"id":"w5","op":"spread","seeds":[1],"simulations":0})",
+      R"({"id":"w6","op":"influence","nodes":[7,1]})",
+      R"({"id":"w7","op":"topk","k":5,"method":"ris","rr_sets":300,"seed":9})",
+  };
+  std::vector<std::future<ServeResponse>> futures;
+  for (const std::string& request : requests) {
+    auto submitted = service->Submit(Request(request));
+    EXPECT_TRUE(submitted.ok());
+    futures.push_back(std::move(submitted.value()));
+  }
+  std::vector<std::string> lines;
+  for (auto& future : futures) {
+    lines.push_back(future.get().ToJsonLine());
+  }
+  service->Stop();
+  SetGlobalThreadPoolSize(0);
+  return lines;
+}
+
+TEST(ServiceTest, ResponsesAreBitIdenticalAtOneFourAndEightThreads) {
+  const std::vector<std::string> serial = RunWorkload(1);
+  for (const std::string& line : serial) {
+    EXPECT_NE(line.find("\"ok\":true"), std::string::npos) << line;
+  }
+  EXPECT_EQ(RunWorkload(4), serial);
+  EXPECT_EQ(RunWorkload(8), serial);
+}
+
+TEST(ServiceTest, ConcurrentProducersGetConsistentResponses) {
+  ServeOptions options;
+  options.queue_capacity = 32;
+  options.max_batch = 8;
+  auto service = MakeService(options);
+  ASSERT_TRUE(service->Start().ok());
+  // Every producer submits the same deterministic request set; all must
+  // observe identical bytes regardless of batch/cache interleaving.
+  const ServeResponse expected = service->Execute(
+      Request(R"({"id":"p","op":"spread","seeds":[0,3],"simulations":0})"));
+  ASSERT_TRUE(expected.status.ok());
+  std::vector<std::thread> producers;
+  for (int t = 0; t < 6; ++t) {
+    producers.emplace_back([&service, &expected] {
+      for (int i = 0; i < 20; ++i) {
+        auto submitted = service->Submit(Request(
+            R"({"id":"p","op":"spread","seeds":[0,3],"simulations":0})"));
+        ASSERT_TRUE(submitted.ok());
+        EXPECT_EQ(submitted.value().get().ToJsonLine(),
+                  expected.ToJsonLine());
+      }
+    });
+  }
+  for (std::thread& producer : producers) producer.join();
+  // The Execute pre-fill plus any batch-computed duplicates completed;
+  // everything else resolved from the cache without queueing.
+  const ServiceStats stats = service->GetStats();
+  EXPECT_GE(stats.completed, 1u);
+  EXPECT_EQ(stats.completed + stats.cache_hits, 1u + 6u * 20u);
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace privim

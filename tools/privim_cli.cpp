@@ -2,50 +2,41 @@
 // command line.
 //
 // Subcommands:
-//   train     --graph FILE [--undirected] [--epsilon E] [--model OUT] ...
-//             Train a DP GNN on the graph; write the (releasable) model.
-//             Crash safety: --checkpoint-dir DIR [--checkpoint-every N]
-//             [--checkpoint-keep K] snapshots the full training state
-//             (weights, optimizer, RNG position, sampler state, privacy
-//             accounting) every N iterations; --resume continues from the
-//             latest snapshot bit-identically to an uninterrupted run.
-//   select    --graph FILE --model FILE [--k K]
-//             Score a graph with a trained model, print the top-k seeds.
-//   evaluate  --graph FILE --seeds 1,2,3 [--steps J]
-//             Influence spread of a seed set under IC (w from the file,
-//             deterministic fast path when all weights are 1).
-//   celf      --graph FILE [--k K] [--steps J]
-//             Non-private CELF ground truth.
-//   account   [--m M] [--B B] [--T T] [--Ng N] [--sigma S] [--delta D]
-//             Standalone privacy accounting (Theorem 3 + Theorem 1).
+//   train     Train a DP GNN on a graph; write the (releasable) model.
+//   select    Score a graph with a trained model, print the top-k seeds.
+//   evaluate  Influence spread of a seed set under IC.
+//   celf      Non-private CELF ground truth.
+//   account   Standalone privacy accounting (Theorem 3 + Theorem 1).
+//
+// Flags are declared in per-subcommand FlagRegistry instances
+// (common/flag_registry.h): `privim_cli <subcommand> --help` prints the
+// generated reference, unknown flags are rejected, and the pre-registry
+// spellings (--n, --M, --q, --batch, --lr, --clip) keep working as
+// deprecated aliases. All option validation lives in
+// PrivImOptions::Validate(); this front end only maps Status to process
+// exit codes — library code never exits.
 //
 // Node ids are densely remapped on load (the mapping is stable for a given
 // file); seeds are reported in remapped ids.
-//
-// All subcommands accept --threads N (or PRIVIM_THREADS): size of the global
-// worker pool. 0 = hardware concurrency (default), 1 = serial. Results are
-// bit-identical at every setting.
-//
-// All subcommands also accept --metrics-out FILE: writes a combined
-// metrics + trace JSON (Chrome trace-event format plus a top-level
-// "metrics" object) at exit; viewable in chrome://tracing. Invalid
-// --threads / --metrics-out values are rejected with a clear error.
 
 #include <algorithm>
 #include <cstdio>
 #include <string>
 #include <vector>
 
+#include "privim/common/flag_registry.h"
 #include "privim/common/flags.h"
 #include "privim/common/thread_pool.h"
 #include "privim/core/pipeline.h"
 #include "privim/diffusion/ic_model.h"
 #include "privim/dp/rdp_accountant.h"
 #include "privim/gnn/features.h"
+#include "privim/gnn/graph_context.h"
 #include "privim/gnn/serialization.h"
 #include "privim/graph/graph_io.h"
 #include "privim/im/celf.h"
 #include "privim/im/seed_selection.h"
+#include "privim/im/spread_oracle.h"
 #include "privim/obs/export.h"
 #include "privim/obs/trace.h"
 
@@ -56,6 +47,104 @@ int Fail(const Status& status) {
   std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
   return 1;
 }
+
+// --- flag registries -------------------------------------------------------
+
+/// Flags every subcommand accepts.
+FlagRegistry CommonFlags() {
+  FlagRegistry registry;
+  registry
+      .AddInt("threads", 0,
+              "global worker pool size; 0 = hardware concurrency, 1 = serial "
+              "(PRIVIM_THREADS env fallback)")
+      .AddString("metrics-out", "",
+                 "write combined metrics + trace JSON (chrome://tracing "
+                 "format) to this file at exit");
+  return registry;
+}
+
+FlagRegistry GraphFlags() {
+  FlagRegistry registry;
+  registry.AddString("graph", "", "edge-list file to load (required)")
+      .AddBool("undirected", false, "treat input edges as undirected");
+  return registry;
+}
+
+FlagRegistry TrainFlags() {
+  FlagRegistry registry;
+  registry.Include(GraphFlags());
+  registry
+      .AddInt("subgraph-size", 25, "RWR subgraph size n", "n")
+      .AddInt("freq-threshold", 6, "SCS occurrence threshold M", "M")
+      .AddDouble("sampling-rate", 0.0,
+                 "root sampling rate q; <= 0 means 256/|V|", "q")
+      .AddInt("iterations", 40, "training iterations T")
+      .AddInt("batch-size", 16, "DP-SGD batch size B", "batch")
+      .AddDouble("learning-rate", 0.1, "SGD step size eta", "lr")
+      .AddDouble("clip-bound", 0.2, "per-sample gradient clip bound C",
+                 "clip")
+      .AddDouble("lambda", 0.7, "influence-loss mixing weight")
+      .AddInt("k", 50, "seed-set size")
+      .AddDouble("epsilon", 4.0,
+                 "target epsilon; <= 0 or inf trains without noise")
+      .AddDouble("delta", 0.0, "target delta; <= 0 means 1/|V_train|")
+      .AddString("gnn", "grat", "model architecture: gcn|sage|gat|grat|gin")
+      .AddString("model", "privim.model", "output path for the trained model")
+      .AddInt("seed", 42, "RNG seed (runs are bit-reproducible in it)")
+      .AddString("checkpoint-dir", "",
+                 "snapshot directory; empty disables checkpointing")
+      .AddInt("checkpoint-every", 1, "snapshot every N iterations")
+      .AddInt("checkpoint-keep", 3, "snapshots retained on disk")
+      .AddBool("resume", false,
+               "resume from the latest snapshot in --checkpoint-dir");
+  registry.Include(CommonFlags());
+  return registry;
+}
+
+FlagRegistry SelectFlags() {
+  FlagRegistry registry;
+  registry.Include(GraphFlags());
+  registry.AddString("model", "privim.model", "trained model to score with")
+      .AddInt("k", 50, "seed-set size");
+  registry.Include(CommonFlags());
+  return registry;
+}
+
+FlagRegistry EvaluateFlags() {
+  FlagRegistry registry;
+  registry.Include(GraphFlags());
+  registry
+      .AddString("seeds", "", "comma-separated seed node ids (required)")
+      .AddInt("steps", 1, "diffusion steps j; -1 runs to quiescence")
+      .AddInt("simulations", 1000,
+              "Monte-Carlo repetitions (weighted graphs only)")
+      .AddInt("seed", 42, "RNG seed for Monte-Carlo estimation");
+  registry.Include(CommonFlags());
+  return registry;
+}
+
+FlagRegistry CelfFlags() {
+  FlagRegistry registry;
+  registry.Include(GraphFlags());
+  registry.AddInt("k", 50, "seed-set size")
+      .AddInt("steps", 1, "diffusion steps j; -1 runs to quiescence");
+  registry.Include(CommonFlags());
+  return registry;
+}
+
+FlagRegistry AccountFlags() {
+  FlagRegistry registry;
+  registry.AddInt("m", 300, "container size (number of subgraphs)")
+      .AddInt("B", 16, "batch size")
+      .AddInt("Ng", 6, "occurrence bound N_g*")
+      .AddDouble("sigma", 1.0, "noise multiplier")
+      .AddInt("T", 40, "training iterations")
+      .AddDouble("delta", 1e-4, "target delta");
+  registry.Include(CommonFlags());
+  return registry;
+}
+
+// --- subcommands -----------------------------------------------------------
 
 Result<Graph> LoadGraph(const Flags& flags) {
   const std::string path = flags.GetString("graph", "");
@@ -83,36 +172,28 @@ std::vector<NodeId> ParseSeeds(const std::string& csv) {
 
 Result<PrivImOptions> OptionsFromFlags(const Flags& flags) {
   PrivImOptions options;
-  options.subgraph_size = flags.GetInt("n", 25);
-  options.frequency_threshold = flags.GetInt("M", 6);
-  options.sampling_rate = flags.GetDouble("q", 0.0);
+  options.subgraph_size = flags.GetInt("subgraph-size", 25);
+  options.frequency_threshold = flags.GetInt("freq-threshold", 6);
+  options.sampling_rate = flags.GetDouble("sampling-rate", 0.0);
   options.iterations = flags.GetInt("iterations", 40);
-  options.batch_size = flags.GetInt("batch", 16);
-  options.learning_rate = static_cast<float>(flags.GetDouble("lr", 0.1));
-  options.clip_bound = static_cast<float>(flags.GetDouble("clip", 0.2));
+  options.batch_size = flags.GetInt("batch-size", 16);
+  options.learning_rate =
+      static_cast<float>(flags.GetDouble("learning-rate", 0.1));
+  options.clip_bound = static_cast<float>(flags.GetDouble("clip-bound", 0.2));
   options.loss.lambda = static_cast<float>(flags.GetDouble("lambda", 0.7));
   options.seed_set_size = flags.GetInt("k", 50);
   options.epsilon = flags.GetDouble("epsilon", 4.0);
   options.delta = flags.GetDouble("delta", 0.0);
-  if (Result<GnnKind> kind =
-          GnnKindFromString(flags.GetString("gnn", "grat"));
-      kind.ok()) {
-    options.gnn.kind = kind.value();
-  }
+  Result<GnnKind> kind = GnnKindFromString(flags.GetString("gnn", "grat"));
+  if (!kind.ok()) return kind.status();
+  options.gnn.kind = kind.value();
 
   options.checkpoint_dir = flags.GetString("checkpoint-dir", "");
-  Result<int64_t> every = flags.GetValidatedInt("checkpoint-every", 1);
-  if (!every.ok()) return every.status();
-  options.checkpoint_every = every.value();
-  Result<int64_t> keep = flags.GetValidatedInt("checkpoint-keep", 3);
-  if (!keep.ok()) return keep.status();
-  options.checkpoint_keep = keep.value();
+  options.checkpoint_every = flags.GetInt("checkpoint-every", 1);
+  options.checkpoint_keep = flags.GetInt("checkpoint-keep", 3);
   options.resume = flags.GetBool("resume", false);
-  if (options.resume && options.checkpoint_dir.empty()) {
-    return Status::InvalidArgument(
-        "--resume requires --checkpoint-dir DIR (the directory snapshots "
-        "were written to)");
-  }
+  // One validation path for CLI, engine and library callers alike.
+  PRIVIM_RETURN_NOT_OK(options.Validate());
   return options;
 }
 
@@ -168,10 +249,12 @@ int CmdSelect(const Flags& flags) {
   const GraphContext ctx = GraphContext::Build(graph.value());
   const Tensor features =
       BuildNodeFeatures(graph.value(), model.value()->config().input_dim);
-  const Tensor scores =
-      model.value()->Forward(ctx, Variable(features)).value();
+  // Run (not Forward) so a model/graph shape mismatch surfaces as a clean
+  // error message instead of an assertion failure.
+  Result<Variable> scores = model.value()->Run(ctx, features);
+  if (!scores.ok()) return Fail(scores.status());
   const std::vector<NodeId> seeds =
-      TopKSeeds(scores, flags.GetInt("k", 50));
+      TopKSeeds(scores->value(), flags.GetInt("k", 50));
   for (NodeId v : seeds) std::printf("%d\n", v);
   return 0;
 }
@@ -227,26 +310,67 @@ int CmdAccount(const Flags& flags) {
   return 0;
 }
 
-int Usage() {
-  std::fprintf(stderr,
-               "usage: privim_cli <train|select|evaluate|celf|account> "
-               "[--flags]\n(see the header of tools/privim_cli.cpp)\n");
-  return 2;
-}
+// --- dispatch --------------------------------------------------------------
 
-int Dispatch(const std::string& command, const Flags& flags) {
-  if (command == "train") return CmdTrain(flags);
-  if (command == "select") return CmdSelect(flags);
-  if (command == "evaluate") return CmdEvaluate(flags);
-  if (command == "celf") return CmdCelf(flags);
-  if (command == "account") return CmdAccount(flags);
-  return Usage();
+struct Subcommand {
+  const char* name;
+  const char* summary;
+  FlagRegistry (*registry)();
+  int (*run)(const Flags&);
+};
+
+const Subcommand kSubcommands[] = {
+    {"train", "train a DP GNN and write the releasable model", TrainFlags,
+     CmdTrain},
+    {"select", "score a graph with a trained model, print top-k seeds",
+     SelectFlags, CmdSelect},
+    {"evaluate", "influence spread of a seed set under IC", EvaluateFlags,
+     CmdEvaluate},
+    {"celf", "non-private CELF ground truth", CelfFlags, CmdCelf},
+    {"account", "standalone privacy accounting", AccountFlags, CmdAccount},
+};
+
+int Usage() {
+  std::fprintf(stderr, "usage: privim_cli <subcommand> [--flags]\n\n"
+                       "Subcommands:\n");
+  for (const Subcommand& sub : kSubcommands) {
+    std::fprintf(stderr, "  %-9s %s\n", sub.name, sub.summary);
+  }
+  std::fprintf(stderr,
+               "\nRun `privim_cli <subcommand> --help` for the flag "
+               "reference.\n");
+  return 2;
 }
 
 int Main(int argc, char** argv) {
   if (argc < 2) return Usage();
   const std::string command = argv[1];
-  const Flags flags(argc - 1, argv + 1);
+  if (command == "--help" || command == "-h" || command == "help") {
+    Usage();
+    return 0;
+  }
+
+  const Subcommand* subcommand = nullptr;
+  for (const Subcommand& sub : kSubcommands) {
+    if (command == sub.name) subcommand = &sub;
+  }
+  if (subcommand == nullptr) return Usage();
+
+  const FlagRegistry registry = subcommand->registry();
+  Result<ParsedFlags> parsed = registry.Parse(argc - 1, argv + 1);
+  if (!parsed.ok()) return Fail(parsed.status());
+  if (parsed->help_requested) {
+    std::printf("%s", registry
+                          .HelpText(std::string("usage: privim_cli ") +
+                                    subcommand->name + " [--flags]")
+                          .c_str());
+    return 0;
+  }
+  for (const std::string& warning : parsed->warnings) {
+    std::fprintf(stderr, "warning: %s\n", warning.c_str());
+  }
+  const Flags& flags = parsed->flags;
+
   const Result<int64_t> threads = flags.ValidatedThreads();
   if (!threads.ok()) return Fail(threads.status());
   const Result<std::string> metrics_out = flags.MetricsOutPath();
@@ -256,7 +380,7 @@ int Main(int argc, char** argv) {
   // (their cost is a few relaxed atomics per operation).
   if (!metrics_out->empty()) obs::SetTracingEnabled(true);
 
-  int rc = Dispatch(command, flags);
+  int rc = subcommand->run(flags);
 
   if (!metrics_out->empty()) {
     const std::string error = obs::WriteMetricsFile(metrics_out.value());

@@ -1,0 +1,230 @@
+// privim_serve — batch/offline front end for the InfluenceService.
+//
+// Loads a graph (and optionally a released model) once, then streams
+// JSON-lines influence requests through the batching engine:
+//
+//   privim_serve --graph graph.txt --model privim.model
+//                --requests queries.jsonl --out answers.jsonl
+//
+// Requests come from --requests FILE or stdin; one response line is
+// written per request, in input order, to --out FILE or stdout. Every
+// request is submitted before the first response is awaited, so the
+// engine sees the full window of in-flight work and can coalesce batches
+// (the admission queue applies backpressure once it fills).
+//
+// A malformed request line produces an {"ok":false,...} response line in
+// place — the process keeps serving and exits 0; only setup errors (bad
+// flags, unreadable graph/model) are fatal. Responses are bit-identical
+// for a fixed request seed regardless of --threads, batch composition or
+// cache state.
+//
+// --metrics-out exports the serve.* metrics (queue depth, batch-size and
+// latency histograms, cache hit/miss counters) plus trace spans.
+
+#include <cstdio>
+#include <fstream>
+#include <future>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "privim/common/flag_registry.h"
+#include "privim/common/flags.h"
+#include "privim/common/thread_pool.h"
+#include "privim/gnn/serialization.h"
+#include "privim/graph/graph_io.h"
+#include "privim/obs/export.h"
+#include "privim/obs/trace.h"
+#include "privim/serve/request.h"
+#include "privim/serve/service.h"
+
+namespace privim {
+namespace {
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+FlagRegistry ServeCliFlags() {
+  FlagRegistry registry;
+  registry.AddString("graph", "", "edge-list file to serve (required)")
+      .AddBool("undirected", false, "treat input edges as undirected")
+      .AddString("model", "",
+                 "trained model file; empty serves graph-only ops "
+                 "(celf/ris/spread)")
+      .AddString("requests", "",
+                 "JSON-lines request file; empty reads stdin")
+      .AddString("out", "", "response file; empty writes stdout")
+      .AddInt("queue-capacity", 256,
+              "bounded admission queue size (backpressure beyond it)")
+      .AddInt("max-batch", 16, "requests coalesced per scheduling batch")
+      .AddInt("cache-capacity", 1024,
+              "response cache entries; 0 disables caching")
+      .AddInt("cache-shards", 8, "response cache shard count")
+      .AddInt("threads", 0,
+              "global worker pool size; 0 = hardware concurrency, 1 = "
+              "serial (PRIVIM_THREADS env fallback)")
+      .AddString("metrics-out", "",
+                 "write combined metrics + trace JSON to this file at exit");
+  return registry;
+}
+
+int Serve(const Flags& flags) {
+  const std::string graph_path = flags.GetString("graph", "");
+  if (graph_path.empty()) {
+    return Fail(Status::InvalidArgument("--graph FILE is required"));
+  }
+  Result<Graph> graph =
+      LoadEdgeList(graph_path, flags.GetBool("undirected", false));
+  if (!graph.ok()) return Fail(graph.status());
+
+  std::shared_ptr<const GnnModel> model;
+  if (const std::string model_path = flags.GetString("model", "");
+      !model_path.empty()) {
+    Result<std::unique_ptr<GnnModel>> loaded = LoadGnnModel(model_path);
+    if (!loaded.ok()) return Fail(loaded.status());
+    model = std::shared_ptr<const GnnModel>(std::move(loaded.value()));
+  }
+
+  serve::ServeOptions options;
+  options.queue_capacity = flags.GetInt("queue-capacity", 256);
+  options.max_batch = flags.GetInt("max-batch", 16);
+  options.cache_capacity = flags.GetInt("cache-capacity", 1024);
+  options.cache_shards = flags.GetInt("cache-shards", 8);
+
+  Result<std::unique_ptr<serve::InfluenceService>> service =
+      serve::InfluenceService::Create(std::move(graph.value()),
+                                      std::move(model), options);
+  if (!service.ok()) return Fail(service.status());
+  if (Status started = service.value()->Start(); !started.ok()) {
+    return Fail(started);
+  }
+
+  std::ifstream request_file;
+  std::istream* in = &std::cin;
+  if (const std::string path = flags.GetString("requests", "");
+      !path.empty()) {
+    request_file.open(path);
+    if (!request_file.is_open()) {
+      return Fail(Status::IOError("cannot open --requests file: " + path));
+    }
+    in = &request_file;
+  }
+  std::ofstream response_file;
+  std::ostream* out = &std::cout;
+  if (const std::string path = flags.GetString("out", ""); !path.empty()) {
+    response_file.open(path, std::ios::trunc);
+    if (!response_file.is_open()) {
+      return Fail(Status::IOError("cannot open --out file: " + path));
+    }
+    out = &response_file;
+  }
+
+  // One slot per input line, in input order: either an already-final
+  // response (parse error) or a future from the engine. Submitting the
+  // whole stream before awaiting anything maximizes the in-flight window
+  // the scheduler can coalesce; Submit blocks once the queue is full, so
+  // memory stays bounded by queue_capacity + outstanding futures.
+  struct Slot {
+    serve::ServeResponse response;
+    std::future<serve::ServeResponse> future;
+    bool ready = false;
+  };
+  std::vector<Slot> slots;
+  std::string line;
+  while (std::getline(*in, line)) {
+    if (line.empty()) continue;
+    Slot slot;
+    Result<serve::ServeRequest> request = serve::ParseServeRequest(line);
+    if (!request.ok()) {
+      // Echo the id when the line is at least well-formed JSON, so the
+      // client can correlate the error with its request.
+      if (Result<serve::JsonValue> raw = serve::JsonValue::Parse(line);
+          raw.ok()) {
+        if (Result<std::string> id = raw->GetString("id", ""); id.ok()) {
+          slot.response.id = id.value();
+        }
+      }
+      slot.response.status = request.status();
+      slot.ready = true;
+    } else {
+      Result<std::future<serve::ServeResponse>> submitted =
+          service.value()->Submit(request.value());
+      if (!submitted.ok()) {
+        slot.response.id = request->id;
+        slot.response.status = submitted.status();
+        slot.ready = true;
+      } else {
+        slot.future = std::move(submitted.value());
+      }
+    }
+    slots.push_back(std::move(slot));
+  }
+
+  for (Slot& slot : slots) {
+    const serve::ServeResponse response =
+        slot.ready ? slot.response : slot.future.get();
+    (*out) << response.ToJsonLine() << '\n';
+  }
+  out->flush();
+  service.value()->Stop();
+
+  const serve::ServiceStats stats = service.value()->GetStats();
+  std::fprintf(stderr,
+               "served %llu requests in %llu batches (max batch %llu, "
+               "cache %llu/%llu hits)\n",
+               static_cast<unsigned long long>(stats.completed),
+               static_cast<unsigned long long>(stats.batches),
+               static_cast<unsigned long long>(stats.max_batch_size),
+               static_cast<unsigned long long>(stats.cache_hits),
+               static_cast<unsigned long long>(stats.cache_hits +
+                                               stats.cache_misses));
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  const FlagRegistry registry = ServeCliFlags();
+  Result<ParsedFlags> parsed = registry.Parse(argc, argv);
+  if (!parsed.ok()) return Fail(parsed.status());
+  if (parsed->help_requested) {
+    std::printf("%s",
+                registry.HelpText("usage: privim_serve --graph FILE "
+                                  "[--model FILE] [--requests FILE] "
+                                  "[--out FILE] [--flags]")
+                    .c_str());
+    return 0;
+  }
+  for (const std::string& warning : parsed->warnings) {
+    std::fprintf(stderr, "warning: %s\n", warning.c_str());
+  }
+  const Flags& flags = parsed->flags;
+
+  const Result<int64_t> threads = flags.ValidatedThreads();
+  if (!threads.ok()) return Fail(threads.status());
+  const Result<std::string> metrics_out = flags.MetricsOutPath();
+  if (!metrics_out.ok()) return Fail(metrics_out.status());
+  SetGlobalThreadPoolSize(static_cast<size_t>(threads.value()));
+  if (!metrics_out->empty()) obs::SetTracingEnabled(true);
+
+  int rc = Serve(flags);
+
+  if (!metrics_out->empty()) {
+    const std::string error = obs::WriteMetricsFile(metrics_out.value());
+    if (error.empty()) {
+      std::fprintf(stderr, "metrics written to %s\n",
+                   metrics_out.value().c_str());
+    } else {
+      std::fprintf(stderr, "error: %s\n", error.c_str());
+      if (rc == 0) rc = 1;
+    }
+  }
+  return rc;
+}
+
+}  // namespace
+}  // namespace privim
+
+int main(int argc, char** argv) { return privim::Main(argc, argv); }
