@@ -152,6 +152,47 @@ void BM_InfluenceLossBackward(benchmark::State& state) {
 }
 BENCHMARK(BM_InfluenceLossBackward);
 
+// The transpose-free MatMul pullback pair at training shapes: da = g * W^T
+// (k-ordered dots) and dW = x^T * g (rank-1 updates), arena-pooled as in
+// the trainer. Arg is the subgraph row count.
+void BM_MatMulBackward(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  const int64_t d = 32;
+  Rng rng(23);
+  const Tensor x = Tensor::Gaussian(n, d, 1.0f, &rng);
+  const Tensor w = Tensor::Gaussian(d, d, 1.0f, &rng);
+  const Tensor grad = Tensor::Gaussian(n, d, 1.0f, &rng);
+  nn::MemoryPools pools;
+  nn::ArenaScope scope(&pools);
+  for (auto _ : state) {
+    Tensor da = MatMulABT(grad, w);
+    Tensor dw = MatMulATB(x, grad);
+    benchmark::DoNotOptimize(da.data());
+    benchmark::DoNotOptimize(dw.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * d * d);
+}
+BENCHMARK(BM_MatMulBackward)->Arg(25)->Arg(256);
+
+// SpMM forward plus the transposed-CSR backward walk over the influence
+// operator of a BA graph. Arg is the node count.
+void BM_SpMM(benchmark::State& state) {
+  const int64_t nodes = state.range(0);
+  const Graph graph = MakeBenchGraph(nodes, 5);
+  const GraphContext ctx = GraphContext::Build(graph);
+  Rng rng(29);
+  const Tensor features = Tensor::Gaussian(nodes, 32, 1.0f, &rng);
+  nn::MemoryPools pools;
+  nn::ArenaScope scope(&pools);
+  for (auto _ : state) {
+    Variable x(features, true);
+    Variable y = SpMM(ctx.influence_adj, x);
+    Sum(y).Backward();
+    benchmark::DoNotOptimize(x.grad().data());
+  }
+}
+BENCHMARK(BM_SpMM)->Arg(25)->Arg(2000);
+
 void BM_IcSimulation(benchmark::State& state) {
   Rng graph_rng(23);
   Result<Graph> base = BarabasiAlbert(state.range(0), 5, &graph_rng);

@@ -39,13 +39,12 @@ void EncodeSubgraph(const Subgraph& subgraph, ByteWriter* writer) {
   for (const NodeId v : subgraph.global_ids) {
     writer->WriteU32(static_cast<uint32_t>(v));
   }
-  const std::vector<Edge> edges = subgraph.local.ToEdgeList();
-  writer->WriteU64(edges.size());
-  for (const Edge& edge : edges) {
-    writer->WriteU32(static_cast<uint32_t>(edge.src));
-    writer->WriteU32(static_cast<uint32_t>(edge.dst));
-    writer->WriteF32(edge.weight);
-  }
+  writer->WriteU64(static_cast<uint64_t>(subgraph.local.num_arcs()));
+  subgraph.local.ForEachArc([writer](NodeId src, NodeId dst, float weight) {
+    writer->WriteU32(static_cast<uint32_t>(src));
+    writer->WriteU32(static_cast<uint32_t>(dst));
+    writer->WriteF32(weight);
+  });
 }
 
 Status DecodeSubgraph(ByteReader* reader, Subgraph* subgraph) {
@@ -72,6 +71,7 @@ Status DecodeSubgraph(ByteReader* reader, Subgraph* subgraph) {
   // GraphBuilder's sort+dedup is deterministic, so rebuilding from the edge
   // list reproduces the original CSR bit-for-bit.
   GraphBuilder builder(num_nodes, /*undirected=*/false);
+  builder.Reserve(static_cast<int64_t>(arc_count));
   for (uint64_t i = 0; i < arc_count; ++i) {
     uint32_t src = 0, dst = 0;
     float weight = 0.0f;

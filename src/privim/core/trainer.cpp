@@ -1,6 +1,7 @@
 #include "privim/core/trainer.h"
 
 #include <cmath>
+#include <optional>
 
 #include "privim/common/fault_injection.h"
 #include "privim/common/logging.h"
@@ -9,6 +10,7 @@
 #include "privim/dp/mechanisms.h"
 #include "privim/dp/sensitivity.h"
 #include "privim/gnn/features.h"
+#include "privim/nn/arena.h"
 #include "privim/nn/ops.h"
 #include "privim/nn/optimizer.h"
 #include "privim/obs/metrics.h"
@@ -27,6 +29,14 @@ struct TrainMetrics {
   obs::Gauge* noise_sigma;
   obs::Histogram* grad_norm;
   obs::Histogram* iteration_s;
+  // Arena telemetry, summed over all worker pools. buffers/bytes/node_blocks
+  // are cumulative allocation counts — flat in the steady state (the
+  // allocation-regression test pins them); acquires/recycles keep counting.
+  obs::Gauge* arena_buffers;
+  obs::Gauge* arena_bytes;
+  obs::Gauge* arena_node_blocks;
+  obs::Gauge* arena_acquires;
+  obs::Gauge* arena_recycles;
 };
 
 const TrainMetrics& Metrics() {
@@ -40,6 +50,11 @@ const TrainMetrics& Metrics() {
           {0.01, 0.1, 0.5, 1.0, 2.0, 5.0, 10.0, 50.0, 100.0}),
       obs::GlobalMetrics().GetHistogram("train.iteration_s",
                                         obs::DefaultTimeBucketsSeconds()),
+      obs::GlobalMetrics().GetGauge("nn.arena.buffers_allocated"),
+      obs::GlobalMetrics().GetGauge("nn.arena.bytes_allocated"),
+      obs::GlobalMetrics().GetGauge("nn.arena.node_blocks"),
+      obs::GlobalMetrics().GetGauge("nn.arena.acquires"),
+      obs::GlobalMetrics().GetGauge("nn.arena.recycles"),
   };
   return metrics;
 }
@@ -79,21 +94,24 @@ Result<TrainStats> TrainDpGnn(GnnModel* model,
   obs::TraceSpan span("train/dp_sgd");
 
   TrainStats stats;
-  WallTimer setup_timer;
 
-  // Message-passing operators and features are immutable per subgraph:
-  // build them once, reuse across all T iterations.
-  std::vector<GraphContext> contexts;
-  std::vector<Tensor> features;
-  contexts.reserve(container.size());
-  features.reserve(container.size());
-  for (int64_t i = 0; i < container.size(); ++i) {
-    const Subgraph& sub = container.at(i);
-    contexts.push_back(GraphContext::Build(sub.local));
-    features.push_back(BuildNodeFeatures(
-        sub.local, model->config().input_dim, &sub.global_ids));
-  }
-  stats.setup_seconds = setup_timer.ElapsedSeconds();
+  // Message-passing operators and features are immutable per subgraph. They
+  // are built on first use — an iteration touches at most batch_size of the
+  // container's subgraphs, so short runs never pay for the rest — and cached
+  // for all later iterations. Builds happen serially before each batch is
+  // dispatched, outside any arena scope (the cache outlives every tape).
+  std::vector<std::optional<GraphContext>> contexts(
+      static_cast<size_t>(container.size()));
+  std::vector<Tensor> features(static_cast<size_t>(container.size()));
+  auto ensure_context = [&](int64_t index) {
+    std::optional<GraphContext>& ctx = contexts[static_cast<size_t>(index)];
+    if (!ctx.has_value()) {
+      const Subgraph& sub = container.at(index);
+      ctx.emplace(GraphContext::Build(sub.local));
+      features[static_cast<size_t>(index)] = BuildNodeFeatures(
+          sub.local, model->config().input_dim, &sub.global_ids);
+    }
+  };
 
   const std::vector<Variable>& params = model->parameters();
   const size_t param_count = static_cast<size_t>(ParameterCount(params));
@@ -152,12 +170,23 @@ Result<TrainStats> TrainDpGnn(GnnModel* model,
       replicas.push_back(std::move(replica).value());
     }
   }
+  // One pool set per worker replica (pools are keyed to the replica, not the
+  // OS thread, so chunk->thread placement can vary freely): each chunk's
+  // tape builds and tears down under its replica's pools, and from the
+  // second pass over a subgraph shape on, every tensor and autograd node
+  // comes off a free list.
+  std::vector<std::unique_ptr<nn::MemoryPools>> worker_pools;
+  worker_pools.reserve(std::max<size_t>(max_workers, 1));
+  for (size_t w = 0; w < std::max<size_t>(max_workers, 1); ++w) {
+    worker_pools.push_back(std::make_unique<nn::MemoryPools>());
+  }
 
   const TrainMetrics& metrics = Metrics();
   metrics.noise_sigma->Set(noise_stddev);
 
   WallTimer train_timer;
   std::vector<float> summed(param_count, 0.0f);
+  std::vector<float> mean_grad(param_count, 0.0f);
   std::vector<std::vector<float>> per_grad;
   std::vector<double> per_loss;
   std::vector<double> per_norm;
@@ -167,7 +196,12 @@ Result<TrainStats> TrainDpGnn(GnnModel* model,
     const std::vector<int64_t> batch =
         container.SampleBatch(options.batch_size, rng);
     const size_t batch_count = batch.size();
-    per_grad.assign(batch_count, std::vector<float>());
+    WallTimer setup_timer;
+    for (const int64_t index : batch) ensure_context(index);
+    stats.setup_seconds += setup_timer.ElapsedSeconds();
+    // per_grad entries keep their capacity across iterations;
+    // FlattenGradientsInto below overwrites them in place.
+    if (per_grad.size() != batch_count) per_grad.resize(batch_count);
     per_loss.assign(batch_count, 0.0);
     per_norm.assign(batch_count, 0.0);
 
@@ -177,22 +211,24 @@ Result<TrainStats> TrainDpGnn(GnnModel* model,
       for (const Variable& p : worker_model->parameters()) {
         const_cast<Variable&>(p).ZeroGrad();
       }
+      const GraphContext& ctx = *contexts[static_cast<size_t>(index)];
+      const Tensor& feats = features[static_cast<size_t>(index)];
       Result<Variable> loss =
           options.loss_fn
-              ? options.loss_fn(*worker_model, contexts[index],
-                                features[index], container.at(index))
-              : InfluenceLoss(*worker_model, contexts[index], features[index],
-                              options.loss);
+              ? options.loss_fn(*worker_model, ctx, feats,
+                                container.at(index))
+              : InfluenceLoss(*worker_model, ctx, feats, options.loss);
       if (!loss.ok()) return loss.status();
       per_loss[pos] = loss.value().value().at(0, 0);
       loss.value().Backward();
-      std::vector<float> grad = FlattenGradients(worker_model->parameters());
+      std::vector<float>& grad = per_grad[pos];
+      FlattenGradientsInto(worker_model->parameters(), &grad);
       per_norm[pos] = ClipL2(&grad, options.clip_bound);  // Alg. 2 line 6
-      per_grad[pos] = std::move(grad);
       return Status::OK();
     };
 
     if (max_workers <= 1) {
+      nn::ArenaScope scope(worker_pools[0].get());
       for (size_t pos = 0; pos < batch_count; ++pos) {
         PRIVIM_RETURN_NOT_OK(subgraph_gradient(model, pos));
       }
@@ -202,6 +238,7 @@ Result<TrainStats> TrainDpGnn(GnnModel* model,
           batch_count, max_workers,
           [&](size_t chunk, size_t begin, size_t end) {
             GnnModel* worker_model = replicas[chunk].get();
+            nn::ArenaScope scope(worker_pools[chunk].get());
             const Status sync = worker_model->CopyParametersFrom(*model);
             if (!sync.ok()) {
               chunk_status[chunk] = sync;
@@ -241,7 +278,6 @@ Result<TrainStats> TrainDpGnn(GnnModel* model,
     }
     // Alg. 2 line 9: step by the privatized mean gradient (noisy sum / B).
     const float inv_batch = 1.0f / static_cast<float>(options.batch_size);
-    std::vector<float> mean_grad(summed.size());
     for (size_t i = 0; i < summed.size(); ++i) {
       mean_grad[i] = summed[i] * inv_batch;
     }
@@ -254,6 +290,20 @@ Result<TrainStats> TrainDpGnn(GnnModel* model,
     metrics.loss->Set(mean_loss);
     metrics.iterations->Increment();
     metrics.iteration_s->Observe(iter_timer.ElapsedSeconds());
+    uint64_t arena_buffers = 0, arena_bytes = 0, arena_nodes = 0;
+    uint64_t arena_acquires = 0, arena_recycles = 0;
+    for (const auto& pools : worker_pools) {
+      arena_buffers += pools->tensors.buffers_allocated();
+      arena_bytes += pools->tensors.bytes_allocated();
+      arena_nodes += pools->nodes.blocks_allocated();
+      arena_acquires += pools->tensors.acquires();
+      arena_recycles += pools->tensors.recycles();
+    }
+    metrics.arena_buffers->Set(static_cast<double>(arena_buffers));
+    metrics.arena_bytes->Set(static_cast<double>(arena_bytes));
+    metrics.arena_node_blocks->Set(static_cast<double>(arena_nodes));
+    metrics.arena_acquires->Set(static_cast<double>(arena_acquires));
+    metrics.arena_recycles->Set(static_cast<double>(arena_recycles));
     PRIVIM_LOG(Debug) << "iter " << t << " mean loss " << mean_loss;
 
     if (options.checkpoint_fn) {

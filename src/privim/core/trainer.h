@@ -101,7 +101,7 @@ struct DpSgdOptions {
 };
 
 struct TrainStats {
-  double setup_seconds = 0.0;      ///< context/feature precomputation
+  double setup_seconds = 0.0;      ///< lazy context/feature builds (total)
   double training_seconds = 0.0;   ///< total time in the T iterations
   double mean_loss_first = 0.0;    ///< mean per-batch loss, first iteration
   double mean_loss_last = 0.0;     ///< mean per-batch loss, last iteration

@@ -1,6 +1,7 @@
 #include "privim/gnn/graph_context.h"
 
 #include <cmath>
+#include <utility>
 
 namespace privim {
 
@@ -46,10 +47,10 @@ GraphContext GraphContext::Build(const Graph& graph) {
     ctx.attention_dst.push_back(v);
   }
 
-  ctx.influence_adj = MakeSparsePair(n, n, influence);
-  ctx.gcn_adj = MakeSparsePair(n, n, gcn);
-  ctx.mean_in_adj = MakeSparsePair(n, n, mean_in);
-  ctx.sum_in_adj = MakeSparsePair(n, n, sum_in);
+  ctx.influence_adj = MakeSparseCsr(n, n, std::move(influence));
+  ctx.gcn_adj = MakeSparseCsr(n, n, std::move(gcn));
+  ctx.mean_in_adj = MakeSparseCsr(n, n, std::move(mean_in));
+  ctx.sum_in_adj = MakeSparseCsr(n, n, std::move(sum_in));
   return ctx;
 }
 

@@ -21,17 +21,17 @@ struct GraphContext {
 
   /// A with A[v][u] = w_uv for u in N_in(v): SpMM(influence_adj, p) gives
   /// each node's incoming influence mass (Eq. 2 / Theorem 2).
-  std::shared_ptr<const SparsePair> influence_adj;
+  std::shared_ptr<const SparseMatrix> influence_adj;
 
   /// Symmetric-normalized adjacency with self-loops,
   /// value(u->v) = 1 / sqrt((din(v)+1) (din(u)+1)) (GCN, Eq. 31-32).
-  std::shared_ptr<const SparsePair> gcn_adj;
+  std::shared_ptr<const SparseMatrix> gcn_adj;
 
   /// Mean in-neighbor aggregation, value(u->v) = 1 / din(v) (GraphSAGE).
-  std::shared_ptr<const SparsePair> mean_in_adj;
+  std::shared_ptr<const SparseMatrix> mean_in_adj;
 
   /// Sum in-neighbor aggregation, value(u->v) = 1 (GIN).
-  std::shared_ptr<const SparsePair> sum_in_adj;
+  std::shared_ptr<const SparseMatrix> sum_in_adj;
 
   /// All arcs u->v as parallel arrays.
   std::vector<int32_t> arc_src;

@@ -45,7 +45,8 @@ Variable GnnModel::AddZeroParameter(int64_t rows, int64_t cols) {
 }
 
 Result<Variable> GnnModel::Run(const GraphContext& ctx,
-                               const Tensor& features) const {
+                               const Tensor& features,
+                               nn::MemoryPools* pools) const {
   if (features.rows() != ctx.num_nodes) {
     return Status::InvalidArgument(
         "feature matrix has " + std::to_string(features.rows()) +
@@ -58,6 +59,7 @@ Result<Variable> GnnModel::Run(const GraphContext& ctx,
         " columns but the model expects input_dim = " +
         std::to_string(config_.input_dim));
   }
+  nn::ArenaScope scope(pools);
   return Forward(ctx, Variable(features));
 }
 

@@ -14,6 +14,7 @@
 #include "privim/common/rng.h"
 #include "privim/common/status.h"
 #include "privim/gnn/graph_context.h"
+#include "privim/nn/arena.h"
 #include "privim/nn/autograd.h"
 
 namespace privim {
@@ -46,7 +47,11 @@ class GnnModel {
   /// (ctx.num_nodes x input_dim) and returns InvalidArgument instead of
   /// tripping the shape asserts inside the ops. Hot training loops that
   /// construct their own matching features keep calling Forward directly.
-  Result<Variable> Run(const GraphContext& ctx, const Tensor& features) const;
+  /// When `pools` is non-null, the forward tape draws its tensor and node
+  /// storage from it (and returns it there), so repeated calls with the
+  /// same pools are allocation-free after the first.
+  Result<Variable> Run(const GraphContext& ctx, const Tensor& features,
+                       nn::MemoryPools* pools = nullptr) const;
 
   /// Trainable parameters, in a stable order (DP-SGD flattening relies on
   /// this order being identical across calls).

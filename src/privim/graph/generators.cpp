@@ -24,6 +24,7 @@ Result<Graph> ErdosRenyi(int64_t num_nodes, int64_t num_edges, bool directed,
     return Status::InvalidArgument("more edges than the graph can hold");
   }
   GraphBuilder builder(num_nodes, /*undirected=*/!directed);
+  builder.Reserve(num_edges);
   std::unordered_set<uint64_t> seen;
   seen.reserve(static_cast<size_t>(num_edges) * 2);
   int64_t added = 0;
@@ -48,6 +49,7 @@ Result<Graph> BarabasiAlbert(int64_t num_nodes, int64_t edges_per_node,
     return Status::InvalidArgument("need num_nodes > edges_per_node");
   }
   GraphBuilder builder(num_nodes, /*undirected=*/true);
+  builder.Reserve(num_nodes * edges_per_node);
   // `targets` holds one entry per edge endpoint, so uniform sampling from it
   // is sampling proportional to degree (the classic repeated-nodes trick).
   std::vector<NodeId> endpoint_pool;

@@ -14,18 +14,20 @@ bool Graph::HasArc(NodeId u, NodeId v) const {
 std::vector<Edge> Graph::ToEdgeList() const {
   std::vector<Edge> edges;
   edges.reserve(out_neighbors_.size());
-  for (NodeId u = 0; u < num_nodes_; ++u) {
-    const auto neighbors = OutNeighbors(u);
-    const auto weights = OutWeights(u);
-    for (size_t i = 0; i < neighbors.size(); ++i) {
-      edges.push_back({u, neighbors[i], weights[i]});
-    }
-  }
+  ForEachArc([&edges](NodeId u, NodeId v, float w) {
+    edges.push_back({u, v, w});
+  });
   return edges;
 }
 
 GraphBuilder::GraphBuilder(int64_t num_nodes, bool undirected)
     : num_nodes_(num_nodes), undirected_(undirected) {}
+
+void GraphBuilder::Reserve(int64_t num_edges) {
+  if (num_edges <= 0) return;
+  const size_t arcs = static_cast<size_t>(num_edges) * (undirected_ ? 2 : 1);
+  edges_.reserve(edges_.size() + arcs);
+}
 
 Status GraphBuilder::AddEdge(NodeId src, NodeId dst, float weight) {
   if (built_) return Status::FailedPrecondition("builder already consumed");
@@ -44,6 +46,7 @@ Status GraphBuilder::AddEdge(NodeId src, NodeId dst, float weight) {
 }
 
 Status GraphBuilder::AddEdges(const std::vector<Edge>& edges) {
+  Reserve(static_cast<int64_t>(edges.size()));
   for (const Edge& e : edges) {
     PRIVIM_RETURN_NOT_OK(AddEdge(e.src, e.dst, e.weight));
   }
@@ -110,12 +113,11 @@ namespace {
 Graph RebuildWithWeights(const Graph& graph,
                          const std::function<float(NodeId, NodeId)>& weight_fn) {
   GraphBuilder builder(graph.num_nodes(), /*undirected=*/false);
-  for (NodeId u = 0; u < graph.num_nodes(); ++u) {
-    for (NodeId v : graph.OutNeighbors(u)) {
-      // Endpoints come from a valid graph; AddEdge cannot fail.
-      (void)builder.AddEdge(u, v, weight_fn(u, v));
-    }
-  }
+  builder.Reserve(graph.num_arcs());
+  graph.ForEachArc([&](NodeId u, NodeId v, float /*w*/) {
+    // Endpoints come from a valid graph; AddEdge cannot fail.
+    (void)builder.AddEdge(u, v, weight_fn(u, v));
+  });
   Result<Graph> result = builder.Build();
   return std::move(result).value();
 }
@@ -138,13 +140,10 @@ Graph WithPermutedNodeIds(const Graph& graph, Rng* rng) {
   for (NodeId v = 0; v < graph.num_nodes(); ++v) new_id[v] = v;
   rng->Shuffle(&new_id);
   GraphBuilder builder(graph.num_nodes(), /*undirected=*/false);
-  for (NodeId u = 0; u < graph.num_nodes(); ++u) {
-    const auto neighbors = graph.OutNeighbors(u);
-    const auto weights = graph.OutWeights(u);
-    for (size_t i = 0; i < neighbors.size(); ++i) {
-      (void)builder.AddEdge(new_id[u], new_id[neighbors[i]], weights[i]);
-    }
-  }
+  builder.Reserve(graph.num_arcs());
+  graph.ForEachArc([&](NodeId u, NodeId v, float w) {
+    (void)builder.AddEdge(new_id[u], new_id[v], w);
+  });
   Result<Graph> result = builder.Build();
   return std::move(result).value();
 }

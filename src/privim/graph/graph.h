@@ -78,7 +78,20 @@ class Graph {
   /// True if an arc u -> v exists (binary search; neighbors are sorted).
   bool HasArc(NodeId u, NodeId v) const;
 
-  /// All arcs as an edge list (in CSR order).
+  /// Visits every arc in CSR order without materializing an edge list.
+  /// `fn` is called as fn(src, dst, weight).
+  template <typename Fn>
+  void ForEachArc(Fn&& fn) const {
+    for (NodeId u = 0; u < num_nodes_; ++u) {
+      for (int64_t i = out_offsets_[u]; i < out_offsets_[u + 1]; ++i) {
+        fn(u, out_neighbors_[static_cast<size_t>(i)],
+           out_weights_[static_cast<size_t>(i)]);
+      }
+    }
+  }
+
+  /// All arcs as an edge list (in CSR order). Prefer ForEachArc when the
+  /// caller only iterates; this materializes a new vector per call.
   std::vector<Edge> ToEdgeList() const;
 
  private:
@@ -100,11 +113,15 @@ class GraphBuilder {
   /// `undirected` inserts the reverse arc for every AddEdge call.
   explicit GraphBuilder(int64_t num_nodes, bool undirected = false);
 
+  /// Reserves room for `num_edges` future AddEdge calls (doubled when the
+  /// builder is undirected, since each call inserts the reverse arc too).
+  void Reserve(int64_t num_edges);
+
   /// Adds arc src -> dst (plus dst -> src when undirected). Self-loops and
   /// out-of-range endpoints are rejected.
   Status AddEdge(NodeId src, NodeId dst, float weight = 1.0f);
 
-  /// Bulk AddEdge.
+  /// Bulk AddEdge; reserves capacity for the whole batch up front.
   Status AddEdges(const std::vector<Edge>& edges);
 
   int64_t num_edges_added() const { return static_cast<int64_t>(edges_.size()); }

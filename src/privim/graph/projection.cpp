@@ -16,6 +16,7 @@ Result<Graph> ProjectInDegree(const Graph& graph, int64_t theta, Rng* rng) {
   int64_t truncated_nodes = 0;
   int64_t dropped_arcs = 0;
   GraphBuilder builder(graph.num_nodes(), /*undirected=*/false);
+  builder.Reserve(graph.num_arcs());  // upper bound; projection only drops
   std::vector<size_t> indices;
   for (NodeId v = 0; v < graph.num_nodes(); ++v) {
     const auto sources = graph.InNeighbors(v);

@@ -1,11 +1,59 @@
 #include "privim/nn/autograd.h"
 
 #include <cassert>
-#include <unordered_set>
+#include <utility>
+
+#include "privim/nn/arena.h"
 
 namespace privim {
 
 namespace internal {
+namespace {
+
+// Routes the allocate_shared<VariableNode> control-block-plus-object
+// allocation through the thread's active NodePool. All instantiations
+// allocate the same combined size, so the pool sees a single block class;
+// with no active pool this is plain ::operator new / delete. Stateless, so
+// a block may be freed under a different (or no) pool than allocated it —
+// blocks are ordinary heap memory either way (see arena.h).
+template <typename T>
+struct PoolAllocator {
+  using value_type = T;
+  PoolAllocator() noexcept = default;
+  template <typename U>
+  PoolAllocator(const PoolAllocator<U>&) noexcept {}
+
+  T* allocate(size_t n) {
+    nn::NodePool* pool = nn::ActiveNodePool();
+    if (pool != nullptr) {
+      return static_cast<T*>(pool->Allocate(n * sizeof(T)));
+    }
+    return static_cast<T*>(::operator new(n * sizeof(T)));
+  }
+  void deallocate(T* p, size_t n) noexcept {
+    nn::NodePool* pool = nn::ActiveNodePool();
+    if (pool != nullptr) {
+      pool->Deallocate(p, n * sizeof(T));
+      return;
+    }
+    ::operator delete(p);
+  }
+};
+
+template <typename A, typename B>
+bool operator==(const PoolAllocator<A>&, const PoolAllocator<B>&) noexcept {
+  return true;
+}
+template <typename A, typename B>
+bool operator!=(const PoolAllocator<A>&, const PoolAllocator<B>&) noexcept {
+  return false;
+}
+
+std::shared_ptr<VariableNode> NewNode() {
+  return std::allocate_shared<VariableNode>(PoolAllocator<VariableNode>());
+}
+
+}  // namespace
 
 void VariableNode::AccumulateGrad(const Tensor& delta) {
   if (!grad_initialized) {
@@ -15,10 +63,20 @@ void VariableNode::AccumulateGrad(const Tensor& delta) {
   grad.AddInPlace(delta);
 }
 
+void VariableNode::AccumulateGrad(Tensor&& delta) {
+  if (!grad_initialized) {
+    assert(delta.rows() == value.rows() && delta.cols() == value.cols());
+    grad = std::move(delta);
+    grad_initialized = true;
+    return;
+  }
+  grad.AddInPlace(delta);
+}
+
 }  // namespace internal
 
 Variable::Variable(Tensor value, bool requires_grad)
-    : node_(std::make_shared<internal::VariableNode>()) {
+    : node_(internal::NewNode()) {
   node_->value = std::move(value);
   node_->requires_grad = requires_grad;
 }
@@ -36,16 +94,25 @@ void Variable::ZeroGrad() {
 }
 
 Variable Variable::MakeOp(
-    Tensor value, std::vector<Variable> parents,
+    Tensor value, const Variable& p0,
     std::function<void(internal::VariableNode*)> backward_fn) {
-  bool requires_grad = false;
-  for (const Variable& p : parents) {
-    requires_grad = requires_grad || p.requires_grad();
+  Variable out(std::move(value), p0.requires_grad());
+  if (out.node_->requires_grad) {
+    out.node_->num_parents = 1;
+    out.node_->parents[0] = p0.node_;
+    out.node_->backward_fn = std::move(backward_fn);
   }
-  Variable out(std::move(value), requires_grad);
-  if (requires_grad) {
-    out.node_->parents.reserve(parents.size());
-    for (const Variable& p : parents) out.node_->parents.push_back(p.node_);
+  return out;
+}
+
+Variable Variable::MakeOp(
+    Tensor value, const Variable& p0, const Variable& p1,
+    std::function<void(internal::VariableNode*)> backward_fn) {
+  Variable out(std::move(value), p0.requires_grad() || p1.requires_grad());
+  if (out.node_->requires_grad) {
+    out.node_->num_parents = 2;
+    out.node_->parents[0] = p0.node_;
+    out.node_->parents[1] = p1.node_;
     out.node_->backward_fn = std::move(backward_fn);
   }
   return out;
@@ -55,21 +122,28 @@ void Variable::Backward() {
   assert(node_ && node_->value.rows() == 1 && node_->value.cols() == 1 &&
          "Backward() requires a scalar output");
 
-  // Iterative post-order DFS over parents -> topological order.
-  std::vector<internal::VariableNode*> topo;
-  std::unordered_set<internal::VariableNode*> visited;
+  // Iterative post-order DFS over parents -> topological order. Visitation
+  // is tracked with a flag on the node (nodes are created unvisited and the
+  // flag is reset below), and the scratch containers keep their capacity
+  // across calls, so sorting the tape performs no steady-state allocations.
   struct Frame {
     internal::VariableNode* node;
-    size_t next_parent;
+    int next_parent;
   };
-  std::vector<Frame> stack;
-  if (visited.insert(node_.get()).second) stack.push_back({node_.get(), 0});
+  static thread_local std::vector<internal::VariableNode*> topo;
+  static thread_local std::vector<Frame> stack;
+  topo.clear();
+  stack.clear();
+
+  node_->visited = true;
+  stack.push_back({node_.get(), 0});
   while (!stack.empty()) {
     Frame& frame = stack.back();
-    if (frame.next_parent < frame.node->parents.size()) {
+    if (frame.next_parent < frame.node->num_parents) {
       internal::VariableNode* parent =
-          frame.node->parents[frame.next_parent++].get();
-      if (parent->requires_grad && visited.insert(parent).second) {
+          frame.node->parents[static_cast<size_t>(frame.next_parent++)].get();
+      if (parent->requires_grad && !parent->visited) {
+        parent->visited = true;
         stack.push_back({parent, 0});
       }
     } else {
@@ -85,16 +159,31 @@ void Variable::Backward() {
       node->backward_fn(node);
     }
   }
+
+  // Leaf parameter nodes outlive the tape; leave them ready for re-visit.
+  for (internal::VariableNode* node : topo) node->visited = false;
 }
 
 std::vector<float> FlattenGradients(const std::vector<Variable>& params) {
   std::vector<float> flat;
-  flat.reserve(static_cast<size_t>(ParameterCount(params)));
-  for (const Variable& p : params) {
-    const Tensor g = p.grad();
-    flat.insert(flat.end(), g.data(), g.data() + g.size());
-  }
+  FlattenGradientsInto(params, &flat);
   return flat;
+}
+
+void FlattenGradientsInto(const std::vector<Variable>& params,
+                          std::vector<float>* out) {
+  out->clear();
+  out->reserve(static_cast<size_t>(ParameterCount(params)));
+  for (const Variable& p : params) {
+    const internal::VariableNode* node = p.node();
+    const size_t n = static_cast<size_t>(node->value.size());
+    if (node->grad_initialized) {
+      const float* g = node->grad.data();
+      out->insert(out->end(), g, g + n);
+    } else {
+      out->resize(out->size() + n, 0.0f);
+    }
+  }
 }
 
 int64_t ParameterCount(const std::vector<Variable>& params) {

@@ -5,10 +5,18 @@
 // node's pullback, accumulating gradients into `grad`. This is the engine
 // under every GNN layer and under the Eq. 5 influence loss, and is verified
 // against central differences in tests/nn/autograd_test.cpp.
+//
+// The tape is built to be allocation-free in the steady state: nodes come
+// from the thread's active NodePool (arena.h), ops have at most two parents
+// (stored inline, no per-node vector), and pullback closures keep their
+// captured state within std::function's small-buffer optimization — at most
+// 16 bytes of trivially-copyable data (raw pointers / plain ints). Anything
+// a pullback reads beyond its parents must be pinned via `keepalive`.
 
 #ifndef PRIVIM_NN_AUTOGRAD_H_
 #define PRIVIM_NN_AUTOGRAD_H_
 
+#include <array>
 #include <functional>
 #include <memory>
 #include <vector>
@@ -24,11 +32,20 @@ struct VariableNode {
   Tensor grad;             // lazily sized on first accumulation
   bool requires_grad = false;
   bool grad_initialized = false;
-  std::vector<std::shared_ptr<VariableNode>> parents;
+  bool visited = false;    // scratch flag owned by Backward()
+  int num_parents = 0;
+  std::array<std::shared_ptr<VariableNode>, 2> parents;
+  // Pins non-parent data the pullback reads through raw pointers (e.g. the
+  // CSR matrix of an SpMM). Closures capture raw pointers so they stay
+  // inside std::function's small buffer; this member carries the ownership.
+  std::shared_ptr<const void> keepalive;
   // Pullback: given this node (value+grad), push gradient into parents.
   std::function<void(VariableNode*)> backward_fn;
 
   void AccumulateGrad(const Tensor& delta);
+  /// Move overload: the first accumulation adopts `delta`'s buffer instead
+  /// of zero-filling a fresh gradient and adding into it.
+  void AccumulateGrad(Tensor&& delta);
 };
 
 }  // namespace internal
@@ -53,15 +70,21 @@ class Variable {
   /// Gradient accumulated by the last Backward(); zeros if untouched.
   Tensor grad() const;
 
-  /// Clears the accumulated gradient (call between microbatches).
+  /// Clears the accumulated gradient (call between microbatches). The old
+  /// gradient buffer is recycled into the active arena, if any.
   void ZeroGrad();
 
   /// Runs reverse-mode AD from this scalar (1x1) variable.
   void Backward();
 
-  /// Internal: builds an op node. `backward_fn` receives the result node.
+  /// Internal: builds a unary / binary op node. `backward_fn` receives the
+  /// result node (parents are reachable through it — closures should not
+  /// capture parent handles).
   static Variable MakeOp(
-      Tensor value, std::vector<Variable> parents,
+      Tensor value, const Variable& p0,
+      std::function<void(internal::VariableNode*)> backward_fn);
+  static Variable MakeOp(
+      Tensor value, const Variable& p0, const Variable& p1,
       std::function<void(internal::VariableNode*)> backward_fn);
 
   internal::VariableNode* node() const { return node_.get(); }
@@ -76,6 +99,12 @@ class Variable {
 /// Convenience: gradients of `params` flattened into one vector, in order
 /// (row-major per tensor). Used by the DP-SGD per-sample gradient pipeline.
 std::vector<float> FlattenGradients(const std::vector<Variable>& params);
+
+/// Allocation-free variant: overwrites `*out` (reusing its capacity) with
+/// the flattened gradients, reading node storage directly with no per-
+/// parameter Tensor copies.
+void FlattenGradientsInto(const std::vector<Variable>& params,
+                          std::vector<float>* out);
 
 /// Total number of scalar parameters.
 int64_t ParameterCount(const std::vector<Variable>& params);

@@ -11,45 +11,44 @@ namespace {
 
 using internal::VariableNode;
 
-Tensor TransposeValues(const Tensor& a) {
-  Tensor t(a.cols(), a.rows());
-  for (int64_t i = 0; i < a.rows(); ++i) {
-    for (int64_t j = 0; j < a.cols(); ++j) t.at(j, i) = a.at(i, j);
-  }
-  return t;
-}
-
 // Elementwise unary op with pullback dy/dx expressed from (x, y).
 template <typename ForwardFn, typename GradFn>
 Variable PointwiseOp(const Variable& x, ForwardFn&& forward,
                      GradFn&& grad_from_xy) {
-  Tensor out(x.rows(), x.cols());
+  Tensor out = Tensor::Uninitialized(x.rows(), x.cols());
   const Tensor& xv = x.value();
   for (int64_t i = 0; i < out.size(); ++i) {
     out.data()[i] = forward(xv.data()[i]);
   }
   return Variable::MakeOp(
-      std::move(out), {x},
+      std::move(out), x,
       [grad = std::forward<GradFn>(grad_from_xy)](VariableNode* node) {
         VariableNode* parent = node->parents[0].get();
         if (!parent->requires_grad) return;
-        Tensor dx(parent->value.rows(), parent->value.cols());
-        const float* xs = parent->value.data();
-        const float* ys = node->value.data();
-        const float* dys = node->grad.data();
-        for (int64_t i = 0; i < dx.size(); ++i) {
-          dx.data()[i] = dys[i] * grad(xs[i], ys[i]);
+        Tensor dx = Tensor::Uninitialized(parent->value.rows(),
+                                          parent->value.cols());
+        const float* PRIVIM_RESTRICT xs = parent->value.data();
+        const float* PRIVIM_RESTRICT ys = node->value.data();
+        const float* PRIVIM_RESTRICT dys = node->grad.data();
+        float* PRIVIM_RESTRICT dxs = dx.data();
+        const int64_t n = dx.size();
+        for (int64_t i = 0; i < n; ++i) {
+          dxs[i] = dys[i] * grad(xs[i], ys[i]);
         }
-        parent->AccumulateGrad(dx);
+        parent->AccumulateGrad(std::move(dx));
       });
 }
 
 SparseMatrix BuildCsr(int64_t rows, int64_t cols,
                       std::vector<Triplet> triplets) {
-  std::sort(triplets.begin(), triplets.end(),
-            [](const Triplet& a, const Triplet& b) {
-              return a.row != b.row ? a.row < b.row : a.col < b.col;
-            });
+  const auto row_major = [](const Triplet& a, const Triplet& b) {
+    return a.row != b.row ? a.row < b.row : a.col < b.col;
+  };
+  // Callers that walk a CSR graph emit triplets already row-major; the
+  // linear check dodges the sort on that common path.
+  if (!std::is_sorted(triplets.begin(), triplets.end(), row_major)) {
+    std::sort(triplets.begin(), triplets.end(), row_major);
+  }
   SparseMatrix sp;
   sp.rows = rows;
   sp.cols = cols;
@@ -73,18 +72,64 @@ SparseMatrix BuildCsr(int64_t rows, int64_t cols,
   return sp;
 }
 
+// The CSR kernels take their buffers as restrict-qualified function
+// parameters: GCC only trusts restrict on parameters, not locals, so this
+// shape avoids the runtime aliasing checks the vectorized feature-dimension
+// loops would otherwise re-run per stored entry.
+
 // y += S * x for dense row-major x (m x d), y (n x d).
-void SpMMAccumulate(const SparseMatrix& sp, const Tensor& x, Tensor* y) {
-  assert(sp.cols == x.rows() && sp.rows == y->rows() && x.cols() == y->cols());
-  const int64_t d = x.cols();
-  for (int64_t r = 0; r < sp.rows; ++r) {
-    float* yrow = y->data() + r * d;
-    for (int64_t k = sp.offsets[r]; k < sp.offsets[r + 1]; ++k) {
-      const float w = sp.values[k];
-      const float* xrow = x.data() + static_cast<int64_t>(sp.indices[k]) * d;
+PRIVIM_VEC_CLONES
+void SpMMKernel(int64_t rows, int64_t d,
+                const int64_t* PRIVIM_RESTRICT offsets,
+                const int32_t* PRIVIM_RESTRICT indices,
+                const float* PRIVIM_RESTRICT values,
+                const float* PRIVIM_RESTRICT xdata,
+                float* PRIVIM_RESTRICT ydata) {
+  for (int64_t r = 0; r < rows; ++r) {
+    float* PRIVIM_RESTRICT yrow = ydata + r * d;
+    for (int64_t k = offsets[r]; k < offsets[r + 1]; ++k) {
+      const float w = values[k];
+      const float* PRIVIM_RESTRICT xrow =
+          xdata + static_cast<int64_t>(indices[k]) * d;
       for (int64_t j = 0; j < d; ++j) yrow[j] += w * xrow[j];
     }
   }
+}
+
+void SpMMAccumulate(const SparseMatrix& sp, const Tensor& x, Tensor* y) {
+  assert(sp.cols == x.rows() && sp.rows == y->rows() && x.cols() == y->cols());
+  SpMMKernel(sp.rows, x.cols(), sp.offsets.data(), sp.indices.data(),
+             sp.values.data(), x.data(), y->data());
+}
+
+// y += S^T * g without a transposed CSR: scatters each stored entry
+// (r, c, w) as y[c] += w * g[r]. The outer loop runs r ascending, so every
+// output row receives its contributions in increasing-r order — exactly the
+// order a materialized transpose (whose rows are sorted by r) would use, so
+// gradients are bit-identical to the old transpose-walking pullback.
+PRIVIM_VEC_CLONES
+void SpMMTransposeKernel(int64_t rows, int64_t d,
+                         const int64_t* PRIVIM_RESTRICT offsets,
+                         const int32_t* PRIVIM_RESTRICT indices,
+                         const float* PRIVIM_RESTRICT values,
+                         const float* PRIVIM_RESTRICT gdata,
+                         float* PRIVIM_RESTRICT ydata) {
+  for (int64_t r = 0; r < rows; ++r) {
+    const float* PRIVIM_RESTRICT grow = gdata + r * d;
+    for (int64_t k = offsets[r]; k < offsets[r + 1]; ++k) {
+      const float w = values[k];
+      float* PRIVIM_RESTRICT yrow =
+          ydata + static_cast<int64_t>(indices[k]) * d;
+      for (int64_t j = 0; j < d; ++j) yrow[j] += w * grow[j];
+    }
+  }
+}
+
+void SpMMTransposeAccumulate(const SparseMatrix& sp, const Tensor& g,
+                             Tensor* y) {
+  assert(sp.rows == g.rows() && sp.cols == y->rows() && g.cols() == y->cols());
+  SpMMTransposeKernel(sp.rows, g.cols(), sp.offsets.data(), sp.indices.data(),
+                      sp.values.data(), g.data(), y->data());
 }
 
 }  // namespace
@@ -92,16 +137,14 @@ void SpMMAccumulate(const SparseMatrix& sp, const Tensor& x, Tensor* y) {
 Variable MatMul(const Variable& a, const Variable& b) {
   assert(a.cols() == b.rows());
   return Variable::MakeOp(
-      MatMulValues(a.value(), b.value()), {a, b}, [](VariableNode* node) {
+      MatMulValues(a.value(), b.value()), a, b, [](VariableNode* node) {
         VariableNode* a_node = node->parents[0].get();
         VariableNode* b_node = node->parents[1].get();
         if (a_node->requires_grad) {
-          a_node->AccumulateGrad(
-              MatMulValues(node->grad, TransposeValues(b_node->value)));
+          a_node->AccumulateGrad(MatMulABT(node->grad, b_node->value));
         }
         if (b_node->requires_grad) {
-          b_node->AccumulateGrad(
-              MatMulValues(TransposeValues(a_node->value), node->grad));
+          b_node->AccumulateGrad(MatMulATB(a_node->value, node->grad));
         }
       });
 }
@@ -110,9 +153,9 @@ Variable Add(const Variable& a, const Variable& b) {
   assert(a.value().SameShape(b.value()));
   Tensor out = a.value();
   out.AddInPlace(b.value());
-  return Variable::MakeOp(std::move(out), {a, b}, [](VariableNode* node) {
+  return Variable::MakeOp(std::move(out), a, b, [](VariableNode* node) {
     for (int p = 0; p < 2; ++p) {
-      VariableNode* parent = node->parents[p].get();
+      VariableNode* parent = node->parents[static_cast<size_t>(p)].get();
       if (parent->requires_grad) parent->AccumulateGrad(node->grad);
     }
   });
@@ -123,39 +166,43 @@ Variable Subtract(const Variable& a, const Variable& b) {
   Tensor out = a.value();
   const float* bv = b.value().data();
   for (int64_t i = 0; i < out.size(); ++i) out.data()[i] -= bv[i];
-  return Variable::MakeOp(std::move(out), {a, b}, [](VariableNode* node) {
+  return Variable::MakeOp(std::move(out), a, b, [](VariableNode* node) {
     VariableNode* a_node = node->parents[0].get();
     VariableNode* b_node = node->parents[1].get();
     if (a_node->requires_grad) a_node->AccumulateGrad(node->grad);
     if (b_node->requires_grad) {
       Tensor neg = node->grad;
       neg.ScaleInPlace(-1.0f);
-      b_node->AccumulateGrad(neg);
+      b_node->AccumulateGrad(std::move(neg));
     }
   });
 }
 
 Variable Multiply(const Variable& a, const Variable& b) {
   assert(a.value().SameShape(b.value()));
-  Tensor out(a.rows(), a.cols());
+  Tensor out = Tensor::Uninitialized(a.rows(), a.cols());
   const float* av = a.value().data();
   const float* bv = b.value().data();
   for (int64_t i = 0; i < out.size(); ++i) out.data()[i] = av[i] * bv[i];
-  return Variable::MakeOp(std::move(out), {a, b}, [](VariableNode* node) {
+  return Variable::MakeOp(std::move(out), a, b, [](VariableNode* node) {
     VariableNode* a_node = node->parents[0].get();
     VariableNode* b_node = node->parents[1].get();
-    const float* dys = node->grad.data();
+    const float* PRIVIM_RESTRICT dys = node->grad.data();
     if (a_node->requires_grad) {
-      Tensor da(a_node->value.rows(), a_node->value.cols());
-      const float* bv2 = b_node->value.data();
-      for (int64_t i = 0; i < da.size(); ++i) da.data()[i] = dys[i] * bv2[i];
-      a_node->AccumulateGrad(da);
+      Tensor da = Tensor::Uninitialized(a_node->value.rows(),
+                                        a_node->value.cols());
+      const float* PRIVIM_RESTRICT bv2 = b_node->value.data();
+      float* PRIVIM_RESTRICT das = da.data();
+      for (int64_t i = 0; i < da.size(); ++i) das[i] = dys[i] * bv2[i];
+      a_node->AccumulateGrad(std::move(da));
     }
     if (b_node->requires_grad) {
-      Tensor db(b_node->value.rows(), b_node->value.cols());
-      const float* av2 = a_node->value.data();
-      for (int64_t i = 0; i < db.size(); ++i) db.data()[i] = dys[i] * av2[i];
-      b_node->AccumulateGrad(db);
+      Tensor db = Tensor::Uninitialized(b_node->value.rows(),
+                                        b_node->value.cols());
+      const float* PRIVIM_RESTRICT av2 = a_node->value.data();
+      float* PRIVIM_RESTRICT dbs = db.data();
+      for (int64_t i = 0; i < db.size(); ++i) dbs[i] = dys[i] * av2[i];
+      b_node->AccumulateGrad(std::move(db));
     }
   });
 }
@@ -163,12 +210,12 @@ Variable Multiply(const Variable& a, const Variable& b) {
 Variable AddRowBroadcast(const Variable& x, const Variable& bias) {
   assert(bias.rows() == 1 && bias.cols() == x.cols());
   Tensor out = x.value();
-  const float* bv = bias.value().data();
+  const float* PRIVIM_RESTRICT bv = bias.value().data();
   for (int64_t i = 0; i < out.rows(); ++i) {
-    float* row = out.data() + i * out.cols();
+    float* PRIVIM_RESTRICT row = out.data() + i * out.cols();
     for (int64_t j = 0; j < out.cols(); ++j) row[j] += bv[j];
   }
-  return Variable::MakeOp(std::move(out), {x, bias}, [](VariableNode* node) {
+  return Variable::MakeOp(std::move(out), x, bias, [](VariableNode* node) {
     VariableNode* x_node = node->parents[0].get();
     VariableNode* b_node = node->parents[1].get();
     if (x_node->requires_grad) x_node->AccumulateGrad(node->grad);
@@ -178,45 +225,45 @@ Variable AddRowBroadcast(const Variable& x, const Variable& bias) {
         const float* row = node->grad.data() + i * node->grad.cols();
         for (int64_t j = 0; j < node->grad.cols(); ++j) db.at(0, j) += row[j];
       }
-      b_node->AccumulateGrad(db);
+      b_node->AccumulateGrad(std::move(db));
     }
   });
 }
 
 Variable MulColBroadcast(const Variable& scale, const Variable& x) {
   assert(scale.cols() == 1 && scale.rows() == x.rows());
-  Tensor out(x.rows(), x.cols());
+  Tensor out = Tensor::Uninitialized(x.rows(), x.cols());
   for (int64_t i = 0; i < x.rows(); ++i) {
     const float s = scale.value().at(i, 0);
-    const float* xrow = x.value().data() + i * x.cols();
-    float* orow = out.data() + i * x.cols();
+    const float* PRIVIM_RESTRICT xrow = x.value().data() + i * x.cols();
+    float* PRIVIM_RESTRICT orow = out.data() + i * x.cols();
     for (int64_t j = 0; j < x.cols(); ++j) orow[j] = s * xrow[j];
   }
-  return Variable::MakeOp(std::move(out), {scale, x}, [](VariableNode* node) {
+  return Variable::MakeOp(std::move(out), scale, x, [](VariableNode* node) {
     VariableNode* s_node = node->parents[0].get();
     VariableNode* x_node = node->parents[1].get();
     const Tensor& grad = node->grad;
     const int64_t d = grad.cols();
     if (s_node->requires_grad) {
-      Tensor ds(s_node->value.rows(), 1);
+      Tensor ds = Tensor::Uninitialized(s_node->value.rows(), 1);
       for (int64_t i = 0; i < grad.rows(); ++i) {
-        const float* grow = grad.data() + i * d;
-        const float* xrow = x_node->value.data() + i * d;
+        const float* PRIVIM_RESTRICT grow = grad.data() + i * d;
+        const float* PRIVIM_RESTRICT xrow = x_node->value.data() + i * d;
         double sum = 0.0;
         for (int64_t j = 0; j < d; ++j) sum += grow[j] * xrow[j];
         ds.at(i, 0) = static_cast<float>(sum);
       }
-      s_node->AccumulateGrad(ds);
+      s_node->AccumulateGrad(std::move(ds));
     }
     if (x_node->requires_grad) {
-      Tensor dx(grad.rows(), d);
+      Tensor dx = Tensor::Uninitialized(grad.rows(), d);
       for (int64_t i = 0; i < grad.rows(); ++i) {
         const float s = s_node->value.at(i, 0);
-        const float* grow = grad.data() + i * d;
-        float* drow = dx.data() + i * d;
+        const float* PRIVIM_RESTRICT grow = grad.data() + i * d;
+        float* PRIVIM_RESTRICT drow = dx.data() + i * d;
         for (int64_t j = 0; j < d; ++j) drow[j] = s * grow[j];
       }
-      x_node->AccumulateGrad(dx);
+      x_node->AccumulateGrad(std::move(dx));
     }
   });
 }
@@ -232,14 +279,14 @@ Variable ScaleByScalar(const Variable& x, const Variable& scalar) {
   const float s = scalar.value().at(0, 0);
   Tensor out = x.value();
   out.ScaleInPlace(s);
-  return Variable::MakeOp(std::move(out), {x, scalar}, [](VariableNode* node) {
+  return Variable::MakeOp(std::move(out), x, scalar, [](VariableNode* node) {
     VariableNode* x_node = node->parents[0].get();
     VariableNode* s_node = node->parents[1].get();
     const float scale = s_node->value.at(0, 0);
     if (x_node->requires_grad) {
       Tensor dx = node->grad;
       dx.ScaleInPlace(scale);
-      x_node->AccumulateGrad(dx);
+      x_node->AccumulateGrad(std::move(dx));
     }
     if (s_node->requires_grad) {
       double sum = 0.0;
@@ -308,12 +355,13 @@ Variable Clamp(const Variable& x, float lo, float hi) {
 
 Variable Sum(const Variable& x) {
   return Variable::MakeOp(
-      Tensor::Scalar(x.value().Sum()), {x}, [](VariableNode* node) {
+      Tensor::Scalar(x.value().Sum()), x, [](VariableNode* node) {
         VariableNode* parent = node->parents[0].get();
         if (!parent->requires_grad) return;
-        Tensor dx(parent->value.rows(), parent->value.cols());
+        Tensor dx = Tensor::Uninitialized(parent->value.rows(),
+                                          parent->value.cols());
         dx.Fill(node->grad.at(0, 0));
-        parent->AccumulateGrad(dx);
+        parent->AccumulateGrad(std::move(dx));
       });
 }
 
@@ -321,19 +369,20 @@ Variable Mean(const Variable& x) {
   const float inv =
       x.value().size() > 0 ? 1.0f / static_cast<float>(x.value().size()) : 0.0f;
   return Variable::MakeOp(
-      Tensor::Scalar(x.value().Sum() * inv), {x}, [inv](VariableNode* node) {
+      Tensor::Scalar(x.value().Sum() * inv), x, [inv](VariableNode* node) {
         VariableNode* parent = node->parents[0].get();
         if (!parent->requires_grad) return;
-        Tensor dx(parent->value.rows(), parent->value.cols());
+        Tensor dx = Tensor::Uninitialized(parent->value.rows(),
+                                          parent->value.cols());
         dx.Fill(node->grad.at(0, 0) * inv);
-        parent->AccumulateGrad(dx);
+        parent->AccumulateGrad(std::move(dx));
       });
 }
 
 Variable ConcatCols(const Variable& a, const Variable& b) {
   assert(a.rows() == b.rows());
   const int64_t d1 = a.cols(), d2 = b.cols();
-  Tensor out(a.rows(), d1 + d2);
+  Tensor out = Tensor::Uninitialized(a.rows(), d1 + d2);
   for (int64_t i = 0; i < a.rows(); ++i) {
     float* row = out.data() + i * (d1 + d2);
     const float* arow = a.value().data() + i * d1;
@@ -342,94 +391,98 @@ Variable ConcatCols(const Variable& a, const Variable& b) {
     std::copy(brow, brow + d2, row + d1);
   }
   return Variable::MakeOp(
-      std::move(out), {a, b}, [d1, d2](VariableNode* node) {
+      std::move(out), a, b, [d1, d2](VariableNode* node) {
         VariableNode* a_node = node->parents[0].get();
         VariableNode* b_node = node->parents[1].get();
         const Tensor& grad = node->grad;
         if (a_node->requires_grad) {
-          Tensor da(grad.rows(), d1);
+          Tensor da = Tensor::Uninitialized(grad.rows(), d1);
           for (int64_t i = 0; i < grad.rows(); ++i) {
             const float* grow = grad.data() + i * (d1 + d2);
             std::copy(grow, grow + d1, da.data() + i * d1);
           }
-          a_node->AccumulateGrad(da);
+          a_node->AccumulateGrad(std::move(da));
         }
         if (b_node->requires_grad) {
-          Tensor db(grad.rows(), d2);
+          Tensor db = Tensor::Uninitialized(grad.rows(), d2);
           for (int64_t i = 0; i < grad.rows(); ++i) {
             const float* grow = grad.data() + i * (d1 + d2);
             std::copy(grow + d1, grow + d1 + d2, db.data() + i * d2);
           }
-          b_node->AccumulateGrad(db);
+          b_node->AccumulateGrad(std::move(db));
         }
       });
 }
 
-Variable GatherRows(const Variable& x, std::vector<int32_t> indices) {
+Variable GatherRows(const Variable& x, std::span<const int32_t> indices) {
   const int64_t d = x.cols();
-  Tensor out(static_cast<int64_t>(indices.size()), d);
+  Tensor out = Tensor::Uninitialized(static_cast<int64_t>(indices.size()), d);
   for (size_t i = 0; i < indices.size(); ++i) {
     assert(indices[i] >= 0 && indices[i] < x.rows());
     const float* src = x.value().data() + static_cast<int64_t>(indices[i]) * d;
     std::copy(src, src + d, out.data() + static_cast<int64_t>(i) * d);
   }
   return Variable::MakeOp(
-      std::move(out), {x},
-      [idx = std::move(indices), d](VariableNode* node) {
+      std::move(out), x, [idx = indices.data()](VariableNode* node) {
         VariableNode* parent = node->parents[0].get();
         if (!parent->requires_grad) return;
-        Tensor dx(parent->value.rows(), d);
-        for (size_t i = 0; i < idx.size(); ++i) {
-          const float* grow =
-              node->grad.data() + static_cast<int64_t>(i) * d;
-          float* drow = dx.data() + static_cast<int64_t>(idx[i]) * d;
-          for (int64_t j = 0; j < d; ++j) drow[j] += grow[j];
+        const int64_t dim = node->value.cols();
+        const int64_t count = node->value.rows();
+        Tensor dx(parent->value.rows(), dim);
+        for (int64_t i = 0; i < count; ++i) {
+          const float* PRIVIM_RESTRICT grow = node->grad.data() + i * dim;
+          float* PRIVIM_RESTRICT drow =
+              dx.data() + static_cast<int64_t>(idx[i]) * dim;
+          for (int64_t j = 0; j < dim; ++j) drow[j] += grow[j];
         }
-        parent->AccumulateGrad(dx);
+        parent->AccumulateGrad(std::move(dx));
       });
 }
 
-std::shared_ptr<const SparsePair> MakeSparsePair(
-    int64_t rows, int64_t cols, const std::vector<Triplet>& triplets) {
-  auto pair = std::make_shared<SparsePair>();
-  pair->forward = BuildCsr(rows, cols, triplets);
-  std::vector<Triplet> transposed;
-  transposed.reserve(triplets.size());
-  for (const Triplet& t : triplets) {
-    transposed.push_back({t.col, t.row, t.value});
-  }
-  pair->transpose = BuildCsr(cols, rows, std::move(transposed));
-  return pair;
+std::shared_ptr<const SparseMatrix> MakeSparseCsr(
+    int64_t rows, int64_t cols, std::vector<Triplet> triplets) {
+  return std::make_shared<const SparseMatrix>(
+      BuildCsr(rows, cols, std::move(triplets)));
 }
 
-Variable SpMM(std::shared_ptr<const SparsePair> sparse, const Variable& x) {
-  assert(sparse->forward.cols == x.rows());
-  Tensor out(sparse->forward.rows, x.cols());
-  SpMMAccumulate(sparse->forward, x.value(), &out);
-  return Variable::MakeOp(
-      std::move(out), {x}, [sp = std::move(sparse)](VariableNode* node) {
+Variable SpMM(std::shared_ptr<const SparseMatrix> sparse, const Variable& x) {
+  assert(sparse->cols == x.rows());
+  Tensor out(sparse->rows, x.cols());
+  SpMMAccumulate(*sparse, x.value(), &out);
+  Variable result = Variable::MakeOp(
+      std::move(out), x, [sp = sparse.get()](VariableNode* node) {
         VariableNode* parent = node->parents[0].get();
         if (!parent->requires_grad) return;
         Tensor dx(parent->value.rows(), parent->value.cols());
-        SpMMAccumulate(sp->transpose, node->grad, &dx);
-        parent->AccumulateGrad(dx);
+        SpMMTransposeAccumulate(*sp, node->grad, &dx);
+        parent->AccumulateGrad(std::move(dx));
       });
+  // The pullback reads the CSR through a raw pointer (to stay inside
+  // std::function's small buffer); the node carries the ownership.
+  result.node()->keepalive = std::move(sparse);
+  return result;
 }
 
 Variable SegmentSoftmax(const Variable& scores,
-                        std::vector<int32_t> segments, int64_t num_segments) {
+                        std::span<const int32_t> segments,
+                        int64_t num_segments) {
   assert(scores.cols() == 1);
   assert(static_cast<size_t>(scores.rows()) == segments.size());
   const int64_t num_edges = scores.rows();
 
-  std::vector<float> seg_max(num_segments,
-                             -std::numeric_limits<float>::infinity());
+  // Reused scratch: per-segment max and exp-sum. Capacity persists across
+  // calls so the attention hot loop does not allocate here.
+  static thread_local std::vector<float> seg_max;
+  static thread_local std::vector<double> seg_sum;
+  seg_max.assign(static_cast<size_t>(num_segments),
+                 -std::numeric_limits<float>::infinity());
+  seg_sum.assign(static_cast<size_t>(num_segments), 0.0);
+
   for (int64_t e = 0; e < num_edges; ++e) {
     seg_max[segments[e]] =
         std::max(seg_max[segments[e]], scores.value().at(e, 0));
   }
-  std::vector<double> seg_sum(num_segments, 0.0);
-  Tensor out(num_edges, 1);
+  Tensor out = Tensor::Uninitialized(num_edges, 1);
   for (int64_t e = 0; e < num_edges; ++e) {
     const float shifted =
         scores.value().at(e, 0) - seg_max[segments[e]];
@@ -442,50 +495,52 @@ Variable SegmentSoftmax(const Variable& scores,
   }
 
   return Variable::MakeOp(
-      std::move(out), {scores},
-      [segs = std::move(segments), num_segments](VariableNode* node) {
+      std::move(out), scores,
+      [segs = segments.data(), num_segments](VariableNode* node) {
         VariableNode* parent = node->parents[0].get();
         if (!parent->requires_grad) return;
         const Tensor& alpha = node->value;
         const Tensor& dalpha = node->grad;
-        std::vector<double> seg_dot(num_segments, 0.0);
+        static thread_local std::vector<double> seg_dot;
+        seg_dot.assign(static_cast<size_t>(num_segments), 0.0);
         const int64_t edge_count = alpha.rows();
         for (int64_t e = 0; e < edge_count; ++e) {
           seg_dot[segs[e]] +=
               static_cast<double>(alpha.at(e, 0)) * dalpha.at(e, 0);
         }
-        Tensor ds(edge_count, 1);
+        Tensor ds = Tensor::Uninitialized(edge_count, 1);
         for (int64_t e = 0; e < edge_count; ++e) {
           ds.at(e, 0) = alpha.at(e, 0) *
                         (dalpha.at(e, 0) -
                          static_cast<float>(seg_dot[segs[e]]));
         }
-        parent->AccumulateGrad(ds);
+        parent->AccumulateGrad(std::move(ds));
       });
 }
 
-Variable SegmentSum(const Variable& x, std::vector<int32_t> segments,
+Variable SegmentSum(const Variable& x, std::span<const int32_t> segments,
                     int64_t num_segments) {
   assert(static_cast<size_t>(x.rows()) == segments.size());
   const int64_t d = x.cols();
   Tensor out(num_segments, d);
   for (int64_t e = 0; e < x.rows(); ++e) {
-    const float* xrow = x.value().data() + e * d;
-    float* orow = out.data() + static_cast<int64_t>(segments[e]) * d;
+    const float* PRIVIM_RESTRICT xrow = x.value().data() + e * d;
+    float* PRIVIM_RESTRICT orow =
+        out.data() + static_cast<int64_t>(segments[e]) * d;
     for (int64_t j = 0; j < d; ++j) orow[j] += xrow[j];
   }
   return Variable::MakeOp(
-      std::move(out), {x},
-      [segs = std::move(segments), d](VariableNode* node) {
+      std::move(out), x, [segs = segments.data()](VariableNode* node) {
         VariableNode* parent = node->parents[0].get();
         if (!parent->requires_grad) return;
-        Tensor dx(parent->value.rows(), d);
+        const int64_t dim = node->value.cols();
+        Tensor dx = Tensor::Uninitialized(parent->value.rows(), dim);
         for (int64_t e = 0; e < dx.rows(); ++e) {
           const float* grow =
-              node->grad.data() + static_cast<int64_t>(segs[e]) * d;
-          std::copy(grow, grow + d, dx.data() + e * d);
+              node->grad.data() + static_cast<int64_t>(segs[e]) * dim;
+          std::copy(grow, grow + dim, dx.data() + e * dim);
         }
-        parent->AccumulateGrad(dx);
+        parent->AccumulateGrad(std::move(dx));
       });
 }
 

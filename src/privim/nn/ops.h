@@ -5,12 +5,18 @@
 // nonlinearities, CSR sparse-dense products for message passing, and
 // gather / segment ops for edge-level attention (GAT/GRAT).
 // Every op's pullback is validated by central differences in the tests.
+//
+// Index-taking ops (GatherRows / SegmentSoftmax / SegmentSum) view their
+// indices through std::span and do not copy them: the caller's index storage
+// must outlive any Backward() through the op. In practice indices live in a
+// GraphContext that outlives the whole training run.
 
 #ifndef PRIVIM_NN_OPS_H_
 #define PRIVIM_NN_OPS_H_
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "privim/nn/autograd.h"
@@ -21,7 +27,8 @@ namespace privim {
 // Dense algebra
 // ---------------------------------------------------------------------------
 
-/// c = a * b (dense matmul).
+/// c = a * b (dense matmul). The pullback uses the transpose-free
+/// MatMulABT / MatMulATB kernels (tensor.h) — no transposed copies.
 Variable MatMul(const Variable& a, const Variable& b);
 
 /// Elementwise a + b (same shape).
@@ -80,27 +87,24 @@ Variable Mean(const Variable& x);
 /// Horizontal concatenation [a | b] of (n x d1) and (n x d2).
 Variable ConcatCols(const Variable& a, const Variable& b);
 
-/// out[i] = x[indices[i]] (row gather); backward scatter-adds.
-Variable GatherRows(const Variable& x, std::vector<int32_t> indices);
+/// out[i] = x[indices[i]] (row gather); backward scatter-adds. `indices`
+/// is viewed, not copied (see lifetime note at the top of this header).
+Variable GatherRows(const Variable& x, std::span<const int32_t> indices);
 
 // ---------------------------------------------------------------------------
 // Sparse message passing
 // ---------------------------------------------------------------------------
 
 /// Immutable CSR matrix whose values are treated as constants (graph
-/// structure / influence probabilities are data, not parameters).
+/// structure / influence probabilities are data, not parameters). The SpMM
+/// pullback walks this same CSR in transposed (scatter) order, so no
+/// transposed copy is ever built.
 struct SparseMatrix {
   int64_t rows = 0;
   int64_t cols = 0;
   std::vector<int64_t> offsets;   // rows + 1
   std::vector<int32_t> indices;   // column ids
   std::vector<float> values;
-};
-
-/// A sparse matrix paired with its transpose (needed by the SpMM pullback).
-struct SparsePair {
-  SparseMatrix forward;
-  SparseMatrix transpose;
 };
 
 /// COO triplet for building sparse matrices.
@@ -110,12 +114,12 @@ struct Triplet {
   float value = 0.0f;
 };
 
-/// Builds CSR + transposed CSR from triplets (duplicates are summed).
-std::shared_ptr<const SparsePair> MakeSparsePair(
-    int64_t rows, int64_t cols, const std::vector<Triplet>& triplets);
+/// Builds a CSR matrix from triplets (duplicates are summed).
+std::shared_ptr<const SparseMatrix> MakeSparseCsr(
+    int64_t rows, int64_t cols, std::vector<Triplet> triplets);
 
 /// y = S * x where S is (n x m) sparse and x is (m x d) dense.
-Variable SpMM(std::shared_ptr<const SparsePair> sparse, const Variable& x);
+Variable SpMM(std::shared_ptr<const SparseMatrix> sparse, const Variable& x);
 
 // ---------------------------------------------------------------------------
 // Segment ops (edge-level attention)
@@ -124,11 +128,12 @@ Variable SpMM(std::shared_ptr<const SparsePair> sparse, const Variable& x);
 /// Softmax of the (E x 1) scores within each segment: out_e =
 /// exp(s_e) / sum_{e' : seg[e'] == seg[e]} exp(s_e'). Stable (max-shifted).
 Variable SegmentSoftmax(const Variable& scores,
-                        std::vector<int32_t> segments, int64_t num_segments);
+                        std::span<const int32_t> segments,
+                        int64_t num_segments);
 
 /// out[s] = sum over edges e with segments[e] == s of x[e] (x is E x d,
 /// out is num_segments x d).
-Variable SegmentSum(const Variable& x, std::vector<int32_t> segments,
+Variable SegmentSum(const Variable& x, std::span<const int32_t> segments,
                     int64_t num_segments);
 
 }  // namespace privim

@@ -2,8 +2,100 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
+
+#include "privim/nn/arena.h"
 
 namespace privim {
+
+Tensor::Tensor(int64_t rows, int64_t cols, float fill)
+    : rows_(rows), cols_(cols) {
+  assert(rows >= 0 && cols >= 0);
+  const size_t n = static_cast<size_t>(rows * cols);
+  nn::TensorArena* arena = nn::ActiveArena();
+  if (arena != nullptr) {
+    data_ = arena->Acquire(n);
+    std::fill(data_.begin(), data_.end(), fill);
+  } else {
+    data_.assign(n, fill);
+  }
+}
+
+Tensor::Tensor(const Tensor& other) : rows_(other.rows_), cols_(other.cols_) {
+  nn::TensorArena* arena = nn::ActiveArena();
+  if (arena != nullptr) {
+    data_ = arena->Acquire(other.data_.size());
+    std::copy(other.data_.begin(), other.data_.end(), data_.begin());
+  } else {
+    data_ = other.data_;
+  }
+}
+
+Tensor& Tensor::operator=(const Tensor& other) {
+  if (this == &other) return *this;
+  rows_ = other.rows_;
+  cols_ = other.cols_;
+  const size_t n = other.data_.size();
+  if (data_.capacity() < n) {
+    nn::TensorArena* arena = nn::ActiveArena();
+    if (arena != nullptr) {
+      arena->Recycle(std::move(data_));
+      data_ = arena->Acquire(n);
+    }
+  }
+  data_.resize(n);
+  std::copy(other.data_.begin(), other.data_.end(), data_.begin());
+  return *this;
+}
+
+Tensor::Tensor(Tensor&& other) noexcept
+    : rows_(other.rows_), cols_(other.cols_), data_(std::move(other.data_)) {
+  other.rows_ = 0;
+  other.cols_ = 0;
+  other.data_.clear();
+}
+
+Tensor& Tensor::operator=(Tensor&& other) noexcept {
+  if (this == &other) return *this;
+  ReleaseStorage();
+  rows_ = other.rows_;
+  cols_ = other.cols_;
+  data_ = std::move(other.data_);
+  other.rows_ = 0;
+  other.cols_ = 0;
+  other.data_.clear();
+  return *this;
+}
+
+Tensor::~Tensor() { ReleaseStorage(); }
+
+void Tensor::ReleaseStorage() {
+  if (data_.capacity() != 0) {
+    nn::TensorArena* arena = nn::ActiveArena();
+    if (arena != nullptr) {
+      arena->Recycle(std::move(data_));
+      data_.clear();
+    }
+    // No active arena: the vector frees (or keeps) its storage normally.
+  }
+  rows_ = 0;
+  cols_ = 0;
+}
+
+Tensor Tensor::Uninitialized(int64_t rows, int64_t cols) {
+  assert(rows >= 0 && cols >= 0);
+  Tensor t;
+  t.rows_ = rows;
+  t.cols_ = cols;
+  const size_t n = static_cast<size_t>(rows * cols);
+  nn::TensorArena* arena = nn::ActiveArena();
+  if (arena != nullptr) {
+    t.data_ = arena->Acquire(n);
+  } else {
+    t.data_.resize(n);  // no uninitialized-resize without an arena
+  }
+  return t;
+}
 
 Tensor Tensor::FromVector(int64_t rows, int64_t cols,
                           std::vector<float> values) {
@@ -35,7 +127,10 @@ Tensor Tensor::GlorotUniform(int64_t fan_in, int64_t fan_out, Rng* rng) {
 
 void Tensor::AddInPlace(const Tensor& other) {
   assert(SameShape(other));
-  for (size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  float* PRIVIM_RESTRICT dst = data_.data();
+  const float* PRIVIM_RESTRICT src = other.data_.data();
+  const size_t n = data_.size();
+  for (size_t i = 0; i < n; ++i) dst[i] += src[i];
 }
 
 void Tensor::ScaleInPlace(float factor) {
@@ -60,22 +155,97 @@ float Tensor::MaxAbs() const {
   return max_abs;
 }
 
-Tensor MatMulValues(const Tensor& a, const Tensor& b) {
-  assert(a.cols() == b.rows());
-  Tensor c(a.rows(), b.cols());
-  const int64_t inner = a.cols();
-  const int64_t bcols = b.cols();
-  // ikj loop order: streams through b and c rows, friendly to the cache.
-  for (int64_t i = 0; i < a.rows(); ++i) {
-    float* crow = c.data() + i * bcols;
-    const float* arow = a.data() + i * inner;
+namespace {
+
+// The kernels below take their buffers as restrict-qualified function
+// parameters: GCC only trusts restrict on parameters, not on locals, so
+// hoisting the loops here removes the runtime "loop versioned for aliasing"
+// overlap checks the inner loops would otherwise re-run on every entry.
+
+// ikj loop order: streams through b and c rows, friendly to the cache, and
+// vectorizes over j. Zero entries of a are skipped (ReLU activations are
+// sparse); skipping changes no sums since each skipped term is exactly 0.
+PRIVIM_VEC_CLONES
+void MatMulKernel(const float* PRIVIM_RESTRICT adata,
+                  const float* PRIVIM_RESTRICT bdata,
+                  float* PRIVIM_RESTRICT cdata, int64_t rows, int64_t inner,
+                  int64_t bcols) {
+  for (int64_t i = 0; i < rows; ++i) {
+    float* PRIVIM_RESTRICT crow = cdata + i * bcols;
+    const float* PRIVIM_RESTRICT arow = adata + i * inner;
     for (int64_t k = 0; k < inner; ++k) {
       const float aik = arow[k];
       if (aik == 0.0f) continue;
-      const float* brow = b.data() + k * bcols;
+      const float* PRIVIM_RESTRICT brow = bdata + k * bcols;
       for (int64_t j = 0; j < bcols; ++j) crow[j] += aik * brow[j];
     }
   }
+}
+
+// One rank-1 update per input row. Every output entry c[j][l] receives its
+// a[i][j]*b[i][l] terms in increasing-i order — the same per-element
+// summation order as multiplying by a materialized transpose, so gradients
+// stay bit-identical while reads of a and b remain fully contiguous.
+PRIVIM_VEC_CLONES
+void MatMulATBKernel(const float* PRIVIM_RESTRICT adata,
+                     const float* PRIVIM_RESTRICT bdata,
+                     float* PRIVIM_RESTRICT cdata, int64_t rows, int64_t acols,
+                     int64_t bcols) {
+  for (int64_t i = 0; i < rows; ++i) {
+    const float* PRIVIM_RESTRICT arow = adata + i * acols;
+    const float* PRIVIM_RESTRICT brow = bdata + i * bcols;
+    for (int64_t j = 0; j < acols; ++j) {
+      const float aij = arow[j];
+      if (aij == 0.0f) continue;
+      float* PRIVIM_RESTRICT crow = cdata + j * bcols;
+      for (int64_t l = 0; l < bcols; ++l) crow[l] += aij * brow[l];
+    }
+  }
+}
+
+// b (rows x cols) row-major -> bt = b^T (cols x rows) row-major.
+void TransposeInto(const float* PRIVIM_RESTRICT bdata,
+                   float* PRIVIM_RESTRICT btdata, int64_t rows,
+                   int64_t cols) {
+  for (int64_t j = 0; j < rows; ++j) {
+    for (int64_t k = 0; k < cols; ++k) {
+      btdata[k * rows + j] = bdata[j * cols + k];
+    }
+  }
+}
+
+}  // namespace
+
+Tensor MatMulValues(const Tensor& a, const Tensor& b) {
+  assert(a.cols() == b.rows());
+  Tensor c(a.rows(), b.cols());
+  MatMulKernel(a.data(), b.data(), c.data(), a.rows(), a.cols(), b.cols());
+  return c;
+}
+
+Tensor MatMulATB(const Tensor& a, const Tensor& b) {
+  assert(a.rows() == b.rows());
+  Tensor c(a.cols(), b.cols());
+  MatMulATBKernel(a.data(), b.data(), c.data(), a.rows(), a.cols(), b.cols());
+  return c;
+}
+
+Tensor MatMulABT(const Tensor& a, const Tensor& b) {
+  assert(a.cols() == b.cols());
+  Tensor c(a.rows(), b.rows());
+  // Pack b^T into a per-thread scratch block (b is a small weight matrix in
+  // every caller; the scratch's capacity persists across calls, so nothing
+  // is allocated in steady state and nothing lands on the tape), then run
+  // the ikj kernel. c[i][j] still receives its a[i][k]*b[j][k] terms in
+  // increasing-k order — exactly the dot-product order — so results are
+  // bit-identical to the transpose-then-multiply formulation while the
+  // inner loop vectorizes over j instead of running a serial reduction.
+  static thread_local std::vector<float> bt_scratch;
+  const size_t need = static_cast<size_t>(b.size());
+  if (bt_scratch.size() < need) bt_scratch.resize(need);
+  TransposeInto(b.data(), bt_scratch.data(), b.rows(), b.cols());
+  MatMulKernel(a.data(), bt_scratch.data(), c.data(), a.rows(), a.cols(),
+               b.rows());
   return c;
 }
 

@@ -14,6 +14,7 @@
 #include "privim/im/ris.h"
 #include "privim/im/seed_selection.h"
 #include "privim/im/spread_oracle.h"
+#include "privim/nn/arena.h"
 #include "privim/obs/metrics.h"
 #include "privim/obs/trace.h"
 
@@ -332,6 +333,13 @@ Result<Tensor> InfluenceService::Scores() {
           "method=model top-k need --model");
     } else {
       obs::TraceSpan span("serve.forward");
+      // Arena-scope the one-shot forward so features, activations, and the
+      // dropped tape draw from (and return to) a local pool instead of the
+      // heap. scores_ safely outlives the pool: Acquire hands out
+      // self-owning storage, and release without an active arena is a
+      // normal free.
+      nn::MemoryPools pools;
+      nn::ArenaScope scope(&pools);
       const GraphContext ctx = GraphContext::Build(graph_);
       const Tensor features =
           BuildNodeFeatures(graph_, model_->config().input_dim);

@@ -115,6 +115,52 @@ TEST(GraphTest, HasArc) {
   EXPECT_FALSE(graph.HasArc(2, 3));
 }
 
+TEST(GraphTest, HasArcBinarySearchEdges) {
+  // Node 0 has several sorted neighbors; nodes 4 and 5 have none.
+  const Graph graph = MakeGraph(6, {{0, 1}, {0, 3}, {0, 5}, {1, 2}});
+  // Empty neighbor list: binary search over an empty range.
+  EXPECT_FALSE(graph.HasArc(4, 0));
+  EXPECT_FALSE(graph.HasArc(5, 1));
+  // First and last entries of the sorted neighbor list.
+  EXPECT_TRUE(graph.HasArc(0, 1));
+  EXPECT_TRUE(graph.HasArc(0, 5));
+  // Probes below the first, between entries, and above the last.
+  EXPECT_FALSE(graph.HasArc(0, 0));
+  EXPECT_FALSE(graph.HasArc(0, 2));
+  EXPECT_FALSE(graph.HasArc(0, 4));
+  // Single-neighbor list: the entry is both first and last.
+  EXPECT_TRUE(graph.HasArc(1, 2));
+  EXPECT_FALSE(graph.HasArc(1, 3));
+}
+
+TEST(GraphTest, ForEachArcMatchesToEdgeList) {
+  const std::vector<Edge> edges = {{0, 2, 0.4f}, {1, 0, 0.9f}, {2, 1, 0.3f}};
+  const Graph graph = MakeGraph(3, edges);
+  std::vector<Edge> visited;
+  graph.ForEachArc([&visited](NodeId u, NodeId v, float w) {
+    visited.push_back({u, v, w});
+  });
+  const std::vector<Edge> listed = graph.ToEdgeList();
+  ASSERT_EQ(visited.size(), listed.size());
+  for (size_t i = 0; i < visited.size(); ++i) {
+    EXPECT_EQ(visited[i].src, listed[i].src);
+    EXPECT_EQ(visited[i].dst, listed[i].dst);
+    EXPECT_FLOAT_EQ(visited[i].weight, listed[i].weight);
+  }
+}
+
+TEST(GraphBuilderTest, ReserveDoesNotChangeResult) {
+  GraphBuilder reserved(4, /*undirected=*/true);
+  reserved.Reserve(3);
+  ASSERT_TRUE(reserved.AddEdge(0, 1).ok());
+  ASSERT_TRUE(reserved.AddEdge(1, 2).ok());
+  ASSERT_TRUE(reserved.AddEdge(2, 3).ok());
+  Result<Graph> graph = reserved.Build();
+  ASSERT_TRUE(graph.ok());
+  EXPECT_EQ(graph->num_arcs(), 6);
+  EXPECT_TRUE(graph->HasArc(3, 2));
+}
+
 TEST(GraphTest, AverageDegree) {
   const Graph graph = MakeGraph(4, {{0, 1}, {1, 2}, {2, 3}, {3, 0}});
   EXPECT_DOUBLE_EQ(graph.AverageDegree(), 1.0);

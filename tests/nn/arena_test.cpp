@@ -1,0 +1,208 @@
+#include "privim/nn/arena.h"
+
+#include <utility>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "privim/core/trainer.h"
+#include "privim/graph/generators.h"
+#include "privim/nn/tensor.h"
+#include "privim/obs/metrics.h"
+#include "privim/sampling/dual_stage.h"
+
+namespace privim {
+namespace {
+
+TEST(TensorArenaTest, ReusesRecycledBuffer) {
+  nn::TensorArena arena;
+  std::vector<float> a = arena.Acquire(100);
+  EXPECT_EQ(a.size(), 100u);
+  EXPECT_EQ(arena.buffers_allocated(), 1u);
+  arena.Recycle(std::move(a));
+  std::vector<float> b = arena.Acquire(100);
+  EXPECT_EQ(b.size(), 100u);
+  // Served from the free list: the allocation count must not move.
+  EXPECT_EQ(arena.buffers_allocated(), 1u);
+  EXPECT_EQ(arena.acquires(), 2u);
+  EXPECT_EQ(arena.recycles(), 1u);
+}
+
+TEST(TensorArenaTest, ServesSmallerRequestFromRecycledClass) {
+  nn::TensorArena arena;
+  arena.Recycle(arena.Acquire(100));  // capacity 128, filed under class 128
+  std::vector<float> b = arena.Acquire(80);  // class 128 as well
+  EXPECT_EQ(b.size(), 80u);
+  EXPECT_EQ(arena.buffers_allocated(), 1u);
+}
+
+TEST(TensorArenaTest, ZeroSizeBypassesPool) {
+  nn::TensorArena arena;
+  std::vector<float> empty = arena.Acquire(0);
+  EXPECT_TRUE(empty.empty());
+  EXPECT_EQ(arena.buffers_allocated(), 0u);
+}
+
+TEST(TensorArenaTest, DonatedBufferIsReused) {
+  nn::TensorArena arena;
+  std::vector<float> donated;
+  donated.reserve(128);
+  arena.Recycle(std::move(donated));
+  std::vector<float> b = arena.Acquire(128);
+  EXPECT_EQ(b.size(), 128u);
+  // The donation serves the request; the arena never hits the heap.
+  EXPECT_EQ(arena.buffers_allocated(), 0u);
+}
+
+TEST(NodePoolTest, FirstAllocateFixesBlockSizeAndBlocksAreReused) {
+  nn::NodePool pool;
+  void* a = pool.Allocate(64);
+  EXPECT_EQ(pool.block_bytes(), 64u);
+  EXPECT_EQ(pool.blocks_allocated(), 1u);
+  pool.Deallocate(a, 64);
+  void* b = pool.Allocate(64);
+  EXPECT_EQ(b, a);  // same block straight off the free list
+  EXPECT_EQ(pool.blocks_allocated(), 1u);
+  pool.Deallocate(b, 64);
+}
+
+TEST(NodePoolTest, NonBlockSizeFallsThrough) {
+  nn::NodePool pool;
+  void* a = pool.Allocate(64);
+  void* other = pool.Allocate(32);  // not the pooled size: plain new
+  EXPECT_NE(other, nullptr);
+  EXPECT_EQ(pool.blocks_allocated(), 1u);
+  pool.Deallocate(other, 32);
+  pool.Deallocate(a, 64);
+}
+
+TEST(ArenaScopeTest, ActivatesAndRestores) {
+  EXPECT_EQ(nn::ActiveArena(), nullptr);
+  {
+    nn::MemoryPools pools;
+    nn::ArenaScope scope(&pools);
+    EXPECT_EQ(nn::ActiveArena(), &pools.tensors);
+    EXPECT_EQ(nn::ActiveNodePool(), &pools.nodes);
+    {
+      nn::MemoryPools inner;
+      nn::ArenaScope nested(&inner);
+      EXPECT_EQ(nn::ActiveArena(), &inner.tensors);
+    }
+    EXPECT_EQ(nn::ActiveArena(), &pools.tensors);
+  }
+  EXPECT_EQ(nn::ActiveArena(), nullptr);
+}
+
+TEST(ArenaScopeTest, NullptrInheritsSurroundingActivation) {
+  nn::MemoryPools pools;
+  nn::ArenaScope outer(&pools);
+  {
+    nn::ArenaScope inherit(nullptr);
+    EXPECT_EQ(nn::ActiveArena(), &pools.tensors);
+    EXPECT_EQ(nn::ActiveNodePool(), &pools.nodes);
+  }
+  EXPECT_EQ(nn::ActiveArena(), &pools.tensors);
+}
+
+TEST(ArenaScopeTest, TensorsDrawFromAndReturnToActiveArena) {
+  nn::MemoryPools pools;
+  {
+    nn::ArenaScope scope(&pools);
+    { Tensor t(10, 32); }
+    EXPECT_EQ(pools.tensors.buffers_allocated(), 1u);
+    EXPECT_EQ(pools.tensors.recycles(), 1u);
+    // Same shape again: no new heap allocation.
+    { Tensor t(10, 32); }
+    EXPECT_EQ(pools.tensors.buffers_allocated(), 1u);
+    EXPECT_EQ(pools.tensors.acquires(), 2u);
+  }
+}
+
+TEST(ArenaScopeTest, TensorMaySafelyOutliveItsArena) {
+  Tensor escaped;
+  {
+    nn::MemoryPools pools;
+    nn::ArenaScope scope(&pools);
+    escaped = Tensor(4, 4, 2.5f);
+  }
+  // The pool is gone; the tensor owns its storage and frees normally.
+  EXPECT_FLOAT_EQ(escaped.at(3, 3), 2.5f);
+}
+
+// Satellite allocation-regression test: after the first training iteration
+// warms the pools, later iterations must not allocate — the arena
+// high-water gauges (cumulative heap allocations) stay flat.
+TEST(ArenaTrainingTest, SteadyStateIterationsAreAllocationFree) {
+  obs::SetMetricsEnabled(true);
+  Rng rng(77);
+  Result<Graph> base = BarabasiAlbert(300, 4, &rng);
+  ASSERT_TRUE(base.ok());
+  const Graph graph = WithUniformWeights(base.value(), 1.0f);
+
+  DualStageOptions sampling;
+  sampling.stage1.subgraph_size = 12;
+  sampling.stage1.sampling_rate = 0.6;
+  sampling.stage1.frequency_threshold = 4;
+  sampling.stage1.walk_length = 200;
+  Result<DualStageResult> sampled = DualStageSampling(graph, sampling, &rng);
+  ASSERT_TRUE(sampled.ok());
+  const SubgraphContainer container = std::move(sampled.value().container);
+  ASSERT_GT(container.size(), 0);
+
+  GnnConfig config;
+  config.input_dim = 4;
+  config.hidden_dim = 8;
+  config.num_layers = 2;
+  Result<std::unique_ptr<GnnModel>> model = CreateGnnModel(config, &rng);
+  ASSERT_TRUE(model.ok());
+
+  DpSgdOptions options;
+  // Every iteration visits the whole container, so iteration 1 warms every
+  // buffer shape the later iterations will request.
+  options.batch_size = container.size();
+  options.iterations = 3;
+  options.noise_multiplier = 0.0;
+  options.parallel = false;
+
+  struct IterSnapshot {
+    double buffers = 0.0;
+    double bytes = 0.0;
+    double node_blocks = 0.0;
+    double acquires = 0.0;
+  };
+  std::vector<IterSnapshot> snapshots;
+  options.checkpoint_fn = [&snapshots](const TrainCheckpointView&) {
+    IterSnapshot snap;
+    snap.buffers =
+        obs::GlobalMetrics().GetGauge("nn.arena.buffers_allocated")->Value();
+    snap.bytes =
+        obs::GlobalMetrics().GetGauge("nn.arena.bytes_allocated")->Value();
+    snap.node_blocks =
+        obs::GlobalMetrics().GetGauge("nn.arena.node_blocks")->Value();
+    snap.acquires =
+        obs::GlobalMetrics().GetGauge("nn.arena.acquires")->Value();
+    snapshots.push_back(snap);
+    return Status::OK();
+  };
+
+  Result<TrainStats> stats =
+      TrainDpGnn(model.value().get(), container, options, &rng);
+  ASSERT_TRUE(stats.ok());
+  ASSERT_EQ(snapshots.size(), 3u);
+
+  // The warm-up iteration allocates; the arena must then be in use...
+  EXPECT_GT(snapshots[0].buffers, 0.0);
+  EXPECT_GT(snapshots[0].node_blocks, 0.0);
+  // ...and the cumulative heap-allocation high-water may not grow again.
+  for (size_t t = 1; t < snapshots.size(); ++t) {
+    EXPECT_EQ(snapshots[t].buffers, snapshots[0].buffers)
+        << "tensor heap allocation in steady-state iteration " << t + 1;
+    EXPECT_EQ(snapshots[t].bytes, snapshots[0].bytes);
+    EXPECT_EQ(snapshots[t].node_blocks, snapshots[0].node_blocks)
+        << "node heap allocation in steady-state iteration " << t + 1;
+    // The pools are being exercised, not bypassed.
+    EXPECT_GT(snapshots[t].acquires, snapshots[t - 1].acquires);
+  }
+}
+
+}  // namespace
+}  // namespace privim

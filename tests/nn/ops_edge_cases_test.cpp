@@ -25,13 +25,15 @@ TEST(OpsEdgeCaseTest, GatherRowsEmptyIndexList) {
 
 TEST(OpsEdgeCaseTest, SegmentSoftmaxSingletonSegmentsAreOne) {
   Variable scores(Tensor::FromVector(3, 1, {-5, 0, 17}));
-  const Tensor alpha = SegmentSoftmax(scores, {0, 1, 2}, 3).value();
+  const std::vector<int32_t> segments = {0, 1, 2};
+  const Tensor alpha = SegmentSoftmax(scores, segments, 3).value();
   for (int64_t e = 0; e < 3; ++e) EXPECT_NEAR(alpha.at(e, 0), 1.0f, 1e-6f);
 }
 
 TEST(OpsEdgeCaseTest, SegmentSumEmptySegmentStaysZero) {
   Variable x(Tensor::FromVector(2, 1, {3, 4}));
-  const Tensor out = SegmentSum(x, {0, 2}, 4).value();
+  const std::vector<int32_t> segments = {0, 2};
+  const Tensor out = SegmentSum(x, segments, 4).value();
   EXPECT_FLOAT_EQ(out.at(0, 0), 3);
   EXPECT_FLOAT_EQ(out.at(1, 0), 0);  // no edges mapped here
   EXPECT_FLOAT_EQ(out.at(2, 0), 4);
@@ -46,7 +48,7 @@ TEST(OpsEdgeCaseTest, SegmentSoftmaxZeroEdges) {
 
 TEST(OpsEdgeCaseTest, SpMMRectangular) {
   // S is 2x4, x is 4x3.
-  auto sp = MakeSparsePair(2, 4, {{0, 0, 1.0f}, {0, 3, 2.0f}, {1, 2, -1.0f}});
+  auto sp = MakeSparseCsr(2, 4, {{0, 0, 1.0f}, {0, 3, 2.0f}, {1, 2, -1.0f}});
   Variable x(Tensor::FromVector(4, 3, {1, 2, 3,   4, 5, 6,
                                        7, 8, 9,   10, 11, 12}),
              true);
@@ -61,7 +63,7 @@ TEST(OpsEdgeCaseTest, SpMMRectangular) {
 }
 
 TEST(OpsEdgeCaseTest, SpMMEmptyMatrix) {
-  auto sp = MakeSparsePair(3, 3, {});
+  auto sp = MakeSparseCsr(3, 3, {});
   Variable x(Tensor::Ones(3, 2), true);
   const Variable y = SpMM(sp, x);
   EXPECT_FLOAT_EQ(y.value().MaxAbs(), 0.0f);

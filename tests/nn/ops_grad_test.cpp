@@ -80,7 +80,8 @@ TEST(OpsForwardTest, ConcatAndGather) {
   EXPECT_FLOAT_EQ(cat.at(1, 0), 2);
   EXPECT_FLOAT_EQ(cat.at(1, 2), 6);
 
-  const Tensor gathered = GatherRows(b, {1, 0, 1}).value();
+  const std::vector<int32_t> gather_idx = {1, 0, 1};
+  const Tensor gathered = GatherRows(b, gather_idx).value();
   EXPECT_EQ(gathered.rows(), 3);
   EXPECT_FLOAT_EQ(gathered.at(0, 0), 5);
   EXPECT_FLOAT_EQ(gathered.at(1, 1), 4);
@@ -106,7 +107,7 @@ TEST(OpsForwardTest, MulColBroadcast) {
 
 TEST(OpsForwardTest, SpMMValues) {
   // S = [[0, 2], [1, 0]]; x = [[1], [3]]; Sx = [[6], [1]].
-  auto sp = MakeSparsePair(2, 2, {{0, 1, 2.0f}, {1, 0, 1.0f}});
+  auto sp = MakeSparseCsr(2, 2, {{0, 1, 2.0f}, {1, 0, 1.0f}});
   Variable x(Tensor::FromVector(2, 1, {1, 3}));
   const Tensor y = SpMM(sp, x).value();
   EXPECT_FLOAT_EQ(y.at(0, 0), 6);
@@ -114,15 +115,15 @@ TEST(OpsForwardTest, SpMMValues) {
 }
 
 TEST(OpsForwardTest, SparseDuplicateTripletsSum) {
-  auto sp = MakeSparsePair(1, 1, {{0, 0, 1.5f}, {0, 0, 2.5f}});
+  auto sp = MakeSparseCsr(1, 1, {{0, 0, 1.5f}, {0, 0, 2.5f}});
   Variable x(Tensor::Scalar(2.0f));
   EXPECT_FLOAT_EQ(SpMM(sp, x).value().at(0, 0), 8.0f);
 }
 
 TEST(OpsForwardTest, SegmentSoftmaxNormalizesPerSegment) {
   Variable scores(Tensor::FromVector(4, 1, {1, 2, 5, 5}));
-  const Tensor alpha =
-      SegmentSoftmax(scores, {0, 0, 1, 1}, 2).value();
+  const std::vector<int32_t> segments = {0, 0, 1, 1};
+  const Tensor alpha = SegmentSoftmax(scores, segments, 2).value();
   EXPECT_NEAR(alpha.at(0, 0) + alpha.at(1, 0), 1.0f, 1e-6f);
   EXPECT_NEAR(alpha.at(2, 0), 0.5f, 1e-6f);
   EXPECT_NEAR(alpha.at(3, 0), 0.5f, 1e-6f);
@@ -131,14 +132,16 @@ TEST(OpsForwardTest, SegmentSoftmaxNormalizesPerSegment) {
 
 TEST(OpsForwardTest, SegmentSoftmaxStableForLargeScores) {
   Variable scores(Tensor::FromVector(2, 1, {1000, 1001}));
-  const Tensor alpha = SegmentSoftmax(scores, {0, 0}, 1).value();
+  const std::vector<int32_t> segments = {0, 0};
+  const Tensor alpha = SegmentSoftmax(scores, segments, 1).value();
   EXPECT_TRUE(std::isfinite(alpha.at(0, 0)));
   EXPECT_NEAR(alpha.at(0, 0) + alpha.at(1, 0), 1.0f, 1e-5f);
 }
 
 TEST(OpsForwardTest, SegmentSum) {
   Variable x(Tensor::FromVector(3, 2, {1, 2, 3, 4, 5, 6}));
-  const Tensor y = SegmentSum(x, {1, 0, 1}, 2).value();
+  const std::vector<int32_t> segments = {1, 0, 1};
+  const Tensor y = SegmentSum(x, segments, 2).value();
   EXPECT_FLOAT_EQ(y.at(0, 0), 3);
   EXPECT_FLOAT_EQ(y.at(0, 1), 4);
   EXPECT_FLOAT_EQ(y.at(1, 0), 6);
@@ -297,7 +300,7 @@ TEST(OpsGradTest, GatherRowsWithRepeats) {
 }
 
 TEST(OpsGradTest, SpMM) {
-  auto sp = MakeSparsePair(
+  auto sp = MakeSparseCsr(
       3, 4, {{0, 1, 0.5f}, {0, 3, -1.0f}, {1, 0, 2.0f}, {2, 2, 1.5f},
              {2, 3, 0.25f}});
   Variable x(RandomTensor(4, 2, 26), true);

@@ -10,9 +10,12 @@ Three subcommands, all stdlib-only so CI can run them on a bare runner:
   compare   diff a merged artifact against the baseline with a relative
             tolerance; exits 1 when any benchmark regressed past it
 
-The gate is advisory (CI runs it with continue-on-error): shared runners
-are noisy and the baseline was recorded on different hardware, so the
-comparison tracks the trajectory rather than blocking merges. Typical use:
+By default every benchmark participates in the exit code. With one or more
+--enforce GLOB options the gate narrows: only benchmarks matching a glob
+can fail the run (others are reported but advisory — shared runners are
+noisy), and an enforced benchmark that is missing from the baseline or
+from the current run is itself a hard failure, so the gate cannot pass
+vacuously after a rename. Typical use:
 
   bench_micro --benchmark_out=bench.json --benchmark_out_format=json \
               --metrics-out metrics.json
@@ -23,6 +26,7 @@ comparison tracks the trajectory rather than blocking merges. Typical use:
 """
 
 import argparse
+import fnmatch
 import json
 import sys
 
@@ -82,18 +86,29 @@ def cmd_baseline(args):
     return 0
 
 
+def is_enforced(name, globs):
+    return any(fnmatch.fnmatchcase(name, glob) for glob in globs)
+
+
 def cmd_compare(args):
     merged = load_json(args.current)
     baseline = load_json(args.baseline).get("benchmarks", {})
     current = {
         row["name"]: row for row in benchmark_rows(merged) if "real_time" in row
     }
+    enforce = args.enforce or []
 
     regressions = []
+    errors = []
     compared = 0
     for name in sorted(baseline):
         if name not in current:
             print(f"  MISSING  {name} (in baseline, not in current run)")
+            if is_enforced(name, enforce):
+                errors.append(
+                    f"enforced benchmark {name} has a baseline entry but was "
+                    f"not in the current run"
+                )
             continue
         base = baseline[name]
         row = current[name]
@@ -117,16 +132,33 @@ def cmd_compare(args):
         )
     for name in sorted(set(current) - set(baseline)):
         print(f"  NEW      {name} (no baseline yet)")
+        if is_enforced(name, enforce):
+            errors.append(
+                f"enforced benchmark {name} has no baseline entry; add one "
+                f"with `tools/bench_compare.py baseline` and commit "
+                f"bench/baseline.json"
+            )
+    for glob in enforce:
+        if not any(
+            is_enforced(name, [glob]) for name in set(baseline) | set(current)
+        ):
+            errors.append(
+                f"--enforce glob {glob!r} matches no benchmark in the "
+                f"baseline or the current run"
+            )
 
+    if enforce:
+        # Only enforced benchmarks gate the exit code; the rest is advisory.
+        regressions = [r for r in regressions if is_enforced(r[0], enforce)]
     print(
         f"compared {compared} benchmarks, tolerance ±{args.tolerance:.0%}, "
-        f"{len(regressions)} regression(s)"
+        f"{len(regressions)} gating regression(s), {len(errors)} error(s)"
     )
-    if regressions:
-        for name, delta in regressions:
-            print(f"regression: {name} {delta:+.1f}%", file=sys.stderr)
-        return 1
-    return 0
+    for name, delta in regressions:
+        print(f"regression: {name} {delta:+.1f}%", file=sys.stderr)
+    for message in errors:
+        print(f"error: {message}", file=sys.stderr)
+    return 1 if regressions or errors else 0
 
 
 def main(argv):
@@ -148,6 +180,13 @@ def main(argv):
     comp.add_argument("--current", required=True)
     comp.add_argument("--baseline", required=True)
     comp.add_argument("--tolerance", type=float, default=0.15)
+    comp.add_argument(
+        "--enforce",
+        action="append",
+        metavar="GLOB",
+        help="benchmark glob that gates the exit code (repeatable); "
+        "non-matching benchmarks become advisory",
+    )
     comp.set_defaults(func=cmd_compare)
 
     args = parser.parse_args(argv)
