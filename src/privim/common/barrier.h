@@ -1,0 +1,58 @@
+// Reusable (cyclic) thread barrier, in the spirit of the start/stop
+// barriers of NVSL's MicroBenchmarkHarness: a fixed party count arrives,
+// everyone is released together, and the barrier resets for the next
+// round. Used by the load generator so every worker thread opens its
+// connection before any worker sends its first request, and so the
+// measurement window has a crisp start and end on all threads at once.
+//
+// Header-only and standard-library-only so tools can use it without
+// linking anything beyond privim_common's interface.
+
+#ifndef PRIVIM_COMMON_BARRIER_H_
+#define PRIVIM_COMMON_BARRIER_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+
+namespace privim {
+
+/// A cyclic barrier for a fixed number of parties. ArriveAndWait blocks
+/// until all parties have arrived, then releases them and rearms. The
+/// generation counter distinguishes consecutive rounds, so a thread that
+/// races back to the barrier cannot slip through the previous release.
+class Barrier {
+ public:
+  /// `parties` must be >= 1. A one-party barrier never blocks.
+  explicit Barrier(std::size_t parties)
+      : parties_(parties), waiting_(0), generation_(0) {}
+
+  Barrier(const Barrier&) = delete;
+  Barrier& operator=(const Barrier&) = delete;
+
+  /// Blocks until `parties` threads have called ArriveAndWait this round.
+  void ArriveAndWait() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    const std::size_t generation = generation_;
+    if (++waiting_ == parties_) {
+      waiting_ = 0;
+      ++generation_;
+      released_.notify_all();
+      return;
+    }
+    released_.wait(lock, [&] { return generation_ != generation; });
+  }
+
+  std::size_t parties() const { return parties_; }
+
+ private:
+  const std::size_t parties_;
+  std::size_t waiting_;
+  std::size_t generation_;
+  std::mutex mutex_;
+  std::condition_variable released_;
+};
+
+}  // namespace privim
+
+#endif  // PRIVIM_COMMON_BARRIER_H_

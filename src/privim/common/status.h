@@ -26,6 +26,8 @@ enum class StatusCode {
   kInternal,
   kIOError,
   kUnimplemented,
+  kUnavailable,        ///< transient overload; the caller may retry later
+  kDeadlineExceeded,   ///< the request's deadline passed before completion
 };
 
 /// Human-readable name of a StatusCode (e.g. "InvalidArgument").
@@ -63,6 +65,12 @@ class Status {
   }
   static Status Unimplemented(std::string msg) {
     return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

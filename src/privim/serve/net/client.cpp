@@ -1,0 +1,141 @@
+#include "privim/serve/net/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace privim {
+namespace serve {
+namespace net {
+
+BlockingClient::~BlockingClient() { Close(); }
+
+BlockingClient::BlockingClient(BlockingClient&& other) noexcept
+    : fd_(other.fd_),
+      buffer_(std::move(other.buffer_)),
+      buf_pos_(other.buf_pos_) {
+  other.fd_ = -1;
+}
+
+BlockingClient& BlockingClient::operator=(BlockingClient&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    buffer_ = std::move(other.buffer_);
+    buf_pos_ = other.buf_pos_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+Status BlockingClient::Connect(const HostPort& address) {
+  Close();
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IOError(std::string("socket: ") + std::strerror(errno));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port =
+      htons(static_cast<uint16_t>(address.port));
+  const std::string host =
+      address.host == "localhost" ? "127.0.0.1" : address.host;
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("not an IPv4 address: " + address.host);
+  }
+  int rc;
+  do {
+    rc = ::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                   sizeof(addr));
+  } while (rc < 0 && errno == EINTR);
+  if (rc < 0) {
+    const Status status = Status::IOError(
+        "connect " + address.ToString() + ": " + std::strerror(errno));
+    ::close(fd);
+    return status;
+  }
+  SetTcpNoDelay(fd);
+  fd_ = fd;
+  buffer_.clear();
+  buf_pos_ = 0;
+  return Status::OK();
+}
+
+Status BlockingClient::SendLine(const std::string& line) {
+  if (fd_ < 0) return Status::FailedPrecondition("not connected");
+  std::string wire = line;
+  wire.push_back('\n');
+  std::size_t sent = 0;
+  while (sent < wire.size()) {
+    const ssize_t n =
+        ::send(fd_, wire.data() + sent, wire.size() - sent, MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return Status::IOError(std::string("send: ") + std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+Result<std::string> BlockingClient::ReadLine() {
+  if (fd_ < 0) return Status::FailedPrecondition("not connected");
+  while (true) {
+    const std::size_t newline = buffer_.find('\n', buf_pos_);
+    if (newline != std::string::npos) {
+      std::string line = buffer_.substr(buf_pos_, newline - buf_pos_);
+      buf_pos_ = newline + 1;
+      if (buf_pos_ == buffer_.size()) {
+        buffer_.clear();
+        buf_pos_ = 0;
+      }
+      return line;
+    }
+    char chunk[8192];
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n > 0) {
+      buffer_.append(chunk, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n == 0) {
+      if (buf_pos_ < buffer_.size()) {
+        // Partial trailing line without terminator: surface it once.
+        std::string line = buffer_.substr(buf_pos_);
+        buffer_.clear();
+        buf_pos_ = 0;
+        return line;
+      }
+      return Status::NotFound("connection closed");
+    }
+    if (errno == EINTR) continue;
+    return Status::IOError(std::string("recv: ") + std::strerror(errno));
+  }
+}
+
+Status BlockingClient::ShutdownWrite() {
+  if (fd_ < 0) return Status::FailedPrecondition("not connected");
+  if (::shutdown(fd_, SHUT_WR) < 0) {
+    return Status::IOError(std::string("shutdown: ") + std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+void BlockingClient::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  buffer_.clear();
+  buf_pos_ = 0;
+}
+
+}  // namespace net
+}  // namespace serve
+}  // namespace privim

@@ -1,0 +1,58 @@
+// Minimal blocking JSON-lines TCP client for the serve wire format.
+// Used by the load generator and the integration tests; deliberately
+// synchronous (one in-flight request per call site) — concurrency comes
+// from running many clients, which is also how the load generator models
+// closed-loop offered load.
+
+#ifndef PRIVIM_SERVE_NET_CLIENT_H_
+#define PRIVIM_SERVE_NET_CLIENT_H_
+
+#include <string>
+
+#include "privim/common/status.h"
+#include "privim/serve/net/socket.h"
+
+namespace privim {
+namespace serve {
+namespace net {
+
+class BlockingClient {
+ public:
+  BlockingClient() = default;
+  ~BlockingClient();
+
+  BlockingClient(const BlockingClient&) = delete;
+  BlockingClient& operator=(const BlockingClient&) = delete;
+  BlockingClient(BlockingClient&& other) noexcept;
+  BlockingClient& operator=(BlockingClient&& other) noexcept;
+
+  /// Connects (blocking) to `address`. TCP_NODELAY is set: the client
+  /// measures request latency, so Nagle delays must not pollute it.
+  Status Connect(const HostPort& address);
+
+  bool connected() const { return fd_ >= 0; }
+
+  /// Writes `line` plus a trailing '\n' (blocking until fully sent).
+  Status SendLine(const std::string& line);
+
+  /// Reads up to the next '\n' (stripped). kNotFound signals clean EOF
+  /// with no buffered partial line.
+  Result<std::string> ReadLine();
+
+  /// Half-closes the write side, telling the server this client will send
+  /// nothing more (the server finishes pending responses, then closes).
+  Status ShutdownWrite();
+
+  void Close();
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;       ///< received bytes not yet returned
+  std::size_t buf_pos_ = 0;  ///< start of unconsumed bytes in buffer_
+};
+
+}  // namespace net
+}  // namespace serve
+}  // namespace privim
+
+#endif  // PRIVIM_SERVE_NET_CLIENT_H_

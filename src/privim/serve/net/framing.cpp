@@ -1,0 +1,60 @@
+#include "privim/serve/net/framing.h"
+
+namespace privim {
+namespace serve {
+namespace net {
+
+void LineFramer::Feed(const char* data, std::size_t size) {
+  if (poisoned_) return;
+  buffer_.append(data, size);
+}
+
+LineFramer::Next LineFramer::PopLine(std::string* line) {
+  if (poisoned_) {
+    if (oversize_reported_) return Next::kNeedMore;
+    oversize_reported_ = true;
+    return Next::kOversized;
+  }
+  // Resume the newline scan where the previous call left off instead of
+  // rescanning the whole partial line on every chunk.
+  if (scanned_ < scan_start_) scanned_ = scan_start_;
+  const std::size_t newline = buffer_.find('\n', scanned_);
+  if (newline == std::string::npos) {
+    scanned_ = buffer_.size();
+    if (pending_bytes() > max_line_bytes_) {
+      poisoned_ = true;
+      oversize_reported_ = true;
+      buffer_.clear();
+      scan_start_ = scanned_ = 0;
+      return Next::kOversized;
+    }
+    Compact();
+    return Next::kNeedMore;
+  }
+  if (newline - scan_start_ > max_line_bytes_) {
+    poisoned_ = true;
+    oversize_reported_ = true;
+    buffer_.clear();
+    scan_start_ = scanned_ = 0;
+    return Next::kOversized;
+  }
+  line->assign(buffer_, scan_start_, newline - scan_start_);
+  scan_start_ = newline + 1;
+  scanned_ = scan_start_;
+  Compact();
+  return Next::kLine;
+}
+
+void LineFramer::Compact() {
+  // Drop consumed bytes once they dominate the buffer, so a long-lived
+  // connection does not accumulate every line it ever sent.
+  if (scan_start_ > 4096 && scan_start_ * 2 >= buffer_.size()) {
+    buffer_.erase(0, scan_start_);
+    scanned_ -= scan_start_;
+    scan_start_ = 0;
+  }
+}
+
+}  // namespace net
+}  // namespace serve
+}  // namespace privim

@@ -1,0 +1,64 @@
+// Incremental JSON-lines framing for the TCP front end.
+//
+// A LineFramer accumulates whatever byte chunks recv() produces and hands
+// back complete '\n'-terminated lines, one at a time, regardless of how
+// the stream was split across reads. Framing matches the stdin front end
+// exactly — lines break on '\n' only, a trailing '\r' stays in the line
+// (the JSON parser tolerates it), and empty lines are surfaced so the
+// caller can skip them the same way `std::getline` users do — which is
+// what makes socket responses byte-identical to the stdin path.
+//
+// A line that grows past `max_line_bytes` without a newline poisons the
+// framer: Next() reports the oversize once and the connection is expected
+// to be torn down (there is no way to resynchronize with a peer that is
+// mid-way through an arbitrarily long line).
+
+#ifndef PRIVIM_SERVE_NET_FRAMING_H_
+#define PRIVIM_SERVE_NET_FRAMING_H_
+
+#include <cstddef>
+#include <string>
+
+namespace privim {
+namespace serve {
+namespace net {
+
+class LineFramer {
+ public:
+  /// `max_line_bytes` bounds one line (terminator excluded); must be >= 1.
+  explicit LineFramer(std::size_t max_line_bytes)
+      : max_line_bytes_(max_line_bytes) {}
+
+  /// Appends a received chunk. No-op once the framer is poisoned.
+  void Feed(const char* data, std::size_t size);
+
+  enum class Next { kLine, kNeedMore, kOversized };
+
+  /// Pops the next complete line into `*line` (terminator stripped).
+  /// Returns kNeedMore when no full line is buffered yet, and kOversized
+  /// (exactly once) when the buffered partial line exceeded the limit.
+  Next PopLine(std::string* line);
+
+  /// True after an oversized line was reported; the framer accepts no
+  /// further input.
+  bool poisoned() const { return poisoned_; }
+
+  /// Bytes buffered but not yet returned (partial trailing line).
+  std::size_t pending_bytes() const { return buffer_.size() - scan_start_; }
+
+ private:
+  void Compact();
+
+  std::size_t max_line_bytes_;
+  std::string buffer_;
+  std::size_t scan_start_ = 0;  ///< start of the first unreturned line
+  std::size_t scanned_ = 0;     ///< bytes of buffer_ already searched for '\n'
+  bool poisoned_ = false;
+  bool oversize_reported_ = false;
+};
+
+}  // namespace net
+}  // namespace serve
+}  // namespace privim
+
+#endif  // PRIVIM_SERVE_NET_FRAMING_H_

@@ -1,0 +1,61 @@
+// Readiness-notification abstraction for the single-threaded event loop:
+// epoll(7) on Linux with a portable poll(2) fallback. The backend is
+// chosen at Create() time — epoll where available, unless the
+// PRIVIM_NET_POLLER=poll environment variable forces the fallback (which
+// is how CI exercises the poll path on Linux too).
+//
+// Both backends are level-triggered: an fd with unread input or unflushed
+// output keeps reporting ready, so the loop never needs to drain a socket
+// to EAGAIN in one pass to stay correct.
+
+#ifndef PRIVIM_SERVE_NET_POLLER_H_
+#define PRIVIM_SERVE_NET_POLLER_H_
+
+#include <memory>
+#include <vector>
+
+#include "privim/common/status.h"
+
+namespace privim {
+namespace serve {
+namespace net {
+
+class Poller {
+ public:
+  struct Event {
+    int fd = -1;
+    bool readable = false;
+    bool writable = false;
+    /// Error / hangup. The loop treats it as readable (the read will
+    /// surface the error or EOF).
+    bool error = false;
+  };
+
+  virtual ~Poller() = default;
+
+  /// Registers `fd` for read and/or write readiness. An fd is registered
+  /// at most once; use Modify to change its interest set.
+  virtual Status Add(int fd, bool read, bool write) = 0;
+  virtual Status Modify(int fd, bool read, bool write) = 0;
+  virtual void Remove(int fd) = 0;
+
+  /// Blocks up to `timeout_ms` (-1 = indefinitely) and appends ready fds
+  /// to `*events` (cleared first). Returns the number of ready fds; 0 on
+  /// timeout. EINTR is not an error (returns 0 so the loop re-evaluates).
+  virtual Result<int> Wait(std::vector<Event>* events, int timeout_ms) = 0;
+
+  /// "epoll" or "poll".
+  virtual const char* name() const = 0;
+
+  /// Chooses the backend (see file comment).
+  static Result<std::unique_ptr<Poller>> Create();
+  /// Explicit backends, for tests.
+  static Result<std::unique_ptr<Poller>> CreateEpoll();  ///< Linux only
+  static Result<std::unique_ptr<Poller>> CreatePoll();
+};
+
+}  // namespace net
+}  // namespace serve
+}  // namespace privim
+
+#endif  // PRIVIM_SERVE_NET_POLLER_H_

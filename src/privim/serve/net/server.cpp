@@ -1,0 +1,535 @@
+#include "privim/serve/net/server.h"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cmath>
+#include <cstring>
+#include <utility>
+
+#include "privim/obs/metrics.h"
+
+namespace privim {
+namespace serve {
+namespace net {
+
+namespace {
+
+obs::Gauge* ConnectionsGauge() {
+  static obs::Gauge* g =
+      obs::GlobalMetrics().GetGauge("serve.net.connections");
+  return g;
+}
+obs::Counter* AcceptedCounter() {
+  static obs::Counter* c =
+      obs::GlobalMetrics().GetCounter("serve.net.accepted");
+  return c;
+}
+obs::Counter* RefusedCounter() {
+  static obs::Counter* c =
+      obs::GlobalMetrics().GetCounter("serve.net.refused");
+  return c;
+}
+obs::Counter* RequestsCounter() {
+  static obs::Counter* c =
+      obs::GlobalMetrics().GetCounter("serve.net.requests");
+  return c;
+}
+obs::Counter* ResponsesCounter() {
+  static obs::Counter* c =
+      obs::GlobalMetrics().GetCounter("serve.net.responses");
+  return c;
+}
+obs::Counter* OverloadedCounter() {
+  static obs::Counter* c =
+      obs::GlobalMetrics().GetCounter("serve.net.overloaded");
+  return c;
+}
+obs::Counter* DeadlineExceededCounter() {
+  static obs::Counter* c =
+      obs::GlobalMetrics().GetCounter("serve.net.deadline_exceeded");
+  return c;
+}
+obs::Counter* BadLinesCounter() {
+  static obs::Counter* c =
+      obs::GlobalMetrics().GetCounter("serve.net.bad_lines");
+  return c;
+}
+obs::Counter* BytesInCounter() {
+  static obs::Counter* c =
+      obs::GlobalMetrics().GetCounter("serve.net.bytes.in");
+  return c;
+}
+obs::Counter* BytesOutCounter() {
+  static obs::Counter* c =
+      obs::GlobalMetrics().GetCounter("serve.net.bytes.out");
+  return c;
+}
+obs::Histogram* NetLatencyHistogram() {
+  static obs::Histogram* h = obs::GlobalMetrics().GetHistogram(
+      "serve.net.latency.seconds", obs::DefaultTimeBucketsSeconds());
+  return h;
+}
+
+std::string OverloadedLine(const std::string& id) {
+  ServeResponse response;
+  response.id = id;
+  response.status = Status::Unavailable("overloaded");
+  return response.ToJsonLine() + "\n";
+}
+
+}  // namespace
+
+Status NetServerOptions::Validate() const {
+  if (listen.port < 0 || listen.port > 65535) {
+    return Status::InvalidArgument("listen port must be 0..65535");
+  }
+  if (max_connections < 1) {
+    return Status::InvalidArgument("max_connections must be >= 1");
+  }
+  if (max_line_bytes < 2) {
+    return Status::InvalidArgument("max_line_bytes must be >= 2");
+  }
+  if (deadline_ms < 0) {
+    return Status::InvalidArgument("deadline_ms must be >= 0 (0 disables)");
+  }
+  if (drain_grace_ms < 0) {
+    return Status::InvalidArgument("drain_grace_ms must be >= 0");
+  }
+  if (backlog < 1) {
+    return Status::InvalidArgument("backlog must be >= 1");
+  }
+  return Status::OK();
+}
+
+NetServer::NetServer(InfluenceService* service,
+                     const NetServerOptions& options)
+    : service_(service), options_(options) {}
+
+NetServer::~NetServer() {
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  for (auto& [id, conn] : conns_) {
+    (void)id;
+    if (conn->fd >= 0) ::close(conn->fd);
+  }
+}
+
+Result<std::unique_ptr<NetServer>> NetServer::Create(
+    InfluenceService* service, const NetServerOptions& options) {
+  if (service == nullptr) {
+    return Status::InvalidArgument("NetServer needs a service");
+  }
+  PRIVIM_RETURN_NOT_OK(options.Validate());
+  std::unique_ptr<NetServer> server(new NetServer(service, options));
+
+  Result<std::unique_ptr<Poller>> poller = Poller::Create();
+  if (!poller.ok()) return poller.status();
+  server->poller_ = std::move(poller).value();
+
+  Result<int> listen_fd =
+      OpenListenSocket(options.listen, options.backlog, &server->bound_);
+  if (!listen_fd.ok()) return listen_fd.status();
+  server->listen_fd_ = listen_fd.value();
+
+  PRIVIM_RETURN_NOT_OK(
+      server->poller_->Add(server->listen_fd_, /*read=*/true,
+                           /*write=*/false));
+  PRIVIM_RETURN_NOT_OK(server->poller_->Add(server->wakeup_.read_fd(),
+                                            /*read=*/true,
+                                            /*write=*/false));
+  return server;
+}
+
+void NetServer::RequestShutdown() {
+  // Only async-signal-safe operations here: an atomic store and write(2).
+  shutdown_requested_.store(true, std::memory_order_release);
+  wakeup_.Notify();
+}
+
+int NetServer::ComputeTimeoutMs() const {
+  double timeout_seconds = -1;
+  if (!deadlines_.empty()) {
+    timeout_seconds =
+        std::max(0.0, deadlines_.top().when - clock_.ElapsedSeconds());
+  }
+  if (draining_) {
+    // Re-evaluate the drain exit conditions frequently.
+    const double drain_tick = 0.05;
+    timeout_seconds = timeout_seconds < 0
+                          ? drain_tick
+                          : std::min(timeout_seconds, drain_tick);
+  }
+  if (timeout_seconds < 0) return -1;
+  return static_cast<int>(std::ceil(timeout_seconds * 1000.0));
+}
+
+Status NetServer::Run() {
+  std::vector<Poller::Event> events;
+  while (true) {
+    Result<int> waited = poller_->Wait(&events, ComputeTimeoutMs());
+    if (!waited.ok()) return waited.status();
+
+    for (const Poller::Event& event : events) {
+      if (event.fd == wakeup_.read_fd()) {
+        wakeup_.Drain();
+        continue;
+      }
+      if (event.fd == listen_fd_) {
+        AcceptNewConnections();
+        continue;
+      }
+      // The connection may have been closed by an earlier event this
+      // round; look it up fresh.
+      auto fd_it = fd_to_conn_.find(event.fd);
+      if (fd_it == fd_to_conn_.end()) continue;
+      Connection* conn = conns_.at(fd_it->second).get();
+      if (event.readable || event.error) HandleReadable(conn);
+      // HandleReadable can close the connection; re-check before writing.
+      if (fd_to_conn_.count(event.fd) != 0 && event.writable) {
+        TryWrite(conn);
+      }
+    }
+
+    ProcessCompletions();
+    ExpireDeadlines();
+
+    // Drain begins only after this round's events were handled: a
+    // connection whose accept was reported alongside the shutdown wakeup
+    // is already established client-side and must be served, not reset
+    // by closing the listen socket out from under it.
+    if (shutdown_requested_.load(std::memory_order_acquire) && !draining_) {
+      BeginDrain();
+    }
+    if (draining_ && DrainComplete()) return Status::OK();
+  }
+}
+
+void NetServer::BeginDrain() {
+  draining_ = true;
+  drain_start_seconds_ = clock_.ElapsedSeconds();
+  if (listen_fd_ >= 0) {
+    poller_->Remove(listen_fd_);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+bool NetServer::DrainComplete() {
+  if (outstanding_ > 0) return false;
+  for (const auto& [id, conn] : conns_) {
+    (void)id;
+    if (!conn->slots.empty() || conn->out_pos < conn->outbuf.size()) {
+      return false;
+    }
+  }
+  if (conns_.empty()) return true;
+  // Everything answered and flushed, but some peers have not closed yet:
+  // linger for the grace period so slow readers are not cut off, then
+  // force-close.
+  if (clock_.ElapsedSeconds() - drain_start_seconds_ <
+      options_.drain_grace_ms / 1000.0) {
+    return false;
+  }
+  while (!conns_.empty()) {
+    CloseConnection(conns_.begin()->second.get());
+  }
+  return true;
+}
+
+void NetServer::AcceptNewConnections() {
+  while (listen_fd_ >= 0) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;  // EAGAIN or a transient accept failure: wait for the next event
+    }
+    if (static_cast<int64_t>(conns_.size()) >= options_.max_connections) {
+      refused_.fetch_add(1, std::memory_order_relaxed);
+      RefusedCounter()->Increment();
+      // Best effort: the socket buffer of a fresh connection always has
+      // room for one short line.
+      const std::string line = OverloadedLine("");
+      ssize_t ignored = ::send(fd, line.data(), line.size(), MSG_NOSIGNAL);
+      (void)ignored;
+      ::close(fd);
+      continue;
+    }
+    if (!SetNonBlocking(fd).ok()) {
+      ::close(fd);
+      continue;
+    }
+    SetTcpNoDelay(fd);
+    auto conn = std::make_unique<Connection>(
+        static_cast<std::size_t>(options_.max_line_bytes));
+    conn->id = next_conn_id_++;
+    conn->fd = fd;
+    if (!poller_->Add(fd, /*read=*/true, /*write=*/false).ok()) {
+      ::close(fd);
+      continue;
+    }
+    fd_to_conn_[fd] = conn->id;
+    conns_[conn->id] = std::move(conn);
+    accepted_.fetch_add(1, std::memory_order_relaxed);
+    AcceptedCounter()->Increment();
+    ConnectionsGauge()->Set(static_cast<double>(conns_.size()));
+  }
+}
+
+void NetServer::HandleReadable(Connection* conn) {
+  char buffer[16384];
+  bool closed = false;
+  while (!conn->peer_closed) {
+    const ssize_t n = ::recv(conn->fd, buffer, sizeof(buffer), 0);
+    if (n > 0) {
+      bytes_in_.fetch_add(static_cast<uint64_t>(n),
+                          std::memory_order_relaxed);
+      BytesInCounter()->Increment(static_cast<uint64_t>(n));
+      conn->framer.Feed(buffer, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n == 0) {
+      conn->peer_closed = true;
+      break;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    if (errno == EINTR) continue;
+    closed = true;  // hard error: the peer is unreachable either way
+    break;
+  }
+  if (closed) {
+    CloseConnection(conn);
+    return;
+  }
+
+  std::string line;
+  while (true) {
+    const LineFramer::Next next = conn->framer.PopLine(&line);
+    if (next == LineFramer::Next::kNeedMore) break;
+    if (next == LineFramer::Next::kOversized) {
+      bad_lines_.fetch_add(1, std::memory_order_relaxed);
+      BadLinesCounter()->Increment();
+      Slot slot;
+      slot.seq = conn->next_seq++;
+      slot.ready = true;
+      ServeResponse response;
+      response.status = Status::InvalidArgument(
+          "request line exceeds " + std::to_string(options_.max_line_bytes) +
+          " bytes");
+      slot.out = response.ToJsonLine() + "\n";
+      conn->slots.push_back(std::move(slot));
+      // No way to find the next line boundary in an oversized stream:
+      // answer what we can and stop reading from this peer.
+      conn->peer_closed = true;
+      break;
+    }
+    if (line.empty()) continue;  // the stdin front end skips blank lines too
+    HandleLine(conn, line);
+  }
+  FlushReadySlots(conn);
+  MaybeFinishConnection(conn);
+}
+
+void NetServer::HandleLine(Connection* conn, const std::string& line) {
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  RequestsCounter()->Increment();
+
+  Slot slot;
+  slot.seq = conn->next_seq++;
+  slot.received_seconds = clock_.ElapsedSeconds();
+  const uint64_t seq = slot.seq;
+
+  Result<ServeRequest> request = ParseServeRequest(line);
+  if (!request.ok()) {
+    bad_lines_.fetch_add(1, std::memory_order_relaxed);
+    BadLinesCounter()->Increment();
+    slot.ready = true;
+    slot.out =
+        ResponseForBadLine(line, request.status()).ToJsonLine() + "\n";
+    conn->slots.push_back(std::move(slot));
+    return;
+  }
+  slot.request_id = request->id;
+  conn->slots.push_back(std::move(slot));
+
+  const uint64_t conn_id = conn->id;
+  // Count the request as outstanding before submitting: a cache hit
+  // invokes the completion callback inline, and the completion path
+  // decrements unconditionally.
+  ++outstanding_;
+  const Status submitted = service_->SubmitAsync(
+      request.value(), [this, conn_id, seq](ServeResponse response) {
+        OnCompletion(conn_id, seq, std::move(response));
+      });
+  if (!submitted.ok()) {
+    --outstanding_;
+    Slot& rejected = conn->slots.back();
+    rejected.ready = true;
+    ServeResponse response;
+    response.id = request->id;
+    response.status = submitted;
+    rejected.out = response.ToJsonLine() + "\n";
+    if (submitted.code() == StatusCode::kUnavailable) {
+      shed_.fetch_add(1, std::memory_order_relaxed);
+      OverloadedCounter()->Increment();
+    }
+    return;
+  }
+  if (options_.deadline_ms > 0) {
+    DeadlineEntry entry;
+    entry.when = conn->slots.back().received_seconds +
+                 options_.deadline_ms / 1000.0;
+    entry.conn_id = conn_id;
+    entry.seq = seq;
+    deadlines_.push(entry);
+  }
+}
+
+void NetServer::OnCompletion(uint64_t conn_id, uint64_t seq,
+                             ServeResponse response) {
+  {
+    std::lock_guard<std::mutex> lock(completions_mutex_);
+    Completion completion;
+    completion.conn_id = conn_id;
+    completion.seq = seq;
+    completion.response = std::move(response);
+    completions_.push_back(std::move(completion));
+  }
+  wakeup_.Notify();
+}
+
+NetServer::Slot* NetServer::FindSlot(Connection* conn, uint64_t seq) {
+  if (conn->slots.empty()) return nullptr;
+  const uint64_t front_seq = conn->slots.front().seq;
+  if (seq < front_seq) return nullptr;  // already flushed (e.g. expired)
+  const uint64_t index = seq - front_seq;
+  if (index >= conn->slots.size()) return nullptr;
+  return &conn->slots[static_cast<std::size_t>(index)];
+}
+
+void NetServer::ProcessCompletions() {
+  std::vector<Completion> batch;
+  {
+    std::lock_guard<std::mutex> lock(completions_mutex_);
+    batch.swap(completions_);
+  }
+  for (Completion& completion : batch) {
+    --outstanding_;
+    auto it = conns_.find(completion.conn_id);
+    if (it == conns_.end()) continue;  // connection went away mid-flight
+    Connection* conn = it->second.get();
+    Slot* slot = FindSlot(conn, completion.seq);
+    if (slot == nullptr || slot->ready) {
+      continue;  // deadline already answered this slot
+    }
+    NetLatencyHistogram()->Observe(clock_.ElapsedSeconds() -
+                                   slot->received_seconds);
+    slot->ready = true;
+    slot->out = completion.response.ToJsonLine() + "\n";
+    FlushReadySlots(conn);
+    MaybeFinishConnection(conn);
+  }
+}
+
+void NetServer::ExpireDeadlines() {
+  const double now = clock_.ElapsedSeconds();
+  while (!deadlines_.empty() && deadlines_.top().when <= now) {
+    const DeadlineEntry entry = deadlines_.top();
+    deadlines_.pop();
+    auto it = conns_.find(entry.conn_id);
+    if (it == conns_.end()) continue;
+    Connection* conn = it->second.get();
+    Slot* slot = FindSlot(conn, entry.seq);
+    if (slot == nullptr || slot->ready) continue;  // finished in time
+    deadline_exceeded_.fetch_add(1, std::memory_order_relaxed);
+    DeadlineExceededCounter()->Increment();
+    slot->ready = true;
+    slot->expired = true;
+    ServeResponse response;
+    response.id = slot->request_id;
+    response.status = Status::DeadlineExceeded("deadline exceeded");
+    slot->out = response.ToJsonLine() + "\n";
+    FlushReadySlots(conn);
+    MaybeFinishConnection(conn);
+  }
+}
+
+void NetServer::FlushReadySlots(Connection* conn) {
+  bool queued = false;
+  while (!conn->slots.empty() && conn->slots.front().ready) {
+    conn->outbuf += conn->slots.front().out;
+    conn->slots.pop_front();
+    responses_.fetch_add(1, std::memory_order_relaxed);
+    ResponsesCounter()->Increment();
+    queued = true;
+  }
+  if (queued) TryWrite(conn);
+}
+
+void NetServer::TryWrite(Connection* conn) {
+  while (conn->out_pos < conn->outbuf.size()) {
+    const ssize_t n =
+        ::send(conn->fd, conn->outbuf.data() + conn->out_pos,
+               conn->outbuf.size() - conn->out_pos, MSG_NOSIGNAL);
+    if (n > 0) {
+      conn->out_pos += static_cast<std::size_t>(n);
+      bytes_out_.fetch_add(static_cast<uint64_t>(n),
+                           std::memory_order_relaxed);
+      BytesOutCounter()->Increment(static_cast<uint64_t>(n));
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    if (n < 0 && errno == EINTR) continue;
+    CloseConnection(conn);  // peer reset: nothing left to deliver
+    return;
+  }
+  if (conn->out_pos >= conn->outbuf.size()) {
+    conn->outbuf.clear();
+    conn->out_pos = 0;
+    if (conn->want_write) {
+      conn->want_write = false;
+      (void)poller_->Modify(conn->fd, /*read=*/!conn->peer_closed,
+                            /*write=*/false);
+    }
+  } else if (!conn->want_write) {
+    conn->want_write = true;
+    (void)poller_->Modify(conn->fd, /*read=*/!conn->peer_closed,
+                          /*write=*/true);
+  }
+}
+
+void NetServer::MaybeFinishConnection(Connection* conn) {
+  if (!conn->peer_closed) return;
+  if (!conn->slots.empty()) return;
+  if (conn->out_pos < conn->outbuf.size()) return;
+  CloseConnection(conn);
+}
+
+void NetServer::CloseConnection(Connection* conn) {
+  poller_->Remove(conn->fd);
+  ::close(conn->fd);
+  fd_to_conn_.erase(conn->fd);
+  conns_.erase(conn->id);  // destroys *conn
+  ConnectionsGauge()->Set(static_cast<double>(conns_.size()));
+}
+
+NetServerStats NetServer::GetStats() const {
+  NetServerStats stats;
+  stats.accepted = accepted_.load(std::memory_order_relaxed);
+  stats.refused = refused_.load(std::memory_order_relaxed);
+  stats.requests = requests_.load(std::memory_order_relaxed);
+  stats.responses = responses_.load(std::memory_order_relaxed);
+  stats.shed = shed_.load(std::memory_order_relaxed);
+  stats.deadline_exceeded =
+      deadline_exceeded_.load(std::memory_order_relaxed);
+  stats.bad_lines = bad_lines_.load(std::memory_order_relaxed);
+  stats.bytes_in = bytes_in_.load(std::memory_order_relaxed);
+  stats.bytes_out = bytes_out_.load(std::memory_order_relaxed);
+  stats.open_connections = static_cast<int64_t>(conns_.size());
+  return stats;
+}
+
+}  // namespace net
+}  // namespace serve
+}  // namespace privim

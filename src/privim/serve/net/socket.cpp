@@ -1,0 +1,167 @@
+#include "privim/serve/net/socket.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#if defined(__linux__)
+#include <sys/eventfd.h>
+#endif
+
+namespace privim {
+namespace serve {
+namespace net {
+
+std::string HostPort::ToString() const {
+  return host + ":" + std::to_string(port);
+}
+
+Result<HostPort> ParseHostPort(const std::string& spec) {
+  const std::size_t colon = spec.rfind(':');
+  if (colon == std::string::npos || colon == 0 ||
+      colon + 1 == spec.size()) {
+    return Status::InvalidArgument("expected HOST:PORT, got \"" + spec +
+                                   "\"");
+  }
+  HostPort address;
+  address.host = spec.substr(0, colon);
+  if (address.host == "localhost") address.host = "127.0.0.1";
+  in_addr parsed{};
+  if (::inet_pton(AF_INET, address.host.c_str(), &parsed) != 1) {
+    return Status::InvalidArgument(
+        "host must be an IPv4 address or \"localhost\", got \"" +
+        address.host + "\"");
+  }
+  const std::string port_text = spec.substr(colon + 1);
+  char* end = nullptr;
+  const long port = std::strtol(port_text.c_str(), &end, 10);
+  if (end == port_text.c_str() || *end != '\0' || port < 0 ||
+      port > 65535) {
+    return Status::InvalidArgument("port must be 0..65535, got \"" +
+                                   port_text + "\"");
+  }
+  address.port = static_cast<int>(port);
+  return address;
+}
+
+Status SetNonBlocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return Status::IOError(std::string("fcntl(O_NONBLOCK): ") +
+                           std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+void SetTcpNoDelay(int fd) {
+  const int one = 1;
+  (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+Result<int> OpenListenSocket(const HostPort& address, int backlog,
+                             HostPort* bound) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IOError(std::string("socket: ") + std::strerror(errno));
+  }
+  const int one = 1;
+  (void)::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(address.port));
+  if (::inet_pton(AF_INET, address.host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("cannot parse listen host \"" +
+                                   address.host + "\"");
+  }
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    const Status status = Status::IOError(
+        "bind " + address.ToString() + ": " + std::strerror(errno));
+    ::close(fd);
+    return status;
+  }
+  if (::listen(fd, backlog) < 0) {
+    const Status status =
+        Status::IOError(std::string("listen: ") + std::strerror(errno));
+    ::close(fd);
+    return status;
+  }
+  if (Status status = SetNonBlocking(fd); !status.ok()) {
+    ::close(fd);
+    return status;
+  }
+  if (bound != nullptr) {
+    sockaddr_in actual{};
+    socklen_t len = sizeof(actual);
+    if (::getsockname(fd, reinterpret_cast<sockaddr*>(&actual), &len) == 0) {
+      char text[INET_ADDRSTRLEN] = {0};
+      ::inet_ntop(AF_INET, &actual.sin_addr, text, sizeof(text));
+      bound->host = text;
+      bound->port = static_cast<int>(ntohs(actual.sin_port));
+    } else {
+      *bound = address;
+    }
+  }
+  return fd;
+}
+
+WakeupFd::WakeupFd() {
+#if defined(__linux__)
+  const int fd = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  if (fd >= 0) {
+    read_fd_ = write_fd_ = fd;
+    return;
+  }
+#endif
+  int fds[2];
+  if (::pipe(fds) != 0) {
+    std::perror("privim: wakeup pipe");
+    std::abort();  // an event loop without a wakeup path cannot run at all
+  }
+  (void)SetNonBlocking(fds[0]);
+  (void)SetNonBlocking(fds[1]);
+  read_fd_ = fds[0];
+  write_fd_ = fds[1];
+}
+
+WakeupFd::~WakeupFd() {
+  if (read_fd_ >= 0) ::close(read_fd_);
+  if (write_fd_ >= 0 && write_fd_ != read_fd_) ::close(write_fd_);
+}
+
+void WakeupFd::Notify() const {
+  // write(2) is async-signal-safe; EAGAIN means a wakeup is already
+  // pending, which is all a notification needs to guarantee.
+  const uint64_t one = 1;
+#if defined(__linux__)
+  if (write_fd_ == read_fd_) {
+    ssize_t ignored = ::write(write_fd_, &one, sizeof(one));
+    (void)ignored;
+    return;
+  }
+#endif
+  const char byte = 1;
+  ssize_t ignored = ::write(write_fd_, &byte, 1);
+  (void)ignored;
+  (void)one;
+}
+
+void WakeupFd::Drain() const {
+  char sink[256];
+  while (::read(read_fd_, sink, sizeof(sink)) > 0) {
+  }
+}
+
+}  // namespace net
+}  // namespace serve
+}  // namespace privim

@@ -1,0 +1,67 @@
+// Thin Status-returning wrappers over the BSD socket calls the TCP front
+// end needs: address parsing, listener setup, non-blocking mode, and an
+// async-signal-safe wakeup fd (eventfd on Linux, a self-pipe elsewhere)
+// that lets completion threads and signal handlers rouse the event loop.
+
+#ifndef PRIVIM_SERVE_NET_SOCKET_H_
+#define PRIVIM_SERVE_NET_SOCKET_H_
+
+#include <cstdint>
+#include <string>
+
+#include "privim/common/status.h"
+
+namespace privim {
+namespace serve {
+namespace net {
+
+/// "HOST:PORT" -> (host, port). HOST must be a dotted-quad IPv4 address or
+/// "localhost"; PORT is 0..65535 (0 asks the kernel for an ephemeral port).
+struct HostPort {
+  std::string host;
+  int port = 0;
+
+  std::string ToString() const;  ///< "host:port"
+};
+Result<HostPort> ParseHostPort(const std::string& spec);
+
+/// Creates a non-blocking listening socket bound to `address` with
+/// SO_REUSEADDR set. Returns the fd; `*bound` reports the actual address
+/// (resolving port 0 to the kernel-assigned ephemeral port).
+Result<int> OpenListenSocket(const HostPort& address, int backlog,
+                             HostPort* bound);
+
+/// Puts an fd into non-blocking mode.
+Status SetNonBlocking(int fd);
+
+/// Disables Nagle's algorithm; harmless to call on non-TCP fds (errors are
+/// swallowed — latency tuning must not break correctness).
+void SetTcpNoDelay(int fd);
+
+/// A readable fd the event loop can poll, plus a Notify() that is safe to
+/// call from any thread *and from signal handlers* (it only ever calls
+/// write(2)). Multiple notifications coalesce; Drain() resets the fd.
+class WakeupFd {
+ public:
+  WakeupFd();  ///< aborts the process only if fd creation fails entirely
+  ~WakeupFd();
+
+  WakeupFd(const WakeupFd&) = delete;
+  WakeupFd& operator=(const WakeupFd&) = delete;
+
+  int read_fd() const { return read_fd_; }
+  /// Async-signal-safe.
+  void Notify() const;
+  /// Consumes all pending notifications (event-loop side).
+  void Drain() const;
+
+ private:
+  int read_fd_ = -1;
+  int write_fd_ = -1;  ///< == read_fd_ for eventfd, pipe end otherwise
+};
+
+}  // namespace net
+}  // namespace serve
+}  // namespace privim
+
+#endif  // PRIVIM_SERVE_NET_SOCKET_H_

@@ -163,6 +163,17 @@ uint64_t RequestDigest(const ServeRequest& request) {
   return ckpt::Fnv1a64(w.bytes());
 }
 
+ServeResponse ResponseForBadLine(const std::string& line, Status status) {
+  ServeResponse response;
+  if (Result<JsonValue> raw = JsonValue::Parse(line); raw.ok()) {
+    if (Result<std::string> id = raw->GetString("id", ""); id.ok()) {
+      response.id = id.value();
+    }
+  }
+  response.status = std::move(status);
+  return response;
+}
+
 std::string ServeResponse::ToJsonLine() const {
   JsonValue object = JsonValue::Object();
   object.Set("id", JsonValue::Str(id));

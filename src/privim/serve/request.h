@@ -88,6 +88,12 @@ struct ServeResponse {
   std::string ToJsonLine() const;
 };
 
+/// Builds the error response for an input line that failed to parse as a
+/// request, recovering "id" when the line is at least well-formed JSON so
+/// the client can correlate the failure. Shared by the stdin and TCP front
+/// ends so both emit byte-identical error lines for the same bad input.
+ServeResponse ResponseForBadLine(const std::string& line, Status status);
+
 }  // namespace serve
 }  // namespace privim
 

@@ -183,9 +183,37 @@ Result<std::future<ServeResponse>> InfluenceService::TrySubmit(
 
 Result<std::future<ServeResponse>> InfluenceService::SubmitInternal(
     const ServeRequest& request, bool blocking) {
+  auto promise = std::make_shared<std::promise<ServeResponse>>();
+  std::future<ServeResponse> future = promise->get_future();
+  Status admitted = SubmitCore(
+      request,
+      [promise](ServeResponse response) {
+        promise->set_value(std::move(response));
+      },
+      blocking);
+  if (!admitted.ok()) {
+    if (admitted.code() == StatusCode::kUnavailable) {
+      // The future-based API predates load shedding; its callers expect
+      // the historical code and message for a full queue.
+      return Status::FailedPrecondition(
+          "admission queue full (" + std::to_string(options_.queue_capacity) +
+          " requests)");
+    }
+    return admitted;
+  }
+  return future;
+}
+
+Status InfluenceService::SubmitAsync(const ServeRequest& request,
+                                     ResponseCallback done) {
+  return SubmitCore(request, std::move(done), /*blocking=*/false);
+}
+
+Status InfluenceService::SubmitCore(const ServeRequest& request,
+                                    ResponseCallback done, bool blocking) {
   PRIVIM_RETURN_NOT_OK(request.Validate());
 
-  // Fast path: a cached payload resolves the future immediately.
+  // Fast path: a cached payload completes the request inline.
   const CacheKey key{fingerprint_, RequestDigest(request)};
   std::string payload;
   if (cache_.Lookup(key, &payload)) {
@@ -200,18 +228,15 @@ Result<std::future<ServeResponse>> InfluenceService::SubmitInternal(
       response.status = Status::Internal("corrupt cache payload: " +
                                          parsed.status().message());
     }
-    std::promise<ServeResponse> ready;
-    std::future<ServeResponse> future = ready.get_future();
-    ready.set_value(std::move(response));
-    return future;
+    done(std::move(response));
+    return Status::OK();
   }
   CacheMissCounter()->Increment();
 
   Pending pending;
   pending.request = request;
-  pending.request.id = request.id;
+  pending.done = std::move(done);
   pending.admit_seconds = epoch_.ElapsedSeconds();
-  std::future<ServeResponse> future = pending.promise.get_future();
   {
     std::unique_lock<std::mutex> lock(queue_mutex_);
     if (stopping_) {
@@ -221,9 +246,7 @@ Result<std::future<ServeResponse>> InfluenceService::SubmitInternal(
       if (!blocking) {
         rejected_.fetch_add(1, std::memory_order_relaxed);
         RejectedCounter()->Increment();
-        return Status::FailedPrecondition(
-            "admission queue full (" +
-            std::to_string(options_.queue_capacity) + " requests)");
+        return Status::Unavailable("overloaded");
       }
       queue_not_full_.wait(lock, [this] {
         return stopping_ ||
@@ -239,7 +262,7 @@ Result<std::future<ServeResponse>> InfluenceService::SubmitInternal(
   admitted_.fetch_add(1, std::memory_order_relaxed);
   AdmittedCounter()->Increment();
   queue_not_empty_.notify_one();
-  return future;
+  return Status::OK();
 }
 
 void InfluenceService::SchedulerLoop() {
@@ -285,7 +308,7 @@ void InfluenceService::RunBatch(std::vector<Pending>* batch) {
     completed_.fetch_add(1, std::memory_order_relaxed);
     CompletedCounter()->Increment();
     if (!response.status.ok()) ErrorCounter()->Increment();
-    pending.promise.set_value(std::move(response));
+    pending.done(std::move(response));
   });
 }
 

@@ -35,6 +35,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <future>
 #include <memory>
 #include <mutex>
@@ -123,6 +124,20 @@ class InfluenceService {
   /// (counted in ServiceStats::rejected) or the service is stopped.
   Result<std::future<ServeResponse>> TrySubmit(const ServeRequest& request);
 
+  /// Completion callback for SubmitAsync. Invoked exactly once per
+  /// admitted request — inline on a cache hit, from an execution thread
+  /// otherwise, and during Stop() for requests still queued at shutdown —
+  /// so an admitted request can never lose its response.
+  using ResponseCallback = std::function<void(ServeResponse)>;
+
+  /// Non-blocking callback admission for event-loop front ends (the TCP
+  /// listener) that cannot park a thread on a future. Returns
+  /// Unavailable("overloaded") when the admission queue is full — the
+  /// load-shedding signal, counted in ServiceStats::rejected — and
+  /// FailedPrecondition after Stop(). `done` is not invoked unless the
+  /// request was admitted (OK return or inline cache hit).
+  Status SubmitAsync(const ServeRequest& request, ResponseCallback done);
+
   /// Synchronous single-request path: consults the cache, computes inline
   /// on the calling thread, fills the cache. This is the "no batching"
   /// baseline the throughput bench compares against; responses are
@@ -142,12 +157,16 @@ class InfluenceService {
 
   struct Pending {
     ServeRequest request;
-    std::promise<ServeResponse> promise;
+    ResponseCallback done;
     double admit_seconds = 0.0;  ///< monotonic admission stamp
   };
 
   Result<std::future<ServeResponse>> SubmitInternal(
       const ServeRequest& request, bool blocking);
+  /// Shared admission path. Full-queue is reported as Unavailable;
+  /// future-based wrappers translate it for their callers.
+  Status SubmitCore(const ServeRequest& request, ResponseCallback done,
+                    bool blocking);
   void SchedulerLoop();
   void RunBatch(std::vector<Pending>* batch);
 

@@ -1,0 +1,148 @@
+// LineFramer tests: lines split across arbitrary read boundaries,
+// stdin-equivalent '\r' and empty-line handling, and oversized-line
+// poisoning.
+
+#include "privim/serve/net/framing.h"
+
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace privim {
+namespace serve {
+namespace net {
+namespace {
+
+std::vector<std::string> FeedAndDrain(LineFramer* framer,
+                                      const std::string& bytes) {
+  framer->Feed(bytes.data(), bytes.size());
+  std::vector<std::string> lines;
+  std::string line;
+  while (framer->PopLine(&line) == LineFramer::Next::kLine) {
+    lines.push_back(line);
+  }
+  return lines;
+}
+
+TEST(NetFramingTest, SingleCompleteLine) {
+  LineFramer framer(1024);
+  const std::vector<std::string> lines =
+      FeedAndDrain(&framer, "{\"id\":\"a\"}\n");
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(lines[0], "{\"id\":\"a\"}");
+  EXPECT_EQ(framer.pending_bytes(), 0u);
+}
+
+TEST(NetFramingTest, MultipleLinesInOneFeed) {
+  LineFramer framer(1024);
+  const std::vector<std::string> lines =
+      FeedAndDrain(&framer, "one\ntwo\nthree\n");
+  EXPECT_EQ(lines, (std::vector<std::string>{"one", "two", "three"}));
+}
+
+TEST(NetFramingTest, LineSplitAcrossManyReads) {
+  LineFramer framer(1024);
+  const std::string wire = "{\"id\":\"split\",\"op\":\"topk\"}\nnext\n";
+  // Feed the stream one byte at a time — the worst recv() fragmentation —
+  // and expect exactly the same lines as a single feed.
+  std::vector<std::string> lines;
+  std::string line;
+  for (const char byte : wire) {
+    framer.Feed(&byte, 1);
+    while (framer.PopLine(&line) == LineFramer::Next::kLine) {
+      lines.push_back(line);
+    }
+  }
+  EXPECT_EQ(lines, (std::vector<std::string>{
+                       "{\"id\":\"split\",\"op\":\"topk\"}", "next"}));
+}
+
+TEST(NetFramingTest, NeedMoreUntilTerminatorArrives) {
+  LineFramer framer(1024);
+  std::string line;
+  framer.Feed("partial", 7);
+  EXPECT_EQ(framer.PopLine(&line), LineFramer::Next::kNeedMore);
+  EXPECT_EQ(framer.pending_bytes(), 7u);
+  framer.Feed("\n", 1);
+  ASSERT_EQ(framer.PopLine(&line), LineFramer::Next::kLine);
+  EXPECT_EQ(line, "partial");
+}
+
+TEST(NetFramingTest, CarriageReturnStaysInLine) {
+  // The stdin front end splits on '\n' only (std::getline), leaving a
+  // trailing '\r' in the line; the framer must match for byte-identity.
+  LineFramer framer(1024);
+  const std::vector<std::string> lines =
+      FeedAndDrain(&framer, "crlf\r\nplain\n");
+  EXPECT_EQ(lines, (std::vector<std::string>{"crlf\r", "plain"}));
+}
+
+TEST(NetFramingTest, EmptyLinesAreSurfaced) {
+  LineFramer framer(1024);
+  const std::vector<std::string> lines = FeedAndDrain(&framer, "\n\na\n\n");
+  EXPECT_EQ(lines, (std::vector<std::string>{"", "", "a", ""}));
+}
+
+TEST(NetFramingTest, OversizedLinePoisonsAndReportsOnce) {
+  LineFramer framer(8);
+  std::string line;
+  framer.Feed("0123456789", 10);  // 10 > 8 with no terminator
+  EXPECT_EQ(framer.PopLine(&line), LineFramer::Next::kOversized);
+  EXPECT_TRUE(framer.poisoned());
+  // Reported exactly once; afterwards the framer stays quiet and ignores
+  // further input.
+  EXPECT_EQ(framer.PopLine(&line), LineFramer::Next::kNeedMore);
+  framer.Feed("more\n", 5);
+  EXPECT_EQ(framer.PopLine(&line), LineFramer::Next::kNeedMore);
+}
+
+TEST(NetFramingTest, LineAtExactLimitIsAccepted) {
+  LineFramer framer(4);
+  const std::vector<std::string> lines = FeedAndDrain(&framer, "abcd\n");
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(lines[0], "abcd");
+  EXPECT_FALSE(framer.poisoned());
+}
+
+TEST(NetFramingTest, OversizeDetectedBeforeTerminator) {
+  // The framer must not wait for a '\n' that may never come: the limit
+  // trips as soon as the partial line exceeds it.
+  LineFramer framer(4);
+  std::string line;
+  framer.Feed("abcde", 5);
+  EXPECT_EQ(framer.PopLine(&line), LineFramer::Next::kOversized);
+}
+
+TEST(NetFramingTest, CompleteLinesBeforeOversizeStillDelivered) {
+  LineFramer framer(4);
+  std::string line;
+  framer.Feed("ok\ntoolong", 10);
+  ASSERT_EQ(framer.PopLine(&line), LineFramer::Next::kLine);
+  EXPECT_EQ(line, "ok");
+  EXPECT_EQ(framer.PopLine(&line), LineFramer::Next::kOversized);
+}
+
+TEST(NetFramingTest, LongStreamWithCompactionKeepsAllLines) {
+  // Push enough traffic through one framer that the internal buffer must
+  // compact several times; every line must still come out intact.
+  LineFramer framer(1 << 16);
+  const std::string payload(300, 'x');
+  std::string line;
+  int received = 0;
+  for (int i = 0; i < 1000; ++i) {
+    const std::string wire = payload + std::to_string(i) + "\n";
+    framer.Feed(wire.data(), wire.size());
+    while (framer.PopLine(&line) == LineFramer::Next::kLine) {
+      EXPECT_EQ(line, payload + std::to_string(received));
+      ++received;
+    }
+  }
+  EXPECT_EQ(received, 1000);
+  EXPECT_EQ(framer.pending_bytes(), 0u);
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace serve
+}  // namespace privim

@@ -1,0 +1,449 @@
+// In-process NetServer tests: request/response over a real socket,
+// byte-identity with the engine's direct path, load shedding, deadlines,
+// connection caps, oversized lines, graceful drain, and the poll
+// fallback backend.
+
+#include "privim/serve/net/server.h"
+
+#include <cstdlib>
+#include <future>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "privim/common/rng.h"
+#include "privim/gnn/models.h"
+#include "privim/serve/net/client.h"
+#include "privim/serve/request.h"
+#include "privim/serve/service.h"
+
+namespace privim {
+namespace serve {
+namespace net {
+namespace {
+
+Graph TestGraph() {
+  GraphBuilder builder(8);
+  for (NodeId v = 0; v < 8; ++v) {
+    EXPECT_TRUE(builder.AddEdge(v, (v + 1) % 8).ok());
+  }
+  EXPECT_TRUE(builder.AddEdge(0, 4).ok());
+  EXPECT_TRUE(builder.AddEdge(2, 6).ok());
+  return builder.Build().value();
+}
+
+std::shared_ptr<const GnnModel> TestModel() {
+  GnnConfig config;
+  config.kind = GnnKind::kGcn;
+  config.input_dim = 4;
+  config.hidden_dim = 6;
+  config.num_layers = 2;
+  Rng rng(7);
+  return std::shared_ptr<const GnnModel>(
+      CreateGnnModel(config, &rng).value().release());
+}
+
+/// A started service + a NetServer running its loop on a background
+/// thread; tears both down (gracefully) on destruction.
+class ServerHarness {
+ public:
+  explicit ServerHarness(const ServeOptions& service_options = {},
+                         NetServerOptions net_options = {}) {
+    service_ =
+        InfluenceService::Create(TestGraph(), TestModel(), service_options)
+            .value();
+    EXPECT_TRUE(service_->Start().ok());
+    net_options.listen = HostPort{"127.0.0.1", 0};
+    Result<std::unique_ptr<NetServer>> server =
+        NetServer::Create(service_.get(), net_options);
+    EXPECT_TRUE(server.ok()) << server.status().ToString();
+    server_ = std::move(server).value();
+    loop_ = std::thread([this] { run_status_ = server_->Run(); });
+  }
+
+  ~ServerHarness() {
+    Shutdown();
+    service_->Stop();
+  }
+
+  /// Triggers the graceful drain and returns Run()'s status.
+  Status Shutdown() {
+    if (loop_.joinable()) {
+      server_->RequestShutdown();
+      loop_.join();
+    }
+    return run_status_;
+  }
+
+  BlockingClient Connect() {
+    BlockingClient client;
+    EXPECT_TRUE(client.Connect(server_->bound_address()).ok());
+    return client;
+  }
+
+  InfluenceService* service() { return service_.get(); }
+  NetServer* server() { return server_.get(); }
+
+ private:
+  std::unique_ptr<InfluenceService> service_;
+  std::unique_ptr<NetServer> server_;
+  std::thread loop_;
+  Status run_status_;
+};
+
+/// The response line the engine itself produces for `json` — what the
+/// stdin front end would print, used as the byte-identity reference.
+std::string DirectResponseLine(InfluenceService* service,
+                               const std::string& json) {
+  Result<ServeRequest> request = ParseServeRequest(json);
+  if (!request.ok()) {
+    return ResponseForBadLine(json, request.status()).ToJsonLine();
+  }
+  return service->Submit(request.value()).value().get().ToJsonLine();
+}
+
+TEST(NetListenerTest, ServesRequestsAndMatchesDirectPathByteForByte) {
+  ServerHarness harness;
+  const std::vector<std::string> requests = {
+      R"({"id":"r1","op":"influence","nodes":[0,3]})",
+      R"({"id":"r2","op":"topk","k":3,"method":"model"})",
+      R"({"id":"r3","op":"topk","k":2,"method":"celf","steps":1})",
+      R"({"id":"r4","op":"spread","seeds":[0,5],"steps":2,)"
+      R"("simulations":50,"seed":13})",
+      R"({"id":"r5","op":"spread","seeds":[1],"simulations":0})",
+      "this is not json",
+      R"({"id":"r6","op":"teleport"})",
+  };
+
+  BlockingClient client = harness.Connect();
+  for (const std::string& request : requests) {
+    ASSERT_TRUE(client.SendLine(request).ok());
+  }
+  ASSERT_TRUE(client.ShutdownWrite().ok());
+
+  std::vector<std::string> via_socket;
+  while (true) {
+    Result<std::string> line = client.ReadLine();
+    if (!line.ok()) break;
+    via_socket.push_back(line.value());
+  }
+  ASSERT_EQ(via_socket.size(), requests.size());
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    EXPECT_EQ(via_socket[i],
+              DirectResponseLine(harness.service(), requests[i]))
+        << "request " << i << ": " << requests[i];
+  }
+}
+
+TEST(NetListenerTest, EmptyLinesAreSkippedLikeTheStdinFrontEnd) {
+  ServerHarness harness;
+  BlockingClient client = harness.Connect();
+  ASSERT_TRUE(
+      client
+          .SendLine("\n\n{\"id\":\"only\",\"op\":\"spread\","
+                    "\"seeds\":[2],\"simulations\":0}\n")
+          .ok());
+  ASSERT_TRUE(client.ShutdownWrite().ok());
+  Result<std::string> line = client.ReadLine();
+  ASSERT_TRUE(line.ok());
+  EXPECT_NE(line->find("\"id\":\"only\""), std::string::npos);
+  EXPECT_FALSE(client.ReadLine().ok());  // exactly one response
+}
+
+TEST(NetListenerTest, ConcurrentClientsEachGetOrderedResponses) {
+  ServerHarness harness;
+  constexpr int kClients = 4;
+  constexpr int kRequests = 25;
+  std::vector<std::thread> threads;
+  std::vector<std::string> failures(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&harness, &failures, c] {
+      BlockingClient client = harness.Connect();
+      for (int i = 0; i < kRequests; ++i) {
+        const std::string id =
+            "c" + std::to_string(c) + "-" + std::to_string(i);
+        const std::string request =
+            "{\"id\":\"" + id + "\",\"op\":\"spread\",\"seeds\":[" +
+            std::to_string((c + i) % 8) + "],\"simulations\":0}";
+        if (!client.SendLine(request).ok()) {
+          failures[c] = "send failed at " + id;
+          return;
+        }
+      }
+      if (!client.ShutdownWrite().ok()) {
+        failures[c] = "shutdown failed";
+        return;
+      }
+      for (int i = 0; i < kRequests; ++i) {
+        const std::string id =
+            "c" + std::to_string(c) + "-" + std::to_string(i);
+        Result<std::string> line = client.ReadLine();
+        if (!line.ok()) {
+          failures[c] = "missing response " + id;
+          return;
+        }
+        // Responses arrive in request order per connection.
+        if (line->find("\"id\":\"" + id + "\"") == std::string::npos) {
+          failures[c] = "out of order at " + id + ": " + line.value();
+          return;
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  for (int c = 0; c < kClients; ++c) {
+    EXPECT_EQ(failures[c], "") << "client " << c;
+  }
+}
+
+TEST(NetListenerTest, ShedsLoadWhenAdmissionQueueIsFull) {
+  ServeOptions service_options;
+  service_options.queue_capacity = 1;
+  service_options.max_batch = 1;
+  service_options.cache_capacity = 0;
+  ServerHarness harness(service_options);
+
+  // Pipeline a burst of slow requests (distinct seeds defeat any cache)
+  // without reading: once the one-slot queue is busy, later requests must
+  // be shed immediately rather than block the event loop.
+  constexpr int kBurst = 24;
+  BlockingClient client = harness.Connect();
+  for (int i = 0; i < kBurst; ++i) {
+    const std::string request =
+        "{\"id\":\"b" + std::to_string(i) +
+        "\",\"op\":\"spread\",\"seeds\":[0,3],\"steps\":-1,"
+        "\"simulations\":20000,\"seed\":" +
+        std::to_string(1000 + i) + "}";
+    ASSERT_TRUE(client.SendLine(request).ok());
+  }
+  ASSERT_TRUE(client.ShutdownWrite().ok());
+
+  int ok = 0;
+  int shed = 0;
+  int responses = 0;
+  for (int i = 0; i < kBurst; ++i) {
+    Result<std::string> line = client.ReadLine();
+    ASSERT_TRUE(line.ok()) << "response " << i << " missing";
+    ++responses;
+    // Ordering holds even when some responses are immediate rejections.
+    EXPECT_NE(line->find("\"id\":\"b" + std::to_string(i) + "\""),
+              std::string::npos)
+        << line.value();
+    if (line->find("\"ok\":true") != std::string::npos) {
+      ++ok;
+    } else {
+      EXPECT_NE(line->find("\"code\":\"Unavailable\""), std::string::npos)
+          << line.value();
+      EXPECT_NE(line->find("overloaded"), std::string::npos);
+      ++shed;
+    }
+  }
+  EXPECT_FALSE(client.ReadLine().ok());  // EOF after the last response
+  EXPECT_EQ(responses, kBurst);          // every request got an answer
+  EXPECT_GE(ok, 1);
+  EXPECT_GE(shed, 1) << "burst never overflowed the one-slot queue";
+  EXPECT_EQ(harness.server()->GetStats().shed,
+            static_cast<uint64_t>(shed));
+}
+
+TEST(NetListenerTest, DeadlineExpiryAnswersWithDeadlineExceeded) {
+  NetServerOptions net_options;
+  net_options.deadline_ms = 1;
+  ServeOptions service_options;
+  service_options.cache_capacity = 0;
+  ServerHarness harness(service_options, net_options);
+
+  BlockingClient client = harness.Connect();
+  // Large Monte-Carlo spread: far more than a millisecond of work.
+  ASSERT_TRUE(
+      client
+          .SendLine(R"({"id":"slow","op":"spread","seeds":[0,3,5],)"
+                    R"("steps":-1,"simulations":2000000,"seed":99})")
+          .ok());
+  Result<std::string> line = client.ReadLine();
+  ASSERT_TRUE(line.ok());
+  EXPECT_NE(line->find("\"id\":\"slow\""), std::string::npos);
+  EXPECT_NE(line->find("\"ok\":false"), std::string::npos);
+  EXPECT_NE(line->find("\"code\":\"DeadlineExceeded\""), std::string::npos)
+      << line.value();
+  EXPECT_GE(harness.server()->GetStats().deadline_exceeded, 1u);
+
+  // The connection survives a deadline response and keeps serving.
+  ASSERT_TRUE(
+      client
+          .SendLine(
+              R"({"id":"fast","op":"spread","seeds":[1],"simulations":0})")
+          .ok());
+  line = client.ReadLine();
+  ASSERT_TRUE(line.ok());
+  EXPECT_NE(line->find("\"id\":\"fast\""), std::string::npos);
+}
+
+TEST(NetListenerTest, RefusesConnectionsOverTheCap) {
+  NetServerOptions net_options;
+  net_options.max_connections = 1;
+  ServerHarness harness({}, net_options);
+
+  BlockingClient first = harness.Connect();
+  // Prove the first connection is fully established server-side.
+  ASSERT_TRUE(
+      first
+          .SendLine(
+              R"({"id":"a","op":"spread","seeds":[0],"simulations":0})")
+          .ok());
+  ASSERT_TRUE(first.ReadLine().ok());
+
+  BlockingClient second = harness.Connect();
+  // Give the server a beat to process the accept; it must answer with a
+  // single overloaded line and close.
+  Result<std::string> line = second.ReadLine();
+  ASSERT_TRUE(line.ok());
+  EXPECT_NE(line->find("\"code\":\"Unavailable\""), std::string::npos)
+      << line.value();
+  EXPECT_FALSE(second.ReadLine().ok());  // closed after the refusal
+  EXPECT_GE(harness.server()->GetStats().refused, 1u);
+
+  // The first connection is unaffected.
+  ASSERT_TRUE(
+      first
+          .SendLine(
+              R"({"id":"b","op":"spread","seeds":[1],"simulations":0})")
+          .ok());
+  EXPECT_TRUE(first.ReadLine().ok());
+}
+
+TEST(NetListenerTest, OversizedLineGetsErrorResponseThenClose) {
+  NetServerOptions net_options;
+  net_options.max_line_bytes = 64;
+  ServerHarness harness({}, net_options);
+
+  BlockingClient client = harness.Connect();
+  ASSERT_TRUE(
+      client
+          .SendLine(
+              R"({"id":"ok","op":"spread","seeds":[0],"simulations":0})")
+          .ok());
+  Result<std::string> line = client.ReadLine();
+  ASSERT_TRUE(line.ok());
+  EXPECT_NE(line->find("\"id\":\"ok\""), std::string::npos);
+
+  ASSERT_TRUE(client.SendLine(std::string(200, 'x')).ok());
+  line = client.ReadLine();
+  ASSERT_TRUE(line.ok());
+  EXPECT_NE(line->find("\"code\":\"InvalidArgument\""), std::string::npos)
+      << line.value();
+  EXPECT_NE(line->find("exceeds"), std::string::npos);
+  EXPECT_FALSE(client.ReadLine().ok());  // connection torn down
+  EXPECT_GE(harness.server()->GetStats().bad_lines, 1u);
+}
+
+TEST(NetListenerTest, GracefulDrainAnswersEveryAdmittedRequest) {
+  ServeOptions service_options;
+  service_options.cache_capacity = 0;
+  ServerHarness harness(service_options);
+
+  constexpr int kInFlight = 12;
+  BlockingClient client = harness.Connect();
+  for (int i = 0; i < kInFlight; ++i) {
+    const std::string request =
+        "{\"id\":\"d" + std::to_string(i) +
+        "\",\"op\":\"spread\",\"seeds\":[2,4],\"steps\":-1,"
+        "\"simulations\":5000,\"seed\":" +
+        std::to_string(500 + i) + "}";
+    ASSERT_TRUE(client.SendLine(request).ok());
+  }
+
+  // Shut down with requests still in flight; the drain must answer all
+  // of them, not drop any.
+  harness.server()->RequestShutdown();
+  ASSERT_TRUE(client.ShutdownWrite().ok());
+
+  for (int i = 0; i < kInFlight; ++i) {
+    Result<std::string> line = client.ReadLine();
+    ASSERT_TRUE(line.ok())
+        << "request d" << i << " was dropped during drain";
+    EXPECT_NE(line->find("\"id\":\"d" + std::to_string(i) + "\""),
+              std::string::npos);
+  }
+  EXPECT_FALSE(client.ReadLine().ok());  // then EOF
+  EXPECT_TRUE(harness.Shutdown().ok());
+
+  // After the drain no new connections are accepted.
+  BlockingClient late;
+  const Status connected = late.Connect(harness.server()->bound_address());
+  if (connected.ok()) {
+    // A race may let connect() through before the listener closes, but no
+    // response can ever arrive.
+    late.SendLine(
+        R"({"id":"late","op":"spread","seeds":[0],"simulations":0})");
+    EXPECT_FALSE(late.ReadLine().ok());
+  }
+}
+
+TEST(NetListenerTest, PollFallbackServesTheSameProtocol) {
+  ::setenv("PRIVIM_NET_POLLER", "poll", 1);
+  {
+    ServerHarness harness;
+    EXPECT_EQ(std::string(harness.server()->poller_name()), "poll");
+    BlockingClient client = harness.Connect();
+    const std::string request =
+        R"({"id":"p1","op":"topk","k":2,"method":"model"})";
+    ASSERT_TRUE(client.SendLine(request).ok());
+    ASSERT_TRUE(client.ShutdownWrite().ok());
+    Result<std::string> line = client.ReadLine();
+    ASSERT_TRUE(line.ok());
+    EXPECT_EQ(line.value(),
+              DirectResponseLine(harness.service(), request));
+  }
+  ::unsetenv("PRIVIM_NET_POLLER");
+}
+
+TEST(NetListenerTest, StatsCountTraffic) {
+  ServerHarness harness;
+  BlockingClient client = harness.Connect();
+  const std::string request =
+      R"({"id":"s1","op":"spread","seeds":[0],"simulations":0})";
+  ASSERT_TRUE(client.SendLine(request).ok());
+  ASSERT_TRUE(client.ShutdownWrite().ok());
+  ASSERT_TRUE(client.ReadLine().ok());
+  EXPECT_FALSE(client.ReadLine().ok());
+
+  const NetServerStats stats = harness.server()->GetStats();
+  EXPECT_EQ(stats.accepted, 1u);
+  EXPECT_EQ(stats.requests, 1u);
+  EXPECT_EQ(stats.responses, 1u);
+  EXPECT_GT(stats.bytes_in, 0u);
+  EXPECT_GT(stats.bytes_out, 0u);
+  EXPECT_EQ(stats.shed, 0u);
+  EXPECT_EQ(stats.deadline_exceeded, 0u);
+}
+
+TEST(NetListenerTest, OptionsValidateCatchesBadConfigurations) {
+  NetServerOptions options;
+  EXPECT_TRUE(options.Validate().ok());
+  options.max_connections = 0;
+  EXPECT_FALSE(options.Validate().ok());
+  options = NetServerOptions();
+  options.max_line_bytes = 1;
+  EXPECT_FALSE(options.Validate().ok());
+  options = NetServerOptions();
+  options.deadline_ms = -1;
+  EXPECT_FALSE(options.Validate().ok());
+  options = NetServerOptions();
+  options.drain_grace_ms = -1;
+  EXPECT_FALSE(options.Validate().ok());
+  options = NetServerOptions();
+  options.backlog = 0;
+  EXPECT_FALSE(options.Validate().ok());
+  options = NetServerOptions();
+  options.listen.port = 70000;
+  EXPECT_FALSE(options.Validate().ok());
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace serve
+}  // namespace privim

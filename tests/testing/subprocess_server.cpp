@@ -1,0 +1,82 @@
+#include "testing/subprocess_server.h"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+namespace privim {
+namespace testing {
+
+ServerProcess SpawnServer(const std::string& command,
+                          const std::string& stderr_path) {
+  ServerProcess server;
+  server.stderr_path = stderr_path;
+  const pid_t pid = ::fork();
+  if (pid < 0) return server;
+  if (pid == 0) {
+    const int log_fd = ::open(stderr_path.c_str(),
+                              O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (log_fd >= 0) {
+      ::dup2(log_fd, STDOUT_FILENO);
+      ::dup2(log_fd, STDERR_FILENO);
+      ::close(log_fd);
+    }
+    // exec the command so the child pid IS the server, not a lingering
+    // shell wrapper — signals sent to pid must reach the server itself.
+    const std::string exec_command = "exec " + command;
+    ::execl("/bin/sh", "sh", "-c", exec_command.c_str(),
+            static_cast<char*>(nullptr));
+    _exit(127);
+  }
+  server.pid = pid;
+  return server;
+}
+
+std::string WaitForPortFile(const std::string& port_file,
+                            double timeout_seconds) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration<double>(timeout_seconds);
+  while (std::chrono::steady_clock::now() < deadline) {
+    std::ifstream in(port_file);
+    std::string line;
+    if (in.is_open() && std::getline(in, line) && !line.empty()) {
+      return line;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  return "";
+}
+
+void SignalServer(const ServerProcess& server, int signum) {
+  if (server.pid > 0) ::kill(server.pid, signum);
+}
+
+int WaitServer(ServerProcess* server) {
+  if (server->pid <= 0) return -1;
+  int status = 0;
+  pid_t waited;
+  do {
+    waited = ::waitpid(server->pid, &status, 0);
+  } while (waited < 0 && errno == EINTR);
+  server->pid = -1;
+  if (waited < 0 || !WIFEXITED(status)) return -1;
+  return WEXITSTATUS(status);
+}
+
+std::string ReadServerLog(const ServerProcess& server) {
+  std::ifstream in(server.stderr_path);
+  if (!in.is_open()) return "";
+  std::ostringstream contents;
+  contents << in.rdbuf();
+  return contents.str();
+}
+
+}  // namespace testing
+}  // namespace privim

@@ -1,0 +1,47 @@
+// Helpers for tests that drive a long-running server binary: spawn it
+// with a known pid (so the test can deliver real signals), wait for its
+// --port-file to appear, and reap it with its exit status. Complements
+// testing/fault_injection.h, whose RunSubprocess blocks until the child
+// exits and therefore cannot signal it mid-run.
+
+#ifndef PRIVIM_TESTS_TESTING_SUBPROCESS_SERVER_H_
+#define PRIVIM_TESTS_TESTING_SUBPROCESS_SERVER_H_
+
+#include <sys/types.h>
+
+#include <string>
+
+namespace privim {
+namespace testing {
+
+/// A server child process started by SpawnServer. `pid` is -1 after the
+/// process has been reaped (or if the spawn failed).
+struct ServerProcess {
+  pid_t pid = -1;
+  std::string stderr_path;  ///< the child's stderr is redirected here
+};
+
+/// Starts `command` via /bin/sh -c with stdout+stderr redirected to
+/// `stderr_path`. Returns pid -1 on fork failure.
+ServerProcess SpawnServer(const std::string& command,
+                          const std::string& stderr_path);
+
+/// Polls for `port_file` to appear with a complete "HOST:PORT\n" line,
+/// up to `timeout_seconds`. Returns the trimmed line, or "" on timeout.
+std::string WaitForPortFile(const std::string& port_file,
+                            double timeout_seconds = 15.0);
+
+/// Sends `signum` to the child (no-op if already reaped).
+void SignalServer(const ServerProcess& server, int signum);
+
+/// Blocks until the child exits; returns its exit code (or -1 if it was
+/// killed by a signal / was never started). Safe to call once.
+int WaitServer(ServerProcess* server);
+
+/// Reads the child's captured stderr (empty if unreadable).
+std::string ReadServerLog(const ServerProcess& server);
+
+}  // namespace testing
+}  // namespace privim
+
+#endif  // PRIVIM_TESTS_TESTING_SUBPROCESS_SERVER_H_

@@ -3,12 +3,22 @@
 
 Three subcommands, all stdlib-only so CI can run them on a bare runner:
 
-  merge     combine google-benchmark JSON output and the --metrics-out
-            metrics object into one artifact (BENCH_<pr>.json)
+  merge     combine google-benchmark JSON output, the --metrics-out
+            metrics object, and/or a privim_loadgen report into one
+            artifact (BENCH_<pr>.json)
   baseline  distill a merged artifact into bench/baseline.json (benchmark
             name -> real_time), the file committed to the repo
   compare   diff a merged artifact against the baseline with a relative
             tolerance; exits 1 when any benchmark regressed past it
+  selftest  run the built-in unit checks (no arguments, exits non-zero on
+            the first failure; wired into ctest as BenchCompareSelfTest)
+
+A privim_loadgen report (merge --loadgen FILE) contributes synthetic
+benchmark rows Loadgen_P50 / Loadgen_P95 / Loadgen_P99 whose real_time is
+the latency percentile in nanoseconds, so the ordinary compare machinery
+— including --enforce 'Loadgen_P99*' — gates serving latency SLOs with no
+special cases. The baseline entries for these rows are latency *budgets*
+chosen by hand, not measured samples; regressing past budget fails CI.
 
 By default every benchmark participates in the exit code. With one or more
 --enforce GLOB options the gate narrows: only benchmarks matching a glob
@@ -52,12 +62,41 @@ def benchmark_rows(merged):
     return means if means else rows
 
 
+def loadgen_rows(report):
+    """Synthetic benchmark rows from a privim_loadgen report: latency
+    percentiles (ms) become Loadgen_P* rows with real_time in ns, so the
+    compare/enforce machinery applies unchanged."""
+    rows = []
+    for name, key in (
+        ("Loadgen_P50", "p50_ms"),
+        ("Loadgen_P95", "p95_ms"),
+        ("Loadgen_P99", "p99_ms"),
+    ):
+        if key not in report:
+            sys.exit(f"error: loadgen report has no {key!r} field")
+        rows.append(
+            {
+                "name": name,
+                "run_type": "iteration",
+                "real_time": float(report[key]) * 1e6,
+                "time_unit": "ns",
+            }
+        )
+    return rows
+
+
 def cmd_merge(args):
-    bench = load_json(args.bench)
-    merged = {
-        "context": bench.get("context", {}),
-        "benchmarks": bench.get("benchmarks", []),
-    }
+    if not args.bench and not args.loadgen:
+        sys.exit("error: merge needs --bench and/or --loadgen")
+    merged = {"context": {}, "benchmarks": []}
+    if args.bench:
+        bench = load_json(args.bench)
+        merged["context"] = bench.get("context", {})
+        merged["benchmarks"] = bench.get("benchmarks", [])
+    if args.loadgen:
+        report = load_json(args.loadgen)
+        merged["benchmarks"].extend(loadgen_rows(report))
+        merged["loadgen"] = report
     if args.metrics:
         merged["metrics"] = load_json(args.metrics)
     with open(args.out, "w", encoding="utf-8") as handle:
@@ -161,13 +200,173 @@ def cmd_compare(args):
     return 1 if regressions or errors else 0
 
 
+def cmd_selftest(args):
+    """Unit checks for the loadgen merge path and enforce gating, using
+    only tempfiles — invoked from ctest so a bench_compare.py change that
+    breaks the CI gate fails the test suite first."""
+    del args
+    import contextlib
+    import io
+    import os
+    import tempfile
+
+    def run(argv):
+        out = io.StringIO()
+        code = 0
+        with contextlib.redirect_stdout(out), contextlib.redirect_stderr(out):
+            try:
+                code = main(argv)
+            except SystemExit as stop:
+                code = stop.code if isinstance(stop.code, int) else 1
+        return code, out.getvalue()
+
+    failures = []
+
+    def check(name, condition, detail=""):
+        status = "ok" if condition else "FAIL"
+        print(f"  {status}  {name}" + (f" ({detail})" if detail else ""))
+        if not condition:
+            failures.append(name)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        report = os.path.join(tmp, "loadgen.json")
+        merged = os.path.join(tmp, "merged.json")
+        baseline = os.path.join(tmp, "baseline.json")
+        with open(report, "w", encoding="utf-8") as handle:
+            json.dump(
+                {"p50_ms": 2.0, "p95_ms": 5.0, "p99_ms": 10.0, "qps": 100.0},
+                handle,
+            )
+
+        code, _ = run(["merge", "--loadgen", report, "--out", merged])
+        rows = {
+            row["name"]: row for row in load_json(merged)["benchmarks"]
+        }
+        check("merge --loadgen exits 0", code == 0)
+        check(
+            "loadgen percentiles become ns rows",
+            rows.get("Loadgen_P99", {}).get("real_time") == 10.0 * 1e6
+            and rows.get("Loadgen_P50", {}).get("time_unit") == "ns",
+        )
+        check(
+            "raw loadgen report is preserved",
+            load_json(merged).get("loadgen", {}).get("qps") == 100.0,
+        )
+
+        # Within budget -> enforce passes.
+        with open(baseline, "w", encoding="utf-8") as handle:
+            json.dump(
+                {
+                    "benchmarks": {
+                        name: {"real_time": 50.0 * 1e6, "time_unit": "ns"}
+                        for name in rows
+                    }
+                },
+                handle,
+            )
+        code, _ = run(
+            [
+                "compare",
+                "--current",
+                merged,
+                "--baseline",
+                baseline,
+                "--enforce",
+                "Loadgen_P99*",
+            ]
+        )
+        check("within-budget compare exits 0", code == 0)
+
+        # Over budget -> enforce fails, but only for enforced names.
+        with open(baseline, "w", encoding="utf-8") as handle:
+            json.dump(
+                {
+                    "benchmarks": {
+                        "Loadgen_P99": {"real_time": 1.0, "time_unit": "ns"},
+                        "Loadgen_P95": {"real_time": 1.0, "time_unit": "ns"},
+                        "Loadgen_P50": {
+                            "real_time": 50.0 * 1e6,
+                            "time_unit": "ns",
+                        },
+                    }
+                },
+                handle,
+            )
+        code, _ = run(
+            [
+                "compare",
+                "--current",
+                merged,
+                "--baseline",
+                baseline,
+                "--enforce",
+                "Loadgen_P99*",
+            ]
+        )
+        check("over-budget enforced compare exits 1", code == 1)
+        code, _ = run(
+            [
+                "compare",
+                "--current",
+                merged,
+                "--baseline",
+                baseline,
+                "--enforce",
+                "Loadgen_P50*",
+            ]
+        )
+        check(
+            "advisory regressions do not gate",
+            code == 0,
+            "P99 over budget but only P50 enforced",
+        )
+
+        # An enforce glob that matches nothing is a hard error.
+        code, _ = run(
+            [
+                "compare",
+                "--current",
+                merged,
+                "--baseline",
+                baseline,
+                "--enforce",
+                "NoSuchBenchmark*",
+            ]
+        )
+        check("vacuous enforce glob exits 1", code == 1)
+
+        # merge with neither input refuses.
+        code, _ = run(["merge", "--out", os.path.join(tmp, "x.json")])
+        check("merge without inputs exits 1", code == 1)
+
+        # A loadgen report missing a percentile refuses.
+        with open(report, "w", encoding="utf-8") as handle:
+            json.dump({"p50_ms": 2.0}, handle)
+        code, _ = run(["merge", "--loadgen", report, "--out", merged])
+        check("incomplete loadgen report exits 1", code == 1)
+
+    print(
+        f"selftest: {len(failures)} failure(s)"
+        + (f": {', '.join(failures)}" if failures else "")
+    )
+    return 1 if failures else 0
+
+
 def main(argv):
     parser = argparse.ArgumentParser(description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
 
-    merge = sub.add_parser("merge", help="combine benchmark + metrics JSON")
-    merge.add_argument("--bench", required=True)
+    merge = sub.add_parser(
+        "merge", help="combine benchmark + metrics + loadgen JSON"
+    )
+    merge.add_argument("--bench", default=None)
     merge.add_argument("--metrics", default=None)
+    merge.add_argument(
+        "--loadgen",
+        default=None,
+        metavar="FILE",
+        help="privim_loadgen report; adds Loadgen_P50/P95/P99 rows",
+    )
     merge.add_argument("--out", required=True)
     merge.set_defaults(func=cmd_merge)
 
@@ -188,6 +387,9 @@ def main(argv):
         "non-matching benchmarks become advisory",
     )
     comp.set_defaults(func=cmd_compare)
+
+    self_test = sub.add_parser("selftest", help="run built-in unit checks")
+    self_test.set_defaults(func=cmd_selftest)
 
     args = parser.parse_args(argv)
     return args.func(args)

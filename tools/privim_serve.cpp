@@ -1,4 +1,5 @@
-// privim_serve — batch/offline front end for the InfluenceService.
+// privim_serve — batch/offline AND network front end for the
+// InfluenceService.
 //
 // Loads a graph (and optionally a released model) once, then streams
 // JSON-lines influence requests through the batching engine:
@@ -12,6 +13,20 @@
 // engine sees the full window of in-flight work and can coalesce batches
 // (the admission queue applies backpressure once it fills).
 //
+// With --listen HOST:PORT the same wire format is served over TCP by a
+// single-threaded epoll/poll event loop (see serve/net/server.h):
+//
+//   privim_serve --graph graph.txt --model privim.model
+//                --listen 127.0.0.1:7433 --deadline-ms 250
+//
+// Socket responses are byte-identical to the stdin path for the same
+// request stream. Under overload the listener sheds load with immediate
+// {"ok":false,"code":"Unavailable","error":"overloaded"} lines instead of
+// blocking; SIGTERM (or SIGINT) triggers a graceful drain — stop
+// accepting, answer everything admitted, flush, exit 0. The stderr stats
+// line is printed after the drain too, not only on clean EOF, so
+// supervisors and CI can assert served/shed counts either way.
+//
 // A malformed request line produces an {"ok":false,...} response line in
 // place — the process keeps serving and exits 0; only setup errors (bad
 // flags, unreadable graph/model) are fatal. Responses are bit-identical
@@ -19,8 +34,10 @@
 // cache state.
 //
 // --metrics-out exports the serve.* metrics (queue depth, batch-size and
-// latency histograms, cache hit/miss counters) plus trace spans.
+// latency histograms, cache hit/miss counters, serve.net.* listener
+// metrics) plus trace spans.
 
+#include <csignal>
 #include <cstdio>
 #include <fstream>
 #include <future>
@@ -37,6 +54,7 @@
 #include "privim/graph/graph_io.h"
 #include "privim/obs/export.h"
 #include "privim/obs/trace.h"
+#include "privim/serve/net/server.h"
 #include "privim/serve/request.h"
 #include "privim/serve/service.h"
 
@@ -46,6 +64,31 @@ namespace {
 int Fail(const Status& status) {
   std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
   return 1;
+}
+
+// Printed on every exit path — clean EOF, --requests exhaustion, and
+// SIGTERM-triggered drain — so supervisors and CI can always assert the
+// served/shed counts from stderr.
+void PrintStatsLine(const serve::InfluenceService& service, uint64_t shed) {
+  const serve::ServiceStats stats = service.GetStats();
+  std::fprintf(stderr,
+               "served %llu requests in %llu batches (max batch %llu, "
+               "cache %llu/%llu hits, shed %llu)\n",
+               static_cast<unsigned long long>(stats.completed),
+               static_cast<unsigned long long>(stats.batches),
+               static_cast<unsigned long long>(stats.max_batch_size),
+               static_cast<unsigned long long>(stats.cache_hits),
+               static_cast<unsigned long long>(stats.cache_hits +
+                                               stats.cache_misses),
+               static_cast<unsigned long long>(shed));
+}
+
+// The SIGTERM/SIGINT handler may only do async-signal-safe work;
+// NetServer::RequestShutdown is (atomic store + write(2)).
+serve::net::NetServer* g_net_server = nullptr;
+
+void HandleShutdownSignal(int /*signum*/) {
+  if (g_net_server != nullptr) g_net_server->RequestShutdown();
 }
 
 FlagRegistry ServeCliFlags() {
@@ -68,8 +111,80 @@ FlagRegistry ServeCliFlags() {
               "global worker pool size; 0 = hardware concurrency, 1 = "
               "serial (PRIVIM_THREADS env fallback)")
       .AddString("metrics-out", "",
-                 "write combined metrics + trace JSON to this file at exit");
+                 "write combined metrics + trace JSON to this file at exit")
+      .AddString("listen", "",
+                 "serve the wire format over TCP on HOST:PORT instead of "
+                 "stdin/stdout (port 0 = ephemeral; see --port-file)")
+      .AddString("port-file", "",
+                 "write the bound HOST:PORT to this file once listening "
+                 "(for tests and scripts using --listen HOST:0)")
+      .AddInt("deadline-ms", 0,
+              "per-request completion budget in ms; 0 disables "
+              "(listen mode only)")
+      .AddInt("max-connections", 1024,
+              "concurrent connection cap; excess connections get one "
+              "overloaded line and are closed (listen mode only)")
+      .AddInt("max-line-bytes", 1 << 20,
+              "longest accepted request line (listen mode only)")
+      .AddInt("drain-grace-ms", 5000,
+              "after SIGTERM, how long to wait for idle clients to close "
+              "before force-closing (listen mode only)");
   return registry;
+}
+
+int ServeListen(const Flags& flags, serve::InfluenceService* service) {
+  Result<serve::net::HostPort> listen =
+      serve::net::ParseHostPort(flags.GetString("listen", ""));
+  if (!listen.ok()) return Fail(listen.status());
+
+  serve::net::NetServerOptions options;
+  options.listen = listen.value();
+  options.deadline_ms = flags.GetInt("deadline-ms", 0);
+  options.max_connections = flags.GetInt("max-connections", 1024);
+  options.max_line_bytes = flags.GetInt("max-line-bytes", 1 << 20);
+  options.drain_grace_ms = flags.GetInt("drain-grace-ms", 5000);
+
+  Result<std::unique_ptr<serve::net::NetServer>> server =
+      serve::net::NetServer::Create(service, options);
+  if (!server.ok()) return Fail(server.status());
+
+  g_net_server = server->get();
+  std::signal(SIGTERM, HandleShutdownSignal);
+  std::signal(SIGINT, HandleShutdownSignal);
+  std::signal(SIGPIPE, SIG_IGN);
+
+  const std::string bound = server.value()->bound_address().ToString();
+  if (const std::string path = flags.GetString("port-file", "");
+      !path.empty()) {
+    std::ofstream port_file(path, std::ios::trunc);
+    port_file << bound << '\n';
+    if (!port_file.good()) {
+      return Fail(Status::IOError("cannot write --port-file: " + path));
+    }
+  }
+  std::fprintf(stderr, "listening on %s (%s)\n", bound.c_str(),
+               server.value()->poller_name());
+
+  const Status ran = server.value()->Run();
+
+  const serve::net::NetServerStats net_stats = server.value()->GetStats();
+  g_net_server = nullptr;
+  std::signal(SIGTERM, SIG_DFL);
+  std::signal(SIGINT, SIG_DFL);
+
+  if (!ran.ok()) return Fail(ran);
+  service->Stop();
+  PrintStatsLine(*service, net_stats.shed);
+  std::fprintf(
+      stderr,
+      "listener: %llu connections, %llu requests, %llu responses, "
+      "%llu deadline-exceeded, %llu bad lines\n",
+      static_cast<unsigned long long>(net_stats.accepted),
+      static_cast<unsigned long long>(net_stats.requests),
+      static_cast<unsigned long long>(net_stats.responses),
+      static_cast<unsigned long long>(net_stats.deadline_exceeded),
+      static_cast<unsigned long long>(net_stats.bad_lines));
+  return 0;
 }
 
 int Serve(const Flags& flags) {
@@ -101,6 +216,10 @@ int Serve(const Flags& flags) {
   if (!service.ok()) return Fail(service.status());
   if (Status started = service.value()->Start(); !started.ok()) {
     return Fail(started);
+  }
+
+  if (!flags.GetString("listen", "").empty()) {
+    return ServeListen(flags, service.value().get());
   }
 
   std::ifstream request_file;
@@ -140,15 +259,7 @@ int Serve(const Flags& flags) {
     Slot slot;
     Result<serve::ServeRequest> request = serve::ParseServeRequest(line);
     if (!request.ok()) {
-      // Echo the id when the line is at least well-formed JSON, so the
-      // client can correlate the error with its request.
-      if (Result<serve::JsonValue> raw = serve::JsonValue::Parse(line);
-          raw.ok()) {
-        if (Result<std::string> id = raw->GetString("id", ""); id.ok()) {
-          slot.response.id = id.value();
-        }
-      }
-      slot.response.status = request.status();
+      slot.response = serve::ResponseForBadLine(line, request.status());
       slot.ready = true;
     } else {
       Result<std::future<serve::ServeResponse>> submitted =
@@ -172,16 +283,7 @@ int Serve(const Flags& flags) {
   out->flush();
   service.value()->Stop();
 
-  const serve::ServiceStats stats = service.value()->GetStats();
-  std::fprintf(stderr,
-               "served %llu requests in %llu batches (max batch %llu, "
-               "cache %llu/%llu hits)\n",
-               static_cast<unsigned long long>(stats.completed),
-               static_cast<unsigned long long>(stats.batches),
-               static_cast<unsigned long long>(stats.max_batch_size),
-               static_cast<unsigned long long>(stats.cache_hits),
-               static_cast<unsigned long long>(stats.cache_hits +
-                                               stats.cache_misses));
+  PrintStatsLine(*service.value(), /*shed=*/0);
   return 0;
 }
 
@@ -193,7 +295,8 @@ int Main(int argc, char** argv) {
     std::printf("%s",
                 registry.HelpText("usage: privim_serve --graph FILE "
                                   "[--model FILE] [--requests FILE] "
-                                  "[--out FILE] [--flags]")
+                                  "[--out FILE] [--listen HOST:PORT] "
+                                  "[--flags]")
                     .c_str());
     return 0;
   }
