@@ -29,6 +29,8 @@
 #include "privim/graph/generators.h"
 #include "privim/graph/projection.h"
 #include "privim/im/celf.h"
+#include "privim/nn/arena.h"
+#include "privim/nn/infer/engine.h"
 #include "privim/sampling/dual_stage.h"
 #include "privim/sampling/rwr_sampler.h"
 #include "privim/serve/request.h"
@@ -131,6 +133,53 @@ BENCHMARK(BM_GnnForward)
     ->Args({1000, static_cast<long>(GnnKind::kGrat)})
     ->Args({1000, static_cast<long>(GnnKind::kGin)})
     ->Args({10000, static_cast<long>(GnnKind::kGrat)});
+
+// Tape-vs-fused forward pass at serving shapes (same model, same graph,
+// bit-identical outputs). BM_TapeForward is the tape at its best — warm
+// MemoryPools, so the loop is allocation-free — and BM_FusedForward is the
+// compiled per-model program; the ratio is pure fusion/dispatch overhead.
+void BM_TapeForward(benchmark::State& state) {
+  const Graph graph = MakeBenchGraph(2000, 5);
+  const GraphContext ctx = GraphContext::Build(graph);
+  GnnConfig config;
+  config.kind = static_cast<GnnKind>(state.range(0));
+  Rng rng(17);
+  auto model = CreateGnnModel(config, &rng);
+  const Tensor features = BuildNodeFeatures(graph, config.input_dim);
+  nn::MemoryPools pools;
+  for (auto _ : state) {
+    Result<Variable> out = model.value()->Run(ctx, features, &pools);
+    benchmark::DoNotOptimize(out->value().Sum());
+  }
+  state.SetItemsProcessed(state.iterations() * graph.num_arcs());
+}
+BENCHMARK(BM_TapeForward)
+    ->Arg(static_cast<long>(GnnKind::kGcn))
+    ->Arg(static_cast<long>(GnnKind::kGrat));
+
+void BM_FusedForward(benchmark::State& state) {
+  const Graph graph = MakeBenchGraph(2000, 5);
+  const GraphContext ctx = GraphContext::Build(graph);
+  GnnConfig config;
+  config.kind = static_cast<GnnKind>(state.range(0));
+  Rng rng(17);
+  std::shared_ptr<const GnnModel> model(
+      CreateGnnModel(config, &rng).value().release());
+  auto engine = infer::InferEngine::Create(model).value();
+  const Tensor features = BuildNodeFeatures(graph, config.input_dim);
+  Tensor out;
+  for (auto _ : state) {
+    if (!engine->Forward(ctx, features, &out).ok()) {
+      state.SkipWithError("fused forward failed");
+      return;
+    }
+    benchmark::DoNotOptimize(out.Sum());
+  }
+  state.SetItemsProcessed(state.iterations() * graph.num_arcs());
+}
+BENCHMARK(BM_FusedForward)
+    ->Arg(static_cast<long>(GnnKind::kGcn))
+    ->Arg(static_cast<long>(GnnKind::kGrat));
 
 void BM_InfluenceLossBackward(benchmark::State& state) {
   const Graph graph = MakeBenchGraph(40, 4);
@@ -276,24 +325,63 @@ std::vector<serve::ServeRequest> ServeBenchRequests() {
   return requests;
 }
 
+// Model-driven workload for rows 2 and 3: 96 subgraph-influence requests,
+// each a contiguous 256-node window. Contiguous windows of a small-world
+// graph keep nearly all of their arcs under induction (unlike random node
+// sets, which are arc-starved), so the GNN forward dominates and the
+// tape-vs-fused engine choice is what the two rows measure (row 2 = tape,
+// row 3 = fused with block-diagonal batching). Responses are bit-identical
+// between the rows.
+std::vector<serve::ServeRequest> ServeSubgraphRequests() {
+  std::vector<serve::ServeRequest> requests;
+  requests.reserve(96);
+  for (int i = 0; i < 96; ++i) {
+    serve::ServeRequest request;
+    request.id = "s";
+    request.id += std::to_string(i);
+    request.op = serve::RequestOp::kInfluence;
+    for (int j = 0; j < 256; ++j) {
+      request.subgraph.push_back(static_cast<NodeId>((i * 18 + j) % 2000));
+    }
+    requests.push_back(std::move(request));
+  }
+  return requests;
+}
+
 void BM_ServeThroughput(benchmark::State& state) {
-  const bool batched = state.range(0) != 0;
+  const int64_t mode = state.range(0);
+  const bool batched = mode != 0;
+  const bool with_model = mode >= 2;
   SetGlobalThreadPoolSize(4);
   Rng graph_rng(51);
-  Result<Graph> base = BarabasiAlbert(2000, 5, &graph_rng);
+  // Rows 0/1 (spread workload): heavy-tailed BA graph. Rows 2/3 (model
+  // workload): small-world graph so the contiguous request windows stay
+  // arc-dense after induction.
+  Result<Graph> base = with_model ? WattsStrogatz(2000, 8, 0.05, &graph_rng)
+                                  : BarabasiAlbert(2000, 5, &graph_rng);
   serve::ServeOptions options;
   options.queue_capacity = 128;  // the whole stream stays in flight
   options.max_batch = 32;
   options.cache_capacity = 0;  // force real computation every iteration
+  options.infer_engine = mode == 3 ? serve::InferEngineKind::kFused
+                                   : serve::InferEngineKind::kTape;
+  std::shared_ptr<const GnnModel> model;
+  if (with_model) {
+    GnnConfig config;
+    config.kind = GnnKind::kGrat;
+    Rng model_rng(17);
+    model.reset(CreateGnnModel(config, &model_rng).value().release());
+  }
   auto service = serve::InfluenceService::Create(
-                     WithWeightedCascadeWeights(base.value()),
-                     /*model=*/nullptr, options)
+                     WithWeightedCascadeWeights(base.value()), model,
+                     options)
                      .value();
   if (batched && !service->Start().ok()) {
     state.SkipWithError("service failed to start");
     return;
   }
-  const std::vector<serve::ServeRequest> requests = ServeBenchRequests();
+  const std::vector<serve::ServeRequest> requests =
+      with_model ? ServeSubgraphRequests() : ServeBenchRequests();
   for (auto _ : state) {
     if (batched) {
       std::vector<std::future<serve::ServeResponse>> futures;
@@ -314,7 +402,7 @@ void BM_ServeThroughput(benchmark::State& state) {
                           static_cast<int64_t>(requests.size()));
   SetGlobalThreadPoolSize(1);
 }
-BENCHMARK(BM_ServeThroughput)->Arg(0)->Arg(1)->UseRealTime();
+BENCHMARK(BM_ServeThroughput)->Arg(0)->Arg(1)->Arg(2)->Arg(3)->UseRealTime();
 
 // Latency of a response served from the sharded LRU cache, measured
 // against a CELF top-k request whose cold computation costs milliseconds:

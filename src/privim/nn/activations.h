@@ -1,0 +1,34 @@
+// Scalar activation formulas, shared between the autograd ops (ops.cpp)
+// and the tape-free inference engine (nn/infer/).
+//
+// Fused-vs-tape bit-identity is a structural property of the codebase, not
+// a numerical accident: both execution paths call these exact functions (and
+// the shared *Into kernels in tensor.h / ops.h), so they cannot drift apart.
+// Any new activation must be added here first and used from both sides.
+
+#ifndef PRIVIM_NN_ACTIVATIONS_H_
+#define PRIVIM_NN_ACTIVATIONS_H_
+
+#include <cmath>
+
+namespace privim {
+namespace nn {
+
+inline float ReluValue(float v) { return v > 0.0f ? v : 0.0f; }
+
+inline float LeakyReluValue(float v, float negative_slope) {
+  return v > 0.0f ? v : negative_slope * v;
+}
+
+/// Numerically stable logistic sigmoid (no exp overflow on either tail).
+inline float SigmoidValue(float v) {
+  return v >= 0.0f ? 1.0f / (1.0f + std::exp(-v))
+                   : std::exp(v) / (1.0f + std::exp(v));
+}
+
+inline float TanhValue(float v) { return std::tanh(v); }
+
+}  // namespace nn
+}  // namespace privim
+
+#endif  // PRIVIM_NN_ACTIVATIONS_H_

@@ -1,0 +1,127 @@
+// Compiled inference programs: a released GNN as a fixed op sequence.
+//
+// Serving only needs forward passes, but GnnModel::Forward builds a full
+// autograd tape per call (heap-pooled since PR 5, yet still one shared_ptr
+// node + std::function pullback per op). An InferProgram is the tape-free
+// alternative: the model's layer structure is compiled once (compile.h)
+// into a flat instruction list over numbered buffer slots, and Execute()
+// replays it on a caller-owned Scratch whose buffers are recycled through
+// the PR 5 TensorArena — zero heap allocations in the steady state.
+//
+// Fusion: where the tape materializes MatMul, AddRowBroadcast and Relu as
+// three ops (three tensors, three nodes), kDense runs one matmul kernel
+// followed by one bias+activation sweep over the same buffer. The sweep
+// performs the identical float operations in the identical order, and all
+// kernels are the shared *Into functions from tensor.h / ops.h, so results
+// are bit-identical to the tape under the repo-wide -ffp-contract=off
+// contract (pinned by tests/nn/infer_checker_test.cpp at exact match).
+//
+// Buffers are typed by row domain — kNodes (n rows) or kEdges (one row per
+// attention edge) — with a fixed column count; actual row counts bind to
+// the GraphContext at Execute() time, so one program serves any graph.
+
+#ifndef PRIVIM_NN_INFER_PROGRAM_H_
+#define PRIVIM_NN_INFER_PROGRAM_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "privim/common/status.h"
+#include "privim/gnn/graph_context.h"
+#include "privim/nn/arena.h"
+#include "privim/nn/tensor.h"
+
+namespace privim {
+namespace infer {
+
+enum class OpCode {
+  kSpMM,            ///< dst = Adj(adj) * src0
+  kDense,           ///< dst = act(src0 * weight [+ bias]) — the fused core
+  kConcat,          ///< dst = [src0 | src1]
+  kGinMix,          ///< dst = src0 + src1 * (1 + omega), omega = *scalar_param
+  kAttnScores,      ///< dst[e] = lrelu(src0[asrc[e]] + src1[adst[e]], scalar)
+  kSegmentSoftmax,  ///< dst = softmax of src0 within `segments`
+  kEdgeMessages,    ///< dst[e] = src0[e] * src1[asrc[e]] (alpha-scaled rows)
+  kSegmentSum,      ///< dst[v] = sum of src0 rows with attention_dst == v
+  kBiasAct,         ///< dst = act(src0 + bias row)
+};
+
+const char* OpCodeName(OpCode op);
+
+/// Which precomputed GraphContext operator a kSpMM reads.
+enum class AdjKind { kGcn, kMeanIn, kSumIn };
+
+/// Which GraphContext index array a segment op groups by.
+enum class SegArray { kAttentionSrc, kAttentionDst };
+
+enum class Activation { kNone, kRelu, kSigmoid };
+
+/// One instruction. Parameter tensors are borrowed from the compiled model
+/// (the engine keeps the model alive); buffer operands are slot indices.
+struct Instr {
+  OpCode op = OpCode::kDense;
+  int dst = -1;
+  int src0 = -1;
+  int src1 = -1;
+  const Tensor* weight = nullptr;        ///< kDense
+  const Tensor* bias = nullptr;          ///< kDense (optional) / kBiasAct
+  const Tensor* scalar_param = nullptr;  ///< kGinMix: the 1x1 omega
+  Activation act = Activation::kNone;
+  AdjKind adj = AdjKind::kGcn;                   ///< kSpMM
+  SegArray segments = SegArray::kAttentionDst;   ///< kSegmentSoftmax
+  float scalar = 0.0f;                           ///< kAttnScores leaky slope
+};
+
+enum class RowDomain { kNodes, kEdges };
+
+struct BufferSpec {
+  RowDomain domain = RowDomain::kNodes;
+  int64_t cols = 0;
+};
+
+/// Preallocated execution state, reusable across Execute() calls. One
+/// Scratch may only run one Execute at a time; the engine (engine.h) leases
+/// them from a pool so concurrent requests never share one.
+struct Scratch {
+  nn::MemoryPools pools;
+  std::vector<Tensor> slots;
+};
+
+/// Called after each instruction with every slot computed so far (slot 0 is
+/// the input features). The checker harness uses this to re-derive each
+/// step's output through the tape ops and report per-op divergence.
+using StepObserver =
+    std::function<void(size_t step, const Instr& instr,
+                       const std::vector<Tensor>& slots)>;
+
+/// A compiled model. Immutable after compilation; safe to Execute from many
+/// threads concurrently as long as each call brings its own Scratch.
+class InferProgram {
+ public:
+  /// Runs the program over `ctx` / `features` ((ctx.num_nodes x input_dim)),
+  /// writing the (n x 1) output into *out. `out` keeps its storage when the
+  /// caller reuses it across calls (no allocation once capacities warm up).
+  Status Execute(const GraphContext& ctx, const Tensor& features,
+                 Scratch* scratch, Tensor* out,
+                 const StepObserver& observer = nullptr) const;
+
+  const std::vector<Instr>& instructions() const { return instrs_; }
+  /// Slot 0 is the input feature matrix; the rest are intermediates.
+  const std::vector<BufferSpec>& buffers() const { return buffers_; }
+  int64_t input_dim() const { return input_dim_; }
+  int output_slot() const { return output_slot_; }
+
+ private:
+  friend class ProgramBuilder;
+
+  std::vector<Instr> instrs_;
+  std::vector<BufferSpec> buffers_;
+  int64_t input_dim_ = 0;
+  int output_slot_ = -1;
+};
+
+}  // namespace infer
+}  // namespace privim
+
+#endif  // PRIVIM_NN_INFER_PROGRAM_H_

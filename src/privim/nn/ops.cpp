@@ -6,6 +6,8 @@
 #include <limits>
 #include <utility>
 
+#include "privim/nn/activations.h"
+
 namespace privim {
 namespace {
 
@@ -96,11 +98,6 @@ void SpMMKernel(int64_t rows, int64_t d,
   }
 }
 
-void SpMMAccumulate(const SparseMatrix& sp, const Tensor& x, Tensor* y) {
-  assert(sp.cols == x.rows() && sp.rows == y->rows() && x.cols() == y->cols());
-  SpMMKernel(sp.rows, x.cols(), sp.offsets.data(), sp.indices.data(),
-             sp.values.data(), x.data(), y->data());
-}
 
 // y += S^T * g without a transposed CSR: scatters each stored entry
 // (r, c, w) as y[c] += w * g[r]. The outer loop runs r ascending, so every
@@ -133,6 +130,56 @@ void SpMMTransposeAccumulate(const SparseMatrix& sp, const Tensor& g,
 }
 
 }  // namespace
+
+void SpMMValuesInto(const SparseMatrix& sparse, const Tensor& x, Tensor* y) {
+  assert(sparse.cols == x.rows() && sparse.rows == y->rows() &&
+         x.cols() == y->cols());
+  y->Fill(0.0f);  // the kernel accumulates into its output
+  SpMMKernel(sparse.rows, x.cols(), sparse.offsets.data(),
+             sparse.indices.data(), sparse.values.data(), x.data(),
+             y->data());
+}
+
+void SegmentSoftmaxValuesInto(const Tensor& scores, const int32_t* segments,
+                              int64_t num_segments, Tensor* out) {
+  assert(scores.cols() == 1 && out->rows() == scores.rows() &&
+         out->cols() == 1);
+  const int64_t num_edges = scores.rows();
+
+  // Reused scratch: per-segment max and exp-sum. Capacity persists across
+  // calls so the attention hot loop does not allocate here.
+  static thread_local std::vector<float> seg_max;
+  static thread_local std::vector<double> seg_sum;
+  seg_max.assign(static_cast<size_t>(num_segments),
+                 -std::numeric_limits<float>::infinity());
+  seg_sum.assign(static_cast<size_t>(num_segments), 0.0);
+
+  for (int64_t e = 0; e < num_edges; ++e) {
+    seg_max[segments[e]] = std::max(seg_max[segments[e]], scores.at(e, 0));
+  }
+  for (int64_t e = 0; e < num_edges; ++e) {
+    const float shifted = scores.at(e, 0) - seg_max[segments[e]];
+    out->at(e, 0) = std::exp(shifted);
+    seg_sum[segments[e]] += out->at(e, 0);
+  }
+  for (int64_t e = 0; e < num_edges; ++e) {
+    const double denom = std::max(seg_sum[segments[e]], 1e-30);
+    out->at(e, 0) = static_cast<float>(out->at(e, 0) / denom);
+  }
+}
+
+void SegmentSumValuesInto(const Tensor& x, const int32_t* segments,
+                          Tensor* out) {
+  assert(x.cols() == out->cols());
+  const int64_t d = x.cols();
+  out->Fill(0.0f);
+  for (int64_t e = 0; e < x.rows(); ++e) {
+    const float* PRIVIM_RESTRICT xrow = x.data() + e * d;
+    float* PRIVIM_RESTRICT orow =
+        out->data() + static_cast<int64_t>(segments[e]) * d;
+    for (int64_t j = 0; j < d; ++j) orow[j] += xrow[j];
+  }
+}
 
 Variable MatMul(const Variable& a, const Variable& b) {
   assert(a.cols() == b.rows());
@@ -300,31 +347,28 @@ Variable ScaleByScalar(const Variable& x, const Variable& scalar) {
 
 Variable Relu(const Variable& x) {
   return PointwiseOp(
-      x, [](float v) { return v > 0.0f ? v : 0.0f; },
+      x, [](float v) { return nn::ReluValue(v); },
       [](float xv, float) { return xv > 0.0f ? 1.0f : 0.0f; });
 }
 
 Variable LeakyRelu(const Variable& x, float negative_slope) {
   return PointwiseOp(
       x,
-      [negative_slope](float v) { return v > 0.0f ? v : negative_slope * v; },
+      [negative_slope](float v) {
+        return nn::LeakyReluValue(v, negative_slope);
+      },
       [negative_slope](float xv, float) {
         return xv > 0.0f ? 1.0f : negative_slope;
       });
 }
 
 Variable Sigmoid(const Variable& x) {
-  return PointwiseOp(
-      x,
-      [](float v) {
-        return v >= 0.0f ? 1.0f / (1.0f + std::exp(-v))
-                         : std::exp(v) / (1.0f + std::exp(v));
-      },
-      [](float, float yv) { return yv * (1.0f - yv); });
+  return PointwiseOp(x, [](float v) { return nn::SigmoidValue(v); },
+                     [](float, float yv) { return yv * (1.0f - yv); });
 }
 
 Variable Tanh(const Variable& x) {
-  return PointwiseOp(x, [](float v) { return std::tanh(v); },
+  return PointwiseOp(x, [](float v) { return nn::TanhValue(v); },
                      [](float, float yv) { return 1.0f - yv * yv; });
 }
 
@@ -447,8 +491,8 @@ std::shared_ptr<const SparseMatrix> MakeSparseCsr(
 
 Variable SpMM(std::shared_ptr<const SparseMatrix> sparse, const Variable& x) {
   assert(sparse->cols == x.rows());
-  Tensor out(sparse->rows, x.cols());
-  SpMMAccumulate(*sparse, x.value(), &out);
+  Tensor out = Tensor::Uninitialized(sparse->rows, x.cols());
+  SpMMValuesInto(*sparse, x.value(), &out);
   Variable result = Variable::MakeOp(
       std::move(out), x, [sp = sparse.get()](VariableNode* node) {
         VariableNode* parent = node->parents[0].get();
@@ -470,29 +514,9 @@ Variable SegmentSoftmax(const Variable& scores,
   assert(static_cast<size_t>(scores.rows()) == segments.size());
   const int64_t num_edges = scores.rows();
 
-  // Reused scratch: per-segment max and exp-sum. Capacity persists across
-  // calls so the attention hot loop does not allocate here.
-  static thread_local std::vector<float> seg_max;
-  static thread_local std::vector<double> seg_sum;
-  seg_max.assign(static_cast<size_t>(num_segments),
-                 -std::numeric_limits<float>::infinity());
-  seg_sum.assign(static_cast<size_t>(num_segments), 0.0);
-
-  for (int64_t e = 0; e < num_edges; ++e) {
-    seg_max[segments[e]] =
-        std::max(seg_max[segments[e]], scores.value().at(e, 0));
-  }
   Tensor out = Tensor::Uninitialized(num_edges, 1);
-  for (int64_t e = 0; e < num_edges; ++e) {
-    const float shifted =
-        scores.value().at(e, 0) - seg_max[segments[e]];
-    out.at(e, 0) = std::exp(shifted);
-    seg_sum[segments[e]] += out.at(e, 0);
-  }
-  for (int64_t e = 0; e < num_edges; ++e) {
-    const double denom = std::max(seg_sum[segments[e]], 1e-30);
-    out.at(e, 0) = static_cast<float>(out.at(e, 0) / denom);
-  }
+  SegmentSoftmaxValuesInto(scores.value(), segments.data(), num_segments,
+                           &out);
 
   return Variable::MakeOp(
       std::move(out), scores,
@@ -522,13 +546,8 @@ Variable SegmentSum(const Variable& x, std::span<const int32_t> segments,
                     int64_t num_segments) {
   assert(static_cast<size_t>(x.rows()) == segments.size());
   const int64_t d = x.cols();
-  Tensor out(num_segments, d);
-  for (int64_t e = 0; e < x.rows(); ++e) {
-    const float* PRIVIM_RESTRICT xrow = x.value().data() + e * d;
-    float* PRIVIM_RESTRICT orow =
-        out.data() + static_cast<int64_t>(segments[e]) * d;
-    for (int64_t j = 0; j < d; ++j) orow[j] += xrow[j];
-  }
+  Tensor out = Tensor::Uninitialized(num_segments, d);
+  SegmentSumValuesInto(x.value(), segments.data(), &out);
   return Variable::MakeOp(
       std::move(out), x, [segs = segments.data()](VariableNode* node) {
         VariableNode* parent = node->parents[0].get();

@@ -122,6 +122,31 @@ std::shared_ptr<const SparseMatrix> MakeSparseCsr(
 Variable SpMM(std::shared_ptr<const SparseMatrix> sparse, const Variable& x);
 
 // ---------------------------------------------------------------------------
+// Forward-value kernels (no tape)
+// ---------------------------------------------------------------------------
+// The tape-free inference engine (nn/infer/) runs the same forward math on
+// preallocated buffers. These functions ARE the forward halves of the ops
+// above — one implementation, two callers — which makes fused-vs-tape
+// bit-identity structural rather than a tolerance claim (see also
+// activations.h and MatMulValuesInto in tensor.h).
+
+/// y = S * x into a caller-owned output (y must be shaped sp.rows x x.cols;
+/// previous contents are overwritten). Exactly the SpMM forward.
+void SpMMValuesInto(const SparseMatrix& sparse, const Tensor& x, Tensor* y);
+
+/// Per-segment stable softmax of the (E x 1) `scores` into `out` (shaped
+/// E x 1). Exactly the SegmentSoftmax forward, including its max-shift and
+/// denominator clamp.
+void SegmentSoftmaxValuesInto(const Tensor& scores, const int32_t* segments,
+                              int64_t num_segments, Tensor* out);
+
+/// Per-segment row sums of the (E x d) `x` into `out` (shaped
+/// num_segments x d; previous contents are overwritten). Exactly the
+/// SegmentSum forward, accumulating edges in increasing-index order.
+void SegmentSumValuesInto(const Tensor& x, const int32_t* segments,
+                          Tensor* out);
+
+// ---------------------------------------------------------------------------
 // Segment ops (edge-level attention)
 // ---------------------------------------------------------------------------
 

@@ -223,6 +223,13 @@ Tensor MatMulValues(const Tensor& a, const Tensor& b) {
   return c;
 }
 
+void MatMulValuesInto(const Tensor& a, const Tensor& b, Tensor* c) {
+  assert(a.cols() == b.rows());
+  assert(c->rows() == a.rows() && c->cols() == b.cols());
+  c->Fill(0.0f);  // the kernel accumulates into its output
+  MatMulKernel(a.data(), b.data(), c->data(), a.rows(), a.cols(), b.cols());
+}
+
 Tensor MatMulATB(const Tensor& a, const Tensor& b) {
   assert(a.rows() == b.rows());
   Tensor c(a.cols(), b.cols());

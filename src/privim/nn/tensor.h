@@ -119,6 +119,12 @@ class Tensor {
 /// Dense matrix product c = a * b.
 Tensor MatMulValues(const Tensor& a, const Tensor& b);
 
+/// c = a * b into a caller-owned output (c must already be shaped
+/// a.rows x b.cols; previous contents are overwritten). Runs the exact
+/// kernel behind MatMulValues — the inference engine (nn/infer/) uses this
+/// to reuse preallocated buffers while staying bit-identical to the tape.
+void MatMulValuesInto(const Tensor& a, const Tensor& b, Tensor* c);
+
 /// c = a^T * b without materializing a^T: c is (a.cols x b.cols) and
 /// c[j][l] = sum_i a[i][j] * b[i][l]. Contributions accumulate in
 /// increasing-i order (bit-identical to MatMulValues(transpose(a), b)).

@@ -8,6 +8,18 @@
 namespace privim {
 namespace serve {
 
+namespace {
+
+// int64 conversion guard shared by GetInt/GetIntArray. Bounds are exact
+// doubles (2^63); >= on the upper side because 2^63 itself is out of
+// range. Infinities from overflowing literals like 1e999 fail here too —
+// without this check the static_cast below is undefined behavior.
+bool FitsInt64(double value) {
+  return value >= -9223372036854775808.0 && value < 9223372036854775808.0;
+}
+
+}  // namespace
+
 JsonValue JsonValue::Bool(bool b) {
   JsonValue v;
   v.kind_ = Kind::kBool;
@@ -66,7 +78,8 @@ Result<std::string> JsonValue::GetString(const std::string& key,
 Result<int64_t> JsonValue::GetInt(const std::string& key, int64_t def) const {
   const JsonValue* v = Find(key);
   if (v == nullptr) return def;
-  if (!v->is_number() || v->number_value() != std::floor(v->number_value())) {
+  if (!v->is_number() || v->number_value() != std::floor(v->number_value()) ||
+      !FitsInt64(v->number_value())) {
     return Status::InvalidArgument("field \"" + key + "\" must be an integer");
   }
   return static_cast<int64_t>(v->number_value());
@@ -103,7 +116,8 @@ Result<std::vector<int64_t>> JsonValue::GetIntArray(
   out.reserve(v->items().size());
   for (const JsonValue& item : v->items()) {
     if (!item.is_number() ||
-        item.number_value() != std::floor(item.number_value())) {
+        item.number_value() != std::floor(item.number_value()) ||
+        !FitsInt64(item.number_value())) {
       return Status::InvalidArgument("field \"" + key +
                                      "\" must contain only integers");
     }
@@ -393,7 +407,24 @@ class Parser {
     return out;
   }
 
+  // Containers recurse through ParseValue, so untrusted input could drive
+  // the parser stack arbitrarily deep ("[[[[...") — a depth cap turns a
+  // potential stack overflow into InvalidArgument. 128 is far beyond any
+  // legitimate serving document (requests nest two levels).
+  static constexpr int kMaxDepth = 128;
+
+  struct DepthGuard {
+    int* depth;
+    ~DepthGuard() { --*depth; }
+  };
+
   Result<JsonValue> ParseArray() {
+    if (depth_ >= kMaxDepth) {
+      return Status::InvalidArgument("JSON nesting depth exceeds " +
+                                     std::to_string(kMaxDepth));
+    }
+    ++depth_;
+    DepthGuard guard{&depth_};
     Consume('[');
     JsonValue array = JsonValue::Array();
     SkipWhitespace();
@@ -411,6 +442,12 @@ class Parser {
   }
 
   Result<JsonValue> ParseObject() {
+    if (depth_ >= kMaxDepth) {
+      return Status::InvalidArgument("JSON nesting depth exceeds " +
+                                     std::to_string(kMaxDepth));
+    }
+    ++depth_;
+    DepthGuard guard{&depth_};
     Consume('{');
     JsonValue object = JsonValue::Object();
     SkipWhitespace();
@@ -436,6 +473,7 @@ class Parser {
 
   const char* p_;
   const char* end_;
+  int depth_ = 0;
 };
 
 }  // namespace

@@ -74,10 +74,9 @@ obs::Histogram* NetLatencyHistogram() {
 }
 
 std::string OverloadedLine(const std::string& id) {
-  ServeResponse response;
-  response.id = id;
-  response.status = Status::Unavailable("overloaded");
-  return response.ToJsonLine() + "\n";
+  // The shared shed response (request.h): byte-identical to what the
+  // stdin front end emits for the same condition.
+  return OverloadedResponse(id).ToJsonLine() + "\n";
 }
 
 }  // namespace
@@ -370,7 +369,7 @@ void NetServer::HandleLine(Connection* conn, const std::string& line) {
     response.id = request->id;
     response.status = submitted;
     rejected.out = response.ToJsonLine() + "\n";
-    if (submitted.code() == StatusCode::kUnavailable) {
+    if (IsOverloaded(submitted)) {
       shed_.fetch_add(1, std::memory_order_relaxed);
       OverloadedCounter()->Increment();
     }

@@ -33,6 +33,14 @@ const char* TopKMethodToString(TopKMethod method) {
 }
 
 Status ServeRequest::Validate() const {
+  if (!subgraph.empty() && op != RequestOp::kInfluence) {
+    return Status::InvalidArgument(
+        "\"subgraph\" is only valid for op=influence");
+  }
+  if (!subgraph.empty() && !nodes.empty()) {
+    return Status::InvalidArgument(
+        "\"subgraph\" and \"nodes\" are mutually exclusive");
+  }
   if (op == RequestOp::kTopK && k < 1) {
     return Status::InvalidArgument("topk requires k >= 1");
   }
@@ -102,6 +110,13 @@ Result<ServeRequest> ParseServeRequest(const std::string& json_line) {
   if (!node_ids.ok()) return node_ids.status();
   request.nodes = std::move(node_ids).value();
 
+  Result<std::vector<int64_t>> subgraph = doc->GetIntArray("subgraph");
+  if (!subgraph.ok()) return subgraph.status();
+  Result<std::vector<NodeId>> subgraph_ids =
+      ToNodeIds(subgraph.value(), "subgraph");
+  if (!subgraph_ids.ok()) return subgraph_ids.status();
+  request.subgraph = std::move(subgraph_ids).value();
+
   Result<std::vector<int64_t>> seeds = doc->GetIntArray("seeds");
   if (!seeds.ok()) return seeds.status();
   Result<std::vector<NodeId>> seed_ids = ToNodeIds(seeds.value(), "seeds");
@@ -160,6 +175,8 @@ uint64_t RequestDigest(const ServeRequest& request) {
   for (const NodeId v : request.nodes) w.WriteI64(v);
   w.WriteI64(static_cast<int64_t>(request.seeds.size()));
   for (const NodeId v : request.seeds) w.WriteI64(v);
+  w.WriteI64(static_cast<int64_t>(request.subgraph.size()));
+  for (const NodeId v : request.subgraph) w.WriteI64(v);
   return ckpt::Fnv1a64(w.bytes());
 }
 
@@ -172,6 +189,25 @@ ServeResponse ResponseForBadLine(const std::string& line, Status status) {
   }
   response.status = std::move(status);
   return response;
+}
+
+Status OverloadedStatus() { return Status::Unavailable("overloaded"); }
+
+bool IsOverloaded(const Status& status) {
+  return status.code() == StatusCode::kUnavailable;
+}
+
+ServeResponse OverloadedResponse(const std::string& id) {
+  ServeResponse response;
+  response.id = id;
+  response.status = OverloadedStatus();
+  return response;
+}
+
+Status QueueFullError(int64_t queue_capacity) {
+  return Status::FailedPrecondition("admission queue full (" +
+                                    std::to_string(queue_capacity) +
+                                    " requests)");
 }
 
 std::string ServeResponse::ToJsonLine() const {

@@ -3,6 +3,7 @@
 // A request is one flat JSON object per line:
 //
 //   {"id":"r1","op":"influence","nodes":[1,2,3]}
+//   {"id":"r6","op":"influence","subgraph":[4,7,9]}
 //   {"id":"r2","op":"topk","k":10,"method":"model"}
 //   {"id":"r3","op":"topk","k":10,"method":"celf","steps":1}
 //   {"id":"r4","op":"topk","k":10,"method":"ris","rr_sets":2000,"seed":7}
@@ -44,6 +45,11 @@ struct ServeRequest {
   // --- influence ---
   /// Nodes to report scores for; empty means every node.
   std::vector<NodeId> nodes;
+  /// When non-empty, scores are computed over the subgraph induced by these
+  /// (global) node ids instead of the whole graph — the shape the batched
+  /// fused engine stacks block-diagonally. Mutually exclusive with "nodes";
+  /// the response reports the deduplicated ids in first-occurrence order.
+  std::vector<NodeId> subgraph;
 
   // --- topk ---
   int64_t k = 10;
@@ -93,6 +99,28 @@ struct ServeResponse {
 /// the client can correlate the failure. Shared by the stdin and TCP front
 /// ends so both emit byte-identical error lines for the same bad input.
 ServeResponse ResponseForBadLine(const std::string& line, Status status);
+
+// --- Load-shedding vocabulary shared by every front end ------------------
+//
+// The admission queue reports "full" exactly one way, and both front ends
+// (stdin pipeline and TCP listener) derive their wire error from the same
+// helpers, so the shed line cannot drift between them
+// (tests/serve/request_test.cpp pins the bytes).
+
+/// The canonical load-shedding signal a full admission queue produces.
+Status OverloadedStatus();
+
+/// True when `status` is the load-shedding signal (and nothing else — no
+/// other serving path produces Unavailable).
+bool IsOverloaded(const Status& status);
+
+/// The error response a front end emits for a shed request.
+ServeResponse OverloadedResponse(const std::string& id);
+
+/// The historical full-queue error of the future-based Submit/TrySubmit
+/// API (it predates load shedding; its callers pin this code + message).
+/// Kept in one place so the translation cannot fork again.
+Status QueueFullError(int64_t queue_capacity);
 
 }  // namespace serve
 }  // namespace privim

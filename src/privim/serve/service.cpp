@@ -52,6 +52,16 @@ obs::Counter* CacheMissCounter() {
       obs::GlobalMetrics().GetCounter("serve.cache.misses");
   return c;
 }
+obs::Counter* FusedForwardCounter() {
+  static obs::Counter* c =
+      obs::GlobalMetrics().GetCounter("serve.infer.fused_forwards");
+  return c;
+}
+obs::Counter* InferFallbackCounter() {
+  static obs::Counter* c =
+      obs::GlobalMetrics().GetCounter("serve.infer.fallbacks");
+  return c;
+}
 obs::Gauge* QueueDepthGauge() {
   static obs::Gauge* g = obs::GlobalMetrics().GetGauge("serve.queue.depth");
   return g;
@@ -81,7 +91,38 @@ JsonValue NodeArray(const std::vector<NodeId>& nodes) {
   return array;
 }
 
+/// The one place a subgraph-influence payload is assembled: the solo path
+/// (Compute) and the batched fused path (ComputeSubgraphGroup) both call
+/// it, so their response bytes cannot drift.
+void FillSubgraphInfluencePayload(const Subgraph& sub, const Tensor& scores,
+                                  JsonValue* payload) {
+  JsonValue score_array = JsonValue::Array();
+  for (int64_t v = 0; v < sub.num_nodes(); ++v) {
+    score_array.Append(JsonValue::Number(static_cast<double>(scores.at(v, 0))));
+  }
+  payload->Set("op", JsonValue::Str("influence"));
+  payload->Set("nodes", NodeArray(sub.global_ids));
+  payload->Set("scores", std::move(score_array));
+}
+
 }  // namespace
+
+Result<InferEngineKind> InferEngineKindFromString(const std::string& name) {
+  if (name == "fused") return InferEngineKind::kFused;
+  if (name == "tape") return InferEngineKind::kTape;
+  return Status::InvalidArgument("unknown inference engine \"" + name +
+                                 "\" (expected fused | tape)");
+}
+
+const char* InferEngineKindToString(InferEngineKind kind) {
+  switch (kind) {
+    case InferEngineKind::kFused:
+      return "fused";
+    case InferEngineKind::kTape:
+      return "tape";
+  }
+  return "?";
+}
 
 Status ServeOptions::Validate() const {
   if (queue_capacity < 1) {
@@ -132,6 +173,23 @@ Result<std::unique_ptr<InfluenceService>> InfluenceService::Create(
     fp = ckpt::Fnv1a64(encoded.str(), fp);
   }
   service->fingerprint_ = fp;
+
+  // The fused engine is strictly an execution strategy: responses are
+  // bit-identical to the tape, so the engine kind never enters the cache
+  // fingerprint, and a model the compiler or probe rejects silently serves
+  // on the tape path (visible only in stats/metrics).
+  if (service->model_ != nullptr &&
+      options.infer_engine == InferEngineKind::kFused) {
+    Result<std::unique_ptr<infer::InferEngine>> engine =
+        infer::InferEngine::Create(service->model_);
+    if (engine.ok()) {
+      service->engine_ = std::move(engine).value();
+    } else {
+      service->infer_fallback_reason_ = engine.status().message();
+      service->infer_fallbacks_.fetch_add(1, std::memory_order_relaxed);
+      InferFallbackCounter()->Increment();
+    }
+  }
   return service;
 }
 
@@ -192,12 +250,10 @@ Result<std::future<ServeResponse>> InfluenceService::SubmitInternal(
       },
       blocking);
   if (!admitted.ok()) {
-    if (admitted.code() == StatusCode::kUnavailable) {
+    if (IsOverloaded(admitted)) {
       // The future-based API predates load shedding; its callers expect
       // the historical code and message for a full queue.
-      return Status::FailedPrecondition(
-          "admission queue full (" + std::to_string(options_.queue_capacity) +
-          " requests)");
+      return QueueFullError(options_.queue_capacity);
     }
     return admitted;
   }
@@ -246,7 +302,7 @@ Status InfluenceService::SubmitCore(const ServeRequest& request,
       if (!blocking) {
         rejected_.fetch_add(1, std::memory_order_relaxed);
         RejectedCounter()->Increment();
-        return Status::Unavailable("overloaded");
+        return OverloadedStatus();
       }
       queue_not_full_.wait(lock, [this] {
         return stopping_ ||
@@ -293,12 +349,30 @@ void InfluenceService::RunBatch(std::vector<Pending>* batch) {
   UpdateMax(&max_batch_size_, batch->size());
   BatchSizeHistogram()->Observe(static_cast<double>(batch->size()));
 
+  // Fused-eligible subgraph-influence requests are stacked into
+  // block-diagonal unions and executed up front as a handful of large
+  // forwards; their finished responses land in `precomputed`. A single
+  // such request gains nothing from stacking and takes the solo path.
+  std::vector<std::unique_ptr<ServeResponse>> precomputed(batch->size());
+  if (engine_ != nullptr) {
+    std::vector<size_t> group;
+    for (size_t i = 0; i < batch->size(); ++i) {
+      const ServeRequest& request = (*batch)[i].request;
+      if (request.op == RequestOp::kInfluence && !request.subgraph.empty()) {
+        group.push_back(i);
+      }
+    }
+    if (group.size() > 1) ComputeSubgraphGroup(*batch, group, &precomputed);
+  }
+
   // One queue batch fans out across the pool; each request is an
   // independent pure function of (model, graph, request), so the partition
   // cannot affect any response.
   GlobalThreadPool().ParallelFor(batch->size(), [&](size_t i) {
     Pending& pending = (*batch)[i];
-    ServeResponse response = Compute(pending.request);
+    ServeResponse response = precomputed[i] != nullptr
+                                 ? std::move(*precomputed[i])
+                                 : Compute(pending.request);
     if (response.status.ok()) {
       cache_.Insert(CacheKey{fingerprint_, RequestDigest(pending.request)},
                     response.payload.Dump());
@@ -310,6 +384,58 @@ void InfluenceService::RunBatch(std::vector<Pending>* batch) {
     if (!response.status.ok()) ErrorCounter()->Increment();
     pending.done(std::move(response));
   });
+}
+
+void InfluenceService::ComputeSubgraphGroup(
+    const std::vector<Pending>& batch, const std::vector<size_t>& group,
+    std::vector<std::unique_ptr<ServeResponse>>* precomputed) {
+  obs::TraceSpan span("serve.fused_batch");
+
+  // Extract each member's subgraph, applying exactly the validation the
+  // solo path applies; a member that fails stays out of the stack and is
+  // recomputed by Compute, which derives the identical error response.
+  struct Member {
+    size_t index;
+    Subgraph sub;
+  };
+  std::vector<Member> members;
+  members.reserve(group.size());
+  const int64_t n = graph_.num_nodes();
+  for (const size_t i : group) {
+    const ServeRequest& request = batch[i].request;
+    bool in_range = true;
+    for (const NodeId v : request.subgraph) {
+      if (v < 0 || v >= n) {
+        in_range = false;
+        break;
+      }
+    }
+    if (!in_range) continue;
+    Result<Subgraph> sub = InducedSubgraph(graph_, request.subgraph);
+    if (!sub.ok()) continue;
+    members.push_back(Member{i, std::move(sub).value()});
+  }
+  if (members.empty()) return;
+
+  std::vector<infer::InferEngine::BatchItem> items;
+  items.reserve(members.size());
+  for (const Member& member : members) {
+    items.push_back(
+        infer::InferEngine::BatchItem{&member.sub.local,
+                                      &member.sub.global_ids});
+  }
+  std::vector<Tensor> scores;
+  if (!engine_->ForwardBatched(items, &scores).ok()) return;
+  fused_forwards_.fetch_add(members.size(), std::memory_order_relaxed);
+  FusedForwardCounter()->Increment(members.size());
+
+  for (size_t j = 0; j < members.size(); ++j) {
+    auto response = std::make_unique<ServeResponse>();
+    response->id = batch[members[j].index].request.id;
+    FillSubgraphInfluencePayload(members[j].sub, scores[j],
+                                 &response->payload);
+    (*precomputed)[members[j].index] = std::move(response);
+  }
 }
 
 ServeResponse InfluenceService::Execute(const ServeRequest& request) {
@@ -354,6 +480,18 @@ Result<Tensor> InfluenceService::Scores() {
       scores_status_ = Status::FailedPrecondition(
           "service was created without a model; influence scores and "
           "method=model top-k need --model");
+    } else if (engine_ != nullptr) {
+      obs::TraceSpan span("serve.forward");
+      const GraphContext ctx = GraphContext::Build(graph_);
+      const Tensor features =
+          BuildNodeFeatures(graph_, model_->config().input_dim);
+      const Status status = engine_->Forward(ctx, features, &scores_);
+      if (status.ok()) {
+        fused_forwards_.fetch_add(1, std::memory_order_relaxed);
+        FusedForwardCounter()->Increment();
+      } else {
+        scores_status_ = status;
+      }
     } else {
       obs::TraceSpan span("serve.forward");
       // Arena-scope the one-shot forward so features, activations, and the
@@ -376,6 +514,33 @@ Result<Tensor> InfluenceService::Scores() {
   }
   if (!scores_status_.ok()) return scores_status_;
   return scores_;
+}
+
+Result<Tensor> InfluenceService::SubgraphScores(const Subgraph& sub) {
+  if (model_ == nullptr) {
+    return Status::FailedPrecondition(
+        "service was created without a model; influence scores and "
+        "method=model top-k need --model");
+  }
+  obs::TraceSpan span("serve.subgraph_forward");
+  const GraphContext ctx = GraphContext::Build(sub.local);
+  // Features are salted by the nodes' global ids, so a node's feature row
+  // — and therefore its score — does not depend on which other nodes the
+  // request packed into the subgraph's id space.
+  const Tensor features = BuildNodeFeatures(sub.local, model_->config().input_dim,
+                                            &sub.global_ids);
+  if (engine_ != nullptr) {
+    Tensor out;
+    PRIVIM_RETURN_NOT_OK(engine_->Forward(ctx, features, &out));
+    fused_forwards_.fetch_add(1, std::memory_order_relaxed);
+    FusedForwardCounter()->Increment();
+    return out;
+  }
+  nn::MemoryPools pools;
+  nn::ArenaScope scope(&pools);
+  Result<Variable> out = model_->Run(ctx, features);
+  if (!out.ok()) return out.status();
+  return out.value().value();
 }
 
 ServeResponse InfluenceService::Compute(const ServeRequest& request) {
@@ -401,9 +566,32 @@ ServeResponse InfluenceService::Compute(const ServeRequest& request) {
       return response;
     }
   }
+  for (const NodeId v : request.subgraph) {
+    if (v < 0 || v >= n) {
+      response.status = Status::OutOfRange(
+          "subgraph node id " + std::to_string(v) + " out of range [0, " +
+          std::to_string(n) + ")");
+      return response;
+    }
+  }
 
   switch (request.op) {
     case RequestOp::kInfluence: {
+      if (!request.subgraph.empty()) {
+        Result<Subgraph> sub = InducedSubgraph(graph_, request.subgraph);
+        if (!sub.ok()) {
+          response.status = sub.status();
+          return response;
+        }
+        Result<Tensor> scores = SubgraphScores(sub.value());
+        if (!scores.ok()) {
+          response.status = scores.status();
+          return response;
+        }
+        FillSubgraphInfluencePayload(sub.value(), scores.value(),
+                                     &response.payload);
+        return response;
+      }
       Result<Tensor> scores = Scores();
       if (!scores.ok()) {
         response.status = scores.status();
@@ -528,6 +716,9 @@ ServiceStats InfluenceService::GetStats() const {
   stats.cache_evictions = cache_.evictions();
   stats.batches = batches_.load(std::memory_order_relaxed);
   stats.max_batch_size = max_batch_size_.load(std::memory_order_relaxed);
+  stats.fused_forwards = fused_forwards_.load(std::memory_order_relaxed);
+  stats.infer_fallbacks = infer_fallbacks_.load(std::memory_order_relaxed);
+  stats.fused_active = engine_ != nullptr;
   {
     std::lock_guard<std::mutex> lock(queue_mutex_);
     stats.queue_depth = static_cast<int64_t>(queue_.size());

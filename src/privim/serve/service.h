@@ -47,12 +47,29 @@
 #include "privim/common/timer.h"
 #include "privim/gnn/models.h"
 #include "privim/graph/graph.h"
+#include "privim/graph/subgraph.h"
+#include "privim/nn/infer/engine.h"
 #include "privim/nn/tensor.h"
 #include "privim/serve/cache.h"
 #include "privim/serve/request.h"
 
 namespace privim {
 namespace serve {
+
+/// Which forward-pass implementation answers model-based requests.
+enum class InferEngineKind {
+  /// Compiled tape-free programs (nn/infer): the default. Bit-identical to
+  /// the tape by construction (shared kernels, probe-verified), so the
+  /// choice never appears in the cache fingerprint.
+  kFused,
+  /// The autograd tape forward — the reference path and the fallback when
+  /// a model cannot be compiled or fails probe verification.
+  kTape,
+};
+
+/// Parses "fused" | "tape".
+Result<InferEngineKind> InferEngineKindFromString(const std::string& name);
+const char* InferEngineKindToString(InferEngineKind kind);
 
 /// Engine configuration. Everything is validated up front by Validate();
 /// the service never exits or aborts on bad input.
@@ -68,6 +85,12 @@ struct ServeOptions {
   int64_t cache_capacity = 1024;
   /// Cache shard count (clamped to cache_capacity when larger).
   int64_t cache_shards = 8;
+  /// Forward-pass implementation for model-based requests. kFused compiles
+  /// the model at Create(); an uncompilable model silently falls back to
+  /// the tape (counted in ServiceStats::infer_fallbacks and the
+  /// serve.infer.fallbacks metric) because responses are identical either
+  /// way.
+  InferEngineKind infer_engine = InferEngineKind::kFused;
 
   Status Validate() const;
 };
@@ -84,6 +107,9 @@ struct ServiceStats {
   uint64_t batches = 0;         ///< scheduler dispatches
   uint64_t max_batch_size = 0;  ///< largest coalesced batch observed
   int64_t queue_depth = 0;      ///< requests currently waiting
+  uint64_t fused_forwards = 0;  ///< forward passes served by the fused engine
+  uint64_t infer_fallbacks = 0;  ///< models that fell back to the tape path
+  bool fused_active = false;     ///< the fused engine is serving this model
 };
 
 /// A loaded (model, graph) pair answering influence queries until Stop().
@@ -150,6 +176,14 @@ class InfluenceService {
   uint64_t fingerprint() const { return fingerprint_; }
   const Graph& graph() const { return graph_; }
   bool has_model() const { return model_ != nullptr; }
+  /// True when model requests run on the fused engine (options asked for
+  /// it and the model compiled + passed probe verification).
+  bool fused_active() const { return engine_ != nullptr; }
+  /// Why the fused engine is not active ("" when it is, or when tape was
+  /// requested explicitly).
+  const std::string& infer_fallback_reason() const {
+    return infer_fallback_reason_;
+  }
 
  private:
   InfluenceService(Graph graph, std::shared_ptr<const GnnModel> model,
@@ -176,10 +210,27 @@ class InfluenceService {
   /// the forward pass is deterministic, so every influence/topk(model)
   /// request shares it.
   Result<Tensor> Scores();
+  /// Model scores over one induced subgraph (fused engine when active,
+  /// tape otherwise; bit-identical either way).
+  Result<Tensor> SubgraphScores(const Subgraph& sub);
+  /// Stacks the batch's fused-eligible subgraph-influence requests into
+  /// block-diagonal unions and stores their finished responses in
+  /// *precomputed (indexed like *batch). Members it skips — validation
+  /// failures, engine errors — are left empty and take the solo Compute
+  /// path, which derives the identical response.
+  void ComputeSubgraphGroup(const std::vector<Pending>& batch,
+                            const std::vector<size_t>& group,
+                            std::vector<std::unique_ptr<ServeResponse>>*
+                                precomputed);
 
   Graph graph_;
   std::shared_ptr<const GnnModel> model_;
   ServeOptions options_;
+  /// Non-null when the fused engine serves this model. The engine borrows
+  /// the model's parameters, so it is declared after model_ (destroyed
+  /// first).
+  std::unique_ptr<infer::InferEngine> engine_;
+  std::string infer_fallback_reason_;
   uint64_t fingerprint_ = 0;
   ShardedLruCache cache_;
   WallTimer epoch_;  ///< admission/latency stamps
@@ -202,6 +253,8 @@ class InfluenceService {
   std::atomic<uint64_t> completed_{0};
   std::atomic<uint64_t> batches_{0};
   std::atomic<uint64_t> max_batch_size_{0};
+  std::atomic<uint64_t> fused_forwards_{0};
+  std::atomic<uint64_t> infer_fallbacks_{0};
 };
 
 }  // namespace serve

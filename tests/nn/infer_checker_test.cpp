@@ -1,0 +1,346 @@
+// Checker harness for the fused inference engine (tests/testing/dual_path.h):
+// seeded randomized model/graph configurations driven down the compiled and
+// tape paths with per-op comparison, thread-count invariance for the
+// engine's forward passes, bit-identity of block-diagonal batching against
+// solo execution, and the engine's rejection of models it cannot prove
+// equivalent (exotic Forward overrides, unknown parameter layouts).
+
+#include <cstring>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "privim/common/rng.h"
+#include "privim/common/thread_pool.h"
+#include "privim/gnn/features.h"
+#include "privim/gnn/graph_context.h"
+#include "privim/gnn/models.h"
+#include "privim/gnn/serialization.h"
+#include "privim/graph/generators.h"
+#include "privim/graph/subgraph.h"
+#include "privim/nn/infer/compile.h"
+#include "privim/nn/infer/engine.h"
+#include "privim/nn/ops.h"
+#include "testing/dual_path.h"
+
+namespace privim {
+namespace {
+
+const GnnKind kAllKinds[] = {GnnKind::kGcn, GnnKind::kSage, GnnKind::kGat,
+                             GnnKind::kGrat, GnnKind::kGin};
+
+/// A different generator family per seed so the checker sees rings, hubs,
+/// small-world rewirings and heavy-tailed in-degree distributions —
+/// including nodes with zero in-arcs, the attention edge case.
+Graph RandomGraph(uint64_t seed) {
+  Rng rng(seed * 7919 + 13);
+  switch (seed % 4) {
+    case 0:
+      return ErdosRenyi(40, 120, /*directed=*/true, &rng).value();
+    case 1:
+      return BarabasiAlbert(40, 3, &rng).value();
+    case 2:
+      return WattsStrogatz(40, 4, 0.2, &rng).value();
+    default:
+      return DirectedPreferentialAttachment(40, 3, &rng).value();
+  }
+}
+
+std::shared_ptr<const GnnModel> RandomModel(GnnKind kind, int64_t layers,
+                                            uint64_t seed) {
+  GnnConfig config;
+  config.kind = kind;
+  config.input_dim = 5;
+  config.hidden_dim = 7;
+  config.num_layers = layers;
+  Rng rng(seed);
+  return std::shared_ptr<const GnnModel>(
+      CreateGnnModel(config, &rng).value().release());
+}
+
+bool BitEqual(const Tensor& a, const Tensor& b) {
+  return a.rows() == b.rows() && a.cols() == b.cols() &&
+         std::memcmp(a.data(), b.data(),
+                     static_cast<size_t>(a.size()) * sizeof(float)) == 0;
+}
+
+// --- The randomized dual-path sweep: 5 kinds x 3 depths x 4 graphs = 60
+// configurations, every op and every end-to-end output bit-exact. ---------
+
+TEST(InferCheckerTest, SixtyRandomizedConfigsAreExactDownBothPaths) {
+  int configs = 0;
+  for (const GnnKind kind : kAllKinds) {
+    for (int64_t layers = 1; layers <= 3; ++layers) {
+      for (uint64_t graph_seed = 0; graph_seed < 4; ++graph_seed) {
+        const uint64_t model_seed =
+            static_cast<uint64_t>(kind) * 100 +
+            static_cast<uint64_t>(layers) * 10 + graph_seed;
+        const std::shared_ptr<const GnnModel> model =
+            RandomModel(kind, layers, model_seed);
+        const Graph graph = RandomGraph(graph_seed);
+        Result<testing::DualPathReport> report =
+            testing::RunDualPath(*model, graph);
+        ASSERT_TRUE(report.ok()) << report.status().message();
+        EXPECT_TRUE(report->AllExact())
+            << "kind=" << GnnKindToString(kind) << " layers=" << layers
+            << " graph_seed=" << graph_seed << "\n"
+            << report->ToString();
+        ++configs;
+      }
+    }
+  }
+  EXPECT_GE(configs, 50);
+}
+
+// The tolerance-mode half of the harness: the report quantifies per-op
+// divergence rather than only flagging it, so a regression names the
+// instruction AND the magnitude. With shared kernels every magnitude is 0.
+TEST(InferCheckerTest, PerOpReportCoversEveryInstructionWithZeroDiff) {
+  const std::shared_ptr<const GnnModel> model =
+      RandomModel(GnnKind::kGrat, 2, 99);
+  const Graph graph = RandomGraph(1);
+  Result<testing::DualPathReport> report =
+      testing::RunDualPath(*model, graph);
+  ASSERT_TRUE(report.ok()) << report.status().message();
+
+  const Result<infer::InferProgram> program =
+      infer::CompileForInference(*model);
+  ASSERT_TRUE(program.ok());
+  ASSERT_EQ(report->ops.size(), program.value().instructions().size());
+  for (const testing::OpCheck& check : report->ops) {
+    EXPECT_NE(check.op, "?");
+    EXPECT_EQ(check.max_abs_diff, 0.0f)
+        << "step " << check.step << " (" << check.op << ")";
+  }
+  EXPECT_EQ(report->MaxAbsDiff(), 0.0f) << report->ToString();
+  EXPECT_NE(report->ToString().find("end-to-end"), std::string::npos);
+}
+
+// --- Thread invariance: engine outputs are bitwise identical at 1/4/8
+// worker threads, sequentially and under concurrent callers. -------------
+
+TEST(InferCheckerTest, EngineForwardIsBitIdenticalAtOneFourEightThreads) {
+  const std::shared_ptr<const GnnModel> model =
+      RandomModel(GnnKind::kGin, 2, 4242);
+  const Graph graph = RandomGraph(2);
+  const GraphContext ctx = GraphContext::Build(graph);
+  const Tensor features =
+      BuildNodeFeatures(graph, model->config().input_dim);
+  const Result<std::unique_ptr<infer::InferEngine>> engine =
+      infer::InferEngine::Create(model);
+  ASSERT_TRUE(engine.ok()) << engine.status().message();
+
+  Tensor reference;
+  for (const size_t threads : {size_t{1}, size_t{4}, size_t{8}}) {
+    SetGlobalThreadPoolSize(threads);
+    Tensor out;
+    ASSERT_TRUE(engine.value()->Forward(ctx, features, &out).ok());
+    if (reference.size() == 0) {
+      reference = out;
+    } else {
+      EXPECT_TRUE(BitEqual(out, reference)) << threads << " threads";
+    }
+    // Concurrent callers share the engine (each leases its own scratch);
+    // all must observe the reference bytes.
+    std::vector<Tensor> concurrent(8);
+    std::vector<std::thread> workers;
+    for (size_t i = 0; i < concurrent.size(); ++i) {
+      workers.emplace_back([&, i] {
+        Tensor mine;
+        EXPECT_TRUE(engine.value()->Forward(ctx, features, &mine).ok());
+        concurrent[i] = std::move(mine);
+      });
+    }
+    for (std::thread& worker : workers) worker.join();
+    for (const Tensor& out_i : concurrent) {
+      EXPECT_TRUE(BitEqual(out_i, reference));
+    }
+  }
+  SetGlobalThreadPoolSize(0);
+}
+
+// --- Block-diagonal batching: stacked execution is bit-identical to solo
+// forwards, at every thread count (i.e. under every chunking). -----------
+
+TEST(InferCheckerTest, BatchedForwardMatchesSoloForwardsBitExactly) {
+  const std::shared_ptr<const GnnModel> model =
+      RandomModel(GnnKind::kGrat, 2, 31337);
+  const Graph base = RandomGraph(3);
+  const Result<std::unique_ptr<infer::InferEngine>> engine =
+      infer::InferEngine::Create(model);
+  ASSERT_TRUE(engine.ok()) << engine.status().message();
+
+  // Nine overlapping subgraphs of varying size (nodes shared between
+  // requests get identical feature rows via global-id salting).
+  Rng rng(5);
+  std::vector<Subgraph> subs;
+  for (int i = 0; i < 9; ++i) {
+    std::vector<NodeId> nodes;
+    const int64_t count = 5 + static_cast<int64_t>(rng.NextBounded(20));
+    for (int64_t j = 0; j < count; ++j) {
+      nodes.push_back(static_cast<NodeId>(
+          rng.NextBounded(static_cast<uint64_t>(base.num_nodes()))));
+    }
+    subs.push_back(InducedSubgraph(base, nodes).value());
+  }
+
+  std::vector<Tensor> solo;
+  for (const Subgraph& sub : subs) {
+    const GraphContext ctx = GraphContext::Build(sub.local);
+    const Tensor features = BuildNodeFeatures(
+        sub.local, model->config().input_dim, &sub.global_ids);
+    Tensor out;
+    ASSERT_TRUE(engine.value()->Forward(ctx, features, &out).ok());
+    solo.push_back(std::move(out));
+  }
+
+  std::vector<infer::InferEngine::BatchItem> items;
+  for (const Subgraph& sub : subs) {
+    items.push_back({&sub.local, &sub.global_ids});
+  }
+  for (const size_t threads : {size_t{1}, size_t{4}, size_t{8}}) {
+    SetGlobalThreadPoolSize(threads);
+    std::vector<Tensor> batched;
+    ASSERT_TRUE(engine.value()->ForwardBatched(items, &batched).ok());
+    ASSERT_EQ(batched.size(), solo.size());
+    for (size_t i = 0; i < solo.size(); ++i) {
+      EXPECT_TRUE(BitEqual(batched[i], solo[i]))
+          << "item " << i << " at " << threads << " threads";
+    }
+  }
+  SetGlobalThreadPoolSize(0);
+}
+
+TEST(InferCheckerTest, BatchedForwardValidatesItems) {
+  const std::shared_ptr<const GnnModel> model =
+      RandomModel(GnnKind::kGcn, 1, 8);
+  const Result<std::unique_ptr<infer::InferEngine>> engine =
+      infer::InferEngine::Create(model);
+  ASSERT_TRUE(engine.ok());
+  std::vector<Tensor> outs;
+  EXPECT_TRUE(engine.value()->ForwardBatched({}, &outs).ok());
+  EXPECT_TRUE(outs.empty());
+  EXPECT_EQ(engine.value()
+                ->ForwardBatched({infer::InferEngine::BatchItem{}}, &outs)
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
+// --- Serialization: every released kind round-trips through the model
+// format and still compiles, probes and matches the tape. ----------------
+
+TEST(InferCheckerTest, AllKindsCompileAfterSerializationRoundTrip) {
+  const Graph graph = RandomGraph(0);
+  for (const GnnKind kind : kAllKinds) {
+    const std::shared_ptr<const GnnModel> original =
+        RandomModel(kind, 2, static_cast<uint64_t>(kind) + 1);
+    std::stringstream stream;
+    ASSERT_TRUE(WriteGnnModel(*original, stream).ok());
+    Result<std::unique_ptr<GnnModel>> restored = ReadGnnModel(stream);
+    ASSERT_TRUE(restored.ok()) << restored.status().message();
+
+    Result<testing::DualPathReport> report =
+        testing::RunDualPath(*restored.value(), graph);
+    ASSERT_TRUE(report.ok()) << GnnKindToString(kind) << ": "
+                             << report.status().message();
+    EXPECT_TRUE(report->AllExact())
+        << GnnKindToString(kind) << "\n" << report->ToString();
+  }
+}
+
+// --- Rejection paths: the engine refuses models it cannot prove. --------
+
+/// Parameter layout of a GCN, but the head is tanh instead of sigmoid —
+/// structurally compilable, semantically different. Only the probe forward
+/// can catch this.
+class TanhHeadGcn : public GnnModel {
+ public:
+  explicit TanhHeadGcn(const GnnModel& base) : GnnModel(base.config()) {
+    for (const Variable& parameter : base.parameters()) {
+      params_.push_back(Variable(parameter.value()));
+    }
+  }
+
+  Variable Forward(const GraphContext& ctx,
+                   const Variable& features) const override {
+    Variable h = features;
+    for (int64_t l = 0; l < config_.num_layers; ++l) {
+      const Variable agg = SpMM(ctx.gcn_adj, h);
+      h = Relu(AddRowBroadcast(MatMul(agg, params_[2 + 2 * l]),
+                               params_[2 + 2 * l + 1]));
+    }
+    return Tanh(AddRowBroadcast(MatMul(h, params_[0]), params_[1]));
+  }
+};
+
+/// A blob from "a newer architecture": one parameter the known layouts
+/// don't have. Compilation itself must reject it.
+class ExtraParamGcn : public GnnModel {
+ public:
+  explicit ExtraParamGcn(const GnnModel& base) : GnnModel(base.config()) {
+    for (const Variable& parameter : base.parameters()) {
+      params_.push_back(Variable(parameter.value()));
+    }
+    params_.push_back(Variable(Tensor::Ones(3, 3)));
+  }
+
+  Variable Forward(const GraphContext& ctx,
+                   const Variable& features) const override {
+    return SpMM(ctx.gcn_adj, features);
+  }
+};
+
+TEST(InferCheckerTest, ProbeRejectsStructurallyValidButDivergentForward) {
+  const std::shared_ptr<const GnnModel> base =
+      RandomModel(GnnKind::kGcn, 2, 77);
+  const auto exotic = std::make_shared<const TanhHeadGcn>(*base);
+  const Result<std::unique_ptr<infer::InferEngine>> engine =
+      infer::InferEngine::Create(exotic);
+  ASSERT_FALSE(engine.ok());
+  EXPECT_EQ(engine.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(engine.status().message().find("diverged"), std::string::npos)
+      << engine.status().message();
+}
+
+TEST(InferCheckerTest, CompileRejectsUnknownParameterLayout) {
+  const std::shared_ptr<const GnnModel> base =
+      RandomModel(GnnKind::kGcn, 1, 78);
+  const auto exotic = std::make_shared<const ExtraParamGcn>(*base);
+  const Result<std::unique_ptr<infer::InferEngine>> engine =
+      infer::InferEngine::Create(exotic);
+  ASSERT_FALSE(engine.ok());
+  EXPECT_EQ(engine.status().code(), StatusCode::kUnimplemented);
+}
+
+TEST(InferCheckerTest, CreateRejectsNullModel) {
+  EXPECT_EQ(infer::InferEngine::Create(nullptr).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(InferCheckerTest, ExecuteValidatesFeatureShape) {
+  const std::shared_ptr<const GnnModel> model =
+      RandomModel(GnnKind::kGcn, 1, 9);
+  const Graph graph = RandomGraph(1);
+  const GraphContext ctx = GraphContext::Build(graph);
+  const Result<std::unique_ptr<infer::InferEngine>> engine =
+      infer::InferEngine::Create(model);
+  ASSERT_TRUE(engine.ok());
+  Tensor out;
+  // Wrong column count.
+  EXPECT_EQ(engine.value()
+                ->Forward(ctx, Tensor::Zeros(graph.num_nodes(), 3), &out)
+                .code(),
+            StatusCode::kInvalidArgument);
+  // Wrong row count.
+  EXPECT_EQ(engine.value()
+                ->Forward(ctx, Tensor::Zeros(2, model->config().input_dim),
+                          &out)
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace privim

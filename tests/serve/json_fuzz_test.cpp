@@ -1,0 +1,320 @@
+// Fuzz-style negative tests for the serving wire format (serve/json.* and
+// serve/request.*). No external fuzzer: a seeded Rng drives the generators
+// so every run explores the same corpus and a failure reproduces from the
+// seed printed in the assertion message.
+//
+// The invariant under test is narrow but absolute: malformed input must
+// come back as a Status (usually InvalidArgument), never as a crash, hang
+// or sanitizer report. Valid documents must round-trip byte-stably.
+
+#include <cstdint>
+#include <iterator>
+#include <string>
+#include <utility>
+#include <vector>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "privim/common/rng.h"
+#include "privim/serve/json.h"
+#include "privim/serve/request.h"
+
+namespace privim {
+namespace serve {
+namespace {
+
+// --- Seeded document generator -------------------------------------------
+
+/// Builds a random valid JSON document of bounded depth. Used both as a
+/// round-trip corpus and as the raw material for truncation/mutation.
+JsonValue RandomDocument(Rng* rng, int depth) {
+  const uint64_t kind = rng->NextBounded(depth >= 3 ? 4 : 6);
+  switch (kind) {
+    case 0:
+      return JsonValue::Null();
+    case 1:
+      return JsonValue::Bool(rng->NextBounded(2) == 0);
+    case 2: {
+      // Mix of integers, fractions and large magnitudes.
+      const double mantissa =
+          static_cast<double>(rng->NextBounded(1000000)) - 500000.0;
+      const uint64_t shape = rng->NextBounded(3);
+      if (shape == 0) return JsonValue::Int(static_cast<int64_t>(mantissa));
+      if (shape == 1) return JsonValue::Number(mantissa / 1024.0);
+      return JsonValue::Number(mantissa * 1e100);
+    }
+    case 3: {
+      std::string s;
+      const uint64_t len = rng->NextBounded(12);
+      for (uint64_t i = 0; i < len; ++i) {
+        // Printable ASCII plus the escape-relevant characters.
+        static const char kAlphabet[] =
+            "abc XYZ09\"\\/\n\t{}[]:,\x01\x1f\xc3\xa9";
+        s.push_back(kAlphabet[rng->NextBounded(sizeof(kAlphabet) - 1)]);
+      }
+      return JsonValue::Str(s);
+    }
+    case 4: {
+      JsonValue array = JsonValue::Array();
+      const uint64_t count = rng->NextBounded(4);
+      for (uint64_t i = 0; i < count; ++i) {
+        array.Append(RandomDocument(rng, depth + 1));
+      }
+      return array;
+    }
+    default: {
+      JsonValue object = JsonValue::Object();
+      const uint64_t count = rng->NextBounded(4);
+      for (uint64_t i = 0; i < count; ++i) {
+        object.Set("k" + std::to_string(i), RandomDocument(rng, depth + 1));
+      }
+      return object;
+    }
+  }
+}
+
+// --- Round trip ----------------------------------------------------------
+
+TEST(JsonFuzzTest, RandomDocumentsRoundTripByteStably) {
+  Rng rng(20260808);
+  for (int i = 0; i < 500; ++i) {
+    const JsonValue doc = RandomDocument(&rng, 0);
+    const std::string once = doc.Dump();
+    const Result<JsonValue> parsed = JsonValue::Parse(once);
+    ASSERT_TRUE(parsed.ok()) << "iteration " << i << ": " << once << " — "
+                             << parsed.status().message();
+    EXPECT_EQ(parsed->Dump(), once) << "iteration " << i;
+  }
+}
+
+// --- Truncation: every proper prefix of a valid document must fail
+// cleanly (a prefix of one JSON document is never itself a document,
+// except prefixes that end exactly on a shorter scalar — excluded by
+// wrapping in an object). --------------------------------------------------
+
+TEST(JsonFuzzTest, EveryPrefixOfAValidDocumentIsRejected) {
+  Rng rng(7);
+  for (int i = 0; i < 50; ++i) {
+    JsonValue wrapper = JsonValue::Object();
+    wrapper.Set("payload", RandomDocument(&rng, 0));
+    const std::string text = wrapper.Dump();
+    for (size_t cut = 0; cut < text.size(); ++cut) {
+      const Result<JsonValue> parsed = JsonValue::Parse(text.substr(0, cut));
+      EXPECT_FALSE(parsed.ok())
+          << "prefix of length " << cut << " of " << text << " parsed";
+    }
+  }
+}
+
+// --- Byte mutation: flip/insert/delete random bytes. The parse may
+// succeed (some mutations stay valid JSON) but must never crash, and a
+// successful parse must re-dump without error. -----------------------------
+
+TEST(JsonFuzzTest, RandomByteMutationsNeverCrashTheParser) {
+  Rng rng(99);
+  int still_valid = 0;
+  for (int i = 0; i < 2000; ++i) {
+    JsonValue wrapper = JsonValue::Object();
+    wrapper.Set("payload", RandomDocument(&rng, 0));
+    std::string text = wrapper.Dump();
+    const uint64_t mode = rng.NextBounded(3);
+    const size_t pos = static_cast<size_t>(rng.NextBounded(text.size()));
+    const char byte = static_cast<char>(rng.NextBounded(256));
+    if (mode == 0) {
+      text[pos] = byte;
+    } else if (mode == 1) {
+      text.insert(text.begin() + static_cast<int64_t>(pos), byte);
+    } else {
+      text.erase(text.begin() + static_cast<int64_t>(pos));
+    }
+    const Result<JsonValue> parsed = JsonValue::Parse(text);
+    if (parsed.ok()) {
+      ++still_valid;
+      (void)parsed->Dump();
+    }
+  }
+  // Sanity on the corpus: mutations should produce a mix of outcomes, or
+  // the test is not exercising the error paths at all.
+  EXPECT_GT(still_valid, 0);
+  EXPECT_LT(still_valid, 2000);
+}
+
+// --- Nesting depth -------------------------------------------------------
+
+TEST(JsonFuzzTest, DeepArrayNestingIsRejectedNotStackOverflowed) {
+  // 128 is the parser's cap; go well past it. Before the depth cap this
+  // input recursed once per byte and overflowed the stack.
+  for (const size_t depth : {size_t{129}, size_t{1000}, size_t{100000}}) {
+    std::string text(depth, '[');
+    text.append(depth, ']');
+    const Result<JsonValue> parsed = JsonValue::Parse(text);
+    ASSERT_FALSE(parsed.ok()) << depth;
+    EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument);
+    EXPECT_NE(parsed.status().message().find("depth"), std::string::npos);
+  }
+}
+
+TEST(JsonFuzzTest, DeepObjectNestingIsRejected) {
+  std::string text;
+  for (int i = 0; i < 500; ++i) text += "{\"a\":";
+  text += "1";
+  text.append(500, '}');
+  const Result<JsonValue> parsed = JsonValue::Parse(text);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(JsonFuzzTest, NestingJustUnderTheCapStillParses) {
+  std::string text(127, '[');
+  text.append(127, ']');
+  EXPECT_TRUE(JsonValue::Parse(text).ok());
+}
+
+// --- Duplicate keys: last value wins (JsonValue::Set overwrites), and the
+// re-dump contains the key once. -------------------------------------------
+
+TEST(JsonFuzzTest, DuplicateKeysLastValueWins) {
+  const Result<JsonValue> parsed =
+      JsonValue::Parse("{\"k\":1,\"other\":true,\"k\":2}");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().message();
+  const JsonValue* k = parsed->Find("k");
+  ASSERT_NE(k, nullptr);
+  EXPECT_EQ(k->number_value(), 2.0);
+  EXPECT_EQ(parsed->Dump(), "{\"k\":2,\"other\":true}");
+}
+
+// --- Huge and degenerate numbers -----------------------------------------
+
+TEST(JsonFuzzTest, HugeNumbersDoNotCrash) {
+  for (const char* text :
+       {"1e999", "-1e999", "1e-999", "123456789012345678901234567890",
+        "0.00000000000000000000000000000000001", "2e308", "-2e308"}) {
+    const Result<JsonValue> parsed = JsonValue::Parse(text);
+    if (parsed.ok()) (void)parsed->Dump();
+  }
+}
+
+TEST(JsonFuzzTest, MalformedNumbersAreRejected) {
+  for (const char* text : {"1e", "1e+", "--1", "-", "1.2.3", "0x10", "NaN",
+                           "Infinity", "1,", "1..2", "+-1", "e5"}) {
+    EXPECT_FALSE(JsonValue::Parse(text).ok()) << text;
+  }
+}
+
+// The number scanner is strtod-based and deliberately lenient about forms
+// strict JSON forbids ("+1", ".5", leading zeros). Pin that so a future
+// "cleanup" to strict grammar is a conscious wire-format change, not an
+// accident.
+TEST(JsonFuzzTest, LenientNumberFormsParseByDesign) {
+  for (const auto& [text, want] :
+       std::vector<std::pair<const char*, double>>{
+           {"+1", 1.0}, {".5", 0.5}, {"01", 1.0}, {"1.", 1.0}}) {
+    const Result<JsonValue> parsed = JsonValue::Parse(text);
+    ASSERT_TRUE(parsed.ok()) << text;
+    EXPECT_EQ(parsed->number_value(), want) << text;
+  }
+}
+
+// --- Strings: invalid escapes and truncated UTF-8 -------------------------
+
+TEST(JsonFuzzTest, InvalidEscapesAreRejected) {
+  for (const char* text :
+       {"\"\\x41\"", "\"\\u12\"", "\"\\u12zz\"", "\"\\\"", "\"\\q\"",
+        "\"abc", "\"\\u\""}) {
+    EXPECT_FALSE(JsonValue::Parse(text).ok()) << text;
+  }
+}
+
+TEST(JsonFuzzTest, TruncatedUtf8PassesThroughOrFailsButNeverCrashes) {
+  // The wire format treats strings as bytes; a truncated multi-byte
+  // sequence must not crash parse or dump, and dump must stay byte-stable.
+  const std::string truncated = "{\"s\":\"caf\xc3\"}";
+  const Result<JsonValue> parsed = JsonValue::Parse(truncated);
+  if (parsed.ok()) {
+    const std::string once = parsed->Dump();
+    const Result<JsonValue> again = JsonValue::Parse(once);
+    ASSERT_TRUE(again.ok());
+    EXPECT_EQ(again->Dump(), once);
+  }
+}
+
+// --- Structural garbage ---------------------------------------------------
+
+TEST(JsonFuzzTest, StructuralGarbageIsRejected) {
+  for (const char* text :
+       {"", "   ", "{", "}", "[", "]", "{]", "[}", "{\"a\"}", "{\"a\":}",
+        "{:1}", "{1:2}", "[1,]", "{\"a\":1,}", "[1 2]", "{\"a\":1 \"b\":2}",
+        "tru", "fals", "nul", "truex", "{} {}", "[] []", "1 2",
+        "\x01\x02\x7f", "{\"a\":1}x"}) {
+    EXPECT_FALSE(JsonValue::Parse(text).ok()) << text;
+  }
+}
+
+// --- ParseServeRequest under field soup: random well-formed objects with
+// request-ish keys of random types. Must yield ok or InvalidArgument,
+// never crash; valid parses must satisfy Validate() already (the parser
+// runs it). ----------------------------------------------------------------
+
+TEST(JsonFuzzTest, RequestParserSurvivesRandomFieldSoup) {
+  Rng rng(4242);
+  static const char* kKeys[] = {"id",     "op",          "nodes", "subgraph",
+                                "k",      "method",      "seeds", "steps",
+                                "seed",   "simulations", "rr_sets"};
+  static const char* kStrings[] = {"influence", "topk",  "spread", "model",
+                                   "celf",      "ris",   "",       "bogus",
+                                   "r1",        "\x01\xff"};
+  int parsed_ok = 0;
+  for (int i = 0; i < 3000; ++i) {
+    JsonValue object = JsonValue::Object();
+    const uint64_t fields = rng.NextBounded(6);
+    for (uint64_t f = 0; f < fields; ++f) {
+      const char* key = kKeys[rng.NextBounded(std::size(kKeys))];
+      const uint64_t kind = rng.NextBounded(4);
+      if (kind == 0) {
+        object.Set(key, JsonValue::Str(
+                            kStrings[rng.NextBounded(std::size(kStrings))]));
+      } else if (kind == 1) {
+        object.Set(key, JsonValue::Int(
+                            static_cast<int64_t>(rng.NextBounded(200)) - 50));
+      } else if (kind == 2) {
+        JsonValue array = JsonValue::Array();
+        const uint64_t count = rng.NextBounded(4);
+        for (uint64_t j = 0; j < count; ++j) {
+          array.Append(JsonValue::Int(
+              static_cast<int64_t>(rng.NextBounded(100)) - 20));
+        }
+        object.Set(key, array);
+      } else {
+        object.Set(key, JsonValue::Bool(rng.NextBounded(2) == 0));
+      }
+    }
+    const std::string line = object.Dump();
+    const Result<ServeRequest> request = ParseServeRequest(line);
+    if (request.ok()) {
+      ++parsed_ok;
+      EXPECT_TRUE(request->Validate().ok()) << line;
+      // A parsed request must digest deterministically.
+      EXPECT_EQ(RequestDigest(request.value()),
+                RequestDigest(request.value()));
+    } else {
+      EXPECT_EQ(request.status().code(), StatusCode::kInvalidArgument)
+          << line << " — " << request.status().message();
+    }
+  }
+  EXPECT_GT(parsed_ok, 0);
+}
+
+TEST(JsonFuzzTest, RequestParserRejectsOversizedNumericFields) {
+  for (const char* line :
+       {"{\"id\":\"r\",\"op\":\"topk\",\"k\":1e999}",
+        "{\"id\":\"r\",\"op\":\"influence\",\"nodes\":[1e999]}",
+        "{\"id\":\"r\",\"op\":\"influence\",\"subgraph\":[99999999999999]}",
+        "{\"id\":\"r\",\"op\":\"spread\",\"seeds\":[0],\"steps\":1e99}"}) {
+    const Result<ServeRequest> request = ParseServeRequest(line);
+    EXPECT_FALSE(request.ok()) << line;
+  }
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace privim

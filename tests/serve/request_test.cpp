@@ -94,6 +94,74 @@ TEST(RequestTest, DigestIsStableAndFieldSensitive) {
   }
 }
 
+TEST(RequestTest, ParsesSubgraphRequests) {
+  const ServeRequest request =
+      ParseServeRequest(R"({"id":"s","op":"influence","subgraph":[4,7,9]})")
+          .value();
+  EXPECT_EQ(request.op, RequestOp::kInfluence);
+  EXPECT_EQ(request.subgraph, (std::vector<NodeId>{4, 7, 9}));
+  EXPECT_TRUE(request.nodes.empty());
+}
+
+TEST(RequestTest, SubgraphIsInfluenceOnlyAndExclusiveWithNodes) {
+  EXPECT_EQ(ParseServeRequest(
+                R"({"id":"s","op":"topk","subgraph":[1]})")
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParseServeRequest(
+                R"({"id":"s","op":"influence","nodes":[1],"subgraph":[2]})")
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_FALSE(
+      ParseServeRequest(R"({"op":"influence","subgraph":[-3]})").ok());
+}
+
+TEST(RequestTest, SubgraphMovesTheDigest) {
+  const uint64_t whole_graph =
+      RequestDigest(ParseServeRequest(R"({"op":"influence"})").value());
+  const uint64_t sub_a = RequestDigest(
+      ParseServeRequest(R"({"op":"influence","subgraph":[1,2]})").value());
+  const uint64_t sub_b = RequestDigest(
+      ParseServeRequest(R"({"op":"influence","subgraph":[2,1]})").value());
+  // Same ids through "nodes" is a different query (scores over the whole
+  // graph, reported for two nodes) and must not collide.
+  const uint64_t nodes = RequestDigest(
+      ParseServeRequest(R"({"op":"influence","nodes":[1,2]})").value());
+  EXPECT_NE(whole_graph, sub_a);
+  EXPECT_NE(sub_a, sub_b);  // order-sensitive
+  EXPECT_NE(sub_a, nodes);
+}
+
+// --- Load-shedding vocabulary: these bytes are the contract between every
+// front end and every client retry loop. A change here is a wire-format
+// change and must be deliberate. ------------------------------------------
+
+TEST(RequestTest, OverloadedVocabularyIsPinned) {
+  const Status status = OverloadedStatus();
+  EXPECT_EQ(status.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(status.message(), "overloaded");
+  EXPECT_TRUE(IsOverloaded(status));
+  EXPECT_FALSE(IsOverloaded(Status::OK()));
+  EXPECT_FALSE(IsOverloaded(Status::InvalidArgument("overloaded")));
+
+  // The exact shed line both front ends emit (net/server.cpp appends the
+  // trailing newline).
+  EXPECT_EQ(
+      OverloadedResponse("r42").ToJsonLine(),
+      R"({"id":"r42","ok":false,"code":"Unavailable","error":"overloaded"})");
+}
+
+TEST(RequestTest, QueueFullErrorNamesTheCapacity) {
+  const Status status = QueueFullError(256);
+  EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(status.message(), "admission queue full (256 requests)");
+  // Queue-full is the caller-facing translation target, not itself the
+  // overload signal.
+  EXPECT_FALSE(IsOverloaded(status));
+}
+
 TEST(RequestTest, ResponseLineEchoesIdAndPayload) {
   ServeResponse response;
   response.id = "r9";

@@ -13,6 +13,7 @@
 #include "privim/common/rng.h"
 #include "privim/common/thread_pool.h"
 #include "privim/gnn/models.h"
+#include "privim/nn/ops.h"
 #include "privim/serve/request.h"
 
 namespace privim {
@@ -318,6 +319,201 @@ TEST(ServiceTest, ConcurrentProducersGetConsistentResponses) {
   const ServiceStats stats = service->GetStats();
   EXPECT_GE(stats.completed, 1u);
   EXPECT_EQ(stats.completed + stats.cache_hits, 1u + 6u * 20u);
+}
+
+// --- Inference engine selection, subgraph requests and fallback ----------
+
+std::unique_ptr<InfluenceService> MakeServiceWithEngine(
+    InferEngineKind kind) {
+  ServeOptions options;
+  options.infer_engine = kind;
+  return MakeService(options);
+}
+
+TEST(ServiceTest, InferEngineKindParsesAndPrints) {
+  EXPECT_EQ(InferEngineKindFromString("fused").value(),
+            InferEngineKind::kFused);
+  EXPECT_EQ(InferEngineKindFromString("tape").value(),
+            InferEngineKind::kTape);
+  EXPECT_EQ(InferEngineKindFromString("jit").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_STREQ(InferEngineKindToString(InferEngineKind::kFused), "fused");
+  EXPECT_STREQ(InferEngineKindToString(InferEngineKind::kTape), "tape");
+}
+
+TEST(ServiceTest, FusedAndTapeEnginesProduceByteIdenticalResponses) {
+  auto fused = MakeServiceWithEngine(InferEngineKind::kFused);
+  auto tape = MakeServiceWithEngine(InferEngineKind::kTape);
+  ASSERT_TRUE(fused->fused_active());
+  ASSERT_FALSE(tape->fused_active());
+  // Every model-driven request shape: whole-graph influence, filtered
+  // influence, subgraph influence, model top-k.
+  const char* requests[] = {
+      R"({"id":"e0","op":"influence"})",
+      R"({"id":"e1","op":"influence","nodes":[7,1]})",
+      R"({"id":"e2","op":"influence","subgraph":[4,5,6,4]})",
+      R"({"id":"e3","op":"topk","k":3,"method":"model"})",
+  };
+  for (const char* request : requests) {
+    const ServeResponse from_fused = fused->Execute(Request(request));
+    const ServeResponse from_tape = tape->Execute(Request(request));
+    ASSERT_TRUE(from_fused.status.ok()) << request << ": "
+                                        << from_fused.status.message();
+    EXPECT_EQ(from_fused.ToJsonLine(), from_tape.ToJsonLine()) << request;
+  }
+  EXPECT_GT(fused->GetStats().fused_forwards, 0u);
+  EXPECT_EQ(fused->GetStats().infer_fallbacks, 0u);
+  EXPECT_EQ(tape->GetStats().fused_forwards, 0u);
+  EXPECT_TRUE(fused->GetStats().fused_active);
+  EXPECT_FALSE(tape->GetStats().fused_active);
+}
+
+TEST(ServiceTest, SubgraphInfluenceReportsDedupedGlobalIds) {
+  auto service = MakeServiceWithEngine(InferEngineKind::kFused);
+  const ServeResponse response = service->Execute(
+      Request(R"({"id":"s","op":"influence","subgraph":[5,2,5,7]})"));
+  ASSERT_TRUE(response.status.ok()) << response.status.message();
+  const std::string line = response.ToJsonLine();
+  EXPECT_NE(line.find(R"("nodes":[5,2,7])"), std::string::npos) << line;
+
+  const ServeResponse bad = service->Execute(
+      Request(R"({"id":"s","op":"influence","subgraph":[99]})"));
+  EXPECT_EQ(bad.status.code(), StatusCode::kOutOfRange);
+  EXPECT_NE(bad.status.message().find("subgraph node id 99"),
+            std::string::npos);
+}
+
+TEST(ServiceTest, BatchedSubgraphResponsesMatchSoloExecution) {
+  // Queue many subgraph requests before Start so the scheduler coalesces
+  // them into batches the fused engine stacks block-diagonally; every
+  // response must match a solo Execute byte-for-byte.
+  ServeOptions options;
+  options.queue_capacity = 64;
+  options.max_batch = 16;
+  options.cache_capacity = 0;
+  options.infer_engine = InferEngineKind::kFused;
+  auto service = MakeService(options);
+  auto reference = MakeServiceWithEngine(InferEngineKind::kTape);
+
+  std::vector<std::string> requests;
+  for (int i = 0; i < 12; ++i) {
+    requests.push_back(R"({"id":"g","op":"influence","subgraph":[)" +
+                       std::to_string(i % 8) + "," +
+                       std::to_string((i + 3) % 8) + "," +
+                       std::to_string((i + 5) % 8) + "]}");
+  }
+  std::vector<std::future<ServeResponse>> futures;
+  for (const std::string& request : requests) {
+    auto submitted = service->Submit(Request(request));
+    ASSERT_TRUE(submitted.ok());
+    futures.push_back(std::move(submitted.value()));
+  }
+  ASSERT_TRUE(service->Start().ok());
+  for (size_t i = 0; i < futures.size(); ++i) {
+    const ServeResponse batched = futures[i].get();
+    ASSERT_TRUE(batched.status.ok()) << batched.status.message();
+    EXPECT_EQ(batched.ToJsonLine(),
+              reference->Execute(Request(requests[i])).ToJsonLine())
+        << requests[i];
+  }
+  EXPECT_GT(service->GetStats().fused_forwards, 0u);
+}
+
+/// GCN parameter layout with a tanh head: compiles structurally but the
+/// probe forward diverges, so the service must fall back to the tape.
+class TanhHeadGcn : public GnnModel {
+ public:
+  explicit TanhHeadGcn(const GnnModel& base) : GnnModel(base.config()) {
+    for (const Variable& parameter : base.parameters()) {
+      params_.push_back(Variable(parameter.value()));
+    }
+  }
+
+  Variable Forward(const GraphContext& ctx,
+                   const Variable& features) const override {
+    Variable h = features;
+    for (int64_t l = 0; l < config_.num_layers; ++l) {
+      h = Relu(AddRowBroadcast(
+          MatMul(SpMM(ctx.gcn_adj, h), params_[2 + 2 * l]),
+          params_[2 + 2 * l + 1]));
+    }
+    return Tanh(AddRowBroadcast(MatMul(h, params_[0]), params_[1]));
+  }
+};
+
+TEST(ServiceTest, UnsupportedModelFallsBackToTapeWithCounter) {
+  const auto exotic = std::make_shared<const TanhHeadGcn>(*TestModel());
+  ServeOptions options;  // fused is the default
+  auto service =
+      InfluenceService::Create(TestGraph(), exotic, options).value();
+  EXPECT_FALSE(service->fused_active());
+  EXPECT_FALSE(service->infer_fallback_reason().empty());
+  const ServiceStats stats = service->GetStats();
+  EXPECT_EQ(stats.infer_fallbacks, 1u);
+  EXPECT_FALSE(stats.fused_active);
+
+  // The fallback still serves model requests — through the tape — and a
+  // service explicitly configured for tape agrees byte-for-byte.
+  options.infer_engine = InferEngineKind::kTape;
+  auto reference =
+      InfluenceService::Create(TestGraph(), exotic, options).value();
+  EXPECT_EQ(reference->GetStats().infer_fallbacks, 0u);
+  for (const char* request :
+       {R"({"id":"f0","op":"influence"})",
+        R"({"id":"f1","op":"influence","subgraph":[1,2,3]})"}) {
+    const ServeResponse fallback = service->Execute(Request(request));
+    ASSERT_TRUE(fallback.status.ok()) << fallback.status.message();
+    EXPECT_EQ(fallback.ToJsonLine(),
+              reference->Execute(Request(request)).ToJsonLine());
+  }
+  EXPECT_EQ(service->GetStats().fused_forwards, 0u);
+}
+
+// --- Load shedding: both front ends must speak the same overload bytes.
+// The translation lives in serve/request.* (OverloadedStatus /
+// OverloadedResponse / QueueFullError); these tests pin the service-level
+// behavior so the two call sites cannot drift apart again. -----------------
+
+TEST(ServiceTest, OverloadTranslationIsIdenticalAcrossFrontEnds) {
+  ServeOptions options;
+  options.queue_capacity = 2;
+  options.max_batch = 2;
+  options.cache_capacity = 0;
+  auto service = MakeService(options);
+  // Not started: the queue fills deterministically.
+  for (int i = 0; i < 2; ++i) {
+    ASSERT_TRUE(service
+                    ->TrySubmit(Request(
+                        R"({"id":"q","op":"spread","seeds":[)" +
+                        std::to_string(i) + R"(],"simulations":0})"))
+                    .ok());
+  }
+  const ServeRequest overflow = Request(
+      R"({"id":"over","op":"spread","seeds":[7],"simulations":0})");
+
+  // Callback front end (TCP): the raw overload signal.
+  const Status async = service->SubmitAsync(
+      overflow, [](ServeResponse) { FAIL() << "shed request completed"; });
+  EXPECT_TRUE(IsOverloaded(async));
+  EXPECT_EQ(async.code(), OverloadedStatus().code());
+  EXPECT_EQ(async.message(), OverloadedStatus().message());
+
+  // Future front end (stdin/CLI): the historical queue-full translation.
+  const Status try_submit = service->TrySubmit(overflow).status();
+  EXPECT_EQ(try_submit.code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(try_submit.message(),
+            QueueFullError(options.queue_capacity).message());
+
+  // Both signals render the same client-visible JSON when wrapped the way
+  // each front end wraps them: the TCP server emits OverloadedResponse
+  // directly, and a response built from the async status matches it.
+  ServeResponse from_async;
+  from_async.id = overflow.id;
+  from_async.status = async;
+  EXPECT_EQ(from_async.ToJsonLine(),
+            OverloadedResponse(overflow.id).ToJsonLine());
+
+  service->Stop();
 }
 
 }  // namespace

@@ -107,6 +107,10 @@ FlagRegistry ServeCliFlags() {
       .AddInt("cache-capacity", 1024,
               "response cache entries; 0 disables caching")
       .AddInt("cache-shards", 8, "response cache shard count")
+      .AddString("infer-engine", "fused",
+                 "forward-pass implementation for model requests: fused "
+                 "(compiled tape-free programs, default) | tape (autograd "
+                 "reference path); responses are bit-identical either way")
       .AddInt("threads", 0,
               "global worker pool size; 0 = hardware concurrency, 1 = "
               "serial (PRIVIM_THREADS env fallback)")
@@ -209,6 +213,11 @@ int Serve(const Flags& flags) {
   options.max_batch = flags.GetInt("max-batch", 16);
   options.cache_capacity = flags.GetInt("cache-capacity", 1024);
   options.cache_shards = flags.GetInt("cache-shards", 8);
+  Result<serve::InferEngineKind> engine_kind =
+      serve::InferEngineKindFromString(
+          flags.GetString("infer-engine", "fused"));
+  if (!engine_kind.ok()) return Fail(engine_kind.status());
+  options.infer_engine = engine_kind.value();
 
   Result<std::unique_ptr<serve::InfluenceService>> service =
       serve::InfluenceService::Create(std::move(graph.value()),
