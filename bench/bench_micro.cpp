@@ -29,6 +29,7 @@
 #include "privim/graph/generators.h"
 #include "privim/graph/projection.h"
 #include "privim/im/celf.h"
+#include "privim/im/sketch/sketch_index.h"
 #include "privim/nn/arena.h"
 #include "privim/nn/infer/engine.h"
 #include "privim/sampling/dual_stage.h"
@@ -443,14 +444,98 @@ BENCHMARK(BM_DeterministicCoverage)->Arg(10000)->Arg(100000);
 void BM_CelfGreedy(benchmark::State& state) {
   const Graph graph = MakeBenchGraph(state.range(0), 5);
   DeterministicCoverageOracle oracle(graph, 1);
+  // The run is deterministic, so the last timed iteration's evaluation
+  // count is THE count — recomputing it after the loop would double the
+  // measured work per report.
+  int64_t evaluations = 0;
   for (auto _ : state) {
     Result<SeedSelectionResult> result = CelfGreedy(oracle, 25);
     benchmark::DoNotOptimize(result->spread);
+    evaluations = result->evaluations;
   }
-  state.counters["evals"] = static_cast<double>(
-      CelfGreedy(oracle, 25)->evaluations);
+  state.counters["evals"] = static_cast<double>(evaluations);
 }
 BENCHMARK(BM_CelfGreedy)->Arg(10000)->Arg(50000);
+
+// --- Top-k serving: per-request CELF vs the precomputed sketch index -----
+//
+// Both benches go through InfluenceService::Execute with the response
+// cache disabled, so the numbers are exactly what a cache-cold top-k
+// request pays at the serving layer. The sketch bench first pins that its
+// selected seed set is bit-identical to CELF's and that the request really
+// was answered from the index; had the service silently fallen back to
+// CELF (index missing, steps mismatch), the measured time would be CELF's
+// and the far tighter BM_TopK_Sketch budget in bench/baseline.json would
+// fail `bench_compare.py --enforce` in CI.
+
+serve::ServeRequest TopKBenchRequest(serve::TopKMethod method) {
+  serve::ServeRequest request;
+  request.id = "bench";
+  request.op = serve::RequestOp::kTopK;
+  request.method = method;
+  request.k = 25;
+  request.steps = 1;
+  return request;
+}
+
+void BM_TopK_Celf(benchmark::State& state) {
+  const Graph graph = MakeBenchGraph(state.range(0), 5);
+  serve::ServeOptions options;
+  options.cache_capacity = 0;  // measure the computation, not the cache
+  auto service =
+      serve::InfluenceService::Create(graph, /*model=*/nullptr, options)
+          .value();
+  const serve::ServeRequest request =
+      TopKBenchRequest(serve::TopKMethod::kCelf);
+  for (auto _ : state) {
+    serve::ServeResponse response = service->Execute(request);
+    benchmark::DoNotOptimize(response.payload);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TopK_Celf)->Arg(10000)->Arg(50000);
+
+void BM_TopK_Sketch(benchmark::State& state) {
+  const Graph graph = MakeBenchGraph(state.range(0), 5);
+  serve::ServeOptions options;
+  options.cache_capacity = 0;
+  auto service =
+      serve::InfluenceService::Create(graph, /*model=*/nullptr, options)
+          .value();
+  SketchIndexOptions sketch_options;
+  sketch_options.max_steps = 1;
+  Result<std::unique_ptr<SketchIndex>> index =
+      SketchIndex::Build(graph, sketch_options);
+  if (!index.ok() ||
+      !service->AttachSketchIndex(std::move(index).value()).ok()) {
+    state.SkipWithError("sketch index setup failed");
+    return;
+  }
+
+  const serve::ServeRequest request =
+      TopKBenchRequest(serve::TopKMethod::kSketch);
+  const Result<std::vector<int64_t>> sketch_seeds =
+      service->Execute(request).payload.GetIntArray("seeds");
+  const Result<std::vector<int64_t>> celf_seeds =
+      service->Execute(TopKBenchRequest(serve::TopKMethod::kCelf))
+          .payload.GetIntArray("seeds");
+  if (!sketch_seeds.ok() || !celf_seeds.ok() ||
+      sketch_seeds.value() != celf_seeds.value()) {
+    state.SkipWithError("sketch seed set diverges from CELF");
+    return;
+  }
+  if (service->GetStats().sketch_fallbacks != 0) {
+    state.SkipWithError("sketch request fell back to CELF");
+    return;
+  }
+
+  for (auto _ : state) {
+    serve::ServeResponse response = service->Execute(request);
+    benchmark::DoNotOptimize(response.payload);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TopK_Sketch)->Arg(10000)->Arg(50000);
 
 void BM_RdpAccountantEpsilon(benchmark::State& state) {
   SubsampledGaussianConfig config;

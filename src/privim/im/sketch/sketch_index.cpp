@@ -1,0 +1,254 @@
+#include "privim/im/sketch/sketch_index.h"
+
+#include <algorithm>
+#include <cstring>
+#include <limits>
+#include <utility>
+
+#include "privim/ckpt/io.h"
+#include "privim/common/rng.h"
+#include "privim/common/thread_pool.h"
+#include "privim/common/timer.h"
+#include "privim/diffusion/ic_model.h"
+#include "privim/obs/metrics.h"
+#include "privim/obs/trace.h"
+
+namespace privim {
+namespace {
+
+obs::Gauge* BuildSecondsGauge() {
+  static obs::Gauge* g =
+      obs::GlobalMetrics().GetGauge("im.sketch.build_seconds");
+  return g;
+}
+obs::Gauge* SketchCountGauge() {
+  static obs::Gauge* g = obs::GlobalMetrics().GetGauge("im.sketch.count");
+  return g;
+}
+obs::Gauge* SketchBytesGauge() {
+  static obs::Gauge* g = obs::GlobalMetrics().GetGauge("im.sketch.bytes");
+  return g;
+}
+
+/// One reverse-reachable sketch: every node with a (live) path to `target`
+/// of at most `max_steps` arcs, target included. `rng` null means every arc
+/// fires (the exhaustive w = 1 mode); otherwise arc u -> v joins with
+/// probability w_uv, exactly the reverse-IC semantics of im/ris.
+///
+/// `reached` is caller-owned all-zero scratch of num_nodes bytes; it is
+/// reset to all-zero before returning (touched entries only), so one
+/// allocation serves a whole chunk of sketches.
+void AppendReverseReachable(const Graph& graph, NodeId target,
+                            int64_t max_steps, Rng* rng,
+                            std::vector<uint8_t>* reached,
+                            std::vector<NodeId>* frontier,
+                            std::vector<NodeId>* next_frontier,
+                            std::vector<NodeId>* out) {
+  out->clear();
+  out->push_back(target);
+  (*reached)[target] = 1;
+  frontier->assign(1, target);
+  for (int64_t step = 0;
+       !frontier->empty() && (max_steps < 0 || step < max_steps); ++step) {
+    next_frontier->clear();
+    for (const NodeId v : *frontier) {
+      const auto sources = graph.InNeighbors(v);
+      const auto weights = graph.InWeights(v);
+      for (size_t i = 0; i < sources.size(); ++i) {
+        const NodeId u = sources[i];
+        if ((*reached)[u]) continue;
+        if (rng == nullptr || weights[i] >= 1.0f ||
+            rng->NextBernoulli(weights[i])) {
+          (*reached)[u] = 1;
+          next_frontier->push_back(u);
+          out->push_back(u);
+        }
+      }
+    }
+    frontier->swap(*next_frontier);
+  }
+  for (const NodeId v : *out) (*reached)[v] = 0;
+}
+
+}  // namespace
+
+Status SketchIndexOptions::Validate() const {
+  if (num_sketches < 1) {
+    return Status::InvalidArgument("num_sketches must be >= 1");
+  }
+  if (num_sketches > std::numeric_limits<int32_t>::max()) {
+    return Status::InvalidArgument("num_sketches must fit in 32 bits");
+  }
+  if (max_steps < -1) {
+    return Status::InvalidArgument(
+        "max_steps must be >= -1 (-1 = to quiescence)");
+  }
+  return Status::OK();
+}
+
+Result<std::unique_ptr<SketchIndex>> SketchIndex::Build(
+    const Graph& graph, const SketchIndexOptions& options) {
+  PRIVIM_RETURN_NOT_OK(options.Validate());
+  const int64_t n = graph.num_nodes();
+  if (n < 1) {
+    return Status::InvalidArgument(
+        "sketch index needs a graph with at least 1 node");
+  }
+
+  obs::TraceSpan span("im.sketch.build");
+  WallTimer timer;
+
+  std::unique_ptr<SketchIndex> index(new SketchIndex());
+  index->graph_fingerprint_ = ckpt::FingerprintGraph(graph);
+  index->num_nodes_ = n;
+  index->max_steps_ = options.max_steps;
+  index->exhaustive_ = HasUnitWeights(graph);
+  // The exhaustive pool enumerates every node once; randomness (and the
+  // seed) only matter for the sampled mode. Pinning seed_ to 0 here keeps
+  // the encoding canonical: equal graphs give byte-equal indexes no matter
+  // which seed the builder was configured with.
+  index->seed_ = index->exhaustive_ ? 0 : options.seed;
+  index->num_sketches_ = index->exhaustive_ ? n : options.num_sketches;
+  const int64_t num_sketches = index->num_sketches_;
+
+  // Sample the pool. Slot s is written by exactly one chunk, and its
+  // content depends only on (graph, options, s) — per-sketch SplitRng
+  // streams, never a shared one — so the pool is identical at any thread
+  // count. Chunk-local scratch keeps the per-sketch cost at O(|sketch|)
+  // instead of O(n).
+  std::vector<std::vector<NodeId>> sketches(
+      static_cast<size_t>(num_sketches));
+  GlobalThreadPool().ParallelForChunks(
+      static_cast<size_t>(num_sketches), 0,
+      [&](size_t /*chunk*/, size_t begin, size_t end) {
+        std::vector<uint8_t> reached(static_cast<size_t>(n), 0);
+        std::vector<NodeId> frontier;
+        std::vector<NodeId> next_frontier;
+        for (size_t s = begin; s < end; ++s) {
+          if (index->exhaustive_) {
+            AppendReverseReachable(graph, static_cast<NodeId>(s),
+                                   options.max_steps, /*rng=*/nullptr,
+                                   &reached, &frontier, &next_frontier,
+                                   &sketches[s]);
+          } else {
+            Rng rng = SplitRng(options.seed, static_cast<uint64_t>(s));
+            const NodeId target = static_cast<NodeId>(
+                rng.NextBounded(static_cast<uint64_t>(n)));
+            AppendReverseReachable(graph, target, options.max_steps, &rng,
+                                   &reached, &frontier, &next_frontier,
+                                   &sketches[s]);
+          }
+        }
+      });
+
+  // Fixed-order CSR merge: counting pass, prefix sum, then fill by
+  // ascending sketch id so every node's posting list is sorted. The merge
+  // order is a function of nothing but the pool, so the serialized index
+  // cannot depend on the thread count either.
+  index->offsets_.assign(static_cast<size_t>(n) + 1, 0);
+  int64_t total_entries = 0;
+  for (const std::vector<NodeId>& sketch : sketches) {
+    total_entries += static_cast<int64_t>(sketch.size());
+    for (const NodeId v : sketch) ++index->offsets_[static_cast<size_t>(v) + 1];
+  }
+  for (size_t v = 0; v < static_cast<size_t>(n); ++v) {
+    index->offsets_[v + 1] += index->offsets_[v];
+  }
+  index->sketch_ids_.resize(static_cast<size_t>(total_entries));
+  std::vector<int64_t> cursor(index->offsets_.begin(),
+                              index->offsets_.end() - 1);
+  for (size_t s = 0; s < sketches.size(); ++s) {
+    for (const NodeId v : sketches[s]) {
+      index->sketch_ids_[static_cast<size_t>(cursor[v]++)] =
+          static_cast<int32_t>(s);
+    }
+  }
+
+  BuildSecondsGauge()->Set(timer.ElapsedSeconds());
+  SketchCountGauge()->Set(static_cast<double>(num_sketches));
+  SketchBytesGauge()->Set(static_cast<double>(index->SizeBytes()));
+  return index;
+}
+
+int64_t SketchIndex::SizeBytes() const {
+  return static_cast<int64_t>(offsets_.size() * sizeof(int64_t) +
+                              sketch_ids_.size() * sizeof(int32_t));
+}
+
+const std::vector<SketchIndex::HeapEntry>& SketchIndex::InitialHeap() const {
+  std::lock_guard<std::mutex> lock(heap_mutex_);
+  if (initial_heap_.empty() && num_nodes_ > 0) {
+    // Exactly CelfGreedy's initial pass: push every node in ascending id
+    // order with its singleton gain. std::priority_queue::push is specified
+    // as push_back + std::push_heap over the default vector container, so
+    // replaying the same operations here leaves the identical array — equal
+    // gains and all — that CELF's heap would hold.
+    initial_heap_.reserve(static_cast<size_t>(num_nodes_));
+    for (NodeId v = 0; v < num_nodes_; ++v) {
+      const double gain = static_cast<double>(
+          offsets_[static_cast<size_t>(v) + 1] -
+          offsets_[static_cast<size_t>(v)]);
+      initial_heap_.push_back(HeapEntry{gain, v, 0});
+      std::push_heap(initial_heap_.begin(), initial_heap_.end());
+    }
+  }
+  return initial_heap_;
+}
+
+Result<SketchTopKResult> SketchIndex::TopK(int64_t k) const {
+  if (k < 1) return Status::InvalidArgument("k must be >= 1");
+  if (num_nodes_ == 0) return Status::InvalidArgument("empty sketch index");
+  k = std::min(k, num_nodes_);
+
+  // Per-query state: a copy of the cached initial heap (memcpy of POD
+  // entries) and a covered bitmap. Everything below mirrors CelfGreedy's
+  // lazy loop operation-for-operation; in the exhaustive mode the gains are
+  // the same integers CELF's oracle returns, so pops, pushes, tie-breaks —
+  // and therefore the selected seeds — are bit-identical to CELF's.
+  std::vector<HeapEntry> heap = InitialHeap();
+  std::vector<uint8_t> covered(static_cast<size_t>(num_sketches_), 0);
+  int64_t covered_count = 0;
+
+  const auto fresh_gain = [&](NodeId v) {
+    int64_t gain = 0;
+    for (int64_t i = offsets_[static_cast<size_t>(v)];
+         i < offsets_[static_cast<size_t>(v) + 1]; ++i) {
+      gain += !covered[static_cast<size_t>(sketch_ids_[static_cast<size_t>(i)])];
+    }
+    return gain;
+  };
+
+  SketchTopKResult result;
+  result.seeds.reserve(static_cast<size_t>(k));
+  while (static_cast<int64_t>(result.seeds.size()) < k && !heap.empty()) {
+    std::pop_heap(heap.begin(), heap.end());
+    HeapEntry top = heap.back();
+    heap.pop_back();
+    const int64_t round = static_cast<int64_t>(result.seeds.size());
+    if (top.round == round) {
+      // Fresh for this round: submodularity says it is still the maximum.
+      result.seeds.push_back(top.node);
+      for (int64_t i = offsets_[static_cast<size_t>(top.node)];
+           i < offsets_[static_cast<size_t>(top.node) + 1]; ++i) {
+        uint8_t& slot =
+            covered[static_cast<size_t>(sketch_ids_[static_cast<size_t>(i)])];
+        if (!slot) {
+          slot = 1;
+          ++covered_count;
+        }
+      }
+    } else {
+      top.gain = static_cast<double>(fresh_gain(top.node));
+      top.round = round;
+      ++result.resweeps;
+      heap.push_back(top);
+      std::push_heap(heap.begin(), heap.end());
+    }
+  }
+  result.spread = static_cast<double>(num_nodes_) *
+                  static_cast<double>(covered_count) /
+                  static_cast<double>(num_sketches_);
+  return result;
+}
+
+}  // namespace privim

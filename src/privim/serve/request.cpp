@@ -28,6 +28,8 @@ const char* TopKMethodToString(TopKMethod method) {
       return "celf";
     case TopKMethod::kRis:
       return "ris";
+    case TopKMethod::kSketch:
+      return "sketch";
   }
   return "?";
 }
@@ -135,9 +137,12 @@ Result<ServeRequest> ParseServeRequest(const std::string& json_line) {
     request.method = TopKMethod::kCelf;
   } else if (method.value() == "ris") {
     request.method = TopKMethod::kRis;
+  } else if (method.value() == "sketch") {
+    request.method = TopKMethod::kSketch;
   } else {
     return Status::InvalidArgument("unknown method \"" + method.value() +
-                                   "\" (expected model | celf | ris)");
+                                   "\" (expected model | celf | ris | "
+                                   "sketch)");
   }
 
   Result<int64_t> rr_sets = doc->GetInt("rr_sets", request.rr_sets);

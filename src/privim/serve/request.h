@@ -31,7 +31,11 @@ namespace privim {
 namespace serve {
 
 enum class RequestOp { kInfluence, kTopK, kSpread };
-enum class TopKMethod { kModel, kCelf, kRis };
+/// kSketch answers from the precomputed RIS sketch index when the service
+/// has one attached whose step bound matches the request; otherwise it
+/// falls back to CELF (counted in im.sketch.fallbacks) — the response
+/// payload is identical either way on unit-weight graphs.
+enum class TopKMethod { kModel, kCelf, kRis, kSketch };
 
 const char* RequestOpToString(RequestOp op);
 const char* TopKMethodToString(TopKMethod method);

@@ -62,6 +62,16 @@ obs::Counter* InferFallbackCounter() {
       obs::GlobalMetrics().GetCounter("serve.infer.fallbacks");
   return c;
 }
+obs::Counter* SketchServeCounter() {
+  static obs::Counter* c =
+      obs::GlobalMetrics().GetCounter("im.sketch.serve_hits");
+  return c;
+}
+obs::Counter* SketchFallbackCounter() {
+  static obs::Counter* c =
+      obs::GlobalMetrics().GetCounter("im.sketch.fallbacks");
+  return c;
+}
 obs::Gauge* QueueDepthGauge() {
   static obs::Gauge* g = obs::GlobalMetrics().GetGauge("serve.queue.depth");
   return g;
@@ -194,6 +204,30 @@ Result<std::unique_ptr<InfluenceService>> InfluenceService::Create(
 }
 
 InfluenceService::~InfluenceService() { Stop(); }
+
+Status InfluenceService::AttachSketchIndex(
+    std::shared_ptr<const SketchIndex> index) {
+  if (index == nullptr) {
+    return Status::InvalidArgument("sketch index must not be null");
+  }
+  // The index stores only the structural graph fingerprint (its content is
+  // model-independent), so the match is against the graph alone; cached
+  // responses stay keyed by the full model+graph fingerprint_ as always.
+  const uint64_t graph_fp = ckpt::FingerprintGraph(graph_);
+  if (index->graph_fingerprint() != graph_fp) {
+    return Status::FailedPrecondition(
+        "sketch index was built for a different graph (index fingerprint " +
+        std::to_string(index->graph_fingerprint()) + ", serving graph " +
+        std::to_string(graph_fp) + ")");
+  }
+  std::lock_guard<std::mutex> lock(queue_mutex_);
+  if (started_ || stopping_) {
+    return Status::FailedPrecondition(
+        "sketch index must be attached before Start()");
+  }
+  sketch_ = std::move(index);
+  return Status::OK();
+}
 
 Status InfluenceService::Start() {
   std::lock_guard<std::mutex> lock(queue_mutex_);
@@ -543,6 +577,19 @@ Result<Tensor> InfluenceService::SubgraphScores(const Subgraph& sub) {
   return out.value().value();
 }
 
+Result<SeedSelectionResult> InfluenceService::CelfTopK(
+    const ServeRequest& request) {
+  if (HasUnitWeights(graph_)) {
+    DeterministicCoverageOracle oracle(graph_, request.steps);
+    return CelfGreedy(oracle, request.k);
+  }
+  IcOptions mc;
+  mc.max_steps = request.steps;
+  mc.num_simulations = request.simulations;
+  MonteCarloIcOracle oracle(graph_, mc, request.seed);
+  return CelfGreedy(oracle, request.k);
+}
+
 ServeResponse InfluenceService::Compute(const ServeRequest& request) {
   obs::TraceSpan span("serve.request");
   ServeResponse response;
@@ -632,18 +679,7 @@ ServeResponse InfluenceService::Compute(const ServeRequest& request) {
           return response;
         }
         case TopKMethod::kCelf: {
-          Result<SeedSelectionResult> result =
-              [&]() -> Result<SeedSelectionResult> {
-            if (HasUnitWeights(graph_)) {
-              DeterministicCoverageOracle oracle(graph_, request.steps);
-              return CelfGreedy(oracle, request.k);
-            }
-            IcOptions mc;
-            mc.max_steps = request.steps;
-            mc.num_simulations = request.simulations;
-            MonteCarloIcOracle oracle(graph_, mc, request.seed);
-            return CelfGreedy(oracle, request.k);
-          }();
+          Result<SeedSelectionResult> result = CelfTopK(request);
           if (!result.ok()) {
             response.status = result.status();
             return response;
@@ -652,6 +688,36 @@ ServeResponse InfluenceService::Compute(const ServeRequest& request) {
           response.payload.Set("spread", JsonValue::Number(result->spread));
           response.payload.Set("evaluations",
                                JsonValue::Int(result->evaluations));
+          return response;
+        }
+        case TopKMethod::kSketch: {
+          // Serve from the index only when one is attached AND it was built
+          // with the step bound the request asks about; anything else takes
+          // the counted CELF fallback below. Either path emits exactly
+          // {"seeds", "spread"} — no "evaluations" — so on a unit-weight
+          // graph the response bytes are identical with or without an index
+          // (the sweep is bit-identical to CELF there; tests pin this).
+          if (sketch_ != nullptr && sketch_->max_steps() == request.steps) {
+            Result<SketchTopKResult> result = sketch_->TopK(request.k);
+            if (!result.ok()) {
+              response.status = result.status();
+              return response;
+            }
+            sketch_hits_.fetch_add(1, std::memory_order_relaxed);
+            SketchServeCounter()->Increment();
+            response.payload.Set("seeds", NodeArray(result->seeds));
+            response.payload.Set("spread", JsonValue::Number(result->spread));
+            return response;
+          }
+          sketch_fallbacks_.fetch_add(1, std::memory_order_relaxed);
+          SketchFallbackCounter()->Increment();
+          Result<SeedSelectionResult> result = CelfTopK(request);
+          if (!result.ok()) {
+            response.status = result.status();
+            return response;
+          }
+          response.payload.Set("seeds", NodeArray(result->seeds));
+          response.payload.Set("spread", JsonValue::Number(result->spread));
           return response;
         }
         case TopKMethod::kRis: {
@@ -719,6 +785,9 @@ ServiceStats InfluenceService::GetStats() const {
   stats.fused_forwards = fused_forwards_.load(std::memory_order_relaxed);
   stats.infer_fallbacks = infer_fallbacks_.load(std::memory_order_relaxed);
   stats.fused_active = engine_ != nullptr;
+  stats.sketch_hits = sketch_hits_.load(std::memory_order_relaxed);
+  stats.sketch_fallbacks = sketch_fallbacks_.load(std::memory_order_relaxed);
+  stats.sketch_active = sketch_ != nullptr;
   {
     std::lock_guard<std::mutex> lock(queue_mutex_);
     stats.queue_depth = static_cast<int64_t>(queue_.size());

@@ -46,6 +46,8 @@
 #include "privim/common/status.h"
 #include "privim/common/timer.h"
 #include "privim/gnn/models.h"
+#include "privim/im/celf.h"
+#include "privim/im/sketch/sketch_index.h"
 #include "privim/graph/graph.h"
 #include "privim/graph/subgraph.h"
 #include "privim/nn/infer/engine.h"
@@ -110,6 +112,9 @@ struct ServiceStats {
   uint64_t fused_forwards = 0;  ///< forward passes served by the fused engine
   uint64_t infer_fallbacks = 0;  ///< models that fell back to the tape path
   bool fused_active = false;     ///< the fused engine is serving this model
+  uint64_t sketch_hits = 0;       ///< topk answered from the sketch index
+  uint64_t sketch_fallbacks = 0;  ///< method=sketch served by CELF instead
+  bool sketch_active = false;     ///< a sketch index is attached
 };
 
 /// A loaded (model, graph) pair answering influence queries until Stop().
@@ -131,6 +136,14 @@ class InfluenceService {
 
   InfluenceService(const InfluenceService&) = delete;
   InfluenceService& operator=(const InfluenceService&) = delete;
+
+  /// Attaches a precomputed RIS sketch index for method=sketch top-k.
+  /// Refused (FailedPrecondition / InvalidArgument) after Start(), for a
+  /// null index, or when the index's graph fingerprint differs from the
+  /// serving graph's — a stale index can never answer a query. Without an
+  /// attached index, method=sketch requests fall back to CELF (counted in
+  /// ServiceStats::sketch_fallbacks and the im.sketch.fallbacks metric).
+  Status AttachSketchIndex(std::shared_ptr<const SketchIndex> index);
 
   /// Starts the scheduler thread. Requests submitted before Start() queue
   /// up (subject to capacity) and are dispatched once it runs. Starting a
@@ -184,6 +197,8 @@ class InfluenceService {
   const std::string& infer_fallback_reason() const {
     return infer_fallback_reason_;
   }
+  /// True when method=sketch requests are served from an attached index.
+  bool sketch_active() const { return sketch_ != nullptr; }
 
  private:
   InfluenceService(Graph graph, std::shared_ptr<const GnnModel> model,
@@ -206,6 +221,10 @@ class InfluenceService {
 
   /// Computes the payload for one request (never consults the cache).
   ServeResponse Compute(const ServeRequest& request);
+  /// The CELF top-k computation shared by method=celf and the counted
+  /// method=sketch fallback: exact coverage oracle on unit-weight graphs,
+  /// Monte-Carlo IC otherwise.
+  Result<SeedSelectionResult> CelfTopK(const ServeRequest& request);
   /// Model scores over the whole graph, computed once and memoized —
   /// the forward pass is deterministic, so every influence/topk(model)
   /// request shares it.
@@ -231,6 +250,9 @@ class InfluenceService {
   /// first).
   std::unique_ptr<infer::InferEngine> engine_;
   std::string infer_fallback_reason_;
+  /// Attached before Start() and immutable afterwards, so execution
+  /// threads read it without synchronization.
+  std::shared_ptr<const SketchIndex> sketch_;
   uint64_t fingerprint_ = 0;
   ShardedLruCache cache_;
   WallTimer epoch_;  ///< admission/latency stamps
@@ -255,6 +277,8 @@ class InfluenceService {
   std::atomic<uint64_t> max_batch_size_{0};
   std::atomic<uint64_t> fused_forwards_{0};
   std::atomic<uint64_t> infer_fallbacks_{0};
+  std::atomic<uint64_t> sketch_hits_{0};
+  std::atomic<uint64_t> sketch_fallbacks_{0};
 };
 
 }  // namespace serve

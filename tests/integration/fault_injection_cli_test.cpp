@@ -29,7 +29,9 @@ class FaultInjectionCliTest : public ::testing::Test {
     if (cli_.empty() || !std::filesystem::exists(cli_)) {
       GTEST_SKIP() << "privim_cli binary not available";
     }
-    dir_ = ::testing::TempDir() + "/fault_cli";
+    // Per-test directory: ctest -j runs these cases concurrently.
+    dir_ = ::testing::TempDir() + "/fault_cli_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
     std::filesystem::remove_all(dir_);
     std::filesystem::create_directories(dir_);
     WriteGraphFile();

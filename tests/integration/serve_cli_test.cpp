@@ -39,7 +39,11 @@ class ServeCliTest : public ::testing::Test {
     if (serve_.empty() || !std::filesystem::exists(serve_)) {
       GTEST_SKIP() << "privim_serve binary not available";
     }
-    dir_ = ::testing::TempDir() + "/serve_cli";
+    // One directory per test: ctest -j runs these cases as separate
+    // processes concurrently, so a shared directory would be wiped from
+    // under a sibling's live server.
+    dir_ = ::testing::TempDir() + "/serve_cli_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
     std::filesystem::remove_all(dir_);
     std::filesystem::create_directories(dir_);
 
@@ -225,6 +229,83 @@ TEST_F(ServeCliTest, CacheHitsAreReportedForRepeatedRequests) {
   for (size_t i = 0; i < 75; ++i) {
     EXPECT_EQ(lines[i], lines[i + 75]) << "line " << i;
   }
+}
+
+TEST_F(ServeCliTest, SketchIndexBuildLoadAndServe) {
+  // A sketch-vs-celf pair per k: on this unit-weight graph the answers
+  // must agree exactly, whichever path produced them.
+  const std::string requests = dir_ + "/sketch_requests.jsonl";
+  {
+    std::ofstream file(requests);
+    for (int k = 1; k <= 5; ++k) {
+      file << R"({"id":"s)" << k << R"(","op":"topk","k":)" << k
+           << R"(,"method":"sketch"})" << "\n";
+      file << R"({"id":"c)" << k << R"(","op":"topk","k":)" << k
+           << R"(,"method":"celf"})" << "\n";
+    }
+  }
+  const std::string index = dir_ + "/index.privimsx";
+  const std::string base = serve_ + " --graph " + graph_path_ +
+                           " --undirected --requests " + requests +
+                           " --threads 2 --sketch-index " + index;
+
+  // First run builds and persists the index, then serves from it.
+  const std::string built_out = dir_ + "/sketch_built.jsonl";
+  const SubprocessResult built = RunSubprocess(
+      base + " --build-sketch-index --out " + built_out);
+  ASSERT_EQ(built.exit_code, 0) << built.output;
+  EXPECT_NE(built.output.find("sketch index built"), std::string::npos)
+      << built.output;
+  EXPECT_NE(built.output.find("5 served, 0 fallbacks (index attached)"),
+            std::string::npos)
+      << built.output;
+  ASSERT_TRUE(std::filesystem::exists(index));
+
+  // Second run loads the persisted index and answers identically.
+  const std::string loaded_out = dir_ + "/sketch_loaded.jsonl";
+  const SubprocessResult loaded =
+      RunSubprocess(base + " --out " + loaded_out);
+  ASSERT_EQ(loaded.exit_code, 0) << loaded.output;
+  EXPECT_EQ(loaded.output.find("sketch index built"), std::string::npos);
+  EXPECT_EQ(ReadFile(loaded_out), ReadFile(built_out));
+
+  // Each sketch line carries the exact seed set its celf twin computed
+  // (celf lines additionally report "evaluations", so compare the seeds).
+  std::ifstream file(built_out);
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(file, line)) lines.push_back(line);
+  ASSERT_EQ(lines.size(), 10u);
+  const auto seeds_of = [](const std::string& l) {
+    const size_t from = l.find("\"seeds\":[");
+    EXPECT_NE(from, std::string::npos) << l;
+    return l.substr(from, l.find(']', from) - from + 1);
+  };
+  for (int k = 0; k < 5; ++k) {
+    EXPECT_EQ(seeds_of(lines[2 * k]), seeds_of(lines[2 * k + 1]))
+        << "k = " << k + 1;
+    EXPECT_NE(lines[2 * k].find("\"ok\":true"), std::string::npos)
+        << lines[2 * k];
+  }
+
+  // A mismatched index is refused outright, not silently ignored.
+  const std::string other_graph = dir_ + "/other.txt";
+  {
+    std::ofstream g(other_graph);
+    g << "0 1\n1 2\n";
+  }
+  const SubprocessResult mismatch = RunSubprocess(
+      serve_ + " --graph " + other_graph + " --requests " + requests +
+      " --out " + dir_ + "/mismatch.jsonl --sketch-index " + index);
+  EXPECT_NE(mismatch.exit_code, 0);
+  EXPECT_NE(mismatch.output.find("different graph"), std::string::npos)
+      << mismatch.output;
+
+  // --build-sketch-index without a path to write is a flag error.
+  EXPECT_NE(RunSubprocess(Command(2, dir_ + "/y.jsonl",
+                                  "--build-sketch-index"))
+                .exit_code,
+            0);
 }
 
 TEST_F(ServeCliTest, BadFlagsFailFast) {

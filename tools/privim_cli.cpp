@@ -6,6 +6,7 @@
 //   select    Score a graph with a trained model, print the top-k seeds.
 //   evaluate  Influence spread of a seed set under IC.
 //   celf      Non-private CELF ground truth.
+//   sketch    Build (and optionally query) a RIS sketch index.
 //   account   Standalone privacy accounting (Theorem 3 + Theorem 1).
 //
 // Flags are declared in per-subcommand FlagRegistry instances
@@ -36,6 +37,7 @@
 #include "privim/graph/graph_io.h"
 #include "privim/im/celf.h"
 #include "privim/im/seed_selection.h"
+#include "privim/im/sketch/sketch_index.h"
 #include "privim/im/spread_oracle.h"
 #include "privim/obs/export.h"
 #include "privim/obs/trace.h"
@@ -128,6 +130,26 @@ FlagRegistry CelfFlags() {
   registry.Include(GraphFlags());
   registry.AddInt("k", 50, "seed-set size")
       .AddInt("steps", 1, "diffusion steps j; -1 runs to quiescence");
+  registry.Include(CommonFlags());
+  return registry;
+}
+
+FlagRegistry SketchFlags() {
+  FlagRegistry registry;
+  registry.Include(GraphFlags());
+  registry
+      .AddString("out", "sketch.privimsx",
+                 "output path for the built index (atomic write)")
+      .AddInt("rr-sets", 4000,
+              "RR sets to sample on a weighted graph (unit-weight graphs "
+              "use one exhaustive sketch per node instead)")
+      .AddInt("steps", 1,
+              "diffusion step bound baked into the index; -1 = to "
+              "quiescence")
+      .AddInt("seed", 42, "base RNG seed for the sampled mode")
+      .AddInt("topk", 0,
+              "after building, run a top-k sweep over the index and print "
+              "the seeds (0 skips)");
   registry.Include(CommonFlags());
   return registry;
 }
@@ -296,6 +318,40 @@ int CmdCelf(const Flags& flags) {
   return 0;
 }
 
+int CmdSketch(const Flags& flags) {
+  Result<Graph> graph = LoadGraph(flags);
+  if (!graph.ok()) return Fail(graph.status());
+
+  SketchIndexOptions options;
+  options.num_sketches = flags.GetInt("rr-sets", 4000);
+  options.max_steps = flags.GetInt("steps", 1);
+  options.seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+  Result<std::unique_ptr<SketchIndex>> index =
+      SketchIndex::Build(graph.value(), options);
+  if (!index.ok()) return Fail(index.status());
+
+  const std::string out = flags.GetString("out", "sketch.privimsx");
+  if (Status saved = index.value()->Save(out); !saved.ok()) {
+    return Fail(saved);
+  }
+  std::printf("sketch index: %lld sketches (%s mode), steps %lld, "
+              "%lld bytes -> %s\n",
+              static_cast<long long>(index.value()->num_sketches()),
+              index.value()->exhaustive() ? "exhaustive" : "sampled",
+              static_cast<long long>(index.value()->max_steps()),
+              static_cast<long long>(index.value()->SizeBytes()),
+              out.c_str());
+
+  if (const int64_t k = flags.GetInt("topk", 0); k > 0) {
+    Result<SketchTopKResult> result = index.value()->TopK(k);
+    if (!result.ok()) return Fail(result.status());
+    std::printf("spread %.0f with seeds:", result->spread);
+    for (NodeId v : result->seeds) std::printf(" %d", v);
+    std::printf("\n");
+  }
+  return 0;
+}
+
 int CmdAccount(const Flags& flags) {
   SubsampledGaussianConfig config;
   config.container_size = flags.GetInt("m", 300);
@@ -327,6 +383,8 @@ const Subcommand kSubcommands[] = {
     {"evaluate", "influence spread of a seed set under IC", EvaluateFlags,
      CmdEvaluate},
     {"celf", "non-private CELF ground truth", CelfFlags, CmdCelf},
+    {"sketch", "build (and optionally query) a RIS sketch index",
+     SketchFlags, CmdSketch},
     {"account", "standalone privacy accounting", AccountFlags, CmdAccount},
 };
 

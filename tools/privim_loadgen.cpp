@@ -97,8 +97,8 @@ struct WorkerResult {
 };
 
 /// Deterministic request mix: ~1/3 influence, ~1/3 topk, ~1/3 spread
-/// (graph-only mode swaps influence for spread and topk "model" for
-/// "celf", since those need no trained model).
+/// (graph-only mode swaps influence for spread and topk "model" for an
+/// even celf/sketch alternation, since those need no trained model).
 std::string NextRequestLine(Rng* rng, int64_t max_node,
                             int64_t request_seeds, bool graph_only,
                             uint64_t* next_id) {
@@ -123,8 +123,12 @@ std::string NextRequestLine(Rng* rng, int64_t max_node,
   } else if (pick == 1) {
     object.Set("op", serve::JsonValue::Str("topk"));
     object.Set("k", serve::JsonValue::Int(rng->NextInt(1, 4)));
-    object.Set("method",
-               serve::JsonValue::Str(graph_only ? "celf" : "model"));
+    // Graph-only mode alternates celf with sketch so an attached sketch
+    // index is exercised under the same traffic (without one the server
+    // answers sketch via its counted CELF fallback — same response shape).
+    const char* method = "model";
+    if (graph_only) method = rng->NextBounded(2) == 0 ? "celf" : "sketch";
+    object.Set("method", serve::JsonValue::Str(method));
     object.Set("steps", serve::JsonValue::Int(1));
   } else {
     object.Set("op", serve::JsonValue::Str("spread"));

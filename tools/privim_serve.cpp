@@ -52,6 +52,7 @@
 #include "privim/common/thread_pool.h"
 #include "privim/gnn/serialization.h"
 #include "privim/graph/graph_io.h"
+#include "privim/im/sketch/sketch_index.h"
 #include "privim/obs/export.h"
 #include "privim/obs/trace.h"
 #include "privim/serve/net/server.h"
@@ -81,6 +82,10 @@ void PrintStatsLine(const serve::InfluenceService& service, uint64_t shed) {
                static_cast<unsigned long long>(stats.cache_hits +
                                                stats.cache_misses),
                static_cast<unsigned long long>(shed));
+  std::fprintf(stderr, "sketch: %llu served, %llu fallbacks (index %s)\n",
+               static_cast<unsigned long long>(stats.sketch_hits),
+               static_cast<unsigned long long>(stats.sketch_fallbacks),
+               stats.sketch_active ? "attached" : "none");
 }
 
 // The SIGTERM/SIGINT handler may only do async-signal-safe work;
@@ -132,7 +137,25 @@ FlagRegistry ServeCliFlags() {
               "longest accepted request line (listen mode only)")
       .AddInt("drain-grace-ms", 5000,
               "after SIGTERM, how long to wait for idle clients to close "
-              "before force-closing (listen mode only)");
+              "before force-closing (listen mode only)")
+      .AddString("sketch-index", "",
+                 "RIS sketch index file for method=sketch top-k; loaded and "
+                 "attached at startup (refused if built for a different "
+                 "graph). Without it, method=sketch falls back to CELF")
+      .AddBool("build-sketch-index", false,
+               "build the sketch index from the serving graph, save it to "
+               "--sketch-index, attach it, and keep serving")
+      .AddInt("sketch-rr-sets", 4000,
+              "RR sets to sample when building a sketch index over a "
+              "weighted graph (unit-weight graphs use one exhaustive "
+              "sketch per node instead)")
+      .AddInt("sketch-steps", 1,
+              "diffusion step bound baked into a built sketch index; "
+              "method=sketch requests with a different \"steps\" fall "
+              "back to CELF (-1 = to quiescence)")
+      .AddInt("sketch-seed", 42,
+              "base seed for the sampled sketch build (ignored by the "
+              "exhaustive unit-weight mode)");
   return registry;
 }
 
@@ -223,6 +246,49 @@ int Serve(const Flags& flags) {
       serve::InfluenceService::Create(std::move(graph.value()),
                                       std::move(model), options);
   if (!service.ok()) return Fail(service.status());
+
+  // Sketch index: build-and-save from the serving graph, or load a
+  // previously built file. Either way the index is attached before Start()
+  // (the attach checks the graph fingerprint, so a stale file is fatal here
+  // rather than silently serving wrong seeds).
+  if (const std::string sketch_path = flags.GetString("sketch-index", "");
+      !sketch_path.empty()) {
+    std::shared_ptr<const SketchIndex> index;
+    if (flags.GetBool("build-sketch-index", false)) {
+      SketchIndexOptions sketch_options;
+      sketch_options.num_sketches = flags.GetInt("sketch-rr-sets", 4000);
+      sketch_options.max_steps = flags.GetInt("sketch-steps", 1);
+      sketch_options.seed =
+          static_cast<uint64_t>(flags.GetInt("sketch-seed", 42));
+      Result<std::unique_ptr<SketchIndex>> built =
+          SketchIndex::Build(service.value()->graph(), sketch_options);
+      if (!built.ok()) return Fail(built.status());
+      if (Status saved = built.value()->Save(sketch_path); !saved.ok()) {
+        return Fail(saved);
+      }
+      std::fprintf(stderr,
+                   "sketch index built: %lld sketches (%s), %lld bytes -> "
+                   "%s\n",
+                   static_cast<long long>(built.value()->num_sketches()),
+                   built.value()->exhaustive() ? "exhaustive" : "sampled",
+                   static_cast<long long>(built.value()->SizeBytes()),
+                   sketch_path.c_str());
+      index = std::move(built).value();
+    } else {
+      Result<std::unique_ptr<SketchIndex>> loaded =
+          SketchIndex::Load(sketch_path);
+      if (!loaded.ok()) return Fail(loaded.status());
+      index = std::move(loaded).value();
+    }
+    if (Status attached = service.value()->AttachSketchIndex(std::move(index));
+        !attached.ok()) {
+      return Fail(attached);
+    }
+  } else if (flags.GetBool("build-sketch-index", false)) {
+    return Fail(Status::InvalidArgument(
+        "--build-sketch-index needs --sketch-index PATH to save to"));
+  }
+
   if (Status started = service.value()->Start(); !started.ok()) {
     return Fail(started);
   }
