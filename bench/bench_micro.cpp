@@ -499,18 +499,25 @@ void BM_TopK_Sketch(benchmark::State& state) {
   const Graph graph = MakeBenchGraph(state.range(0), 5);
   serve::ServeOptions options;
   options.cache_capacity = 0;
-  auto service =
-      serve::InfluenceService::Create(graph, /*model=*/nullptr, options)
-          .value();
   SketchIndexOptions sketch_options;
   sketch_options.max_steps = 1;
   Result<std::unique_ptr<SketchIndex>> index =
       SketchIndex::Build(graph, sketch_options);
-  if (!index.ok() ||
-      !service->AttachSketchIndex(std::move(index).value()).ok()) {
+  if (!index.ok()) {
     state.SkipWithError("sketch index setup failed");
     return;
   }
+  Result<std::shared_ptr<const serve::ServingAssets>> assets =
+      serve::ServingAssets::Build(graph, /*model=*/nullptr,
+                                  std::move(index).value(),
+                                  options.infer_engine);
+  if (!assets.ok()) {
+    state.SkipWithError("serving assets setup failed");
+    return;
+  }
+  auto service =
+      serve::InfluenceService::Create(std::move(assets).value(), options)
+          .value();
 
   const serve::ServeRequest request =
       TopKBenchRequest(serve::TopKMethod::kSketch);

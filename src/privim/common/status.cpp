@@ -26,6 +26,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "Unavailable";
     case StatusCode::kDeadlineExceeded:
       return "DeadlineExceeded";
+    case StatusCode::kUnsupportedVersion:
+      return "UnsupportedVersion";
   }
   return "Unknown";
 }

@@ -28,6 +28,7 @@ enum class StatusCode {
   kUnimplemented,
   kUnavailable,        ///< transient overload; the caller may retry later
   kDeadlineExceeded,   ///< the request's deadline passed before completion
+  kUnsupportedVersion, ///< the peer speaks a protocol version we do not
 };
 
 /// Human-readable name of a StatusCode (e.g. "InvalidArgument").
@@ -71,6 +72,9 @@ class Status {
   }
   static Status DeadlineExceeded(std::string msg) {
     return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status UnsupportedVersion(std::string msg) {
+    return Status(StatusCode::kUnsupportedVersion, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

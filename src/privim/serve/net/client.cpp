@@ -68,13 +68,15 @@ Status BlockingClient::Connect(const HostPort& address) {
 }
 
 Status BlockingClient::SendLine(const std::string& line) {
+  return SendBytes(line + "\n");
+}
+
+Status BlockingClient::SendBytes(const std::string& bytes) {
   if (fd_ < 0) return Status::FailedPrecondition("not connected");
-  std::string wire = line;
-  wire.push_back('\n');
   std::size_t sent = 0;
-  while (sent < wire.size()) {
+  while (sent < bytes.size()) {
     const ssize_t n =
-        ::send(fd_, wire.data() + sent, wire.size() - sent, MSG_NOSIGNAL);
+        ::send(fd_, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
     if (n > 0) {
       sent += static_cast<std::size_t>(n);
       continue;
@@ -117,6 +119,31 @@ Result<std::string> BlockingClient::ReadLine() {
     if (errno == EINTR) continue;
     return Status::IOError(std::string("recv: ") + std::strerror(errno));
   }
+}
+
+Result<std::string> BlockingClient::ReadBytes(std::size_t n) {
+  if (fd_ < 0) return Status::FailedPrecondition("not connected");
+  while (buffer_.size() - buf_pos_ < n) {
+    char chunk[8192];
+    const ssize_t got = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (got > 0) {
+      buffer_.append(chunk, static_cast<std::size_t>(got));
+      continue;
+    }
+    if (got == 0) {
+      return Status::NotFound("connection closed before " +
+                              std::to_string(n) + " bytes arrived");
+    }
+    if (errno == EINTR) continue;
+    return Status::IOError(std::string("recv: ") + std::strerror(errno));
+  }
+  std::string bytes = buffer_.substr(buf_pos_, n);
+  buf_pos_ += n;
+  if (buf_pos_ == buffer_.size()) {
+    buffer_.clear();
+    buf_pos_ = 0;
+  }
+  return bytes;
 }
 
 Status BlockingClient::ShutdownWrite() {

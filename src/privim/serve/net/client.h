@@ -35,9 +35,17 @@ class BlockingClient {
   /// Writes `line` plus a trailing '\n' (blocking until fully sent).
   Status SendLine(const std::string& line);
 
+  /// Writes `bytes` verbatim — no trailing newline. Used by the HTTP
+  /// framing, where the exact byte count is part of the message.
+  Status SendBytes(const std::string& bytes);
+
   /// Reads up to the next '\n' (stripped). kNotFound signals clean EOF
   /// with no buffered partial line.
   Result<std::string> ReadLine();
+
+  /// Reads exactly `n` bytes (e.g. an HTTP body of known Content-Length).
+  /// kNotFound signals EOF before all `n` arrived.
+  Result<std::string> ReadBytes(std::size_t n);
 
   /// Half-closes the write side, telling the server this client will send
   /// nothing more (the server finishes pending responses, then closes).

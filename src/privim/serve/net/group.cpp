@@ -1,0 +1,97 @@
+#include "privim/serve/net/group.h"
+
+#include <thread>
+#include <utility>
+
+namespace privim {
+namespace serve {
+namespace net {
+
+Status NetServerGroupOptions::Validate() const {
+  if (loops < 1) {
+    return Status::InvalidArgument("net loops must be >= 1");
+  }
+  if (loops > 64) {
+    return Status::InvalidArgument(
+        "net loops must be <= 64 (one event loop per core is already "
+        "generous)");
+  }
+  return server.Validate();
+}
+
+Result<std::unique_ptr<NetServerGroup>> NetServerGroup::Create(
+    InfluenceService* service, const NetServerGroupOptions& options) {
+  PRIVIM_RETURN_NOT_OK(options.Validate());
+  std::unique_ptr<NetServerGroup> group(new NetServerGroup());
+
+  // Loop 0 resolves the port (it may be 0 = ephemeral); the remaining
+  // loops bind the resolved concrete port. All loops set SO_REUSEPORT when
+  // there is more than one, so the kernel spreads accepts across them.
+  NetServerOptions base = options.server;
+  base.reuse_port = options.loops > 1;
+  for (int64_t i = 0; i < options.loops; ++i) {
+    NetServerOptions loop_options = base;
+    if (options.loops > 1) {
+      loop_options.metrics_scope = "loop" + std::to_string(i);
+    }
+    if (i > 0) {
+      loop_options.listen = group->servers_.front()->bound_address();
+    }
+    Result<std::unique_ptr<NetServer>> server =
+        NetServer::Create(service, loop_options);
+    if (!server.ok()) return server.status();
+    group->servers_.push_back(std::move(server).value());
+  }
+  return group;
+}
+
+Status NetServerGroup::Run() {
+  std::vector<std::thread> threads;
+  std::vector<Status> statuses(servers_.size());
+  threads.reserve(servers_.size() - 1);
+  for (std::size_t i = 1; i < servers_.size(); ++i) {
+    threads.emplace_back(
+        [this, i, &statuses] { statuses[i] = servers_[i]->Run(); });
+  }
+  statuses[0] = servers_[0]->Run();
+
+  // Loop 0 returned — after a drain, or on a fatal error. Either way the
+  // other loops must come down too before we can report: RequestShutdown
+  // is idempotent, so fanning it out is harmless on the normal path where
+  // every loop is already draining.
+  RequestShutdown();
+  for (std::thread& thread : threads) thread.join();
+
+  for (const Status& status : statuses) {
+    if (!status.ok()) return status;
+  }
+  return Status::OK();
+}
+
+void NetServerGroup::RequestShutdown() {
+  for (const std::unique_ptr<NetServer>& server : servers_) {
+    server->RequestShutdown();
+  }
+}
+
+NetServerStats NetServerGroup::GetStats() const {
+  NetServerStats total;
+  for (const std::unique_ptr<NetServer>& server : servers_) {
+    const NetServerStats stats = server->GetStats();
+    total.accepted += stats.accepted;
+    total.refused += stats.refused;
+    total.requests += stats.requests;
+    total.responses += stats.responses;
+    total.shed += stats.shed;
+    total.deadline_exceeded += stats.deadline_exceeded;
+    total.bad_lines += stats.bad_lines;
+    total.bytes_in += stats.bytes_in;
+    total.bytes_out += stats.bytes_out;
+    total.open_connections += stats.open_connections;
+  }
+  return total;
+}
+
+}  // namespace net
+}  // namespace serve
+}  // namespace privim

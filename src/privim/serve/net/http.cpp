@@ -1,0 +1,220 @@
+#include "privim/serve/net/http.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+
+namespace privim {
+namespace serve {
+namespace net {
+
+namespace {
+
+const char* const kMethodTokens[] = {"GET ",    "POST ",   "HEAD ",
+                                     "PUT ",    "DELETE ", "OPTIONS ",
+                                     "PATCH "};
+
+std::string ToLower(std::string text) {
+  std::transform(text.begin(), text.end(), text.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return text;
+}
+
+std::string Trim(const std::string& text) {
+  std::size_t begin = 0;
+  std::size_t end = text.size();
+  while (begin < end && (text[begin] == ' ' || text[begin] == '\t')) ++begin;
+  while (end > begin &&
+         (text[end - 1] == ' ' || text[end - 1] == '\t' ||
+          text[end - 1] == '\r')) {
+    --end;
+  }
+  return text.substr(begin, end - begin);
+}
+
+}  // namespace
+
+ProtocolKind SniffProtocol(const char* data, std::size_t size) {
+  if (size == 0) return ProtocolKind::kUnknown;
+  bool maybe_http = false;
+  for (const char* token : kMethodTokens) {
+    const std::size_t token_size = std::char_traits<char>::length(token);
+    const std::size_t compare = std::min(size, token_size);
+    if (std::char_traits<char>::compare(data, token, compare) != 0) continue;
+    if (size >= token_size) return ProtocolKind::kHttp;
+    maybe_http = true;  // still a proper prefix of this token
+  }
+  return maybe_http ? ProtocolKind::kUnknown : ProtocolKind::kJsonl;
+}
+
+std::string HttpRequest::Header(const std::string& name) const {
+  for (const auto& [key, value] : headers) {
+    if (key == name) return value;
+  }
+  return "";
+}
+
+void HttpParser::Feed(const char* data, std::size_t size) {
+  if (poisoned_) return;
+  buffer_.append(data, size);
+}
+
+HttpParser::Next HttpParser::PopRequest(HttpRequest* request) {
+  if (poisoned_) {
+    if (fault_reported_) return Next::kNeedMore;
+    fault_reported_ = true;
+    return oversized_ ? Next::kOversized : Next::kBad;
+  }
+
+  const std::size_t header_end = buffer_.find("\r\n\r\n");
+  if (header_end == std::string::npos) {
+    if (buffer_.size() > max_request_bytes_) {
+      poisoned_ = true;
+      oversized_ = true;
+      fault_reported_ = true;
+      return Next::kOversized;
+    }
+    return Next::kNeedMore;
+  }
+
+  // Parse the request line and headers from [0, header_end).
+  HttpRequest parsed;
+  std::size_t line_start = 0;
+  bool first = true;
+  while (line_start <= header_end) {
+    std::size_t line_end = buffer_.find("\r\n", line_start);
+    const std::string line = buffer_.substr(line_start, line_end - line_start);
+    line_start = line_end + 2;
+    if (first) {
+      first = false;
+      const std::size_t sp1 = line.find(' ');
+      const std::size_t sp2 =
+          sp1 == std::string::npos ? std::string::npos
+                                   : line.find(' ', sp1 + 1);
+      if (sp1 == std::string::npos || sp2 == std::string::npos) {
+        poisoned_ = true;
+        fault_reported_ = true;
+        error_ = "malformed HTTP request line";
+        return Next::kBad;
+      }
+      parsed.method = line.substr(0, sp1);
+      parsed.target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+      parsed.version = line.substr(sp2 + 1);
+      if (parsed.version != "HTTP/1.1" && parsed.version != "HTTP/1.0") {
+        poisoned_ = true;
+        fault_reported_ = true;
+        error_ = "unsupported HTTP version \"" + parsed.version + "\"";
+        return Next::kBad;
+      }
+      continue;
+    }
+    if (line.empty()) break;  // the blank line closing the headers
+    const std::size_t colon = line.find(':');
+    if (colon == std::string::npos) {
+      poisoned_ = true;
+      fault_reported_ = true;
+      error_ = "malformed HTTP header line";
+      return Next::kBad;
+    }
+    parsed.headers.emplace_back(ToLower(Trim(line.substr(0, colon))),
+                                Trim(line.substr(colon + 1)));
+  }
+
+  std::size_t content_length = 0;
+  if (const std::string value = parsed.Header("content-length");
+      !value.empty()) {
+    char* end = nullptr;
+    const unsigned long long n = std::strtoull(value.c_str(), &end, 10);
+    if (end == value.c_str() || *end != '\0') {
+      poisoned_ = true;
+      fault_reported_ = true;
+      error_ = "malformed Content-Length \"" + value + "\"";
+      return Next::kBad;
+    }
+    content_length = static_cast<std::size_t>(n);
+  }
+  if (!parsed.Header("transfer-encoding").empty()) {
+    poisoned_ = true;
+    fault_reported_ = true;
+    error_ = "Transfer-Encoding is not supported; send Content-Length";
+    return Next::kBad;
+  }
+
+  const std::size_t body_start = header_end + 4;
+  if (body_start + content_length > max_request_bytes_) {
+    poisoned_ = true;
+    oversized_ = true;
+    fault_reported_ = true;
+    return Next::kOversized;
+  }
+  if (buffer_.size() < body_start + content_length) return Next::kNeedMore;
+
+  parsed.body = buffer_.substr(body_start, content_length);
+  const std::string connection = ToLower(parsed.Header("connection"));
+  parsed.keep_alive = parsed.version == "HTTP/1.1"
+                          ? connection != "close"
+                          : connection == "keep-alive";
+  buffer_.erase(0, body_start + content_length);
+  *request = std::move(parsed);
+  return Next::kRequest;
+}
+
+const char* HttpStatusText(int status_code) {
+  switch (status_code) {
+    case 200:
+      return "OK";
+    case 400:
+      return "Bad Request";
+    case 404:
+      return "Not Found";
+    case 405:
+      return "Method Not Allowed";
+    case 409:
+      return "Conflict";
+    case 500:
+      return "Internal Server Error";
+    case 503:
+      return "Service Unavailable";
+    case 504:
+      return "Gateway Timeout";
+  }
+  return "Unknown";
+}
+
+int HttpStatusForStatus(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kOk:
+      return 200;
+    case StatusCode::kInvalidArgument:
+    case StatusCode::kOutOfRange:
+    case StatusCode::kUnsupportedVersion:
+      return 400;
+    case StatusCode::kNotFound:
+      return 404;
+    case StatusCode::kFailedPrecondition:
+      return 409;
+    case StatusCode::kUnavailable:
+      return 503;
+    case StatusCode::kDeadlineExceeded:
+      return 504;
+    default:
+      return 500;
+  }
+}
+
+std::string HttpResponseBytes(int status_code, const std::string& body,
+                              bool keep_alive) {
+  std::string out = "HTTP/1.1 " + std::to_string(status_code) + " " +
+                    HttpStatusText(status_code) + "\r\n";
+  out += "Content-Type: application/json\r\n";
+  out += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  out += keep_alive ? "Connection: keep-alive\r\n" : "Connection: close\r\n";
+  out += "\r\n";
+  out += body;
+  return out;
+}
+
+}  // namespace net
+}  // namespace serve
+}  // namespace privim

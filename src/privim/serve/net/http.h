@@ -1,0 +1,119 @@
+// Minimal HTTP/1.1 framing for the TCP front end.
+//
+// The listener speaks two framings over the same port: raw JSON-lines
+// (the historical wire format) and HTTP/1.1. Which one a connection uses
+// is auto-detected from its first bytes — an HTTP method token selects
+// HTTP, anything else (in practice a '{') selects JSONL — and never
+// changes for the life of the connection.
+//
+// The HTTP surface maps straight onto the JSONL one:
+//
+//   POST /v1/query       body = one request object  -> the response line
+//   GET  /v1/info        == {"op":"info"}           -> the info line
+//   GET  /v1/healthz     liveness                   -> {"ok":true}
+//   GET  /v1/metrics     the obs metrics registry dump
+//   POST /v1/admin/swap  body = one admin request (loopback peers only)
+//
+// Response bodies for /v1/query are the EXACT bytes the JSONL path emits
+// for the same request line (ToJsonLine() + "\n"), so the two framings
+// cannot drift; the integration test pins this byte identity.
+//
+// The parser is deliberately small: request line + headers + an optional
+// Content-Length body. No chunked encoding, no trailers, no continuation
+// lines — a client needing those is holding the API wrong, and the parser
+// says so with a 400 instead of guessing.
+
+#ifndef PRIVIM_SERVE_NET_HTTP_H_
+#define PRIVIM_SERVE_NET_HTTP_H_
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "privim/common/status.h"
+
+namespace privim {
+namespace serve {
+namespace net {
+
+/// What the first bytes of a connection say about its framing.
+enum class ProtocolKind {
+  kUnknown,  ///< not enough bytes yet to decide
+  kJsonl,    ///< raw JSON-lines (the historical wire format)
+  kHttp,     ///< HTTP/1.1
+};
+
+/// Classifies a connection from its buffered first bytes. Returns kHttp
+/// when they begin with a known method token ("GET ", "POST ", ...),
+/// kUnknown while they are still a proper prefix of one, and kJsonl
+/// otherwise (a request object's '{' decides immediately).
+ProtocolKind SniffProtocol(const char* data, std::size_t size);
+
+/// One parsed request. Header names are lower-cased; values are trimmed.
+struct HttpRequest {
+  std::string method;   ///< "GET", "POST", ...
+  std::string target;   ///< request target, e.g. "/v1/query"
+  std::string version;  ///< "HTTP/1.1" or "HTTP/1.0"
+  std::vector<std::pair<std::string, std::string>> headers;
+  std::string body;
+  /// HTTP/1.1 defaults to keep-alive; "Connection: close" (or HTTP/1.0
+  /// without "Connection: keep-alive") turns it off.
+  bool keep_alive = true;
+
+  /// First value of a (lower-case) header name, or "" when absent.
+  std::string Header(const std::string& name) const;
+};
+
+/// Incremental request parser, mirroring LineFramer: Feed() whatever
+/// chunks recv() produces, PopRequest() complete requests. A request that
+/// exceeds `max_request_bytes` (headers + body) or fails to parse poisons
+/// the parser — HTTP framing cannot be resynchronized after either — and
+/// the connection is expected to answer once and close.
+class HttpParser {
+ public:
+  explicit HttpParser(std::size_t max_request_bytes)
+      : max_request_bytes_(max_request_bytes) {}
+
+  /// Appends a received chunk. No-op once poisoned.
+  void Feed(const char* data, std::size_t size);
+
+  enum class Next { kRequest, kNeedMore, kOversized, kBad };
+
+  /// Pops the next complete request. kOversized and kBad are reported
+  /// exactly once; error() holds the kBad detail.
+  Next PopRequest(HttpRequest* request);
+
+  bool poisoned() const { return poisoned_; }
+  const std::string& error() const { return error_; }
+
+ private:
+  std::size_t max_request_bytes_;
+  std::string buffer_;
+  bool poisoned_ = false;
+  bool fault_reported_ = false;
+  bool oversized_ = false;
+  std::string error_;
+};
+
+/// Serializes one response. `body` is sent verbatim with Content-Type
+/// application/json and an exact Content-Length, so a /v1/query body stays
+/// byte-identical to the JSONL response line it wraps.
+std::string HttpResponseBytes(int status_code, const std::string& body,
+                              bool keep_alive);
+
+/// The reason phrase for the handful of codes the server emits.
+const char* HttpStatusText(int status_code);
+
+/// Maps a ServeResponse status onto the HTTP status line: OK -> 200,
+/// InvalidArgument / OutOfRange / UnsupportedVersion -> 400, NotFound ->
+/// 404, FailedPrecondition -> 409, Unavailable -> 503 (overload),
+/// DeadlineExceeded -> 504, anything else -> 500. The JSON body still
+/// carries the exact status code string either way.
+int HttpStatusForStatus(const Status& status);
+
+}  // namespace net
+}  // namespace serve
+}  // namespace privim
+
+#endif  // PRIVIM_SERVE_NET_HTTP_H_

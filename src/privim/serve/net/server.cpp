@@ -79,6 +79,13 @@ std::string OverloadedLine(const std::string& id) {
   return OverloadedResponse(id).ToJsonLine() + "\n";
 }
 
+ServeResponse ErrorResponse(const std::string& id, Status status) {
+  ServeResponse response;
+  response.id = id;
+  response.status = std::move(status);
+  return response;
+}
+
 }  // namespace
 
 Status NetServerOptions::Validate() const {
@@ -128,9 +135,22 @@ Result<std::unique_ptr<NetServer>> NetServer::Create(
   server->poller_ = std::move(poller).value();
 
   Result<int> listen_fd =
-      OpenListenSocket(options.listen, options.backlog, &server->bound_);
+      OpenListenSocket(options.listen, options.backlog, &server->bound_,
+                       options.reuse_port);
   if (!listen_fd.ok()) return listen_fd.status();
   server->listen_fd_ = listen_fd.value();
+
+  if (!options.metrics_scope.empty()) {
+    const std::string prefix = "serve.net." + options.metrics_scope + ".";
+    server->scoped_.accepted =
+        obs::GlobalMetrics().GetCounter(prefix + "accepted");
+    server->scoped_.requests =
+        obs::GlobalMetrics().GetCounter(prefix + "requests");
+    server->scoped_.responses =
+        obs::GlobalMetrics().GetCounter(prefix + "responses");
+    server->scoped_.connections =
+        obs::GlobalMetrics().GetGauge(prefix + "connections");
+  }
 
   PRIVIM_RETURN_NOT_OK(
       server->poller_->Add(server->listen_fd_, /*read=*/true,
@@ -239,7 +259,8 @@ bool NetServer::DrainComplete() {
 
 void NetServer::AcceptNewConnections() {
   while (listen_fd_ >= 0) {
-    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    bool peer_loopback = false;
+    const int fd = AcceptConnection(listen_fd_, &peer_loopback);
     if (fd < 0) {
       if (errno == EINTR) continue;
       break;  // EAGAIN or a transient accept failure: wait for the next event
@@ -264,6 +285,7 @@ void NetServer::AcceptNewConnections() {
         static_cast<std::size_t>(options_.max_line_bytes));
     conn->id = next_conn_id_++;
     conn->fd = fd;
+    conn->peer_loopback = peer_loopback;
     if (!poller_->Add(fd, /*read=*/true, /*write=*/false).ok()) {
       ::close(fd);
       continue;
@@ -272,7 +294,15 @@ void NetServer::AcceptNewConnections() {
     conns_[conn->id] = std::move(conn);
     accepted_.fetch_add(1, std::memory_order_relaxed);
     AcceptedCounter()->Increment();
-    ConnectionsGauge()->Set(static_cast<double>(conns_.size()));
+    if (scoped_.accepted != nullptr) scoped_.accepted->Increment();
+    // The open-connections gauge is per loop by nature: a scoped loop owns
+    // its own gauge and leaves the global one to single-loop servers
+    // (several loops each Set()ing the global gauge would clobber it).
+    if (scoped_.connections != nullptr) {
+      scoped_.connections->Set(static_cast<double>(conns_.size()));
+    } else {
+      ConnectionsGauge()->Set(static_cast<double>(conns_.size()));
+    }
   }
 }
 
@@ -285,11 +315,19 @@ void NetServer::HandleReadable(Connection* conn) {
       bytes_in_.fetch_add(static_cast<uint64_t>(n),
                           std::memory_order_relaxed);
       BytesInCounter()->Increment(static_cast<uint64_t>(n));
-      conn->framer.Feed(buffer, static_cast<std::size_t>(n));
+      IngestBytes(conn, buffer, static_cast<std::size_t>(n));
       continue;
     }
     if (n == 0) {
       conn->peer_closed = true;
+      // A stream that ended before the framing could be decided is treated
+      // as JSONL: an unterminated partial line, exactly like the stdin
+      // front end sees at an EOF mid-line.
+      if (conn->proto == ProtocolKind::kUnknown && !conn->probe.empty()) {
+        conn->proto = ProtocolKind::kJsonl;
+        conn->framer.Feed(conn->probe.data(), conn->probe.size());
+        conn->probe.clear();
+      }
       break;
     }
     if (errno == EAGAIN || errno == EWOULDBLOCK) break;
@@ -299,6 +337,68 @@ void NetServer::HandleReadable(Connection* conn) {
   }
   if (closed) {
     CloseConnection(conn);
+    return;
+  }
+
+  DrainFramed(conn);
+  FlushReadySlots(conn);
+  MaybeFinishConnection(conn);
+}
+
+void NetServer::IngestBytes(Connection* conn, const char* data,
+                            std::size_t size) {
+  if (conn->proto == ProtocolKind::kUnknown) {
+    conn->probe.append(data, size);
+    conn->proto = SniffProtocol(conn->probe.data(), conn->probe.size());
+    if (conn->proto == ProtocolKind::kUnknown) return;  // still ambiguous
+    // Replay the probe into the winning framer; from here on bytes go
+    // straight through.
+    if (conn->proto == ProtocolKind::kHttp) {
+      conn->http.Feed(conn->probe.data(), conn->probe.size());
+    } else {
+      conn->framer.Feed(conn->probe.data(), conn->probe.size());
+    }
+    conn->probe.clear();
+    conn->probe.shrink_to_fit();
+    return;
+  }
+  if (conn->proto == ProtocolKind::kHttp) {
+    conn->http.Feed(data, size);
+  } else {
+    conn->framer.Feed(data, size);
+  }
+}
+
+void NetServer::DrainFramed(Connection* conn) {
+  if (conn->proto == ProtocolKind::kHttp) {
+    HttpRequest request;
+    while (true) {
+      const HttpParser::Next next = conn->http.PopRequest(&request);
+      if (next == HttpParser::Next::kNeedMore) break;
+      if (next == HttpParser::Next::kRequest) {
+        HandleHttpRequest(conn, request);
+        continue;
+      }
+      // kOversized / kBad: answer once with a close-marked 400 and stop
+      // reading — HTTP framing cannot be resynchronized after either.
+      bad_lines_.fetch_add(1, std::memory_order_relaxed);
+      BadLinesCounter()->Increment();
+      Slot slot;
+      slot.seq = conn->next_seq++;
+      slot.http = true;
+      slot.keep_alive = false;
+      slot.ready = true;
+      const Status status =
+          next == HttpParser::Next::kOversized
+              ? Status::InvalidArgument(
+                    "request exceeds " +
+                    std::to_string(options_.max_line_bytes) + " bytes")
+              : Status::InvalidArgument(conn->http.error());
+      slot.out = RenderResponse(slot, ErrorResponse("", status));
+      conn->slots.push_back(std::move(slot));
+      conn->peer_closed = true;
+      break;
+    }
     return;
   }
 
@@ -326,13 +426,22 @@ void NetServer::HandleReadable(Connection* conn) {
     if (line.empty()) continue;  // the stdin front end skips blank lines too
     HandleLine(conn, line);
   }
-  FlushReadySlots(conn);
-  MaybeFinishConnection(conn);
+}
+
+std::string NetServer::RenderResponse(const Slot& slot,
+                                      const ServeResponse& response) {
+  // The JSONL line is the payload in both framings; HTTP wraps the exact
+  // same bytes as its body, which is what the byte-identity tests pin.
+  std::string line = response.ToJsonLine() + "\n";
+  if (!slot.http) return line;
+  return HttpResponseBytes(HttpStatusForStatus(response.status), line,
+                           slot.keep_alive);
 }
 
 void NetServer::HandleLine(Connection* conn, const std::string& line) {
   requests_.fetch_add(1, std::memory_order_relaxed);
   RequestsCounter()->Increment();
+  if (scoped_.requests != nullptr) scoped_.requests->Increment();
 
   Slot slot;
   slot.seq = conn->next_seq++;
@@ -351,6 +460,102 @@ void NetServer::HandleLine(Connection* conn, const std::string& line) {
   }
   slot.request_id = request->id;
   conn->slots.push_back(std::move(slot));
+  SubmitSlot(conn, seq, request.value());
+}
+
+void NetServer::HandleHttpRequest(Connection* conn,
+                                  const HttpRequest& http) {
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  RequestsCounter()->Increment();
+  if (scoped_.requests != nullptr) scoped_.requests->Increment();
+
+  Slot slot;
+  slot.seq = conn->next_seq++;
+  slot.http = true;
+  slot.keep_alive = http.keep_alive;
+  slot.received_seconds = clock_.ElapsedSeconds();
+  const uint64_t seq = slot.seq;
+
+  // The two local endpoints answer inline without touching the engine.
+  if (http.method == "GET" && http.target == "/v1/healthz") {
+    slot.ready = true;
+    slot.out = HttpResponseBytes(200, "{\"ok\":true}\n", slot.keep_alive);
+    conn->slots.push_back(std::move(slot));
+    return;
+  }
+  if (http.method == "GET" && http.target == "/v1/metrics") {
+    slot.ready = true;
+    slot.out = HttpResponseBytes(200, obs::GlobalMetrics().ToJson() + "\n",
+                                 slot.keep_alive);
+    conn->slots.push_back(std::move(slot));
+    return;
+  }
+
+  // Everything else flows through the engine, so HTTP and JSONL answers
+  // come from the same computation (and the same cache).
+  std::string body;
+  if (http.method == "GET" && http.target == "/v1/info") {
+    body = "{\"op\":\"info\"}";
+  } else if (http.method == "POST" && (http.target == "/v1/query" ||
+                                       http.target == "/v1/admin/swap")) {
+    body = http.body;
+  } else {
+    bad_lines_.fetch_add(1, std::memory_order_relaxed);
+    BadLinesCounter()->Increment();
+    slot.ready = true;
+    slot.out = RenderResponse(
+        slot, ErrorResponse(
+                  "", Status::NotFound(http.method + " " + http.target +
+                                       " is not an endpoint (try POST "
+                                       "/v1/query, GET /v1/info, GET "
+                                       "/v1/healthz, GET /v1/metrics, POST "
+                                       "/v1/admin/swap)")));
+    conn->slots.push_back(std::move(slot));
+    return;
+  }
+
+  Result<ServeRequest> request = ParseServeRequest(body);
+  if (!request.ok()) {
+    bad_lines_.fetch_add(1, std::memory_order_relaxed);
+    BadLinesCounter()->Increment();
+    slot.ready = true;
+    slot.out = RenderResponse(
+        slot, ResponseForBadLine(body, request.status()));
+    conn->slots.push_back(std::move(slot));
+    return;
+  }
+  if (http.target == "/v1/admin/swap" &&
+      request->op != RequestOp::kAdmin) {
+    slot.ready = true;
+    slot.out = RenderResponse(
+        slot, ErrorResponse(request->id,
+                            Status::InvalidArgument(
+                                "/v1/admin/swap takes an op=admin request "
+                                "body")));
+    conn->slots.push_back(std::move(slot));
+    return;
+  }
+
+  slot.request_id = request->id;
+  conn->slots.push_back(std::move(slot));
+  SubmitSlot(conn, seq, request.value());
+}
+
+void NetServer::SubmitSlot(Connection* conn, uint64_t seq,
+                           const ServeRequest& request) {
+  Slot* slot = FindSlot(conn, seq);
+
+  // Admin requests mutate the serving assets; over TCP they are accepted
+  // from loopback peers only, on both framings.
+  if (request.op == RequestOp::kAdmin && !conn->peer_loopback) {
+    slot->ready = true;
+    slot->out = RenderResponse(
+        *slot, ErrorResponse(request.id,
+                             Status::FailedPrecondition(
+                                 "admin requests are only accepted from "
+                                 "loopback peers")));
+    return;
+  }
 
   const uint64_t conn_id = conn->id;
   // Count the request as outstanding before submitting: a cache hit
@@ -358,17 +563,13 @@ void NetServer::HandleLine(Connection* conn, const std::string& line) {
   // decrements unconditionally.
   ++outstanding_;
   const Status submitted = service_->SubmitAsync(
-      request.value(), [this, conn_id, seq](ServeResponse response) {
+      request, [this, conn_id, seq](ServeResponse response) {
         OnCompletion(conn_id, seq, std::move(response));
       });
   if (!submitted.ok()) {
     --outstanding_;
-    Slot& rejected = conn->slots.back();
-    rejected.ready = true;
-    ServeResponse response;
-    response.id = request->id;
-    response.status = submitted;
-    rejected.out = response.ToJsonLine() + "\n";
+    slot->ready = true;
+    slot->out = RenderResponse(*slot, ErrorResponse(request.id, submitted));
     if (IsOverloaded(submitted)) {
       shed_.fetch_add(1, std::memory_order_relaxed);
       OverloadedCounter()->Increment();
@@ -377,8 +578,7 @@ void NetServer::HandleLine(Connection* conn, const std::string& line) {
   }
   if (options_.deadline_ms > 0) {
     DeadlineEntry entry;
-    entry.when = conn->slots.back().received_seconds +
-                 options_.deadline_ms / 1000.0;
+    entry.when = slot->received_seconds + options_.deadline_ms / 1000.0;
     entry.conn_id = conn_id;
     entry.seq = seq;
     deadlines_.push(entry);
@@ -425,7 +625,7 @@ void NetServer::ProcessCompletions() {
     NetLatencyHistogram()->Observe(clock_.ElapsedSeconds() -
                                    slot->received_seconds);
     slot->ready = true;
-    slot->out = completion.response.ToJsonLine() + "\n";
+    slot->out = RenderResponse(*slot, completion.response);
     FlushReadySlots(conn);
     MaybeFinishConnection(conn);
   }
@@ -445,10 +645,9 @@ void NetServer::ExpireDeadlines() {
     DeadlineExceededCounter()->Increment();
     slot->ready = true;
     slot->expired = true;
-    ServeResponse response;
-    response.id = slot->request_id;
-    response.status = Status::DeadlineExceeded("deadline exceeded");
-    slot->out = response.ToJsonLine() + "\n";
+    slot->out = RenderResponse(
+        *slot, ErrorResponse(slot->request_id,
+                             Status::DeadlineExceeded("deadline exceeded")));
     FlushReadySlots(conn);
     MaybeFinishConnection(conn);
   }
@@ -457,11 +656,19 @@ void NetServer::ExpireDeadlines() {
 void NetServer::FlushReadySlots(Connection* conn) {
   bool queued = false;
   while (!conn->slots.empty() && conn->slots.front().ready) {
+    const bool close_after =
+        conn->slots.front().http && !conn->slots.front().keep_alive;
     conn->outbuf += conn->slots.front().out;
     conn->slots.pop_front();
     responses_.fetch_add(1, std::memory_order_relaxed);
     ResponsesCounter()->Increment();
+    if (scoped_.responses != nullptr) scoped_.responses->Increment();
     queued = true;
+    if (close_after) {
+      // "Connection: close" honored: stop reading; the connection closes
+      // once the remaining queued responses flush.
+      conn->peer_closed = true;
+    }
   }
   if (queued) TryWrite(conn);
 }
@@ -510,7 +717,11 @@ void NetServer::CloseConnection(Connection* conn) {
   ::close(conn->fd);
   fd_to_conn_.erase(conn->fd);
   conns_.erase(conn->id);  // destroys *conn
-  ConnectionsGauge()->Set(static_cast<double>(conns_.size()));
+  if (scoped_.connections != nullptr) {
+    scoped_.connections->Set(static_cast<double>(conns_.size()));
+  } else {
+    ConnectionsGauge()->Set(static_cast<double>(conns_.size()));
+  }
 }
 
 NetServerStats NetServer::GetStats() const {

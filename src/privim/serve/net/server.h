@@ -1,7 +1,10 @@
 // TCP front door for the InfluenceService: a single-threaded event loop
 // (epoll on Linux, poll elsewhere — see poller.h) speaking the JSON-lines
 // wire format from serve/request.h over any number of concurrent
-// connections.
+// connections. Each connection may instead speak HTTP/1.1 (net/http.h) —
+// the framing is auto-detected from the first bytes and the /v1/query
+// response body is byte-identical to the JSONL response line. Several
+// loops can share one port via SO_REUSEPORT (net/group.h).
 //
 // Life of a request:
 //
@@ -56,7 +59,9 @@
 
 #include "privim/common/status.h"
 #include "privim/common/timer.h"
+#include "privim/obs/metrics.h"
 #include "privim/serve/net/framing.h"
+#include "privim/serve/net/http.h"
 #include "privim/serve/net/poller.h"
 #include "privim/serve/net/socket.h"
 #include "privim/serve/service.h"
@@ -83,6 +88,13 @@ struct NetServerOptions {
   int64_t drain_grace_ms = 5000;
   /// listen(2) backlog.
   int backlog = 128;
+  /// Bind with SO_REUSEPORT so several loops (each its own NetServer) can
+  /// accept on the same concrete port; set by NetServerGroup.
+  bool reuse_port = false;
+  /// When non-empty (e.g. "loop0"), this loop additionally records its
+  /// own serve.net.<scope>.* metric family next to the shared global
+  /// serve.net.* one, so per-loop balance is observable.
+  std::string metrics_scope;
 
   Status Validate() const;
 };
@@ -138,14 +150,20 @@ class NetServer {
     std::string request_id;       ///< echoed by the deadline response
     bool ready = false;           ///< response line available in `out`
     bool expired = false;         ///< answered by the deadline path
+    bool http = false;            ///< wrap the response line as HTTP
+    bool keep_alive = true;       ///< HTTP only: close after this response
     double received_seconds = 0;  ///< loop-clock stamp at arrival
-    std::string out;              ///< response line + '\n' once ready
+    std::string out;              ///< wire bytes once ready
   };
 
   struct Connection {
     uint64_t id = 0;
     int fd = -1;
+    bool peer_loopback = false;  ///< admin requests are gated on this
+    ProtocolKind proto = ProtocolKind::kUnknown;
+    std::string probe;  ///< bytes buffered until the framing is decided
     LineFramer framer;
+    HttpParser http;
     std::deque<Slot> slots;  ///< responses flush strictly in seq order
     uint64_t next_seq = 0;
     std::string outbuf;
@@ -154,7 +172,7 @@ class NetServer {
     bool peer_closed = false;  ///< no more input (EOF, error, oversize)
 
     explicit Connection(std::size_t max_line_bytes)
-        : framer(max_line_bytes) {}
+        : framer(max_line_bytes), http(max_line_bytes) {}
   };
 
   struct Completion {
@@ -177,7 +195,20 @@ class NetServer {
   int ComputeTimeoutMs() const;
   void AcceptNewConnections();
   void HandleReadable(Connection* conn);
+  /// Routes received bytes into the probe buffer, the line framer or the
+  /// HTTP parser depending on the (possibly just-decided) framing.
+  void IngestBytes(Connection* conn, const char* data, std::size_t size);
+  /// Drains complete lines / requests out of the connection's framer.
+  void DrainFramed(Connection* conn);
   void HandleLine(Connection* conn, const std::string& line);
+  void HandleHttpRequest(Connection* conn, const HttpRequest& request);
+  /// Shared tail of both framings: admin loopback gate, SubmitAsync, shed
+  /// handling, deadline registration. The slot for `seq` is already in
+  /// conn->slots.
+  void SubmitSlot(Connection* conn, uint64_t seq, const ServeRequest& request);
+  /// The wire bytes answering `slot`: the exact JSONL response line, HTTP-
+  /// wrapped when the slot is HTTP (body stays byte-identical).
+  std::string RenderResponse(const Slot& slot, const ServeResponse& response);
   void ProcessCompletions();
   void ExpireDeadlines();
   void FlushReadySlots(Connection* conn);
@@ -221,6 +252,18 @@ class NetServer {
   std::atomic<uint64_t> bad_lines_{0};
   std::atomic<uint64_t> bytes_in_{0};
   std::atomic<uint64_t> bytes_out_{0};
+
+  /// Per-loop serve.net.<scope>.* instruments; all null when
+  /// options_.metrics_scope is empty. The shared global serve.net.* family
+  /// is always updated as well, so totals stay comparable across --net-loops
+  /// settings.
+  struct ScopedMetrics {
+    obs::Counter* accepted = nullptr;
+    obs::Counter* requests = nullptr;
+    obs::Counter* responses = nullptr;
+    obs::Gauge* connections = nullptr;
+  };
+  ScopedMetrics scoped_;
 };
 
 }  // namespace net

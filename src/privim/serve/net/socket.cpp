@@ -67,13 +67,27 @@ void SetTcpNoDelay(int fd) {
 }
 
 Result<int> OpenListenSocket(const HostPort& address, int backlog,
-                             HostPort* bound) {
+                             HostPort* bound, bool reuse_port) {
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) {
     return Status::IOError(std::string("socket: ") + std::strerror(errno));
   }
   const int one = 1;
   (void)::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (reuse_port) {
+#if defined(SO_REUSEPORT)
+    if (::setsockopt(fd, SOL_SOCKET, SO_REUSEPORT, &one, sizeof(one)) < 0) {
+      const Status status = Status::IOError(
+          std::string("setsockopt(SO_REUSEPORT): ") + std::strerror(errno));
+      ::close(fd);
+      return status;
+    }
+#else
+    ::close(fd);
+    return Status::Unimplemented("SO_REUSEPORT is not available here; "
+                                 "multi-loop listening needs it");
+#endif
+  }
 
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
@@ -110,6 +124,30 @@ Result<int> OpenListenSocket(const HostPort& address, int backlog,
       bound->port = static_cast<int>(ntohs(actual.sin_port));
     } else {
       *bound = address;
+    }
+  }
+  return fd;
+}
+
+int AcceptConnection(int listen_fd, bool* peer_is_loopback) {
+  sockaddr_storage addr{};
+  socklen_t len = sizeof(addr);
+  const int fd = ::accept(listen_fd, reinterpret_cast<sockaddr*>(&addr),
+                          &len);
+  if (peer_is_loopback != nullptr) {
+    *peer_is_loopback = false;
+    if (fd >= 0) {
+      if (addr.ss_family == AF_INET) {
+        const auto* v4 = reinterpret_cast<const sockaddr_in*>(&addr);
+        *peer_is_loopback =
+            (ntohl(v4->sin_addr.s_addr) >> 24) == 127;
+      } else if (addr.ss_family == AF_INET6) {
+        const auto* v6 = reinterpret_cast<const sockaddr_in6*>(&addr);
+        *peer_is_loopback =
+            IN6_IS_ADDR_LOOPBACK(&v6->sin6_addr) ||
+            (IN6_IS_ADDR_V4MAPPED(&v6->sin6_addr) &&
+             v6->sin6_addr.s6_addr[12] == 127);
+      }
     }
   }
   return fd;

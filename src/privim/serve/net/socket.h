@@ -27,9 +27,19 @@ Result<HostPort> ParseHostPort(const std::string& spec);
 
 /// Creates a non-blocking listening socket bound to `address` with
 /// SO_REUSEADDR set. Returns the fd; `*bound` reports the actual address
-/// (resolving port 0 to the kernel-assigned ephemeral port).
+/// (resolving port 0 to the kernel-assigned ephemeral port). With
+/// `reuse_port` the socket also sets SO_REUSEPORT, so several event loops
+/// can each bind their own accept socket on the same concrete port and let
+/// the kernel balance incoming connections across them (the multi-loop
+/// listener group in net/group.h).
 Result<int> OpenListenSocket(const HostPort& address, int backlog,
-                             HostPort* bound);
+                             HostPort* bound, bool reuse_port = false);
+
+/// Accepts one connection from `listen_fd` (the raw accept(2) result,
+/// negative with errno preserved on failure). `*peer_is_loopback` reports
+/// whether the peer connected from a loopback address — the gate the
+/// server applies to admin requests.
+int AcceptConnection(int listen_fd, bool* peer_is_loopback);
 
 /// Puts an fd into non-blocking mode.
 Status SetNonBlocking(int fd);

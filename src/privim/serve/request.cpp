@@ -16,6 +16,10 @@ const char* RequestOpToString(RequestOp op) {
       return "topk";
     case RequestOp::kSpread:
       return "spread";
+    case RequestOp::kInfo:
+      return "info";
+    case RequestOp::kAdmin:
+      return "admin";
   }
   return "?";
 }
@@ -35,6 +39,20 @@ const char* TopKMethodToString(TopKMethod method) {
 }
 
 Status ServeRequest::Validate() const {
+  if (version != kProtocolVersion) {
+    return UnsupportedVersionError(version);
+  }
+  if (op == RequestOp::kAdmin && action != "swap") {
+    return Status::InvalidArgument("unknown admin action \"" + action +
+                                   "\" (expected swap)");
+  }
+  if (op != RequestOp::kAdmin &&
+      (!action.empty() || !swap_model.empty() || !swap_sketch.empty() ||
+       !swap_graph.empty())) {
+    return Status::InvalidArgument(
+        "\"action\"/\"model\"/\"sketch_index\"/\"graph\" are only valid "
+        "for op=admin");
+  }
   if (!subgraph.empty() && op != RequestOp::kInfluence) {
     return Status::InvalidArgument(
         "\"subgraph\" is only valid for op=influence");
@@ -92,6 +110,16 @@ Result<ServeRequest> ParseServeRequest(const std::string& json_line) {
   if (!id.ok()) return id.status();
   request.id = std::move(id).value();
 
+  // The version gate runs before any other field is interpreted: a client
+  // speaking a future protocol must get UnsupportedVersion, not a
+  // confusing parse error about a field this version does not know.
+  Result<int64_t> version = doc->GetInt("v", request.version);
+  if (!version.ok()) return version.status();
+  request.version = version.value();
+  if (request.version != kProtocolVersion) {
+    return UnsupportedVersionError(request.version);
+  }
+
   Result<std::string> op = doc->GetString("op", "");
   if (!op.ok()) return op.status();
   if (op.value() == "influence") {
@@ -100,11 +128,31 @@ Result<ServeRequest> ParseServeRequest(const std::string& json_line) {
     request.op = RequestOp::kTopK;
   } else if (op.value() == "spread") {
     request.op = RequestOp::kSpread;
+  } else if (op.value() == "info") {
+    request.op = RequestOp::kInfo;
+  } else if (op.value() == "admin") {
+    request.op = RequestOp::kAdmin;
   } else {
     return Status::InvalidArgument(
         "unknown op \"" + op.value() +
-        "\" (expected influence | topk | spread)");
+        "\" (expected influence | topk | spread | info | admin)");
   }
+
+  // Admin fields are read for every op so Validate() can reject them on
+  // non-admin requests (a stray "action" on a topk is a client bug worth
+  // reporting, not ignoring).
+  Result<std::string> action = doc->GetString("action", "");
+  if (!action.ok()) return action.status();
+  request.action = std::move(action).value();
+  Result<std::string> swap_model = doc->GetString("model", "");
+  if (!swap_model.ok()) return swap_model.status();
+  request.swap_model = std::move(swap_model).value();
+  Result<std::string> swap_sketch = doc->GetString("sketch_index", "");
+  if (!swap_sketch.ok()) return swap_sketch.status();
+  request.swap_sketch = std::move(swap_sketch).value();
+  Result<std::string> swap_graph = doc->GetString("graph", "");
+  if (!swap_graph.ok()) return swap_graph.status();
+  request.swap_graph = std::move(swap_graph).value();
 
   Result<std::vector<int64_t>> nodes = doc->GetIntArray("nodes");
   if (!nodes.ok()) return nodes.status();
@@ -171,6 +219,14 @@ uint64_t RequestDigest(const ServeRequest& request) {
   ckpt::ByteWriter w;
   w.WriteU8(static_cast<uint8_t>(request.op));
   w.WriteU8(static_cast<uint8_t>(request.method));
+  w.WriteI64(static_cast<int64_t>(request.action.size()));
+  w.WriteBytes(request.action);
+  w.WriteI64(static_cast<int64_t>(request.swap_model.size()));
+  w.WriteBytes(request.swap_model);
+  w.WriteI64(static_cast<int64_t>(request.swap_sketch.size()));
+  w.WriteBytes(request.swap_sketch);
+  w.WriteI64(static_cast<int64_t>(request.swap_graph.size()));
+  w.WriteBytes(request.swap_graph);
   w.WriteI64(request.k);
   w.WriteI64(request.rr_sets);
   w.WriteI64(request.simulations);
@@ -213,6 +269,21 @@ Status QueueFullError(int64_t queue_capacity) {
   return Status::FailedPrecondition("admission queue full (" +
                                     std::to_string(queue_capacity) +
                                     " requests)");
+}
+
+Status UnsupportedVersionError(int64_t requested) {
+  return Status::UnsupportedVersion(
+      "protocol version " + std::to_string(requested) +
+      " is not supported (this server speaks " +
+      std::to_string(kProtocolVersion) + ")");
+}
+
+bool IsUnsupportedVersion(const Status& status) {
+  return status.code() == StatusCode::kUnsupportedVersion;
+}
+
+bool IsCacheable(const ServeRequest& request) {
+  return request.op != RequestOp::kAdmin;
 }
 
 std::string ServeResponse::ToJsonLine() const {

@@ -9,12 +9,28 @@
 //   {"id":"r4","op":"topk","k":10,"method":"ris","rr_sets":2000,"seed":7}
 //   {"id":"r5","op":"spread","seeds":[0,5],"steps":2,"simulations":500,
 //    "seed":13}
+//   {"id":"r7","op":"info"}
+//   {"id":"r8","op":"admin","action":"swap","model":"released.model"}
 //
 // Responses echo the id and carry op-specific payload fields plus "ok"
 // and (on failure) "error"/"code". Responses are a pure function
-// of (model, graph, request) — never of batch composition, thread count or
+// of (assets, request) — never of batch composition, thread count or
 // cache state — so a fixed request seed yields a bit-identical response
 // line at 1, 4 or 8 threads (pinned by tests/serve/service_test.cpp).
+//
+// Versioning: every request may carry an optional integer "v" naming the
+// protocol version it speaks (default kProtocolVersion, currently the
+// only one). A request with any other "v" is refused with the distinct
+// UnsupportedVersion error code, emitted byte-identically by every front
+// end. {"op":"info"} is the capability handshake: it returns the protocol
+// version, the supported ops and top-k methods, and the fingerprints of
+// the currently served asset snapshot, so clients can negotiate before
+// issuing real traffic.
+//
+// {"op":"admin","action":"swap",...} atomically repoints the served asset
+// snapshot (model / sketch index / graph, loaded from the named files)
+// without dropping a connection; TCP front ends only accept it from
+// loopback peers. Admin responses are never cached.
 
 #ifndef PRIVIM_SERVE_REQUEST_H_
 #define PRIVIM_SERVE_REQUEST_H_
@@ -30,7 +46,11 @@
 namespace privim {
 namespace serve {
 
-enum class RequestOp { kInfluence, kTopK, kSpread };
+/// The protocol version this build speaks; requests carrying a different
+/// "v" get UnsupportedVersionError from every front end.
+inline constexpr int64_t kProtocolVersion = 1;
+
+enum class RequestOp { kInfluence, kTopK, kSpread, kInfo, kAdmin };
 /// kSketch answers from the precomputed RIS sketch index when the service
 /// has one attached whose step bound matches the request; otherwise it
 /// falls back to CELF (counted in im.sketch.fallbacks) — the response
@@ -64,7 +84,17 @@ struct ServeRequest {
   std::vector<NodeId> seeds;
   int64_t simulations = 200;  ///< 0 selects the deterministic unit-weight path
 
+  // --- admin ---
+  /// Admin verb; only "swap" is defined. A swap builds a complete new
+  /// asset snapshot: absent/empty paths mean "none" in the new snapshot
+  /// (except "graph", where absent keeps the currently served graph).
+  std::string action;
+  std::string swap_model;   ///< model file for the new snapshot; "" = none
+  std::string swap_sketch;  ///< sketch index file; "" = none
+  std::string swap_graph;   ///< edge-list file; "" = keep current graph
+
   // --- shared ---
+  int64_t version = kProtocolVersion;  ///< wire protocol version ("v")
   int64_t steps = 1;   ///< diffusion steps j
   uint64_t seed = 42;  ///< per-request RNG stream root
 
@@ -125,6 +155,23 @@ ServeResponse OverloadedResponse(const std::string& id);
 /// API (it predates load shedding; its callers pin this code + message).
 /// Kept in one place so the translation cannot fork again.
 Status QueueFullError(int64_t queue_capacity);
+
+// --- Version vocabulary (same contract as the overload vocabulary) ------
+
+/// The canonical refusal for a request whose "v" is not kProtocolVersion.
+/// Every front end derives its wire error from this one helper, so the
+/// refusal line cannot drift between them (request_test.cpp pins the
+/// bytes).
+Status UnsupportedVersionError(int64_t requested);
+
+/// True when `status` is the version refusal (and nothing else — no other
+/// serving path produces UnsupportedVersion).
+bool IsUnsupportedVersion(const Status& status);
+
+/// True when responses to `request` may be cached and served from cache.
+/// Admin requests mutate the service, so they are neither: a swap must
+/// execute every time.
+bool IsCacheable(const ServeRequest& request);
 
 }  // namespace serve
 }  // namespace privim

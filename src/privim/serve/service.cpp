@@ -1,16 +1,13 @@
 #include "privim/serve/service.h"
 
 #include <algorithm>
-#include <sstream>
+#include <map>
 #include <utility>
 
-#include "privim/ckpt/io.h"
 #include "privim/common/thread_pool.h"
 #include "privim/diffusion/ic_model.h"
 #include "privim/gnn/features.h"
 #include "privim/gnn/graph_context.h"
-#include "privim/gnn/serialization.h"
-#include "privim/im/celf.h"
 #include "privim/im/ris.h"
 #include "privim/im/seed_selection.h"
 #include "privim/im/spread_oracle.h"
@@ -52,11 +49,6 @@ obs::Counter* CacheMissCounter() {
       obs::GlobalMetrics().GetCounter("serve.cache.misses");
   return c;
 }
-obs::Counter* FusedForwardCounter() {
-  static obs::Counter* c =
-      obs::GlobalMetrics().GetCounter("serve.infer.fused_forwards");
-  return c;
-}
 obs::Counter* InferFallbackCounter() {
   static obs::Counter* c =
       obs::GlobalMetrics().GetCounter("serve.infer.fallbacks");
@@ -70,6 +62,14 @@ obs::Counter* SketchServeCounter() {
 obs::Counter* SketchFallbackCounter() {
   static obs::Counter* c =
       obs::GlobalMetrics().GetCounter("im.sketch.fallbacks");
+  return c;
+}
+obs::Counter* SwapCounter() {
+  static obs::Counter* c = obs::GlobalMetrics().GetCounter("serve.swap.count");
+  return c;
+}
+obs::Counter* SwapErrorCounter() {
+  static obs::Counter* c = obs::GlobalMetrics().GetCounter("serve.swap.errors");
   return c;
 }
 obs::Gauge* QueueDepthGauge() {
@@ -101,6 +101,12 @@ JsonValue NodeArray(const std::vector<NodeId>& nodes) {
   return array;
 }
 
+JsonValue StringArray(std::initializer_list<const char*> values) {
+  JsonValue array = JsonValue::Array();
+  for (const char* v : values) array.Append(JsonValue::Str(v));
+  return array;
+}
+
 /// The one place a subgraph-influence payload is assembled: the solo path
 /// (Compute) and the batched fused path (ComputeSubgraphGroup) both call
 /// it, so their response bytes cannot drift.
@@ -116,23 +122,6 @@ void FillSubgraphInfluencePayload(const Subgraph& sub, const Tensor& scores,
 }
 
 }  // namespace
-
-Result<InferEngineKind> InferEngineKindFromString(const std::string& name) {
-  if (name == "fused") return InferEngineKind::kFused;
-  if (name == "tape") return InferEngineKind::kTape;
-  return Status::InvalidArgument("unknown inference engine \"" + name +
-                                 "\" (expected fused | tape)");
-}
-
-const char* InferEngineKindToString(InferEngineKind kind) {
-  switch (kind) {
-    case InferEngineKind::kFused:
-      return "fused";
-    case InferEngineKind::kTape:
-      return "tape";
-  }
-  return "?";
-}
 
 Status ServeOptions::Validate() const {
   if (queue_capacity < 1) {
@@ -156,76 +145,75 @@ Status ServeOptions::Validate() const {
   return Status::OK();
 }
 
-InfluenceService::InfluenceService(Graph graph,
-                                   std::shared_ptr<const GnnModel> model,
-                                   const ServeOptions& options)
-    : graph_(std::move(graph)),
-      model_(std::move(model)),
+InfluenceService::InfluenceService(
+    std::shared_ptr<const ServingAssets> assets, const ServeOptions& options)
+    : assets_(std::move(assets)),
       options_(options),
       cache_(options.cache_capacity, options.cache_shards) {}
+
+Result<std::unique_ptr<InfluenceService>> InfluenceService::Create(
+    std::shared_ptr<const ServingAssets> assets, const ServeOptions& options) {
+  PRIVIM_RETURN_NOT_OK(options.Validate());
+  if (assets == nullptr) {
+    return Status::InvalidArgument("service needs a non-null asset snapshot");
+  }
+  std::unique_ptr<InfluenceService> service(
+      new InfluenceService(std::move(assets), options));
+  if (!service->assets()->infer_fallback_reason().empty()) {
+    service->infer_fallbacks_.fetch_add(1, std::memory_order_relaxed);
+    InferFallbackCounter()->Increment();
+  }
+  return service;
+}
 
 Result<std::unique_ptr<InfluenceService>> InfluenceService::Create(
     Graph graph, std::shared_ptr<const GnnModel> model,
     const ServeOptions& options) {
   PRIVIM_RETURN_NOT_OK(options.Validate());
-  if (graph.num_nodes() < 1) {
-    return Status::InvalidArgument("serving graph must have at least 1 node");
-  }
-  std::unique_ptr<InfluenceService> service(
-      new InfluenceService(std::move(graph), std::move(model), options));
-
-  // Bind cache entries to this exact (graph, model) pair: the graph's
-  // structural fingerprint chained with the model's serialized bytes.
-  uint64_t fp = ckpt::FingerprintGraph(service->graph_);
-  if (service->model_ != nullptr) {
-    std::ostringstream encoded;
-    PRIVIM_RETURN_NOT_OK(WriteGnnModel(*service->model_, encoded));
-    fp = ckpt::Fnv1a64(encoded.str(), fp);
-  }
-  service->fingerprint_ = fp;
-
-  // The fused engine is strictly an execution strategy: responses are
-  // bit-identical to the tape, so the engine kind never enters the cache
-  // fingerprint, and a model the compiler or probe rejects silently serves
-  // on the tape path (visible only in stats/metrics).
-  if (service->model_ != nullptr &&
-      options.infer_engine == InferEngineKind::kFused) {
-    Result<std::unique_ptr<infer::InferEngine>> engine =
-        infer::InferEngine::Create(service->model_);
-    if (engine.ok()) {
-      service->engine_ = std::move(engine).value();
-    } else {
-      service->infer_fallback_reason_ = engine.status().message();
-      service->infer_fallbacks_.fetch_add(1, std::memory_order_relaxed);
-      InferFallbackCounter()->Increment();
-    }
-  }
-  return service;
+  Result<std::shared_ptr<const ServingAssets>> assets = ServingAssets::Build(
+      std::move(graph), std::move(model), /*sketch=*/nullptr,
+      options.infer_engine);
+  if (!assets.ok()) return assets.status();
+  return Create(std::move(assets).value(), options);
 }
 
 InfluenceService::~InfluenceService() { Stop(); }
 
-Status InfluenceService::AttachSketchIndex(
-    std::shared_ptr<const SketchIndex> index) {
-  if (index == nullptr) {
-    return Status::InvalidArgument("sketch index must not be null");
+std::shared_ptr<const ServingAssets> InfluenceService::assets() const {
+  return assets_.load(std::memory_order_acquire);
+}
+
+Status InfluenceService::SwapAssets(
+    std::shared_ptr<const ServingAssets> assets) {
+  if (assets == nullptr) {
+    swap_errors_.fetch_add(1, std::memory_order_relaxed);
+    SwapErrorCounter()->Increment();
+    return Status::InvalidArgument("swap needs a non-null asset snapshot");
   }
-  // The index stores only the structural graph fingerprint (its content is
-  // model-independent), so the match is against the graph alone; cached
-  // responses stay keyed by the full model+graph fingerprint_ as always.
-  const uint64_t graph_fp = ckpt::FingerprintGraph(graph_);
-  if (index->graph_fingerprint() != graph_fp) {
-    return Status::FailedPrecondition(
-        "sketch index was built for a different graph (index fingerprint " +
-        std::to_string(index->graph_fingerprint()) + ", serving graph " +
-        std::to_string(graph_fp) + ")");
+  if (!assets->infer_fallback_reason().empty()) {
+    infer_fallbacks_.fetch_add(1, std::memory_order_relaxed);
+    InferFallbackCounter()->Increment();
   }
+  const std::shared_ptr<const ServingAssets> retired =
+      assets_.exchange(std::move(assets), std::memory_order_acq_rel);
+  // Fold the retired snapshot's forward count into the base so the total
+  // survives the swap. (A request still in flight on the retired snapshot
+  // can add a few more afterwards; those late counts are dropped — the
+  // stat is advisory, the responses themselves are never affected.)
+  fused_forwards_base_.fetch_add(retired->fused_forwards(),
+                                 std::memory_order_relaxed);
+  swaps_.fetch_add(1, std::memory_order_relaxed);
+  SwapCounter()->Increment();
+  return Status::OK();
+}
+
+Status InfluenceService::SetAssetsFactory(AssetsFactory factory) {
   std::lock_guard<std::mutex> lock(queue_mutex_);
   if (started_ || stopping_) {
     return Status::FailedPrecondition(
-        "sketch index must be attached before Start()");
+        "the assets factory must be installed before Start()");
   }
-  sketch_ = std::move(index);
+  assets_factory_ = std::move(factory);
   return Status::OK();
 }
 
@@ -303,28 +291,37 @@ Status InfluenceService::SubmitCore(const ServeRequest& request,
                                     ResponseCallback done, bool blocking) {
   PRIVIM_RETURN_NOT_OK(request.Validate());
 
-  // Fast path: a cached payload completes the request inline.
-  const CacheKey key{fingerprint_, RequestDigest(request)};
-  std::string payload;
-  if (cache_.Lookup(key, &payload)) {
-    CacheHitCounter()->Increment();
-    Result<JsonValue> parsed = JsonValue::Parse(payload);
-    ServeResponse response;
-    response.id = request.id;
-    response.cached = true;
-    if (parsed.ok()) {
-      response.payload = std::move(parsed).value();
-    } else {
-      response.status = Status::Internal("corrupt cache payload: " +
-                                         parsed.status().message());
+  // Capture the snapshot this request will execute against. Everything
+  // downstream — cache key, graph, model, engine — comes from this one
+  // pointer, so a concurrent swap cannot tear the request.
+  std::shared_ptr<const ServingAssets> assets = this->assets();
+
+  // Fast path: a cached payload completes the request inline. Admin
+  // requests mutate the service and are never looked up or stored.
+  if (IsCacheable(request)) {
+    const CacheKey key{assets->fingerprint(), RequestDigest(request)};
+    std::string payload;
+    if (cache_.Lookup(key, &payload)) {
+      CacheHitCounter()->Increment();
+      Result<JsonValue> parsed = JsonValue::Parse(payload);
+      ServeResponse response;
+      response.id = request.id;
+      response.cached = true;
+      if (parsed.ok()) {
+        response.payload = std::move(parsed).value();
+      } else {
+        response.status = Status::Internal("corrupt cache payload: " +
+                                           parsed.status().message());
+      }
+      done(std::move(response));
+      return Status::OK();
     }
-    done(std::move(response));
-    return Status::OK();
+    CacheMissCounter()->Increment();
   }
-  CacheMissCounter()->Increment();
 
   Pending pending;
   pending.request = request;
+  pending.assets = std::move(assets);
   pending.done = std::move(done);
   pending.admit_seconds = epoch_.ElapsedSeconds();
   {
@@ -385,30 +382,42 @@ void InfluenceService::RunBatch(std::vector<Pending>* batch) {
 
   // Fused-eligible subgraph-influence requests are stacked into
   // block-diagonal unions and executed up front as a handful of large
-  // forwards; their finished responses land in `precomputed`. A single
-  // such request gains nothing from stacking and takes the solo path.
+  // forwards; their finished responses land in `precomputed`. Stacking is
+  // per admission snapshot — a swap landing mid-queue must not mix two
+  // snapshots' requests into one forward. A single such request gains
+  // nothing from stacking and takes the solo path.
   std::vector<std::unique_ptr<ServeResponse>> precomputed(batch->size());
-  if (engine_ != nullptr) {
-    std::vector<size_t> group;
+  {
+    std::map<const ServingAssets*, std::vector<size_t>> groups;
     for (size_t i = 0; i < batch->size(); ++i) {
-      const ServeRequest& request = (*batch)[i].request;
-      if (request.op == RequestOp::kInfluence && !request.subgraph.empty()) {
-        group.push_back(i);
+      const Pending& pending = (*batch)[i];
+      if (pending.request.op == RequestOp::kInfluence &&
+          !pending.request.subgraph.empty() &&
+          pending.assets->engine() != nullptr) {
+        groups[pending.assets.get()].push_back(i);
       }
     }
-    if (group.size() > 1) ComputeSubgraphGroup(*batch, group, &precomputed);
+    for (const auto& [unused, group] : groups) {
+      if (group.size() > 1) ComputeSubgraphGroup(*batch, group, &precomputed);
+    }
   }
 
   // One queue batch fans out across the pool; each request is an
-  // independent pure function of (model, graph, request), so the partition
+  // independent pure function of (assets, request), so the partition
   // cannot affect any response.
   GlobalThreadPool().ParallelFor(batch->size(), [&](size_t i) {
     Pending& pending = (*batch)[i];
-    ServeResponse response = precomputed[i] != nullptr
-                                 ? std::move(*precomputed[i])
-                                 : Compute(pending.request);
-    if (response.status.ok()) {
-      cache_.Insert(CacheKey{fingerprint_, RequestDigest(pending.request)},
+    ServeResponse response;
+    if (precomputed[i] != nullptr) {
+      response = std::move(*precomputed[i]);
+    } else if (pending.request.op == RequestOp::kAdmin) {
+      response = ExecuteAdmin(pending.request);
+    } else {
+      response = Compute(*pending.assets, pending.request);
+    }
+    if (response.status.ok() && IsCacheable(pending.request)) {
+      cache_.Insert(CacheKey{pending.assets->fingerprint(),
+                             RequestDigest(pending.request)},
                     response.payload.Dump());
     }
     LatencyHistogram()->Observe(epoch_.ElapsedSeconds() -
@@ -424,6 +433,7 @@ void InfluenceService::ComputeSubgraphGroup(
     const std::vector<Pending>& batch, const std::vector<size_t>& group,
     std::vector<std::unique_ptr<ServeResponse>>* precomputed) {
   obs::TraceSpan span("serve.fused_batch");
+  const ServingAssets& assets = *batch[group.front()].assets;
 
   // Extract each member's subgraph, applying exactly the validation the
   // solo path applies; a member that fails stays out of the stack and is
@@ -434,7 +444,7 @@ void InfluenceService::ComputeSubgraphGroup(
   };
   std::vector<Member> members;
   members.reserve(group.size());
-  const int64_t n = graph_.num_nodes();
+  const int64_t n = assets.graph().num_nodes();
   for (const size_t i : group) {
     const ServeRequest& request = batch[i].request;
     bool in_range = true;
@@ -445,7 +455,7 @@ void InfluenceService::ComputeSubgraphGroup(
       }
     }
     if (!in_range) continue;
-    Result<Subgraph> sub = InducedSubgraph(graph_, request.subgraph);
+    Result<Subgraph> sub = InducedSubgraph(assets.graph(), request.subgraph);
     if (!sub.ok()) continue;
     members.push_back(Member{i, std::move(sub).value()});
   }
@@ -459,9 +469,8 @@ void InfluenceService::ComputeSubgraphGroup(
                                       &member.sub.global_ids});
   }
   std::vector<Tensor> scores;
-  if (!engine_->ForwardBatched(items, &scores).ok()) return;
-  fused_forwards_.fetch_add(members.size(), std::memory_order_relaxed);
-  FusedForwardCounter()->Increment(members.size());
+  if (!assets.engine()->ForwardBatched(items, &scores).ok()) return;
+  assets.CountFusedForward(members.size());
 
   for (size_t j = 0; j < members.size(); ++j) {
     auto response = std::make_unique<ServeResponse>();
@@ -478,25 +487,30 @@ ServeResponse InfluenceService::Execute(const ServeRequest& request) {
   response.status = request.Validate();
   if (!response.status.ok()) return response;
 
-  const CacheKey key{fingerprint_, RequestDigest(request)};
-  std::string payload;
-  if (cache_.Lookup(key, &payload)) {
-    CacheHitCounter()->Increment();
-    Result<JsonValue> parsed = JsonValue::Parse(payload);
-    if (parsed.ok()) {
-      response.payload = std::move(parsed).value();
-      response.cached = true;
-    } else {
-      response.status = Status::Internal("corrupt cache payload: " +
-                                         parsed.status().message());
+  const std::shared_ptr<const ServingAssets> assets = this->assets();
+  const bool cacheable = IsCacheable(request);
+  const CacheKey key{assets->fingerprint(), RequestDigest(request)};
+  if (cacheable) {
+    std::string payload;
+    if (cache_.Lookup(key, &payload)) {
+      CacheHitCounter()->Increment();
+      Result<JsonValue> parsed = JsonValue::Parse(payload);
+      if (parsed.ok()) {
+        response.payload = std::move(parsed).value();
+        response.cached = true;
+      } else {
+        response.status = Status::Internal("corrupt cache payload: " +
+                                           parsed.status().message());
+      }
+      return response;
     }
-    return response;
+    CacheMissCounter()->Increment();
   }
-  CacheMissCounter()->Increment();
 
   const double start = epoch_.ElapsedSeconds();
-  response = Compute(request);
-  if (response.status.ok()) {
+  response = request.op == RequestOp::kAdmin ? ExecuteAdmin(request)
+                                             : Compute(*assets, request);
+  if (response.status.ok() && cacheable) {
     cache_.Insert(key, response.payload.Dump());
   }
   LatencyHistogram()->Observe(epoch_.ElapsedSeconds() - start);
@@ -506,52 +520,48 @@ ServeResponse InfluenceService::Execute(const ServeRequest& request) {
   return response;
 }
 
-Result<Tensor> InfluenceService::Scores() {
-  std::lock_guard<std::mutex> lock(scores_mutex_);
-  if (!scores_ready_) {
-    scores_ready_ = true;
-    if (model_ == nullptr) {
-      scores_status_ = Status::FailedPrecondition(
-          "service was created without a model; influence scores and "
-          "method=model top-k need --model");
-    } else if (engine_ != nullptr) {
-      obs::TraceSpan span("serve.forward");
-      const GraphContext ctx = GraphContext::Build(graph_);
-      const Tensor features =
-          BuildNodeFeatures(graph_, model_->config().input_dim);
-      const Status status = engine_->Forward(ctx, features, &scores_);
-      if (status.ok()) {
-        fused_forwards_.fetch_add(1, std::memory_order_relaxed);
-        FusedForwardCounter()->Increment();
-      } else {
-        scores_status_ = status;
-      }
-    } else {
-      obs::TraceSpan span("serve.forward");
-      // Arena-scope the one-shot forward so features, activations, and the
-      // dropped tape draw from (and return to) a local pool instead of the
-      // heap. scores_ safely outlives the pool: Acquire hands out
-      // self-owning storage, and release without an active arena is a
-      // normal free.
-      nn::MemoryPools pools;
-      nn::ArenaScope scope(&pools);
-      const GraphContext ctx = GraphContext::Build(graph_);
-      const Tensor features =
-          BuildNodeFeatures(graph_, model_->config().input_dim);
-      Result<Variable> out = model_->Run(ctx, features);
-      if (out.ok()) {
-        scores_ = out.value().value();
-      } else {
-        scores_status_ = out.status();
-      }
-    }
+ServeResponse InfluenceService::ExecuteAdmin(const ServeRequest& request) {
+  obs::TraceSpan span("serve.admin");
+  ServeResponse response;
+  response.id = request.id;
+  if (!assets_factory_) {
+    swap_errors_.fetch_add(1, std::memory_order_relaxed);
+    SwapErrorCounter()->Increment();
+    response.status = Status::FailedPrecondition(
+        "this server has no swap factory installed; admin swap is "
+        "unavailable");
+    return response;
   }
-  if (!scores_status_.ok()) return scores_status_;
-  return scores_;
+  const uint64_t old_fingerprint = assets()->fingerprint();
+  Result<std::shared_ptr<const ServingAssets>> next = assets_factory_(request);
+  if (!next.ok()) {
+    swap_errors_.fetch_add(1, std::memory_order_relaxed);
+    SwapErrorCounter()->Increment();
+    response.status = next.status();
+    return response;
+  }
+  response.status = SwapAssets(std::move(next).value());
+  if (!response.status.ok()) return response;
+
+  const std::shared_ptr<const ServingAssets> current = assets();
+  response.payload.Set("op", JsonValue::Str("admin"));
+  response.payload.Set("action", JsonValue::Str("swap"));
+  response.payload.Set("old_fingerprint",
+                       JsonValue::Str(FingerprintHex(old_fingerprint)));
+  response.payload.Set("fingerprint",
+                       JsonValue::Str(FingerprintHex(current->fingerprint())));
+  response.payload.Set(
+      "graph_fingerprint",
+      JsonValue::Str(FingerprintHex(current->graph_fingerprint())));
+  response.payload.Set("model", JsonValue::Bool(current->has_model()));
+  response.payload.Set("sketch",
+                       JsonValue::Bool(current->sketch() != nullptr));
+  return response;
 }
 
-Result<Tensor> InfluenceService::SubgraphScores(const Subgraph& sub) {
-  if (model_ == nullptr) {
+Result<Tensor> InfluenceService::SubgraphScores(const ServingAssets& assets,
+                                                const Subgraph& sub) {
+  if (!assets.has_model()) {
     return Status::FailedPrecondition(
         "service was created without a model; influence scores and "
         "method=model top-k need --model");
@@ -561,42 +571,43 @@ Result<Tensor> InfluenceService::SubgraphScores(const Subgraph& sub) {
   // Features are salted by the nodes' global ids, so a node's feature row
   // — and therefore its score — does not depend on which other nodes the
   // request packed into the subgraph's id space.
-  const Tensor features = BuildNodeFeatures(sub.local, model_->config().input_dim,
-                                            &sub.global_ids);
-  if (engine_ != nullptr) {
+  const Tensor features = BuildNodeFeatures(
+      sub.local, assets.model()->config().input_dim, &sub.global_ids);
+  if (assets.engine() != nullptr) {
     Tensor out;
-    PRIVIM_RETURN_NOT_OK(engine_->Forward(ctx, features, &out));
-    fused_forwards_.fetch_add(1, std::memory_order_relaxed);
-    FusedForwardCounter()->Increment();
+    PRIVIM_RETURN_NOT_OK(assets.engine()->Forward(ctx, features, &out));
+    assets.CountFusedForward();
     return out;
   }
   nn::MemoryPools pools;
   nn::ArenaScope scope(&pools);
-  Result<Variable> out = model_->Run(ctx, features);
+  Result<Variable> out = assets.model()->Run(ctx, features);
   if (!out.ok()) return out.status();
   return out.value().value();
 }
 
 Result<SeedSelectionResult> InfluenceService::CelfTopK(
-    const ServeRequest& request) {
-  if (HasUnitWeights(graph_)) {
-    DeterministicCoverageOracle oracle(graph_, request.steps);
+    const ServingAssets& assets, const ServeRequest& request) {
+  if (HasUnitWeights(assets.graph())) {
+    DeterministicCoverageOracle oracle(assets.graph(), request.steps);
     return CelfGreedy(oracle, request.k);
   }
   IcOptions mc;
   mc.max_steps = request.steps;
   mc.num_simulations = request.simulations;
-  MonteCarloIcOracle oracle(graph_, mc, request.seed);
+  MonteCarloIcOracle oracle(assets.graph(), mc, request.seed);
   return CelfGreedy(oracle, request.k);
 }
 
-ServeResponse InfluenceService::Compute(const ServeRequest& request) {
+ServeResponse InfluenceService::Compute(const ServingAssets& assets,
+                                        const ServeRequest& request) {
   obs::TraceSpan span("serve.request");
   ServeResponse response;
   response.id = request.id;
+  const Graph& graph = assets.graph();
 
   // Graph-dependent validation shared by the ops.
-  const int64_t n = graph_.num_nodes();
+  const int64_t n = graph.num_nodes();
   for (const NodeId v : request.nodes) {
     if (v < 0 || v >= n) {
       response.status = Status::OutOfRange(
@@ -623,14 +634,47 @@ ServeResponse InfluenceService::Compute(const ServeRequest& request) {
   }
 
   switch (request.op) {
+    case RequestOp::kInfo: {
+      // The capability handshake: everything a client needs to decide what
+      // traffic this server can take, including the exact identity of the
+      // snapshot it would be served from.
+      response.payload.Set("op", JsonValue::Str("info"));
+      response.payload.Set("protocol", JsonValue::Int(kProtocolVersion));
+      response.payload.Set(
+          "ops", StringArray({"influence", "topk", "spread", "info",
+                              "admin"}));
+      response.payload.Set("methods",
+                           StringArray({"model", "celf", "ris", "sketch"}));
+      response.payload.Set(
+          "fingerprint", JsonValue::Str(FingerprintHex(assets.fingerprint())));
+      response.payload.Set(
+          "graph_fingerprint",
+          JsonValue::Str(FingerprintHex(assets.graph_fingerprint())));
+      response.payload.Set("nodes", JsonValue::Int(n));
+      response.payload.Set("model", JsonValue::Bool(assets.has_model()));
+      response.payload.Set("sketch",
+                           JsonValue::Bool(assets.sketch() != nullptr));
+      response.payload.Set(
+          "engine", JsonValue::Str(assets.engine() != nullptr ? "fused"
+                                                              : "tape"));
+      return response;
+    }
+
+    case RequestOp::kAdmin: {
+      // Admin requests mutate the service; they are routed to ExecuteAdmin
+      // by the execution paths and can never reach this pure function.
+      response.status = Status::Internal("admin request reached Compute");
+      return response;
+    }
+
     case RequestOp::kInfluence: {
       if (!request.subgraph.empty()) {
-        Result<Subgraph> sub = InducedSubgraph(graph_, request.subgraph);
+        Result<Subgraph> sub = InducedSubgraph(graph, request.subgraph);
         if (!sub.ok()) {
           response.status = sub.status();
           return response;
         }
-        Result<Tensor> scores = SubgraphScores(sub.value());
+        Result<Tensor> scores = SubgraphScores(assets, sub.value());
         if (!scores.ok()) {
           response.status = scores.status();
           return response;
@@ -639,7 +683,7 @@ ServeResponse InfluenceService::Compute(const ServeRequest& request) {
                                      &response.payload);
         return response;
       }
-      Result<Tensor> scores = Scores();
+      Result<Tensor> scores = assets.Scores();
       if (!scores.ok()) {
         response.status = scores.status();
         return response;
@@ -668,7 +712,7 @@ ServeResponse InfluenceService::Compute(const ServeRequest& request) {
                            JsonValue::Str(TopKMethodToString(request.method)));
       switch (request.method) {
         case TopKMethod::kModel: {
-          Result<Tensor> scores = Scores();
+          Result<Tensor> scores = assets.Scores();
           if (!scores.ok()) {
             response.status = scores.status();
             return response;
@@ -679,7 +723,7 @@ ServeResponse InfluenceService::Compute(const ServeRequest& request) {
           return response;
         }
         case TopKMethod::kCelf: {
-          Result<SeedSelectionResult> result = CelfTopK(request);
+          Result<SeedSelectionResult> result = CelfTopK(assets, request);
           if (!result.ok()) {
             response.status = result.status();
             return response;
@@ -691,14 +735,17 @@ ServeResponse InfluenceService::Compute(const ServeRequest& request) {
           return response;
         }
         case TopKMethod::kSketch: {
-          // Serve from the index only when one is attached AND it was built
-          // with the step bound the request asks about; anything else takes
-          // the counted CELF fallback below. Either path emits exactly
-          // {"seeds", "spread"} — no "evaluations" — so on a unit-weight
-          // graph the response bytes are identical with or without an index
-          // (the sweep is bit-identical to CELF there; tests pin this).
-          if (sketch_ != nullptr && sketch_->max_steps() == request.steps) {
-            Result<SketchTopKResult> result = sketch_->TopK(request.k);
+          // Serve from the index only when the snapshot has one AND it was
+          // built with the step bound the request asks about; anything else
+          // takes the counted CELF fallback below. Either path emits
+          // exactly {"seeds", "spread"} — no "evaluations" — so on a
+          // unit-weight graph the response bytes are identical with or
+          // without an index (the sweep is bit-identical to CELF there;
+          // tests pin this).
+          if (assets.sketch() != nullptr &&
+              assets.sketch()->max_steps() == request.steps) {
+            Result<SketchTopKResult> result =
+                assets.sketch()->TopK(request.k);
             if (!result.ok()) {
               response.status = result.status();
               return response;
@@ -711,7 +758,7 @@ ServeResponse InfluenceService::Compute(const ServeRequest& request) {
           }
           sketch_fallbacks_.fetch_add(1, std::memory_order_relaxed);
           SketchFallbackCounter()->Increment();
-          Result<SeedSelectionResult> result = CelfTopK(request);
+          Result<SeedSelectionResult> result = CelfTopK(assets, request);
           if (!result.ok()) {
             response.status = result.status();
             return response;
@@ -726,7 +773,7 @@ ServeResponse InfluenceService::Compute(const ServeRequest& request) {
           ris.max_steps = request.steps;
           Rng rng(request.seed);
           Result<RisResult> result =
-              RisSeedSelection(graph_, request.k, ris, &rng);
+              RisSeedSelection(graph, request.k, ris, &rng);
           if (!result.ok()) {
             response.status = result.status();
             return response;
@@ -744,7 +791,7 @@ ServeResponse InfluenceService::Compute(const ServeRequest& request) {
     case RequestOp::kSpread: {
       response.payload.Set("op", JsonValue::Str("spread"));
       if (request.simulations == 0) {
-        if (!HasUnitWeights(graph_)) {
+        if (!HasUnitWeights(graph)) {
           response.status = Status::InvalidArgument(
               "simulations=0 selects the exact unit-weight path, but the "
               "graph has non-unit arc weights");
@@ -752,7 +799,7 @@ ServeResponse InfluenceService::Compute(const ServeRequest& request) {
         }
         response.payload.Set(
             "spread",
-            JsonValue::Int(DeterministicIcSpread(graph_, request.seeds,
+            JsonValue::Int(DeterministicIcSpread(graph, request.seeds,
                                                  request.steps)));
         response.payload.Set("exact", JsonValue::Bool(true));
         return response;
@@ -762,7 +809,7 @@ ServeResponse InfluenceService::Compute(const ServeRequest& request) {
       mc.num_simulations = request.simulations;
       Rng rng(request.seed);
       response.payload.Set(
-          "spread", JsonValue::Number(EstimateIcSpread(graph_, request.seeds,
+          "spread", JsonValue::Number(EstimateIcSpread(graph, request.seeds,
                                                        mc, &rng)));
       response.payload.Set("exact", JsonValue::Bool(false));
       return response;
@@ -774,6 +821,7 @@ ServeResponse InfluenceService::Compute(const ServeRequest& request) {
 
 ServiceStats InfluenceService::GetStats() const {
   ServiceStats stats;
+  const std::shared_ptr<const ServingAssets> current = assets();
   stats.admitted = admitted_.load(std::memory_order_relaxed);
   stats.rejected = rejected_.load(std::memory_order_relaxed);
   stats.completed = completed_.load(std::memory_order_relaxed);
@@ -782,12 +830,17 @@ ServiceStats InfluenceService::GetStats() const {
   stats.cache_evictions = cache_.evictions();
   stats.batches = batches_.load(std::memory_order_relaxed);
   stats.max_batch_size = max_batch_size_.load(std::memory_order_relaxed);
-  stats.fused_forwards = fused_forwards_.load(std::memory_order_relaxed);
+  stats.fused_forwards =
+      fused_forwards_base_.load(std::memory_order_relaxed) +
+      current->fused_forwards();
   stats.infer_fallbacks = infer_fallbacks_.load(std::memory_order_relaxed);
-  stats.fused_active = engine_ != nullptr;
+  stats.fused_active = current->engine() != nullptr;
   stats.sketch_hits = sketch_hits_.load(std::memory_order_relaxed);
   stats.sketch_fallbacks = sketch_fallbacks_.load(std::memory_order_relaxed);
-  stats.sketch_active = sketch_ != nullptr;
+  stats.sketch_active = current->sketch() != nullptr;
+  stats.swaps = swaps_.load(std::memory_order_relaxed);
+  stats.swap_errors = swap_errors_.load(std::memory_order_relaxed);
+  stats.fingerprint = current->fingerprint();
   {
     std::lock_guard<std::mutex> lock(queue_mutex_);
     stats.queue_depth = static_cast<int64_t>(queue_.size());

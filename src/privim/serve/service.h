@@ -1,32 +1,41 @@
 // In-process influence-serving engine.
 //
-// An InfluenceService loads a released (privatized) GNN model plus an
-// evaluation graph once, then answers concurrent influence queries:
-// per-node influence scores, top-k seed selection (model scores, CELF or
-// RIS) and Monte-Carlo spread estimates. Differential privacy is spent
-// entirely at training time — inference on the released model is
+// An InfluenceService answers concurrent influence queries — per-node
+// influence scores, top-k seed selection (model scores, CELF, RIS or the
+// precomputed sketch index) and Monte-Carlo spread estimates — against an
+// immutable ServingAssets snapshot (assets.h: graph + released model +
+// fused engine + sketch index + fingerprints). Differential privacy is
+// spent entirely at training time — inference on the released model is
 // post-processing — so the serving path adds no privacy cost and can be
 // cached and replayed freely.
 //
 // Request flow:
 //
-//   Submit ──cache hit──────────────────────────▶ ready future
+//   Submit ──capture current assets snapshot──cache hit──▶ ready future
 //     │ miss
 //     ▼
 //   bounded admission queue ──▶ scheduler thread coalesces up to
 //   `max_batch` requests ──▶ batch executes as a ParallelFor over the
 //   global ThreadPool ──▶ promises fulfilled, cache filled
 //
-// Determinism: a response is a pure function of (model, graph, request).
+// Hot swap: SwapAssets atomically repoints the served snapshot (the wire
+// surface is {"op":"admin","action":"swap",...} routed through an
+// installed AssetsFactory). Every request executes against the snapshot
+// captured at admission, so in-flight work is never torn; the response
+// cache keys on the snapshot fingerprint, so a swap can never surface a
+// stale payload — entries for the retired snapshot stop matching and age
+// out of the LRU. Swaps are counted in serve.swap.* metrics.
+//
+// Determinism: a response is a pure function of (assets, request).
 // Stochastic ops derive their randomness from the request's own seed via
 // the library's splittable RNG, never from a shared stream, so batch
 // composition, thread count and cache state cannot change a single
 // response bit (tests/serve/service_test.cpp pins 1/4/8 threads).
 //
 // Observability: the engine records serve.* metrics — queue depth gauge,
-// batch-size and latency histograms, admission/rejection counters and
-// cache hit/miss/eviction counters — through the obs registry, exported
-// with --metrics-out like every other front end.
+// batch-size and latency histograms, admission/rejection counters, cache
+// hit/miss/eviction counters and swap counters — through the obs
+// registry, exported with --metrics-out like every other front end.
 
 #ifndef PRIVIM_SERVE_SERVICE_H_
 #define PRIVIM_SERVE_SERVICE_H_
@@ -46,32 +55,16 @@
 #include "privim/common/status.h"
 #include "privim/common/timer.h"
 #include "privim/gnn/models.h"
-#include "privim/im/celf.h"
-#include "privim/im/sketch/sketch_index.h"
 #include "privim/graph/graph.h"
 #include "privim/graph/subgraph.h"
-#include "privim/nn/infer/engine.h"
+#include "privim/im/celf.h"
 #include "privim/nn/tensor.h"
+#include "privim/serve/assets.h"
 #include "privim/serve/cache.h"
 #include "privim/serve/request.h"
 
 namespace privim {
 namespace serve {
-
-/// Which forward-pass implementation answers model-based requests.
-enum class InferEngineKind {
-  /// Compiled tape-free programs (nn/infer): the default. Bit-identical to
-  /// the tape by construction (shared kernels, probe-verified), so the
-  /// choice never appears in the cache fingerprint.
-  kFused,
-  /// The autograd tape forward — the reference path and the fallback when
-  /// a model cannot be compiled or fails probe verification.
-  kTape,
-};
-
-/// Parses "fused" | "tape".
-Result<InferEngineKind> InferEngineKindFromString(const std::string& name);
-const char* InferEngineKindToString(InferEngineKind kind);
 
 /// Engine configuration. Everything is validated up front by Validate();
 /// the service never exits or aborts on bad input.
@@ -87,11 +80,12 @@ struct ServeOptions {
   int64_t cache_capacity = 1024;
   /// Cache shard count (clamped to cache_capacity when larger).
   int64_t cache_shards = 8;
-  /// Forward-pass implementation for model-based requests. kFused compiles
-  /// the model at Create(); an uncompilable model silently falls back to
-  /// the tape (counted in ServiceStats::infer_fallbacks and the
-  /// serve.infer.fallbacks metric) because responses are identical either
-  /// way.
+  /// Forward-pass implementation for model-based requests; forwarded to
+  /// ServingAssets::Build by the convenience Create overload and by asset
+  /// factories. kFused compiles the model; an uncompilable model silently
+  /// falls back to the tape (counted in ServiceStats::infer_fallbacks and
+  /// the serve.infer.fallbacks metric) because responses are identical
+  /// either way.
   InferEngineKind infer_engine = InferEngineKind::kFused;
 
   Status Validate() const;
@@ -110,24 +104,34 @@ struct ServiceStats {
   uint64_t max_batch_size = 0;  ///< largest coalesced batch observed
   int64_t queue_depth = 0;      ///< requests currently waiting
   uint64_t fused_forwards = 0;  ///< forward passes served by the fused engine
-  uint64_t infer_fallbacks = 0;  ///< models that fell back to the tape path
-  bool fused_active = false;     ///< the fused engine is serving this model
+  uint64_t infer_fallbacks = 0;  ///< snapshots that fell back to the tape path
+  bool fused_active = false;     ///< the current snapshot serves fused
   uint64_t sketch_hits = 0;       ///< topk answered from the sketch index
   uint64_t sketch_fallbacks = 0;  ///< method=sketch served by CELF instead
-  bool sketch_active = false;     ///< a sketch index is attached
+  bool sketch_active = false;     ///< the current snapshot has a sketch index
+  uint64_t swaps = 0;            ///< successful asset swaps
+  uint64_t swap_errors = 0;      ///< refused/failed swap attempts
+  uint64_t fingerprint = 0;      ///< the currently served snapshot's identity
 };
 
-/// A loaded (model, graph) pair answering influence queries until Stop().
+/// A serving engine answering influence queries against the current asset
+/// snapshot until Stop().
 ///
-/// Thread-safe: any number of producer threads may Submit concurrently.
-/// The service owns one scheduler thread; request execution fans out over
-/// the global ThreadPool.
+/// Thread-safe: any number of producer threads may Submit concurrently,
+/// and SwapAssets may race with all of them. The service owns one
+/// scheduler thread; request execution fans out over the global
+/// ThreadPool.
 class InfluenceService {
  public:
-  /// Validates options and builds the service. `model` may be null: score
-  /// ("influence") and model-based top-k requests then fail with
-  /// FailedPrecondition while celf / ris / spread requests — which need
-  /// only the graph — keep working.
+  /// Validates options and builds the service around an existing snapshot.
+  static Result<std::unique_ptr<InfluenceService>> Create(
+      std::shared_ptr<const ServingAssets> assets,
+      const ServeOptions& options);
+
+  /// Convenience: builds the snapshot (no sketch index) and the service in
+  /// one step. `model` may be null: score ("influence") and model-based
+  /// top-k requests then fail with FailedPrecondition while celf / ris /
+  /// spread requests — which need only the graph — keep working.
   static Result<std::unique_ptr<InfluenceService>> Create(
       Graph graph, std::shared_ptr<const GnnModel> model,
       const ServeOptions& options);
@@ -137,13 +141,27 @@ class InfluenceService {
   InfluenceService(const InfluenceService&) = delete;
   InfluenceService& operator=(const InfluenceService&) = delete;
 
-  /// Attaches a precomputed RIS sketch index for method=sketch top-k.
-  /// Refused (FailedPrecondition / InvalidArgument) after Start(), for a
-  /// null index, or when the index's graph fingerprint differs from the
-  /// serving graph's — a stale index can never answer a query. Without an
-  /// attached index, method=sketch requests fall back to CELF (counted in
-  /// ServiceStats::sketch_fallbacks and the im.sketch.fallbacks metric).
-  Status AttachSketchIndex(std::shared_ptr<const SketchIndex> index);
+  /// Atomically repoints the served snapshot. In-flight requests finish on
+  /// the snapshot they were admitted under; requests admitted after the
+  /// swap execute (and cache) against the new one. Never drops a request.
+  /// A null snapshot is refused with InvalidArgument.
+  Status SwapAssets(std::shared_ptr<const ServingAssets> assets);
+
+  /// The currently served snapshot (never null).
+  std::shared_ptr<const ServingAssets> assets() const;
+
+  /// Builds a replacement snapshot for an {"op":"admin","action":"swap"}
+  /// request — the front end installs one that loads the named files. The
+  /// returned snapshot is installed by the service via SwapAssets and its
+  /// fingerprints are echoed in the admin response.
+  using AssetsFactory =
+      std::function<Result<std::shared_ptr<const ServingAssets>>(
+          const ServeRequest&)>;
+
+  /// Installs the swap factory. Must be called before Start() (execution
+  /// threads read it lock-free afterwards). Without one, admin swap
+  /// requests fail with FailedPrecondition.
+  Status SetAssetsFactory(AssetsFactory factory);
 
   /// Starts the scheduler thread. Requests submitted before Start() queue
   /// up (subject to capacity) and are dispatched once it runs. Starting a
@@ -185,27 +203,32 @@ class InfluenceService {
 
   ServiceStats GetStats() const;
 
-  /// FNV fingerprint binding cached responses to this exact model + graph.
-  uint64_t fingerprint() const { return fingerprint_; }
-  const Graph& graph() const { return graph_; }
-  bool has_model() const { return model_ != nullptr; }
+  /// Convenience accessors over the *current* snapshot (assets() is the
+  /// race-free way to hold one across several calls).
+  uint64_t fingerprint() const { return assets()->fingerprint(); }
+  const Graph& graph() const { return assets()->graph(); }
+  bool has_model() const { return assets()->has_model(); }
   /// True when model requests run on the fused engine (options asked for
   /// it and the model compiled + passed probe verification).
-  bool fused_active() const { return engine_ != nullptr; }
+  bool fused_active() const { return assets()->engine() != nullptr; }
   /// Why the fused engine is not active ("" when it is, or when tape was
   /// requested explicitly).
-  const std::string& infer_fallback_reason() const {
-    return infer_fallback_reason_;
+  std::string infer_fallback_reason() const {
+    return assets()->infer_fallback_reason();
   }
-  /// True when method=sketch requests are served from an attached index.
-  bool sketch_active() const { return sketch_ != nullptr; }
+  /// True when method=sketch requests are served from the snapshot's index.
+  bool sketch_active() const { return assets()->sketch() != nullptr; }
 
  private:
-  InfluenceService(Graph graph, std::shared_ptr<const GnnModel> model,
+  InfluenceService(std::shared_ptr<const ServingAssets> assets,
                    const ServeOptions& options);
 
   struct Pending {
     ServeRequest request;
+    /// The snapshot captured at admission; the request executes (and its
+    /// response caches) against exactly this one, whatever swaps happen
+    /// in between.
+    std::shared_ptr<const ServingAssets> assets;
     ResponseCallback done;
     double admit_seconds = 0.0;  ///< monotonic admission stamp
   };
@@ -219,48 +242,40 @@ class InfluenceService {
   void SchedulerLoop();
   void RunBatch(std::vector<Pending>* batch);
 
-  /// Computes the payload for one request (never consults the cache).
-  ServeResponse Compute(const ServeRequest& request);
+  /// Computes the payload for one request against one snapshot (never
+  /// consults the cache).
+  ServeResponse Compute(const ServingAssets& assets,
+                        const ServeRequest& request);
+  /// The admin verbs (currently: swap). Runs on an execution thread like
+  /// any other request, but mutates the service, so it is never cached.
+  ServeResponse ExecuteAdmin(const ServeRequest& request);
   /// The CELF top-k computation shared by method=celf and the counted
   /// method=sketch fallback: exact coverage oracle on unit-weight graphs,
   /// Monte-Carlo IC otherwise.
-  Result<SeedSelectionResult> CelfTopK(const ServeRequest& request);
-  /// Model scores over the whole graph, computed once and memoized —
-  /// the forward pass is deterministic, so every influence/topk(model)
-  /// request shares it.
-  Result<Tensor> Scores();
+  Result<SeedSelectionResult> CelfTopK(const ServingAssets& assets,
+                                       const ServeRequest& request);
   /// Model scores over one induced subgraph (fused engine when active,
   /// tape otherwise; bit-identical either way).
-  Result<Tensor> SubgraphScores(const Subgraph& sub);
+  Result<Tensor> SubgraphScores(const ServingAssets& assets,
+                                const Subgraph& sub);
   /// Stacks the batch's fused-eligible subgraph-influence requests into
   /// block-diagonal unions and stores their finished responses in
   /// *precomputed (indexed like *batch). Members it skips — validation
-  /// failures, engine errors — are left empty and take the solo Compute
-  /// path, which derives the identical response.
+  /// failures, engine errors, snapshots without a fused engine — are left
+  /// empty and take the solo Compute path, which derives the identical
+  /// response.
   void ComputeSubgraphGroup(const std::vector<Pending>& batch,
                             const std::vector<size_t>& group,
                             std::vector<std::unique_ptr<ServeResponse>>*
                                 precomputed);
 
-  Graph graph_;
-  std::shared_ptr<const GnnModel> model_;
+  /// The published snapshot. Readers copy the shared_ptr (lock-free);
+  /// SwapAssets stores a new one.
+  std::atomic<std::shared_ptr<const ServingAssets>> assets_;
   ServeOptions options_;
-  /// Non-null when the fused engine serves this model. The engine borrows
-  /// the model's parameters, so it is declared after model_ (destroyed
-  /// first).
-  std::unique_ptr<infer::InferEngine> engine_;
-  std::string infer_fallback_reason_;
-  /// Attached before Start() and immutable afterwards, so execution
-  /// threads read it without synchronization.
-  std::shared_ptr<const SketchIndex> sketch_;
-  uint64_t fingerprint_ = 0;
+  AssetsFactory assets_factory_;
   ShardedLruCache cache_;
   WallTimer epoch_;  ///< admission/latency stamps
-
-  std::mutex scores_mutex_;
-  bool scores_ready_ = false;
-  Status scores_status_;
-  Tensor scores_;
 
   mutable std::mutex queue_mutex_;
   std::condition_variable queue_not_empty_;
@@ -275,10 +290,14 @@ class InfluenceService {
   std::atomic<uint64_t> completed_{0};
   std::atomic<uint64_t> batches_{0};
   std::atomic<uint64_t> max_batch_size_{0};
-  std::atomic<uint64_t> fused_forwards_{0};
+  /// Fused forwards accumulated by snapshots that have been retired by a
+  /// swap; the live total adds the current snapshot's own count.
+  std::atomic<uint64_t> fused_forwards_base_{0};
   std::atomic<uint64_t> infer_fallbacks_{0};
   std::atomic<uint64_t> sketch_hits_{0};
   std::atomic<uint64_t> sketch_fallbacks_{0};
+  std::atomic<uint64_t> swaps_{0};
+  std::atomic<uint64_t> swap_errors_{0};
 };
 
 }  // namespace serve

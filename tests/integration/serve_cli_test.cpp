@@ -308,6 +308,61 @@ TEST_F(ServeCliTest, SketchIndexBuildLoadAndServe) {
             0);
 }
 
+TEST_F(ServeCliTest, DeprecatedSketchFlagSpellingsForwardWithAWarning) {
+  // The sketch flags moved to the assets-* namespace when the serving
+  // snapshot became swappable; the old spellings must keep working
+  // through the FlagRegistry alias machinery, with a deprecation warning
+  // naming the new flag.
+  const std::string requests = dir_ + "/alias_requests.jsonl";
+  {
+    std::ofstream file(requests);
+    file << R"({"id":"s1","op":"topk","k":2,"method":"sketch"})" << "\n";
+  }
+  const std::string index = dir_ + "/alias.privimsx";
+
+  const SubprocessResult old_spelling = RunSubprocess(
+      serve_ + " --graph " + graph_path_ + " --undirected --requests " +
+      requests + " --out " + dir_ + "/old.jsonl --sketch-index " + index +
+      " --build-sketch-index --sketch-steps 1 --sketch-rr-sets 256");
+  ASSERT_EQ(old_spelling.exit_code, 0) << old_spelling.output;
+  EXPECT_NE(old_spelling.output.find(
+                "--sketch-index is deprecated; use --assets-sketch-index"),
+            std::string::npos)
+      << old_spelling.output;
+  EXPECT_NE(old_spelling.output.find(
+                "--build-sketch-index is deprecated; use "
+                "--assets-build-sketch-index"),
+            std::string::npos)
+      << old_spelling.output;
+  EXPECT_NE(old_spelling.output.find("sketch index built"),
+            std::string::npos)
+      << old_spelling.output;
+  ASSERT_TRUE(std::filesystem::exists(index));
+
+  // The new spellings load the index the old ones built, warning-free,
+  // and produce the same bytes.
+  const SubprocessResult new_spelling = RunSubprocess(
+      serve_ + " --graph " + graph_path_ + " --undirected --requests " +
+      requests + " --out " + dir_ + "/new.jsonl --assets-sketch-index " +
+      index + " --assets-sketch-steps 1");
+  ASSERT_EQ(new_spelling.exit_code, 0) << new_spelling.output;
+  EXPECT_EQ(new_spelling.output.find("deprecated"), std::string::npos)
+      << new_spelling.output;
+  EXPECT_EQ(ReadFile(dir_ + "/new.jsonl"), ReadFile(dir_ + "/old.jsonl"));
+}
+
+TEST_F(ServeCliTest, HelpDocumentsTheAssetsFlagsAndTheirAliases) {
+  const SubprocessResult help = RunSubprocess(serve_ + " --help");
+  ASSERT_EQ(help.exit_code, 0);
+  EXPECT_NE(help.output.find("--assets-sketch-index"), std::string::npos)
+      << help.output;
+  EXPECT_NE(help.output.find("(deprecated alias: --sketch-index)"),
+            std::string::npos)
+      << help.output;
+  EXPECT_NE(help.output.find("--net-loops"), std::string::npos)
+      << help.output;
+}
+
 TEST_F(ServeCliTest, BadFlagsFailFast) {
   EXPECT_NE(RunSubprocess(serve_ + " --graph " + graph_path_ +
                           " --bogus-flag 1")

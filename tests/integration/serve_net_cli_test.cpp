@@ -1,9 +1,12 @@
 // End-to-end coverage of privim_serve --listen: spawns the real binary as
 // a TCP server and checks (a) socket responses are byte-identical to the
 // stdin front end for the same request stream — with 3 concurrent client
-// threads, at 1/4/8 service threads — and (b) SIGTERM triggers a graceful
+// threads, at 1/4/8 service threads — (b) SIGTERM triggers a graceful
 // drain that answers every in-flight request, exits 0, and still prints
-// the stderr stats line.
+// the stderr stats line, (c) the HTTP framing returns bodies that are
+// byte-identical to the JSONL lines for the same requests, and (d)
+// --net-loops N serves correct responses from every SO_REUSEPORT event
+// loop with both framings in play.
 
 #include <filesystem>
 #include <fstream>
@@ -19,11 +22,16 @@
 #include "privim/serve/net/client.h"
 #include "privim/serve/net/socket.h"
 #include "testing/fault_injection.h"
+#include "testing/http_client.h"
 #include "testing/subprocess_server.h"
 
 namespace privim {
 namespace {
 
+using testing::HttpGetBytes;
+using testing::HttpPostBytes;
+using testing::HttpReply;
+using testing::ReadHttpReply;
 using testing::ReadServerLog;
 using testing::RunSubprocess;
 using testing::ServerProcess;
@@ -263,6 +271,127 @@ TEST_F(ServeNetCliTest, SigtermDrainAnswersInFlightAndPrintsStats) {
   // The stats line must appear on the SIGTERM path, not only clean EOF.
   EXPECT_NE(log.find("served "), std::string::npos) << log;
   EXPECT_NE(log.find("shed "), std::string::npos) << log;
+  EXPECT_NE(log.find("listener: "), std::string::npos) << log;
+}
+
+TEST_F(ServeNetCliTest, HttpBodiesAreByteIdenticalToTheJsonlFrontEnds) {
+  const std::vector<std::string> stream = RequestStream(0, 24);
+  const std::vector<std::string> expected = StdinResponses(stream, 0);
+  ASSERT_EQ(expected.size(), stream.size());
+
+  serve::net::HostPort bound;
+  ServerProcess server = StartServer("--threads 2", &bound);
+  ASSERT_GT(bound.port, 0);
+
+  serve::net::BlockingClient client;
+  ASSERT_TRUE(client.Connect(bound).ok());
+  for (size_t i = 0; i < stream.size(); ++i) {
+    ASSERT_TRUE(
+        client.SendBytes(HttpPostBytes("/v1/query", stream[i])).ok());
+    Result<HttpReply> reply = ReadHttpReply(&client);
+    ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+    // The body IS the JSONL response line plus its newline — nothing
+    // reformatted, nothing re-escaped.
+    EXPECT_EQ(reply->body, expected[i] + "\n") << "request " << i;
+    const bool ok_line =
+        expected[i].find("\"ok\":true") != std::string::npos;
+    EXPECT_EQ(reply->status_code, ok_line ? 200 : 400)
+        << "request " << i << ": " << reply->body;
+  }
+
+  // The built-in endpoints answer on the same keep-alive connection.
+  ASSERT_TRUE(client.SendBytes(HttpGetBytes("/v1/healthz")).ok());
+  Result<HttpReply> healthz = ReadHttpReply(&client);
+  ASSERT_TRUE(healthz.ok());
+  EXPECT_EQ(healthz->status_code, 200);
+  EXPECT_EQ(healthz->body, "{\"ok\":true}\n");
+  ASSERT_TRUE(client.SendBytes(HttpGetBytes("/v1/metrics")).ok());
+  Result<HttpReply> metrics = ReadHttpReply(&client);
+  ASSERT_TRUE(metrics.ok());
+  EXPECT_EQ(metrics->status_code, 200);
+  EXPECT_NE(metrics->body.find("serve.net.accepted"), std::string::npos);
+
+  // The version refusal is pinned end-to-end on the HTTP path too (the
+  // JSONL path pins it in the wire-format and listener suites).
+  ASSERT_TRUE(client
+                  .SendBytes(HttpPostBytes(
+                      "/v1/query", "{\"id\":\"v\",\"op\":\"topk\",\"v\":2}"))
+                  .ok());
+  Result<HttpReply> refused = ReadHttpReply(&client);
+  ASSERT_TRUE(refused.ok());
+  EXPECT_EQ(refused->status_code, 400);
+  EXPECT_EQ(refused->body,
+            "{\"id\":\"v\",\"ok\":false,\"code\":\"UnsupportedVersion\","
+            "\"error\":\"protocol version 2 is not supported (this server "
+            "speaks 1)\"}\n");
+
+  client.Close();
+  SignalServer(server, SIGTERM);
+  EXPECT_EQ(WaitServer(&server), 0) << ReadServerLog(server);
+}
+
+TEST_F(ServeNetCliTest, MultiLoopListenerServesBothFramingsCorrectly) {
+  constexpr int kClients = 6;  // 3 JSONL + 3 HTTP, across 3 event loops
+  constexpr int kRequests = 16;
+
+  std::vector<std::vector<std::string>> streams;
+  std::vector<std::vector<std::string>> expected;
+  for (int c = 0; c < kClients; ++c) {
+    streams.push_back(RequestStream(c, kRequests));
+    expected.push_back(StdinResponses(streams.back(), c));
+    ASSERT_EQ(expected.back().size(), streams.back().size());
+  }
+
+  serve::net::HostPort bound;
+  ServerProcess server = StartServer("--threads 2 --net-loops 3", &bound);
+  ASSERT_GT(bound.port, 0);
+
+  std::vector<std::vector<std::string>> received(kClients);
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      serve::net::BlockingClient client;
+      if (!client.Connect(bound).ok()) return;
+      if (c % 2 == 0) {
+        // JSONL: pipeline everything, then read the ordered responses.
+        for (const std::string& line : streams[c]) {
+          if (!client.SendLine(line).ok()) return;
+        }
+        if (!client.ShutdownWrite().ok()) return;
+        while (true) {
+          Result<std::string> line = client.ReadLine();
+          if (!line.ok()) break;
+          received[c].push_back(line.value());
+        }
+      } else {
+        // HTTP: one exchange at a time on a keep-alive connection.
+        for (const std::string& line : streams[c]) {
+          if (!client.SendBytes(HttpPostBytes("/v1/query", line)).ok()) {
+            return;
+          }
+          Result<HttpReply> reply = ReadHttpReply(&client);
+          if (!reply.ok()) return;
+          std::string body = reply->body;
+          if (!body.empty() && body.back() == '\n') body.pop_back();
+          received[c].push_back(body);
+        }
+      }
+    });
+  }
+  for (std::thread& client : clients) client.join();
+
+  for (int c = 0; c < kClients; ++c) {
+    EXPECT_EQ(received[c], expected[c])
+        << "client " << c << " (" << (c % 2 == 0 ? "jsonl" : "http")
+        << ") diverged from the stdin front end";
+  }
+
+  SignalServer(server, SIGTERM);
+  EXPECT_EQ(WaitServer(&server), 0) << ReadServerLog(server);
+  const std::string log = ReadServerLog(server);
+  // The listener really ran 3 SO_REUSEPORT loops, and the summed per-loop
+  // stats line still appears on the drain path.
+  EXPECT_NE(log.find("3 loops"), std::string::npos) << log;
   EXPECT_NE(log.find("listener: "), std::string::npos) << log;
 }
 

@@ -1,0 +1,168 @@
+// HTTP/1.1 framing unit tests: protocol sniffing, the incremental parser
+// (split feeds, pipelining, keep-alive, poisoning), and the response
+// serializer whose body bytes must match the JSONL wire format exactly.
+
+#include "privim/serve/net/http.h"
+
+#include <string>
+
+#include "gtest/gtest.h"
+
+namespace privim {
+namespace serve {
+namespace net {
+namespace {
+
+TEST(SniffProtocolTest, DecidesFromFirstBytes) {
+  // A JSONL request decides on its very first byte.
+  EXPECT_EQ(SniffProtocol("{", 1), ProtocolKind::kJsonl);
+  EXPECT_EQ(SniffProtocol("{\"op\":\"info\"}", 13), ProtocolKind::kJsonl);
+  // Method tokens decide once the trailing space arrives.
+  EXPECT_EQ(SniffProtocol("GET ", 4), ProtocolKind::kHttp);
+  EXPECT_EQ(SniffProtocol("POST /v1/query HTTP/1.1", 23),
+            ProtocolKind::kHttp);
+  // A proper prefix of a method token is still undecided...
+  EXPECT_EQ(SniffProtocol("P", 1), ProtocolKind::kUnknown);
+  EXPECT_EQ(SniffProtocol("POS", 3), ProtocolKind::kUnknown);
+  EXPECT_EQ(SniffProtocol("", 0), ProtocolKind::kUnknown);
+  // ...but a divergence decides JSONL (it can never become a method).
+  EXPECT_EQ(SniffProtocol("POKE", 4), ProtocolKind::kJsonl);
+  EXPECT_EQ(SniffProtocol("hello", 5), ProtocolKind::kJsonl);
+}
+
+TEST(HttpParserTest, ParsesARequestFedByteByByte) {
+  const std::string wire =
+      "POST /v1/query HTTP/1.1\r\n"
+      "Host: localhost\r\n"
+      "Content-Type: application/json\r\n"
+      "Content-Length: 13\r\n"
+      "\r\n"
+      "{\"op\":\"info\"}";
+  HttpParser parser(1 << 20);
+  HttpRequest request;
+  for (std::size_t i = 0; i < wire.size(); ++i) {
+    parser.Feed(&wire[i], 1);
+    if (i + 1 < wire.size()) {
+      ASSERT_EQ(parser.PopRequest(&request), HttpParser::Next::kNeedMore)
+          << "at byte " << i;
+    }
+  }
+  ASSERT_EQ(parser.PopRequest(&request), HttpParser::Next::kRequest);
+  EXPECT_EQ(request.method, "POST");
+  EXPECT_EQ(request.target, "/v1/query");
+  EXPECT_EQ(request.version, "HTTP/1.1");
+  EXPECT_EQ(request.body, "{\"op\":\"info\"}");
+  EXPECT_TRUE(request.keep_alive);
+  // Header names are lower-cased, values trimmed.
+  EXPECT_EQ(request.Header("content-type"), "application/json");
+  EXPECT_EQ(request.Header("host"), "localhost");
+  EXPECT_EQ(request.Header("absent"), "");
+}
+
+TEST(HttpParserTest, PipelinedRequestsPopInOrder) {
+  HttpParser parser(1 << 20);
+  const std::string wire =
+      "GET /v1/healthz HTTP/1.1\r\n\r\n"
+      "GET /v1/metrics HTTP/1.1\r\n\r\n";
+  parser.Feed(wire.data(), wire.size());
+  HttpRequest request;
+  ASSERT_EQ(parser.PopRequest(&request), HttpParser::Next::kRequest);
+  EXPECT_EQ(request.target, "/v1/healthz");
+  ASSERT_EQ(parser.PopRequest(&request), HttpParser::Next::kRequest);
+  EXPECT_EQ(request.target, "/v1/metrics");
+  EXPECT_EQ(parser.PopRequest(&request), HttpParser::Next::kNeedMore);
+}
+
+TEST(HttpParserTest, KeepAliveSemantics) {
+  const struct {
+    const char* wire;
+    bool keep_alive;
+  } cases[] = {
+      {"GET / HTTP/1.1\r\n\r\n", true},
+      {"GET / HTTP/1.1\r\nConnection: close\r\n\r\n", false},
+      {"GET / HTTP/1.0\r\n\r\n", false},
+      {"GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n", true},
+  };
+  for (const auto& c : cases) {
+    HttpParser parser(1 << 20);
+    parser.Feed(c.wire, std::string(c.wire).size());
+    HttpRequest request;
+    ASSERT_EQ(parser.PopRequest(&request), HttpParser::Next::kRequest)
+        << c.wire;
+    EXPECT_EQ(request.keep_alive, c.keep_alive) << c.wire;
+  }
+}
+
+TEST(HttpParserTest, MalformedInputPoisons) {
+  const char* bad[] = {
+      "NONSENSE\r\n\r\n",                            // no target/version
+      "GET /x HTTP/2.0\r\n\r\n",                     // unsupported version
+      "GET /x HTTP/1.1\r\nContent-Length: x\r\n\r\n",  // bad length
+      "POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n",  // chunked
+  };
+  for (const char* wire : bad) {
+    HttpParser parser(1 << 20);
+    parser.Feed(wire, std::string(wire).size());
+    HttpRequest request;
+    EXPECT_EQ(parser.PopRequest(&request), HttpParser::Next::kBad) << wire;
+    EXPECT_TRUE(parser.poisoned()) << wire;
+    EXPECT_FALSE(parser.error().empty()) << wire;
+    // The fault is reported exactly once; afterwards the parser starves.
+    EXPECT_EQ(parser.PopRequest(&request), HttpParser::Next::kNeedMore);
+    parser.Feed("GET / HTTP/1.1\r\n\r\n", 18);  // ignored once poisoned
+    EXPECT_EQ(parser.PopRequest(&request), HttpParser::Next::kNeedMore);
+  }
+}
+
+TEST(HttpParserTest, OversizedRequestIsRefused) {
+  HttpParser parser(/*max_request_bytes=*/64);
+  // Headers alone exceed the cap.
+  std::string wire = "GET / HTTP/1.1\r\nx-pad: ";
+  wire.append(128, 'a');
+  wire += "\r\n\r\n";
+  parser.Feed(wire.data(), wire.size());
+  HttpRequest request;
+  EXPECT_EQ(parser.PopRequest(&request), HttpParser::Next::kOversized);
+  EXPECT_TRUE(parser.poisoned());
+
+  // A declared body that would exceed the cap is refused without waiting
+  // for the bytes to arrive.
+  HttpParser body_parser(/*max_request_bytes=*/64);
+  const std::string header =
+      "POST /v1/query HTTP/1.1\r\nContent-Length: 4096\r\n\r\n";
+  body_parser.Feed(header.data(), header.size());
+  EXPECT_EQ(body_parser.PopRequest(&request), HttpParser::Next::kOversized);
+}
+
+TEST(HttpResponseTest, WrapsBodyVerbatimWithExactLength) {
+  const std::string body = "{\"id\":\"r1\",\"ok\":true}\n";
+  const std::string wire = HttpResponseBytes(200, body, /*keep_alive=*/true);
+  EXPECT_EQ(wire,
+            "HTTP/1.1 200 OK\r\n"
+            "Content-Type: application/json\r\n"
+            "Content-Length: 22\r\n"
+            "Connection: keep-alive\r\n"
+            "\r\n" +
+                body);
+  EXPECT_NE(HttpResponseBytes(200, body, /*keep_alive=*/false)
+                .find("Connection: close\r\n"),
+            std::string::npos);
+}
+
+TEST(HttpResponseTest, StatusMappingMatchesTheContract) {
+  EXPECT_EQ(HttpStatusForStatus(Status::OK()), 200);
+  EXPECT_EQ(HttpStatusForStatus(Status::InvalidArgument("x")), 400);
+  EXPECT_EQ(HttpStatusForStatus(Status::UnsupportedVersion("x")), 400);
+  EXPECT_EQ(HttpStatusForStatus(Status::NotFound("x")), 404);
+  EXPECT_EQ(HttpStatusForStatus(Status::FailedPrecondition("x")), 409);
+  EXPECT_EQ(HttpStatusForStatus(Status::Unavailable("x")), 503);
+  EXPECT_EQ(HttpStatusForStatus(Status::DeadlineExceeded("x")), 504);
+  EXPECT_EQ(HttpStatusForStatus(Status::Internal("x")), 500);
+  EXPECT_STREQ(HttpStatusText(404), "Not Found");
+  EXPECT_STREQ(HttpStatusText(503), "Service Unavailable");
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace serve
+}  // namespace privim

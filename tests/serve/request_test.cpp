@@ -192,6 +192,103 @@ TEST(RequestTest, CachedFlagIsNotSerialized) {
   EXPECT_EQ(response.ToJsonLine(), fresh);
 }
 
+// --- Protocol versioning + capability handshake + admin ------------------
+
+TEST(RequestTest, VersionFieldDefaultsAndParses) {
+  EXPECT_EQ(ParseServeRequest(R"({"op":"info"})").value().version,
+            kProtocolVersion);
+  EXPECT_EQ(ParseServeRequest(R"({"op":"info","v":1})").value().version, 1);
+}
+
+TEST(RequestTest, UnsupportedVersionVocabularyIsPinned) {
+  const Status status = UnsupportedVersionError(2);
+  EXPECT_EQ(status.code(), StatusCode::kUnsupportedVersion);
+  EXPECT_EQ(status.message(),
+            "protocol version 2 is not supported (this server speaks 1)");
+  EXPECT_TRUE(IsUnsupportedVersion(status));
+  EXPECT_FALSE(IsUnsupportedVersion(Status::OK()));
+  EXPECT_FALSE(IsUnsupportedVersion(
+      Status::InvalidArgument("protocol version 2 is not supported")));
+
+  // The exact refusal line every front end emits for a future-version
+  // request (net/server.cpp and HTTP bodies append the trailing newline).
+  ServeResponse refusal;
+  refusal.id = "r7";
+  refusal.status = status;
+  EXPECT_EQ(refusal.ToJsonLine(),
+            R"({"id":"r7","ok":false,"code":"UnsupportedVersion",)"
+            R"("error":"protocol version 2 is not supported )"
+            "(this server speaks 1)\"}");
+}
+
+TEST(RequestTest, UnknownVersionIsRefusedBeforeFieldErrors) {
+  // A v=2 request may carry fields this version cannot parse; the client
+  // must see the version refusal, not a confusing field error.
+  const Status status =
+      ParseServeRequest(R"({"op":"topk","v":2,"k":"future-shape"})")
+          .status();
+  EXPECT_TRUE(IsUnsupportedVersion(status)) << status.ToString();
+  // Same for an op this version does not know.
+  EXPECT_TRUE(IsUnsupportedVersion(
+      ParseServeRequest(R"({"op":"telepathy","v":3})").status()));
+  // v must still be an integer.
+  EXPECT_EQ(ParseServeRequest(R"({"op":"info","v":"one"})").status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(RequestTest, ParsesInfoAndAdminOps) {
+  const ServeRequest info = ParseServeRequest(R"({"id":"i","op":"info"})").value();
+  EXPECT_EQ(info.op, RequestOp::kInfo);
+
+  const ServeRequest swap =
+      ParseServeRequest(
+          R"({"id":"a","op":"admin","action":"swap","model":"m.bin",)"
+          R"("sketch_index":"s.idx","graph":"g.txt"})")
+          .value();
+  EXPECT_EQ(swap.op, RequestOp::kAdmin);
+  EXPECT_EQ(swap.action, "swap");
+  EXPECT_EQ(swap.swap_model, "m.bin");
+  EXPECT_EQ(swap.swap_sketch, "s.idx");
+  EXPECT_EQ(swap.swap_graph, "g.txt");
+}
+
+TEST(RequestTest, AdminValidationIsStrict) {
+  // Only action=swap exists.
+  EXPECT_EQ(ParseServeRequest(R"({"op":"admin","action":"reload"})")
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParseServeRequest(R"({"op":"admin"})").status().code(),
+            StatusCode::kInvalidArgument);
+  // Admin-only fields are refused on other ops.
+  EXPECT_EQ(ParseServeRequest(R"({"op":"topk","action":"swap"})")
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(RequestTest, AdminRequestsAreNeverCacheable) {
+  EXPECT_FALSE(IsCacheable(
+      ParseServeRequest(R"({"op":"admin","action":"swap"})").value()));
+  EXPECT_TRUE(IsCacheable(ParseServeRequest(R"({"op":"info"})").value()));
+  EXPECT_TRUE(
+      IsCacheable(ParseServeRequest(R"({"op":"topk","k":3})").value()));
+}
+
+TEST(RequestTest, AdminFieldsMoveTheDigest) {
+  const uint64_t base = RequestDigest(
+      ParseServeRequest(R"({"op":"admin","action":"swap"})").value());
+  const char* variants[] = {
+      R"({"op":"admin","action":"swap","model":"a.bin"})",
+      R"({"op":"admin","action":"swap","sketch_index":"a.idx"})",
+      R"({"op":"admin","action":"swap","graph":"a.txt"})",
+  };
+  for (const char* variant : variants) {
+    EXPECT_NE(base, RequestDigest(ParseServeRequest(variant).value()))
+        << variant;
+  }
+}
+
 }  // namespace
 }  // namespace serve
 }  // namespace privim

@@ -14,6 +14,7 @@
 #include "privim/common/thread_pool.h"
 #include "privim/gnn/models.h"
 #include "privim/nn/ops.h"
+#include "privim/serve/assets.h"
 #include "privim/serve/request.h"
 
 namespace privim {
@@ -513,6 +514,189 @@ TEST(ServiceTest, OverloadTranslationIsIdenticalAcrossFrontEnds) {
   EXPECT_EQ(from_async.ToJsonLine(),
             OverloadedResponse(overflow.id).ToJsonLine());
 
+  service->Stop();
+}
+
+// --- ServingAssets snapshots: the info handshake, hot swap, and the
+// fingerprint-keyed cache that makes stale hits impossible. ----------------
+
+std::shared_ptr<const ServingAssets> Snapshot(bool with_model) {
+  return ServingAssets::Build(TestGraph(),
+                              with_model ? TestModel() : nullptr, nullptr,
+                              InferEngineKind::kFused)
+      .value();
+}
+
+TEST(ServiceSwapTest, InfoReportsCapabilitiesAndSnapshotIdentity) {
+  auto service = MakeService(ServeOptions());
+  const ServeResponse info =
+      service->Execute(Request(R"({"id":"i","op":"info"})"));
+  ASSERT_TRUE(info.status.ok()) << info.status.ToString();
+  const std::string line = info.ToJsonLine();
+  EXPECT_NE(line.find(R"("protocol":1)"), std::string::npos) << line;
+  EXPECT_NE(line.find(R"("ops":["influence","topk","spread","info","admin"])"),
+            std::string::npos)
+      << line;
+  EXPECT_NE(line.find(R"("methods":["model","celf","ris","sketch"])"),
+            std::string::npos)
+      << line;
+  EXPECT_NE(line.find(R"("engine":"fused")"), std::string::npos) << line;
+  EXPECT_NE(line.find(R"("nodes":8)"), std::string::npos) << line;
+  EXPECT_NE(line.find(R"("model":true)"), std::string::npos) << line;
+  // The advertised fingerprint is the served snapshot's.
+  EXPECT_NE(line.find(FingerprintHex(service->fingerprint())),
+            std::string::npos)
+      << line;
+}
+
+TEST(ServiceSwapTest, SwapRepointsTheSnapshotWhileRunning) {
+  auto service = MakeService(ServeOptions());
+  ASSERT_TRUE(service->Start().ok());
+  const uint64_t before = service->fingerprint();
+  EXPECT_TRUE(service->has_model());
+
+  ASSERT_TRUE(service->SwapAssets(Snapshot(/*with_model=*/false)).ok());
+  EXPECT_NE(service->fingerprint(), before);
+  EXPECT_FALSE(service->has_model());
+
+  // New requests are answered from the new snapshot: model ops now fail.
+  Result<std::future<ServeResponse>> pending =
+      service->Submit(Request(R"({"id":"m","op":"topk","k":3})"));
+  ASSERT_TRUE(pending.ok());
+  EXPECT_EQ(pending->get().status.code(), StatusCode::kFailedPrecondition);
+  service->Stop();
+
+  const ServiceStats stats = service->GetStats();
+  EXPECT_EQ(stats.swaps, 1u);
+  EXPECT_EQ(stats.swap_errors, 0u);
+  EXPECT_EQ(stats.fingerprint, service->fingerprint());
+}
+
+TEST(ServiceSwapTest, FingerprintsAreContentDerivedAndCacheKeysOnThem) {
+  // One service, three snapshots: A (model), B (no model), A' (rebuilt
+  // from the same content as A). The cache keys on the content-derived
+  // snapshot fingerprint, so A's entries go quiet under B — no stale hit
+  // is possible — and come back under A'.
+  auto service = MakeService(ServeOptions());
+  const ServeRequest query =
+      Request(R"({"id":"c","op":"topk","k":3,"method":"celf"})");
+
+  const ServeResponse first = service->Execute(query);
+  ASSERT_TRUE(first.status.ok());
+  EXPECT_FALSE(first.cached);
+  EXPECT_TRUE(service->Execute(query).cached);
+
+  // B: same graph, no model — a different fingerprint, so the same query
+  // recomputes (celf is model-free: same payload, different cache slot).
+  const uint64_t fingerprint_a = service->fingerprint();
+  ASSERT_TRUE(service->SwapAssets(Snapshot(/*with_model=*/false)).ok());
+  EXPECT_NE(service->fingerprint(), fingerprint_a);
+  const ServeResponse under_b = service->Execute(query);
+  ASSERT_TRUE(under_b.status.ok());
+  EXPECT_FALSE(under_b.cached);
+  EXPECT_EQ(under_b.ToJsonLine(), first.ToJsonLine());
+
+  // A': rebuilt from identical content — the fingerprint matches A
+  // exactly, so A's cache entries serve again without recomputation.
+  ASSERT_TRUE(service->SwapAssets(Snapshot(/*with_model=*/true)).ok());
+  EXPECT_EQ(service->fingerprint(), fingerprint_a);
+  EXPECT_TRUE(service->Execute(query).cached);
+}
+
+TEST(ServiceSwapTest, AdminWithoutFactoryIsARefusedSwap) {
+  auto service = MakeService(ServeOptions());
+  const ServeResponse response = service->Execute(
+      Request(R"({"id":"a","op":"admin","action":"swap"})"));
+  EXPECT_EQ(response.status.code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(response.status.message().find("no swap factory"),
+            std::string::npos);
+  const ServiceStats stats = service->GetStats();
+  EXPECT_EQ(stats.swaps, 0u);
+  EXPECT_EQ(stats.swap_errors, 1u);
+}
+
+TEST(ServiceSwapTest, AdminSwapRunsThroughTheFactoryAndIsNeverCached) {
+  auto service = MakeService(ServeOptions());
+  int factory_calls = 0;
+  ASSERT_TRUE(service
+                  ->SetAssetsFactory(
+                      [&factory_calls](const ServeRequest& request)
+                          -> Result<std::shared_ptr<const ServingAssets>> {
+                        ++factory_calls;
+                        if (request.swap_model == "missing.model") {
+                          return Status::IOError("cannot open missing.model");
+                        }
+                        return Snapshot(/*with_model=*/false);
+                      })
+                  .ok());
+  const uint64_t before = service->fingerprint();
+
+  const ServeRequest swap =
+      Request(R"({"id":"a","op":"admin","action":"swap"})");
+  const ServeResponse applied = service->Execute(swap);
+  ASSERT_TRUE(applied.status.ok()) << applied.status.ToString();
+  EXPECT_FALSE(applied.cached);
+  const std::string line = applied.ToJsonLine();
+  EXPECT_NE(line.find(R"("old_fingerprint":")" + FingerprintHex(before)),
+            std::string::npos)
+      << line;
+  EXPECT_NE(
+      line.find(R"("fingerprint":")" + FingerprintHex(service->fingerprint())),
+      std::string::npos)
+      << line;
+  EXPECT_NE(line.find(R"("model":false)"), std::string::npos) << line;
+
+  // Identical admin requests execute every time — never from the cache.
+  EXPECT_FALSE(service->Execute(swap).cached);
+  EXPECT_EQ(factory_calls, 2);
+
+  // A factory error is a counted, reported refusal; the snapshot stays.
+  const uint64_t current = service->fingerprint();
+  const ServeResponse refused = service->Execute(Request(
+      R"({"id":"a","op":"admin","action":"swap","model":"missing.model"})"));
+  EXPECT_EQ(refused.status.code(), StatusCode::kIOError);
+  EXPECT_EQ(service->fingerprint(), current);
+
+  const ServiceStats stats = service->GetStats();
+  EXPECT_EQ(stats.swaps, 2u);
+  EXPECT_EQ(stats.swap_errors, 1u);
+}
+
+TEST(ServiceSwapTest, FactoryInstallsBeforeStartOnly) {
+  auto service = MakeService(ServeOptions());
+  ASSERT_TRUE(service->Start().ok());
+  const Status late = service->SetAssetsFactory(
+      [](const ServeRequest&) -> Result<std::shared_ptr<const ServingAssets>> {
+        return Snapshot(false);
+      });
+  EXPECT_EQ(late.code(), StatusCode::kFailedPrecondition);
+  service->Stop();
+}
+
+TEST(ServiceSwapTest, InFlightRequestsFinishOnTheirAdmissionSnapshot) {
+  // Queue model requests against snapshot A, swap to model-free B, then
+  // start the scheduler: the queued requests were admitted under A and
+  // must succeed on A even though B is current by the time they execute.
+  ServeOptions options;
+  options.cache_capacity = 0;
+  auto service = MakeService(options);
+  std::vector<std::future<ServeResponse>> futures;
+  for (int i = 0; i < 4; ++i) {
+    auto submitted =
+        service->Submit(Request(R"({"id":"q","op":"topk","k":3})"));
+    ASSERT_TRUE(submitted.ok());
+    futures.push_back(std::move(submitted.value()));
+  }
+  ASSERT_TRUE(service->SwapAssets(Snapshot(/*with_model=*/false)).ok());
+  ASSERT_TRUE(service->Start().ok());
+  for (auto& future : futures) {
+    const ServeResponse response = future.get();
+    EXPECT_TRUE(response.status.ok()) << response.status.ToString();
+  }
+  // A request admitted after the swap sees B and fails.
+  const ServeResponse after =
+      service->Execute(Request(R"({"id":"q2","op":"topk","k":3})"));
+  EXPECT_EQ(after.status.code(), StatusCode::kFailedPrecondition);
   service->Stop();
 }
 

@@ -1,5 +1,6 @@
-// InfluenceService + SketchIndex integration: attach-time guards, the
-// served-answer equivalence with CELF, and the counted fallback path.
+// InfluenceService + SketchIndex integration through the ServingAssets
+// snapshot API: build-time guards, hot-swap attachment, the served-answer
+// equivalence with CELF, and the counted fallback path.
 
 #include <future>
 #include <memory>
@@ -8,6 +9,7 @@
 
 #include "gtest/gtest.h"
 #include "privim/im/sketch/sketch_index.h"
+#include "privim/serve/assets.h"
 #include "privim/serve/request.h"
 #include "privim/serve/service.h"
 #include "testing/graph_fixtures.h"
@@ -38,11 +40,20 @@ std::shared_ptr<const SketchIndex> BuildIndex(const Graph& graph,
   return std::shared_ptr<const SketchIndex>(std::move(index).value());
 }
 
-std::unique_ptr<InfluenceService> MakeService() {
+std::shared_ptr<const ServingAssets> RingAssets(
+    std::shared_ptr<const SketchIndex> sketch) {
+  Result<std::shared_ptr<const ServingAssets>> assets = ServingAssets::Build(
+      RingGraph(), nullptr, std::move(sketch), InferEngineKind::kFused);
+  EXPECT_TRUE(assets.ok()) << assets.status().ToString();
+  return std::move(assets).value();
+}
+
+std::unique_ptr<InfluenceService> MakeService(
+    std::shared_ptr<const SketchIndex> sketch = nullptr) {
   ServeOptions options;
   options.cache_capacity = 0;  // every Execute computes; no cache masking
   Result<std::unique_ptr<InfluenceService>> service =
-      InfluenceService::Create(RingGraph(), nullptr, options);
+      InfluenceService::Create(RingAssets(std::move(sketch)), options);
   EXPECT_TRUE(service.ok()) << service.status().ToString();
   return std::move(service).value();
 }
@@ -51,37 +62,52 @@ ServeRequest Request(const std::string& json) {
   return ParseServeRequest(json).value();
 }
 
-TEST(SketchServeTest, AttachRejectsNullAndForeignIndexes) {
-  auto service = MakeService();
-  EXPECT_EQ(service->AttachSketchIndex(nullptr).code(),
-            StatusCode::kInvalidArgument);
-
-  // An index built from a different graph is refused by fingerprint.
+TEST(SketchServeTest, BuildRejectsForeignIndexByFingerprint) {
+  // An index built from a different graph is refused at snapshot build
+  // time: no snapshot can ever pair an index with a graph it does not
+  // describe.
   const Graph other = privim::testing::MakeStar(8);
-  const Status mismatch =
-      service->AttachSketchIndex(BuildIndex(other));
-  EXPECT_EQ(mismatch.code(), StatusCode::kFailedPrecondition);
-  EXPECT_NE(mismatch.message().find("different graph"), std::string::npos);
-  EXPECT_FALSE(service->sketch_active());
+  Result<std::shared_ptr<const ServingAssets>> mismatch =
+      ServingAssets::Build(RingGraph(), nullptr, BuildIndex(other),
+                           InferEngineKind::kFused);
+  ASSERT_FALSE(mismatch.ok());
+  EXPECT_EQ(mismatch.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(mismatch.status().message().find("different graph"),
+            std::string::npos);
 
-  // The matching index attaches.
-  EXPECT_TRUE(service->AttachSketchIndex(BuildIndex(RingGraph())).ok());
+  // The matching index builds, and the service reports it active.
+  auto service = MakeService(BuildIndex(RingGraph()));
   EXPECT_TRUE(service->sketch_active());
 }
 
-TEST(SketchServeTest, AttachAfterStartIsRefused) {
+TEST(SketchServeTest, SwapAttachesAnIndexWhileRunning) {
+  // The redesign's point: the index arrives via a snapshot swap AFTER
+  // Start(), with the service live, instead of attach-before-Start.
   auto service = MakeService();
+  EXPECT_FALSE(service->sketch_active());
   ASSERT_TRUE(service->Start().ok());
-  const Status status = service->AttachSketchIndex(BuildIndex(RingGraph()));
-  EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition);
-  EXPECT_NE(status.message().find("before Start"), std::string::npos);
+
+  EXPECT_EQ(service->SwapAssets(nullptr).code(),
+            StatusCode::kInvalidArgument);
+
+  ASSERT_TRUE(service->SwapAssets(RingAssets(BuildIndex(RingGraph()))).ok());
+  EXPECT_TRUE(service->sketch_active());
+
+  Result<std::future<ServeResponse>> pending = service->Submit(
+      Request(R"({"id":"s","op":"topk","k":3,"method":"sketch"})"));
+  ASSERT_TRUE(pending.ok()) << pending.status().ToString();
+  const ServeResponse response = pending->get();
   service->Stop();
+  ASSERT_TRUE(response.status.ok()) << response.status.ToString();
+
+  const ServiceStats stats = service->GetStats();
+  EXPECT_EQ(stats.sketch_hits, 1u);
+  EXPECT_EQ(stats.swaps, 1u);
 }
 
 TEST(SketchServeTest, SketchAnswersMatchCelfAndFallbackByteForByte) {
-  auto indexed = MakeService();
+  auto indexed = MakeService(BuildIndex(RingGraph()));
   auto bare = MakeService();  // no index: method=sketch falls back to CELF
-  ASSERT_TRUE(indexed->AttachSketchIndex(BuildIndex(RingGraph())).ok());
 
   for (const int64_t k : {int64_t{1}, int64_t{3}, int64_t{8}}) {
     const std::string base =
@@ -126,10 +152,7 @@ TEST(SketchServeTest, MissingIndexFallsBackToCelfAndCounts) {
 }
 
 TEST(SketchServeTest, StepsMismatchFallsBackToCelf) {
-  auto service = MakeService();
-  ASSERT_TRUE(
-      service->AttachSketchIndex(BuildIndex(RingGraph(), /*max_steps=*/1))
-          .ok());
+  auto service = MakeService(BuildIndex(RingGraph(), /*max_steps=*/1));
 
   // The index answers steps=1 only; steps=2 must take the CELF path, and
   // the fallback answer still matches a direct CELF request byte-for-byte
@@ -150,8 +173,7 @@ TEST(SketchServeTest, StepsMismatchFallsBackToCelf) {
 }
 
 TEST(SketchServeTest, BatchedPathServesFromTheIndexToo) {
-  auto service = MakeService();
-  ASSERT_TRUE(service->AttachSketchIndex(BuildIndex(RingGraph())).ok());
+  auto service = MakeService(BuildIndex(RingGraph()));
   ASSERT_TRUE(service->Start().ok());
   Result<std::future<ServeResponse>> pending = service->Submit(
       Request(R"({"id":"b","op":"topk","k":3,"method":"sketch"})"));

@@ -1,0 +1,89 @@
+// Minimal HTTP/1.1 client helpers layered on BlockingClient, for the
+// integration tests that speak to the real privim_serve binary over the
+// HTTP framing. Deliberately tiny: request bytes are assembled by hand so
+// the tests control the exact wire format, and the reply reader only
+// understands what the server emits (status line, headers,
+// Content-Length-delimited body).
+
+#ifndef PRIVIM_TESTS_TESTING_HTTP_CLIENT_H_
+#define PRIVIM_TESTS_TESTING_HTTP_CLIENT_H_
+
+#include <cctype>
+#include <cstddef>
+#include <cstdlib>
+#include <string>
+#include <utility>
+
+#include "privim/common/status.h"
+#include "privim/serve/net/client.h"
+
+namespace privim {
+namespace testing {
+
+struct HttpReply {
+  int status_code = 0;
+  std::string connection;  ///< value of the Connection header, verbatim
+  std::string body;
+};
+
+/// Bytes of a POST with a JSON body (Content-Length framing, keep-alive).
+inline std::string HttpPostBytes(const std::string& target,
+                                 const std::string& body) {
+  return "POST " + target +
+         " HTTP/1.1\r\nHost: test\r\nContent-Type: application/json\r\n"
+         "Content-Length: " +
+         std::to_string(body.size()) + "\r\n\r\n" + body;
+}
+
+/// Bytes of a body-less GET.
+inline std::string HttpGetBytes(const std::string& target) {
+  return "GET " + target + " HTTP/1.1\r\nHost: test\r\n\r\n";
+}
+
+/// Reads one HTTP reply off `client`: status line, headers, then exactly
+/// Content-Length body bytes. Keep-alive replies leave the connection
+/// ready for the next exchange.
+inline Result<HttpReply> ReadHttpReply(serve::net::BlockingClient* client) {
+  HttpReply reply;
+  Result<std::string> status_line = client->ReadLine();
+  if (!status_line.ok()) return status_line.status();
+  std::string line = std::move(status_line).value();
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+  const std::size_t space = line.find(' ');
+  if (space == std::string::npos) {
+    return Status::InvalidArgument("bad HTTP status line: " + line);
+  }
+  reply.status_code = std::atoi(line.c_str() + space + 1);
+
+  std::size_t content_length = 0;
+  while (true) {
+    Result<std::string> header = client->ReadLine();
+    if (!header.ok()) return header.status();
+    std::string field = std::move(header).value();
+    if (!field.empty() && field.back() == '\r') field.pop_back();
+    if (field.empty()) break;
+    const std::size_t colon = field.find(':');
+    if (colon == std::string::npos) continue;
+    std::string name = field.substr(0, colon);
+    for (char& c : name) {
+      c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    }
+    std::string value = field.substr(colon + 1);
+    while (!value.empty() && value.front() == ' ') value.erase(value.begin());
+    if (name == "content-length") {
+      content_length = static_cast<std::size_t>(std::atoll(value.c_str()));
+    } else if (name == "connection") {
+      reply.connection = value;
+    }
+  }
+
+  Result<std::string> body = client->ReadBytes(content_length);
+  if (!body.ok()) return body.status();
+  reply.body = std::move(body).value();
+  return reply;
+}
+
+}  // namespace testing
+}  // namespace privim
+
+#endif  // PRIVIM_TESTS_TESTING_HTTP_CLIENT_H_

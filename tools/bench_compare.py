@@ -13,12 +13,16 @@ Three subcommands, all stdlib-only so CI can run them on a bare runner:
   selftest  run the built-in unit checks (no arguments, exits non-zero on
             the first failure; wired into ctest as BenchCompareSelfTest)
 
-A privim_loadgen report (merge --loadgen FILE) contributes synthetic
-benchmark rows Loadgen_P50 / Loadgen_P95 / Loadgen_P99 whose real_time is
-the latency percentile in nanoseconds, so the ordinary compare machinery
-— including --enforce 'Loadgen_P99*' — gates serving latency SLOs with no
-special cases. The baseline entries for these rows are latency *budgets*
-chosen by hand, not measured samples; regressing past budget fails CI.
+A privim_loadgen report (merge --loadgen FILE, repeatable) contributes
+synthetic benchmark rows Loadgen_P50 / Loadgen_P95 / Loadgen_P99 whose
+real_time is the latency percentile in nanoseconds, so the ordinary
+compare machinery — including --enforce 'Loadgen_P99*' — gates serving
+latency SLOs with no special cases. A report whose "mode" field is
+"open" (privim_loadgen --rate) contributes LoadgenOpen_P* rows instead,
+so one merged artifact can carry both the closed-loop and the open-loop
+percentiles side by side. The baseline entries for these rows are
+latency *budgets* chosen by hand, not measured samples; regressing past
+budget fails CI.
 
 By default every benchmark participates in the exit code. With one or more
 --enforce GLOB options the gate narrows: only benchmarks matching a glob
@@ -65,18 +69,21 @@ def benchmark_rows(merged):
 def loadgen_rows(report):
     """Synthetic benchmark rows from a privim_loadgen report: latency
     percentiles (ms) become Loadgen_P* rows with real_time in ns, so the
-    compare/enforce machinery applies unchanged."""
+    compare/enforce machinery applies unchanged. Open-loop reports
+    (mode == "open") get the LoadgenOpen_ prefix so both modes can live
+    in one artifact without colliding."""
+    prefix = "LoadgenOpen" if report.get("mode") == "open" else "Loadgen"
     rows = []
-    for name, key in (
-        ("Loadgen_P50", "p50_ms"),
-        ("Loadgen_P95", "p95_ms"),
-        ("Loadgen_P99", "p99_ms"),
+    for suffix, key in (
+        ("P50", "p50_ms"),
+        ("P95", "p95_ms"),
+        ("P99", "p99_ms"),
     ):
         if key not in report:
             sys.exit(f"error: loadgen report has no {key!r} field")
         rows.append(
             {
-                "name": name,
+                "name": f"{prefix}_{suffix}",
                 "run_type": "iteration",
                 "real_time": float(report[key]) * 1e6,
                 "time_unit": "ns",
@@ -93,10 +100,27 @@ def cmd_merge(args):
         bench = load_json(args.bench)
         merged["context"] = bench.get("context", {})
         merged["benchmarks"] = bench.get("benchmarks", [])
-    if args.loadgen:
-        report = load_json(args.loadgen)
-        merged["benchmarks"].extend(loadgen_rows(report))
-        merged["loadgen"] = report
+    for path in args.loadgen or []:
+        report = load_json(path)
+        rows = loadgen_rows(report)
+        duplicates = {r["name"] for r in rows} & {
+            b.get("name") for b in merged["benchmarks"]
+        }
+        if duplicates:
+            sys.exit(
+                f"error: {path} repeats benchmark rows "
+                f"{sorted(duplicates)}; pass at most one closed-loop and "
+                f"one open-loop report"
+            )
+        merged["benchmarks"].extend(rows)
+        # Single-report merges keep the historical flat shape; multi-report
+        # merges key the raw reports by mode.
+        if len(args.loadgen) == 1:
+            merged["loadgen"] = report
+        else:
+            merged.setdefault("loadgen", {})[
+                report.get("mode", "closed")
+            ] = report
     if args.metrics:
         merged["metrics"] = load_json(args.metrics)
     with open(args.out, "w", encoding="utf-8") as handle:
@@ -345,6 +369,76 @@ def cmd_selftest(args):
         code, _ = run(["merge", "--loadgen", report, "--out", merged])
         check("incomplete loadgen report exits 1", code == 1)
 
+        # Closed + open reports merge into distinct row families.
+        closed_report = os.path.join(tmp, "closed.json")
+        open_report = os.path.join(tmp, "open.json")
+        both = os.path.join(tmp, "both.json")
+        with open(closed_report, "w", encoding="utf-8") as handle:
+            json.dump(
+                {
+                    "mode": "closed",
+                    "p50_ms": 2.0,
+                    "p95_ms": 5.0,
+                    "p99_ms": 10.0,
+                    "qps": 100.0,
+                },
+                handle,
+            )
+        with open(open_report, "w", encoding="utf-8") as handle:
+            json.dump(
+                {
+                    "mode": "open",
+                    "rate_qps": 500.0,
+                    "p50_ms": 3.0,
+                    "p95_ms": 7.0,
+                    "p99_ms": 20.0,
+                    "qps": 480.0,
+                },
+                handle,
+            )
+        code, _ = run(
+            [
+                "merge",
+                "--loadgen",
+                closed_report,
+                "--loadgen",
+                open_report,
+                "--out",
+                both,
+            ]
+        )
+        rows = {row["name"]: row for row in load_json(both)["benchmarks"]}
+        check("two-mode merge exits 0", code == 0)
+        check(
+            "closed and open rows coexist",
+            rows.get("Loadgen_P99", {}).get("real_time") == 10.0 * 1e6
+            and rows.get("LoadgenOpen_P99", {}).get("real_time")
+            == 20.0 * 1e6,
+        )
+        check(
+            "multi-report merge keys raw reports by mode",
+            load_json(both).get("loadgen", {}).get("open", {}).get("qps")
+            == 480.0
+            and load_json(both).get("loadgen", {}).get("closed", {}).get(
+                "qps"
+            )
+            == 100.0,
+        )
+
+        # Two reports of the same mode would collide; refuse them.
+        code, _ = run(
+            [
+                "merge",
+                "--loadgen",
+                closed_report,
+                "--loadgen",
+                closed_report,
+                "--out",
+                os.path.join(tmp, "dup.json"),
+            ]
+        )
+        check("same-mode duplicate reports exit 1", code == 1)
+
     print(
         f"selftest: {len(failures)} failure(s)"
         + (f": {', '.join(failures)}" if failures else "")
@@ -363,9 +457,11 @@ def main(argv):
     merge.add_argument("--metrics", default=None)
     merge.add_argument(
         "--loadgen",
+        action="append",
         default=None,
         metavar="FILE",
-        help="privim_loadgen report; adds Loadgen_P50/P95/P99 rows",
+        help="privim_loadgen report (repeatable); adds Loadgen_P50/P95/P99 "
+        "rows, or LoadgenOpen_* rows for open-loop (mode == open) reports",
     )
     merge.add_argument("--out", required=True)
     merge.set_defaults(func=cmd_merge)

@@ -1,5 +1,5 @@
-// privim_loadgen — closed-loop TCP load generator for privim_serve
-// --listen, reporting throughput and latency percentiles as JSON.
+// privim_loadgen — TCP load generator for privim_serve --listen,
+// reporting throughput and latency percentiles as JSON.
 //
 //   privim_loadgen --target 127.0.0.1:7433 --connections 8
 //     --duration-s 10 --seed 42 --max-node 63 --out loadgen.json
@@ -11,6 +11,19 @@
 // NVSL's MicroBenchmarkHarness — see common/barrier.h). Within the
 // window every worker runs a closed loop: send one request, block for its
 // response, record the latency, repeat.
+//
+// --rate QPS switches to OPEN-LOOP load: request send times are scheduled
+// on a fixed grid (rate/connections per worker) before the run, and each
+// latency is measured from the request's SCHEDULED send time, not the
+// moment it actually left the socket. A server stall therefore inflates
+// the recorded latency of every request that should have been sent during
+// the stall — the coordinated-omission correction — instead of quietly
+// thinning the offered load the way a closed loop does.
+//
+// --http sends the same workload as HTTP/1.1 POST /v1/query requests over
+// keep-alive connections (the server auto-detects the framing per
+// connection); response bodies are the exact JSONL lines, so the report
+// is comparable across framings.
 //
 // The workload is a seeded deterministic mix of influence / topk / spread
 // requests over node ids [0, max-node]; worker i draws from
@@ -35,8 +48,10 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <string>
@@ -81,6 +96,14 @@ FlagRegistry LoadgenFlags() {
       .AddBool("graph-only", false,
               "restrict the mix to ops that need no model (celf topk + "
               "spread)")
+      .AddDouble("rate", 0.0,
+                 "open-loop offered load in requests/s across all "
+                 "connections; latencies are measured from each request's "
+                 "scheduled send time (coordinated-omission corrected). "
+                 "0 = closed loop")
+      .AddBool("http", false,
+               "speak HTTP/1.1 (POST /v1/query, keep-alive) instead of "
+               "raw JSON-lines; response bodies are the same bytes")
       .AddString("out", "", "report file; empty writes stdout");
   return registry;
 }
@@ -166,6 +189,37 @@ void ClassifyResponse(const std::string& line, WorkerResult* result) {
   }
 }
 
+/// Sends `line` as POST /v1/query and returns the response body with its
+/// trailing newline stripped — the same string the JSONL framing yields,
+/// so both framings classify identically.
+Result<std::string> ExchangeHttp(serve::net::BlockingClient* client,
+                                 const std::string& line) {
+  const std::string wire =
+      "POST /v1/query HTTP/1.1\r\nContent-Length: " +
+      std::to_string(line.size()) + "\r\n\r\n" + line;
+  if (Status sent = client->SendBytes(wire); !sent.ok()) return sent;
+  Result<std::string> status_line = client->ReadLine();
+  if (!status_line.ok()) return status_line.status();
+  std::size_t content_length = 0;
+  while (true) {
+    Result<std::string> header = client->ReadLine();
+    if (!header.ok()) return header.status();
+    std::string h = std::move(header).value();
+    if (!h.empty() && h.back() == '\r') h.pop_back();
+    if (h.empty()) break;
+    constexpr const char kLength[] = "Content-Length: ";
+    if (h.rfind(kLength, 0) == 0) {
+      content_length = static_cast<std::size_t>(
+          std::strtoull(h.c_str() + sizeof(kLength) - 1, nullptr, 10));
+    }
+  }
+  Result<std::string> body = client->ReadBytes(content_length);
+  if (!body.ok()) return body.status();
+  std::string b = std::move(body).value();
+  if (!b.empty() && b.back() == '\n') b.pop_back();
+  return b;
+}
+
 void RunWorker(const serve::net::HostPort& target, const Flags& flags,
                uint64_t worker_index, Barrier* start, Barrier* stop,
                const WallTimer* window, const std::atomic<bool>* ready,
@@ -181,7 +235,15 @@ void RunWorker(const serve::net::HostPort& target, const Flags& flags,
   const bool graph_only = flags.GetBool("graph-only", false);
   const double warmup_s = flags.GetDouble("warmup-s", 0.0);
   const double duration_s = flags.GetDouble("duration-s", 5.0);
+  const bool http = flags.GetBool("http", false);
+  const double rate = flags.GetDouble("rate", 0.0);
+  // Open loop: this worker owns every rate/connections-th slot of the
+  // shared schedule, so the fleet offers `rate` requests/s in aggregate.
+  const double interval_s =
+      rate > 0 ? static_cast<double>(flags.GetInt("connections", 4)) / rate
+               : 0.0;
   uint64_t next_id = worker_index << 32;
+  uint64_t scheduled_index = 0;
 
   // All workers connect before any worker sends; the main thread resets
   // the shared window timer between the two barriers, so "elapsed" means
@@ -192,24 +254,45 @@ void RunWorker(const serve::net::HostPort& target, const Flags& flags,
   }
 
   while (result->transport.ok()) {
-    const double elapsed = window->ElapsedSeconds();
-    if (elapsed >= warmup_s + duration_s) break;
-    const bool in_window = elapsed >= warmup_s;
+    double send_reference;  // latency is measured from this instant
+    if (rate > 0) {
+      // Scheduled send time on the fixed grid. When the previous response
+      // came back late the schedule does NOT slip: the next request goes
+      // out immediately and its latency is still charged from the grid
+      // slot, so a server stall is visible in the percentiles instead of
+      // silently thinning the load (coordinated-omission correction).
+      const double scheduled =
+          static_cast<double>(scheduled_index++) * interval_s;
+      if (scheduled >= warmup_s + duration_s) break;
+      while (window->ElapsedSeconds() < scheduled) {
+        std::this_thread::sleep_for(std::chrono::microseconds(50));
+      }
+      send_reference = scheduled;
+    } else {
+      send_reference = window->ElapsedSeconds();
+      if (send_reference >= warmup_s + duration_s) break;
+    }
+    const bool in_window = send_reference >= warmup_s;
     const std::string line = NextRequestLine(&rng, max_node, request_seeds,
                                              graph_only, &next_id);
-    WallTimer latency;
-    if (Status sent = client.SendLine(line); !sent.ok()) {
-      result->transport = sent;
-      break;
+    Result<std::string> response = std::string();
+    if (http) {
+      response = ExchangeHttp(&client, line);
+    } else {
+      if (Status sent = client.SendLine(line); !sent.ok()) {
+        result->transport = sent;
+        break;
+      }
+      response = client.ReadLine();
     }
-    Result<std::string> response = client.ReadLine();
     if (!response.ok()) {
       result->transport = response.status();
       break;
     }
     if (in_window) {
       ClassifyResponse(response.value(), result);
-      result->latencies_ms.push_back(latency.ElapsedMillis());
+      result->latencies_ms.push_back(
+          (window->ElapsedSeconds() - send_reference) * 1000.0);
     }
   }
 
@@ -242,6 +325,11 @@ int Run(const Flags& flags) {
   }
   if (flags.GetInt("max-node", 63) < 0) {
     return Fail(Status::InvalidArgument("--max-node must be >= 0"));
+  }
+  const double rate = flags.GetDouble("rate", 0.0);
+  if (rate < 0) {
+    return Fail(Status::InvalidArgument("--rate must be >= 0 (0 = closed "
+                                        "loop)"));
   }
 
   // Workers + this thread party in both barriers: the main thread opens
@@ -288,6 +376,10 @@ int Run(const Flags& flags) {
 
   serve::JsonValue report = serve::JsonValue::Object();
   report.Set("target", serve::JsonValue::Str(target->ToString()));
+  report.Set("mode", serve::JsonValue::Str(rate > 0 ? "open" : "closed"));
+  if (rate > 0) report.Set("rate_qps", serve::JsonValue::Number(rate));
+  report.Set("framing", serve::JsonValue::Str(
+                            flags.GetBool("http", false) ? "http" : "jsonl"));
   report.Set("connections", serve::JsonValue::Int(connections));
   report.Set("duration_s", serve::JsonValue::Number(measured_s));
   report.Set("requests",

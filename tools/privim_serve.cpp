@@ -1,8 +1,9 @@
 // privim_serve — batch/offline AND network front end for the
 // InfluenceService.
 //
-// Loads a graph (and optionally a released model) once, then streams
-// JSON-lines influence requests through the batching engine:
+// Loads the serving assets (graph, optional released model, optional RIS
+// sketch index) into one immutable snapshot, then streams JSON-lines
+// influence requests through the batching engine:
 //
 //   privim_serve --graph graph.txt --model privim.model
 //                --requests queries.jsonl --out answers.jsonl
@@ -13,19 +14,30 @@
 // engine sees the full window of in-flight work and can coalesce batches
 // (the admission queue applies backpressure once it fills).
 //
-// With --listen HOST:PORT the same wire format is served over TCP by a
-// single-threaded epoll/poll event loop (see serve/net/server.h):
+// With --listen HOST:PORT the same wire format is served over TCP —
+// --net-loops N runs N SO_REUSEPORT event loops on the port (see
+// serve/net/group.h). Each connection may speak raw JSON-lines or
+// HTTP/1.1 (POST /v1/query, GET /v1/info, GET /v1/healthz, GET
+// /v1/metrics, POST /v1/admin/swap), auto-detected from its first bytes:
 //
 //   privim_serve --graph graph.txt --model privim.model
-//                --listen 127.0.0.1:7433 --deadline-ms 250
+//                --listen 127.0.0.1:7433 --deadline-ms 250 --net-loops 4
+//   curl -s http://127.0.0.1:7433/v1/query
+//        -d '{"id":"q1","op":"topk","k":5,"method":"celf"}'
 //
 // Socket responses are byte-identical to the stdin path for the same
-// request stream. Under overload the listener sheds load with immediate
-// {"ok":false,"code":"Unavailable","error":"overloaded"} lines instead of
-// blocking; SIGTERM (or SIGINT) triggers a graceful drain — stop
-// accepting, answer everything admitted, flush, exit 0. The stderr stats
-// line is printed after the drain too, not only on clean EOF, so
-// supervisors and CI can assert served/shed counts either way.
+// request stream (HTTP bodies wrap the exact JSONL line). Under overload
+// the listener sheds load with immediate {"ok":false,"code":"Unavailable",
+// "error":"overloaded"} lines instead of blocking; SIGTERM (or SIGINT)
+// triggers a graceful drain across every loop — stop accepting, answer
+// everything admitted, flush, exit 0.
+//
+// {"op":"admin","action":"swap",...} (or POST /v1/admin/swap) hot-swaps
+// the served assets — model, sketch index, even the graph — without
+// dropping a connection; over TCP it is accepted from loopback peers
+// only. In-flight requests finish on the snapshot they were admitted
+// under, and the response cache keys on the snapshot fingerprint, so a
+// swap can never surface a stale payload.
 //
 // A malformed request line produces an {"ok":false,...} response line in
 // place — the process keeps serving and exits 0; only setup errors (bad
@@ -35,7 +47,8 @@
 //
 // --metrics-out exports the serve.* metrics (queue depth, batch-size and
 // latency histograms, cache hit/miss counters, serve.net.* listener
-// metrics) plus trace spans.
+// metrics — per-loop serve.net.loopK.* families with --net-loops > 1,
+// serve.swap.* swap counters) plus trace spans.
 
 #include <csignal>
 #include <cstdio>
@@ -55,7 +68,8 @@
 #include "privim/im/sketch/sketch_index.h"
 #include "privim/obs/export.h"
 #include "privim/obs/trace.h"
-#include "privim/serve/net/server.h"
+#include "privim/serve/assets.h"
+#include "privim/serve/net/group.h"
 #include "privim/serve/request.h"
 #include "privim/serve/service.h"
 
@@ -86,14 +100,20 @@ void PrintStatsLine(const serve::InfluenceService& service, uint64_t shed) {
                static_cast<unsigned long long>(stats.sketch_hits),
                static_cast<unsigned long long>(stats.sketch_fallbacks),
                stats.sketch_active ? "attached" : "none");
+  if (stats.swaps > 0 || stats.swap_errors > 0) {
+    std::fprintf(stderr, "swaps: %llu applied, %llu refused (serving %s)\n",
+                 static_cast<unsigned long long>(stats.swaps),
+                 static_cast<unsigned long long>(stats.swap_errors),
+                 serve::FingerprintHex(stats.fingerprint).c_str());
+  }
 }
 
 // The SIGTERM/SIGINT handler may only do async-signal-safe work;
-// NetServer::RequestShutdown is (atomic store + write(2)).
-serve::net::NetServer* g_net_server = nullptr;
+// NetServerGroup::RequestShutdown is (atomic stores + write(2) per loop).
+serve::net::NetServerGroup* g_net_group = nullptr;
 
 void HandleShutdownSignal(int /*signum*/) {
-  if (g_net_server != nullptr) g_net_server->RequestShutdown();
+  if (g_net_group != nullptr) g_net_group->RequestShutdown();
 }
 
 FlagRegistry ServeCliFlags() {
@@ -123,7 +143,13 @@ FlagRegistry ServeCliFlags() {
                  "write combined metrics + trace JSON to this file at exit")
       .AddString("listen", "",
                  "serve the wire format over TCP on HOST:PORT instead of "
-                 "stdin/stdout (port 0 = ephemeral; see --port-file)")
+                 "stdin/stdout (port 0 = ephemeral; see --port-file). "
+                 "Connections speak raw JSON-lines or HTTP/1.1, "
+                 "auto-detected")
+      .AddInt("net-loops", 1,
+              "event loops sharing the listen port via SO_REUSEPORT "
+              "(listen mode only); each loop has its own epoll fd and "
+              "accept socket, all feeding one engine")
       .AddString("port-file", "",
                  "write the bound HOST:PORT to this file once listening "
                  "(for tests and scripts using --listen HOST:0)")
@@ -131,32 +157,84 @@ FlagRegistry ServeCliFlags() {
               "per-request completion budget in ms; 0 disables "
               "(listen mode only)")
       .AddInt("max-connections", 1024,
-              "concurrent connection cap; excess connections get one "
-              "overloaded line and are closed (listen mode only)")
+              "concurrent connection cap per event loop; excess "
+              "connections get one overloaded line and are closed "
+              "(listen mode only)")
       .AddInt("max-line-bytes", 1 << 20,
-              "longest accepted request line (listen mode only)")
+              "longest accepted request line or HTTP request "
+              "(listen mode only)")
       .AddInt("drain-grace-ms", 5000,
               "after SIGTERM, how long to wait for idle clients to close "
               "before force-closing (listen mode only)")
-      .AddString("sketch-index", "",
-                 "RIS sketch index file for method=sketch top-k; loaded and "
-                 "attached at startup (refused if built for a different "
-                 "graph). Without it, method=sketch falls back to CELF")
-      .AddBool("build-sketch-index", false,
+      .AddString("assets-sketch-index", "",
+                 "RIS sketch index file for method=sketch top-k; loaded "
+                 "into the serving snapshot (refused if built for a "
+                 "different graph). Without it, method=sketch falls back "
+                 "to CELF",
+                 /*deprecated_alias=*/"sketch-index")
+      .AddBool("assets-build-sketch-index", false,
                "build the sketch index from the serving graph, save it to "
-               "--sketch-index, attach it, and keep serving")
-      .AddInt("sketch-rr-sets", 4000,
+               "--assets-sketch-index, serve it, and keep serving",
+               /*deprecated_alias=*/"build-sketch-index")
+      .AddInt("assets-sketch-rr-sets", 4000,
               "RR sets to sample when building a sketch index over a "
               "weighted graph (unit-weight graphs use one exhaustive "
-              "sketch per node instead)")
-      .AddInt("sketch-steps", 1,
+              "sketch per node instead)",
+              /*deprecated_alias=*/"sketch-rr-sets")
+      .AddInt("assets-sketch-steps", 1,
               "diffusion step bound baked into a built sketch index; "
               "method=sketch requests with a different \"steps\" fall "
-              "back to CELF (-1 = to quiescence)")
-      .AddInt("sketch-seed", 42,
+              "back to CELF (-1 = to quiescence)",
+              /*deprecated_alias=*/"sketch-steps")
+      .AddInt("assets-sketch-seed", 42,
               "base seed for the sampled sketch build (ignored by the "
-              "exhaustive unit-weight mode)");
+              "exhaustive unit-weight mode)",
+              /*deprecated_alias=*/"sketch-seed");
   return registry;
+}
+
+// Loads (or builds and saves) the sketch index named by the flags; returns
+// null when none was asked for.
+Result<std::shared_ptr<const SketchIndex>> LoadSketchIndex(
+    const Flags& flags, const Graph& graph) {
+  const std::string sketch_path = flags.GetString("assets-sketch-index", "");
+  if (sketch_path.empty()) {
+    if (flags.GetBool("assets-build-sketch-index", false)) {
+      return Status::InvalidArgument(
+          "--assets-build-sketch-index needs --assets-sketch-index PATH to "
+          "save to");
+    }
+    return std::shared_ptr<const SketchIndex>();
+  }
+  if (flags.GetBool("assets-build-sketch-index", false)) {
+    SketchIndexOptions sketch_options;
+    sketch_options.num_sketches = flags.GetInt("assets-sketch-rr-sets", 4000);
+    sketch_options.max_steps = flags.GetInt("assets-sketch-steps", 1);
+    sketch_options.seed =
+        static_cast<uint64_t>(flags.GetInt("assets-sketch-seed", 42));
+    Result<std::unique_ptr<SketchIndex>> built =
+        SketchIndex::Build(graph, sketch_options);
+    if (!built.ok()) return built.status();
+    PRIVIM_RETURN_NOT_OK(built.value()->Save(sketch_path));
+    std::fprintf(stderr,
+                 "sketch index built: %lld sketches (%s), %lld bytes -> "
+                 "%s\n",
+                 static_cast<long long>(built.value()->num_sketches()),
+                 built.value()->exhaustive() ? "exhaustive" : "sampled",
+                 static_cast<long long>(built.value()->SizeBytes()),
+                 sketch_path.c_str());
+    return std::shared_ptr<const SketchIndex>(std::move(built).value());
+  }
+  Result<std::unique_ptr<SketchIndex>> loaded = SketchIndex::Load(sketch_path);
+  if (!loaded.ok()) return loaded.status();
+  return std::shared_ptr<const SketchIndex>(std::move(loaded).value());
+}
+
+Result<std::shared_ptr<const GnnModel>> LoadModelFile(
+    const std::string& path) {
+  Result<std::unique_ptr<GnnModel>> loaded = LoadGnnModel(path);
+  if (!loaded.ok()) return loaded.status();
+  return std::shared_ptr<const GnnModel>(std::move(loaded).value());
 }
 
 int ServeListen(const Flags& flags, serve::InfluenceService* service) {
@@ -164,23 +242,24 @@ int ServeListen(const Flags& flags, serve::InfluenceService* service) {
       serve::net::ParseHostPort(flags.GetString("listen", ""));
   if (!listen.ok()) return Fail(listen.status());
 
-  serve::net::NetServerOptions options;
-  options.listen = listen.value();
-  options.deadline_ms = flags.GetInt("deadline-ms", 0);
-  options.max_connections = flags.GetInt("max-connections", 1024);
-  options.max_line_bytes = flags.GetInt("max-line-bytes", 1 << 20);
-  options.drain_grace_ms = flags.GetInt("drain-grace-ms", 5000);
+  serve::net::NetServerGroupOptions options;
+  options.server.listen = listen.value();
+  options.server.deadline_ms = flags.GetInt("deadline-ms", 0);
+  options.server.max_connections = flags.GetInt("max-connections", 1024);
+  options.server.max_line_bytes = flags.GetInt("max-line-bytes", 1 << 20);
+  options.server.drain_grace_ms = flags.GetInt("drain-grace-ms", 5000);
+  options.loops = flags.GetInt("net-loops", 1);
 
-  Result<std::unique_ptr<serve::net::NetServer>> server =
-      serve::net::NetServer::Create(service, options);
-  if (!server.ok()) return Fail(server.status());
+  Result<std::unique_ptr<serve::net::NetServerGroup>> group =
+      serve::net::NetServerGroup::Create(service, options);
+  if (!group.ok()) return Fail(group.status());
 
-  g_net_server = server->get();
+  g_net_group = group->get();
   std::signal(SIGTERM, HandleShutdownSignal);
   std::signal(SIGINT, HandleShutdownSignal);
   std::signal(SIGPIPE, SIG_IGN);
 
-  const std::string bound = server.value()->bound_address().ToString();
+  const std::string bound = group.value()->bound_address().ToString();
   if (const std::string path = flags.GetString("port-file", "");
       !path.empty()) {
     std::ofstream port_file(path, std::ios::trunc);
@@ -189,13 +268,14 @@ int ServeListen(const Flags& flags, serve::InfluenceService* service) {
       return Fail(Status::IOError("cannot write --port-file: " + path));
     }
   }
-  std::fprintf(stderr, "listening on %s (%s)\n", bound.c_str(),
-               server.value()->poller_name());
+  std::fprintf(stderr, "listening on %s (%s, %lld loops)\n", bound.c_str(),
+               group.value()->poller_name(),
+               static_cast<long long>(group.value()->loops()));
 
-  const Status ran = server.value()->Run();
+  const Status ran = group.value()->Run();
 
-  const serve::net::NetServerStats net_stats = server.value()->GetStats();
-  g_net_server = nullptr;
+  const serve::net::NetServerStats net_stats = group.value()->GetStats();
+  g_net_group = nullptr;
   std::signal(SIGTERM, SIG_DFL);
   std::signal(SIGINT, SIG_DFL);
 
@@ -219,16 +299,17 @@ int Serve(const Flags& flags) {
   if (graph_path.empty()) {
     return Fail(Status::InvalidArgument("--graph FILE is required"));
   }
-  Result<Graph> graph =
-      LoadEdgeList(graph_path, flags.GetBool("undirected", false));
+  const bool undirected = flags.GetBool("undirected", false);
+  Result<Graph> graph = LoadEdgeList(graph_path, undirected);
   if (!graph.ok()) return Fail(graph.status());
 
   std::shared_ptr<const GnnModel> model;
   if (const std::string model_path = flags.GetString("model", "");
       !model_path.empty()) {
-    Result<std::unique_ptr<GnnModel>> loaded = LoadGnnModel(model_path);
+    Result<std::shared_ptr<const GnnModel>> loaded =
+        LoadModelFile(model_path);
     if (!loaded.ok()) return Fail(loaded.status());
-    model = std::shared_ptr<const GnnModel>(std::move(loaded.value()));
+    model = std::move(loaded).value();
   }
 
   serve::ServeOptions options;
@@ -242,52 +323,60 @@ int Serve(const Flags& flags) {
   if (!engine_kind.ok()) return Fail(engine_kind.status());
   options.infer_engine = engine_kind.value();
 
+  Result<std::shared_ptr<const SketchIndex>> sketch =
+      LoadSketchIndex(flags, graph.value());
+  if (!sketch.ok()) return Fail(sketch.status());
+
+  Result<std::shared_ptr<const serve::ServingAssets>> assets =
+      serve::ServingAssets::Build(std::move(graph).value(), std::move(model),
+                                  std::move(sketch).value(),
+                                  options.infer_engine);
+  if (!assets.ok()) return Fail(assets.status());
+
   Result<std::unique_ptr<serve::InfluenceService>> service =
-      serve::InfluenceService::Create(std::move(graph.value()),
-                                      std::move(model), options);
+      serve::InfluenceService::Create(std::move(assets).value(), options);
   if (!service.ok()) return Fail(service.status());
 
-  // Sketch index: build-and-save from the serving graph, or load a
-  // previously built file. Either way the index is attached before Start()
-  // (the attach checks the graph fingerprint, so a stale file is fatal here
-  // rather than silently serving wrong seeds).
-  if (const std::string sketch_path = flags.GetString("sketch-index", "");
-      !sketch_path.empty()) {
-    std::shared_ptr<const SketchIndex> index;
-    if (flags.GetBool("build-sketch-index", false)) {
-      SketchIndexOptions sketch_options;
-      sketch_options.num_sketches = flags.GetInt("sketch-rr-sets", 4000);
-      sketch_options.max_steps = flags.GetInt("sketch-steps", 1);
-      sketch_options.seed =
-          static_cast<uint64_t>(flags.GetInt("sketch-seed", 42));
-      Result<std::unique_ptr<SketchIndex>> built =
-          SketchIndex::Build(service.value()->graph(), sketch_options);
-      if (!built.ok()) return Fail(built.status());
-      if (Status saved = built.value()->Save(sketch_path); !saved.ok()) {
-        return Fail(saved);
-      }
-      std::fprintf(stderr,
-                   "sketch index built: %lld sketches (%s), %lld bytes -> "
-                   "%s\n",
-                   static_cast<long long>(built.value()->num_sketches()),
-                   built.value()->exhaustive() ? "exhaustive" : "sampled",
-                   static_cast<long long>(built.value()->SizeBytes()),
-                   sketch_path.c_str());
-      index = std::move(built).value();
-    } else {
-      Result<std::unique_ptr<SketchIndex>> loaded =
-          SketchIndex::Load(sketch_path);
-      if (!loaded.ok()) return Fail(loaded.status());
-      index = std::move(loaded).value();
-    }
-    if (Status attached = service.value()->AttachSketchIndex(std::move(index));
-        !attached.ok()) {
-      return Fail(attached);
-    }
-  } else if (flags.GetBool("build-sketch-index", false)) {
-    return Fail(Status::InvalidArgument(
-        "--build-sketch-index needs --sketch-index PATH to save to"));
-  }
+  // The swap factory gives {"op":"admin","action":"swap",...} its file
+  // loading: a swap builds a complete replacement snapshot from the named
+  // files, reusing the currently served graph when the request names none.
+  // Keeping file I/O here — not in the engine — means the service stays a
+  // pure request processor.
+  serve::InfluenceService* service_ptr = service.value().get();
+  const serve::InferEngineKind swap_engine = options.infer_engine;
+  Status factory_installed = service_ptr->SetAssetsFactory(
+      [service_ptr, swap_engine, undirected](const serve::ServeRequest& req)
+          -> Result<std::shared_ptr<const serve::ServingAssets>> {
+        std::shared_ptr<const Graph> swap_graph;
+        if (req.swap_graph.empty()) {
+          swap_graph = service_ptr->assets()->shared_graph();
+        } else {
+          Result<Graph> loaded = LoadEdgeList(req.swap_graph, undirected);
+          if (!loaded.ok()) return loaded.status();
+          swap_graph =
+              std::make_shared<const Graph>(std::move(loaded).value());
+        }
+        std::shared_ptr<const GnnModel> swap_model;
+        if (!req.swap_model.empty()) {
+          Result<std::shared_ptr<const GnnModel>> loaded =
+              LoadModelFile(req.swap_model);
+          if (!loaded.ok()) return loaded.status();
+          swap_model = std::move(loaded).value();
+        }
+        std::shared_ptr<const SketchIndex> swap_sketch;
+        if (!req.swap_sketch.empty()) {
+          Result<std::unique_ptr<SketchIndex>> loaded =
+              SketchIndex::Load(req.swap_sketch);
+          if (!loaded.ok()) return loaded.status();
+          swap_sketch =
+              std::shared_ptr<const SketchIndex>(std::move(loaded).value());
+        }
+        return serve::ServingAssets::Build(std::move(swap_graph),
+                                           std::move(swap_model),
+                                           std::move(swap_sketch),
+                                           swap_engine);
+      });
+  if (!factory_installed.ok()) return Fail(factory_installed);
 
   if (Status started = service.value()->Start(); !started.ok()) {
     return Fail(started);
