@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "privim/ckpt/io.h"
 #include "privim/common/flags.h"
 #include "privim/obs/export.h"
 #include "privim/obs/trace.h"
@@ -72,6 +73,105 @@ void BM_BarabasiAlbertGenerate(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_BarabasiAlbertGenerate)->Arg(1000)->Arg(10000)->Arg(100000);
+
+// --- Partitioned substrate: million-node generation and sampling ---------
+//
+// BM_GenerateBa / BM_GenerateSbm run the parallel generators (sharded CSR
+// assembly on the global pool); BM_RwrSample measures RWR subgraph
+// extraction over sharded visit maps on a pre-built graph; and
+// BM_LargeGraphPipeline is the end-to-end generate -> fingerprint ->
+// sample chain that tools/privim_scale.cpp drives. All outputs are
+// bit-identical at every thread count, so the rows are pure wall-clock.
+// The 1M rows carry hand-set budgets in bench/baseline.json that CI
+// enforces; the 10M rows are advisory and excluded from the CI run
+// (--benchmark_filter=-/10000000) to keep the smoke job short.
+
+void BM_GenerateBa(benchmark::State& state) {
+  const int64_t nodes = state.range(0);
+  uint64_t seed = 7;
+  for (auto _ : state) {
+    Result<Graph> graph = BarabasiAlbertParallel(nodes, 8, seed++);
+    if (!graph.ok()) {
+      state.SkipWithError(graph.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(graph->num_arcs());
+  }
+  state.SetItemsProcessed(state.iterations() * nodes);
+}
+BENCHMARK(BM_GenerateBa)->Arg(1000000)->Arg(10000000)->UseRealTime();
+
+void BM_GenerateSbm(benchmark::State& state) {
+  const int64_t nodes = state.range(0);
+  const int64_t blocks = 64;
+  // ~8 within-block arcs per node; p_out is divided by ~n (not by
+  // block_size) because each node sees (blocks - 1)x more cross-block
+  // candidates than within-block ones.
+  const double p_in =
+      8.0 / (static_cast<double>(nodes) / static_cast<double>(blocks));
+  uint64_t seed = 11;
+  for (auto _ : state) {
+    Result<Graph> graph =
+        StochasticBlockModel(nodes, blocks, p_in, p_in / 1024.0, seed++);
+    if (!graph.ok()) {
+      state.SkipWithError(graph.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(graph->num_arcs());
+  }
+  state.SetItemsProcessed(state.iterations() * nodes);
+}
+BENCHMARK(BM_GenerateSbm)->Arg(1000000)->Arg(10000000)->UseRealTime();
+
+void BM_RwrSample(benchmark::State& state) {
+  const int64_t nodes = state.range(0);
+  Result<Graph> graph = BarabasiAlbertParallel(nodes, 8, 7);
+  if (!graph.ok()) {
+    state.SkipWithError(graph.status().ToString().c_str());
+    return;
+  }
+  RwrSamplerOptions options;
+  options.subgraph_size = 25;
+  options.sampling_rate = 64.0 / static_cast<double>(nodes);
+  uint64_t seed = 13;
+  for (auto _ : state) {
+    Rng rng(seed++);
+    Result<SubgraphContainer> container =
+        ExtractSubgraphsRwr(graph.value(), options, &rng);
+    if (!container.ok()) {
+      state.SkipWithError(container.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(container->size());
+  }
+}
+BENCHMARK(BM_RwrSample)->Arg(1000000)->Arg(10000000)->UseRealTime();
+
+void BM_LargeGraphPipeline(benchmark::State& state) {
+  const int64_t nodes = state.range(0);
+  RwrSamplerOptions options;
+  options.subgraph_size = 25;
+  options.sampling_rate = 64.0 / static_cast<double>(nodes);
+  uint64_t seed = 17;
+  for (auto _ : state) {
+    Result<Graph> graph = BarabasiAlbertParallel(nodes, 8, seed++);
+    if (!graph.ok()) {
+      state.SkipWithError(graph.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(ckpt::FingerprintGraph(graph.value()));
+    Rng rng(seed);
+    Result<SubgraphContainer> container =
+        ExtractSubgraphsRwr(graph.value(), options, &rng);
+    if (!container.ok()) {
+      state.SkipWithError(container.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(container->size());
+  }
+  state.SetItemsProcessed(state.iterations() * nodes);
+}
+BENCHMARK(BM_LargeGraphPipeline)->Arg(1000000)->Arg(10000000)->UseRealTime();
 
 void BM_ThetaProjection(benchmark::State& state) {
   const Graph graph = MakeBenchGraph(state.range(0), 8);

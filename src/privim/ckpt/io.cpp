@@ -1,8 +1,12 @@
 #include "privim/ckpt/io.h"
 
+#include <algorithm>
 #include <array>
 #include <bit>
 #include <cstring>
+
+#include "privim/common/thread_pool.h"
+#include "privim/graph/partitioned.h"
 
 namespace privim {
 namespace ckpt {
@@ -45,17 +49,49 @@ uint64_t Fnv1a64(std::string_view data, uint64_t seed) {
   return hash;
 }
 
-uint64_t FingerprintGraph(const Graph& graph) {
-  ByteWriter writer;
-  writer.WriteI64(graph.num_nodes());
-  writer.WriteI64(graph.num_arcs());
-  writer.WriteU8(graph.undirected() ? 1 : 0);
-  for (NodeId v = 0; v < graph.num_nodes(); ++v) {
-    writer.WriteI64(graph.OutDegree(v));
-    for (const NodeId u : graph.OutNeighbors(v)) writer.WriteU32(u);
-    for (const float w : graph.OutWeights(v)) writer.WriteF32(w);
+uint64_t FingerprintGraph(const Graph& graph, int64_t num_shards) {
+  ByteWriter header;
+  header.WriteI64(graph.num_nodes());
+  header.WriteI64(graph.num_arcs());
+  header.WriteU8(graph.undirected() ? 1 : 0);
+  uint64_t hash = Fnv1a64(header.bytes());
+  if (graph.num_nodes() == 0) return hash;
+
+  // Per-shard record blobs, hashed in bounded parallel waves and folded in
+  // shard order. The concatenation of the blobs is exactly the serialized
+  // stream a single writer would produce, and Fnv1a64(B, Fnv1a64(A, s)) ==
+  // Fnv1a64(A + B, s), so the result is independent of both the wave width
+  // and the shard count — only memory and wall-clock change.
+  const ShardLayout layout =
+      ShardLayout::WithShards(graph.num_nodes(), num_shards);
+  constexpr int64_t kWave = 64;
+  std::vector<std::string> blobs(
+      static_cast<size_t>(std::min(layout.num_shards, kWave)));
+  for (int64_t wave = 0; wave < layout.num_shards; wave += kWave) {
+    const int64_t wave_size = std::min(kWave, layout.num_shards - wave);
+    GlobalThreadPool().ParallelFor(
+        static_cast<size_t>(wave_size), [&](size_t i) {
+          const int64_t shard = wave + static_cast<int64_t>(i);
+          ByteWriter writer;
+          for (int64_t v = layout.ShardBegin(shard);
+               v < layout.ShardEnd(shard); ++v) {
+            const NodeId node = static_cast<NodeId>(v);
+            writer.WriteI64(graph.OutDegree(node));
+            for (const NodeId u : graph.OutNeighbors(node)) writer.WriteU32(u);
+            for (const float w : graph.OutWeights(node)) writer.WriteF32(w);
+          }
+          blobs[i] = writer.TakeBytes();
+        });
+    for (int64_t i = 0; i < wave_size; ++i) {
+      hash = Fnv1a64(blobs[static_cast<size_t>(i)], hash);
+    }
   }
-  return Fnv1a64(writer.bytes());
+  return hash;
+}
+
+uint64_t FingerprintGraph(const Graph& graph) {
+  return FingerprintGraph(graph,
+                          ShardLayout::For(graph.num_nodes()).num_shards);
 }
 
 void ByteWriter::WriteU8(uint8_t value) {

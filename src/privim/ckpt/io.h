@@ -31,7 +31,17 @@ uint64_t Fnv1a64(std::string_view data,
 /// Order-sensitive structural fingerprint of a graph: node count, arc
 /// count, CSR layout and weight bits. Two graphs with equal fingerprints
 /// are (with overwhelming probability) identical inputs.
+///
+/// Computed over the shard layout in parallel waves: per-shard byte blobs
+/// are hashed on the ThreadPool and FNV-folded serially in shard order.
+/// FNV-1a is a left fold over bytes, so the value is byte-identical to
+/// hashing the single serialized stream — the fingerprint never depends on
+/// the shard count or the thread count, only on the graph.
 uint64_t FingerprintGraph(const Graph& graph);
+
+/// FingerprintGraph over an explicit shard count (>= 1); returns the same
+/// value for every choice (tests/ckpt/io_test.cpp pins this invariance).
+uint64_t FingerprintGraph(const Graph& graph, int64_t num_shards);
 
 /// Appends little-endian primitives to a byte string.
 class ByteWriter {

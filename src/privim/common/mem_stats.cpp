@@ -1,0 +1,54 @@
+#include "privim/common/mem_stats.h"
+
+#include <cstdio>
+#include <cstring>
+
+#include "privim/obs/metrics.h"
+
+namespace privim {
+namespace {
+
+// Parses a "VmXXX:   12345 kB" line; returns the value in bytes, or -1 if
+// the line is not the requested key.
+int64_t ParseKbLine(const char* line, const char* key) {
+  const size_t key_len = std::strlen(key);
+  if (std::strncmp(line, key, key_len) != 0) return -1;
+  long long kb = 0;
+  if (std::sscanf(line + key_len, " %lld", &kb) != 1) return -1;
+  return static_cast<int64_t>(kb) * 1024;
+}
+
+}  // namespace
+
+MemStats ReadMemStats() {
+  MemStats stats;
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return stats;
+  char line[256];
+  int found = 0;
+  while (found < 2 && std::fgets(line, sizeof(line), f) != nullptr) {
+    int64_t v = ParseKbLine(line, "VmRSS:");
+    if (v >= 0) {
+      stats.rss_bytes = v;
+      ++found;
+      continue;
+    }
+    v = ParseKbLine(line, "VmHWM:");
+    if (v >= 0) {
+      stats.hwm_bytes = v;
+      ++found;
+    }
+  }
+  std::fclose(f);
+  return stats;
+}
+
+void UpdateGraphMemGauges() {
+  static obs::Gauge* rss = obs::GlobalMetrics().GetGauge("graph.mem.rss_bytes");
+  static obs::Gauge* hwm = obs::GlobalMetrics().GetGauge("graph.mem.hwm_bytes");
+  const MemStats stats = ReadMemStats();
+  rss->Set(static_cast<double>(stats.rss_bytes));
+  hwm->Set(static_cast<double>(stats.hwm_bytes));
+}
+
+}  // namespace privim

@@ -93,7 +93,9 @@ Result<Graph> WattsStrogatz(int64_t num_nodes, int64_t mean_degree,
   }
   const int64_t half = mean_degree / 2;
   std::unordered_set<uint64_t> seen;
+  seen.reserve(static_cast<size_t>(num_nodes * half) * 2);
   std::vector<Edge> edges;
+  edges.reserve(static_cast<size_t>(num_nodes * half));
   auto canonical_key = [](NodeId a, NodeId b) {
     if (a > b) std::swap(a, b);
     return ArcKey(a, b);
@@ -132,6 +134,7 @@ Result<Graph> DirectedPreferentialAttachment(int64_t num_nodes,
     return Status::InvalidArgument("need num_nodes > out_edges_per_node");
   }
   GraphBuilder builder(num_nodes, /*undirected=*/false);
+  builder.Reserve(num_nodes * out_edges_per_node);
   // Pool of arc targets plus one smoothing entry per node (in-degree + 1).
   std::vector<NodeId> target_pool;
   target_pool.reserve(static_cast<size_t>(num_nodes * out_edges_per_node));

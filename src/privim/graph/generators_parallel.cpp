@@ -1,0 +1,360 @@
+// Parallel synthetic graph generators for the partitioned substrate.
+//
+// Both generators here are deterministic functions of (shape parameters,
+// seed): every random draw comes from a SplitRng stream keyed by a
+// position that exists independently of scheduling (an edge slot index for
+// BA, a pair-index chunk for the SBM), and all shared state is either
+// written at precomputed offsets or monotone write-once. The assembled
+// graph is therefore bit-identical at 1, 4 or 8 threads
+// (tests/graph/generators_parallel_test.cpp pins this).
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "privim/common/thread_pool.h"
+#include "privim/graph/generators.h"
+#include "privim/obs/trace.h"
+
+namespace privim {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Barabasi-Albert copy model.
+//
+// The serial generator keeps an explicit endpoint pool (every endpoint of
+// every existing edge) and samples targets uniformly from it. The pool's
+// *contents* at the moment node v attaches are fully determined by the
+// graph shape: entry 2k is the statically-known owner of edge k, entry
+// 2k+1 is edge k's sampled target. So instead of materializing the pool,
+// edge slot k draws a pool position j from its own rng stream and decodes
+// it: even j -> a static node id, odd j -> the (possibly not yet resolved)
+// target of an earlier edge. Unresolved references park the slot and are
+// retried in the next round; the parked slot resumes its own rng stream,
+// so the final assignment never depends on scheduling.
+
+struct BaShape {
+  int64_t num_nodes = 0;
+  int64_t m = 0;           // edges per attaching node
+  int64_t total_edges = 0;  // m star edges + (n - m - 1) * m attachments
+
+  // Owner (smaller-side endpoint chronologically) of edge k: the star hub
+  // for the first m edges, then the attaching node.
+  NodeId OwnerOf(int64_t k) const {
+    return k < m ? 0 : static_cast<NodeId>(m + 1 + (k - m) / m);
+  }
+  // Index of the first edge created by attaching node v (v >= m + 1).
+  int64_t FirstEdgeOf(NodeId v) const { return m + (v - m - 1) * m; }
+  // Endpoint-pool size the moment v attaches: two entries per prior edge.
+  int64_t PoolSizeBefore(NodeId v) const { return 2 * m * (v - m); }
+};
+
+// Resolution state of one attaching node, carried across rounds when a
+// slot parks on an unresolved dependency. The rng is the *slot's* stream
+// mid-consumption, so a resumed slot continues exactly where it stopped.
+struct AttachCursor {
+  Rng rng{0};
+  int64_t pending_j = -1;  // pool position awaiting its dependency, or -1
+  int64_t next_slot = 0;   // slots [0, next_slot) of this node are resolved
+};
+
+// Advances node v until all m of its targets are resolved or a dependency
+// parks it. Returns true when v is fully resolved. `resolved_slots` counts
+// newly filled slots (the per-round progress guarantee).
+bool ResolveBaNode(const BaShape& shape, uint64_t seed,
+                   std::span<int32_t> targets, NodeId v, AttachCursor* cur,
+                   int64_t* resolved_slots) {
+  const int64_t base = shape.FirstEdgeOf(v);
+  const uint64_t pool = static_cast<uint64_t>(shape.PoolSizeBefore(v));
+  while (cur->next_slot < shape.m) {
+    const int64_t k = base + cur->next_slot;
+    if (cur->pending_j < 0) {
+      cur->rng = SplitRng(seed, static_cast<uint64_t>(k));
+    }
+    for (;;) {
+      int64_t j;
+      if (cur->pending_j >= 0) {
+        j = cur->pending_j;
+        cur->pending_j = -1;
+      } else {
+        j = static_cast<int64_t>(cur->rng.NextBounded(pool));
+      }
+      NodeId cand;
+      if ((j & 1) == 0) {
+        cand = shape.OwnerOf(j >> 1);
+      } else {
+        cand = std::atomic_ref<int32_t>(targets[static_cast<size_t>(j >> 1)])
+                   .load(std::memory_order_acquire);
+        if (cand < 0) {  // dependency unresolved this round: park
+          cur->pending_j = j;
+          return false;
+        }
+      }
+      // Every pool entry predates v, so cand < v and a self-loop is
+      // impossible; only intra-node duplicates need rejection. Earlier
+      // slots of v are resolved (this cursor resolved them), so the scan
+      // reads settled values.
+      bool duplicate = false;
+      for (int64_t t = 0; t < cur->next_slot && !duplicate; ++t) {
+        duplicate =
+            std::atomic_ref<int32_t>(targets[static_cast<size_t>(base + t)])
+                .load(std::memory_order_relaxed) == cand;
+      }
+      if (duplicate) continue;
+      std::atomic_ref<int32_t>(targets[static_cast<size_t>(k)])
+          .store(cand, std::memory_order_release);
+      ++cur->next_slot;
+      ++*resolved_slots;
+      break;
+    }
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Geometric skip sampling for the SBM.
+//
+// Emits every index in [begin, end) independently with probability p,
+// consuming one NextDouble per emitted-or-skipped run (the standard
+// G(n, p) trick); `emit` receives the selected pair index.
+
+template <typename EmitFn>
+void SkipSampleRange(Rng* rng, int64_t begin, int64_t end, double p,
+                     const EmitFn& emit) {
+  if (p <= 0.0 || begin >= end) return;
+  if (p >= 1.0) {
+    for (int64_t i = begin; i < end; ++i) emit(i);
+    return;
+  }
+  const double log_q = std::log1p(-p);  // < 0
+  int64_t i = begin - 1;
+  for (;;) {
+    const double u = rng->NextDouble();
+    const double gap = std::floor(std::log1p(-u) / log_q);
+    // Guard the cast: u ~ 1 gives an unbounded (even infinite) gap, which
+    // simply means "no more hits in this range".
+    if (!(gap < static_cast<double>(end - i))) break;
+    i += 1 + static_cast<int64_t>(gap);
+    if (i >= end) break;
+    emit(i);
+  }
+}
+
+// Fixed chunking of a pair-index space: the chunk count depends only on
+// the total (never on the pool), so per-chunk rng streams are stable.
+int64_t PairChunksFor(int64_t total_pairs) {
+  constexpr int64_t kMinPairsPerChunk = int64_t{1} << 16;
+  constexpr int64_t kMaxChunks = 512;
+  return std::clamp<int64_t>(total_pairs / kMinPairsPerChunk, 1, kMaxChunks);
+}
+
+}  // namespace
+
+Result<Graph> BarabasiAlbertParallel(int64_t num_nodes, int64_t edges_per_node,
+                                     uint64_t seed) {
+  if (edges_per_node < 1) {
+    return Status::InvalidArgument("edges_per_node must be >= 1");
+  }
+  if (num_nodes <= edges_per_node) {
+    return Status::InvalidArgument("need num_nodes > edges_per_node");
+  }
+  obs::TraceSpan span("graph/generate_ba_parallel");
+  ThreadPool& pool = GlobalThreadPool();
+
+  BaShape shape;
+  shape.num_nodes = num_nodes;
+  shape.m = edges_per_node;
+  shape.total_edges = shape.m + (num_nodes - shape.m - 1) * shape.m;
+
+  std::vector<int32_t> targets(static_cast<size_t>(shape.total_edges), -1);
+  for (int64_t k = 0; k < shape.m; ++k) {  // star core: 0 -- (k + 1)
+    targets[static_cast<size_t>(k)] = static_cast<int32_t>(k + 1);
+  }
+
+  // Round-based dataflow fixpoint over the attaching nodes. Writes are
+  // monotone (-1 -> final value, write-once), so a racy read can only
+  // defer a slot to the next round, never change what it resolves to.
+  std::vector<NodeId> blocked;
+  blocked.reserve(static_cast<size_t>(num_nodes - shape.m - 1));
+  for (NodeId v = static_cast<NodeId>(shape.m + 1); v < num_nodes; ++v) {
+    blocked.push_back(v);
+  }
+  std::vector<AttachCursor> cursors(blocked.size());
+  constexpr size_t kResolveChunks = 256;
+  while (!blocked.empty()) {
+    const size_t chunks = std::min(blocked.size(), kResolveChunks);
+    std::vector<std::vector<NodeId>> parked(chunks);
+    std::vector<std::vector<AttachCursor>> parked_cursors(chunks);
+    std::vector<int64_t> progress(chunks, 0);
+    pool.ParallelForChunks(
+        blocked.size(), chunks, [&](size_t chunk, size_t begin, size_t end) {
+          for (size_t i = begin; i < end; ++i) {
+            if (!ResolveBaNode(shape, seed, targets, blocked[i], &cursors[i],
+                               &progress[chunk])) {
+              parked[chunk].push_back(blocked[i]);
+              parked_cursors[chunk].push_back(cursors[i]);
+            }
+          }
+        });
+    int64_t resolved = 0;
+    for (int64_t p : progress) resolved += p;
+    if (resolved == 0) {
+      // Cannot happen: the lowest unresolved slot only references strictly
+      // earlier (hence resolved) edges. Defend anyway rather than spin.
+      return Status::Internal("BA resolution made no progress");
+    }
+    blocked.clear();
+    cursors.clear();
+    for (size_t c = 0; c < chunks; ++c) {
+      blocked.insert(blocked.end(), parked[c].begin(), parked[c].end());
+      cursors.insert(cursors.end(), parked_cursors[c].begin(),
+                     parked_cursors[c].end());
+    }
+  }
+
+  // Materialize per-task edge lists over fixed edge ranges and assemble.
+  constexpr int64_t kEdgesPerTask = int64_t{1} << 16;
+  const int64_t num_tasks = std::clamp<int64_t>(
+      shape.total_edges / kEdgesPerTask, 1, 512);
+  std::vector<std::vector<Edge>> tasks(static_cast<size_t>(num_tasks));
+  pool.ParallelForChunks(
+      static_cast<size_t>(shape.total_edges), static_cast<size_t>(num_tasks),
+      [&](size_t chunk, size_t begin, size_t end) {
+        std::vector<Edge>& out = tasks[chunk];
+        out.resize(end - begin);
+        for (size_t k = begin; k < end; ++k) {
+          out[k - begin] = {shape.OwnerOf(static_cast<int64_t>(k)),
+                            targets[k], 1.0f};
+        }
+      });
+  return GraphBuilder::BuildParallel(num_nodes, /*undirected=*/true,
+                                     std::move(tasks));
+}
+
+Result<Graph> StochasticBlockModel(int64_t num_nodes, int64_t num_blocks,
+                                   double p_in, double p_out, uint64_t seed) {
+  constexpr int64_t kMaxBlocks = 2048;
+  if (num_nodes < 1) return Status::InvalidArgument("need >= 1 node");
+  if (num_blocks < 1 || num_blocks > num_nodes) {
+    return Status::InvalidArgument("num_blocks must be in [1, num_nodes]");
+  }
+  if (num_blocks > kMaxBlocks) {
+    return Status::InvalidArgument("num_blocks must be <= " +
+                                   std::to_string(kMaxBlocks));
+  }
+  if (p_in < 0.0 || p_in > 1.0 || p_out < 0.0 || p_out > 1.0) {
+    return Status::InvalidArgument("probabilities must be in [0, 1]");
+  }
+  obs::TraceSpan span("graph/generate_sbm");
+  ThreadPool& pool = GlobalThreadPool();
+
+  // Near-equal contiguous blocks: the first (num_nodes % num_blocks)
+  // blocks get one extra node.
+  const int64_t B = num_blocks;
+  std::vector<int64_t> start(static_cast<size_t>(B) + 1);
+  for (int64_t b = 0; b <= B; ++b) {
+    start[static_cast<size_t>(b)] =
+        b * (num_nodes / B) + std::min<int64_t>(b, num_nodes % B);
+  }
+  auto block_size = [&](int64_t b) {
+    return start[static_cast<size_t>(b) + 1] - start[static_cast<size_t>(b)];
+  };
+
+  // Region 1: within-block pairs (i < j inside one block), linearized as
+  // block-major prefix ranges of triangle indices.
+  std::vector<int64_t> within_prefix(static_cast<size_t>(B) + 1, 0);
+  for (int64_t b = 0; b < B; ++b) {
+    const int64_t s = block_size(b);
+    within_prefix[static_cast<size_t>(b) + 1] =
+        within_prefix[static_cast<size_t>(b)] + s * (s - 1) / 2;
+  }
+  const int64_t within_pairs = within_prefix[static_cast<size_t>(B)];
+
+  // Region 2: cross-block pairs, linearized block-pair-major (a < b in
+  // lexicographic order, then a row-major grid inside the pair).
+  std::vector<int64_t> cross_prefix{0};
+  std::vector<int32_t> pair_a, pair_b;
+  cross_prefix.reserve(static_cast<size_t>(B * (B - 1) / 2) + 1);
+  for (int64_t a = 0; a < B; ++a) {
+    for (int64_t b = a + 1; b < B; ++b) {
+      cross_prefix.push_back(cross_prefix.back() +
+                             block_size(a) * block_size(b));
+      pair_a.push_back(static_cast<int32_t>(a));
+      pair_b.push_back(static_cast<int32_t>(b));
+    }
+  }
+  const int64_t cross_pairs = cross_prefix.back();
+
+  auto decode_within = [&](int64_t g) -> Edge {
+    const int64_t b =
+        std::upper_bound(within_prefix.begin(), within_prefix.end(), g) -
+        within_prefix.begin() - 1;
+    const int64_t t = g - within_prefix[static_cast<size_t>(b)];
+    const int64_t s = block_size(b);
+    // Pairs with first index < i: f(i) = i*(s-1) - i*(i-1)/2. Find the
+    // largest i in [0, s-2] with f(i) <= t.
+    auto f = [s](int64_t i) { return i * (s - 1) - i * (i - 1) / 2; };
+    int64_t lo = 0, hi = s - 1;
+    while (lo + 1 < hi) {
+      const int64_t mid = (lo + hi) / 2;
+      if (f(mid) <= t) {
+        lo = mid;
+      } else {
+        hi = mid;
+      }
+    }
+    const int64_t i = lo;
+    const int64_t j = i + 1 + (t - f(i));
+    const int64_t base = start[static_cast<size_t>(b)];
+    return {static_cast<NodeId>(base + i), static_cast<NodeId>(base + j),
+            1.0f};
+  };
+  auto decode_cross = [&](int64_t g) -> Edge {
+    const int64_t p =
+        std::upper_bound(cross_prefix.begin(), cross_prefix.end(), g) -
+        cross_prefix.begin() - 1;
+    const int64_t t = g - cross_prefix[static_cast<size_t>(p)];
+    const int64_t a = pair_a[static_cast<size_t>(p)];
+    const int64_t b = pair_b[static_cast<size_t>(p)];
+    return {static_cast<NodeId>(start[static_cast<size_t>(a)] +
+                                t / block_size(b)),
+            static_cast<NodeId>(start[static_cast<size_t>(b)] +
+                                t % block_size(b)),
+            1.0f};
+  };
+
+  // Sample both regions into per-chunk task vectors. Chunk widths and rng
+  // streams depend only on the pair totals; the cross region's streams
+  // live in a disjoint stream namespace.
+  std::vector<std::vector<Edge>> tasks;
+  auto sample_region = [&](int64_t total, double p, uint64_t stream_base,
+                           const std::function<Edge(int64_t)>& decode) {
+    if (total == 0 || p <= 0.0) return;
+    const int64_t chunks = PairChunksFor(total);
+    const int64_t width = (total + chunks - 1) / chunks;
+    const size_t first = tasks.size();
+    tasks.resize(first + static_cast<size_t>(chunks));
+    pool.ParallelFor(static_cast<size_t>(chunks), [&](size_t c) {
+      Rng rng = SplitRng(seed, stream_base + c);
+      std::vector<Edge>& out = tasks[first + c];
+      const int64_t begin = static_cast<int64_t>(c) * width;
+      const int64_t end = std::min<int64_t>(begin + width, total);
+      out.reserve(static_cast<size_t>(
+          static_cast<double>(end - begin) * p * 1.1 + 16.0));
+      SkipSampleRange(&rng, begin, end, p,
+                      [&](int64_t g) { out.push_back(decode(g)); });
+    });
+  };
+  sample_region(within_pairs, p_in, /*stream_base=*/0, decode_within);
+  sample_region(cross_pairs, p_out, /*stream_base=*/uint64_t{1} << 32,
+                decode_cross);
+
+  return GraphBuilder::BuildParallel(num_nodes, /*undirected=*/true,
+                                     std::move(tasks));
+}
+
+}  // namespace privim

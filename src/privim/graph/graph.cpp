@@ -2,9 +2,32 @@
 
 #include <algorithm>
 #include <functional>
+#include <span>
 #include <string>
+#include <utility>
+
+#include "privim/graph/partitioned.h"
 
 namespace privim {
+
+Graph GraphBuilder::FromParts(int64_t num_nodes, bool undirected,
+                              graph_internal::CsrParts parts) {
+  Graph graph;
+  graph.num_nodes_ = num_nodes;
+  graph.undirected_ = undirected;
+  graph.out_offsets_ = std::move(parts.out_offsets);
+  graph.out_neighbors_ = std::move(parts.out_neighbors);
+  graph.out_weights_ = std::move(parts.out_weights);
+  graph.in_offsets_ = std::move(parts.in_offsets);
+  graph.in_neighbors_ = std::move(parts.in_neighbors);
+  graph.in_weights_ = std::move(parts.in_weights);
+  graph_internal::RecordBuildMetrics(
+      static_cast<int64_t>(graph.out_neighbors_.size() * sizeof(NodeId) * 2 +
+                           graph.out_weights_.size() * sizeof(float) * 2 +
+                           graph.out_offsets_.size() * sizeof(int64_t) * 2),
+      /*parallel=*/true);
+  return graph;
+}
 
 bool Graph::HasArc(NodeId u, NodeId v) const {
   const auto neighbors = OutNeighbors(u);
@@ -53,13 +76,63 @@ Status GraphBuilder::AddEdges(const std::vector<Edge>& edges) {
   return Status::OK();
 }
 
+Result<Graph> GraphBuilder::BuildParallel(
+    int64_t num_nodes, bool undirected,
+    std::vector<std::vector<Edge>> task_edges) {
+  if (num_nodes < 0) {
+    return Status::InvalidArgument("num_nodes must be >= 0");
+  }
+  std::vector<std::span<const Edge>> tasks;
+  tasks.reserve(task_edges.size());
+  for (const std::vector<Edge>& task : task_edges) tasks.emplace_back(task);
+  Result<graph_internal::CsrParts> parts = graph_internal::BuildCsrParallel(
+      num_nodes, tasks, /*expand_reverse=*/undirected, /*validate=*/true);
+  if (!parts.ok()) return parts.status();
+  task_edges.clear();
+  return FromParts(num_nodes, undirected, std::move(parts).value());
+}
+
 Result<Graph> GraphBuilder::Build() {
   if (built_) {
     return Status::FailedPrecondition("GraphBuilder::Build called twice");
   }
   built_ = true;
 
-  std::sort(edges_.begin(), edges_.end(), [](const Edge& a, const Edge& b) {
+  if (static_cast<int64_t>(edges_.size()) >= kParallelBuildMinArcs) {
+    // Sharded parallel assembly. Edges already passed AddEdge validation
+    // (and undirected reverse arcs were inserted there), so the tasks are
+    // plain fixed chunks of the accumulated arc sequence — any chunking of
+    // the same sequence assembles the identical graph.
+    constexpr int64_t kArcsPerTask = int64_t{1} << 15;
+    constexpr int64_t kMaxTasks = 256;
+    const int64_t num_tasks =
+        std::clamp<int64_t>(static_cast<int64_t>(edges_.size()) / kArcsPerTask,
+                            1, kMaxTasks);
+    const int64_t per_task =
+        (static_cast<int64_t>(edges_.size()) + num_tasks - 1) / num_tasks;
+    std::vector<std::span<const Edge>> tasks;
+    tasks.reserve(static_cast<size_t>(num_tasks));
+    for (int64_t t = 0; t < num_tasks; ++t) {
+      const int64_t begin = t * per_task;
+      const int64_t end =
+          std::min<int64_t>(begin + per_task, static_cast<int64_t>(edges_.size()));
+      if (begin >= end) break;
+      tasks.emplace_back(edges_.data() + begin,
+                         static_cast<size_t>(end - begin));
+    }
+    Result<graph_internal::CsrParts> parts = graph_internal::BuildCsrParallel(
+        num_nodes_, tasks, /*expand_reverse=*/false, /*validate=*/false);
+    if (!parts.ok()) return parts.status();
+    edges_.clear();
+    edges_.shrink_to_fit();
+    return FromParts(num_nodes_, undirected_, std::move(parts).value());
+  }
+
+  // The sort must be stable so the documented dedup contract ("keep the
+  // first weight") holds among equal endpoints — and so this path stays
+  // byte-identical to the parallel one, whose per-shard sorts are stable.
+  std::stable_sort(edges_.begin(), edges_.end(),
+                   [](const Edge& a, const Edge& b) {
     return a.src != b.src ? a.src < b.src : a.dst < b.dst;
   });
   edges_.erase(std::unique(edges_.begin(), edges_.end(),

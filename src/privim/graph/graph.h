@@ -21,6 +21,10 @@ namespace privim {
 
 using NodeId = int32_t;
 
+namespace graph_internal {
+struct CsrParts;  // graph/partitioned.h
+}  // namespace graph_internal
+
 /// One directed, weighted arc.
 struct Edge {
   NodeId src = 0;
@@ -128,9 +132,30 @@ class GraphBuilder {
 
   /// Sorts, deduplicates (keeping the first weight for duplicate arcs) and
   /// builds the CSR representation. The builder may not be reused after.
+  /// Above kParallelBuildMinArcs accumulated arcs the assembly runs on the
+  /// global ThreadPool over the shard layout (graph/partitioned.h); the
+  /// result is byte-identical to the serial path at every thread count.
   Result<Graph> Build();
 
+  /// Parallel build from per-task edge lists, for producers that already
+  /// generate edges in parallel (the BA/SBM generators): semantically
+  /// equivalent to AddEdge-ing every edge of every task in order into a
+  /// builder with the same `undirected` flag and calling Build(), but
+  /// without ever funneling the edges through one vector. Validation uses
+  /// AddEdge's error codes. Deterministic in (num_nodes, task contents,
+  /// task order) — never in thread count.
+  static Result<Graph> BuildParallel(int64_t num_nodes, bool undirected,
+                                     std::vector<std::vector<Edge>> task_edges);
+
+  /// Arc count at which Build() switches to the sharded parallel assembly.
+  static constexpr int64_t kParallelBuildMinArcs = int64_t{1} << 16;
+
  private:
+  // Moves parallel-assembled CSR arrays into a Graph. Defined in graph.cpp;
+  // lives here because GraphBuilder is the Graph friend.
+  static Graph FromParts(int64_t num_nodes, bool undirected,
+                         graph_internal::CsrParts parts);
+
   int64_t num_nodes_;
   bool undirected_;
   bool built_ = false;

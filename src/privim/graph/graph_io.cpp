@@ -25,8 +25,19 @@ Result<Graph> LoadEdgeList(const std::string& path, bool undirected) {
   std::ifstream file(path);
   if (!file) return Status::IOError("cannot open: " + path);
 
+  // Pre-size from the file length (~16 bytes per "src dst\n" line is a
+  // conservative floor for large edge lists) so neither the edge vector nor
+  // the id-remap table rehashes or regrows inside the parse loop.
+  file.seekg(0, std::ios::end);
+  const std::streamoff file_bytes = file.tellg();
+  file.seekg(0, std::ios::beg);
+  const size_t estimated_edges =
+      file_bytes > 0 ? static_cast<size_t>(file_bytes) / 16 + 1 : 1;
+
   std::unordered_map<int64_t, NodeId> remap;
+  remap.reserve(estimated_edges);
   std::vector<Edge> edges;
+  edges.reserve(estimated_edges);
   auto intern = [&remap](int64_t raw) {
     auto [it, inserted] =
         remap.emplace(raw, static_cast<NodeId>(remap.size()));

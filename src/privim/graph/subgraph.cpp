@@ -24,6 +24,10 @@ Result<Subgraph> InducedSubgraph(const Graph& graph,
 
   GraphBuilder builder(static_cast<int64_t>(sub.global_ids.size()),
                        /*undirected=*/false);
+  // Upper bound: every out-arc of a member could stay inside the subgraph.
+  int64_t arc_bound = 0;
+  for (const NodeId global : sub.global_ids) arc_bound += graph.OutDegree(global);
+  builder.Reserve(arc_bound);
   for (size_t local_src = 0; local_src < sub.global_ids.size(); ++local_src) {
     const NodeId global_src = sub.global_ids[local_src];
     const auto neighbors = graph.OutNeighbors(global_src);

@@ -66,6 +66,32 @@ std::vector<NodeId> UndirectedRHopBall(const Graph& graph, NodeId source,
   return ball;
 }
 
+std::vector<NodeId> UndirectedRHopBall(const Graph& graph, NodeId source,
+                                       int r, ShardedVisitMap* visits) {
+  std::vector<NodeId> ball;
+  if (source < 0 || source >= graph.num_nodes() || r < 0) return ball;
+  visits->NextEpoch();
+  std::deque<NodeId> queue;
+  visits->Set(source, 0);
+  queue.push_back(source);
+  ball.push_back(source);
+  auto visit = [&](int32_t from_distance, NodeId to) {
+    if (visits->Get(to) != -1) return;
+    visits->Set(to, from_distance + 1);
+    queue.push_back(to);
+    ball.push_back(to);
+  };
+  while (!queue.empty()) {
+    const NodeId u = queue.front();
+    queue.pop_front();
+    const int32_t du = visits->Get(u);
+    if (du >= r) continue;
+    for (NodeId v : graph.OutNeighbors(u)) visit(du, v);
+    for (NodeId v : graph.InNeighbors(u)) visit(du, v);
+  }
+  return ball;
+}
+
 std::vector<int> BfsDistances(const Graph& graph, NodeId source) {
   std::vector<int> distance(graph.num_nodes(), -1);
   if (source < 0 || source >= graph.num_nodes()) return distance;

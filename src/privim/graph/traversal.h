@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "privim/graph/graph.h"
+#include "privim/graph/partitioned.h"
 
 namespace privim {
 
@@ -19,6 +20,16 @@ std::vector<NodeId> RHopBall(const Graph& graph, NodeId source, int r);
 /// strand at sink nodes of directed graphs.
 std::vector<NodeId> UndirectedRHopBall(const Graph& graph, NodeId source,
                                        int r);
+
+/// Sharded-scratch variant of UndirectedRHopBall: identical output (same
+/// BFS, same order), but distances live in `visits` — the function bumps
+/// its epoch, so a call costs O(ball + shards entered) instead of the
+/// O(num_nodes) clear of the dense version. After the call, membership
+/// tests are `visits->Get(v) != -1` until the next epoch bump; this is how
+/// the RWR sampler keeps a walk inside N_r(v0) without an O(n) set. The
+/// map must cover the graph (layout().num_nodes >= graph.num_nodes()).
+std::vector<NodeId> UndirectedRHopBall(const Graph& graph, NodeId source,
+                                       int r, ShardedVisitMap* visits);
 
 /// Concatenated out- and in-neighbors of v, deduplicated for nodes that are
 /// both (i.e. reciprocal arcs contribute once).

@@ -1,6 +1,7 @@
 #include "privim/im/sketch/sketch_index.h"
 
 #include <algorithm>
+#include <array>
 #include <cstring>
 #include <limits>
 #include <utility>
@@ -195,9 +196,22 @@ const std::vector<SketchIndex::HeapEntry>& SketchIndex::InitialHeap() const {
   return initial_heap_;
 }
 
+Status SketchTopKOptions::Validate() const {
+  if (parallel_grain < 1) {
+    return Status::InvalidArgument("parallel_grain must be >= 1");
+  }
+  return Status::OK();
+}
+
 Result<SketchTopKResult> SketchIndex::TopK(int64_t k) const {
+  return TopK(k, SketchTopKOptions{});
+}
+
+Result<SketchTopKResult> SketchIndex::TopK(
+    int64_t k, const SketchTopKOptions& options) const {
   if (k < 1) return Status::InvalidArgument("k must be >= 1");
   if (num_nodes_ == 0) return Status::InvalidArgument("empty sketch index");
+  PRIVIM_RETURN_NOT_OK(options.Validate());
   k = std::min(k, num_nodes_);
 
   // Per-query state: a copy of the cached initial heap (memcpy of POD
@@ -209,13 +223,60 @@ Result<SketchTopKResult> SketchIndex::TopK(int64_t k) const {
   std::vector<uint8_t> covered(static_cast<size_t>(num_sketches_), 0);
   int64_t covered_count = 0;
 
-  const auto fresh_gain = [&](NodeId v) {
+  // Posting lists past the grain are processed in kSweepChunks fixed sketch
+  // ranges on the ThreadPool. The partial counts are integers summed in
+  // chunk order, and the sketch ids within one list are distinct (so the
+  // parallel cover-marking writes disjoint slots): both loops produce the
+  // exact numbers the serial sweep produces, at any thread count.
+  constexpr size_t kSweepChunks = 32;
+  const auto range_gain = [&](int64_t begin, int64_t end) {
     int64_t gain = 0;
-    for (int64_t i = offsets_[static_cast<size_t>(v)];
-         i < offsets_[static_cast<size_t>(v) + 1]; ++i) {
+    for (int64_t i = begin; i < end; ++i) {
       gain += !covered[static_cast<size_t>(sketch_ids_[static_cast<size_t>(i)])];
     }
     return gain;
+  };
+  const auto fresh_gain = [&](NodeId v) {
+    const int64_t begin = offsets_[static_cast<size_t>(v)];
+    const int64_t end = offsets_[static_cast<size_t>(v) + 1];
+    if (end - begin < options.parallel_grain) return range_gain(begin, end);
+    std::array<int64_t, kSweepChunks> partial{};
+    GlobalThreadPool().ParallelForChunks(
+        static_cast<size_t>(end - begin), kSweepChunks,
+        [&](size_t chunk, size_t cb, size_t ce) {
+          partial[chunk] = range_gain(begin + static_cast<int64_t>(cb),
+                                      begin + static_cast<int64_t>(ce));
+        });
+    int64_t gain = 0;
+    for (const int64_t p : partial) gain += p;
+    return gain;
+  };
+  const auto mark_range = [&](int64_t begin, int64_t end) {
+    int64_t newly = 0;
+    for (int64_t i = begin; i < end; ++i) {
+      uint8_t& slot =
+          covered[static_cast<size_t>(sketch_ids_[static_cast<size_t>(i)])];
+      if (!slot) {
+        slot = 1;
+        ++newly;
+      }
+    }
+    return newly;
+  };
+  const auto mark_covered = [&](NodeId v) {
+    const int64_t begin = offsets_[static_cast<size_t>(v)];
+    const int64_t end = offsets_[static_cast<size_t>(v) + 1];
+    if (end - begin < options.parallel_grain) return mark_range(begin, end);
+    std::array<int64_t, kSweepChunks> partial{};
+    GlobalThreadPool().ParallelForChunks(
+        static_cast<size_t>(end - begin), kSweepChunks,
+        [&](size_t chunk, size_t cb, size_t ce) {
+          partial[chunk] = mark_range(begin + static_cast<int64_t>(cb),
+                                      begin + static_cast<int64_t>(ce));
+        });
+    int64_t newly = 0;
+    for (const int64_t p : partial) newly += p;
+    return newly;
   };
 
   SketchTopKResult result;
@@ -228,15 +289,7 @@ Result<SketchTopKResult> SketchIndex::TopK(int64_t k) const {
     if (top.round == round) {
       // Fresh for this round: submodularity says it is still the maximum.
       result.seeds.push_back(top.node);
-      for (int64_t i = offsets_[static_cast<size_t>(top.node)];
-           i < offsets_[static_cast<size_t>(top.node) + 1]; ++i) {
-        uint8_t& slot =
-            covered[static_cast<size_t>(sketch_ids_[static_cast<size_t>(i)])];
-        if (!slot) {
-          slot = 1;
-          ++covered_count;
-        }
-      }
+      covered_count += mark_covered(top.node);
     } else {
       top.gain = static_cast<double>(fresh_gain(top.node));
       top.round = round;

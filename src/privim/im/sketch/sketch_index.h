@@ -70,6 +70,22 @@ struct SketchIndexOptions {
   Status Validate() const;
 };
 
+/// Tuning for one top-k sweep. The sweep's *selection* never changes with
+/// these knobs — only how the work is scheduled.
+struct SketchTopKOptions {
+  /// Posting lists at least this long have their lazy-gain recount and
+  /// cover-marking sharded across the global ThreadPool in fixed sketch
+  /// ranges, with integer partial sums folded in chunk order — so the
+  /// recomputed gains, the heap replay and the selected seeds stay
+  /// bit-identical to the serial sweep at every thread count. Lists below
+  /// the grain run serially (the common case for serving-sized pools);
+  /// this is what keeps k in the hundreds fast on RR pools whose hub
+  /// posting lists dominate the sweep.
+  int64_t parallel_grain = int64_t{1} << 16;
+
+  Status Validate() const;
+};
+
 /// One top-k sweep outcome.
 struct SketchTopKResult {
   std::vector<NodeId> seeds;
@@ -93,6 +109,10 @@ class SketchIndex {
   /// seeds. In the exhaustive mode the selection (and its tie-breaking) is
   /// bit-identical to CelfGreedy over DeterministicCoverageOracle.
   Result<SketchTopKResult> TopK(int64_t k) const;
+
+  /// TopK with scheduling knobs (see SketchTopKOptions); same selection.
+  Result<SketchTopKResult> TopK(int64_t k,
+                                const SketchTopKOptions& options) const;
 
   int64_t num_nodes() const { return num_nodes_; }
   int64_t num_sketches() const { return num_sketches_; }

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "privim/common/thread_pool.h"
+#include "privim/graph/partitioned.h"
 #include "privim/graph/traversal.h"
 #include "privim/obs/metrics.h"
 #include "privim/obs/trace.h"
@@ -16,11 +17,19 @@ namespace {
 // the global counters on the calling thread after the join — the totals are
 // therefore identical at every thread count, like the sampler output itself.
 struct WalkTally {
-  int64_t restarts = 0;   // explicit tau-restarts
-  int64_t dead_ends = 0;  // forced restarts (no in-ball neighbor)
+  int64_t restarts = 0;        // explicit tau-restarts
+  int64_t dead_ends = 0;       // forced restarts (no in-ball neighbor)
+  int64_t shards_touched = 0;  // shards the r-hop ball entered
   bool ball_too_small = false;
   bool completed = false;
 };
+
+// Walks are grouped into this many fixed chunks so each chunk can reuse one
+// ShardedVisitMap across its walks (an epoch bump per walk instead of an
+// O(num_nodes) distance clear). The count is independent of the pool size,
+// and walk results are keyed by start index anyway, so the container stays
+// bit-identical at every thread count.
+constexpr size_t kWalkChunks = 64;
 
 }  // namespace
 
@@ -65,21 +74,23 @@ Result<SubgraphContainer> ExtractSubgraphsRwr(const Graph& graph,
   std::vector<std::optional<Subgraph>> extracted(starts.size());
   std::vector<std::optional<Status>> errors(starts.size());
   std::vector<WalkTally> tallies(starts.size());
-  GlobalThreadPool().ParallelFor(starts.size(), [&](size_t task) {
+  const auto run_walk = [&](size_t task, ShardedVisitMap* visits) {
     const NodeId v0 = starts[task];
     WalkTally& tally = tallies[task];
     Rng task_rng = SplitRng(walk_seed, static_cast<uint64_t>(v0));
 
-    // N_r(v0): membership set for the r-hop constraint of Alg. 1 line 10.
+    // N_r(v0): membership map for the r-hop constraint of Alg. 1 line 10.
     // The walk moves on the underlying undirected structure so directed
     // graphs (whose sinks would otherwise strand the walk) sample cleanly.
+    // Ball distances live in the sharded visit map: the walk touches only
+    // the shards it enters, never an O(num_nodes) array.
     const std::vector<NodeId> ball =
-        UndirectedRHopBall(graph, v0, options.hop_limit);
+        UndirectedRHopBall(graph, v0, options.hop_limit, visits);
+    tally.shards_touched = visits->shards_touched();
     if (static_cast<int64_t>(ball.size()) < options.subgraph_size) {
       tally.ball_too_small = true;
       return;
     }
-    std::unordered_set<NodeId> in_ball(ball.begin(), ball.end());
 
     std::vector<NodeId> walk_nodes{v0};
     std::unordered_set<NodeId> visited{v0};
@@ -92,7 +103,7 @@ Result<SubgraphContainer> ExtractSubgraphsRwr(const Graph& graph,
       }
       candidates.clear();
       for (NodeId u : UndirectedNeighbors(graph, current)) {
-        if (in_ball.count(u)) candidates.push_back(u);
+        if (visits->Get(u) != -1) candidates.push_back(u);
       }
       if (candidates.empty()) {
         current = v0;  // dead end inside the ball: restart
@@ -113,7 +124,16 @@ Result<SubgraphContainer> ExtractSubgraphsRwr(const Graph& graph,
         return;
       }
     }
-  });
+  };
+  const ShardLayout layout = ShardLayout::For(graph.num_nodes());
+  GlobalThreadPool().ParallelForChunks(
+      starts.size(), std::min(starts.size(), kWalkChunks),
+      [&](size_t /*chunk*/, size_t begin, size_t end) {
+        ShardedVisitMap visits(layout);
+        for (size_t task = begin; task < end; ++task) {
+          run_walk(task, &visits);
+        }
+      });
 
   WalkTally total;
   int64_t completed = 0, rejected_ball = 0;
@@ -122,6 +142,7 @@ Result<SubgraphContainer> ExtractSubgraphsRwr(const Graph& graph,
     if (errors[task].has_value()) return *errors[task];
     total.restarts += tallies[task].restarts;
     total.dead_ends += tallies[task].dead_ends;
+    total.shards_touched += tallies[task].shards_touched;
     completed += tallies[task].completed ? 1 : 0;
     rejected_ball += tallies[task].ball_too_small ? 1 : 0;
     if (extracted[task].has_value()) {
@@ -138,7 +159,10 @@ Result<SubgraphContainer> ExtractSubgraphsRwr(const Graph& graph,
       metrics.GetCounter("sampling.rwr.dead_ends");
   static obs::Counter* ball_rejections =
       metrics.GetCounter("sampling.rwr.ball_too_small");
+  static obs::Counter* shards_touched =
+      metrics.GetCounter("sampling.rwr.shards_touched");
   walks->Increment(starts.size());
+  shards_touched->Increment(static_cast<uint64_t>(total.shards_touched));
   walks_completed->Increment(static_cast<uint64_t>(completed));
   restarts->Increment(static_cast<uint64_t>(total.restarts));
   dead_ends->Increment(static_cast<uint64_t>(total.dead_ends));

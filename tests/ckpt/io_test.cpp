@@ -6,6 +6,8 @@
 #include <vector>
 
 #include "gtest/gtest.h"
+#include "privim/common/rng.h"
+#include "privim/common/thread_pool.h"
 #include "testing/graph_fixtures.h"
 
 namespace privim {
@@ -134,6 +136,40 @@ TEST(FingerprintGraphTest, IdenticalGraphsMatchModifiedOnesDiffer) {
   EXPECT_NE(FingerprintGraph(a), FingerprintGraph(w));
   EXPECT_NE(FingerprintGraph(a), FingerprintGraph(s));
   EXPECT_NE(FingerprintGraph(a), FingerprintGraph(n));
+}
+
+// The fingerprint folds per-shard FNV blobs left-to-right, so the value
+// must be a pure function of the graph — independent of how many shards
+// the wave-parallel walk used and of the thread count it ran at.
+TEST(ShardedFingerprintTest, InvariantAcrossShardAndThreadCounts) {
+  Rng rng(7);
+  GraphBuilder builder(3000);
+  for (int i = 0; i < 9000; ++i) {
+    const NodeId u = static_cast<NodeId>(rng.NextBounded(3000));
+    const NodeId v = static_cast<NodeId>(rng.NextBounded(3000));
+    if (u != v) ASSERT_TRUE(builder.AddEdge(u, v, 0.5f).ok());
+  }
+  Result<Graph> built = builder.Build();
+  ASSERT_TRUE(built.ok());
+  const Graph& graph = built.value();
+
+  const uint64_t reference = FingerprintGraph(graph);
+  for (const int64_t shards : {int64_t{1}, int64_t{2}, int64_t{5}, int64_t{64}}) {
+    EXPECT_EQ(FingerprintGraph(graph, shards), reference) << shards;
+  }
+  for (const size_t threads : {size_t{1}, size_t{4}, size_t{8}}) {
+    SetGlobalThreadPoolSize(threads);
+    EXPECT_EQ(FingerprintGraph(graph), reference) << threads;
+    EXPECT_EQ(FingerprintGraph(graph, 7), reference) << threads;
+  }
+  SetGlobalThreadPoolSize(0);
+}
+
+TEST(ShardedFingerprintTest, EmptyAndTinyGraphs) {
+  const Graph empty = testing::MakeGraph(0, {});
+  EXPECT_EQ(FingerprintGraph(empty, 1), FingerprintGraph(empty));
+  const Graph tiny = testing::MakeGraph(2, {{0, 1, 1.0f}});
+  EXPECT_EQ(FingerprintGraph(tiny, 3), FingerprintGraph(tiny));
 }
 
 }  // namespace

@@ -1,0 +1,39 @@
+#include "privim/common/mem_stats.h"
+
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "privim/obs/metrics.h"
+
+namespace privim {
+namespace {
+
+TEST(MemStatsTest, ReportsResidentAndHighWater) {
+  const MemStats stats = ReadMemStats();
+  // /proc/self/status is always present on Linux; 0 would mean the parse
+  // silently broke.
+  EXPECT_GT(stats.rss_bytes, 0);
+  EXPECT_GT(stats.hwm_bytes, 0);
+  // The high-water mark is a running max of the resident size.
+  EXPECT_GE(stats.hwm_bytes, stats.rss_bytes);
+}
+
+TEST(MemStatsTest, HighWaterTracksAllocations) {
+  const MemStats before = ReadMemStats();
+  // Touch 64 MiB so the peak visibly moves (RSS may shrink again, HWM
+  // cannot).
+  std::vector<char> block(64 << 20, 1);
+  for (size_t i = 0; i < block.size(); i += 4096) block[i] = 2;
+  const MemStats after = ReadMemStats();
+  EXPECT_GE(after.hwm_bytes, before.hwm_bytes);
+  EXPECT_GT(after.hwm_bytes, static_cast<int64_t>(block.size()) / 2);
+}
+
+TEST(MemStatsTest, UpdateGraphMemGaugesPublishes) {
+  UpdateGraphMemGauges();
+  EXPECT_GT(obs::GlobalMetrics().GetGauge("graph.mem.rss_bytes")->Value(), 0);
+  EXPECT_GT(obs::GlobalMetrics().GetGauge("graph.mem.hwm_bytes")->Value(), 0);
+}
+
+}  // namespace
+}  // namespace privim

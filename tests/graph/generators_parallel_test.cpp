@@ -1,0 +1,184 @@
+// Parallel BA / SBM generators: structural invariants plus the contract
+// the whole partitioned substrate rests on — byte-identical graphs at
+// every thread count.
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "privim/common/thread_pool.h"
+#include "privim/graph/generators.h"
+#include "privim/graph/graph.h"
+
+namespace privim {
+namespace {
+
+void ExpectGraphsIdentical(const Graph& a, const Graph& b) {
+  ASSERT_EQ(a.num_nodes(), b.num_nodes());
+  ASSERT_EQ(a.num_arcs(), b.num_arcs());
+  for (NodeId v = 0; v < a.num_nodes(); ++v) {
+    const auto an = a.OutNeighbors(v), bn = b.OutNeighbors(v);
+    const auto aw = a.OutWeights(v), bw = b.OutWeights(v);
+    ASSERT_EQ(an.size(), bn.size()) << "node " << v;
+    for (size_t i = 0; i < an.size(); ++i) {
+      ASSERT_EQ(an[i], bn[i]) << "node " << v;
+      ASSERT_EQ(aw[i], bw[i]) << "node " << v;
+    }
+    const auto ain = a.InNeighbors(v), bin = b.InNeighbors(v);
+    ASSERT_EQ(ain.size(), bin.size()) << "node " << v;
+    for (size_t i = 0; i < ain.size(); ++i) {
+      ASSERT_EQ(ain[i], bin[i]) << "node " << v;
+    }
+  }
+}
+
+// ------------------------------------------------------------------- BA --
+
+TEST(ShardedBaGeneratorTest, ExactArcCount) {
+  // m star edges plus m edges per later node, each an arc pair; the copy
+  // model rejects duplicates during attachment, so the count is exact.
+  const int64_t n = 5000, m = 3;
+  Result<Graph> graph = BarabasiAlbertParallel(n, m, 7);
+  ASSERT_TRUE(graph.ok());
+  const int64_t edges = m + (n - m - 1) * m;
+  EXPECT_EQ(graph->num_arcs(), 2 * edges);
+  EXPECT_TRUE(graph->undirected());
+}
+
+TEST(ShardedBaGeneratorTest, NoSelfLoopsOrDuplicateNeighbors) {
+  Result<Graph> graph = BarabasiAlbertParallel(3000, 4, 11);
+  ASSERT_TRUE(graph.ok());
+  for (NodeId v = 0; v < graph->num_nodes(); ++v) {
+    const auto neighbors = graph->OutNeighbors(v);
+    for (size_t i = 0; i < neighbors.size(); ++i) {
+      ASSERT_NE(neighbors[i], v);
+      if (i > 0) ASSERT_LT(neighbors[i - 1], neighbors[i]);  // sorted, unique
+    }
+  }
+}
+
+TEST(ShardedBaGeneratorTest, EveryLateNodeHasAtLeastMArcs) {
+  const int64_t n = 2000, m = 5;
+  Result<Graph> graph = BarabasiAlbertParallel(n, m, 13);
+  ASSERT_TRUE(graph.ok());
+  for (NodeId v = static_cast<NodeId>(m + 1); v < n; ++v) {
+    EXPECT_GE(graph->OutDegree(v), m) << "node " << v;
+  }
+  // Preferential attachment: the hub end of the id range out-degrees the
+  // tail end on average.
+  int64_t early = 0, late = 0;
+  for (NodeId v = 0; v < 100; ++v) early += graph->OutDegree(v);
+  for (NodeId v = static_cast<NodeId>(n - 100); v < n; ++v) {
+    late += graph->OutDegree(v);
+  }
+  EXPECT_GT(early, late);
+}
+
+TEST(ShardedBaGeneratorTest, ByteIdenticalAtEveryThreadCount) {
+  Result<Graph> reference = BarabasiAlbertParallel(20000, 5, 17);
+  ASSERT_TRUE(reference.ok());
+  for (size_t threads : {size_t{1}, size_t{4}, size_t{8}}) {
+    SetGlobalThreadPoolSize(threads);
+    Result<Graph> graph = BarabasiAlbertParallel(20000, 5, 17);
+    ASSERT_TRUE(graph.ok()) << threads << " threads";
+    ExpectGraphsIdentical(reference.value(), graph.value());
+  }
+  SetGlobalThreadPoolSize(0);
+}
+
+TEST(ShardedBaGeneratorTest, SeedChangesTheGraph) {
+  Result<Graph> a = BarabasiAlbertParallel(5000, 4, 1);
+  Result<Graph> b = BarabasiAlbertParallel(5000, 4, 2);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  // The m star edges are deterministic, so compare attachment targets.
+  bool differ = false;
+  for (NodeId v = 5; v < 5000 && !differ; ++v) {
+    const auto an = a->OutNeighbors(v), bn = b->OutNeighbors(v);
+    differ = an.size() != bn.size() ||
+             !std::equal(an.begin(), an.end(), bn.begin());
+  }
+  EXPECT_TRUE(differ);
+}
+
+TEST(ShardedBaGeneratorTest, RejectsBadArguments) {
+  EXPECT_EQ(BarabasiAlbertParallel(10, 0, 1).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(BarabasiAlbertParallel(5, 5, 1).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+// ------------------------------------------------------------------ SBM --
+
+TEST(ShardedSbmGeneratorTest, ByteIdenticalAtEveryThreadCount) {
+  Result<Graph> reference = StochasticBlockModel(30000, 16, 0.002, 1e-5, 19);
+  ASSERT_TRUE(reference.ok());
+  for (size_t threads : {size_t{1}, size_t{4}, size_t{8}}) {
+    SetGlobalThreadPoolSize(threads);
+    Result<Graph> graph = StochasticBlockModel(30000, 16, 0.002, 1e-5, 19);
+    ASSERT_TRUE(graph.ok()) << threads << " threads";
+    ExpectGraphsIdentical(reference.value(), graph.value());
+  }
+  SetGlobalThreadPoolSize(0);
+}
+
+TEST(ShardedSbmGeneratorTest, DensityTracksTheProbabilities) {
+  const int64_t n = 20000, blocks = 10;
+  const double p_in = 0.01, p_out = 1e-5;
+  Result<Graph> graph = StochasticBlockModel(n, blocks, p_in, p_out, 23);
+  ASSERT_TRUE(graph.ok());
+  const double block_size = static_cast<double>(n) / blocks;
+  const double expected_within =
+      blocks * (block_size * (block_size - 1) / 2.0) * p_in;
+  const double expected_cross =
+      (blocks * (blocks - 1) / 2.0) * block_size * block_size * p_out;
+  const double expected_edges = expected_within + expected_cross;
+  const double actual_edges = static_cast<double>(graph->num_arcs()) / 2.0;
+  EXPECT_NEAR(actual_edges / expected_edges, 1.0, 0.05);
+}
+
+TEST(ShardedSbmGeneratorTest, BlockStructureIsPlanted) {
+  // With p_out = 0 every arc stays inside its block.
+  const int64_t n = 4000, blocks = 4;
+  Result<Graph> graph = StochasticBlockModel(n, blocks, 0.01, 0.0, 29);
+  ASSERT_TRUE(graph.ok());
+  EXPECT_GT(graph->num_arcs(), 0);
+  const int64_t block_size = n / blocks;
+  graph->ForEachArc([&](NodeId u, NodeId v, float) {
+    ASSERT_EQ(u / block_size, v / block_size);
+  });
+}
+
+TEST(ShardedSbmGeneratorTest, ExtremeProbabilities) {
+  // p_in = 1 makes each block a clique; p = 0 everywhere gives no arcs.
+  Result<Graph> clique = StochasticBlockModel(40, 2, 1.0, 0.0, 31);
+  ASSERT_TRUE(clique.ok());
+  EXPECT_EQ(clique->num_arcs(), 2 * 2 * (20 * 19 / 2));
+  Result<Graph> empty = StochasticBlockModel(100, 4, 0.0, 0.0, 31);
+  ASSERT_TRUE(empty.ok());
+  EXPECT_EQ(empty->num_arcs(), 0);
+}
+
+TEST(ShardedSbmGeneratorTest, SingleBlockAndSingleNode) {
+  Result<Graph> one_block = StochasticBlockModel(500, 1, 0.01, 0.5, 37);
+  ASSERT_TRUE(one_block.ok());
+  EXPECT_GT(one_block->num_arcs(), 0);
+  Result<Graph> one_node = StochasticBlockModel(1, 1, 1.0, 1.0, 37);
+  ASSERT_TRUE(one_node.ok());
+  EXPECT_EQ(one_node->num_arcs(), 0);
+}
+
+TEST(ShardedSbmGeneratorTest, RejectsBadArguments) {
+  EXPECT_EQ(StochasticBlockModel(0, 1, 0.5, 0.5, 1).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(StochasticBlockModel(10, 11, 0.5, 0.5, 1).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(StochasticBlockModel(10, 2, 1.5, 0.5, 1).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(StochasticBlockModel(10, 2, 0.5, -0.1, 1).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace privim

@@ -1,0 +1,330 @@
+#include "privim/graph/partitioned.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "privim/common/rng.h"
+#include "privim/common/thread_pool.h"
+#include "privim/graph/graph.h"
+#include "privim/graph/traversal.h"
+
+namespace privim {
+namespace {
+
+// ---------------------------------------------------------------- layout --
+
+TEST(ShardLayoutTest, SmallGraphIsOneShard) {
+  const ShardLayout layout = ShardLayout::For(1000);
+  EXPECT_EQ(layout.num_shards, 1);
+  EXPECT_EQ(layout.ShardOf(0), 0);
+  EXPECT_EQ(layout.ShardOf(999), 0);
+  EXPECT_EQ(layout.ShardBegin(0), 0);
+  EXPECT_EQ(layout.ShardEnd(0), 1000);
+}
+
+TEST(ShardLayoutTest, LargeGraphStaysUnderMaxShards) {
+  for (int64_t nodes : {int64_t{1} << 20, int64_t{10000000}, int64_t{1} << 26}) {
+    const ShardLayout layout = ShardLayout::For(nodes);
+    EXPECT_GE(layout.num_shards, 1) << nodes;
+    EXPECT_LE(layout.num_shards, ShardLayout::kMaxShards) << nodes;
+    // Power-of-two width, shards tile [0, nodes).
+    EXPECT_EQ(layout.ShardWidth() & (layout.ShardWidth() - 1), 0);
+    EXPECT_EQ(layout.ShardEnd(layout.num_shards - 1), nodes);
+    EXPECT_GE(layout.ShardBegin(layout.num_shards - 1), 0);
+  }
+}
+
+TEST(ShardLayoutTest, ShardOfMatchesRanges) {
+  const ShardLayout layout = ShardLayout::For(100000);
+  for (NodeId v : {0, 1, 4095, 4096, 50000, 99999}) {
+    const int64_t shard = layout.ShardOf(v);
+    EXPECT_GE(v, layout.ShardBegin(shard));
+    EXPECT_LT(v, layout.ShardEnd(shard));
+  }
+}
+
+TEST(ShardLayoutTest, WithShardsHitsTheRequestedCount) {
+  const ShardLayout one = ShardLayout::WithShards(100000, 1);
+  EXPECT_EQ(one.num_shards, 1);
+  const ShardLayout seven = ShardLayout::WithShards(100000, 7);
+  EXPECT_GE(seven.num_shards, 1);
+  EXPECT_LE(seven.num_shards, 7);
+  EXPECT_EQ(seven.ShardEnd(seven.num_shards - 1), 100000);
+}
+
+TEST(ShardLayoutTest, EmptyGraph) {
+  const ShardLayout layout = ShardLayout::For(0);
+  EXPECT_EQ(layout.num_shards, 0);
+}
+
+// -------------------------------------------------------- parallel build --
+
+std::vector<Edge> RandomEdges(int64_t num_nodes, int64_t count, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<size_t>(count));
+  while (static_cast<int64_t>(edges.size()) < count) {
+    const NodeId u = static_cast<NodeId>(rng.NextBounded(num_nodes));
+    const NodeId v = static_cast<NodeId>(rng.NextBounded(num_nodes));
+    if (u == v) continue;
+    edges.push_back({u, v, static_cast<float>(rng.NextDouble())});
+  }
+  return edges;
+}
+
+void ExpectGraphsIdentical(const Graph& a, const Graph& b) {
+  ASSERT_EQ(a.num_nodes(), b.num_nodes());
+  ASSERT_EQ(a.num_arcs(), b.num_arcs());
+  for (NodeId v = 0; v < a.num_nodes(); ++v) {
+    ASSERT_EQ(a.OutDegree(v), b.OutDegree(v)) << "node " << v;
+    ASSERT_EQ(a.InDegree(v), b.InDegree(v)) << "node " << v;
+    const auto an = a.OutNeighbors(v), bn = b.OutNeighbors(v);
+    const auto aw = a.OutWeights(v), bw = b.OutWeights(v);
+    const auto ain = a.InNeighbors(v), bin = b.InNeighbors(v);
+    const auto aiw = a.InWeights(v), biw = b.InWeights(v);
+    for (size_t i = 0; i < an.size(); ++i) {
+      ASSERT_EQ(an[i], bn[i]) << "node " << v;
+      ASSERT_EQ(aw[i], bw[i]) << "node " << v;  // bitwise, not approximate
+    }
+    for (size_t i = 0; i < ain.size(); ++i) {
+      ASSERT_EQ(ain[i], bin[i]) << "node " << v;
+      ASSERT_EQ(aiw[i], biw[i]) << "node " << v;
+    }
+  }
+}
+
+// The serial reference: a builder kept under kParallelBuildMinArcs arcs
+// takes the sequential stable-sort path.
+Graph SerialReference(int64_t num_nodes, const std::vector<Edge>& edges) {
+  GraphBuilder builder(num_nodes);
+  EXPECT_TRUE(builder.AddEdges(edges).ok());
+  EXPECT_LT(builder.num_edges_added(), GraphBuilder::kParallelBuildMinArcs);
+  Result<Graph> graph = builder.Build();
+  EXPECT_TRUE(graph.ok());
+  return std::move(graph).value();
+}
+
+TEST(PartitionedBuildTest, MatchesSerialPathAtEveryThreadCount) {
+  const int64_t nodes = 20000;  // several shards under WithShards below
+  const std::vector<Edge> edges = RandomEdges(nodes, 5000, 1);
+  const Graph serial = SerialReference(nodes, edges);
+
+  for (size_t threads : {size_t{1}, size_t{4}, size_t{8}}) {
+    SetGlobalThreadPoolSize(threads);
+    // Split the same sequence into several tasks; concatenation order is
+    // what must be preserved, not the split.
+    std::vector<std::vector<Edge>> tasks(3);
+    for (size_t i = 0; i < edges.size(); ++i) {
+      tasks[i * 3 / edges.size()].push_back(edges[i]);
+    }
+    Result<Graph> parallel =
+        GraphBuilder::BuildParallel(nodes, /*undirected=*/false, tasks);
+    ASSERT_TRUE(parallel.ok());
+    ExpectGraphsIdentical(serial, parallel.value());
+  }
+  SetGlobalThreadPoolSize(0);
+}
+
+TEST(PartitionedBuildTest, BuildDelegatesAboveThresholdAndStaysIdentical) {
+  // Enough arcs to cross kParallelBuildMinArcs inside Build() itself; the
+  // reference is the same sequence assembled through BuildParallel with a
+  // single task, which exercises the identical sharded code path — and a
+  // hand-rolled serial sort/dedup checks both.
+  const int64_t nodes = 30000;
+  const std::vector<Edge> edges =
+      RandomEdges(nodes, GraphBuilder::kParallelBuildMinArcs + 500, 2);
+
+  GraphBuilder builder(nodes);
+  ASSERT_TRUE(builder.AddEdges(edges).ok());
+  ASSERT_GE(builder.num_edges_added(), GraphBuilder::kParallelBuildMinArcs);
+  Result<Graph> built = builder.Build();
+  ASSERT_TRUE(built.ok());
+
+  // Serial reference computed by hand (stable sort, keep-first dedup).
+  std::vector<Edge> sorted = edges;
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const Edge& a, const Edge& b) {
+                     return a.src != b.src ? a.src < b.src : a.dst < b.dst;
+                   });
+  sorted.erase(std::unique(sorted.begin(), sorted.end(),
+                           [](const Edge& a, const Edge& b) {
+                             return a.src == b.src && a.dst == b.dst;
+                           }),
+               sorted.end());
+  ASSERT_EQ(built->num_arcs(), static_cast<int64_t>(sorted.size()));
+  const std::vector<Edge> actual = built->ToEdgeList();
+  for (size_t i = 0; i < sorted.size(); ++i) {
+    ASSERT_EQ(actual[i].src, sorted[i].src) << i;
+    ASSERT_EQ(actual[i].dst, sorted[i].dst) << i;
+    ASSERT_EQ(actual[i].weight, sorted[i].weight) << i;
+  }
+}
+
+TEST(PartitionedBuildTest, KeepFirstDedupAcrossTaskBoundaries) {
+  // The duplicate arc appears in three tasks with different weights; the
+  // first one in task order must win, exactly as serial AddEdge order.
+  std::vector<std::vector<Edge>> tasks = {
+      {{0, 1, 0.25f}, {2, 3, 1.0f}},
+      {{0, 1, 0.5f}},
+      {{0, 1, 0.75f}, {2, 3, 9.0f}},
+  };
+  Result<Graph> graph =
+      GraphBuilder::BuildParallel(5, /*undirected=*/false, tasks);
+  ASSERT_TRUE(graph.ok());
+  EXPECT_EQ(graph->num_arcs(), 2);
+  EXPECT_FLOAT_EQ(graph->OutWeights(0)[0], 0.25f);
+  EXPECT_FLOAT_EQ(graph->OutWeights(2)[0], 1.0f);
+  EXPECT_FLOAT_EQ(graph->InWeights(1)[0], 0.25f);
+}
+
+TEST(PartitionedBuildTest, UndirectedExpandsReverseArcs) {
+  std::vector<std::vector<Edge>> tasks = {{{0, 1, 0.5f}, {1, 2, 0.75f}}};
+  Result<Graph> graph =
+      GraphBuilder::BuildParallel(3, /*undirected=*/true, tasks);
+  ASSERT_TRUE(graph.ok());
+  EXPECT_EQ(graph->num_arcs(), 4);
+  EXPECT_TRUE(graph->HasArc(1, 0));
+  EXPECT_TRUE(graph->HasArc(2, 1));
+  EXPECT_FLOAT_EQ(graph->OutWeights(1)[0], 0.5f);  // reverse keeps weight
+  EXPECT_TRUE(graph->undirected());
+
+  // Must match an AddEdge-based undirected builder on the same edges.
+  GraphBuilder builder(3, /*undirected=*/true);
+  ASSERT_TRUE(builder.AddEdge(0, 1, 0.5f).ok());
+  ASSERT_TRUE(builder.AddEdge(1, 2, 0.75f).ok());
+  Result<Graph> reference = builder.Build();
+  ASSERT_TRUE(reference.ok());
+  ExpectGraphsIdentical(reference.value(), graph.value());
+}
+
+TEST(PartitionedBuildTest, ValidationMatchesAddEdgeErrors) {
+  std::vector<std::vector<Edge>> out_of_range = {{{0, 7, 1.0f}}};
+  Result<Graph> graph =
+      GraphBuilder::BuildParallel(3, /*undirected=*/false, out_of_range);
+  EXPECT_EQ(graph.status().code(), StatusCode::kOutOfRange);
+
+  std::vector<std::vector<Edge>> self_loop = {{{1, 1, 1.0f}}};
+  graph = GraphBuilder::BuildParallel(3, /*undirected=*/false, self_loop);
+  EXPECT_EQ(graph.status().code(), StatusCode::kInvalidArgument);
+
+  // First error in task order wins when several tasks are bad.
+  std::vector<std::vector<Edge>> both = {{{2, 2, 1.0f}}, {{0, 9, 1.0f}}};
+  graph = GraphBuilder::BuildParallel(3, /*undirected=*/false, both);
+  EXPECT_EQ(graph.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(PartitionedBuildTest, EmptyTasksAndEmptyGraph) {
+  std::vector<std::vector<Edge>> tasks;
+  Result<Graph> graph =
+      GraphBuilder::BuildParallel(4, /*undirected=*/false, tasks);
+  ASSERT_TRUE(graph.ok());
+  EXPECT_EQ(graph->num_nodes(), 4);
+  EXPECT_EQ(graph->num_arcs(), 0);
+
+  tasks = {{}, {}};
+  graph = GraphBuilder::BuildParallel(0, /*undirected=*/false, tasks);
+  ASSERT_TRUE(graph.ok());
+  EXPECT_EQ(graph->num_nodes(), 0);
+}
+
+// ------------------------------------------------------ sharded visit map --
+
+TEST(ShardedVisitMapTest, GetReturnsMinusOneUntilSet) {
+  ShardedVisitMap map(ShardLayout::For(100000));
+  map.NextEpoch();
+  EXPECT_EQ(map.Get(0), -1);
+  EXPECT_EQ(map.Get(99999), -1);
+  map.Set(42, 7);
+  EXPECT_EQ(map.Get(42), 7);
+  EXPECT_EQ(map.Get(43), -1);
+}
+
+TEST(ShardedVisitMapTest, NextEpochInvalidatesEverything) {
+  ShardedVisitMap map(ShardLayout::For(100000));
+  map.NextEpoch();
+  map.Set(5, 1);
+  map.Set(50000, 2);
+  map.NextEpoch();
+  EXPECT_EQ(map.Get(5), -1);
+  EXPECT_EQ(map.Get(50000), -1);
+  map.Set(5, 3);
+  EXPECT_EQ(map.Get(5), 3);
+}
+
+TEST(ShardedVisitMapTest, AllocatesOnlyTouchedShards) {
+  // 100k nodes over 4k-wide shards = 25 shards; touching two nodes in the
+  // same shard allocates one block, a distant node a second.
+  ShardedVisitMap map(ShardLayout::For(100000));
+  map.NextEpoch();
+  EXPECT_EQ(map.shards_allocated(), 0);
+  map.Set(0, 1);
+  map.Set(1, 1);
+  EXPECT_EQ(map.shards_allocated(), 1);
+  EXPECT_EQ(map.shards_touched(), 1);
+  map.Set(99999, 1);
+  EXPECT_EQ(map.shards_allocated(), 2);
+  EXPECT_EQ(map.shards_touched(), 2);
+  // A new epoch resets the touch count but keeps the allocations.
+  map.NextEpoch();
+  EXPECT_EQ(map.shards_touched(), 0);
+  map.Set(1, 2);
+  EXPECT_EQ(map.shards_allocated(), 2);
+  EXPECT_EQ(map.shards_touched(), 1);
+}
+
+TEST(ShardedVisitMapTest, OverwriteWithinEpoch) {
+  ShardedVisitMap map(ShardLayout::For(5000));
+  map.NextEpoch();
+  map.Set(7, 1);
+  map.Set(7, 9);
+  EXPECT_EQ(map.Get(7), 9);
+}
+
+// ----------------------------------------------------------- sharded ball --
+
+Graph SmallWorldGraph(int64_t nodes, uint64_t seed) {
+  Rng rng(seed);
+  GraphBuilder builder(nodes, /*undirected=*/true);
+  for (NodeId v = 0; v < nodes; ++v) {
+    const NodeId next = static_cast<NodeId>((v + 1) % nodes);
+    if (v != next) (void)builder.AddEdge(v, next);
+    const NodeId far = static_cast<NodeId>(rng.NextBounded(nodes));
+    if (far != v) (void)builder.AddEdge(v, far);
+  }
+  Result<Graph> graph = builder.Build();
+  EXPECT_TRUE(graph.ok());
+  return std::move(graph).value();
+}
+
+TEST(ShardedBallTest, MatchesDenseBallAcrossShardBoundaries) {
+  // 20k nodes under a forced 4k shard width puts ring neighbors of ids
+  // 4095/4096 in different shards; long-range arcs jump shards freely.
+  const Graph graph = SmallWorldGraph(20000, 3);
+  ShardedVisitMap visits(ShardLayout::For(graph.num_nodes()));
+  for (NodeId source : {NodeId{0}, NodeId{4095}, NodeId{4096}, NodeId{19999}}) {
+    for (int r = 0; r <= 3; ++r) {
+      const std::vector<NodeId> dense = UndirectedRHopBall(graph, source, r);
+      const std::vector<NodeId> sharded =
+          UndirectedRHopBall(graph, source, r, &visits);
+      ASSERT_EQ(dense, sharded) << "source " << source << " r " << r;
+      // Membership via the map agrees with the returned ball.
+      for (NodeId v : sharded) ASSERT_NE(visits.Get(v), -1);
+    }
+  }
+}
+
+TEST(ShardedBallTest, ReusedMapGivesSameBallsAsFreshMaps) {
+  const Graph graph = SmallWorldGraph(10000, 4);
+  ShardedVisitMap reused(ShardLayout::For(graph.num_nodes()));
+  for (NodeId source = 0; source < 64; ++source) {
+    ShardedVisitMap fresh(ShardLayout::For(graph.num_nodes()));
+    EXPECT_EQ(UndirectedRHopBall(graph, source, 2, &reused),
+              UndirectedRHopBall(graph, source, 2, &fresh));
+  }
+}
+
+}  // namespace
+}  // namespace privim

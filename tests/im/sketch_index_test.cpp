@@ -177,6 +177,50 @@ TEST(SketchIndexTest, BuildIsByteIdenticalAtEveryThreadCount) {
   EXPECT_EQ(unit_encodings[0], unit_encodings[2]);
 }
 
+// --- sharded top-k sweep --------------------------------------------------
+
+// Forcing parallel_grain = 1 routes every posting-list sweep through the
+// chunked parallel path; the selection (seeds, spread, even the resweep
+// count) must be bit-identical to the serial sweep at every thread count.
+TEST(ShardedSweepTest, ParallelSweepMatchesSerialSelection) {
+  Rng rng(321);
+  std::vector<Edge> edges;
+  for (NodeId u = 0; u < 300; ++u) {
+    for (int j = 0; j < 6; ++j) {
+      const NodeId v = static_cast<NodeId>(rng.NextBounded(300));
+      if (v != u) edges.push_back({u, v, 1.0f});
+    }
+  }
+  const Graph graph = MakeGraph(300, edges);
+  SketchIndexOptions options;
+  options.max_steps = 2;
+  std::unique_ptr<SketchIndex> index = BuildIndex(graph, options);
+
+  Result<SketchTopKResult> serial = index->TopK(10);
+  ASSERT_TRUE(serial.ok());
+  SketchTopKOptions sweep;
+  sweep.parallel_grain = 1;
+  for (const size_t threads : {size_t{1}, size_t{4}, size_t{8}}) {
+    SetGlobalThreadPoolSize(threads);
+    Result<SketchTopKResult> parallel = index->TopK(10, sweep);
+    ASSERT_TRUE(parallel.ok()) << threads << " threads";
+    EXPECT_EQ(parallel->seeds, serial->seeds) << threads << " threads";
+    EXPECT_EQ(parallel->spread, serial->spread) << threads << " threads";
+    EXPECT_EQ(parallel->resweeps, serial->resweeps) << threads << " threads";
+  }
+  SetGlobalThreadPoolSize(0);
+}
+
+TEST(ShardedSweepTest, RejectsInvalidGrain) {
+  const Graph graph = TiedGraph();
+  SketchIndexOptions options;
+  std::unique_ptr<SketchIndex> index = BuildIndex(graph, options);
+  SketchTopKOptions sweep;
+  sweep.parallel_grain = 0;
+  EXPECT_EQ(index->TopK(3, sweep).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
 // --- persistence: round trip and the rejection suite ----------------------
 
 TEST(SketchIndexCodecTest, RoundTripRestoresEveryField) {
